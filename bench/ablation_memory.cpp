@@ -1,0 +1,84 @@
+// Ablation — reproducing the paper's *superlinear* speedup.
+//
+// Figure 4's text reports "with eight nodes, the average speedup is about
+// nine" — more than 8x on 8 nodes. On the 64-128 MB Ultras of the testbed,
+// a single node's working set (images, CGI binaries, cached results)
+// overflowed the buffer cache; splitting the workload across nodes shrank
+// each node's working set below its memory and removed the thrashing, so
+// per-node service times *improved* as the cluster grew.
+//
+// The simulator's optional memory model captures this: with
+// `node_memory_bytes` set so one node's working set overflows ~2x, the
+// measured speedup at 8 nodes exceeds 8; with the model off it is linear.
+#include <unordered_map>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "sim/cluster_sim.h"
+#include "workload/adl_synth.h"
+
+using namespace swala;
+
+namespace {
+
+double mean_response(const workload::Trace& trace, std::size_t nodes,
+                     std::uint64_t node_memory) {
+  sim::SimConfig config;
+  config.nodes = nodes;
+  config.client_streams = 16;
+  config.limits = {2000, 0};
+  config.min_exec_seconds = 1.0;
+  config.costs.node_memory_bytes = node_memory;
+  config.costs.thrash_slope = 1.0;
+  return sim::run_cluster_sim(trace, config).mean_response();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "memory pressure and superlinear speedup");
+
+  workload::AdlOptions options;
+  options.total_requests = 30000;
+  const auto trace = workload::synthesize_adl_trace(options);
+
+  // Size node memory at ~45 % of the full working set: one node thrashes,
+  // three or more nodes fit comfortably.
+  std::uint64_t total_bytes = 0;
+  {
+    std::uint64_t counted = 0;
+    std::unordered_map<std::string, std::uint64_t> distinct;
+    for (const auto& r : trace) distinct.emplace(r.target, r.response_bytes);
+    for (const auto& [t, b] : distinct) counted += b;
+    total_bytes = counted;
+  }
+  const std::uint64_t node_memory = total_bytes * 45 / 100;
+  std::printf("\nworking set %s, per-node memory %s\n\n",
+              format_bytes(total_bytes).c_str(),
+              format_bytes(node_memory).c_str());
+
+  TablePrinter table({"# nodes", "no mem model (s)", "speedup",
+                      "with mem model (s)", "speedup"});
+  double base_flat = 0.0;
+  double base_mem = 0.0;
+  for (const std::size_t nodes : {1, 2, 4, 6, 8}) {
+    const double flat = mean_response(trace, nodes, 0);
+    const double constrained = mean_response(trace, nodes, node_memory);
+    if (nodes == 1) {
+      base_flat = flat;
+      base_mem = constrained;
+    }
+    table.add_row({std::to_string(nodes), fmt_double(flat, 3),
+                   fmt_double(base_flat / flat, 2), fmt_double(constrained, 3),
+                   fmt_double(base_mem / constrained, 2)});
+    std::printf("  simulated %zu node(s)...\n", nodes);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "With the CPU-only model the speedup is linear (the left pair); with\n"
+      "memory pressure on 1997-sized nodes the 8-node speedup exceeds 8 —\n"
+      "the paper's ~9x. Cooperative caching gets the credit in the paper's\n"
+      "deployment for the same reason it helps here: it removes redundant\n"
+      "work from nodes that have none to spare.\n");
+  return 0;
+}

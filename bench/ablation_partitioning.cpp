@@ -1,0 +1,197 @@
+// Ablation — Swala's replicated directory vs. hash-partitioned ownership.
+//
+// Swala lets *whichever node executed a request* own the cached result and
+// replicates a directory so everyone can find it. The design that later
+// became ubiquitous (memcached, groupcache, CDN edges) instead assigns each
+// key a home node by hashing: no directory, no broadcasts — but every
+// access to a remote-homed key pays a network hop, even on the node that
+// just computed it.
+//
+// This bench runs both designs over the same engine, cost model, per-node
+// caches and workload, and compares hit ratios, response times and control
+// traffic — making the trade-off the paper's design implies measurable.
+#include <unordered_map>
+
+#include "bench/bench_util.h"
+#include "common/hash.h"
+#include "core/store.h"
+#include "sim/cluster_sim.h"
+#include "sim/resource.h"
+#include "workload/adl_synth.h"
+#include "workload/analyzer.h"
+
+using namespace swala;
+
+namespace {
+
+struct PartitionedReport {
+  double mean_response = 0.0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t remote_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t network_messages = 0;  ///< remote lookups + result transfers
+};
+
+/// Hash-partitioned cooperative cache over the same engine and cost model.
+PartitionedReport run_partitioned(const workload::Trace& trace,
+                                  std::size_t nodes, std::uint64_t capacity,
+                                  const sim::SimCosts& costs) {
+  sim::SimEngine engine;
+  std::vector<std::unique_ptr<core::CacheStore>> stores;
+  std::vector<std::unique_ptr<sim::FcfsResource>> cpus;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    stores.push_back(std::make_unique<core::CacheStore>(
+        core::StoreLimits{capacity, 0}, core::PolicyKind::kLru,
+        std::make_unique<core::MemoryBackend>(), engine.clock(),
+        static_cast<core::NodeId>(i)));
+    cpus.push_back(std::make_unique<sim::FcfsResource>(&engine));
+  }
+
+  struct Stream {
+    std::vector<const workload::TraceRecord*> requests;
+    std::size_t next = 0;
+    std::size_t node = 0;
+  };
+  // Mirror run_cluster_sim's routing: one stream per node.
+  std::vector<Stream> streams(nodes);
+  for (std::size_t s = 0; s < nodes; ++s) streams[s].node = s;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    streams[i % nodes].requests.push_back(&trace[i]);
+  }
+
+  PartitionedReport report;
+  OnlineStats responses;
+
+  std::function<void(std::size_t)> issue = [&](std::size_t s) {
+    auto& stream = streams[s];
+    if (stream.next >= stream.requests.size()) return;
+    const workload::TraceRecord& r = *stream.requests[stream.next];
+    const std::size_t at = stream.node;
+    const double issued = engine.now();
+
+    auto finish = [&, s, issued] {
+      responses.add(engine.now() - issued);
+      ++streams[s].next;
+      issue(s);
+    };
+
+    if (!r.is_cgi) {
+      cpus[at]->submit(costs.per_request_overhead + r.service_seconds, finish);
+      return;
+    }
+
+    const std::string key = "GET " + r.target;
+    const std::size_t home =
+        static_cast<std::size_t>(fnv1a64(key) % nodes);
+
+    if (home == at) {
+      if (stores[at]->fetch(key)) {
+        ++report.local_hits;
+        cpus[at]->submit(costs.per_request_overhead + costs.local_fetch_cpu,
+                         finish);
+        return;
+      }
+      ++report.misses;
+      cpus[at]->submit(
+          costs.per_request_overhead + costs.cgi_startup + r.service_seconds +
+              costs.insert_cpu,
+          [&, key, &r_ref = r, at, finish] {
+            std::vector<core::EntryMeta> evicted;
+            (void)stores[at]->insert(core::CacheKey{key},
+                                     std::string(r_ref.response_bytes, 'x'),
+                                     r_ref.service_seconds, 0, "text/html",
+                                     200, &evicted);
+            finish();
+          });
+      return;
+    }
+
+    // Remote-homed key: one network message for the lookup either way.
+    ++report.network_messages;
+    if (stores[home]->fetch(key)) {
+      ++report.remote_hits;
+      cpus[at]->submit(costs.per_request_overhead + costs.remote_fetch_cpu,
+                       [&, finish] {
+                         engine.schedule_in(costs.remote_fetch_latency, finish);
+                       });
+      return;
+    }
+    // Miss at the home node: execute here, then ship the result home
+    // (one more message); this node keeps no copy (groupcache-style).
+    ++report.misses;
+    ++report.network_messages;
+    cpus[at]->submit(
+        costs.per_request_overhead + costs.cgi_startup + r.service_seconds +
+            costs.insert_cpu,
+        [&, key, &r_ref = r, home, finish] {
+          engine.schedule_in(costs.remote_fetch_latency, [&, key, home,
+                                                          bytes = r_ref.response_bytes,
+                                                          cost = r_ref.service_seconds,
+                                                          finish] {
+            std::vector<core::EntryMeta> evicted;
+            (void)stores[home]->insert(core::CacheKey{key},
+                                       std::string(bytes, 'x'), cost, 0,
+                                       "text/html", 200, &evicted);
+            finish();
+          });
+        });
+  };
+
+  for (std::size_t s = 0; s < nodes; ++s) {
+    engine.schedule_at(0.0, [&issue, s] { issue(s); });
+  }
+  engine.run();
+  report.mean_response = responses.mean();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation",
+                "replicated directory (Swala) vs hash partitioning");
+
+  const auto trace = workload::synthesize_request_mix(1600, 1122, 1.0, 5399);
+  const auto upper = workload::hit_upper_bound(trace);
+  std::printf("\n1600 requests / 1122 unique (bound %zu), cache 2000/node\n\n",
+              upper);
+
+  TablePrinter table({"# nodes", "swala hits", "swala resp (s)",
+                      "swala msgs", "part. hits", "part. resp (s)",
+                      "part. msgs"});
+  for (const std::size_t nodes : {2, 4, 8}) {
+    sim::SimConfig config;
+    config.nodes = nodes;
+    config.client_streams = nodes;
+    config.limits = {2000, 0};
+    const auto swala_report = sim::run_cluster_sim(trace, config);
+    // Swala control traffic: every insert/erase broadcast goes to N-1
+    // peers, plus one message per remote fetch.
+    const std::uint64_t swala_msgs =
+        (swala_report.cache.inserts + swala_report.cache.evictions_broadcast) *
+            (nodes - 1) +
+        swala_report.cache.remote_hits + swala_report.cache.false_hits;
+
+    const auto part =
+        run_partitioned(trace, nodes, 2000, config.costs);
+
+    table.add_row({std::to_string(nodes),
+                   std::to_string(swala_report.cache.hits()),
+                   fmt_double(swala_report.mean_response(), 3),
+                   std::to_string(swala_msgs),
+                   std::to_string(part.local_hits + part.remote_hits),
+                   fmt_double(part.mean_response, 3),
+                   std::to_string(part.network_messages)});
+    std::printf("  simulated %zu node(s), both designs...\n", nodes);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "The trade: hash partitioning needs no directory and no broadcasts\n"
+      "(its message count is per-access, Swala's per-insert), never caches\n"
+      "a key twice, and is immune to false misses — but roughly (N-1)/N of\n"
+      "all cache hits pay a network hop, where Swala serves everything a\n"
+      "node produced itself at local-fetch cost. On 1998 LANs with 1-second\n"
+      "CGIs both win big over no caching; Swala's choice minimizes hit\n"
+      "latency, the later designs minimized metadata and memory overhead.\n");
+  return 0;
+}

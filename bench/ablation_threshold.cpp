@@ -1,0 +1,61 @@
+// Ablation (§3) — choosing the caching threshold.
+//
+// "If we cache too many short requests, we risk having a working set that
+// exceeds our cache size, resulting in thrashing ... if we only cache very
+// long requests, we will not realize as much of the benefit. The threshold
+// needs to be selected carefully, based on the system workload."
+//
+// This sweep makes the trade-off measurable: for several insert thresholds
+// (min_exec) and cache sizes, replay the ADL-like workload and report the
+// inserts, hits, evictions and total saved execution time.
+#include "bench/bench_util.h"
+#include "sim/cluster_sim.h"
+#include "workload/adl_synth.h"
+
+using namespace swala;
+
+int main() {
+  bench::banner("Ablation", "insert threshold vs cache size (§3 trade-off)");
+
+  workload::AdlOptions options;
+  options.total_requests = 30000;
+  const auto trace = workload::synthesize_adl_trace(options);
+
+  sim::SimConfig base;
+  base.nodes = 2;
+  base.client_streams = 8;
+  base.policy = core::PolicyKind::kLru;
+
+  sim::SimConfig nocache = base;
+  nocache.caching = false;
+  const auto baseline = sim::run_cluster_sim(trace, nocache);
+  std::printf("\nbaseline (no cache): mean response %.3f s, makespan %.0f s\n\n",
+              baseline.mean_response(), baseline.sim_seconds);
+
+  for (const std::uint64_t entries : {50u, 500u}) {
+    std::printf("cache size %llu entries/node:\n",
+                static_cast<unsigned long long>(entries));
+    TablePrinter table({"threshold (s)", "inserts", "hits", "evictions",
+                        "mean resp (s)", "saved vs nocache (s)"});
+    for (const double threshold : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      sim::SimConfig config = base;
+      config.limits = {entries, 0};
+      config.min_exec_seconds = threshold;
+      const auto report = sim::run_cluster_sim(trace, config);
+      table.add_row({fmt_double(threshold, 2),
+                     std::to_string(report.cache.inserts),
+                     std::to_string(report.cache.hits()),
+                     std::to_string(report.cache.evictions_broadcast),
+                     fmt_double(report.mean_response(), 3),
+                     fmt_double(baseline.sim_seconds - report.sim_seconds, 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf(
+      "Reading the table: at a small cache, low thresholds flood the cache\n"
+      "with short requests (high inserts + evictions, lower saved time);\n"
+      "high thresholds under-use it. The optimum moves down as the cache\n"
+      "grows — exactly the workload-dependent tuning §3 describes.\n");
+  return 0;
+}

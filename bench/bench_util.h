@@ -1,0 +1,22 @@
+// Shared helpers for the experiment harnesses: paper-style table output and
+// a banner that ties each binary to the table/figure it reproduces.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.h"
+
+namespace swala::bench {
+
+inline void banner(const char* experiment_id, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("Paper: Cooperative Caching of Dynamic Content on a Distributed\n");
+  std::printf("       Web Server (Holmedahl, Smith, Yang; HPDC 1998)\n");
+  std::printf("==============================================================\n");
+}
+
+inline void note(const char* text) { std::printf("NOTE: %s\n", text); }
+
+}  // namespace swala::bench

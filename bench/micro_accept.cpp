@@ -1,0 +1,79 @@
+// Ablation (§4.1) — connection dispatch model.
+//
+// The paper's request threads "take turns listening on the main port"; the
+// textbook alternative is a dedicated acceptor thread feeding a connection
+// queue. Both are implemented behind SwalaServerOptions::accept_model; this
+// bench drives an accept-heavy workload (connection per request, tiny
+// responses) through both and compares throughput and latency.
+#include "bench/bench_util.h"
+#include "cgi/registry.h"
+#include "server/swala_server.h"
+#include "workload/webstone.h"
+
+using namespace swala;
+
+namespace {
+
+workload::LoadResult drive(const net::InetAddress& addr, std::size_t clients) {
+  workload::LoadOptions options;
+  options.clients = clients;
+  options.requests_per_client = 150;
+  options.keep_alive = false;  // every request pays an accept
+  return workload::run_load(addr, options,
+                            [](Rng&, std::size_t) { return "/tiny.html"; });
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "accept model: take-turns vs acceptor+queue");
+
+  const std::string docroot = "/tmp/swala_bench_accept";
+  ::system(("mkdir -p " + docroot).c_str());
+  {
+    FILE* f = fopen((docroot + "/tiny.html").c_str(), "w");
+    if (f == nullptr) return 1;
+    fputs("<html>tiny</html>", f);
+    fclose(f);
+  }
+  auto registry = std::make_shared<cgi::HandlerRegistry>();
+
+  TablePrinter table({"# clients", "take-turns (req/s)", "mean (us)",
+                      "acceptor+queue (req/s)", "mean (us)"});
+  for (const std::size_t clients : {1, 8, 24}) {
+    double turns_rps = 0, turns_mean = 0, queue_rps = 0, queue_mean = 0;
+    {
+      server::SwalaServerOptions options;
+      options.docroot = docroot;
+      options.accept_model = server::AcceptModel::kTakeTurns;
+      server::SwalaServer server(options, registry, nullptr);
+      if (!server.start().is_ok()) return 1;
+      const auto result = drive(server.address(), clients);
+      turns_rps = result.throughput_rps();
+      turns_mean = result.latency.mean() * 1e6;
+      server.stop();
+    }
+    {
+      server::SwalaServerOptions options;
+      options.docroot = docroot;
+      options.accept_model = server::AcceptModel::kAcceptorQueue;
+      server::SwalaServer server(options, registry, nullptr);
+      if (!server.start().is_ok()) return 1;
+      const auto result = drive(server.address(), clients);
+      queue_rps = result.throughput_rps();
+      queue_mean = result.latency.mean() * 1e6;
+      server.stop();
+    }
+    table.add_row({std::to_string(clients), fmt_double(turns_rps, 0),
+                   fmt_double(turns_mean, 1), fmt_double(queue_rps, 0),
+                   fmt_double(queue_mean, 1)});
+    std::printf("  measured %zu client(s)...\n", clients);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "Take-turns avoids the queue handoff (one fewer context switch per\n"
+      "connection) at the cost of serializing accepts behind a mutex; with\n"
+      "short-lived 1998-style connections the models are close, which is\n"
+      "why the simpler take-turns design was a reasonable choice.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the hot operations on a request
+// thread's critical path: cache store insert/fetch, replacement-policy
+// bookkeeping, HTTP parsing, URI parsing, and wire-protocol codec.
+#include <benchmark/benchmark.h>
+
+#include "cluster/message.h"
+#include "common/clock.h"
+#include "core/store.h"
+#include "http/parser.h"
+
+using namespace swala;
+
+namespace {
+
+ManualClock g_clock(0);
+
+void BM_StoreInsert(benchmark::State& state) {
+  const auto policy = static_cast<core::PolicyKind>(state.range(0));
+  core::CacheStore store({100000, 0}, policy,
+                         std::make_unique<core::MemoryBackend>(), &g_clock, 0);
+  const std::string data(2048, 'x');
+  std::vector<core::EntryMeta> evicted;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto key =
+        core::CacheKey::make("GET", "/cgi-bin/q?i=" + std::to_string(i++));
+    benchmark::DoNotOptimize(
+        store.insert(key, data, 1.0, 0, "text/html", 200, &evicted));
+    evicted.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreInsert)
+    ->Arg(static_cast<int>(core::PolicyKind::kLru))
+    ->Arg(static_cast<int>(core::PolicyKind::kGreedyDualSize));
+
+void BM_StoreInsertWithEviction(benchmark::State& state) {
+  // Steady-state churn: a full cache where every insert evicts.
+  core::CacheStore store({512, 0}, core::PolicyKind::kLru,
+                         std::make_unique<core::MemoryBackend>(), &g_clock, 0);
+  const std::string data(2048, 'x');
+  std::vector<core::EntryMeta> evicted;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto key =
+        core::CacheKey::make("GET", "/cgi-bin/q?i=" + std::to_string(i++));
+    benchmark::DoNotOptimize(
+        store.insert(key, data, 1.0, 0, "text/html", 200, &evicted));
+    evicted.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreInsertWithEviction);
+
+void BM_StoreFetchHit(benchmark::State& state) {
+  core::CacheStore store({4096, 0}, core::PolicyKind::kLru,
+                         std::make_unique<core::MemoryBackend>(), &g_clock, 0);
+  const std::string data(2048, 'x');
+  std::vector<core::EntryMeta> evicted;
+  constexpr int kEntries = 1000;
+  for (int i = 0; i < kEntries; ++i) {
+    const auto key =
+        core::CacheKey::make("GET", "/cgi-bin/q?i=" + std::to_string(i));
+    (void)store.insert(key, data, 1.0, 0, "text/html", 200, &evicted);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "GET /cgi-bin/q?i=" + std::to_string(i++ % kEntries);
+    benchmark::DoNotOptimize(store.fetch(key));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreFetchHit);
+
+void BM_RequestParse(benchmark::State& state) {
+  const std::string wire =
+      "GET /cgi-bin/adl/query?session=browse&qid=1234 HTTP/1.1\r\n"
+      "Host: swala.cs.ucsb.edu\r\n"
+      "User-Agent: WebStone/2.0\r\n"
+      "Accept: */*\r\n"
+      "\r\n";
+  for (auto _ : state) {
+    http::RequestParser parser;
+    benchmark::DoNotOptimize(parser.feed(wire));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_RequestParse);
+
+void BM_UriParse(benchmark::State& state) {
+  const std::string target = "/cgi-bin/adl/query?session=browse&qid=1234";
+  for (auto _ : state) {
+    http::Uri uri;
+    benchmark::DoNotOptimize(http::parse_uri(target, &uri));
+  }
+}
+BENCHMARK(BM_UriParse);
+
+void BM_MessageEncodeInsert(benchmark::State& state) {
+  core::EntryMeta meta;
+  meta.key = "GET /cgi-bin/adl/query?session=browse&qid=1234";
+  meta.owner = 3;
+  meta.size_bytes = 4096;
+  meta.cost_seconds = 1.5;
+  meta.content_type = "text/html";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::encode_message(cluster::Message::insert(3, meta)));
+  }
+}
+BENCHMARK(BM_MessageEncodeInsert);
+
+void BM_MessageDecodeInsert(benchmark::State& state) {
+  core::EntryMeta meta;
+  meta.key = "GET /cgi-bin/adl/query?session=browse&qid=1234";
+  meta.owner = 3;
+  const std::string frame =
+      cluster::encode_message(cluster::Message::insert(3, meta));
+  const std::string_view payload = std::string_view(frame).substr(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::decode_message(payload));
+  }
+}
+BENCHMARK(BM_MessageDecodeInsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table 1 — "Potential time saving by caching CGI."
+//
+// The paper analyzes the ADL access log (69,337 analyzable requests, Sep-Oct
+// 1997): for each caching threshold it reports the number of long requests,
+// repeats, distinct cache entries needed, and the service time saved.
+// We run the identical analysis over the calibrated synthetic ADL trace
+// (see DESIGN.md for the substitution argument).
+#include "bench/bench_util.h"
+#include "workload/adl_synth.h"
+#include "workload/analyzer.h"
+
+using namespace swala;
+
+int main() {
+  bench::banner("Table 1", "potential time saving by caching CGI results");
+
+  workload::AdlOptions options;  // defaults are calibrated to the paper
+  const auto trace = workload::synthesize_adl_trace(options);
+  const auto summary = workload::summarize(trace);
+
+  std::printf("\nSynthetic ADL log: %zu requests, %zu CGI (%.1f%%)\n",
+              summary.total_requests, summary.cgi_requests,
+              100.0 * summary.cgi_requests / summary.total_requests);
+  std::printf("mean file fetch %.3f s | mean CGI %.2f s | longest %.1f s\n",
+              summary.mean_file_service, summary.mean_cgi_service,
+              summary.max_service);
+  std::printf("total service time %.0f s, CGI share %.1f%%\n",
+              summary.total_service_seconds,
+              100.0 * summary.cgi_service_seconds /
+                  summary.total_service_seconds);
+  std::printf("(paper: 69,337 requests, 41.3%% CGI, 0.03 s / 1.6 s means,\n"
+              " 46,156 s total, CGI share 97%%)\n\n");
+
+  TablePrinter table({"threshold (s)", "# long reqs", "total repeats",
+                      "# uniq repeats", "time saved (s)", "saved %"});
+  for (const auto& row :
+       workload::analyze_thresholds(trace, {0.5, 1.0, 2.0, 4.0})) {
+    table.add_row({fmt_double(row.threshold_seconds, 1),
+                   std::to_string(row.long_requests),
+                   std::to_string(row.total_repeats),
+                   std::to_string(row.unique_repeated),
+                   fmt_double(row.time_saved_seconds, 0),
+                   fmt_double(row.saved_percent, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Paper's published reference points at the 1 s threshold:\n"
+              "  189 unique entries -> 2,899 hits -> 13,241 s saved (~29%% of\n"
+              "  total service time). The synthetic trace reproduces the\n"
+              "  signature: a few hundred hot entries capture ~30%% of all\n"
+              "  service time, and the saving decays slowly with threshold.\n");
+  return 0;
+}

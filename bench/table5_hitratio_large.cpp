@@ -1,0 +1,19 @@
+// Table 5 — "Cache hit ratios, stand-alone and cooperative caching, cache
+// size 2000."
+//
+// With 2000 entries per node, even a single node can hold every result; the
+// cooperative advantage is purely that once one node caches a request, no
+// other node ever executes it again (barring false misses). The paper finds
+// cooperative caching at 97.5-99.4 % of the theoretical hit bound, while
+// stand-alone caching falls toward ~50 % as nodes are added (each node must
+// re-execute what its siblings already cached).
+#include "bench/hitratio_common.h"
+
+int main() {
+  swala::bench::run_hitratio_experiment("Table 5", 2000);
+  std::printf(
+      "Paper's shape: coop stays near the upper bound at every group size\n"
+      "(97.5-99.4 %%); stand-alone degrades as nodes are added because the\n"
+      "same entry must be recomputed and stored on every node that sees it.\n");
+  return 0;
+}

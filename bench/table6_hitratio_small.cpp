@@ -1,0 +1,17 @@
+// Table 6 — "Cache hit ratios, stand-alone and cooperative caching, cache
+// size 20."
+//
+// With only 20 entries per node the caches thrash; the cooperative group
+// aggregates its members' capacity (8 x 20 = 160 entries, still under 15 %
+// of the 1,122 unique requests) and reaches over 70 % of the hit bound,
+// where stand-alone caching stays under 40 %.
+#include "bench/hitratio_common.h"
+
+int main() {
+  swala::bench::run_hitratio_experiment("Table 6", 20);
+  std::printf(
+      "Paper's shape: coop climbs steeply with group size (28.7 %% at one\n"
+      "node to 73.6 %% at eight) because each added node contributes its\n"
+      "capacity to a single logical cache; stand-alone plateaus below 40 %%.\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+// trace_tool — workload utility CLI.
+//
+//   trace_tool gen <out.trace> [requests]        synthesize an ADL-like trace
+//   trace_tool summary <file>                    trace statistics
+//   trace_tool analyze <file> [t1 t2 ...]        the paper's Table-1 analysis
+//   trace_tool sim <file> <nodes> [standalone|nocache]
+//                                                replay through the simulator
+//
+// <file> may be a trace written by `gen` or a Swala access log (the format
+// is auto-detected), so the full §3 study runs on live server logs.
+#include <cstdio>
+#include <cstring>
+
+#include "common/stats.h"
+#include "server/access_log.h"
+#include "sim/cluster_sim.h"
+#include "workload/adl_synth.h"
+#include "workload/analyzer.h"
+#include "workload/clf.h"
+#include "workload/trace.h"
+
+using namespace swala;
+
+namespace {
+
+/// Loads any supported format: Swala access logs (lines start with "ts="),
+/// the native trace format, or NCSA Common Log Format.
+Result<workload::Trace> load_any(const std::string& path) {
+  std::FILE* probe = std::fopen(path.c_str(), "r");
+  if (probe == nullptr) {
+    return Status(StatusCode::kNotFound, "cannot open " + path);
+  }
+  char head[4] = {0};
+  const std::size_t got = std::fread(head, 1, 3, probe);
+  std::fclose(probe);
+  if (got >= 3 && std::strncmp(head, "ts=", 3) == 0) {
+    return server::load_access_log_trace(path);
+  }
+  auto native = workload::load_trace(path);
+  if (native) return native;
+  auto clf = workload::load_clf_trace(path);
+  if (clf && !clf.value().empty()) {
+    std::fprintf(stderr,
+                 "(parsed as Common Log Format; service times estimated)\n");
+    return clf;
+  }
+  return native.status();
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: trace_tool gen <out.trace> [requests]\n");
+    return 2;
+  }
+  workload::AdlOptions options;
+  if (argc > 3) {
+    options.total_requests = static_cast<std::size_t>(std::atoll(argv[3]));
+  }
+  const auto trace = workload::synthesize_adl_trace(options);
+  if (auto st = workload::save_trace(argv[2], trace); !st.is_ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu requests to %s\n", trace.size(), argv[2]);
+  return 0;
+}
+
+int cmd_summary(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: trace_tool summary <file>\n");
+    return 2;
+  }
+  auto trace = load_any(argv[2]);
+  if (!trace) {
+    std::fprintf(stderr, "%s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+  const auto s = workload::summarize(trace.value());
+  std::printf("requests:          %zu\n", s.total_requests);
+  std::printf("CGI requests:      %zu (%.1f%%)\n", s.cgi_requests,
+              s.total_requests
+                  ? 100.0 * s.cgi_requests / s.total_requests
+                  : 0.0);
+  std::printf("unique targets:    %zu (%zu CGI)\n", s.unique_targets,
+              s.unique_cgi_targets);
+  std::printf("service time:      %.1f s total, %.3f s mean file, %.3f s mean CGI\n",
+              s.total_service_seconds, s.mean_file_service, s.mean_cgi_service);
+  std::printf("longest request:   %.2f s\n", s.max_service);
+  std::printf("hit upper bound:   %zu\n",
+              workload::hit_upper_bound(trace.value()));
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: trace_tool analyze <file> [thresholds...]\n");
+    return 2;
+  }
+  auto trace = load_any(argv[2]);
+  if (!trace) {
+    std::fprintf(stderr, "%s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<double> thresholds;
+  for (int i = 3; i < argc; ++i) thresholds.push_back(std::atof(argv[i]));
+  if (thresholds.empty()) thresholds = {0.5, 1.0, 2.0, 4.0};
+
+  TablePrinter table({"threshold (s)", "# long", "repeats", "# uniq",
+                      "time saved (s)", "saved %"});
+  for (const auto& row : workload::analyze_thresholds(trace.value(), thresholds)) {
+    table.add_row({fmt_double(row.threshold_seconds, 2),
+                   std::to_string(row.long_requests),
+                   std::to_string(row.total_repeats),
+                   std::to_string(row.unique_repeated),
+                   fmt_double(row.time_saved_seconds, 1),
+                   fmt_double(row.saved_percent, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_sim(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: trace_tool sim <file> <nodes> "
+                 "[standalone|nocache|open]...\n");
+    return 2;
+  }
+  auto trace = load_any(argv[2]);
+  if (!trace) {
+    std::fprintf(stderr, "%s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+  sim::SimConfig config;
+  config.nodes = static_cast<std::size_t>(std::atoll(argv[3]));
+  config.client_streams = 2 * config.nodes;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "standalone") == 0) {
+      config.cooperative = false;
+    } else if (std::strcmp(argv[i], "nocache") == 0) {
+      config.caching = false;
+    } else if (std::strcmp(argv[i], "open") == 0) {
+      config.open_loop = true;  // replay at the trace's own arrival times
+    } else {
+      std::fprintf(stderr, "unknown sim option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const auto report = sim::run_cluster_sim(trace.value(), config);
+  std::printf("completed:      %llu requests in %.1f simulated seconds\n",
+              static_cast<unsigned long long>(report.requests_completed),
+              report.sim_seconds);
+  std::printf("mean response:  %.4f s (p95 %.4f s)\n", report.mean_response(),
+              report.response_times.percentile(95));
+  std::printf("hits:           %llu local + %llu remote (misses %llu)\n",
+              static_cast<unsigned long long>(report.cache.local_hits),
+              static_cast<unsigned long long>(report.cache.remote_hits),
+              static_cast<unsigned long long>(report.cache.misses));
+  std::printf("false misses:   %llu, false hits: %llu\n",
+              static_cast<unsigned long long>(report.cache.false_misses),
+              static_cast<unsigned long long>(report.cache.false_hits));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trace_tool <gen|summary|analyze|sim> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return cmd_gen(argc, argv);
+  if (cmd == "summary") return cmd_summary(argc, argv);
+  if (cmd == "analyze") return cmd_analyze(argc, argv);
+  if (cmd == "sim") return cmd_sim(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

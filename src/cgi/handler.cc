@@ -1,0 +1,72 @@
+#include "cgi/handler.h"
+
+#include "common/strings.h"
+
+namespace swala::cgi {
+
+CgiOutput parse_cgi_document(std::string_view raw, int exit_code) {
+  CgiOutput out;
+  out.success = exit_code == 0;
+
+  // Find the header/body separator; accept both \n\n and \r\n\r\n.
+  std::size_t body_start = std::string_view::npos;
+  std::size_t head_end = 0;
+  const std::size_t rn = raw.find("\r\n\r\n");
+  const std::size_t n = raw.find("\n\n");
+  if (rn != std::string_view::npos && (n == std::string_view::npos || rn < n)) {
+    head_end = rn;
+    body_start = rn + 4;
+  } else if (n != std::string_view::npos) {
+    head_end = n;
+    body_start = n + 2;
+  }
+
+  if (body_start == std::string_view::npos) {
+    out.body = std::string(raw);
+    return out;
+  }
+
+  // The candidate header block must look like headers, else it is body text.
+  const std::string_view head = raw.substr(0, head_end);
+  bool all_headers = !head.empty();
+  std::size_t pos = 0;
+  while (pos <= head.size() && all_headers) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line.find(':') == std::string_view::npos) all_headers = false;
+  }
+  if (!all_headers) {
+    out.body = std::string(raw);
+    return out;
+  }
+
+  pos = 0;
+  while (pos <= head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    const std::string_view name = trim(line.substr(0, colon));
+    const std::string_view value = trim(line.substr(colon + 1));
+    if (iequals(name, "Content-Type")) {
+      out.content_type = std::string(value);
+    } else if (iequals(name, "Status")) {
+      std::uint64_t code = 0;
+      const std::size_t sp = value.find(' ');
+      if (parse_u64(value.substr(0, sp), &code) && code >= 100 && code <= 599) {
+        out.http_status = static_cast<int>(code);
+      }
+    }
+  }
+  out.body = std::string(raw.substr(body_start));
+  return out;
+}
+
+}  // namespace swala::cgi

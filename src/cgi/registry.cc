@@ -1,0 +1,33 @@
+#include "cgi/registry.h"
+
+#include <mutex>
+
+#include "common/strings.h"
+
+namespace swala::cgi {
+
+void HandlerRegistry::mount(std::string path, CgiHandlerPtr handler) {
+  std::unique_lock lock(mutex_);
+  mounts_[std::move(path)] = std::move(handler);
+}
+
+CgiHandlerPtr HandlerRegistry::find(std::string_view path) const {
+  std::shared_lock lock(mutex_);
+  // mounts_ is ordered lexicographically descending; scan for the first
+  // mount that is an exact match or a matching '/'-terminated prefix.
+  // Registries are small (a handful of mount points) so a scan is fine.
+  for (const auto& [mount, handler] : mounts_) {
+    if (mount == path) return handler;
+    if (!mount.empty() && mount.back() == '/' && starts_with(path, mount)) {
+      return handler;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t HandlerRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return mounts_.size();
+}
+
+}  // namespace swala::cgi

@@ -1,0 +1,33 @@
+// Maps request paths to CGI handlers. Longest-prefix match over registered
+// mount points, the way /cgi-bin/ style servers dispatch.
+#pragma once
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+
+#include "cgi/handler.h"
+
+namespace swala::cgi {
+
+class HandlerRegistry {
+ public:
+  /// Mounts a handler at an exact path or a prefix ending in '/'.
+  /// "/cgi-bin/" matches everything under it; "/cgi-bin/null" matches only
+  /// that script (longest match wins).
+  void mount(std::string path, CgiHandlerPtr handler);
+
+  /// Handler for a decoded request path, or nullptr for static content.
+  CgiHandlerPtr find(std::string_view path) const;
+
+  /// True if any mount point would claim this path.
+  bool is_dynamic(std::string_view path) const { return find(path) != nullptr; }
+
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, CgiHandlerPtr, std::greater<>> mounts_;  // longest first
+};
+
+}  // namespace swala::cgi

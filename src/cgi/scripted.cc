@@ -1,0 +1,79 @@
+#include "cgi/scripted.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace swala::cgi {
+
+void busy_spin_for(double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  volatile std::uint64_t sink = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 256; ++i) sink = sink * 6364136223846793005ULL + 1;
+  }
+}
+
+std::string deterministic_body(std::uint64_t seed, std::size_t n) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \n";
+  std::string out;
+  out.reserve(n);
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = mix64(state + i);
+    out.push_back(kAlphabet[state % (sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+ScriptedCgi::ScriptedCgi(ScriptedOptions options) : options_(options) {}
+
+std::uint64_t ScriptedCgi::execution_count() const {
+  return executions_.load(std::memory_order_relaxed);
+}
+
+Result<CgiOutput> ScriptedCgi::run(const http::Request& request) {
+  double service = options_.service_seconds;
+  if (options_.cost_from_query) {
+    for (const auto& [key, value] : request.uri.query_params()) {
+      double cost = 0.0;
+      if (key == "cost" && parse_double(value, &cost)) service = cost;
+    }
+  }
+
+  switch (options_.mode) {
+    case ComputeMode::kNone:
+      break;
+    case ComputeMode::kBusy:
+      busy_spin_for(service);
+      break;
+    case ComputeMode::kSleep:
+      std::this_thread::sleep_for(std::chrono::duration<double>(service));
+      break;
+  }
+
+  const std::uint64_t count = executions_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  CgiOutput out;
+  out.success = !options_.fail;
+  if (options_.fail) {
+    out.http_status = 500;
+    out.body = "scripted CGI failure\n";
+    return out;
+  }
+
+  const std::string canonical = request.uri.canonical();
+  std::string header = "<!-- swala scripted cgi target=" + canonical +
+                       " exec=" + std::to_string(count) + " -->\n";
+  const std::size_t fill = options_.output_bytes > header.size()
+                               ? options_.output_bytes - header.size()
+                               : 0;
+  out.body = header + deterministic_body(fnv1a64(canonical), fill);
+  return out;
+}
+
+}  // namespace swala::cgi

@@ -1,0 +1,70 @@
+// In-process "CGI programs" with a configurable compute model. These give the
+// benchmarks deterministic service times (the paper's 1-second requests,
+// null-CGI, ADL-like spatial queries) without forking real processes.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "cgi/handler.h"
+#include "common/clock.h"
+
+namespace swala::cgi {
+
+/// How a scripted CGI consumes its service time.
+enum class ComputeMode {
+  kNone,   ///< returns immediately (null-CGI)
+  kBusy,   ///< spins the CPU for the duration (CPU-bound site, like ADL)
+  kSleep,  ///< sleeps (I/O-bound work; releases the CPU)
+};
+
+/// Options for a scripted CGI program.
+struct ScriptedOptions {
+  ComputeMode mode = ComputeMode::kNone;
+  double service_seconds = 0.0;  ///< per-call compute time
+  std::size_t output_bytes = 64; ///< generated body size
+  bool fail = false;             ///< simulate a failing program (exit != 0)
+
+  /// If set, service time is derived from the request instead of fixed:
+  /// the query parameter "cost" (seconds) overrides `service_seconds`.
+  bool cost_from_query = false;
+};
+
+/// Deterministic in-process CGI. The body embeds the canonical target and a
+/// counter, so repeated executions are distinguishable in consistency tests.
+class ScriptedCgi final : public CgiHandler {
+ public:
+  explicit ScriptedCgi(ScriptedOptions options);
+
+  Result<CgiOutput> run(const http::Request& request) override;
+
+  /// Number of completed executions (used to count avoided re-executions).
+  std::uint64_t execution_count() const;
+
+ private:
+  ScriptedOptions options_;
+  std::atomic<std::uint64_t> executions_{0};
+};
+
+/// Adapter: wrap any callable as a CGI handler.
+class LambdaCgi final : public CgiHandler {
+ public:
+  using Fn = std::function<Result<CgiOutput>(const http::Request&)>;
+  explicit LambdaCgi(Fn fn) : fn_(std::move(fn)) {}
+
+  Result<CgiOutput> run(const http::Request& request) override {
+    return fn_(request);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Spins the CPU for approximately `seconds` (calibrated busy loop).
+void busy_spin_for(double seconds);
+
+/// Generates `n` bytes of printable deterministic filler seeded by `seed`.
+std::string deterministic_body(std::uint64_t seed, std::size_t n);
+
+}  // namespace swala::cgi

@@ -1,0 +1,45 @@
+#include "cluster/framing.h"
+
+namespace swala::cluster {
+
+Status write_message(net::TcpStream& stream, const Message& msg) {
+  return stream.write_all(encode_message(msg));
+}
+
+Result<Message> read_message(net::TcpStream& stream) {
+  char header[4];
+  // Distinguish clean EOF (no bytes at all) from a truncated frame.
+  auto first = stream.read_some(header, sizeof(header));
+  if (!first) return first.status();
+  if (first.value() == 0) {
+    return Status(StatusCode::kClosed, "peer closed");
+  }
+  std::size_t got = first.value();
+  while (got < sizeof(header)) {
+    auto n = stream.read_some(header + got, sizeof(header) - got);
+    if (!n) return n.status();
+    if (n.value() == 0) {
+      return Status(StatusCode::kClosed, "peer closed mid-frame");
+    }
+    got += n.value();
+  }
+
+  const auto* p = reinterpret_cast<const unsigned char*>(header);
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "oversized frame: " + std::to_string(len));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    if (auto st = stream.read_exact(payload.data(), len); !st.is_ok()) {
+      return st;
+    }
+  }
+  return decode_message(payload);
+}
+
+}  // namespace swala::cluster

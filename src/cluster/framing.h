@@ -1,0 +1,16 @@
+// Frame-level I/O over a TcpStream: length-prefixed message read/write.
+#pragma once
+
+#include "cluster/message.h"
+#include "net/socket.h"
+
+namespace swala::cluster {
+
+/// Writes one framed message.
+Status write_message(net::TcpStream& stream, const Message& msg);
+
+/// Reads one framed message (blocking; honours the stream's recv timeout).
+/// kClosed on orderly EOF at a frame boundary.
+Result<Message> read_message(net::TcpStream& stream);
+
+}  // namespace swala::cluster

@@ -1,0 +1,373 @@
+#include "cluster/group.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace swala::cluster {
+
+std::vector<MemberAddress> loopback_members(std::size_t n) {
+  std::vector<MemberAddress> members(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members[i].id = static_cast<core::NodeId>(i);
+    members[i].info_addr = {"127.0.0.1", 0};
+    members[i].data_addr = {"127.0.0.1", 0};
+  }
+  return members;
+}
+
+NodeGroup::NodeGroup(core::NodeId self, std::vector<MemberAddress> members,
+                     GroupOptions options)
+    : self_(self), members_(std::move(members)), options_(options) {}
+
+NodeGroup::~NodeGroup() { stop(); }
+
+Status NodeGroup::start() {
+  if (running_.exchange(true)) return Status::ok();
+
+  const MemberAddress* me = nullptr;
+  for (const auto& m : members_) {
+    if (m.id == self_) me = &m;
+  }
+  if (me == nullptr) {
+    running_ = false;
+    return Status(StatusCode::kInvalidArgument, "self not in member list");
+  }
+
+  auto info = net::TcpListener::listen(me->info_addr);
+  if (!info) {
+    running_ = false;
+    return info.status();
+  }
+  info_listener_ = std::move(info.value());
+
+  auto data = net::TcpListener::listen(me->data_addr);
+  if (!data) {
+    running_ = false;
+    return data.status();
+  }
+  data_listener_ = std::move(data.value());
+
+  // One outbound queue + sender thread per peer: the broadcast is
+  // asynchronous and never blocks a request thread on a slow peer.
+  for (const auto& m : members_) {
+    if (m.id == self_) continue;
+    auto link = std::make_unique<PeerLink>();
+    link->address = m;
+    link->outbound =
+        std::make_unique<BoundedQueue<Message>>(options_.outbound_queue_capacity);
+    PeerLink* raw = link.get();
+    link->sender = std::thread([this, raw] { sender_loop(raw); });
+    peers_.push_back(std::move(link));
+  }
+
+  info_accept_thread_ = std::thread([this] { info_accept_loop(); });
+  data_accept_thread_ = std::thread([this] { data_accept_loop(); });
+  purge_thread_ = std::thread([this] { purge_loop(); });
+  return Status::ok();
+}
+
+void NodeGroup::set_members(std::vector<MemberAddress> members) {
+  members_ = std::move(members);
+  for (auto& peer : peers_) {
+    for (const auto& m : members_) {
+      if (m.id == peer->address.id) peer->address = m;
+    }
+  }
+}
+
+void NodeGroup::stop() {
+  if (!running_.exchange(false)) return;
+  info_listener_.close();
+  data_listener_.close();
+  for (auto& peer : peers_) peer->outbound->close();
+  for (auto& peer : peers_) {
+    if (peer->sender.joinable()) peer->sender.join();
+  }
+  if (info_accept_thread_.joinable()) info_accept_thread_.join();
+  if (data_accept_thread_.joinable()) data_accept_thread_.join();
+  if (purge_thread_.joinable()) purge_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(reader_mutex_);
+    for (auto& t : reader_threads_) {
+      if (t.joinable()) t.join();
+    }
+    for (auto& t : data_threads_) {
+      if (t.joinable()) t.join();
+    }
+    reader_threads_.clear();
+    data_threads_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    fetch_pool_.clear();
+  }
+  peers_.clear();
+}
+
+// ---- info channel ----
+
+void NodeGroup::info_accept_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    auto conn = info_listener_.accept(/*timeout_ms=*/200);
+    if (!conn) {
+      if (conn.status().code() == StatusCode::kTimeout) continue;
+      break;  // listener closed
+    }
+    (void)conn.value().set_no_delay(true);
+    (void)conn.value().set_recv_timeout(200);
+    std::lock_guard<std::mutex> lock(reader_mutex_);
+    reader_threads_.emplace_back(
+        [this, stream = std::move(conn.value())]() mutable {
+          info_read_loop(std::move(stream));
+        });
+  }
+}
+
+void NodeGroup::info_read_loop(net::TcpStream stream) {
+  while (running_.load(std::memory_order_relaxed)) {
+    auto msg = read_message(stream);
+    if (!msg) {
+      if (msg.status().code() == StatusCode::kTimeout) continue;
+      return;  // closed or corrupt; drop the connection
+    }
+    updates_received_.fetch_add(1, std::memory_order_relaxed);
+    if (manager_ == nullptr) continue;
+    switch (msg.value().type) {
+      case MsgType::kHello:
+        break;
+      case MsgType::kInsert:
+        manager_->on_peer_insert(msg.value().meta);
+        break;
+      case MsgType::kErase:
+        manager_->on_peer_erase(msg.value().sender, msg.value().key,
+                                msg.value().version);
+        break;
+      case MsgType::kInvalidate:
+        manager_->on_peer_invalidate(msg.value().key);
+        break;
+      default:
+        SWALA_LOG(Warn) << "unexpected message type on info channel";
+        break;
+    }
+  }
+}
+
+// ---- data channel ----
+
+void NodeGroup::data_accept_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    auto conn = data_listener_.accept(/*timeout_ms=*/200);
+    if (!conn) {
+      if (conn.status().code() == StatusCode::kTimeout) continue;
+      break;
+    }
+    (void)conn.value().set_no_delay(true);
+    // Short read slices so the serving thread notices shutdown promptly;
+    // the loop in serve_data_request tolerates timeouts between requests.
+    (void)conn.value().set_recv_timeout(250);
+    (void)conn.value().set_send_timeout(options_.fetch_timeout_ms);
+    // The paper starts a separate thread per data request; with pooled
+    // requester connections each thread serves a stream of fetches.
+    std::lock_guard<std::mutex> lock(reader_mutex_);
+    // Opportunistically reap finished data threads to bound the vector.
+    if (data_threads_.size() > 256) {
+      for (auto& t : data_threads_) {
+        if (t.joinable()) t.join();
+      }
+      data_threads_.clear();
+    }
+    data_threads_.emplace_back(
+        [this, stream = std::move(conn.value())]() mutable {
+          serve_data_request(std::move(stream));
+        });
+  }
+}
+
+void NodeGroup::serve_data_request(net::TcpStream stream) {
+  // Serve fetches until the peer closes or goes idle: requesters pool and
+  // reuse these connections, so one connection handles many fetches.
+  while (running_.load(std::memory_order_relaxed)) {
+    auto msg = read_message(stream);
+    if (!msg) {
+      if (msg.status().code() == StatusCode::kTimeout) continue;
+      return;  // closed or corrupt
+    }
+    if (msg.value().type != MsgType::kFetchReq) return;
+
+    Message resp = Message::fetch_resp_miss(self_);
+    if (manager_ != nullptr) {
+      auto result = manager_->serve_peer_fetch(msg.value().key);
+      if (result) {
+        fetches_served_.fetch_add(1, std::memory_order_relaxed);
+        resp = Message::fetch_resp_found(self_, result.value().meta,
+                                         std::move(result.value().data));
+      } else {
+        fetch_misses_served_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!write_message(stream, resp).is_ok()) return;
+  }
+}
+
+// ---- purge daemon ----
+
+void NodeGroup::purge_loop() {
+  const auto interval =
+      std::chrono::duration<double>(options_.purge_interval_seconds);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (running_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (std::chrono::steady_clock::now() < next) continue;
+    next = std::chrono::steady_clock::now() + interval;
+    if (manager_ != nullptr) manager_->purge_expired();
+  }
+}
+
+// ---- outbound ----
+
+void NodeGroup::enqueue_broadcast(const Message& msg) {
+  for (auto& peer : peers_) {
+    if (!peer->outbound->try_push(msg)) {
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  broadcasts_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NodeGroup::broadcast_insert(const core::EntryMeta& meta) {
+  enqueue_broadcast(Message::insert(self_, meta));
+}
+
+void NodeGroup::broadcast_erase(core::NodeId owner, const std::string& key,
+                                std::uint64_t version) {
+  (void)owner;  // only the owner broadcasts erases for its own entries
+  enqueue_broadcast(Message::erase(self_, key, version));
+}
+
+void NodeGroup::broadcast_invalidate(const std::string& pattern) {
+  enqueue_broadcast(Message::invalidate(self_, pattern));
+}
+
+void NodeGroup::sender_loop(PeerLink* link) {
+  net::TcpStream stream;
+  bool greeted = false;
+  while (auto msg = link->outbound->pop()) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (!stream.valid()) {
+        auto conn = net::TcpStream::connect(link->address.info_addr,
+                                            options_.connect_timeout_ms);
+        if (!conn) {
+          if (!running_.load(std::memory_order_relaxed)) return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          continue;
+        }
+        stream = std::move(conn.value());
+        (void)stream.set_no_delay(true);
+        (void)stream.set_send_timeout(options_.connect_timeout_ms);
+        greeted = false;
+      }
+      if (!greeted) {
+        if (!write_message(stream, Message::hello(self_)).is_ok()) {
+          stream.close();
+          continue;
+        }
+        greeted = true;
+      }
+      if (write_message(stream, *msg).is_ok()) break;
+      stream.close();
+      if (attempt == 1) {
+        send_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+// ---- synchronous remote fetch ----
+
+Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
+                                                   const std::string& key) {
+  remote_fetches_.fetch_add(1, std::memory_order_relaxed);
+  const MemberAddress* peer = nullptr;
+  for (const auto& m : members_) {
+    if (m.id == owner) peer = &m;
+  }
+  if (peer == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "unknown node " + std::to_string(owner));
+  }
+
+  // Up to two attempts: a pooled connection may have been closed by the
+  // peer while idle; retry once on a fresh one.
+  Status last_error(StatusCode::kUnavailable, "no attempt made");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    net::TcpStream stream;
+    bool from_pool = false;
+    if (attempt == 0 && options_.fetch_pool_size > 0) {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      auto& idle = fetch_pool_[owner];
+      if (!idle.empty()) {
+        stream = std::move(idle.back());
+        idle.pop_back();
+        from_pool = true;
+      }
+    }
+    if (!stream.valid()) {
+      auto conn =
+          net::TcpStream::connect(peer->data_addr, options_.connect_timeout_ms);
+      if (!conn) return conn.status();
+      stream = std::move(conn.value());
+      (void)stream.set_no_delay(true);
+      (void)stream.set_recv_timeout(options_.fetch_timeout_ms);
+      (void)stream.set_send_timeout(options_.fetch_timeout_ms);
+    }
+
+    if (auto st = write_message(stream, Message::fetch_req(self_, key));
+        !st.is_ok()) {
+      last_error = st;
+      if (from_pool) continue;  // stale pooled connection; retry fresh
+      return st;
+    }
+    auto resp = read_message(stream);
+    if (!resp) {
+      last_error = resp.status();
+      if (from_pool) continue;
+      return resp.status();
+    }
+    if (resp.value().type != MsgType::kFetchResp) {
+      return Status(StatusCode::kInternal, "unexpected response type");
+    }
+
+    // Healthy exchange: return the connection to the pool.
+    if (options_.fetch_pool_size > 0 &&
+        running_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      auto& idle = fetch_pool_[owner];
+      if (idle.size() < options_.fetch_pool_size) {
+        idle.push_back(std::move(stream));
+      }
+    }
+
+    if (!resp.value().found) {
+      return Status(StatusCode::kNotFound, "remote miss (false hit)");
+    }
+    core::CachedResult result;
+    result.meta = resp.value().meta;
+    result.data = std::move(resp.value().data);
+    return result;
+  }
+  return last_error;
+}
+
+GroupStats NodeGroup::stats() const {
+  GroupStats s;
+  s.broadcasts_sent = broadcasts_sent_.load(std::memory_order_relaxed);
+  s.updates_received = updates_received_.load(std::memory_order_relaxed);
+  s.fetches_served = fetches_served_.load(std::memory_order_relaxed);
+  s.fetch_misses_served = fetch_misses_served_.load(std::memory_order_relaxed);
+  s.remote_fetches = remote_fetches_.load(std::memory_order_relaxed);
+  s.send_failures = send_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace swala::cluster

@@ -1,0 +1,147 @@
+// NodeGroup: the distributed half of the cacher module. Implements the
+// paper's three daemon threads per node (§4.1):
+//   1. info receiver  — accepts peer connections on the info port and applies
+//                       INSERT/ERASE broadcasts to the local directory
+//   2. data server    — listens on the data port and starts a thread per
+//                       incoming FETCH request to return cached contents
+//   3. purger         — wakes every `purge_interval` and deletes expired
+//                       entries (broadcasting the deletions)
+// plus per-peer sender threads that drain an outbound queue, making the
+// broadcast genuinely asynchronous (no global locks; §4.2).
+//
+// NodeGroup implements core::CooperationBus, so a CacheManager wired to it
+// becomes a cooperative cache.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/framing.h"
+#include "common/queue.h"
+#include "core/manager.h"
+#include "net/socket.h"
+
+namespace swala::cluster {
+
+/// Static group membership (the paper uses a fixed cluster).
+struct MemberAddress {
+  core::NodeId id = core::kInvalidNode;
+  net::InetAddress info_addr;  ///< receives directory broadcasts
+  net::InetAddress data_addr;  ///< serves cache fetches
+};
+
+struct GroupOptions {
+  double purge_interval_seconds = 2.0;  ///< "wakes up every few seconds"
+  int fetch_timeout_ms = 10000;
+  int connect_timeout_ms = 5000;
+  std::size_t outbound_queue_capacity = 65536;
+  /// Idle data connections kept per peer for reuse (0 disables pooling and
+  /// opens a connection per fetch, as the original Swala did).
+  std::size_t fetch_pool_size = 4;
+};
+
+/// Counters for the overhead experiments (Tables 3 and 4).
+struct GroupStats {
+  std::uint64_t broadcasts_sent = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t fetches_served = 0;
+  std::uint64_t fetch_misses_served = 0;  ///< peers' false hits seen from here
+  std::uint64_t remote_fetches = 0;
+  std::uint64_t send_failures = 0;
+};
+
+class NodeGroup final : public core::CooperationBus {
+ public:
+  /// `members` describes every node including this one (matched by `self`).
+  NodeGroup(core::NodeId self, std::vector<MemberAddress> members,
+            GroupOptions options = {});
+  ~NodeGroup() override;
+
+  NodeGroup(const NodeGroup&) = delete;
+  NodeGroup& operator=(const NodeGroup&) = delete;
+
+  /// Wires the manager the daemons deliver updates to. The manager itself
+  /// needs `this` as its bus, hence the two-phase setup: start() → attach().
+  void attach(core::CacheManager* manager) { manager_ = manager; }
+
+  /// Replaces the member address list. Needed when the group was created
+  /// with ephemeral (port 0) addresses: after start() has bound the real
+  /// ports, the resolved list is distributed to every group.
+  /// Precondition: no cache traffic has flowed yet (call right after
+  /// start(), before attach()).
+  void set_members(std::vector<MemberAddress> members);
+
+  /// Binds the info/data listeners and starts the daemon threads.
+  Status start();
+
+  /// Stops all daemons and closes all connections. Idempotent.
+  void stop();
+
+  // ---- core::CooperationBus ----
+  void broadcast_insert(const core::EntryMeta& meta) override;
+  void broadcast_erase(core::NodeId owner, const std::string& key,
+                       std::uint64_t version) override;
+  Result<core::CachedResult> fetch_remote(core::NodeId owner,
+                                          const std::string& key) override;
+  void broadcast_invalidate(const std::string& pattern) override;
+
+  GroupStats stats() const;
+
+  /// Listener ports after start() (useful when binding port 0).
+  std::uint16_t info_port() const { return info_listener_.local_port(); }
+  std::uint16_t data_port() const { return data_listener_.local_port(); }
+
+  core::NodeId self() const { return self_; }
+  std::size_t group_size() const { return members_.size(); }
+
+ private:
+  struct PeerLink {
+    MemberAddress address;
+    std::unique_ptr<BoundedQueue<Message>> outbound;
+    std::thread sender;
+  };
+
+  void info_accept_loop();
+  void info_read_loop(net::TcpStream stream);
+  void data_accept_loop();
+  void serve_data_request(net::TcpStream stream);
+  void purge_loop();
+  void sender_loop(PeerLink* link);
+  void enqueue_broadcast(const Message& msg);
+
+  core::NodeId self_;
+  std::vector<MemberAddress> members_;
+  GroupOptions options_;
+  core::CacheManager* manager_ = nullptr;
+
+  net::TcpListener info_listener_;
+  net::TcpListener data_listener_;
+
+  std::atomic<bool> running_{false};
+  std::thread info_accept_thread_;
+  std::thread data_accept_thread_;
+  std::thread purge_thread_;
+  std::vector<std::unique_ptr<PeerLink>> peers_;  // excludes self
+
+  std::mutex reader_mutex_;
+  std::vector<std::thread> reader_threads_;
+  std::vector<std::thread> data_threads_;
+
+  // Pooled idle data connections, keyed by peer node id.
+  std::mutex pool_mutex_;
+  std::unordered_map<core::NodeId, std::vector<net::TcpStream>> fetch_pool_;
+
+  mutable std::atomic<std::uint64_t> broadcasts_sent_{0}, updates_received_{0},
+      fetches_served_{0}, fetch_misses_served_{0}, remote_fetches_{0},
+      send_failures_{0};
+};
+
+/// Builds loopback member addresses with ephemeral ports for `n` in-process
+/// nodes (test/bench helper). Real ports are assigned when each group's
+/// start() binds; LocalCluster redistributes them via set_members().
+std::vector<MemberAddress> loopback_members(std::size_t n);
+
+}  // namespace swala::cluster

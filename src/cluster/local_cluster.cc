@@ -1,0 +1,47 @@
+#include "cluster/local_cluster.h"
+
+#include <stdexcept>
+
+namespace swala::cluster {
+
+LocalCluster::LocalCluster(
+    std::size_t n,
+    std::function<core::ManagerOptions(core::NodeId)> make_options,
+    const Clock* clock, GroupOptions group_options) {
+  auto members = loopback_members(n);
+
+  // Phase 1: create and start all groups (binds ephemeral ports).
+  for (std::size_t i = 0; i < n; ++i) {
+    auto group = std::make_unique<NodeGroup>(static_cast<core::NodeId>(i),
+                                             members, group_options);
+    if (auto st = group->start(); !st.is_ok()) {
+      throw std::runtime_error("LocalCluster: " + st.to_string());
+    }
+    groups_.push_back(std::move(group));
+  }
+
+  // Phase 2: collect the real ports and redistribute.
+  for (std::size_t i = 0; i < n; ++i) {
+    members[i].info_addr.port = groups_[i]->info_port();
+    members[i].data_addr.port = groups_[i]->data_port();
+  }
+  for (auto& group : groups_) group->set_members(members);
+  members_ = members;
+
+  // Phase 3: build managers wired to their groups.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto manager = std::make_unique<core::CacheManager>(
+        static_cast<core::NodeId>(i), n, make_options(static_cast<core::NodeId>(i)),
+        clock, groups_[i].get());
+    groups_[i]->attach(manager.get());
+    managers_.push_back(std::move(manager));
+  }
+}
+
+LocalCluster::~LocalCluster() { stop(); }
+
+void LocalCluster::stop() {
+  for (auto& group : groups_) group->stop();
+}
+
+}  // namespace swala::cluster

@@ -1,0 +1,49 @@
+// LocalCluster: runs an N-node Swala cache group inside one process over
+// loopback TCP. Used by the integration tests and the real-substrate
+// experiments (Figure 3 remote fetch, Table 4 directory updates).
+//
+// It performs the ephemeral-port bootstrap dance: start every NodeGroup on
+// port 0, collect the bound ports, redistribute the resolved member list,
+// then construct and attach the CacheManagers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/group.h"
+#include "core/manager.h"
+
+namespace swala::cluster {
+
+class LocalCluster {
+ public:
+  /// Builds and starts `n` nodes; `make_options(i)` supplies each node's
+  /// manager configuration. Throws std::runtime_error if networking fails
+  /// (constructor-failure policy per the project error-handling rules).
+  LocalCluster(std::size_t n,
+               std::function<core::ManagerOptions(core::NodeId)> make_options,
+               const Clock* clock = RealClock::instance(),
+               GroupOptions group_options = {});
+
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  core::CacheManager& manager(std::size_t i) { return *managers_[i]; }
+  NodeGroup& group(std::size_t i) { return *groups_[i]; }
+  std::size_t size() const { return groups_.size(); }
+
+  /// Resolved member addresses (real ports).
+  const std::vector<MemberAddress>& members() const { return members_; }
+
+  void stop();
+
+ private:
+  std::vector<std::unique_ptr<NodeGroup>> groups_;
+  std::vector<std::unique_ptr<core::CacheManager>> managers_;
+  std::vector<MemberAddress> members_;
+};
+
+}  // namespace swala::cluster

@@ -1,0 +1,261 @@
+#include "cluster/message.h"
+
+#include <cstring>
+
+namespace swala::cluster {
+namespace {
+
+// ---- primitive writers ----
+
+void put_u8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(b, 4);
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFF));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_double(std::string* out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::string* out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out->append(s);
+}
+
+// ---- primitive readers ----
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    const auto* p = reinterpret_cast<const unsigned char*>(data_.data() + pos_);
+    *v = static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t* v) {
+    std::uint32_t lo = 0, hi = 0;
+    if (!u32(&lo) || !u32(&hi)) return false;
+    *v = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+  }
+
+  bool f64(double* v) {
+    std::uint64_t bits = 0;
+    if (!u64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool str(std::string* v) {
+    std::uint32_t len = 0;
+    if (!u32(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    v->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void put_meta(std::string* out, const core::EntryMeta& meta) {
+  put_string(out, meta.key);
+  put_u32(out, meta.owner);
+  put_u64(out, meta.size_bytes);
+  put_double(out, meta.cost_seconds);
+  put_u64(out, static_cast<std::uint64_t>(meta.insert_time));
+  put_u64(out, static_cast<std::uint64_t>(meta.expire_time));
+  put_u64(out, static_cast<std::uint64_t>(meta.last_access));
+  put_u64(out, meta.access_count);
+  put_string(out, meta.content_type);
+  put_u32(out, static_cast<std::uint32_t>(meta.http_status));
+  put_u64(out, meta.version);
+}
+
+bool read_meta(Reader* r, core::EntryMeta* meta) {
+  std::uint64_t tmp = 0;
+  std::uint32_t status = 0;
+  if (!r->str(&meta->key)) return false;
+  if (!r->u32(&meta->owner)) return false;
+  if (!r->u64(&meta->size_bytes)) return false;
+  if (!r->f64(&meta->cost_seconds)) return false;
+  if (!r->u64(&tmp)) return false;
+  meta->insert_time = static_cast<TimeNs>(tmp);
+  if (!r->u64(&tmp)) return false;
+  meta->expire_time = static_cast<TimeNs>(tmp);
+  if (!r->u64(&tmp)) return false;
+  meta->last_access = static_cast<TimeNs>(tmp);
+  if (!r->u64(&meta->access_count)) return false;
+  if (!r->str(&meta->content_type)) return false;
+  if (!r->u32(&status)) return false;
+  meta->http_status = static_cast<int>(status);
+  if (!r->u64(&meta->version)) return false;
+  return true;
+}
+
+}  // namespace
+
+Message Message::hello(core::NodeId sender) {
+  Message m;
+  m.type = MsgType::kHello;
+  m.sender = sender;
+  return m;
+}
+
+Message Message::insert(core::NodeId sender, const core::EntryMeta& meta) {
+  Message m;
+  m.type = MsgType::kInsert;
+  m.sender = sender;
+  m.meta = meta;
+  return m;
+}
+
+Message Message::erase(core::NodeId sender, std::string key,
+                       std::uint64_t version) {
+  Message m;
+  m.type = MsgType::kErase;
+  m.sender = sender;
+  m.key = std::move(key);
+  m.version = version;
+  return m;
+}
+
+Message Message::fetch_req(core::NodeId sender, std::string key) {
+  Message m;
+  m.type = MsgType::kFetchReq;
+  m.sender = sender;
+  m.key = std::move(key);
+  return m;
+}
+
+Message Message::fetch_resp_found(core::NodeId sender,
+                                  const core::EntryMeta& meta,
+                                  std::string data) {
+  Message m;
+  m.type = MsgType::kFetchResp;
+  m.sender = sender;
+  m.found = true;
+  m.meta = meta;
+  m.data = std::move(data);
+  return m;
+}
+
+Message Message::fetch_resp_miss(core::NodeId sender) {
+  Message m;
+  m.type = MsgType::kFetchResp;
+  m.sender = sender;
+  m.found = false;
+  return m;
+}
+
+Message Message::invalidate(core::NodeId sender, std::string pattern) {
+  Message m;
+  m.type = MsgType::kInvalidate;
+  m.sender = sender;
+  m.key = std::move(pattern);
+  return m;
+}
+
+std::string encode_message(const Message& msg) {
+  std::string payload;
+  put_u8(&payload, static_cast<std::uint8_t>(msg.type));
+  put_u32(&payload, msg.sender);
+  switch (msg.type) {
+    case MsgType::kHello:
+      break;
+    case MsgType::kInsert:
+      put_meta(&payload, msg.meta);
+      break;
+    case MsgType::kErase:
+      put_string(&payload, msg.key);
+      put_u64(&payload, msg.version);
+      break;
+    case MsgType::kFetchReq:
+    case MsgType::kInvalidate:
+      put_string(&payload, msg.key);
+      break;
+    case MsgType::kFetchResp:
+      put_u8(&payload, msg.found ? 1 : 0);
+      if (msg.found) {
+        put_meta(&payload, msg.meta);
+        put_string(&payload, msg.data);
+      }
+      break;
+  }
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  put_u32(&frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+Result<Message> decode_message(std::string_view payload) {
+  Reader r(payload);
+  std::uint8_t type = 0;
+  Message msg;
+  if (!r.u8(&type) || !r.u32(&msg.sender)) {
+    return Status(StatusCode::kInvalidArgument, "truncated message header");
+  }
+  msg.type = static_cast<MsgType>(type);
+  bool ok = true;
+  switch (msg.type) {
+    case MsgType::kHello:
+      break;
+    case MsgType::kInsert:
+      ok = read_meta(&r, &msg.meta);
+      break;
+    case MsgType::kErase:
+      ok = r.str(&msg.key) && r.u64(&msg.version);
+      break;
+    case MsgType::kFetchReq:
+    case MsgType::kInvalidate:
+      ok = r.str(&msg.key);
+      break;
+    case MsgType::kFetchResp: {
+      std::uint8_t found = 0;
+      ok = r.u8(&found);
+      msg.found = found != 0;
+      if (ok && msg.found) ok = read_meta(&r, &msg.meta) && r.str(&msg.data);
+      break;
+    }
+    default:
+      return Status(StatusCode::kInvalidArgument,
+                    "unknown message type " + std::to_string(type));
+  }
+  if (!ok || !r.done()) {
+    return Status(StatusCode::kInvalidArgument, "malformed message payload");
+  }
+  return msg;
+}
+
+}  // namespace swala::cluster

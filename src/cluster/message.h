@@ -1,0 +1,60 @@
+// Inter-node wire protocol. Two channels per node, as in the paper (§4.1):
+//   * info channel — peers stream INSERT/ERASE directory updates
+//     (asynchronous broadcast, weak consistency)
+//   * data channel — request/response FETCH of cached content
+//
+// Framing: u32 little-endian payload length, then the payload:
+//   u8 type | u32 sender | type-specific fields
+// Strings are u32 length + bytes. All integers little-endian.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/entry.h"
+
+namespace swala::cluster {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,       ///< first message on an info connection: sender id
+  kInsert = 2,      ///< directory update: sender cached an entry
+  kErase = 3,       ///< directory update: sender dropped an entry
+  kFetchReq = 4,    ///< data request: give me this entry
+  kFetchResp = 5,   ///< data response
+  kInvalidate = 6,  ///< application-driven invalidation of a key glob
+};
+
+/// A decoded protocol message (tagged union kept flat for simplicity).
+struct Message {
+  MsgType type = MsgType::kHello;
+  core::NodeId sender = core::kInvalidNode;
+
+  core::EntryMeta meta;   // kInsert (full), kFetchResp (subset)
+  std::string key;        // kErase, kFetchReq; the glob for kInvalidate
+  std::uint64_t version = 0;  // kErase
+  bool found = false;     // kFetchResp
+  std::string data;       // kFetchResp body
+
+  static Message hello(core::NodeId sender);
+  static Message insert(core::NodeId sender, const core::EntryMeta& meta);
+  static Message erase(core::NodeId sender, std::string key,
+                       std::uint64_t version);
+  static Message fetch_req(core::NodeId sender, std::string key);
+  static Message fetch_resp_found(core::NodeId sender,
+                                  const core::EntryMeta& meta,
+                                  std::string data);
+  static Message fetch_resp_miss(core::NodeId sender);
+  static Message invalidate(core::NodeId sender, std::string pattern);
+};
+
+/// Maximum accepted frame (defends the daemons against garbage).
+constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/// Serializes a message into its framed wire form.
+std::string encode_message(const Message& msg);
+
+/// Decodes one frame payload (excluding the length prefix).
+Result<Message> decode_message(std::string_view payload);
+
+}  // namespace swala::cluster

@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace swala {
+
+TimeNs RealClock::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RealClock* RealClock::instance() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace swala

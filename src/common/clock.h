@@ -1,0 +1,60 @@
+// Time abstraction shared by the real server and the discrete-event
+// simulator. All Swala components that need "now" take a `Clock*`, so the
+// same cache/directory code runs against wall-clock time in the server and
+// against virtual time in the simulator and in unit tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace swala {
+
+/// Nanoseconds since an arbitrary epoch (steady, monotone).
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNanosPerSecond = 1'000'000'000;
+
+constexpr double to_seconds(TimeNs t) {
+  return static_cast<double>(t) / kNanosPerSecond;
+}
+
+constexpr TimeNs from_seconds(double s) {
+  return static_cast<TimeNs>(s * kNanosPerSecond);
+}
+
+constexpr TimeNs from_millis(double ms) {
+  return static_cast<TimeNs>(ms * 1e6);
+}
+
+/// Monotone time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time; must never decrease between calls.
+  virtual TimeNs now() const = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  TimeNs now() const override;
+
+  /// Shared process-wide instance.
+  static RealClock* instance();
+};
+
+/// Manually advanced clock for tests and the simulator.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeNs start = 0) : now_(start) {}
+
+  TimeNs now() const override { return now_.load(std::memory_order_relaxed); }
+
+  void advance(TimeNs delta) { now_.fetch_add(delta, std::memory_order_relaxed); }
+  void set(TimeNs t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<TimeNs> now_;
+};
+
+}  // namespace swala

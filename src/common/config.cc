@@ -1,0 +1,152 @@
+#include "common/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace swala {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  std::string current_section;
+  cfg.section_order_.push_back("");
+  cfg.sections_[""];
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    line = trim(line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return Status(StatusCode::kInvalidArgument,
+                      "config line " + std::to_string(line_no) +
+                          ": malformed section header");
+      }
+      current_section = std::string(trim(line.substr(1, line.size() - 2)));
+      if (cfg.sections_.find(current_section) == cfg.sections_.end()) {
+        cfg.section_order_.push_back(current_section);
+      }
+      cfg.sections_[current_section];
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status(StatusCode::kInvalidArgument,
+                    "config line " + std::to_string(line_no) +
+                        ": expected key = value");
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    const std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "config line " + std::to_string(line_no) + ": empty key");
+    }
+    cfg.sections_[current_section].push_back({key, value});
+  }
+  return cfg;
+}
+
+Result<Config> Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(StatusCode::kNotFound, "cannot open config file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+const std::string* Config::find_last(std::string_view section,
+                                     std::string_view key) const {
+  const auto it = sections_.find(section);
+  if (it == sections_.end()) return nullptr;
+  const std::string* found = nullptr;
+  for (const auto& entry : it->second) {
+    if (entry.key == key) found = &entry.value;
+  }
+  return found;
+}
+
+std::string Config::get_string(std::string_view section, std::string_view key,
+                               std::string_view fallback) const {
+  const std::string* v = find_last(section, key);
+  return v ? *v : std::string(fallback);
+}
+
+std::int64_t Config::get_int(std::string_view section, std::string_view key,
+                             std::int64_t fallback) const {
+  const std::string* v = find_last(section, key);
+  if (!v) return fallback;
+  std::uint64_t out = 0;
+  std::string_view s = trim(*v);
+  bool neg = false;
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+    neg = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  if (!parse_u64(s, &out)) return fallback;
+  const auto magnitude = static_cast<std::int64_t>(out);
+  return neg ? -magnitude : magnitude;
+}
+
+double Config::get_double(std::string_view section, std::string_view key,
+                          double fallback) const {
+  const std::string* v = find_last(section, key);
+  if (!v) return fallback;
+  double out = 0.0;
+  return parse_double(*v, &out) ? out : fallback;
+}
+
+bool Config::get_bool(std::string_view section, std::string_view key,
+                      bool fallback) const {
+  const std::string* v = find_last(section, key);
+  if (!v) return fallback;
+  const std::string lower = to_lower(trim(*v));
+  if (lower == "true" || lower == "yes" || lower == "on" || lower == "1") return true;
+  if (lower == "false" || lower == "no" || lower == "off" || lower == "0") return false;
+  return fallback;
+}
+
+std::vector<std::string> Config::get_all(std::string_view section,
+                                         std::string_view key) const {
+  std::vector<std::string> out;
+  const auto it = sections_.find(section);
+  if (it == sections_.end()) return out;
+  for (const auto& entry : it->second) {
+    if (entry.key == key) out.push_back(entry.value);
+  }
+  return out;
+}
+
+bool Config::has(std::string_view section, std::string_view key) const {
+  return find_last(section, key) != nullptr;
+}
+
+std::vector<std::pair<std::string, std::string>> Config::entries(
+    std::string_view section) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  const auto it = sections_.find(section);
+  if (it == sections_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& entry : it->second) out.emplace_back(entry.key, entry.value);
+  return out;
+}
+
+void Config::set(std::string_view section, std::string_view key,
+                 std::string_view value) {
+  const std::string sec(section);
+  if (sections_.find(sec) == sections_.end()) section_order_.push_back(sec);
+  sections_[sec].push_back({std::string(key), std::string(value)});
+}
+
+}  // namespace swala

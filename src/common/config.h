@@ -1,0 +1,66 @@
+// INI-style configuration parser used for swala.conf. Supports sections,
+// `key = value` pairs, `#`/`;` comments, and repeated keys (later wins for
+// scalar getters; `get_all` exposes every occurrence for rule lists).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace swala {
+
+/// Parsed configuration: an ordered multimap of (section, key) -> values.
+class Config {
+ public:
+  /// Parses configuration text. Lines: `[section]`, `key = value`, comments.
+  static Result<Config> parse(std::string_view text);
+
+  /// Loads and parses a file.
+  static Result<Config> load(const std::string& path);
+
+  /// Scalar getters; `section` may be "" for the top-level section.
+  /// Repeated keys resolve to the last occurrence.
+  std::string get_string(std::string_view section, std::string_view key,
+                         std::string_view fallback = "") const;
+  std::int64_t get_int(std::string_view section, std::string_view key,
+                       std::int64_t fallback = 0) const;
+  double get_double(std::string_view section, std::string_view key,
+                    double fallback = 0.0) const;
+  bool get_bool(std::string_view section, std::string_view key,
+                bool fallback = false) const;
+
+  /// All values for a repeated key, in file order.
+  std::vector<std::string> get_all(std::string_view section,
+                                   std::string_view key) const;
+
+  bool has(std::string_view section, std::string_view key) const;
+
+  /// All section names, in first-appearance order.
+  std::vector<std::string> sections() const { return section_order_; }
+
+  /// All (key, value) pairs in a section, in file order.
+  std::vector<std::pair<std::string, std::string>> entries(
+      std::string_view section) const;
+
+  /// Programmatic setter (appends an occurrence), used by tests and builders.
+  void set(std::string_view section, std::string_view key,
+           std::string_view value);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  // section name -> ordered entries
+  std::map<std::string, std::vector<Entry>, std::less<>> sections_;
+  std::vector<std::string> section_order_;
+
+  const std::string* find_last(std::string_view section,
+                               std::string_view key) const;
+};
+
+}  // namespace swala

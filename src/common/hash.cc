@@ -1,0 +1,24 @@
+#include "common/hash.h"
+
+namespace swala {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  return fnv1a64_continue(kFnvOffsetBasis, data);
+}
+
+std::uint64_t fnv1a64_continue(std::uint64_t state, std::string_view data) {
+  for (unsigned char c : data) {
+    state ^= c;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace swala

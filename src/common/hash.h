@@ -1,0 +1,22 @@
+// Small non-cryptographic hashing helpers (FNV-1a) used for cache keys and
+// deterministic request fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace swala {
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// 64-bit FNV-1a over a byte string.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Continue an FNV-1a hash (for hashing several fields into one digest).
+std::uint64_t fnv1a64_continue(std::uint64_t state, std::string_view data);
+
+/// Cheap 64-bit integer mix (splitmix64 finalizer); good avalanche.
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace swala

@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace swala {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << log_level_name(level) << " " << base << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace detail
+}  // namespace swala

@@ -1,0 +1,53 @@
+// Minimal thread-safe leveled logger.
+//
+//   SWALA_LOG(Info) << "node " << id << " joined";
+//
+// The global level defaults to Warn so tests and benches stay quiet; servers
+// raise it from configuration.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace swala {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* log_level_name(LogLevel level);
+
+/// Process-wide minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+/// One log statement: accumulates a line, emits it to stderr on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+bool log_enabled(LogLevel level);
+
+}  // namespace detail
+}  // namespace swala
+
+#define SWALA_LOG(severity)                                            \
+  if (!::swala::detail::log_enabled(::swala::LogLevel::k##severity)) { \
+  } else                                                               \
+    ::swala::detail::LogLine(::swala::LogLevel::k##severity, __FILE__, __LINE__)

@@ -1,0 +1,81 @@
+// Deterministic random number generation and the distributions the workload
+// generators need: uniform, exponential, lognormal, bounded Pareto and Zipf.
+//
+// All randomness in Swala flows through `Rng` seeded explicitly, so every
+// experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace swala {
+
+/// xoshiro256** PRNG. Small, fast, and identical across platforms (unlike
+/// std::mt19937_64 + std::*_distribution, whose outputs are unspecified).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Lognormal with parameters of the underlying normal (mu, sigma).
+  double lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha.
+  double bounded_pareto(double alpha, double lo, double hi);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf distribution over ranks {1..n} with exponent `theta` (theta >= 0;
+/// theta = 0 is uniform). Uses a precomputed CDF with binary search: exact,
+/// O(n) memory, O(log n) sampling — fine for the ≤10^6 populations we use.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double theta);
+
+  /// Rank in [1, n]; rank 1 is the most popular.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double theta_;
+  double norm_;
+};
+
+}  // namespace swala

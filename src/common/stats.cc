@@ -1,0 +1,147 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace swala {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+// Geometric buckets: bucket i covers [kMinValue * r^i, kMinValue * r^(i+1)).
+constexpr double kMinValue = 1e-9;
+constexpr double kMaxValue = 1e3;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() = default;
+
+int LatencyHistogram::bucket_for(double seconds) {
+  if (seconds <= kMinValue) return 0;
+  if (seconds >= kMaxValue) return kBuckets - 1;
+  // log-uniform mapping of [kMinValue, kMaxValue] onto [0, kBuckets).
+  const double frac =
+      std::log(seconds / kMinValue) / std::log(kMaxValue / kMinValue);
+  int idx = static_cast<int>(frac * (kBuckets - 1));
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_lower(int index) {
+  const double frac = static_cast<double>(index) / (kBuckets - 1);
+  return kMinValue * std::pow(kMaxValue / kMinValue, frac);
+}
+
+void LatencyHistogram::add(double seconds) {
+  seconds = std::max(seconds, 0.0);
+  ++buckets_[static_cast<std::size_t>(bucket_for(seconds))];
+  ++total_;
+  stats_.add(seconds);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  stats_.merge(other.stats_);
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      // Midpoint of the bucket in log space.
+      return std::sqrt(bucket_lower(i) * bucket_lower(std::min(i + 1, kBuckets - 1)));
+    }
+  }
+  return stats_.max();
+}
+
+std::string LatencyHistogram::summary() const {
+  std::ostringstream out;
+  out << "n=" << total_ << " mean=" << fmt_double(mean(), 6)
+      << " p50=" << fmt_double(percentile(50), 6)
+      << " p95=" << fmt_double(percentile(95), 6)
+      << " p99=" << fmt_double(percentile(99), 6)
+      << " max=" << fmt_double(max(), 6);
+  return out.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace swala

@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+namespace swala {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kClosed: return "closed";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kPermissionDenied: return "permission_denied";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace swala

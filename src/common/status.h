@@ -1,0 +1,82 @@
+// Lightweight error-handling primitives used across all Swala libraries.
+//
+// Most fallible operations return `Result<T>` (a value or a `Status`).
+// `Status` itself is returned by operations with no interesting value.
+// Exceptions are reserved for programming errors and constructor failures.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace swala {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kTimeout,
+  kIoError,
+  kClosed,
+  kUnavailable,
+  kInternal,
+  kPermissionDenied,
+  kResourceExhausted,
+};
+
+/// Human-readable name of a `StatusCode` ("ok", "not_found", ...).
+const char* status_code_name(StatusCode code);
+
+/// Outcome of an operation: a code plus an optional diagnostic message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "code: message" rendering for logs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value of type `T` or a `Status` explaining why it is absent.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}               // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {}        // NOLINT(google-explicit-constructor)
+  Result(StatusCode code, std::string message)
+      : state_(Status(code, std::move(message))) {}
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Precondition: `is_ok()`.
+  T& value() & { return std::get<T>(state_); }
+  const T& value() const& { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  /// Precondition: `!is_ok()`.
+  [[nodiscard]] const Status& status() const { return std::get<Status>(state_); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace swala

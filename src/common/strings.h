@@ -1,0 +1,44 @@
+// String helpers shared across the codebase: trimming, splitting,
+// case-insensitive comparison, and the shell-style glob matcher used by the
+// cacheability rule engine.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swala {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits and trims each field, dropping empties ("a, b ,,c" -> {a,b,c}).
+std::vector<std::string> split_trimmed(std::string_view s, char delim);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Shell-style glob with `*` (any run, including '/') and `?` (single char).
+/// Iterative two-pointer algorithm: O(len(text) * len(pattern)) worst case,
+/// no recursion.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Parses a non-negative integer; returns false on any malformed input.
+bool parse_u64(std::string_view s, std::uint64_t* out);
+
+/// Parses a double; returns false on malformed input.
+bool parse_double(std::string_view s, double* out);
+
+/// Renders bytes with binary units ("1.5 KiB") for reports.
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace swala

@@ -1,0 +1,32 @@
+#include "common/thread_pool.h"
+
+namespace swala {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : queue_(queue_capacity) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  return queue_.push(std::move(task));
+}
+
+void ThreadPool::shutdown() {
+  queue_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace swala

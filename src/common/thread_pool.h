@@ -1,0 +1,52 @@
+// Fixed-size worker pool. The Swala request threads, the WebStone client
+// drivers and the cluster daemons all run on explicit pools so thread counts
+// are controlled by configuration, never ad hoc.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace swala {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers immediately.
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 4096);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; blocks if the queue is full. Returns false after
+  /// shutdown has begun.
+  bool submit(std::function<void()> task);
+
+  /// Enqueues a task and exposes its completion/result as a future.
+  template <typename F>
+  auto submit_with_result(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Stops accepting work, drains the queue, joins workers. Idempotent.
+  void shutdown();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace swala

@@ -1,0 +1,207 @@
+#include "core/manager.h"
+
+#include "common/logging.h"
+
+namespace swala::core {
+
+CacheManager::CacheManager(NodeId self, std::size_t num_nodes,
+                           ManagerOptions options, const Clock* clock,
+                           CooperationBus* bus, LockingMode locking)
+    : self_(self), options_(std::move(options)), clock_(clock), bus_(bus) {
+  std::unique_ptr<StorageBackend> backend;
+  if (options_.disk_dir.empty()) {
+    backend = std::make_unique<MemoryBackend>();
+  } else {
+    backend = std::make_unique<DiskBackend>(options_.disk_dir);
+  }
+  store_ = std::make_unique<CacheStore>(options_.limits, options_.policy,
+                                        std::move(backend), clock_, self_);
+  directory_ = std::make_unique<CacheDirectory>(self_, num_nodes, locking);
+  directory_->set_clock(clock_);
+}
+
+CacheKey CacheManager::key_for(http::Method method, const http::Uri& uri) {
+  return CacheKey::make(http::method_name(method), uri.canonical());
+}
+
+LookupResult CacheManager::lookup(http::Method method, const http::Uri& uri) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  LookupResult out;
+  out.rule = options_.rules.classify(uri.path);
+  if (!out.rule.cacheable) {
+    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+    out.outcome = LookupOutcome::kUncacheable;
+    return out;
+  }
+
+  const CacheKey key = key_for(method, uri);
+  const auto dir_hit = directory_->lookup(key.text);
+  if (!dir_hit) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    out.outcome = LookupOutcome::kMissMustExecute;
+    return out;
+  }
+
+  if (dir_hit->owner == self_) {
+    auto local = store_->fetch(key.text);
+    if (local) {
+      directory_->apply_touch(self_, key.text, local->meta.last_access);
+      local_hits_.fetch_add(1, std::memory_order_relaxed);
+      out.outcome = LookupOutcome::kHit;
+      out.result = std::move(*local);
+      out.owner = self_;
+      return out;
+    }
+    // Directory said we own it but the store disagrees (expired between the
+    // two checks, or data file lost). Clean up and execute.
+    directory_->apply_erase(self_, key.text);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    out.outcome = LookupOutcome::kMissMustExecute;
+    return out;
+  }
+
+  // Remote hit: fetch from the owner's cache.
+  if (bus_ != nullptr) {
+    auto remote = bus_->fetch_remote(dir_hit->owner, key.text);
+    if (remote) {
+      remote_hits_.fetch_add(1, std::memory_order_relaxed);
+      out.outcome = LookupOutcome::kHit;
+      out.result = std::move(remote.value());
+      out.remote = true;
+      out.owner = dir_hit->owner;
+      return out;
+    }
+    if (remote.status().code() == StatusCode::kNotFound) {
+      // False hit (§4.2): the entry was deleted at the owner before the
+      // erase broadcast reached us. Execute locally, per Figure 2.
+      false_hits_.fetch_add(1, std::memory_order_relaxed);
+      directory_->apply_erase(dir_hit->owner, key.text);
+    } else {
+      SWALA_LOG(Warn) << "remote fetch from node " << dir_hit->owner
+                      << " failed: " << remote.status().to_string();
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  out.outcome = LookupOutcome::kMissMustExecute;
+  return out;
+}
+
+void CacheManager::complete(http::Method method, const http::Uri& uri,
+                            const RuleDecision& rule,
+                            const cgi::CgiOutput& output,
+                            double exec_seconds) {
+  if (!rule.cacheable) return;
+  if (!output.success || output.http_status >= 400) {
+    failed_exec_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (exec_seconds < rule.min_exec_seconds) {
+    below_threshold_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const CacheKey key = key_for(method, uri);
+  std::vector<EntryMeta> evicted;
+  auto inserted =
+      store_->insert(key, output.body, exec_seconds, rule.ttl_seconds,
+                     output.content_type, output.http_status, &evicted);
+
+  for (const auto& victim : evicted) {
+    directory_->apply_erase(self_, victim.key, victim.version);
+    if (bus_ != nullptr) {
+      bus_->broadcast_erase(self_, victim.key, victim.version);
+      evictions_broadcast_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (!inserted) {
+    SWALA_LOG(Debug) << "insert rejected: " << inserted.status().to_string();
+    return;
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  directory_->apply_insert(inserted.value());
+  if (bus_ != nullptr) bus_->broadcast_insert(inserted.value());
+}
+
+void CacheManager::on_peer_insert(const EntryMeta& meta) {
+  if (meta.owner == self_) return;  // our own broadcast echoed back
+  // False-miss evidence (§4.2): if we also cached this key locally, both
+  // nodes executed the same request — one execution was avoidable.
+  if (store_->contains(meta.key)) {
+    false_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  directory_->apply_insert(meta);
+}
+
+void CacheManager::on_peer_erase(NodeId owner, const std::string& key,
+                                 std::uint64_t version) {
+  if (owner == self_) return;
+  directory_->apply_erase(owner, key, version);
+}
+
+Result<CachedResult> CacheManager::serve_peer_fetch(const std::string& key) {
+  auto local = store_->fetch(key);
+  if (!local) {
+    return Status(StatusCode::kNotFound, "not cached here: " + key);
+  }
+  directory_->apply_touch(self_, key, local->meta.last_access);
+  return std::move(*local);
+}
+
+std::size_t CacheManager::purge_expired() {
+  const auto purged = store_->purge_expired();
+  for (const auto& meta : purged) {
+    directory_->apply_erase(self_, meta.key, meta.version);
+    if (bus_ != nullptr) bus_->broadcast_erase(self_, meta.key, meta.version);
+  }
+  return purged.size();
+}
+
+std::size_t CacheManager::invalidate(const std::string& pattern) {
+  const std::size_t removed = on_peer_invalidate(pattern);
+  if (bus_ != nullptr) bus_->broadcast_invalidate(pattern);
+  return removed;
+}
+
+std::size_t CacheManager::on_peer_invalidate(const std::string& pattern) {
+  const auto dropped = store_->erase_matching(pattern);
+  directory_->erase_matching(pattern);
+  invalidations_.fetch_add(dropped.size(), std::memory_order_relaxed);
+  return dropped.size();
+}
+
+Status CacheManager::save_state(const std::string& manifest_path) {
+  return store_->save_manifest(manifest_path);
+}
+
+Result<std::size_t> CacheManager::restore_state(
+    const std::string& manifest_path) {
+  auto restored = store_->load_manifest(manifest_path);
+  if (!restored) return restored.status();
+  for (const auto& key : store_->keys()) {
+    const auto meta = store_->peek(key);
+    if (!meta) continue;
+    directory_->apply_insert(*meta);
+    if (bus_ != nullptr) bus_->broadcast_insert(*meta);
+  }
+  return restored;
+}
+
+ManagerStats CacheManager::stats() const {
+  ManagerStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  s.local_hits = local_hits_.load(std::memory_order_relaxed);
+  s.remote_hits = remote_hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.below_threshold = below_threshold_.load(std::memory_order_relaxed);
+  s.failed_exec = failed_exec_.load(std::memory_order_relaxed);
+  s.false_hits = false_hits_.load(std::memory_order_relaxed);
+  s.false_misses = false_misses_.load(std::memory_order_relaxed);
+  s.evictions_broadcast = evictions_broadcast_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace swala::core

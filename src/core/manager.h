@@ -1,0 +1,173 @@
+// CacheManager: the paper's "cacher module" (§4.1, Figure 2). Request
+// threads ask it to classify a request as uncacheable / cacheable-but-not-
+// cached / cached, fetch hits (local or remote, with false-hit fallback),
+// and insert results after successful, long-enough CGI executions.
+//
+// Cooperation with the rest of the group goes through the `CooperationBus`
+// interface; the real TCP implementation lives in src/cluster, an in-memory
+// one in src/sim and the tests. A null bus produces a stand-alone cache.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "cgi/handler.h"
+#include "common/clock.h"
+#include "core/directory.h"
+#include "core/rules.h"
+#include "core/store.h"
+
+namespace swala::core {
+
+/// How the manager talks to the other nodes in the group.
+class CooperationBus {
+ public:
+  virtual ~CooperationBus() = default;
+
+  /// Announces a new/updated local entry to all peers (asynchronous).
+  virtual void broadcast_insert(const EntryMeta& meta) = 0;
+
+  /// Announces a local deletion to all peers (asynchronous).
+  virtual void broadcast_erase(NodeId owner, const std::string& key,
+                               std::uint64_t version) = 0;
+
+  /// Fetches a cached result from `owner`'s cache (synchronous).
+  /// kNotFound signals a false hit: the entry is gone at the owner.
+  virtual Result<CachedResult> fetch_remote(NodeId owner,
+                                            const std::string& key) = 0;
+
+  /// Announces a cluster-wide invalidation of every key matching a
+  /// shell-style glob (application-driven invalidation, §4.2 future work).
+  /// Default: no-op, so single-purpose buses (tests, simulator) need not
+  /// care unless they exercise invalidation.
+  virtual void broadcast_invalidate(const std::string& pattern) {
+    (void)pattern;
+  }
+};
+
+/// Classification of one incoming request.
+enum class LookupOutcome {
+  kUncacheable,      ///< execute, never cache
+  kMissMustExecute,  ///< cacheable; execute and call `complete`
+  kHit,              ///< served from cache; `result` is valid
+};
+
+struct LookupResult {
+  LookupOutcome outcome = LookupOutcome::kUncacheable;
+  RuleDecision rule;
+  CachedResult result;   ///< valid when outcome == kHit
+  bool remote = false;   ///< hit was fetched from a peer
+  NodeId owner = kInvalidNode;
+};
+
+/// Counters for the experiments (all monotonic).
+struct ManagerStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t uncacheable = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t remote_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t below_threshold = 0;  ///< executed but too fast to cache
+  std::uint64_t failed_exec = 0;      ///< CGI failed; result discarded
+  std::uint64_t false_hits = 0;       ///< remote fetch found entry deleted
+  std::uint64_t false_misses = 0;     ///< duplicate caching detected
+  std::uint64_t evictions_broadcast = 0;
+  std::uint64_t invalidations = 0;    ///< entries dropped by invalidate()
+
+  std::uint64_t hits() const { return local_hits + remote_hits; }
+};
+
+/// Configuration for one node's cache manager.
+struct ManagerOptions {
+  StoreLimits limits;
+  PolicyKind policy = PolicyKind::kLru;
+  CacheabilityRules rules;
+  /// Storage directory for the disk backend; empty selects MemoryBackend.
+  std::string disk_dir;
+};
+
+class CacheManager {
+ public:
+  CacheManager(NodeId self, std::size_t num_nodes, ManagerOptions options,
+               const Clock* clock, CooperationBus* bus = nullptr,
+               LockingMode locking = LockingMode::kPerTable);
+
+  // ---- Request-thread API (Figure 2) ----
+
+  /// Classifies and, on a hit, fetches. A false hit (remote copy vanished)
+  /// comes back as kMissMustExecute after cleaning the directory.
+  LookupResult lookup(http::Method method, const http::Uri& uri);
+
+  /// Reports a finished CGI execution so the result can be cached and
+  /// broadcast. `rule` must be the decision `lookup` returned.
+  void complete(http::Method method, const http::Uri& uri,
+                const RuleDecision& rule, const cgi::CgiOutput& output,
+                double exec_seconds);
+
+  // ---- Cluster-facing API (info/data daemon threads) ----
+
+  /// Peer announced an insert.
+  void on_peer_insert(const EntryMeta& meta);
+
+  /// Peer announced a deletion.
+  void on_peer_erase(NodeId owner, const std::string& key,
+                     std::uint64_t version);
+
+  /// Serves a peer's data request from the local store.
+  Result<CachedResult> serve_peer_fetch(const std::string& key);
+
+  /// Purge daemon tick: drop expired local entries, broadcast the erases.
+  /// Returns how many entries were purged.
+  std::size_t purge_expired();
+
+  // ---- Invalidation (§4.2 future work, IBM-style [12]) ----
+
+  /// Cluster-wide invalidation: removes every entry whose key matches the
+  /// shell-style glob — from the local store, from every directory table,
+  /// and (via broadcast) from all peers. Patterns match the full cache key
+  /// ("GET /cgi-bin/report?q=1"). Returns local removals.
+  std::size_t invalidate(const std::string& pattern);
+
+  /// Applies a peer's invalidation broadcast (no re-broadcast).
+  std::size_t on_peer_invalidate(const std::string& pattern);
+
+  // ---- Warm restart (disk-backed caches) ----
+
+  /// Saves the local store's manifest and marks the data files for
+  /// retention, so the next process can `restore_state`.
+  Status save_state(const std::string& manifest_path);
+
+  /// Restores the local store from a manifest, repopulates the local
+  /// directory table, and (if clustered) broadcasts the restored entries so
+  /// peers relearn them. Returns how many entries came back.
+  Result<std::size_t> restore_state(const std::string& manifest_path);
+
+  // ---- Introspection ----
+
+  ManagerStats stats() const;
+  const CacheStore& store() const { return *store_; }
+  const CacheDirectory& directory() const { return *directory_; }
+  const CacheabilityRules& rules() const { return options_.rules; }
+  NodeId self() const { return self_; }
+
+  /// Key for a request, exposed for tests and the simulator.
+  static CacheKey key_for(http::Method method, const http::Uri& uri);
+
+ private:
+  NodeId self_;
+  ManagerOptions options_;
+  const Clock* clock_;
+  CooperationBus* bus_;
+
+  std::unique_ptr<CacheStore> store_;
+  std::unique_ptr<CacheDirectory> directory_;
+
+  std::atomic<std::uint64_t> lookups_{0}, uncacheable_{0}, local_hits_{0},
+      remote_hits_{0}, misses_{0}, inserts_{0}, below_threshold_{0},
+      failed_exec_{0}, false_hits_{0}, false_misses_{0},
+      evictions_broadcast_{0}, invalidations_{0};
+};
+
+}  // namespace swala::core

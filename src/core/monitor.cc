@@ -1,0 +1,53 @@
+#include "core/monitor.h"
+
+#include <sys/stat.h>
+
+namespace swala::core {
+
+DependencyMonitor::FileState DependencyMonitor::stat_file(
+    const std::string& path) {
+  struct stat st{};
+  FileState state;
+  if (::stat(path.c_str(), &st) == 0) {
+    state.exists = true;
+    state.mtime = st.st_mtime;
+    state.size = static_cast<std::uint64_t>(st.st_size);
+  }
+  return state;
+}
+
+void DependencyMonitor::watch(std::string file_path, std::string key_pattern) {
+  Watch watch;
+  watch.last = stat_file(file_path);
+  watch.path = std::move(file_path);
+  watch.pattern = std::move(key_pattern);
+  std::lock_guard<std::mutex> lock(mutex_);
+  watches_.push_back(std::move(watch));
+}
+
+std::size_t DependencyMonitor::poll() {
+  // Collect changed patterns under the lock, invalidate outside it (the
+  // invalidation broadcasts and may take a while).
+  std::vector<std::string> changed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& watch : watches_) {
+      const FileState now = stat_file(watch.path);
+      if (now == watch.last) continue;
+      watch.last = now;
+      changed.push_back(watch.pattern);
+    }
+  }
+  std::size_t dropped = 0;
+  for (const auto& pattern : changed) {
+    dropped += manager_->invalidate(pattern);
+  }
+  return dropped;
+}
+
+std::size_t DependencyMonitor::watch_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watches_.size();
+}
+
+}  // namespace swala::core

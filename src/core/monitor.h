@@ -1,0 +1,62 @@
+// Source-file dependency monitoring (§4.2 / related work [16]).
+//
+// The paper cites Vahdat & Anderson's Transparent Result Caching — monitor
+// the inputs of the CGI programs whose output is cached and invalidate the
+// cached results when a source changes — as the other invalidation method a
+// future Swala would support. `DependencyMonitor` implements it: register
+// (file, key-pattern) dependencies; `poll()` stats the files and triggers a
+// cluster-wide invalidation for every pattern whose file changed. Run it
+// from the purge daemon's cadence or any housekeeping thread.
+#pragma once
+
+#include <ctime>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/manager.h"
+
+namespace swala::core {
+
+class DependencyMonitor {
+ public:
+  /// `manager` receives the invalidations (cluster-wide via its bus).
+  explicit DependencyMonitor(CacheManager* manager) : manager_(manager) {}
+
+  /// Declares that cached entries whose key matches `key_pattern` (a
+  /// shell-style glob over the full cache key) depend on `file_path`.
+  /// The file's current state is the baseline; a missing file is a valid
+  /// baseline (creation counts as a change).
+  void watch(std::string file_path, std::string key_pattern);
+
+  /// Re-stats every watched file. For each file whose mtime/size/existence
+  /// changed since the last poll, invalidates its key pattern. Returns the
+  /// number of cache entries dropped.
+  std::size_t poll();
+
+  std::size_t watch_count() const;
+
+ private:
+  struct FileState {
+    bool exists = false;
+    std::time_t mtime = 0;
+    std::uint64_t size = 0;
+
+    bool operator==(const FileState&) const = default;
+  };
+
+  struct Watch {
+    std::string path;
+    std::string pattern;
+    FileState last;
+  };
+
+  static FileState stat_file(const std::string& path);
+
+  CacheManager* manager_;
+  mutable std::mutex mutex_;
+  std::vector<Watch> watches_;
+};
+
+}  // namespace swala::core

@@ -1,0 +1,52 @@
+// Cache replacement policies. The paper (§3) refers to five replacement
+// methods implemented in Swala (detailed in UCSB TR TRCS97-30): we implement
+// the five classical candidates that match the attributes it lists —
+// "execution time, access frequency, time of access, size" — plus FIFO:
+//
+//   LRU   — time of access
+//   LFU   — access frequency
+//   FIFO  — insertion order
+//   SIZE  — evict largest first (favours many small results)
+//   GDS   — GreedyDual-Size with cost = CGI execution time (Cao & Irani [5],
+//           cited by the paper), the "more advanced" method §3 alludes to
+//
+// Policies only manage *ordering*; capacity enforcement lives in CacheStore.
+// Implementations are not thread-safe; CacheStore serializes access.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "core/entry.h"
+
+namespace swala::core {
+
+enum class PolicyKind { kLru, kLfu, kFifo, kSize, kGreedyDualSize };
+
+const char* policy_name(PolicyKind kind);
+
+/// Parses "lru", "lfu", "fifo", "size", "gds"/"greedy-dual-size".
+Result<PolicyKind> policy_from_name(std::string_view name);
+
+/// Eviction-ordering strategy. The store notifies the policy of every
+/// insert/access/erase; `victim()` names the entry to evict next.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual void on_insert(const EntryMeta& meta) = 0;
+  virtual void on_access(const EntryMeta& meta) = 0;
+  virtual void on_erase(const std::string& key) = 0;
+
+  /// Key of the entry this policy would evict now, or nullopt when empty.
+  virtual std::optional<std::string> victim() const = 0;
+
+  virtual PolicyKind kind() const = 0;
+  virtual std::size_t size() const = 0;
+};
+
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind);
+
+}  // namespace swala::core

@@ -1,0 +1,90 @@
+#include "core/rules.h"
+
+#include "common/strings.h"
+
+namespace swala::core {
+
+Result<CacheabilityRules::Rule> CacheabilityRules::parse_rule_line(
+    std::string_view line) {
+  const auto tokens = split_trimmed(line, ' ');
+  if (tokens.size() < 2) {
+    return Status(StatusCode::kInvalidArgument,
+                  "rule needs '<pattern> cache|nocache [...]': " +
+                      std::string(line));
+  }
+  Rule rule;
+  rule.pattern = tokens[0];
+  const std::string& verb = tokens[1];
+  if (verb == "cache") {
+    rule.decision.cacheable = true;
+  } else if (verb == "nocache") {
+    rule.decision.cacheable = false;
+  } else {
+    return Status(StatusCode::kInvalidArgument,
+                  "rule verb must be cache|nocache, got: " + verb);
+  }
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string& opt = tokens[i];
+    const std::size_t eq = opt.find('=');
+    if (eq == std::string::npos) {
+      return Status(StatusCode::kInvalidArgument, "malformed option: " + opt);
+    }
+    const std::string key = opt.substr(0, eq);
+    double value = 0.0;
+    if (!parse_double(opt.substr(eq + 1), &value) || value < 0) {
+      return Status(StatusCode::kInvalidArgument, "bad option value: " + opt);
+    }
+    if (key == "ttl") {
+      rule.decision.ttl_seconds = value;
+    } else if (key == "min_exec") {
+      rule.decision.min_exec_seconds = value;
+    } else {
+      return Status(StatusCode::kInvalidArgument, "unknown option: " + key);
+    }
+  }
+  return rule;
+}
+
+Result<CacheabilityRules> CacheabilityRules::from_config(const Config& config) {
+  CacheabilityRules rules;
+  for (const auto& line : config.get_all("cacheability", "rule")) {
+    auto rule = parse_rule_line(line);
+    if (!rule) return rule.status();
+    rules.rules_.push_back(std::move(rule.value()));
+  }
+  const std::string def = config.get_string("cacheability", "default", "nocache");
+  if (def == "cache") {
+    rules.default_.cacheable = true;
+  } else if (def == "nocache") {
+    rules.default_.cacheable = false;
+  } else {
+    return Status(StatusCode::kInvalidArgument,
+                  "cacheability default must be cache|nocache");
+  }
+  return rules;
+}
+
+Result<CacheabilityRules> CacheabilityRules::from_lines(
+    const std::vector<std::string>& lines, bool default_cacheable) {
+  CacheabilityRules rules;
+  for (const auto& line : lines) {
+    auto rule = parse_rule_line(line);
+    if (!rule) return rule.status();
+    rules.rules_.push_back(std::move(rule.value()));
+  }
+  rules.default_.cacheable = default_cacheable;
+  return rules;
+}
+
+void CacheabilityRules::add_rule(std::string pattern, RuleDecision decision) {
+  rules_.push_back({std::move(pattern), decision});
+}
+
+RuleDecision CacheabilityRules::classify(std::string_view path) const {
+  for (const auto& rule : rules_) {
+    if (glob_match(rule.pattern, path)) return rule.decision;
+  }
+  return default_;
+}
+
+}  // namespace swala::core

@@ -1,0 +1,69 @@
+// Cacheability rules (§4.1): "Swala uses a configuration file, loaded at
+// startup, to provide the system administrator with a flexible way to
+// control which requests are cache-able."
+//
+// Config syntax, inside a [cacheability] section (first matching rule wins):
+//
+//   [cacheability]
+//   rule = /cgi-bin/private/* nocache
+//   rule = /cgi-bin/* cache ttl=3600 min_exec=0.1
+//   rule = /servlet/* cache ttl=600
+//   default = nocache
+//
+// `ttl` is the content-consistency Time-To-Live in seconds (0 = forever);
+// `min_exec` is the runtime threshold: results whose execution took less
+// than this are not worth caching and are discarded (Figure 2, "execution
+// time is longer than a runtime-defined limit").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+
+namespace swala::core {
+
+/// Outcome of classifying a request path.
+struct RuleDecision {
+  bool cacheable = false;
+  double ttl_seconds = 0.0;       ///< 0 = never expires
+  double min_exec_seconds = 0.0;  ///< insert only if execution took >= this
+};
+
+class CacheabilityRules {
+ public:
+  /// Empty rule set: nothing is cacheable (safe default).
+  CacheabilityRules() = default;
+
+  /// Parses the [cacheability] section of a config.
+  static Result<CacheabilityRules> from_config(const Config& config);
+
+  /// Parses one rule line ("/cgi-bin/* cache ttl=60 min_exec=0.5").
+  static Result<CacheabilityRules> from_lines(
+      const std::vector<std::string>& lines, bool default_cacheable = false);
+
+  /// Adds a rule programmatically (appended; first match wins).
+  void add_rule(std::string pattern, RuleDecision decision);
+
+  /// Sets the decision when no rule matches.
+  void set_default(RuleDecision decision) { default_ = decision; }
+
+  /// Classifies a decoded request path.
+  RuleDecision classify(std::string_view path) const;
+
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct Rule {
+    std::string pattern;
+    RuleDecision decision;
+  };
+
+  static Result<Rule> parse_rule_line(std::string_view line);
+
+  std::vector<Rule> rules_;
+  RuleDecision default_{};
+};
+
+}  // namespace swala::core

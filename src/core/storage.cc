@@ -1,0 +1,128 @@
+#include "core/storage.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace swala::core {
+
+Result<StorageId> MemoryBackend::put(std::string_view data) {
+  const StorageId id = next_id_++;
+  bytes_ += data.size();
+  blobs_.emplace(id, std::string(data));
+  return id;
+}
+
+Result<std::string> MemoryBackend::get(StorageId id) {
+  const auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status(StatusCode::kNotFound, "no blob " + std::to_string(id));
+  }
+  return it->second;
+}
+
+void MemoryBackend::erase(StorageId id) {
+  const auto it = blobs_.find(id);
+  if (it == blobs_.end()) return;
+  bytes_ -= it->second.size();
+  blobs_.erase(it);
+}
+
+DiskBackend::DiskBackend(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);  // best effort; put() surfaces real failures
+}
+
+DiskBackend::~DiskBackend() {
+  if (retain_) return;  // warm-restart handoff: a manifest references these
+  // Remove files we created; leave foreign files alone.
+  for (const auto& [id, size] : sizes_) {
+    (void)size;
+    ::unlink(path_for(id).c_str());
+  }
+}
+
+Status DiskBackend::adopt(StorageId id, std::uint64_t size) {
+  struct stat st{};
+  const std::string path = path_for(id);
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    return Status(StatusCode::kNotFound, "no cache file " + path);
+  }
+  if (static_cast<std::uint64_t>(st.st_size) != size) {
+    return Status(StatusCode::kInternal,
+                  "cache file size mismatch for " + path);
+  }
+  if (sizes_.emplace(id, size).second) bytes_ += size;
+  if (id >= next_id_) next_id_ = id + 1;
+  return Status::ok();
+}
+
+std::string DiskBackend::path_for(StorageId id) const {
+  return dir_ + "/swala-" + std::to_string(id) + ".cache";
+}
+
+Result<StorageId> DiskBackend::put(std::string_view data) {
+  const StorageId id = next_id_++;
+  const std::string path = path_for(id);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status(StatusCode::kIoError,
+                  "open " + path + ": " + std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(path.c_str());
+      return Status(StatusCode::kIoError,
+                    "write " + path + ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  sizes_[id] = data.size();
+  bytes_ += data.size();
+  return id;
+}
+
+Result<std::string> DiskBackend::get(StorageId id) {
+  const std::string path = path_for(id);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status(StatusCode::kNotFound,
+                  "open " + path + ": " + std::strerror(errno));
+  }
+  std::string out;
+  const auto it = sizes_.find(id);
+  if (it != sizes_.end()) out.reserve(it->second);
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status(StatusCode::kIoError,
+                    "read " + path + ": " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+void DiskBackend::erase(StorageId id) {
+  const auto it = sizes_.find(id);
+  if (it == sizes_.end()) return;
+  ::unlink(path_for(id).c_str());
+  bytes_ -= it->second;
+  sizes_.erase(it);
+}
+
+}  // namespace swala::core

@@ -1,0 +1,90 @@
+// Storage backends for cached CGI results.
+//
+// The paper stores each cached result in its own operating-system file and
+// keeps only the directory in main memory, relying on the UNIX buffer cache
+// to keep hot files in RAM (§4.1). `DiskBackend` reproduces that design;
+// `MemoryBackend` serves the simulator and unit tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace swala::core {
+
+/// Opaque handle naming a stored result.
+using StorageId = std::uint64_t;
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Persists `data` under a fresh id.
+  virtual Result<StorageId> put(std::string_view data) = 0;
+
+  /// Retrieves the full content for `id`.
+  virtual Result<std::string> get(StorageId id) = 0;
+
+  /// Removes `id`; idempotent.
+  virtual void erase(StorageId id) = 0;
+
+  /// Bytes currently stored (bookkeeping, not filesystem truth).
+  virtual std::uint64_t bytes_stored() const = 0;
+
+  /// Re-registers content persisted by an earlier process under the same
+  /// id (warm restart). Default: unsupported.
+  virtual Status adopt(StorageId id, std::uint64_t size) {
+    (void)id;
+    (void)size;
+    return Status(StatusCode::kUnavailable, "backend cannot adopt");
+  }
+
+  /// When true, stored content survives destruction (so a later process
+  /// can adopt it). Default: no-op (memory content cannot survive anyway).
+  virtual void set_retain_on_destruction(bool retain) { (void)retain; }
+};
+
+/// Heap-backed storage for tests and the simulator.
+class MemoryBackend final : public StorageBackend {
+ public:
+  Result<StorageId> put(std::string_view data) override;
+  Result<std::string> get(StorageId id) override;
+  void erase(StorageId id) override;
+  std::uint64_t bytes_stored() const override { return bytes_; }
+
+ private:
+  std::unordered_map<StorageId, std::string> blobs_;
+  StorageId next_id_ = 1;
+  std::uint64_t bytes_ = 0;
+};
+
+/// One file per cached result under `dir` (created if absent), named
+/// "swala-<id>.cache". Mirrors the paper's disk cache: every cache fetch is
+/// a file fetch served from the OS buffer cache when hot.
+class DiskBackend final : public StorageBackend {
+ public:
+  explicit DiskBackend(std::string dir);
+  ~DiskBackend() override;
+
+  Result<StorageId> put(std::string_view data) override;
+  Result<std::string> get(StorageId id) override;
+  void erase(StorageId id) override;
+  std::uint64_t bytes_stored() const override { return bytes_; }
+  Status adopt(StorageId id, std::uint64_t size) override;
+  void set_retain_on_destruction(bool retain) override { retain_ = retain; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_for(StorageId id) const;
+
+  std::string dir_;
+  StorageId next_id_ = 1;
+  std::uint64_t bytes_ = 0;
+  bool retain_ = false;
+  std::unordered_map<StorageId, std::uint64_t> sizes_;
+};
+
+}  // namespace swala::core

@@ -1,0 +1,286 @@
+#include "core/store.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "http/uri.h"
+
+namespace swala::core {
+
+CacheStore::CacheStore(StoreLimits limits, PolicyKind policy,
+                       std::unique_ptr<StorageBackend> backend,
+                       const Clock* clock, NodeId owner)
+    : limits_(limits),
+      policy_(make_policy(policy)),
+      backend_(std::move(backend)),
+      clock_(clock),
+      owner_(owner) {}
+
+Result<EntryMeta> CacheStore::insert(const CacheKey& key, std::string_view data,
+                                     double cost_seconds, double ttl_seconds,
+                                     std::string content_type, int http_status,
+                                     std::vector<EntryMeta>* evicted) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (limits_.max_bytes != 0 && data.size() > limits_.max_bytes) {
+    ++stats_.rejected_too_large;
+    return Status(StatusCode::kResourceExhausted,
+                  "entry larger than cache byte limit");
+  }
+  // Replace any existing copy first so its bytes do not count against us.
+  std::uint64_t prior_version = 0;
+  if (const auto it = entries_.find(key.text); it != entries_.end()) {
+    prior_version = it->second.meta.version;
+    remove_locked(key.text, /*count_eviction=*/false, nullptr);
+  }
+
+  make_room(data.size(), evicted);
+
+  auto id = backend_->put(data);
+  if (!id) return id.status();
+
+  const TimeNs now = clock_->now();
+  Slot slot;
+  slot.storage = id.value();
+  slot.meta.key = key.text;
+  slot.meta.owner = owner_;
+  slot.meta.size_bytes = data.size();
+  slot.meta.cost_seconds = cost_seconds;
+  slot.meta.insert_time = now;
+  slot.meta.expire_time =
+      ttl_seconds > 0 ? now + from_seconds(ttl_seconds) : TimeNs{0};
+  slot.meta.last_access = now;
+  slot.meta.access_count = 0;
+  slot.meta.content_type = std::move(content_type);
+  slot.meta.http_status = http_status;
+  slot.meta.version = prior_version + 1;
+
+  policy_->on_insert(slot.meta);
+  bytes_used_ += slot.meta.size_bytes;
+  ++stats_.inserts;
+  EntryMeta meta = slot.meta;
+  entries_[key.text] = std::move(slot);
+  return meta;
+}
+
+void CacheStore::make_room(std::uint64_t incoming_bytes,
+                           std::vector<EntryMeta>* evicted) {
+  const auto over = [&] {
+    if (limits_.max_entries != 0 && entries_.size() + 1 > limits_.max_entries) {
+      return true;
+    }
+    if (limits_.max_bytes != 0 && bytes_used_ + incoming_bytes > limits_.max_bytes) {
+      return true;
+    }
+    return false;
+  };
+  while (over() && !entries_.empty()) {
+    const auto victim = policy_->victim();
+    if (!victim) break;  // policy out of sync; bail rather than spin
+    remove_locked(*victim, /*count_eviction=*/true, evicted);
+  }
+}
+
+void CacheStore::remove_locked(const std::string& key, bool count_eviction,
+                               std::vector<EntryMeta>* out) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_used_ -= it->second.meta.size_bytes;
+  backend_->erase(it->second.storage);
+  policy_->on_erase(key);
+  if (count_eviction) ++stats_.evictions;
+  if (out) out->push_back(it->second.meta);
+  entries_.erase(it);
+}
+
+std::optional<CachedResult> CacheStore::fetch(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end() || it->second.meta.expired(clock_->now())) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto data = backend_->get(it->second.storage);
+  if (!data) {
+    // Backing file vanished (e.g. external cleanup); drop the entry.
+    remove_locked(it->first, /*count_eviction=*/false, nullptr);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  it->second.meta.last_access = clock_->now();
+  ++it->second.meta.access_count;
+  policy_->on_access(it->second.meta);
+  ++stats_.hits;
+  return CachedResult{it->second.meta, std::move(data.value())};
+}
+
+std::optional<EntryMeta> CacheStore::peek(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end() || it->second.meta.expired(clock_->now())) {
+    return std::nullopt;
+  }
+  return it->second.meta;
+}
+
+std::optional<EntryMeta> CacheStore::erase(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EntryMeta> out;
+  remove_locked(std::string(key), /*count_eviction=*/false, &out);
+  if (out.empty()) return std::nullopt;
+  return out.front();
+}
+
+std::vector<EntryMeta> CacheStore::purge_expired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TimeNs now = clock_->now();
+  std::vector<std::string> doomed;
+  for (const auto& [key, slot] : entries_) {
+    if (slot.meta.expired(now)) doomed.push_back(key);
+  }
+  std::vector<EntryMeta> out;
+  for (const auto& key : doomed) {
+    remove_locked(key, /*count_eviction=*/false, &out);
+    ++stats_.expirations;
+  }
+  return out;
+}
+
+std::vector<EntryMeta> CacheStore::erase_matching(std::string_view pattern) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> doomed;
+  for (const auto& [key, slot] : entries_) {
+    if (glob_match(pattern, key)) doomed.push_back(key);
+  }
+  std::vector<EntryMeta> out;
+  for (const auto& key : doomed) {
+    remove_locked(key, /*count_eviction=*/false, &out);
+  }
+  return out;
+}
+
+std::vector<std::string> CacheStore::keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, slot] : entries_) out.push_back(key);
+  return out;
+}
+
+void CacheStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, slot] : entries_) keys.push_back(key);
+  for (const auto& key : keys) remove_locked(key, false, nullptr);
+}
+
+Status CacheStore::save_manifest(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status(StatusCode::kIoError, "cannot write manifest: " + path);
+  }
+  const TimeNs now = clock_->now();
+  for (const auto& [key, slot] : entries_) {
+    const EntryMeta& meta = slot.meta;
+    if (meta.expired(now)) continue;
+    const double age = to_seconds(now - meta.insert_time);
+    const double ttl_remaining =
+        meta.expire_time == 0 ? -1.0 : to_seconds(meta.expire_time - now);
+    const double idle = to_seconds(now - meta.last_access);
+    // content_type is percent-encoded (it may contain spaces, e.g.
+    // "text/html; charset=..."); the key goes last and keeps its spaces.
+    std::fprintf(file, "%llu %llu %.9f %.6f %.6f %.6f %llu %d %llu %s %s\n",
+                 static_cast<unsigned long long>(slot.storage),
+                 static_cast<unsigned long long>(meta.size_bytes),
+                 meta.cost_seconds, age, ttl_remaining, idle,
+                 static_cast<unsigned long long>(meta.access_count),
+                 meta.http_status,
+                 static_cast<unsigned long long>(meta.version),
+                 http::percent_encode(meta.content_type).c_str(), key.c_str());
+  }
+  const bool ok = std::fflush(file) == 0;
+  std::fclose(file);
+  if (!ok) return Status(StatusCode::kIoError, "short manifest write");
+  backend_->set_retain_on_destruction(true);
+  return Status::ok();
+}
+
+Result<std::size_t> CacheStore::load_manifest(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status(StatusCode::kNotFound, "no manifest: " + path);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TimeNs now = clock_->now();
+  std::size_t restored = 0;
+  char line[4096];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    unsigned long long storage = 0, size = 0, accesses = 0, version = 0;
+    double cost = 0, age = 0, ttl_remaining = 0, idle = 0;
+    int http_status = 0;
+    char content_type[256] = {0};
+    int consumed = 0;
+    if (std::sscanf(line, "%llu %llu %lf %lf %lf %lf %llu %d %llu %255s %n",
+                    &storage, &size, &cost, &age, &ttl_remaining, &idle,
+                    &accesses, &http_status, &version, content_type,
+                    &consumed) != 10) {
+      continue;  // corrupt line; skip
+    }
+    std::string key(trim(std::string_view(line + consumed)));
+    if (key.empty()) continue;
+    if (entries_.count(key) != 0) continue;
+
+    if (auto st = backend_->adopt(storage, size); !st.is_ok()) {
+      SWALA_LOG(Warn) << "manifest entry skipped: " << st.to_string();
+      continue;
+    }
+
+    Slot slot;
+    slot.storage = storage;
+    slot.meta.key = key;
+    slot.meta.owner = owner_;
+    slot.meta.size_bytes = size;
+    slot.meta.cost_seconds = cost;
+    slot.meta.insert_time = now - from_seconds(age);
+    slot.meta.expire_time =
+        ttl_remaining < 0 ? TimeNs{0} : now + from_seconds(ttl_remaining);
+    slot.meta.last_access = now - from_seconds(idle);
+    slot.meta.access_count = accesses;
+    std::string decoded_type;
+    if (!http::percent_decode(content_type, &decoded_type)) {
+      decoded_type = "text/html";
+    }
+    slot.meta.content_type = std::move(decoded_type);
+    slot.meta.http_status = http_status;
+    slot.meta.version = version;
+
+    policy_->on_insert(slot.meta);
+    bytes_used_ += size;
+    entries_[key] = std::move(slot);
+    ++restored;
+  }
+  std::fclose(file);
+  return restored;
+}
+
+std::size_t CacheStore::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t CacheStore::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_used_;
+}
+
+StoreStats CacheStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+PolicyKind CacheStore::policy() const { return policy_->kind(); }
+
+}  // namespace swala::core

@@ -1,0 +1,131 @@
+// The local cache of one Swala node: entry metadata + stored result data +
+// replacement policy + capacity enforcement. Thread-safe (one mutex; all
+// operations are short — data I/O goes through the backend while holding it,
+// matching the paper's single manager thread per node).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/entry.h"
+#include "core/replacement.h"
+#include "core/storage.h"
+
+namespace swala::core {
+
+/// Capacity limits; 0 means unlimited on that axis.
+struct StoreLimits {
+  std::uint64_t max_entries = 2000;
+  std::uint64_t max_bytes = 0;
+};
+
+/// Counters exposed for experiments.
+struct StoreStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t rejected_too_large = 0;
+};
+
+/// A fetched cached result.
+struct CachedResult {
+  EntryMeta meta;
+  std::string data;
+};
+
+class CacheStore {
+ public:
+  CacheStore(StoreLimits limits, PolicyKind policy,
+             std::unique_ptr<StorageBackend> backend, const Clock* clock,
+             NodeId owner);
+
+  /// Inserts (or replaces) an entry. Evicts per policy until within limits;
+  /// evicted entry metas are appended to `evicted` so the caller can
+  /// broadcast deletions. Returns the inserted meta, or an error if the
+  /// entry alone exceeds the byte limit.
+  Result<EntryMeta> insert(const CacheKey& key, std::string_view data,
+                           double cost_seconds, double ttl_seconds,
+                           std::string content_type, int http_status,
+                           std::vector<EntryMeta>* evicted);
+
+  /// Looks up and reads an entry; updates access stats and the policy.
+  /// Expired entries are treated as absent (but not removed; the purge
+  /// daemon owns removal so deletions are always broadcast).
+  std::optional<CachedResult> fetch(std::string_view key);
+
+  /// Metadata-only peek (no access-stat update).
+  std::optional<EntryMeta> peek(std::string_view key) const;
+
+  bool contains(std::string_view key) const { return peek(key).has_value(); }
+
+  /// Removes an entry; returns its meta if it existed.
+  std::optional<EntryMeta> erase(std::string_view key);
+
+  /// Removes all expired entries and returns their metas (for broadcast).
+  std::vector<EntryMeta> purge_expired();
+
+  /// Removes every entry whose key matches a shell-style glob; returns the
+  /// removed metas. Used by application-driven invalidation.
+  std::vector<EntryMeta> erase_matching(std::string_view pattern);
+
+  /// All keys currently stored (diagnostics, status pages).
+  std::vector<std::string> keys() const;
+
+  // ---- Warm restart (disk backend only) ----
+  //
+  // `save_manifest` writes entry metadata with *relative* timestamps (age,
+  // remaining TTL, idle time) so the virtual clock's epoch does not leak
+  // across processes, and marks the backend to retain its data files.
+  // A later process constructed over the same disk directory calls
+  // `load_manifest`, which re-adopts the files and rebases the timestamps
+  // against its own clock.
+
+  /// Persists the manifest; skips entries already expired.
+  Status save_manifest(const std::string& path) const;
+
+  /// Restores entries from a manifest. Entries whose data file is missing
+  /// or whose size mismatches are skipped. Returns how many were restored.
+  Result<std::size_t> load_manifest(const std::string& path);
+
+  /// Removes everything.
+  void clear();
+
+  std::size_t entry_count() const;
+  std::uint64_t bytes_used() const;
+  StoreStats stats() const;
+  const StoreLimits& limits() const { return limits_; }
+  PolicyKind policy() const;
+
+ private:
+  struct Slot {
+    EntryMeta meta;
+    StorageId storage = 0;
+  };
+
+  /// Evicts until within limits assuming `incoming_bytes` are arriving.
+  /// Caller holds mutex_.
+  void make_room(std::uint64_t incoming_bytes, std::vector<EntryMeta>* evicted);
+
+  /// Caller holds mutex_.
+  void remove_locked(const std::string& key, bool count_eviction,
+                     std::vector<EntryMeta>* out);
+
+  StoreLimits limits_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unique_ptr<StorageBackend> backend_;
+  const Clock* clock_;
+  NodeId owner_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Slot> entries_;
+  std::uint64_t bytes_used_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace swala::core

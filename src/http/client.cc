@@ -1,0 +1,106 @@
+#include "http/client.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "http/parser.h"
+
+namespace swala::http {
+
+Result<Response> HttpClient::get(const std::string& target) {
+  Request req;
+  req.method = Method::kGet;
+  req.target = target;
+  req.version = Version::kHttp11;
+  req.headers.set("Host", server_.to_string());
+  return send(req);
+}
+
+Result<Response> HttpClient::send(const Request& req) {
+  if (stream_.valid()) {
+    auto resp = roundtrip(req);
+    if (resp) return resp;
+    // The pooled connection may have been closed by the server; retry once
+    // on a fresh connection.
+    stream_.close();
+  }
+  auto conn = net::TcpStream::connect(server_, timeout_ms_);
+  if (!conn) return conn.status();
+  stream_ = std::move(conn.value());
+  (void)stream_.set_no_delay(true);
+  (void)stream_.set_recv_timeout(timeout_ms_);
+  (void)stream_.set_send_timeout(timeout_ms_);
+  return roundtrip(req);
+}
+
+Result<Response> HttpClient::roundtrip(const Request& req) {
+  if (auto st = stream_.write_all(serialize_request(req)); !st.is_ok()) {
+    return st;
+  }
+
+  // Read the head, then the Content-Length body (or until close).
+  std::string data;
+  char buf[16 * 1024];
+  std::size_t head_end = std::string::npos;
+  std::size_t body_start = 0;
+  std::optional<std::uint64_t> content_length;
+  bool bodiless = false;
+
+  for (;;) {
+    if (head_end == std::string::npos) {
+      const std::size_t rn = data.find("\r\n\r\n");
+      if (rn != std::string::npos) {
+        head_end = rn;
+        body_start = rn + 4;
+        Response head_only;
+        if (!parse_response_head(data, &head_only)) {
+          return Status(StatusCode::kInternal, "unparsable response head");
+        }
+        // HEAD responses and bodiless status codes carry Content-Length
+        // describing the *would-be* body; no bytes follow (RFC 9110 §6.4.1).
+        bodiless = req.method == Method::kHead || head_only.status == 204 ||
+                   head_only.status == 304 ||
+                   (head_only.status >= 100 && head_only.status < 200);
+        content_length =
+            bodiless ? std::optional<std::uint64_t>{0}
+                     : head_only.headers.content_length();
+      }
+    }
+    if (head_end != std::string::npos && content_length &&
+        data.size() - body_start >= *content_length) {
+      break;  // full body received
+    }
+    auto n = stream_.read_some(buf, sizeof(buf));
+    if (!n) {
+      if (n.status().code() == StatusCode::kTimeout) return n.status();
+      return n.status();
+    }
+    if (n.value() == 0) {
+      // Orderly close: response is delimited by EOF.
+      if (head_end == std::string::npos) {
+        return Status(StatusCode::kClosed, "connection closed before response");
+      }
+      break;
+    }
+    data.append(buf, n.value());
+  }
+
+  Response resp;
+  if (bodiless) {
+    if (!parse_response_head(data, &resp)) {
+      return Status(StatusCode::kInternal, "unparsable response");
+    }
+  } else if (!parse_response(data, &resp)) {
+    return Status(StatusCode::kInternal, "unparsable response");
+  }
+
+  // Respect the server's connection policy.
+  const auto conn_hdr = resp.headers.get("Connection");
+  const bool server_keeps =
+      resp.version == Version::kHttp11
+          ? !(conn_hdr && iequals(*conn_hdr, "close"))
+          : (conn_hdr && iequals(*conn_hdr, "keep-alive"));
+  if (!server_keeps || !content_length) stream_.close();
+  return resp;
+}
+
+}  // namespace swala::http

@@ -1,0 +1,38 @@
+// Blocking HTTP client used by the load generators, the examples and the
+// integration tests. Supports per-request connections and keep-alive reuse.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "http/message.h"
+#include "net/socket.h"
+
+namespace swala::http {
+
+/// One logical client; reuses its connection when the server allows it.
+class HttpClient {
+ public:
+  explicit HttpClient(net::InetAddress server, int timeout_ms = 30000)
+      : server_(std::move(server)), timeout_ms_(timeout_ms) {}
+
+  /// Sends `req` and reads the full response. Reconnects as needed.
+  Result<Response> send(const Request& req);
+
+  /// Convenience GET on a target path ("/cgi-bin/x?y=1").
+  Result<Response> get(const std::string& target);
+
+  /// Drops the cached connection (next send reconnects).
+  void disconnect() { stream_.close(); }
+
+  const net::InetAddress& server() const { return server_; }
+
+ private:
+  Result<Response> roundtrip(const Request& req);
+
+  net::InetAddress server_;
+  int timeout_ms_;
+  net::TcpStream stream_;
+};
+
+}  // namespace swala::http

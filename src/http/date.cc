@@ -1,0 +1,57 @@
+#include "http/date.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace swala::http {
+namespace {
+
+constexpr std::array<const char*, 7> kDays = {"Sun", "Mon", "Tue", "Wed",
+                                              "Thu", "Fri", "Sat"};
+constexpr std::array<const char*, 12> kMonths = {"Jan", "Feb", "Mar", "Apr",
+                                                 "May", "Jun", "Jul", "Aug",
+                                                 "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+std::string format_http_date(std::time_t t) {
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s, %02d %s %04d %02d:%02d:%02d GMT",
+                kDays[static_cast<std::size_t>(tm.tm_wday)], tm.tm_mday,
+                kMonths[static_cast<std::size_t>(tm.tm_mon)],
+                tm.tm_year + 1900, tm.tm_hour, tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+std::string current_http_date() { return format_http_date(std::time(nullptr)); }
+
+std::optional<std::time_t> parse_http_date(std::string_view s) {
+  // "Sun, 06 Nov 1994 08:49:37 GMT"
+  char mon[4] = {0};
+  std::tm tm{};
+  char buf[64];
+  if (s.size() >= sizeof(buf)) return std::nullopt;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  const char* comma = std::strchr(buf, ',');
+  if (!comma) return std::nullopt;
+  if (std::sscanf(comma + 1, " %d %3s %d %d:%d:%d", &tm.tm_mday, mon,
+                  &tm.tm_year, &tm.tm_hour, &tm.tm_min, &tm.tm_sec) != 6) {
+    return std::nullopt;
+  }
+  tm.tm_year -= 1900;
+  tm.tm_mon = -1;
+  for (int i = 0; i < 12; ++i) {
+    if (std::strcmp(mon, kMonths[static_cast<std::size_t>(i)]) == 0) {
+      tm.tm_mon = i;
+      break;
+    }
+  }
+  if (tm.tm_mon < 0) return std::nullopt;
+  return timegm(&tm);
+}
+
+}  // namespace swala::http

@@ -1,0 +1,21 @@
+// IMF-fixdate formatting ("Sun, 06 Nov 1994 08:49:37 GMT") for the Date
+// header, plus a parser used by cache-freshness tests.
+#pragma once
+
+#include <ctime>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace swala::http {
+
+/// Formats a UNIX timestamp as an IMF-fixdate.
+std::string format_http_date(std::time_t t);
+
+/// Current time as an IMF-fixdate.
+std::string current_http_date();
+
+/// Parses an IMF-fixdate back to a UNIX timestamp.
+std::optional<std::time_t> parse_http_date(std::string_view s);
+
+}  // namespace swala::http

@@ -1,0 +1,45 @@
+#include "http/headers.h"
+
+#include "common/strings.h"
+
+namespace swala::http {
+
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  fields_.push_back({std::string(name), std::string(value)});
+}
+
+void HeaderMap::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (iequals(f.name, name)) return std::string_view(f.value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::get_all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& f : fields_) {
+    if (iequals(f.name, name)) out.emplace_back(f.value);
+  }
+  return out;
+}
+
+std::size_t HeaderMap::remove(std::string_view name) {
+  const std::size_t before = fields_.size();
+  std::erase_if(fields_, [&](const Field& f) { return iequals(f.name, name); });
+  return before - fields_.size();
+}
+
+std::optional<std::uint64_t> HeaderMap::content_length() const {
+  const auto v = get("Content-Length");
+  if (!v) return std::nullopt;
+  std::uint64_t len = 0;
+  if (!parse_u64(*v, &len)) return std::nullopt;
+  return len;
+}
+
+}  // namespace swala::http

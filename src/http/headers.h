@@ -1,0 +1,47 @@
+// Case-insensitive HTTP header map preserving insertion order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swala::http {
+
+/// Ordered multimap with case-insensitive keys (RFC 9110 field semantics).
+class HeaderMap {
+ public:
+  /// Appends a field (does not coalesce duplicates).
+  void add(std::string_view name, std::string_view value);
+
+  /// Replaces all occurrences of `name` with a single field.
+  void set(std::string_view name, std::string_view value);
+
+  /// First value of `name`, if present.
+  std::optional<std::string_view> get(std::string_view name) const;
+
+  /// All values of `name`, in order.
+  std::vector<std::string_view> get_all(std::string_view name) const;
+
+  bool contains(std::string_view name) const { return get(name).has_value(); }
+
+  /// Removes all occurrences; returns how many were removed.
+  std::size_t remove(std::string_view name);
+
+  std::size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  struct Field {
+    std::string name;
+    std::string value;
+  };
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Content-Length parsed as an integer, if present and well-formed.
+  std::optional<std::uint64_t> content_length() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace swala::http

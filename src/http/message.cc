@@ -1,0 +1,136 @@
+#include "http/message.h"
+
+#include "common/strings.h"
+
+namespace swala::http {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+    case Method::kOptions: return "OPTIONS";
+    case Method::kUnknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+Method method_from(std::string_view name) {
+  if (name == "GET") return Method::kGet;
+  if (name == "HEAD") return Method::kHead;
+  if (name == "POST") return Method::kPost;
+  if (name == "PUT") return Method::kPut;
+  if (name == "DELETE") return Method::kDelete;
+  if (name == "OPTIONS") return Method::kOptions;
+  return Method::kUnknown;
+}
+
+const char* version_name(Version v) {
+  return v == Version::kHttp11 ? "HTTP/1.1" : "HTTP/1.0";
+}
+
+bool Request::keep_alive() const {
+  const auto conn = headers.get("Connection");
+  if (version == Version::kHttp11) {
+    return !(conn && iequals(*conn, "close"));
+  }
+  return conn && iequals(*conn, "keep-alive");
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+Response Response::make(int status, std::string body,
+                        std::string_view content_type) {
+  Response resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  resp.headers.set("Content-Type", content_type);
+  resp.headers.set("Content-Length", std::to_string(resp.body.size()));
+  return resp;
+}
+
+Response Response::error(int status, std::string_view detail) {
+  std::string body = "<html><head><title>";
+  body += std::to_string(status);
+  body += " ";
+  body += reason_phrase(status);
+  body += "</title></head><body><h1>";
+  body += std::to_string(status);
+  body += " ";
+  body += reason_phrase(status);
+  body += "</h1>";
+  if (!detail.empty()) {
+    body += "<p>";
+    body += detail;
+    body += "</p>";
+  }
+  body += "</body></html>\n";
+  return make(status, std::move(body));
+}
+
+std::string Response::serialize() const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += version_name(version);
+  out += " ";
+  out += std::to_string(status);
+  out += " ";
+  out += reason_phrase(status);
+  out += "\r\n";
+  for (const auto& f : headers.fields()) {
+    out += f.name;
+    out += ": ";
+    out += f.value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string serialize_request(const Request& req) {
+  std::string out;
+  out += method_name(req.method);
+  out += " ";
+  out += req.target.empty() ? req.uri.canonical() : req.target;
+  out += " ";
+  out += version_name(req.version);
+  out += "\r\n";
+  for (const auto& f : req.headers.fields()) {
+    out += f.name;
+    out += ": ";
+    out += f.value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += req.body;
+  return out;
+}
+
+}  // namespace swala::http

@@ -1,0 +1,59 @@
+// HTTP request/response value types and serialization.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "http/headers.h"
+#include "http/uri.h"
+
+namespace swala::http {
+
+enum class Method { kGet, kHead, kPost, kPut, kDelete, kOptions, kUnknown };
+
+const char* method_name(Method m);
+Method method_from(std::string_view name);
+
+/// HTTP protocol version; Swala speaks 1.0 and 1.1 like the 1998 server era.
+enum class Version { kHttp10, kHttp11 };
+
+const char* version_name(Version v);
+
+/// A parsed inbound request.
+struct Request {
+  Method method = Method::kGet;
+  std::string target;  ///< raw request-target as received
+  Uri uri;             ///< parsed form
+  Version version = Version::kHttp10;
+  HeaderMap headers;
+  std::string body;
+
+  /// True when the connection should be reused after this exchange.
+  bool keep_alive() const;
+};
+
+/// An outbound response.
+struct Response {
+  int status = 200;
+  Version version = Version::kHttp10;
+  HeaderMap headers;
+  std::string body;
+
+  /// Builds a response with Content-Length/Content-Type set.
+  static Response make(int status, std::string body,
+                       std::string_view content_type = "text/html");
+
+  /// Canned error page.
+  static Response error(int status, std::string_view detail = "");
+
+  /// Full wire form: status line, headers, blank line, body.
+  std::string serialize() const;
+};
+
+/// Standard reason phrase for a status code ("OK", "Not Found", ...).
+std::string_view reason_phrase(int status);
+
+/// Serializes just a request head + body (used by the HTTP client).
+std::string serialize_request(const Request& req);
+
+}  // namespace swala::http

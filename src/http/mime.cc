@@ -1,0 +1,31 @@
+#include "http/mime.h"
+
+#include "common/strings.h"
+
+namespace swala::http {
+
+std::string_view mime_type_for_path(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) return "application/octet-stream";
+  const std::string ext = to_lower(path.substr(dot + 1));
+  if (ext == "html" || ext == "htm") return "text/html";
+  if (ext == "txt" || ext == "log") return "text/plain";
+  if (ext == "css") return "text/css";
+  if (ext == "js") return "application/javascript";
+  if (ext == "json") return "application/json";
+  if (ext == "xml") return "application/xml";
+  if (ext == "gif") return "image/gif";
+  if (ext == "jpg" || ext == "jpeg") return "image/jpeg";
+  if (ext == "png") return "image/png";
+  if (ext == "svg") return "image/svg+xml";
+  if (ext == "pdf") return "application/pdf";
+  if (ext == "ps") return "application/postscript";
+  if (ext == "tar") return "application/x-tar";
+  if (ext == "gz") return "application/gzip";
+  if (ext == "mp3") return "audio/mpeg";
+  if (ext == "mpg" || ext == "mpeg") return "video/mpeg";
+  if (ext == "tif" || ext == "tiff") return "image/tiff";
+  return "application/octet-stream";
+}
+
+}  // namespace swala::http

@@ -1,0 +1,12 @@
+// File-extension → Content-Type mapping for static file serving.
+#pragma once
+
+#include <string_view>
+
+namespace swala::http {
+
+/// Content type for a path based on its extension; defaults to
+/// application/octet-stream.
+std::string_view mime_type_for_path(std::string_view path);
+
+}  // namespace swala::http

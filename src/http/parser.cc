@@ -1,0 +1,307 @@
+#include "http/parser.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace swala::http {
+
+RequestParser::RequestParser(ParserLimits limits) : limits_(limits) {}
+
+void RequestParser::reset() {
+  // Keep unconsumed (pipelined) bytes.
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  phase_ = Phase::kRequestLine;
+  request_ = Request{};
+  body_expected_ = 0;
+  chunk_remaining_ = 0;
+  chunk_in_data_ = false;
+  chunk_in_trailers_ = false;
+  error_status_ = 0;
+  header_bytes_ = 0;
+}
+
+ParseState RequestParser::fail(int status) {
+  phase_ = Phase::kError;
+  error_status_ = status;
+  return ParseState::kError;
+}
+
+ParseState RequestParser::feed(std::string_view data) {
+  buffer_.append(data);
+  return parse_buffer();
+}
+
+ParseState RequestParser::parse_buffer() {
+  while (phase_ == Phase::kRequestLine || phase_ == Phase::kHeaders) {
+    const std::size_t eol = buffer_.find('\n', consumed_);
+    if (eol == std::string::npos) {
+      const std::size_t pending = buffer_.size() - consumed_;
+      if (phase_ == Phase::kRequestLine && pending > limits_.max_request_line) {
+        return fail(414);
+      }
+      if (phase_ == Phase::kHeaders &&
+          header_bytes_ + pending > limits_.max_header_bytes) {
+        return fail(431);
+      }
+      return ParseState::kNeedMore;
+    }
+    std::string_view line(buffer_.data() + consumed_, eol - consumed_);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    consumed_ = eol + 1;
+
+    if (phase_ == Phase::kRequestLine) {
+      if (line.empty()) continue;  // tolerate leading blank lines (RFC 9112)
+      if (line.size() > limits_.max_request_line) return fail(414);
+      if (!parse_request_line(line)) return fail(error_status_ ? error_status_ : 400);
+      phase_ = Phase::kHeaders;
+    } else {
+      header_bytes_ += line.size() + 2;
+      if (header_bytes_ > limits_.max_header_bytes) return fail(431);
+      if (line.empty()) {
+        // End of headers; determine body framing.
+        const auto te = request_.headers.get("Transfer-Encoding");
+        if (te) {
+          // Transfer-Encoding together with Content-Length is the classic
+          // request-smuggling vector; reject outright (RFC 9112 §6.1).
+          if (request_.headers.contains("Content-Length")) return fail(400);
+          if (!iequals(*te, "chunked")) return fail(501);
+          phase_ = Phase::kChunkedBody;
+          break;
+        }
+        // Conflicting repeated Content-Length headers are also smuggling
+        // bait: every occurrence must agree.
+        const auto all_lengths = request_.headers.get_all("Content-Length");
+        for (const auto& v : all_lengths) {
+          if (v != all_lengths.front()) return fail(400);
+        }
+        const auto len = request_.headers.content_length();
+        if (request_.headers.contains("Content-Length") && !len) return fail(400);
+        body_expected_ = len.value_or(0);
+        if (body_expected_ > limits_.max_body_bytes) return fail(413);
+        phase_ = Phase::kBody;
+        break;
+      }
+      if (!parse_header_line(line)) return fail(400);
+    }
+  }
+
+  if (phase_ == Phase::kBody) {
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < body_expected_) return ParseState::kNeedMore;
+    request_.body.assign(buffer_, consumed_, body_expected_);
+    consumed_ += body_expected_;
+    phase_ = Phase::kDone;
+  }
+
+  if (phase_ == Phase::kChunkedBody) {
+    const ParseState state = parse_chunked();
+    if (state != ParseState::kDone) return state;
+    phase_ = Phase::kDone;
+  }
+
+  return phase_ == Phase::kDone ? ParseState::kDone : ParseState::kError;
+}
+
+ParseState RequestParser::parse_chunked() {
+  // chunk = size-hex [;ext] CRLF data CRLF ... ; 0 CRLF [trailers] CRLF
+  for (;;) {
+    if (!chunk_in_data_) {
+      const std::size_t eol = buffer_.find('\n', consumed_);
+      if (eol == std::string::npos) return ParseState::kNeedMore;
+      std::string_view line(buffer_.data() + consumed_, eol - consumed_);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+      if (chunk_in_trailers_) {
+        consumed_ = eol + 1;
+        if (line.empty()) return ParseState::kDone;  // end of trailers
+        continue;  // trailer fields are ignored
+      }
+
+      // Parse the chunk-size line (extensions after ';' ignored).
+      const std::size_t semi = line.find(';');
+      const std::string_view size_hex = trim(line.substr(0, semi));
+      if (size_hex.empty() || size_hex.size() > 16) {
+        fail(400);
+        return ParseState::kError;
+      }
+      std::uint64_t size = 0;
+      for (const char c : size_hex) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          fail(400);
+          return ParseState::kError;
+        }
+        size = size * 16 + static_cast<std::uint64_t>(digit);
+      }
+      consumed_ = eol + 1;
+      if (request_.body.size() + size > limits_.max_body_bytes) {
+        fail(413);
+        return ParseState::kError;
+      }
+      if (size == 0) {
+        chunk_in_trailers_ = true;
+        continue;
+      }
+      chunk_remaining_ = size;
+      chunk_in_data_ = true;
+    }
+
+    // Consume chunk data plus its trailing CRLF (or bare LF).
+    const std::size_t available = buffer_.size() - consumed_;
+    const std::size_t take =
+        std::min<std::size_t>(chunk_remaining_, available);
+    request_.body.append(buffer_, consumed_, take);
+    consumed_ += take;
+    chunk_remaining_ -= take;
+    if (chunk_remaining_ > 0) return ParseState::kNeedMore;
+
+    // Skip the CRLF after the data.
+    if (consumed_ >= buffer_.size()) return ParseState::kNeedMore;
+    if (buffer_[consumed_] == '\r') {
+      if (consumed_ + 1 >= buffer_.size()) return ParseState::kNeedMore;
+      if (buffer_[consumed_ + 1] != '\n') {
+        fail(400);
+        return ParseState::kError;
+      }
+      consumed_ += 2;
+    } else if (buffer_[consumed_] == '\n') {
+      consumed_ += 1;
+    } else {
+      fail(400);
+      return ParseState::kError;
+    }
+    chunk_in_data_ = false;
+  }
+}
+
+bool RequestParser::parse_request_line(std::string_view line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    error_status_ = 400;
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = trim(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+
+  request_.method = method_from(method);
+  if (request_.method == Method::kUnknown) {
+    error_status_ = 501;
+    return false;
+  }
+  if (version == "HTTP/1.0") {
+    request_.version = Version::kHttp10;
+  } else if (version == "HTTP/1.1") {
+    request_.version = Version::kHttp11;
+  } else {
+    error_status_ = 400;
+    return false;
+  }
+  if (target.empty()) {
+    error_status_ = 400;
+    return false;
+  }
+  request_.target = std::string(target);
+  if (!parse_uri(target, &request_.uri)) {
+    error_status_ = 400;
+    return false;
+  }
+  return true;
+}
+
+bool RequestParser::parse_header_line(std::string_view line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  const std::string_view name = trim(line.substr(0, colon));
+  const std::string_view value = trim(line.substr(colon + 1));
+  if (name.empty()) return false;
+  // Field names must not contain whitespace (request smuggling defence).
+  for (char c : name) {
+    if (c == ' ' || c == '\t') return false;
+  }
+  request_.headers.add(name, value);
+  return true;
+}
+
+namespace {
+
+/// Shared head parsing; sets *body_start to the byte after the separator.
+/// Returns false when no separator exists or the head is malformed.
+bool parse_head_common(std::string_view data, Response* out,
+                       std::size_t* body_start_out) {
+  *out = Response{};
+  const std::size_t head_end_rn = data.find("\r\n\r\n");
+  const std::size_t head_end_n = data.find("\n\n");
+  std::size_t head_end;
+  std::size_t body_start;
+  if (head_end_rn != std::string_view::npos &&
+      (head_end_n == std::string_view::npos || head_end_rn < head_end_n)) {
+    head_end = head_end_rn;
+    body_start = head_end_rn + 4;
+  } else if (head_end_n != std::string_view::npos) {
+    head_end = head_end_n;
+    body_start = head_end_n + 2;
+  } else {
+    return false;
+  }
+
+  const std::string_view head = data.substr(0, head_end);
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (first) {
+      first = false;
+      // e.g. "HTTP/1.0 200 OK"
+      if (!starts_with(line, "HTTP/1.")) return false;
+      out->version = starts_with(line, "HTTP/1.1") ? Version::kHttp11
+                                                   : Version::kHttp10;
+      const std::size_t sp = line.find(' ');
+      if (sp == std::string_view::npos || sp + 4 > line.size()) return false;
+      std::uint64_t code = 0;
+      if (!parse_u64(line.substr(sp + 1, 3), &code)) return false;
+      out->status = static_cast<int>(code);
+    } else if (!line.empty()) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) return false;
+      out->headers.add(trim(line.substr(0, colon)), trim(line.substr(colon + 1)));
+    }
+  }
+  *body_start_out = body_start;
+  return true;
+}
+
+}  // namespace
+
+bool parse_response_head(std::string_view data, Response* out) {
+  std::size_t body_start = 0;
+  return parse_head_common(data, out, &body_start);
+}
+
+bool parse_response(std::string_view data, Response* out) {
+  std::size_t body_start = 0;
+  if (!parse_head_common(data, out, &body_start)) return false;
+  const auto len = out->headers.content_length();
+  if (len) {
+    if (data.size() - body_start < *len) return false;
+    out->body = std::string(data.substr(body_start, *len));
+  } else {
+    out->body = std::string(data.substr(body_start));
+  }
+  return true;
+}
+
+}  // namespace swala::http

@@ -1,0 +1,82 @@
+// Incremental HTTP/1.x parser. Bytes are fed as they arrive from the socket;
+// the parser buffers until a full head (+ Content-Length body) is available.
+// Limits defend against malformed or hostile clients.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace swala::http {
+
+/// Parser resource limits.
+struct ParserLimits {
+  std::size_t max_request_line = 8 * 1024;
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// Result of feeding bytes to a parser.
+enum class ParseState {
+  kNeedMore,  ///< incomplete; feed more bytes
+  kDone,      ///< one full message parsed; `message()` is valid
+  kError,     ///< malformed input; `error_status()` holds the HTTP error code
+};
+
+/// Incremental request parser. After kDone, call `reset()` (pipelined bytes
+/// beyond the first message are retained and re-consumed).
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {});
+
+  /// Consumes a chunk of bytes from the connection.
+  ParseState feed(std::string_view data);
+
+  /// Re-examines buffered bytes (used after reset when pipelining).
+  ParseState pump() { return feed({}); }
+
+  /// Valid after kDone.
+  Request& request() { return request_; }
+
+  /// HTTP status code describing the parse failure (400, 413, 431, 505...).
+  int error_status() const { return error_status_; }
+
+  /// Prepares for the next message on the same connection.
+  void reset();
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody, kChunkedBody, kDone, kError };
+
+  ParseState parse_buffer();
+  ParseState parse_chunked();
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  ParseState fail(int status);
+
+  ParserLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< bytes of buffer_ already parsed
+  Phase phase_ = Phase::kRequestLine;
+  Request request_;
+  std::size_t body_expected_ = 0;
+  std::uint64_t chunk_remaining_ = 0;
+  bool chunk_in_data_ = false;
+  bool chunk_in_trailers_ = false;
+  int error_status_ = 0;
+  std::size_t header_bytes_ = 0;
+};
+
+/// Parses a complete response (head + body) from a byte stream that has been
+/// fully read (Content-Length or connection-close delimited). Used by the
+/// HTTP client and tests.
+bool parse_response(std::string_view data, Response* out);
+
+/// Parses just the response head (status line + headers). `data` must
+/// contain the blank-line separator; any bytes after it are ignored.
+/// The HTTP client uses this to learn Content-Length before the body has
+/// arrived.
+bool parse_response_head(std::string_view data, Response* out);
+
+}  // namespace swala::http

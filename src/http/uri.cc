@@ -1,0 +1,123 @@
+#include "http/uri.h"
+
+#include "common/strings.h"
+
+namespace swala::http {
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool is_unreserved(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' || c == '~';
+}
+
+}  // namespace
+
+bool percent_decode(std::string_view in, std::string* out, bool plus_as_space) {
+  out->clear();
+  out->reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '%') {
+      if (i + 2 >= in.size() + 0 && i + 2 >= in.size()) return false;
+      if (i + 2 >= in.size()) return false;
+      const int hi = hex_value(in[i + 1]);
+      const int lo = hex_value(in[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out->push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else if (plus_as_space && c == '+') {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  return true;
+}
+
+std::string percent_encode(std::string_view in) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(in.size());
+  for (unsigned char c : in) {
+    if (is_unreserved(static_cast<char>(c)) || c == '/') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string remove_dot_segments(std::string_view path) {
+  std::vector<std::string_view> kept;
+  std::size_t start = 0;
+  const bool trailing_slash = !path.empty() && path.back() == '/';
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      const std::string_view seg = path.substr(start, i - start);
+      start = i + 1;
+      if (seg.empty() || seg == ".") continue;
+      if (seg == "..") {
+        if (!kept.empty()) kept.pop_back();
+        continue;
+      }
+      kept.push_back(seg);
+    }
+  }
+  std::string out = "/";
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    out.append(kept[i]);
+    if (i + 1 < kept.size()) out.push_back('/');
+  }
+  if (trailing_slash && kept.size() > 0 && out.back() != '/') out.push_back('/');
+  return out;
+}
+
+bool parse_uri(std::string_view target, Uri* out) {
+  if (target.empty() || target.front() != '/') return false;
+  const std::size_t q = target.find('?');
+  std::string_view raw_path = target.substr(0, q);
+  out->raw_query =
+      q == std::string_view::npos ? "" : std::string(target.substr(q + 1));
+
+  std::string decoded;
+  if (!percent_decode(raw_path, &decoded)) return false;
+  // Reject embedded NULs that could truncate filesystem paths.
+  if (decoded.find('\0') != std::string::npos) return false;
+  out->path = remove_dot_segments(decoded);
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>> Uri::query_params() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (raw_query.empty()) return out;
+  for (const auto& pair : split(raw_query, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    std::string key, value;
+    if (eq == std::string::npos) {
+      if (!percent_decode(pair, &key, /*plus_as_space=*/true)) continue;
+    } else {
+      if (!percent_decode(std::string_view(pair).substr(0, eq), &key, true)) continue;
+      if (!percent_decode(std::string_view(pair).substr(eq + 1), &value, true)) continue;
+    }
+    out.emplace_back(std::move(key), std::move(value));
+  }
+  return out;
+}
+
+std::string Uri::canonical() const {
+  if (raw_query.empty()) return path;
+  return path + "?" + raw_query;
+}
+
+}  // namespace swala::http

@@ -1,0 +1,43 @@
+// Request-target parsing: percent-encoding, path/query split, query-string
+// decoding. The canonicalized form feeds the cache key, so two spellings of
+// the same CGI invocation hit the same entry.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swala::http {
+
+/// A parsed origin-form request target.
+struct Uri {
+  std::string path;       ///< percent-decoded, always starts with '/'
+  std::string raw_query;  ///< undecoded query string (no leading '?')
+
+  /// Decoded key=value pairs from the query, in order.
+  std::vector<std::pair<std::string, std::string>> query_params() const;
+
+  /// Canonical spelling used for cache keys: decoded, dot-segment-free path
+  /// plus the raw query (CGI argument order is significant, so the query is
+  /// not re-sorted).
+  std::string canonical() const;
+};
+
+/// Parses an origin-form target ("/a/b?x=1"). Returns false on a target that
+/// is empty, non-rooted, or contains an invalid percent escape in the path.
+bool parse_uri(std::string_view target, Uri* out);
+
+/// Percent-decodes; `plus_as_space` applies application/x-www-form-urlencoded
+/// semantics. Returns false on a truncated/invalid escape.
+bool percent_decode(std::string_view in, std::string* out,
+                    bool plus_as_space = false);
+
+/// Percent-encodes everything outside the unreserved set.
+std::string percent_encode(std::string_view in);
+
+/// Removes "." and ".." segments; ".." never escapes the root (defends
+/// against path traversal when mapping to the docroot).
+std::string remove_dot_segments(std::string_view path);
+
+}  // namespace swala::http

@@ -1,0 +1,12 @@
+#include "net/fd.h"
+
+#include <unistd.h>
+
+namespace swala::net {
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+}  // namespace swala::net

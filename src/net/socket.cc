@@ -1,0 +1,208 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace swala::net {
+namespace {
+
+Status errno_status(StatusCode code, const std::string& what) {
+  return Status(code, what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> make_sockaddr(const InetAddress& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad IPv4 address: " + addr.host);
+  }
+  return sa;
+}
+
+}  // namespace
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+Result<TcpStream> TcpStream::connect(const InetAddress& addr, int timeout_ms) {
+  auto sa = make_sockaddr(addr);
+  if (!sa) return sa.status();
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_status(StatusCode::kIoError, "socket");
+
+  if (timeout_ms <= 0) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa.value()),
+                  sizeof(sockaddr_in)) != 0) {
+      return errno_status(StatusCode::kUnavailable, "connect " + addr.to_string());
+    }
+    return TcpStream(std::move(fd));
+  }
+
+  // Non-blocking connect with poll-based timeout.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa.value()),
+                     sizeof(sockaddr_in));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return errno_status(StatusCode::kUnavailable, "connect " + addr.to_string());
+  }
+  if (rc != 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) {
+      return Status(StatusCode::kTimeout, "connect timeout to " + addr.to_string());
+    }
+    if (rc < 0) return errno_status(StatusCode::kIoError, "poll");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      errno = err;
+      return errno_status(StatusCode::kUnavailable, "connect " + addr.to_string());
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);  // back to blocking
+  return TcpStream(std::move(fd));
+}
+
+Status TcpStream::set_no_delay(bool on) {
+  const int v = on ? 1 : 0;
+  if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0) {
+    return errno_status(StatusCode::kIoError, "TCP_NODELAY");
+  }
+  return Status::ok();
+}
+
+namespace {
+Status set_timeout(int fd, int optname, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return errno_status(StatusCode::kIoError, "SO_*TIMEO");
+  }
+  return Status::ok();
+}
+}  // namespace
+
+Status TcpStream::set_recv_timeout(int timeout_ms) {
+  return set_timeout(fd_.get(), SO_RCVTIMEO, timeout_ms);
+}
+
+Status TcpStream::set_send_timeout(int timeout_ms) {
+  return set_timeout(fd_.get(), SO_SNDTIMEO, timeout_ms);
+}
+
+Result<std::size_t> TcpStream::read_some(char* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buf, len, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(StatusCode::kTimeout, "recv timeout");
+    }
+    return errno_status(StatusCode::kIoError, "recv");
+  }
+}
+
+Status TcpStream::read_exact(char* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    auto n = read_some(buf + got, len - got);
+    if (!n) return n.status();
+    if (n.value() == 0) {
+      return Status(StatusCode::kClosed, "peer closed during read_exact");
+    }
+    got += n.value();
+  }
+  return Status::ok();
+}
+
+Status TcpStream::write_all(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status(StatusCode::kTimeout, "send timeout");
+      }
+      return errno_status(StatusCode::kIoError, "send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status TcpStream::shutdown_write() {
+  if (::shutdown(fd_.get(), SHUT_WR) != 0) {
+    return errno_status(StatusCode::kIoError, "shutdown");
+  }
+  return Status::ok();
+}
+
+Result<TcpListener> TcpListener::listen(const InetAddress& addr, int backlog) {
+  auto sa = make_sockaddr(addr);
+  if (!sa) return sa.status();
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_status(StatusCode::kIoError, "socket");
+
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa.value()),
+             sizeof(sockaddr_in)) != 0) {
+    return errno_status(StatusCode::kIoError, "bind " + addr.to_string());
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return errno_status(StatusCode::kIoError, "listen");
+  }
+
+  TcpListener listener;
+  // Discover the actual port (needed when binding port 0).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return errno_status(StatusCode::kIoError, "getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  listener.fd_ = std::move(fd);
+  return listener;
+}
+
+Result<TcpStream> TcpListener::accept(int timeout_ms) {
+  if (!fd_.valid()) return Status(StatusCode::kClosed, "listener closed");
+  if (timeout_ms >= 0 && !wait_readable(fd_.get(), timeout_ms)) {
+    return Status(StatusCode::kTimeout, "accept timeout");
+  }
+  for (;;) {
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client >= 0) return TcpStream(UniqueFd(client));
+    if (errno == EINTR) continue;
+    if (errno == EBADF || errno == EINVAL) {
+      return Status(StatusCode::kClosed, "listener closed");
+    }
+    return errno_status(StatusCode::kIoError, "accept");
+  }
+}
+
+}  // namespace swala::net

@@ -1,0 +1,85 @@
+// Blocking TCP sockets with timeouts — the transport under both the HTTP
+// server and the inter-node cluster protocol. IPv4 only (the original Swala
+// testbed was an IPv4 Ethernet LAN; nothing here needs more).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/fd.h"
+
+namespace swala::net {
+
+/// IPv4 address + port.
+struct InetAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::string to_string() const { return host + ":" + std::to_string(port); }
+
+  bool operator==(const InetAddress&) const = default;
+};
+
+/// A connected TCP stream. Move-only; closes on destruction.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  /// Connects with a timeout (milliseconds; <=0 means OS default blocking).
+  static Result<TcpStream> connect(const InetAddress& addr,
+                                   int timeout_ms = 5000);
+
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  [[nodiscard]] int raw_fd() const { return fd_.get(); }
+
+  /// Disables Nagle; important for the small cluster-protocol messages.
+  Status set_no_delay(bool on);
+
+  /// SO_RCVTIMEO / SO_SNDTIMEO in milliseconds (0 = no timeout).
+  Status set_recv_timeout(int timeout_ms);
+  Status set_send_timeout(int timeout_ms);
+
+  /// Reads at most `len` bytes. Returns 0 on orderly peer close.
+  Result<std::size_t> read_some(char* buf, std::size_t len);
+
+  /// Reads exactly `len` bytes or fails (kClosed on early EOF).
+  Status read_exact(char* buf, std::size_t len);
+
+  /// Writes the entire buffer or fails.
+  Status write_all(std::string_view data);
+
+  /// Half-close of the write side (signals EOF to the peer).
+  Status shutdown_write();
+
+  void close() { fd_.reset(); }
+
+ private:
+  UniqueFd fd_;
+};
+
+/// A listening TCP socket.
+class TcpListener {
+ public:
+  /// Binds and listens. Port 0 picks an ephemeral port (see `local_port`).
+  static Result<TcpListener> listen(const InetAddress& addr, int backlog = 128);
+
+  /// Accepts one connection; blocks up to `timeout_ms` (-1 = forever).
+  /// Returns kTimeout if nothing arrived, kClosed if the listener was shut.
+  Result<TcpStream> accept(int timeout_ms = -1);
+
+  [[nodiscard]] std::uint16_t local_port() const { return port_; }
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  void close() { fd_.reset(); }
+
+ private:
+  UniqueFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Waits until `fd` is readable; true on readable, false on timeout.
+bool wait_readable(int fd, int timeout_ms);
+
+}  // namespace swala::net

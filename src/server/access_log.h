@@ -1,0 +1,69 @@
+// Access logging. The paper's entire motivation study (§3, Table 1) came
+// from analyzing a server's access log; a Swala deployment writes one in a
+// format the workload library can load back (`workload::load_access_log`)
+// so the same analysis runs on live traffic.
+//
+// Line format (one request per line):
+//   ts=<epoch-seconds.frac> "<METHOD> <target> <version>" <status> <bytes>
+//   service=<seconds> dyn=<0|1> cache=<miss|hit-local|hit-remote|->
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "workload/trace.h"
+
+namespace swala::server {
+
+/// One logged request.
+struct AccessRecord {
+  double timestamp = 0.0;      ///< UNIX epoch seconds
+  std::string method = "GET";
+  std::string target;
+  std::string version = "HTTP/1.0";
+  int status = 200;
+  std::uint64_t bytes = 0;
+  double service_seconds = 0.0;
+  bool dynamic = false;
+  std::string cache_state = "-";
+};
+
+/// Thread-safe append-only log file.
+class AccessLog {
+ public:
+  AccessLog() = default;
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Opens (appends to) the log file.
+  Status open(const std::string& path);
+
+  /// Appends one record; no-op when not open.
+  void log(const AccessRecord& record);
+
+  bool is_open() const;
+  void close();
+
+  /// Renders a record as its log line (exposed for tests/parsers).
+  static std::string format(const AccessRecord& record);
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Parses one log line; returns false on malformed input.
+bool parse_access_line(std::string_view line, AccessRecord* out);
+
+/// Loads an access log as a workload trace: arrivals become offsets from
+/// the first entry, dynamic requests become CGI records. Malformed lines
+/// are skipped (a crashing writer can truncate the last line). The result
+/// feeds `workload::analyze_thresholds` — the paper's §3 study on your own
+/// traffic.
+Result<workload::Trace> load_access_log_trace(const std::string& path);
+
+}  // namespace swala::server

@@ -1,0 +1,354 @@
+#include "server/context.h"
+
+#include <algorithm>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "http/date.h"
+#include "http/mime.h"
+#include "http/parser.h"
+
+namespace swala::server {
+namespace {
+
+constexpr std::string_view kServerName = "Swala/1.0";
+
+void count(ServerCounters* c, std::atomic<std::uint64_t> ServerCounters::*field) {
+  if (c != nullptr) (c->*field).fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Memory-mapped static file serving (§4: "We use memory-mapped I/O
+/// whenever possible to minimize the number of system calls and eliminate
+/// double-buffering"). The response head and the mapped body are written
+/// straight to the socket without copying into a Response.
+struct MappedFile {
+  void* addr = MAP_FAILED;
+  std::size_t size = 0;
+
+  ~MappedFile() {
+    if (addr != MAP_FAILED) ::munmap(addr, size);
+  }
+
+  std::string_view view() const {
+    return {static_cast<const char*>(addr), size};
+  }
+};
+
+/// Resolves a decoded request path under the docroot. parse_uri already
+/// removed dot segments; reject any residue defensively.
+Result<std::string> resolve_static_path(const std::string& docroot,
+                                        const std::string& path) {
+  if (path.find("..") != std::string::npos) {
+    return Status(StatusCode::kPermissionDenied, "path traversal");
+  }
+  std::string full = docroot;
+  if (!full.empty() && full.back() == '/') full.pop_back();
+  full += path;
+  if (!full.empty() && full.back() == '/') full += "index.html";
+  return full;
+}
+
+http::Response dynamic_response(std::string body, std::string content_type,
+                                int status, std::string_view cache_state) {
+  http::Response resp = http::Response::make(status, std::move(body),
+                                             content_type);
+  resp.headers.set("X-Swala-Cache", cache_state);
+  return resp;
+}
+
+/// Executes a CGI handler through the Figure-2 cache flow.
+http::Response run_dynamic(const http::Request& request,
+                           const cgi::CgiHandlerPtr& handler,
+                           const ServeContext& ctx) {
+  count(ctx.counters, &ServerCounters::dynamic_requests);
+
+  core::RuleDecision rule;
+  if (ctx.cache != nullptr) {
+    auto lookup = ctx.cache->lookup(request.method, request.uri);
+    if (lookup.outcome == core::LookupOutcome::kHit) {
+      if (lookup.remote) {
+        count(ctx.counters, &ServerCounters::cache_hits_remote);
+      } else {
+        count(ctx.counters, &ServerCounters::cache_hits_local);
+      }
+      return dynamic_response(std::move(lookup.result.data),
+                              lookup.result.meta.content_type,
+                              lookup.result.meta.http_status,
+                              lookup.remote ? "hit-remote" : "hit-local");
+    }
+    rule = lookup.rule;
+  }
+
+  // Miss or uncacheable: execute the CGI and time it.
+  const Clock* clock = ctx.clock != nullptr
+                           ? ctx.clock
+                           : static_cast<const Clock*>(RealClock::instance());
+  const TimeNs start = clock->now();
+  auto output = handler->run(request);
+  const double exec_seconds = to_seconds(clock->now() - start);
+
+  if (!output) {
+    count(ctx.counters, &ServerCounters::errors);
+    return http::Response::error(500, output.status().to_string());
+  }
+
+  if (ctx.cache != nullptr) {
+    ctx.cache->complete(request.method, request.uri, rule, output.value(),
+                        exec_seconds);
+  }
+  if (!output.value().success) {
+    count(ctx.counters, &ServerCounters::errors);
+  }
+  return dynamic_response(std::move(output.value().body),
+                          output.value().content_type,
+                          output.value().http_status, "miss");
+}
+
+http::Response serve_static(const http::Request& request,
+                            const ServeContext& ctx) {
+  count(ctx.counters, &ServerCounters::static_requests);
+  if (ctx.docroot.empty()) return http::Response::error(404);
+
+  auto full = resolve_static_path(ctx.docroot, request.uri.path);
+  if (!full) return http::Response::error(403);
+
+  const int fd = ::open(full.value().c_str(), O_RDONLY);
+  if (fd < 0) return http::Response::error(404, request.uri.path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return http::Response::error(404, request.uri.path);
+  }
+
+  // Conditional GET: If-Modified-Since lets 1990s-era clients and proxies
+  // revalidate cheaply with a 304.
+  if (const auto ims = request.headers.get("If-Modified-Since")) {
+    const auto since = http::parse_http_date(*ims);
+    if (since && st.st_mtime <= *since) {
+      ::close(fd);
+      http::Response not_modified;
+      not_modified.status = 304;
+      not_modified.headers.set("Last-Modified",
+                               http::format_http_date(st.st_mtime));
+      return not_modified;
+    }
+  }
+
+  http::Response resp;
+  resp.status = 200;
+  resp.headers.set("Content-Type", http::mime_type_for_path(full.value()));
+  resp.headers.set("Content-Length", std::to_string(st.st_size));
+  resp.headers.set("Last-Modified", http::format_http_date(st.st_mtime));
+  if (request.method != http::Method::kHead && st.st_size > 0) {
+    MappedFile map;
+    map.size = static_cast<std::size_t>(st.st_size);
+    map.addr = ::mmap(nullptr, map.size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map.addr == MAP_FAILED) {
+      ::close(fd);
+      return http::Response::error(500, "mmap failed");
+    }
+    resp.body.assign(map.view());
+  }
+  ::close(fd);
+  return resp;
+}
+
+std::string json_u64(std::string_view name, std::uint64_t value,
+                     bool last = false) {
+  std::string out = "  \"";
+  out += name;
+  out += "\": ";
+  out += std::to_string(value);
+  if (!last) out += ",";
+  out += "\n";
+  return out;
+}
+
+/// GET /swala-status: live statistics as JSON.
+http::Response serve_status(const ServeContext& ctx) {
+  std::string body = "{\n";
+  if (ctx.counters != nullptr) {
+    const ServerStats s = snapshot(*ctx.counters);
+    body += json_u64("connections", s.connections);
+    body += json_u64("requests", s.requests);
+    body += json_u64("static_requests", s.static_requests);
+    body += json_u64("dynamic_requests", s.dynamic_requests);
+    body += json_u64("errors", s.errors);
+    body += json_u64("bytes_sent", s.bytes_sent);
+  }
+  if (ctx.latency != nullptr) {
+    const LatencyHistogram hist = ctx.latency->snapshot();
+    body += json_u64("response_count", hist.count());
+    body += json_u64("response_mean_us",
+                     static_cast<std::uint64_t>(hist.mean() * 1e6));
+    body += json_u64("response_p50_us",
+                     static_cast<std::uint64_t>(hist.percentile(50) * 1e6));
+    body += json_u64("response_p95_us",
+                     static_cast<std::uint64_t>(hist.percentile(95) * 1e6));
+    body += json_u64("response_p99_us",
+                     static_cast<std::uint64_t>(hist.percentile(99) * 1e6));
+  }
+  if (ctx.cache != nullptr) {
+    const core::ManagerStats c = ctx.cache->stats();
+    body += json_u64("cache_lookups", c.lookups);
+    body += json_u64("cache_local_hits", c.local_hits);
+    body += json_u64("cache_remote_hits", c.remote_hits);
+    body += json_u64("cache_misses", c.misses);
+    body += json_u64("cache_inserts", c.inserts);
+    body += json_u64("cache_false_hits", c.false_hits);
+    body += json_u64("cache_false_misses", c.false_misses);
+    body += json_u64("cache_invalidations", c.invalidations);
+    body += json_u64("cache_entries", ctx.cache->store().entry_count());
+    body += json_u64("cache_bytes", ctx.cache->store().bytes_used(), true);
+  } else {
+    body += json_u64("cache_enabled", 0, true);
+  }
+  body += "}\n";
+  return http::Response::make(200, std::move(body), "application/json");
+}
+
+/// /swala-admin/invalidate?pattern=<glob>: cluster-wide invalidation.
+http::Response serve_invalidate(const http::Request& request,
+                                const ServeContext& ctx) {
+  if (ctx.cache == nullptr) {
+    return http::Response::error(404, "caching disabled");
+  }
+  std::string pattern;
+  for (const auto& [key, value] : request.uri.query_params()) {
+    if (key == "pattern") pattern = value;
+  }
+  if (pattern.empty()) {
+    return http::Response::error(400, "missing ?pattern=<glob>");
+  }
+  const std::size_t removed = ctx.cache->invalidate(pattern);
+  return http::Response::make(
+      200, "{\n  \"removed\": " + std::to_string(removed) + "\n}\n",
+      "application/json");
+}
+
+}  // namespace
+
+http::Response handle_request(const http::Request& request,
+                              const ServeContext& ctx) {
+  count(ctx.counters, &ServerCounters::requests);
+
+  if (request.method != http::Method::kGet &&
+      request.method != http::Method::kHead &&
+      request.method != http::Method::kPost) {
+    return http::Response::error(405);
+  }
+
+  if (ctx.enable_admin) {
+    if (request.uri.path == "/swala-status") return serve_status(ctx);
+    if (request.uri.path == "/swala-admin/invalidate") {
+      return serve_invalidate(request, ctx);
+    }
+  }
+
+  cgi::CgiHandlerPtr handler;
+  if (ctx.registry != nullptr) handler = ctx.registry->find(request.uri.path);
+  if (handler != nullptr) return run_dynamic(request, handler, ctx);
+  return serve_static(request, ctx);
+}
+
+void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
+  count(ctx.counters, &ServerCounters::connections);
+  (void)stream.set_no_delay(true);
+  // Read in short slices so an idle connection notices server shutdown
+  // without waiting out the full idle timeout.
+  constexpr int kSliceMs = 250;
+  (void)stream.set_recv_timeout(std::min(ctx.recv_timeout_ms, kSliceMs));
+  (void)stream.set_send_timeout(ctx.recv_timeout_ms);
+
+  const auto shutting_down = [&ctx] {
+    return ctx.running != nullptr &&
+           !ctx.running->load(std::memory_order_relaxed);
+  };
+
+  http::RequestParser parser;
+  char buf[16 * 1024];
+  std::size_t served = 0;
+
+  while (served < ctx.max_keep_alive_requests) {
+    // Consume already-buffered pipelined bytes before reading the socket.
+    http::ParseState state = parser.pump();
+    int idle_ms = 0;
+    while (state == http::ParseState::kNeedMore) {
+      auto n = stream.read_some(buf, sizeof(buf));
+      if (!n) {
+        if (n.status().code() != StatusCode::kTimeout) return;
+        idle_ms += kSliceMs;
+        if (idle_ms >= ctx.recv_timeout_ms || shutting_down()) return;
+        continue;
+      }
+      if (n.value() == 0) return;  // peer closed
+      idle_ms = 0;
+      state = parser.feed({buf, n.value()});
+    }
+    if (state == http::ParseState::kError) {
+      const auto resp = http::Response::error(parser.error_status());
+      (void)stream.write_all(resp.serialize());
+      return;
+    }
+
+    http::Request& request = parser.request();
+    const bool keep = ctx.allow_keep_alive && request.keep_alive() &&
+                      served + 1 < ctx.max_keep_alive_requests;
+
+    const Clock* clock = ctx.clock != nullptr
+                             ? ctx.clock
+                             : static_cast<const Clock*>(RealClock::instance());
+    const TimeNs handle_start = clock->now();
+    http::Response resp = handle_request(request, ctx);
+    if (ctx.latency != nullptr) {
+      ctx.latency->add(to_seconds(clock->now() - handle_start));
+    }
+    if (ctx.access_log != nullptr && ctx.access_log->is_open()) {
+      AccessRecord record;
+      record.timestamp =
+          static_cast<double>(std::time(nullptr));  // wall-clock epoch
+      record.method = http::method_name(request.method);
+      record.target = request.target;
+      record.version = http::version_name(request.version);
+      record.status = resp.status;
+      record.bytes = resp.body.size();
+      record.service_seconds = to_seconds(clock->now() - handle_start);
+      const auto cache_state = resp.headers.get("X-Swala-Cache");
+      record.dynamic = cache_state.has_value();
+      record.cache_state = cache_state ? std::string(*cache_state) : "-";
+      ctx.access_log->log(record);
+    }
+    resp.version = request.version;
+    resp.headers.set("Server", kServerName);
+    resp.headers.set("Connection", keep ? "keep-alive" : "close");
+    if (request.method == http::Method::kHead) resp.body.clear();
+
+    const std::string wire = resp.serialize();
+    if (!stream.write_all(wire).is_ok()) return;
+    if (ctx.counters != nullptr) {
+      ctx.counters->bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+    }
+    ++served;
+    if (!keep) return;
+    parser.reset();
+  }
+}
+
+ServerStats snapshot(const ServerCounters& counters) {
+  ServerStats s;
+  s.connections = counters.connections.load(std::memory_order_relaxed);
+  s.requests = counters.requests.load(std::memory_order_relaxed);
+  s.static_requests = counters.static_requests.load(std::memory_order_relaxed);
+  s.dynamic_requests = counters.dynamic_requests.load(std::memory_order_relaxed);
+  s.cache_hits_local = counters.cache_hits_local.load(std::memory_order_relaxed);
+  s.cache_hits_remote = counters.cache_hits_remote.load(std::memory_order_relaxed);
+  s.errors = counters.errors.load(std::memory_order_relaxed);
+  s.bytes_sent = counters.bytes_sent.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace swala::server

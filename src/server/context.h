@@ -1,0 +1,98 @@
+// Request-handling core shared by every server flavour in this repo:
+//   SwalaServer   — thread pool, cooperative cache (the paper's server)
+//   MiniServer    — thread-per-connection, no cache (Enterprise stand-in)
+//   ForkingServer — process-per-connection, no cache (NCSA HTTPd stand-in)
+// The flavours differ only in concurrency architecture; the HTTP handling
+// below is identical, which keeps the baseline comparisons honest.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "cgi/registry.h"
+#include "common/stats.h"
+#include "core/manager.h"
+#include "net/socket.h"
+#include "server/access_log.h"
+
+namespace swala::server {
+
+/// Thread-safe response-time recorder (LatencyHistogram is not itself
+/// thread-safe; request threads share this).
+class LatencyRecorder {
+ public:
+  void add(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.add(seconds);
+  }
+
+  LatencyHistogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  LatencyHistogram histogram_;
+};
+
+/// Live counters exported by all server flavours.
+struct ServerCounters {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> static_requests{0};
+  std::atomic<std::uint64_t> dynamic_requests{0};
+  std::atomic<std::uint64_t> cache_hits_local{0};
+  std::atomic<std::uint64_t> cache_hits_remote{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+};
+
+/// Plain-value snapshot of ServerCounters.
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t static_requests = 0;
+  std::uint64_t dynamic_requests = 0;
+  std::uint64_t cache_hits_local = 0;
+  std::uint64_t cache_hits_remote = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Everything a connection handler needs. Owned by the server object;
+/// handlers borrow it.
+struct ServeContext {
+  std::string docroot;                         ///< empty = no static serving
+  std::shared_ptr<cgi::HandlerRegistry> registry;  ///< may be null
+  core::CacheManager* cache = nullptr;         ///< null = caching disabled
+  const Clock* clock = nullptr;                ///< for CGI timing
+  bool allow_keep_alive = true;
+  /// Enables the built-in endpoints: GET /swala-status (JSON statistics)
+  /// and POST/GET /swala-admin/invalidate?pattern=<glob> (cluster-wide
+  /// application-driven invalidation).
+  bool enable_admin = false;
+  int recv_timeout_ms = 15000;
+  std::size_t max_keep_alive_requests = 1000;
+  ServerCounters* counters = nullptr;
+  /// When set, handlers abandon idle keep-alive connections as soon as the
+  /// flag goes false, so server shutdown never waits out recv_timeout_ms.
+  const std::atomic<bool>* running = nullptr;
+  /// Optional access log (see access_log.h); null = no logging.
+  AccessLog* access_log = nullptr;
+  /// Optional response-time recorder (reported by /swala-status).
+  LatencyRecorder* latency = nullptr;
+};
+
+/// Serves requests on `stream` until close / keep-alive exhaustion / error.
+void handle_connection(net::TcpStream stream, const ServeContext& ctx);
+
+/// Handles one parsed request; exposed for unit tests.
+http::Response handle_request(const http::Request& request,
+                              const ServeContext& ctx);
+
+/// Snapshot helper.
+ServerStats snapshot(const ServerCounters& counters);
+
+}  // namespace swala::server

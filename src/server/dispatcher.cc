@@ -1,0 +1,176 @@
+#include "server/dispatcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "http/client.h"
+#include "http/parser.h"
+
+namespace swala::server {
+
+Dispatcher::Dispatcher(DispatcherOptions options,
+                       std::vector<net::InetAddress> backends)
+    : options_(std::move(options)), backends_(std::move(backends)) {
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    in_flight_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    forwarded_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+Dispatcher::~Dispatcher() { stop(); }
+
+Status Dispatcher::start() {
+  if (backends_.empty()) {
+    return Status(StatusCode::kInvalidArgument, "dispatcher needs backends");
+  }
+  if (running_.exchange(true)) return Status::ok();
+  auto listener = net::TcpListener::listen(options_.listen);
+  if (!listener) {
+    running_ = false;
+    return listener.status();
+  }
+  listener_ = std::move(listener.value());
+  threads_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+  return Status::ok();
+}
+
+void Dispatcher::stop() {
+  if (!running_.exchange(false)) return;
+  listener_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void Dispatcher::worker_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    net::TcpStream stream;
+    {
+      std::lock_guard<std::mutex> lock(accept_mutex_);
+      if (!running_.load(std::memory_order_relaxed)) return;
+      auto conn = listener_.accept(/*timeout_ms=*/200);
+      if (!conn) {
+        if (conn.status().code() == StatusCode::kTimeout) continue;
+        return;
+      }
+      stream = std::move(conn.value());
+    }
+    handle_connection(std::move(stream));
+  }
+}
+
+std::size_t Dispatcher::pick_backend(const std::vector<std::size_t>& exclude) {
+  const auto excluded = [&](std::size_t index) {
+    return std::find(exclude.begin(), exclude.end(), index) != exclude.end();
+  };
+  if (options_.strategy == DispatchStrategy::kLeastConnections) {
+    std::size_t best = backends_.size();
+    std::uint64_t best_load = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      if (excluded(i)) continue;
+      const std::uint64_t load = in_flight_[i]->load(std::memory_order_relaxed);
+      if (load < best_load) {
+        best_load = load;
+        best = i;
+      }
+    }
+    if (best < backends_.size()) return best;
+  }
+  // Round-robin (and the least-connections everything-excluded fallback).
+  for (std::size_t hop = 0; hop < backends_.size(); ++hop) {
+    const std::size_t index =
+        round_robin_.fetch_add(1, std::memory_order_relaxed) % backends_.size();
+    if (!excluded(index)) return index;
+  }
+  return round_robin_.load(std::memory_order_relaxed) % backends_.size();
+}
+
+void Dispatcher::handle_connection(net::TcpStream stream) {
+  (void)stream.set_no_delay(true);
+  (void)stream.set_recv_timeout(250);
+  (void)stream.set_send_timeout(options_.backend_timeout_ms);
+
+  http::RequestParser parser;
+  char buf[16 * 1024];
+  int idle_ms = 0;
+
+  for (;;) {
+    http::ParseState state = parser.pump();
+    while (state == http::ParseState::kNeedMore) {
+      auto n = stream.read_some(buf, sizeof(buf));
+      if (!n) {
+        if (n.status().code() != StatusCode::kTimeout) return;
+        idle_ms += 250;
+        if (idle_ms >= options_.backend_timeout_ms ||
+            !running_.load(std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      if (n.value() == 0) return;
+      idle_ms = 0;
+      state = parser.feed({buf, n.value()});
+    }
+    if (state == http::ParseState::kError) {
+      (void)stream.write_all(
+          http::Response::error(parser.error_status()).serialize());
+      return;
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    http::Request& request = parser.request();
+    const bool client_keep = request.keep_alive();
+
+    // Forward with failover across distinct backends.
+    http::Response response = http::Response::error(502, "no backend available");
+    bool forwarded_ok = false;
+    std::vector<std::size_t> tried;
+    const std::size_t attempts =
+        std::min(options_.max_attempts, backends_.size());
+    for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+      const std::size_t index = pick_backend(tried);
+      tried.push_back(index);
+      in_flight_[index]->fetch_add(1, std::memory_order_relaxed);
+
+      http::Request upstream = request;
+      upstream.headers.set("Via", "1.1 swala-dispatcher");
+      upstream.headers.set("Connection", "close");
+      http::HttpClient backend(backends_[index], options_.backend_timeout_ms);
+      auto result = backend.send(upstream);
+
+      in_flight_[index]->fetch_sub(1, std::memory_order_relaxed);
+      if (result) {
+        forwarded_[index]->fetch_add(1, std::memory_order_relaxed);
+        response = std::move(result.value());
+        forwarded_ok = true;
+        break;
+      }
+      forward_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!forwarded_ok) unavailable_.fetch_add(1, std::memory_order_relaxed);
+
+    response.version = request.version;
+    response.headers.set("Connection", client_keep ? "keep-alive" : "close");
+    response.headers.set("Content-Length", std::to_string(response.body.size()));
+    if (!stream.write_all(response.serialize()).is_ok()) return;
+    if (!client_keep) return;
+    parser.reset();
+  }
+}
+
+DispatcherStats Dispatcher::stats() const {
+  DispatcherStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.forward_failures = forward_failures_.load(std::memory_order_relaxed);
+  s.unavailable = unavailable_.load(std::memory_order_relaxed);
+  for (const auto& counter : forwarded_) {
+    s.per_backend.push_back(counter->load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+}  // namespace swala::server

@@ -1,0 +1,87 @@
+// Front-end request dispatcher.
+//
+// The paper's experiments distribute clients across nodes from the client
+// side ("every thread launches requests to a single server node") — the
+// standard 1998 alternative being a load-balancing front end (the paper
+// cites SWEB [2] and IBM's scalable server [7]). This dispatcher completes
+// the deployment story: one address clients connect to, requests forwarded
+// to the Swala nodes round-robin or by least in-flight connections, with
+// failover when a backend is down.
+//
+// Forwarding is plain HTTP proxying: the dispatcher rewrites nothing but
+// adds a Via header; cooperative caching below is unaffected (any node can
+// serve any request — that is the whole point of the shared cache).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "http/message.h"
+#include "net/socket.h"
+
+namespace swala::server {
+
+enum class DispatchStrategy {
+  kRoundRobin,
+  kLeastConnections,  ///< fewest in-flight forwards
+};
+
+struct DispatcherOptions {
+  net::InetAddress listen{"127.0.0.1", 0};
+  std::size_t threads = 8;
+  DispatchStrategy strategy = DispatchStrategy::kRoundRobin;
+  int backend_timeout_ms = 30000;
+  /// How many distinct backends to try before giving up with 502.
+  std::size_t max_attempts = 2;
+};
+
+struct DispatcherStats {
+  std::uint64_t requests = 0;
+  std::uint64_t forward_failures = 0;  ///< attempts that failed over
+  std::uint64_t unavailable = 0;       ///< requests answered 502
+  std::vector<std::uint64_t> per_backend;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(DispatcherOptions options, std::vector<net::InetAddress> backends);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  Status start();
+  void stop();
+
+  std::uint16_t port() const { return listener_.local_port(); }
+  net::InetAddress address() const { return {"127.0.0.1", port()}; }
+
+  DispatcherStats stats() const;
+
+ private:
+  void worker_loop();
+  void handle_connection(net::TcpStream stream);
+
+  /// Picks the next backend to try, excluding already-failed indices.
+  std::size_t pick_backend(const std::vector<std::size_t>& exclude);
+
+  DispatcherOptions options_;
+  std::vector<net::InetAddress> backends_;
+
+  net::TcpListener listener_;
+  std::mutex accept_mutex_;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> threads_;
+
+  std::atomic<std::uint64_t> round_robin_{0};
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> in_flight_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> forwarded_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> forward_failures_{0};
+  std::atomic<std::uint64_t> unavailable_{0};
+};
+
+}  // namespace swala::server

@@ -1,0 +1,117 @@
+#include "server/node.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace swala::server {
+
+Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
+    const Config& config, std::shared_ptr<cgi::HandlerRegistry> registry) {
+  auto node = std::unique_ptr<SwalaNode>(new SwalaNode());
+
+  // ---- cluster membership ----
+  std::vector<cluster::MemberAddress> members;
+  for (const auto& line : config.get_all("cluster", "member")) {
+    const auto tokens = split_trimmed(line, ' ');
+    if (tokens.size() != 4) {
+      return Status(StatusCode::kInvalidArgument,
+                    "member needs 'id host info_port data_port': " + line);
+    }
+    std::uint64_t id = 0, info_port = 0, data_port = 0;
+    if (!parse_u64(tokens[0], &id) || !parse_u64(tokens[2], &info_port) ||
+        !parse_u64(tokens[3], &data_port) || info_port > 65535 ||
+        data_port > 65535) {
+      return Status(StatusCode::kInvalidArgument, "bad member line: " + line);
+    }
+    cluster::MemberAddress m;
+    m.id = static_cast<core::NodeId>(id);
+    m.info_addr = {tokens[1], static_cast<std::uint16_t>(info_port)};
+    m.data_addr = {tokens[1], static_cast<std::uint16_t>(data_port)};
+    members.push_back(std::move(m));
+  }
+  const auto node_id =
+      static_cast<core::NodeId>(config.get_int("cluster", "node_id", 0));
+  const std::size_t group_size = members.empty() ? 1 : members.size();
+
+  // ---- cache manager ----
+  const bool cache_enabled = config.get_bool("cache", "enabled", true);
+  if (cache_enabled) {
+    core::ManagerOptions mo;
+    mo.limits.max_entries =
+        static_cast<std::uint64_t>(config.get_int("cache", "max_entries", 2000));
+    mo.limits.max_bytes =
+        static_cast<std::uint64_t>(config.get_int("cache", "max_bytes", 0));
+    auto policy =
+        core::policy_from_name(config.get_string("cache", "policy", "lru"));
+    if (!policy) return policy.status();
+    mo.policy = policy.value();
+    const std::string disk_dir = config.get_string("cache", "disk_dir", "");
+    mo.disk_dir = disk_dir;
+    auto rules = core::CacheabilityRules::from_config(config);
+    if (!rules) return rules.status();
+    mo.rules = std::move(rules.value());
+
+    if (!members.empty()) {
+      cluster::GroupOptions go;
+      go.purge_interval_seconds =
+          config.get_double("cache", "purge_interval", 2.0);
+      node->group_ =
+          std::make_unique<cluster::NodeGroup>(node_id, members, go);
+    }
+    node->manager_ = std::make_unique<core::CacheManager>(
+        node_id, group_size, std::move(mo), RealClock::instance(),
+        node->group_.get());
+    if (node->group_ != nullptr) node->group_->attach(node->manager_.get());
+
+    node->state_file_ = config.get_string("cache", "state_file", "");
+    if (!node->state_file_.empty() && disk_dir.empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "cache.state_file requires cache.disk_dir");
+    }
+  }
+
+  // ---- HTTP server ----
+  SwalaServerOptions so;
+  so.listen.host = config.get_string("server", "host", "127.0.0.1");
+  so.listen.port =
+      static_cast<std::uint16_t>(config.get_int("server", "port", 0));
+  so.request_threads =
+      static_cast<std::size_t>(config.get_int("server", "threads", 16));
+  so.docroot = config.get_string("server", "docroot", "");
+  so.enable_admin = config.get_bool("server", "admin", false);
+  so.access_log_path = config.get_string("server", "access_log", "");
+  node->server_ = std::make_unique<SwalaServer>(
+      std::move(so), std::move(registry), node->manager_.get());
+
+  return node;
+}
+
+SwalaNode::~SwalaNode() { stop(); }
+
+Status SwalaNode::start() {
+  if (group_ != nullptr) {
+    if (auto st = group_->start(); !st.is_ok()) return st;
+  }
+  if (auto st = server_->start(); !st.is_ok()) return st;
+  // Warm restart after the group is up, so the restored entries broadcast.
+  if (manager_ != nullptr && !state_file_.empty()) {
+    auto restored = manager_->restore_state(state_file_);
+    if (restored) {
+      SWALA_LOG(Info) << "warm restart: restored " << restored.value()
+                      << " cached entries";
+    }  // a missing manifest is normal on first boot
+  }
+  return Status::ok();
+}
+
+void SwalaNode::stop() {
+  if (manager_ != nullptr && !state_file_.empty()) {
+    if (auto st = manager_->save_state(state_file_); !st.is_ok()) {
+      SWALA_LOG(Warn) << "state save failed: " << st.to_string();
+    }
+  }
+  if (server_ != nullptr) server_->stop();
+  if (group_ != nullptr) group_->stop();
+}
+
+}  // namespace swala::server

@@ -1,0 +1,67 @@
+// SwalaNode: assembles one complete node — HTTP server + cache manager +
+// cluster group — from a configuration file. This is the public entry point
+// a deployment would use; the examples build on it.
+//
+// Configuration format (INI; see common/config.h):
+//
+//   [server]
+//   host = 127.0.0.1
+//   port = 8080            ; 0 = ephemeral
+//   threads = 16
+//   docroot = ./www
+//
+//   [cache]
+//   enabled = true
+//   max_entries = 2000
+//   max_bytes = 0          ; 0 = unlimited
+//   policy = lru           ; lru | lfu | fifo | size | gds
+//   disk_dir =             ; empty = in-memory store
+//   state_file =           ; warm-restart manifest (needs disk_dir)
+//   purge_interval = 2.0
+//
+//   [cacheability]
+//   rule = /cgi-bin/* cache ttl=3600 min_exec=0.05
+//   default = nocache
+//
+//   [cluster]
+//   node_id = 0
+//   member = 0 127.0.0.1 9000 9001   ; id host info_port data_port
+//   member = 1 127.0.0.1 9010 9011
+#pragma once
+
+#include <memory>
+
+#include "cluster/group.h"
+#include "common/config.h"
+#include "core/manager.h"
+#include "server/swala_server.h"
+
+namespace swala::server {
+
+class SwalaNode {
+ public:
+  /// Builds (but does not start) a node from configuration. The registry
+  /// carries the CGI programs this node can run.
+  static Result<std::unique_ptr<SwalaNode>> from_config(
+      const Config& config, std::shared_ptr<cgi::HandlerRegistry> registry);
+
+  ~SwalaNode();
+
+  /// Starts group daemons (if clustered) and the HTTP server.
+  Status start();
+  void stop();
+
+  SwalaServer& http() { return *server_; }
+  core::CacheManager* cache() { return manager_.get(); }
+  cluster::NodeGroup* group() { return group_.get(); }
+
+ private:
+  SwalaNode() = default;
+
+  std::unique_ptr<cluster::NodeGroup> group_;   // may be null (stand-alone)
+  std::unique_ptr<core::CacheManager> manager_; // may be null (no caching)
+  std::unique_ptr<SwalaServer> server_;
+  std::string state_file_;  // warm-restart manifest; empty = disabled
+};
+
+}  // namespace swala::server

@@ -1,0 +1,105 @@
+#include "server/swala_server.h"
+
+#include "common/logging.h"
+
+namespace swala::server {
+
+SwalaServer::SwalaServer(SwalaServerOptions options,
+                         std::shared_ptr<cgi::HandlerRegistry> registry,
+                         core::CacheManager* cache, const Clock* clock)
+    : options_(std::move(options)), registry_(std::move(registry)) {
+  ctx_.docroot = options_.docroot;
+  ctx_.registry = registry_;
+  ctx_.cache = cache;
+  ctx_.clock = clock;
+  ctx_.allow_keep_alive = options_.allow_keep_alive;
+  ctx_.enable_admin = options_.enable_admin;
+  ctx_.recv_timeout_ms = options_.recv_timeout_ms;
+  ctx_.counters = &counters_;
+  ctx_.running = &running_;
+  ctx_.latency = &latency_;
+}
+
+SwalaServer::~SwalaServer() { stop(); }
+
+Status SwalaServer::start() {
+  if (running_.exchange(true)) return Status::ok();
+  if (!options_.access_log_path.empty()) {
+    if (auto st = access_log_.open(options_.access_log_path); !st.is_ok()) {
+      running_ = false;
+      return st;
+    }
+    ctx_.access_log = &access_log_;
+  }
+  auto listener = net::TcpListener::listen(options_.listen);
+  if (!listener) {
+    running_ = false;
+    return listener.status();
+  }
+  listener_ = std::move(listener.value());
+  threads_.reserve(options_.request_threads);
+  if (options_.accept_model == AcceptModel::kTakeTurns) {
+    for (std::size_t i = 0; i < options_.request_threads; ++i) {
+      threads_.emplace_back([this] { request_thread_loop(); });
+    }
+  } else {
+    conn_queue_ = std::make_unique<BoundedQueue<net::TcpStream>>(1024);
+    for (std::size_t i = 0; i < options_.request_threads; ++i) {
+      threads_.emplace_back([this] { queue_worker_loop(); });
+    }
+    acceptor_ = std::thread([this] { acceptor_loop(); });
+  }
+  SWALA_LOG(Info) << "SwalaServer listening on port " << port() << " with "
+                  << options_.request_threads << " request threads";
+  return Status::ok();
+}
+
+void SwalaServer::stop() {
+  if (!running_.exchange(false)) return;
+  listener_.close();
+  if (conn_queue_ != nullptr) conn_queue_->close();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  conn_queue_.reset();
+}
+
+void SwalaServer::request_thread_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    net::TcpStream stream;
+    {
+      // Take turns listening (§4.1): only one thread blocks in accept.
+      std::lock_guard<std::mutex> lock(accept_mutex_);
+      if (!running_.load(std::memory_order_relaxed)) return;
+      auto conn = listener_.accept(/*timeout_ms=*/200);
+      if (!conn) {
+        if (conn.status().code() == StatusCode::kTimeout) continue;
+        return;  // listener closed
+      }
+      stream = std::move(conn.value());
+    }
+    // Handle outside the accept lock so other threads can accept.
+    handle_connection(std::move(stream), ctx_);
+  }
+}
+
+void SwalaServer::acceptor_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    auto conn = listener_.accept(/*timeout_ms=*/200);
+    if (!conn) {
+      if (conn.status().code() == StatusCode::kTimeout) continue;
+      break;
+    }
+    if (!conn_queue_->push(std::move(conn.value()))) break;  // shutting down
+  }
+}
+
+void SwalaServer::queue_worker_loop() {
+  while (auto stream = conn_queue_->pop()) {
+    handle_connection(std::move(*stream), ctx_);
+  }
+}
+
+}  // namespace swala::server

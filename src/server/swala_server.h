@@ -1,0 +1,88 @@
+// SwalaServer: the paper's HTTP module. A pool of request threads "take
+// turns listening on the main port for incoming connections" (§4.1); each
+// thread owns its connection from parse to completion, running the cache
+// flow of Figure 2 for dynamic requests.
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "server/context.h"
+
+namespace swala::server {
+
+/// How connections reach the request threads (§4.1 design choice).
+enum class AcceptModel {
+  /// The paper's model: request threads take turns in accept() under a
+  /// mutex; the accepting thread then owns the connection end-to-end.
+  kTakeTurns,
+  /// The alternative: a dedicated acceptor thread pushes connections onto
+  /// a bounded queue the request threads pop from.
+  kAcceptorQueue,
+};
+
+struct SwalaServerOptions {
+  net::InetAddress listen{"127.0.0.1", 0};
+  std::size_t request_threads = 16;
+  AcceptModel accept_model = AcceptModel::kTakeTurns;
+  std::string docroot;
+  bool allow_keep_alive = true;
+  /// Exposes /swala-status and /swala-admin/invalidate.
+  bool enable_admin = false;
+  /// Path of the access log (empty = no logging); see access_log.h.
+  std::string access_log_path;
+  int recv_timeout_ms = 15000;
+};
+
+class SwalaServer {
+ public:
+  /// `registry` supplies the CGI programs; `cache` may be null (caching
+  /// disabled — the paper's "Swala no-cache" configuration).
+  SwalaServer(SwalaServerOptions options,
+              std::shared_ptr<cgi::HandlerRegistry> registry,
+              core::CacheManager* cache = nullptr,
+              const Clock* clock = RealClock::instance());
+  ~SwalaServer();
+
+  SwalaServer(const SwalaServer&) = delete;
+  SwalaServer& operator=(const SwalaServer&) = delete;
+
+  /// Binds the port and launches the request-thread pool.
+  Status start();
+
+  /// Stops accepting, joins all request threads. Idempotent.
+  void stop();
+
+  /// Bound port (after start()).
+  std::uint16_t port() const { return listener_.local_port(); }
+  net::InetAddress address() const { return {"127.0.0.1", port()}; }
+
+  ServerStats stats() const { return snapshot(counters_); }
+  core::CacheManager* cache() const { return ctx_.cache; }
+
+  /// Response-time distribution (request handling, excluding socket I/O).
+  LatencyHistogram latency() const { return latency_.snapshot(); }
+
+ private:
+  void request_thread_loop();
+  void acceptor_loop();
+  void queue_worker_loop();
+
+  SwalaServerOptions options_;
+  std::shared_ptr<cgi::HandlerRegistry> registry_;
+  ServeContext ctx_;
+  ServerCounters counters_;
+  AccessLog access_log_;
+  LatencyRecorder latency_;
+
+  net::TcpListener listener_;
+  std::mutex accept_mutex_;  ///< request threads take turns accepting
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> threads_;
+  std::thread acceptor_;  ///< kAcceptorQueue only
+  std::unique_ptr<BoundedQueue<net::TcpStream>> conn_queue_;
+};
+
+}  // namespace swala::server

@@ -1,0 +1,291 @@
+#include "sim/cluster_sim.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "http/uri.h"
+
+namespace swala::sim {
+namespace {
+
+/// CooperationBus over the event engine: broadcasts arrive after a
+/// propagation delay; remote fetches read the owner's store immediately
+/// (the latency is charged to the request's timeline by the node model).
+class SimBus final : public core::CooperationBus {
+ public:
+  SimBus(SimEngine* engine, core::NodeId self, const SimCosts* costs)
+      : engine_(engine), self_(self), costs_(costs) {}
+
+  void wire(std::vector<std::unique_ptr<core::CacheManager>>* managers) {
+    managers_ = managers;
+  }
+
+  void broadcast_insert(const core::EntryMeta& meta) override {
+    for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
+      if (peer == self_) continue;
+      engine_->schedule_in(costs_->directory_update_delay, [this, peer, meta] {
+        (*managers_)[peer]->on_peer_insert(meta);
+      });
+    }
+  }
+
+  void broadcast_erase(core::NodeId owner, const std::string& key,
+                       std::uint64_t version) override {
+    for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
+      if (peer == self_) continue;
+      engine_->schedule_in(costs_->directory_update_delay,
+                           [this, peer, owner, key, version] {
+                             (*managers_)[peer]->on_peer_erase(owner, key, version);
+                           });
+    }
+  }
+
+  void broadcast_invalidate(const std::string& pattern) override {
+    for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
+      if (peer == self_) continue;
+      engine_->schedule_in(costs_->directory_update_delay, [this, peer, pattern] {
+        (*managers_)[peer]->on_peer_invalidate(pattern);
+      });
+    }
+  }
+
+  Result<core::CachedResult> fetch_remote(core::NodeId owner,
+                                          const std::string& key) override {
+    if (owner >= managers_->size()) {
+      return Status(StatusCode::kInvalidArgument, "bad owner");
+    }
+    return (*managers_)[owner]->serve_peer_fetch(key);
+  }
+
+ private:
+  SimEngine* engine_;
+  core::NodeId self_;
+  const SimCosts* costs_;
+  std::vector<std::unique_ptr<core::CacheManager>>* managers_ = nullptr;
+};
+
+/// Per-node working-set tracker for the optional memory model.
+struct NodeMemory {
+  std::unordered_set<std::string> touched;
+  std::uint64_t working_set_bytes = 0;
+
+  void touch(const std::string& target, std::uint64_t bytes) {
+    if (touched.insert(target).second) working_set_bytes += bytes;
+  }
+
+  /// Service multiplier given the node's memory size (1.0 = no pressure).
+  double pressure(std::uint64_t memory_bytes, double slope) const {
+    if (memory_bytes == 0 || working_set_bytes <= memory_bytes) return 1.0;
+    const double ratio = static_cast<double>(working_set_bytes) /
+                         static_cast<double>(memory_bytes);
+    return 1.0 + slope * (ratio - 1.0);
+  }
+};
+
+struct SimState {
+  SimEngine engine;
+  std::vector<std::unique_ptr<SimBus>> buses;
+  std::vector<std::unique_ptr<core::CacheManager>> managers;
+  std::vector<std::unique_ptr<FcfsResource>> cpus;
+  std::vector<NodeMemory> memory;
+
+  // Client streams: each owns a slice of the trace.
+  struct Stream {
+    std::vector<const workload::TraceRecord*> requests;
+    std::size_t next = 0;
+    std::size_t node = 0;
+  };
+  std::vector<Stream> streams;
+
+  LatencyHistogram response_times;
+  std::uint64_t completed = 0;
+  const SimConfig* config = nullptr;
+};
+
+/// Issues stream `s`'s next request; reschedules itself on completion.
+void issue_next(SimState* st, std::size_t s);
+
+void finish_request(SimState* st, std::size_t s, double issued_at) {
+  st->response_times.add(st->engine.now() - issued_at);
+  ++st->completed;
+  st->streams[s].next++;
+  issue_next(st, s);
+}
+
+void issue_next(SimState* st, std::size_t s) {
+  auto& stream = st->streams[s];
+  if (stream.next >= stream.requests.size()) return;  // stream drained
+
+  const workload::TraceRecord& r = *stream.requests[stream.next];
+  const std::size_t node = stream.node;
+  core::CacheManager* manager = st->managers.empty()
+                                    ? nullptr
+                                    : st->managers[node].get();
+  FcfsResource& cpu = *st->cpus[node];
+  const SimCosts& costs = st->config->costs;
+  const double issued_at = st->engine.now();
+
+  // Optional memory model: track this node's working set and derive the
+  // thrash multiplier applied to its CPU-bound work.
+  NodeMemory& mem = st->memory[node];
+  mem.touch(r.target, r.response_bytes);
+  const double pressure =
+      mem.pressure(costs.node_memory_bytes, costs.thrash_slope);
+
+  http::Uri uri;
+  if (!http::parse_uri(r.target, &uri)) {
+    // Malformed trace entry: consume a minimal parse cost and move on.
+    cpu.submit(costs.per_request_overhead,
+               [st, s, issued_at] { finish_request(st, s, issued_at); });
+    return;
+  }
+
+  if (!r.is_cgi || manager == nullptr) {
+    // Static file or caching disabled entirely: plain execution.
+    const double service =
+        pressure * (costs.per_request_overhead + r.service_seconds +
+                    (r.is_cgi ? costs.cgi_startup : 0.0));
+    cpu.submit(service,
+               [st, s, issued_at] { finish_request(st, s, issued_at); });
+    return;
+  }
+
+  // Figure-2 flow. The lookup (and any remote data transfer) happens now;
+  // time costs are charged via the CPU queue / latency events.
+  auto lookup = manager->lookup(http::Method::kGet, uri);
+  switch (lookup.outcome) {
+    case core::LookupOutcome::kHit:
+      if (lookup.remote) {
+        // Requester-side CPU, then the network round trip to the owner.
+        cpu.submit(pressure * (costs.per_request_overhead + costs.remote_fetch_cpu),
+                   [st, s, issued_at, &costs] {
+                     st->engine.schedule_in(
+                         costs.remote_fetch_latency,
+                         [st, s, issued_at] { finish_request(st, s, issued_at); });
+                   });
+      } else {
+        cpu.submit(pressure * (costs.per_request_overhead + costs.local_fetch_cpu),
+                   [st, s, issued_at] { finish_request(st, s, issued_at); });
+      }
+      return;
+
+    case core::LookupOutcome::kUncacheable:
+    case core::LookupOutcome::kMissMustExecute: {
+      const bool cacheable = lookup.outcome == core::LookupOutcome::kMissMustExecute;
+      const double service =
+          pressure * (costs.per_request_overhead + costs.cgi_startup +
+                      r.service_seconds + (cacheable ? costs.insert_cpu : 0.0));
+      const core::RuleDecision rule = lookup.rule;
+      const double exec_seconds = r.service_seconds;
+      const workload::TraceRecord* record = &r;
+      cpu.submit(service, [st, s, issued_at, manager, rule, exec_seconds,
+                           record, uri] {
+        if (rule.cacheable) {
+          // Execution finished *now*: insert and broadcast at this moment,
+          // which is what opens the false-miss window for concurrent
+          // identical requests elsewhere.
+          cgi::CgiOutput output;
+          output.success = true;
+          output.http_status = 200;
+          output.body.resize(record->response_bytes, 'x');
+          manager->complete(http::Method::kGet, uri, rule, output, exec_seconds);
+        }
+        finish_request(st, s, issued_at);
+      });
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+SimReport run_cluster_sim(const workload::Trace& trace, const SimConfig& config) {
+  SimState st;
+  st.config = &config;
+
+  const std::size_t n = std::max<std::size_t>(1, config.nodes);
+
+  // Build the cost-model-aware cooperation fabric over real managers.
+  if (config.caching) {
+    const std::size_t dir_nodes = config.cooperative ? n : 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      st.buses.push_back(std::make_unique<SimBus>(
+          &st.engine, static_cast<core::NodeId>(config.cooperative ? i : 0),
+          &config.costs));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      core::ManagerOptions mo;
+      mo.limits = config.limits;
+      mo.policy = config.policy;
+      core::RuleDecision decision;
+      decision.cacheable = true;
+      decision.ttl_seconds = config.ttl_seconds;
+      decision.min_exec_seconds = config.min_exec_seconds;
+      mo.rules.add_rule("/cgi-bin/*", decision);
+      st.managers.push_back(std::make_unique<core::CacheManager>(
+          static_cast<core::NodeId>(config.cooperative ? i : 0), dir_nodes,
+          std::move(mo), st.engine.clock(),
+          config.cooperative ? st.buses[i].get() : nullptr));
+    }
+    if (config.cooperative) {
+      for (auto& bus : st.buses) bus->wire(&st.managers);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    st.cpus.push_back(std::make_unique<FcfsResource>(&st.engine));
+  }
+  st.memory.resize(n);
+
+  if (config.open_loop) {
+    // Open loop: one single-request "stream" per trace record, fired at the
+    // record's arrival time, routed round-robin across nodes.
+    st.streams.resize(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      st.streams[i].node = i % n;
+      st.streams[i].requests.push_back(&trace[i]);
+      st.engine.schedule_at(trace[i].arrival_seconds,
+                            [&st, i] { issue_next(&st, i); });
+    }
+  } else {
+    // Closed loop: partition the trace round-robin over the client
+    // streams; pin stream s to node s % n.
+    const std::size_t streams = std::max<std::size_t>(1, config.client_streams);
+    st.streams.resize(streams);
+    for (std::size_t s = 0; s < streams; ++s) st.streams[s].node = s % n;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      st.streams[i % streams].requests.push_back(&trace[i]);
+    }
+    for (std::size_t s = 0; s < streams; ++s) {
+      st.engine.schedule_at(0.0, [&st, s] { issue_next(&st, s); });
+    }
+  }
+  st.engine.run();
+
+  SimReport report;
+  report.sim_seconds = st.engine.now();
+  report.response_times = st.response_times;
+  report.requests_completed = st.completed;
+  for (std::size_t i = 0; i < st.managers.size(); ++i) {
+    const auto stats = st.managers[i]->stats();
+    report.per_node.push_back(stats);
+    report.cache.lookups += stats.lookups;
+    report.cache.uncacheable += stats.uncacheable;
+    report.cache.local_hits += stats.local_hits;
+    report.cache.remote_hits += stats.remote_hits;
+    report.cache.misses += stats.misses;
+    report.cache.inserts += stats.inserts;
+    report.cache.below_threshold += stats.below_threshold;
+    report.cache.failed_exec += stats.failed_exec;
+    report.cache.false_hits += stats.false_hits;
+    report.cache.false_misses += stats.false_misses;
+    report.cache.evictions_broadcast += stats.evictions_broadcast;
+  }
+  for (std::size_t i = 0; i < st.cpus.size(); ++i) {
+    report.cpu_utilization.push_back(
+        st.cpus[i]->utilization(report.sim_seconds));
+  }
+  return report;
+}
+
+}  // namespace swala::sim

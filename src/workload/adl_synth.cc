@@ -1,0 +1,165 @@
+#include "workload/adl_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swala::workload {
+namespace {
+
+std::string cgi_target(std::size_t query_id) {
+  // Shaped like the ADL's spatial-query CGIs.
+  return "/cgi-bin/adl/query?session=browse&qid=" + std::to_string(query_id);
+}
+
+std::string cold_cgi_target(std::size_t query_id) {
+  return "/cgi-bin/adl/search?scope=full&qid=" + std::to_string(query_id);
+}
+
+std::string file_target(std::size_t file_id) {
+  return "/collection/tile" + std::to_string(file_id) + ".gif";
+}
+
+}  // namespace
+
+Trace synthesize_adl_trace(const AdlOptions& options) {
+  Rng rng(options.seed);
+
+  // Pre-draw a fixed service time per distinct CGI query: re-executions of
+  // the same query cost the same, which is what makes caching worthwhile.
+  const auto clamp_cost = [&](double cost) {
+    return std::clamp(cost, options.cgi_min_seconds, options.cgi_max_seconds);
+  };
+  std::vector<double> hot_cost(options.hot_queries);
+  for (auto& cost : hot_cost) {
+    cost = clamp_cost(
+        rng.lognormal(options.hot_lognormal_mu, options.hot_lognormal_sigma));
+  }
+  std::vector<double> cold_cost(options.cold_queries);
+  for (auto& cost : cold_cost) {
+    cost = clamp_cost(rng.lognormal(options.cold_lognormal_mu,
+                                    options.cold_lognormal_sigma));
+  }
+
+  // Per-file sizes/costs for the static side.
+  std::vector<double> file_cost(options.unique_files);
+  std::vector<std::uint64_t> file_bytes(options.unique_files);
+  for (std::size_t i = 0; i < options.unique_files; ++i) {
+    file_cost[i] = rng.exponential(options.file_mean_seconds);
+    file_bytes[i] =
+        static_cast<std::uint64_t>(rng.bounded_pareto(1.2, 512, 1 << 20));
+  }
+
+  const ZipfDistribution hot_pop(options.hot_queries, options.hot_zipf_theta);
+  const ZipfDistribution cold_pop(options.cold_queries, options.cold_zipf_theta);
+  const ZipfDistribution file_pop(options.unique_files, options.file_zipf_theta);
+
+  Trace trace;
+  trace.reserve(options.total_requests);
+  double now = 0.0;
+  for (std::size_t i = 0; i < options.total_requests; ++i) {
+    now += rng.exponential(options.mean_interarrival_seconds);
+    TraceRecord r;
+    r.arrival_seconds = now;
+    if (rng.bernoulli(options.cgi_fraction)) {
+      r.is_cgi = true;
+      if (rng.bernoulli(options.hot_fraction)) {
+        const std::size_t qid = hot_pop.sample(rng) - 1;
+        r.target = cgi_target(qid);
+        r.service_seconds = hot_cost[qid];
+      } else {
+        const std::size_t qid = cold_pop.sample(rng) - 1;
+        r.target = cold_cgi_target(qid);
+        r.service_seconds = cold_cost[qid];
+      }
+      r.response_bytes = 4096 + (i % 64) * 256;  // HTML result pages
+    } else {
+      const std::size_t fid = file_pop.sample(rng) - 1;
+      r.target = file_target(fid);
+      r.is_cgi = false;
+      r.service_seconds = file_cost[fid];
+      r.response_bytes = file_bytes[fid];
+    }
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+Trace synthesize_request_mix(const MixOptions& options) {
+  Rng rng(options.seed);
+  const std::size_t total = options.total;
+  const std::size_t unique = std::min(options.unique, options.total);
+
+  // Build the reference string with an LRU-stack model: `stack` holds every
+  // target seen so far, most recently used last. A repeat re-references
+  // either a recent entry (geometric stack distance) or any older one.
+  std::vector<std::size_t> stack;
+  stack.reserve(unique);
+  std::size_t next_unique = 0;
+  const double geo_p =
+      1.0 / std::max(1.0, options.mean_stack_distance);
+
+  Trace trace;
+  trace.reserve(total);
+  double now = 0.0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t remaining_slots = total - i;
+    const std::size_t remaining_new = unique - next_unique;
+    bool is_new;
+    if (stack.empty() || remaining_new == remaining_slots) {
+      is_new = true;
+    } else if (remaining_new == 0) {
+      is_new = false;
+    } else {
+      is_new = rng.bernoulli(static_cast<double>(remaining_new) /
+                             static_cast<double>(remaining_slots));
+    }
+
+    std::size_t target_id;
+    if (is_new) {
+      target_id = next_unique++;
+      stack.push_back(target_id);
+    } else {
+      std::size_t depth;  // 0 = most recently used
+      if (rng.bernoulli(options.local_repeat_fraction)) {
+        // Geometric stack distance beyond the minimum (temporal locality).
+        double u;
+        do {
+          u = rng.next_double();
+        } while (u <= 0.0);
+        depth = options.min_stack_distance +
+                static_cast<std::size_t>(std::log(u) / std::log(1.0 - geo_p));
+      } else {
+        // Long-range repeat: uniform over everything seen.
+        depth = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(stack.size()) - 1));
+      }
+      depth = std::min(depth, stack.size() - 1);
+      const std::size_t index = stack.size() - 1 - depth;
+      target_id = stack[static_cast<std::size_t>(index)];
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(index));
+      stack.push_back(target_id);  // becomes most recently used
+    }
+
+    TraceRecord r;
+    now += rng.exponential(0.01);
+    r.arrival_seconds = now;
+    r.target = cgi_target(target_id);
+    r.is_cgi = true;
+    r.service_seconds = options.service_seconds;
+    r.response_bytes = 2048;
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+Trace synthesize_request_mix(std::size_t total, std::size_t unique,
+                             double service_seconds, std::uint64_t seed) {
+  MixOptions options;
+  options.total = total;
+  options.unique = unique;
+  options.service_seconds = service_seconds;
+  options.seed = seed;
+  return synthesize_request_mix(options);
+}
+
+}  // namespace swala::workload

@@ -1,0 +1,53 @@
+#include "workload/analyzer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace swala::workload {
+
+ThresholdAnalysis analyze_threshold(const Trace& trace, double threshold) {
+  ThresholdAnalysis out;
+  out.threshold_seconds = threshold;
+
+  double total_service = 0.0;
+  std::unordered_map<std::string, std::size_t> occurrences;
+  for (const auto& r : trace) {
+    total_service += r.service_seconds;
+    if (!r.is_cgi || r.service_seconds < threshold) continue;
+    ++out.long_requests;
+    const auto [it, fresh] = occurrences.try_emplace(r.target, 0);
+    if (!fresh || it->second > 0) {
+      // A repeat of a previous long request: a would-be cache hit.
+      ++out.total_repeats;
+      out.time_saved_seconds += r.service_seconds;
+    }
+    ++it->second;
+  }
+  for (const auto& [target, count] : occurrences) {
+    if (count > 1) ++out.unique_repeated;
+  }
+  out.saved_percent =
+      total_service > 0 ? 100.0 * out.time_saved_seconds / total_service : 0.0;
+  return out;
+}
+
+std::vector<ThresholdAnalysis> analyze_thresholds(
+    const Trace& trace, const std::vector<double>& thresholds) {
+  std::vector<ThresholdAnalysis> out;
+  out.reserve(thresholds.size());
+  for (const double t : thresholds) out.push_back(analyze_threshold(trace, t));
+  return out;
+}
+
+std::size_t hit_upper_bound(const Trace& trace) {
+  std::size_t cacheable = 0;
+  std::unordered_set<std::string> distinct;
+  for (const auto& r : trace) {
+    if (!r.is_cgi) continue;
+    ++cacheable;
+    distinct.insert(r.target);
+  }
+  return cacheable - distinct.size();
+}
+
+}  // namespace swala::workload

@@ -1,0 +1,34 @@
+// Access-log analysis (§3, Table 1): for each caching threshold, how many
+// long-running CGI requests repeat, how many cache entries would exploit all
+// repetition, and how much service time caching would save.
+#pragma once
+
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace swala::workload {
+
+/// One row of Table 1.
+struct ThresholdAnalysis {
+  double threshold_seconds = 0.0;
+  std::size_t long_requests = 0;    ///< CGI requests with service >= threshold
+  std::size_t total_repeats = 0;    ///< requests that repeat a previous one
+  std::size_t unique_repeated = 0;  ///< cache entries needed for all repetition
+  double time_saved_seconds = 0.0;  ///< service time the repeats would save
+  double saved_percent = 0.0;       ///< of the whole trace's service time
+};
+
+/// Computes one Table-1 row.
+ThresholdAnalysis analyze_threshold(const Trace& trace, double threshold);
+
+/// Computes the full table for the given thresholds (paper: 0.5, 1, 2, 4).
+std::vector<ThresholdAnalysis> analyze_thresholds(
+    const Trace& trace, const std::vector<double>& thresholds);
+
+/// Theoretical hit upper bound for a trace replayed against an infinite
+/// cache: total cacheable requests minus distinct cacheable targets
+/// (§5.3's "upper bound on hits").
+std::size_t hit_upper_bound(const Trace& trace);
+
+}  // namespace swala::workload

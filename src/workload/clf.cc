@@ -1,0 +1,133 @@
+#include "workload/clf.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace swala::workload {
+
+Result<std::time_t> parse_clf_date(std::string_view text) {
+  // "10/Oct/1997:13:55:36 -0700"
+  static const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                  "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  char buf[64];
+  if (text.size() >= sizeof(buf)) {
+    return Status(StatusCode::kInvalidArgument, "date too long");
+  }
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+
+  std::tm tm{};
+  char mon[4] = {0};
+  int tz_hours = 0, tz_minutes = 0;
+  char tz_sign = '+';
+  const int fields =
+      std::sscanf(buf, "%d/%3s/%d:%d:%d:%d %c%2d%2d", &tm.tm_mday, mon,
+                  &tm.tm_year, &tm.tm_hour, &tm.tm_min, &tm.tm_sec, &tz_sign,
+                  &tz_hours, &tz_minutes);
+  if (fields < 6) {
+    return Status(StatusCode::kInvalidArgument, "malformed CLF date");
+  }
+  tm.tm_year -= 1900;
+  tm.tm_mon = -1;
+  for (int i = 0; i < 12; ++i) {
+    if (std::strcmp(mon, kMonths[i]) == 0) {
+      tm.tm_mon = i;
+      break;
+    }
+  }
+  if (tm.tm_mon < 0) {
+    return Status(StatusCode::kInvalidArgument, "bad CLF month");
+  }
+  std::time_t t = timegm(&tm);
+  if (fields == 9) {
+    const int offset = tz_hours * 3600 + tz_minutes * 60;
+    t += (tz_sign == '-' ? offset : -offset);  // normalize to UTC
+  }
+  return t;
+}
+
+bool parse_clf_line(std::string_view line, ClfRecord* out) {
+  *out = ClfRecord{};
+  line = trim(line);
+  if (line.empty()) return false;
+
+  // host ident authuser
+  const std::size_t host_end = line.find(' ');
+  if (host_end == std::string_view::npos) return false;
+  out->host = std::string(line.substr(0, host_end));
+
+  // [date]
+  const std::size_t date_open = line.find('[');
+  const std::size_t date_close = line.find(']');
+  if (date_open == std::string_view::npos ||
+      date_close == std::string_view::npos || date_close < date_open) {
+    return false;
+  }
+  auto date = parse_clf_date(line.substr(date_open + 1, date_close - date_open - 1));
+  if (!date) return false;
+  out->timestamp = date.value();
+
+  // "request"
+  const std::size_t quote1 = line.find('"', date_close);
+  if (quote1 == std::string_view::npos) return false;
+  const std::size_t quote2 = line.find('"', quote1 + 1);
+  if (quote2 == std::string_view::npos) return false;
+  const auto request =
+      split_trimmed(line.substr(quote1 + 1, quote2 - quote1 - 1), ' ');
+  if (request.size() < 2) return false;  // "GET /x" without version is legal CLF
+  out->method = request[0];
+  out->target = request[1];
+
+  // status bytes ("-" means zero bytes)
+  const auto rest = split_trimmed(line.substr(quote2 + 1), ' ');
+  if (rest.size() < 2) return false;
+  std::uint64_t status = 0;
+  if (!parse_u64(rest[0], &status) || status < 100 || status > 599) return false;
+  out->status = static_cast<int>(status);
+  if (rest[1] == "-") {
+    out->bytes = 0;
+  } else if (!parse_u64(rest[1], &out->bytes)) {
+    return false;
+  }
+  return true;
+}
+
+Result<Trace> load_clf_trace(const std::string& path,
+                             const ClfOptions& options) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status(StatusCode::kNotFound, "cannot open CLF log: " + path);
+  }
+  Trace trace;
+  char line[4096];
+  std::time_t first_ts = 0;
+  bool have_first = false;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ClfRecord record;
+    if (!parse_clf_line(line, &record)) continue;
+    if (options.only_successes && (record.status < 200 || record.status >= 300)) {
+      continue;
+    }
+    if (!have_first) {
+      first_ts = record.timestamp;
+      have_first = true;
+    }
+    TraceRecord r;
+    r.arrival_seconds = static_cast<double>(record.timestamp - first_ts);
+    r.target = record.target;
+    // Classify on the decoded path only (query excluded from the glob).
+    const std::size_t q = record.target.find('?');
+    const std::string path_only = record.target.substr(0, q);
+    r.is_cgi = glob_match(options.cgi_pattern, path_only);
+    r.service_seconds = r.is_cgi ? options.cgi_service_seconds
+                                 : options.file_service_seconds;
+    r.response_bytes = record.bytes;
+    trace.push_back(std::move(r));
+  }
+  std::fclose(file);
+  return trace;
+}
+
+}  // namespace swala::workload

@@ -1,0 +1,108 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace swala::workload {
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream out;
+  out.precision(9);
+  for (const auto& r : trace) {
+    out << r.arrival_seconds << ' ' << r.target << ' '
+        << (r.is_cgi ? "cgi" : "file") << ' ' << r.service_seconds << ' '
+        << r.response_bytes << '\n';
+  }
+  return out.str();
+}
+
+Result<Trace> trace_from_string(std::string_view text) {
+  Trace trace;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto fields = split_trimmed(line, ' ');
+    if (fields.size() != 5) {
+      return Status(StatusCode::kInvalidArgument,
+                    "trace line " + std::to_string(line_no) +
+                        ": expected 5 fields");
+    }
+    TraceRecord r;
+    std::uint64_t bytes = 0;
+    if (!parse_double(fields[0], &r.arrival_seconds) ||
+        !parse_double(fields[3], &r.service_seconds) ||
+        !parse_u64(fields[4], &bytes)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "trace line " + std::to_string(line_no) + ": bad number");
+    }
+    r.target = fields[1];
+    if (fields[2] == "cgi") {
+      r.is_cgi = true;
+    } else if (fields[2] == "file") {
+      r.is_cgi = false;
+    } else {
+      return Status(StatusCode::kInvalidArgument,
+                    "trace line " + std::to_string(line_no) +
+                        ": kind must be cgi|file");
+    }
+    r.response_bytes = bytes;
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+Status save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) return Status(StatusCode::kIoError, "cannot write " + path);
+  out << trace_to_string(trace);
+  return out.good() ? Status::ok()
+                    : Status(StatusCode::kIoError, "short write to " + path);
+}
+
+Result<Trace> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status(StatusCode::kNotFound, "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return trace_from_string(buf.str());
+}
+
+TraceSummary summarize(const Trace& trace) {
+  TraceSummary s;
+  std::unordered_set<std::string> uniq, uniq_cgi;
+  double file_service = 0.0;
+  std::size_t file_count = 0;
+  for (const auto& r : trace) {
+    ++s.total_requests;
+    s.total_service_seconds += r.service_seconds;
+    s.max_service = std::max(s.max_service, r.service_seconds);
+    uniq.insert(r.target);
+    if (r.is_cgi) {
+      ++s.cgi_requests;
+      s.cgi_service_seconds += r.service_seconds;
+      uniq_cgi.insert(r.target);
+    } else {
+      file_service += r.service_seconds;
+      ++file_count;
+    }
+  }
+  s.unique_targets = uniq.size();
+  s.unique_cgi_targets = uniq_cgi.size();
+  s.mean_file_service = file_count ? file_service / file_count : 0.0;
+  s.mean_cgi_service =
+      s.cgi_requests ? s.cgi_service_seconds / s.cgi_requests : 0.0;
+  return s;
+}
+
+}  // namespace swala::workload

@@ -1,0 +1,48 @@
+// Request traces: the common currency between the workload generators, the
+// log analyzer (Table 1), the simulator (Figure 4, Tables 5-6) and the
+// real-substrate replayers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace swala::workload {
+
+/// One logged/generated request.
+struct TraceRecord {
+  double arrival_seconds = 0.0;   ///< offset from trace start
+  std::string target;             ///< origin-form target ("/cgi-bin/q?x=1")
+  bool is_cgi = false;
+  double service_seconds = 0.0;   ///< cost of executing it (re-execution cost)
+  std::uint64_t response_bytes = 0;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+/// Text format, one record per line:
+///   <arrival> <target> <cgi|file> <service_seconds> <bytes>
+Status save_trace(const std::string& path, const Trace& trace);
+Result<Trace> load_trace(const std::string& path);
+
+/// Serialization to/from a string (used by tests).
+std::string trace_to_string(const Trace& trace);
+Result<Trace> trace_from_string(std::string_view text);
+
+/// Summary numbers used by several experiments.
+struct TraceSummary {
+  std::size_t total_requests = 0;
+  std::size_t cgi_requests = 0;
+  std::size_t unique_targets = 0;
+  std::size_t unique_cgi_targets = 0;
+  double total_service_seconds = 0.0;
+  double cgi_service_seconds = 0.0;
+  double mean_file_service = 0.0;
+  double mean_cgi_service = 0.0;
+  double max_service = 0.0;
+};
+
+TraceSummary summarize(const Trace& trace);
+
+}  // namespace swala::workload

@@ -1,0 +1,100 @@
+#include "workload/webstone.h"
+
+#include <fstream>
+#include <sys/stat.h>
+#include <thread>
+
+#include "cgi/scripted.h"
+#include "common/clock.h"
+#include "http/client.h"
+
+namespace swala::workload {
+
+const std::vector<WebStoneFile>& webstone_mix() {
+  static const std::vector<WebStoneFile> mix = {
+      {"f500.html", 500, 0.35},
+      {"f5k.html", 5 * 1024, 0.50},
+      {"f50k.html", 50 * 1024, 0.14},
+      {"f500k.html", 500 * 1024, 0.009},
+      {"f1m.html", 1024 * 1024, 0.001},
+  };
+  return mix;
+}
+
+Result<std::vector<std::string>> make_webstone_docroot(const std::string& dir) {
+  ::mkdir(dir.c_str(), 0755);
+  std::vector<std::string> paths;
+  for (const auto& file : webstone_mix()) {
+    const std::string path = dir + "/" + file.name;
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status(StatusCode::kIoError, "cannot write " + path);
+    out << cgi::deterministic_body(file.bytes, file.bytes);
+    if (!out.good()) return Status(StatusCode::kIoError, "short write " + path);
+    paths.push_back("/" + file.name);
+  }
+  return paths;
+}
+
+std::string sample_webstone_target(Rng& rng) {
+  const double u = rng.next_double();
+  double cum = 0.0;
+  for (const auto& file : webstone_mix()) {
+    cum += file.probability;
+    if (u < cum) return "/" + file.name;
+  }
+  return "/" + webstone_mix().back().name;
+}
+
+LoadResult run_load(const net::InetAddress& server, const LoadOptions& options,
+                    const std::function<std::string(Rng&, std::size_t)>& make_target) {
+  std::vector<LatencyHistogram> histograms(options.clients);
+  std::vector<std::uint64_t> errors(options.clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+
+  const RealClock& clock = *RealClock::instance();
+  const TimeNs wall_start = clock.now();
+
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(options.seed * 7919 + c);
+      http::HttpClient client(server, options.timeout_ms);
+      for (std::size_t i = 0; i < options.requests_per_client; ++i) {
+        http::Request req;
+        req.method = http::Method::kGet;
+        req.target = make_target(rng, i);
+        req.version = http::Version::kHttp11;
+        req.headers.set("Host", server.to_string());
+        if (!options.keep_alive) req.headers.set("Connection", "close");
+
+        const TimeNs start = clock.now();
+        auto resp = client.send(req);
+        const double elapsed = to_seconds(clock.now() - start);
+        if (resp && resp.value().status < 500) {
+          histograms[c].add(elapsed);
+        } else {
+          ++errors[c];
+        }
+        if (!options.keep_alive) client.disconnect();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  LoadResult result;
+  result.wall_seconds = to_seconds(clock.now() - wall_start);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    result.latency.merge(histograms[c]);
+    result.errors += errors[c];
+  }
+  return result;
+}
+
+LoadResult run_webstone_load(const net::InetAddress& server,
+                             const LoadOptions& options) {
+  return run_load(server, options, [](Rng& rng, std::size_t) {
+    return sample_webstone_target(rng);
+  });
+}
+
+}  // namespace swala::workload

@@ -1,0 +1,64 @@
+// WebStone-like load generation (§5.1). WebStone is the 1990s SGI benchmark
+// the paper uses; we reproduce its closed-loop client model and its standard
+// file mix: 500 B 35 %, 5 KB 50 %, 50 KB 14 %, 500 KB 0.9 %, 1 MB 0.1 %.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace swala::workload {
+
+/// The standard WebStone file set.
+struct WebStoneFile {
+  std::string name;
+  std::size_t bytes;
+  double probability;
+};
+
+/// The published mix.
+const std::vector<WebStoneFile>& webstone_mix();
+
+/// Writes the mix's files under `dir` (created if needed). Returns the
+/// paths relative to the docroot ("/f500.html", ...).
+Result<std::vector<std::string>> make_webstone_docroot(const std::string& dir);
+
+/// Samples a target path according to the mix probabilities.
+std::string sample_webstone_target(Rng& rng);
+
+/// Closed-loop HTTP load driver: `clients` threads, each sending
+/// `requests_per_client` back-to-back requests produced by `make_target`
+/// and recording per-request latency.
+struct LoadResult {
+  LatencyHistogram latency;
+  std::uint64_t errors = 0;
+  double wall_seconds = 0.0;
+
+  double throughput_rps() const {
+    return wall_seconds > 0 ? static_cast<double>(latency.count()) / wall_seconds
+                            : 0.0;
+  }
+};
+
+struct LoadOptions {
+  std::size_t clients = 8;
+  std::size_t requests_per_client = 100;
+  bool keep_alive = true;
+  int timeout_ms = 60000;
+  std::uint64_t seed = 1;
+};
+
+/// `make_target(rng, i)` produces the target for a client's i-th request.
+LoadResult run_load(const net::InetAddress& server, const LoadOptions& options,
+                    const std::function<std::string(Rng&, std::size_t)>& make_target);
+
+/// Convenience wrapper using the WebStone mix.
+LoadResult run_webstone_load(const net::InetAddress& server,
+                             const LoadOptions& options);
+
+}  // namespace swala::workload

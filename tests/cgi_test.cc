@@ -1,0 +1,284 @@
+// Tests for the CGI layer: document parsing, scripted handlers, registry
+// dispatch, and real fork/exec execution of the bundled nullcgi program.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "cgi/handler.h"
+#include "cgi/process.h"
+#include "cgi/registry.h"
+#include "cgi/scripted.h"
+#include "http/message.h"
+
+#ifndef SWALA_NULLCGI_PATH
+#define SWALA_NULLCGI_PATH "./nullcgi"
+#endif
+
+namespace swala::cgi {
+namespace {
+
+http::Request make_request(const std::string& target) {
+  http::Request req;
+  req.method = http::Method::kGet;
+  req.target = target;
+  EXPECT_TRUE(http::parse_uri(target, &req.uri));
+  return req;
+}
+
+// ---- parse_cgi_document ----
+
+TEST(CgiDocumentTest, HeaderBlockParsed) {
+  const auto out = parse_cgi_document(
+      "Content-Type: text/plain\nStatus: 404 Not Found\n\nbody text", 0);
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(out.content_type, "text/plain");
+  EXPECT_EQ(out.http_status, 404);
+  EXPECT_EQ(out.body, "body text");
+}
+
+TEST(CgiDocumentTest, CrlfHeaders) {
+  const auto out =
+      parse_cgi_document("Content-Type: image/gif\r\n\r\nGIF89a...", 0);
+  EXPECT_EQ(out.content_type, "image/gif");
+  EXPECT_EQ(out.body, "GIF89a...");
+}
+
+TEST(CgiDocumentTest, NoHeadersTreatedAsBody) {
+  const auto out = parse_cgi_document("just output\n\nwith blank line", 0);
+  EXPECT_EQ(out.content_type, "text/html");
+  EXPECT_EQ(out.body, "just output\n\nwith blank line");
+}
+
+TEST(CgiDocumentTest, NonZeroExitIsFailure) {
+  const auto out = parse_cgi_document("Content-Type: text/html\n\nx", 3);
+  EXPECT_FALSE(out.success);
+}
+
+TEST(CgiDocumentTest, EmptyOutput) {
+  const auto out = parse_cgi_document("", 0);
+  EXPECT_TRUE(out.success);
+  EXPECT_TRUE(out.body.empty());
+}
+
+TEST(CgiDocumentTest, BogusStatusIgnored) {
+  const auto out = parse_cgi_document("Status: banana\n\nx", 0);
+  EXPECT_EQ(out.http_status, 200);
+}
+
+// ---- ScriptedCgi ----
+
+TEST(ScriptedCgiTest, DeterministicOutputForSameTarget) {
+  ScriptedOptions opts;
+  opts.output_bytes = 256;
+  ScriptedCgi cgi(opts);
+  const auto req = make_request("/cgi-bin/x?q=1");
+  auto a = cgi.run(req);
+  auto b = cgi.run(req);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  // Bodies differ only in the execution counter comment line.
+  EXPECT_EQ(a.value().body.substr(a.value().body.find('\n')),
+            b.value().body.substr(b.value().body.find('\n')));
+  EXPECT_EQ(cgi.execution_count(), 2u);
+}
+
+TEST(ScriptedCgiTest, DifferentTargetsDifferentBodies) {
+  ScriptedCgi cgi(ScriptedOptions{.output_bytes = 128});
+  auto a = cgi.run(make_request("/cgi-bin/x?q=1"));
+  auto b = cgi.run(make_request("/cgi-bin/x?q=2"));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_NE(a.value().body, b.value().body);
+}
+
+TEST(ScriptedCgiTest, OutputSizeRespected) {
+  ScriptedCgi cgi(ScriptedOptions{.output_bytes = 1000});
+  auto out = cgi.run(make_request("/cgi-bin/big"));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().body.size(), 1000u);
+}
+
+TEST(ScriptedCgiTest, SleepModeTakesTime) {
+  ScriptedOptions opts;
+  opts.mode = ComputeMode::kSleep;
+  opts.service_seconds = 0.05;
+  ScriptedCgi cgi(opts);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(cgi.run(make_request("/cgi-bin/slow")).is_ok());
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed.count(), 0.045);
+}
+
+TEST(ScriptedCgiTest, BusyModeTakesTime) {
+  ScriptedOptions opts;
+  opts.mode = ComputeMode::kBusy;
+  opts.service_seconds = 0.02;
+  ScriptedCgi cgi(opts);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(cgi.run(make_request("/cgi-bin/busy")).is_ok());
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed.count(), 0.015);
+}
+
+TEST(ScriptedCgiTest, CostFromQueryOverrides) {
+  ScriptedOptions opts;
+  opts.mode = ComputeMode::kSleep;
+  opts.service_seconds = 10.0;  // would time the test out if used
+  opts.cost_from_query = true;
+  ScriptedCgi cgi(opts);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(cgi.run(make_request("/cgi-bin/q?cost=0.01")).is_ok());
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed.count(), 1.0);
+}
+
+TEST(ScriptedCgiTest, FailureMode) {
+  ScriptedCgi cgi(ScriptedOptions{.fail = true});
+  auto out = cgi.run(make_request("/cgi-bin/broken"));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_FALSE(out.value().success);
+  EXPECT_EQ(out.value().http_status, 500);
+}
+
+TEST(DeterministicBodyTest, SeedAndLength) {
+  EXPECT_EQ(deterministic_body(1, 64), deterministic_body(1, 64));
+  EXPECT_NE(deterministic_body(1, 64), deterministic_body(2, 64));
+  EXPECT_EQ(deterministic_body(9, 500).size(), 500u);
+}
+
+TEST(LambdaCgiTest, WrapsCallable) {
+  LambdaCgi cgi([](const http::Request& req) -> swala::Result<CgiOutput> {
+    CgiOutput out;
+    out.success = true;
+    out.body = "echo:" + req.uri.raw_query;
+    return out;
+  });
+  auto out = cgi.run(make_request("/cgi-bin/echo?x=1"));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().body, "echo:x=1");
+}
+
+TEST(LambdaCgiTest, PropagatesErrors) {
+  LambdaCgi cgi([](const http::Request&) -> swala::Result<CgiOutput> {
+    return swala::Status(swala::StatusCode::kInternal, "backend down");
+  });
+  auto out = cgi.run(make_request("/cgi-bin/x"));
+  ASSERT_FALSE(out.is_ok());
+  EXPECT_EQ(out.status().code(), swala::StatusCode::kInternal);
+}
+
+// ---- registry ----
+
+TEST(RegistryTest, ExactAndPrefixMounts) {
+  HandlerRegistry registry;
+  auto a = std::make_shared<ScriptedCgi>(ScriptedOptions{});
+  auto b = std::make_shared<ScriptedCgi>(ScriptedOptions{});
+  registry.mount("/cgi-bin/", a);
+  registry.mount("/cgi-bin/special", b);
+
+  EXPECT_EQ(registry.find("/cgi-bin/anything"), a);
+  EXPECT_EQ(registry.find("/cgi-bin/special"), b);  // longest match wins
+  EXPECT_EQ(registry.find("/static/x.html"), nullptr);
+  EXPECT_TRUE(registry.is_dynamic("/cgi-bin/q"));
+  EXPECT_FALSE(registry.is_dynamic("/cgi-bin"));  // prefix requires the '/'
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(RegistryTest, RemountReplaces) {
+  HandlerRegistry registry;
+  auto a = std::make_shared<ScriptedCgi>(ScriptedOptions{});
+  auto b = std::make_shared<ScriptedCgi>(ScriptedOptions{});
+  registry.mount("/x", a);
+  registry.mount("/x", b);
+  EXPECT_EQ(registry.find("/x"), b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+// ---- ProcessCgi (real fork/exec) ----
+
+TEST(ProcessCgiTest, RunsNullCgi) {
+  ProcessCgi cgi(SWALA_NULLCGI_PATH);
+  auto out = cgi.run(make_request("/cgi-bin/null?x=1"));
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_TRUE(out.value().success);
+  EXPECT_EQ(out.value().content_type, "text/html");
+  EXPECT_NE(out.value().body.find("null cgi"), std::string::npos);
+}
+
+TEST(ProcessCgiTest, MissingExecutableFails) {
+  ProcessCgi cgi("/nonexistent/program");
+  auto out = cgi.run(make_request("/cgi-bin/x"));
+  // fork+exec succeeds at fork level; the child exits 127.
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_FALSE(out.value().success);
+}
+
+TEST(ProcessCgiTest, EnvironmentReachesChild) {
+  // /bin/sh -c style program is overkill; use a tiny shell script.
+  const std::string script = "/tmp/swala_test_cgi_env.sh";
+  {
+    FILE* f = fopen(script.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("#!/bin/sh\nprintf 'Content-Type: text/plain\\n\\nQ=%s M=%s\\n' \"$QUERY_STRING\" \"$REQUEST_METHOD\"\n", f);
+    fclose(f);
+    chmod(script.c_str(), 0755);
+  }
+  ProcessCgi cgi(script);
+  auto out = cgi.run(make_request("/cgi-bin/env?alpha=beta"));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_TRUE(out.value().success);
+  EXPECT_NE(out.value().body.find("Q=alpha=beta"), std::string::npos);
+  EXPECT_NE(out.value().body.find("M=GET"), std::string::npos);
+  unlink(script.c_str());
+}
+
+TEST(ProcessCgiTest, TimeoutKillsChild) {
+  const std::string script = "/tmp/swala_test_cgi_sleep.sh";
+  {
+    FILE* f = fopen(script.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("#!/bin/sh\nsleep 30\n", f);
+    fclose(f);
+    chmod(script.c_str(), 0755);
+  }
+  ProcessOptions opts;
+  opts.timeout_seconds = 0.2;
+  ProcessCgi cgi(script, opts);
+  const auto start = std::chrono::steady_clock::now();
+  auto out = cgi.run(make_request("/cgi-bin/sleep"));
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_FALSE(out.value().success);
+  EXPECT_EQ(out.value().http_status, 504);
+  EXPECT_LT(elapsed.count(), 5.0);
+  unlink(script.c_str());
+}
+
+TEST(ProcessCgiTest, BodyPipedToStdin) {
+  const std::string script = "/tmp/swala_test_cgi_stdin.sh";
+  {
+    FILE* f = fopen(script.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("#!/bin/sh\nprintf 'Content-Type: text/plain\\n\\n'\ncat\n", f);
+    fclose(f);
+    chmod(script.c_str(), 0755);
+  }
+  ProcessCgi cgi(script);
+  http::Request req = make_request("/cgi-bin/echo");
+  req.method = http::Method::kPost;
+  req.body = "posted payload";
+  auto out = cgi.run(req);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value().body, "posted payload");
+  unlink(script.c_str());
+}
+
+}  // namespace
+}  // namespace swala::cgi

@@ -1,0 +1,181 @@
+// Failure-injection tests for the cluster layer: garbage on the wire,
+// truncated frames, dead peers during remote fetch, node departure, and
+// oversized frames. Weak consistency means a Swala group must degrade to
+// local execution, never crash or deadlock.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <thread>
+
+#include "cluster/framing.h"
+#include "cluster/local_cluster.h"
+
+namespace swala::cluster {
+namespace {
+
+core::ManagerOptions open_options(core::NodeId) {
+  core::ManagerOptions mo;
+  mo.limits = {100, 0};
+  core::RuleDecision d;
+  d.cacheable = true;
+  mo.rules.add_rule("/cgi-bin/*", d);
+  return mo;
+}
+
+http::Uri uri_of(const std::string& target) {
+  http::Uri uri;
+  EXPECT_TRUE(http::parse_uri(target, &uri));
+  return uri;
+}
+
+cgi::CgiOutput ok_output(const std::string& body) {
+  cgi::CgiOutput out;
+  out.success = true;
+  out.body = body;
+  return out;
+}
+
+void cache_on(core::CacheManager& manager, const std::string& target) {
+  const auto uri = uri_of(target);
+  auto lookup = manager.lookup(http::Method::kGet, uri);
+  manager.complete(http::Method::kGet, uri, lookup.rule, ok_output("x"), 1.0);
+}
+
+bool eventually(const std::function<bool()>& pred) {
+  for (int i = 0; i < 200; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST(ClusterFailureTest, GarbageOnInfoPortIsDropped) {
+  LocalCluster cluster(2, open_options);
+  // Open a raw connection to node 0's info port and write junk.
+  auto conn = net::TcpStream::connect(
+      {"127.0.0.1", cluster.group(0).info_port()}, 1000);
+  ASSERT_TRUE(conn.is_ok());
+  ASSERT_TRUE(conn.value().write_all("this is not a framed message").is_ok());
+  conn.value().close();
+
+  // The group keeps working: a real broadcast still goes through.
+  cache_on(cluster.manager(1), "/cgi-bin/after-garbage");
+  EXPECT_TRUE(eventually([&] {
+    return cluster.manager(0)
+        .directory()
+        .lookup("GET /cgi-bin/after-garbage")
+        .has_value();
+  }));
+}
+
+TEST(ClusterFailureTest, OversizedFrameRejected) {
+  LocalCluster cluster(2, open_options);
+  auto conn = net::TcpStream::connect(
+      {"127.0.0.1", cluster.group(0).info_port()}, 1000);
+  ASSERT_TRUE(conn.is_ok());
+  // Length prefix claiming 1 GiB.
+  const char huge[4] = {0, 0, 0, 0x40};
+  ASSERT_TRUE(conn.value().write_all({huge, 4}).is_ok());
+  conn.value().close();
+
+  cache_on(cluster.manager(1), "/cgi-bin/after-oversize");
+  EXPECT_TRUE(eventually([&] {
+    return cluster.manager(0)
+        .directory()
+        .lookup("GET /cgi-bin/after-oversize")
+        .has_value();
+  }));
+}
+
+TEST(ClusterFailureTest, TruncatedFrameThenDisconnect) {
+  LocalCluster cluster(2, open_options);
+  auto conn = net::TcpStream::connect(
+      {"127.0.0.1", cluster.group(0).info_port()}, 1000);
+  ASSERT_TRUE(conn.is_ok());
+  const std::string frame =
+      encode_message(Message::erase(1, "GET /cgi-bin/x", 1));
+  ASSERT_TRUE(conn.value().write_all(frame.substr(0, frame.size() / 2)).is_ok());
+  conn.value().close();  // mid-frame EOF
+
+  cache_on(cluster.manager(1), "/cgi-bin/after-truncation");
+  EXPECT_TRUE(eventually([&] {
+    return cluster.manager(0)
+        .directory()
+        .lookup("GET /cgi-bin/after-truncation")
+        .has_value();
+  }));
+}
+
+TEST(ClusterFailureTest, GarbageOnDataPortGetsNoCrash) {
+  LocalCluster cluster(2, open_options);
+  auto conn = net::TcpStream::connect(
+      {"127.0.0.1", cluster.group(0).data_port()}, 1000);
+  ASSERT_TRUE(conn.is_ok());
+  ASSERT_TRUE(conn.value().write_all("junk").is_ok());
+  conn.value().shutdown_write();
+  char buf[64];
+  // The server just drops the connection; either EOF or nothing arrives.
+  (void)conn.value().set_recv_timeout(300);
+  (void)conn.value().read_some(buf, sizeof(buf));
+
+  // Real fetch still works afterwards.
+  cache_on(cluster.manager(0), "/cgi-bin/fetchable");
+  auto fetched =
+      cluster.group(1).fetch_remote(0, "GET /cgi-bin/fetchable");
+  ASSERT_TRUE(fetched.is_ok()) << fetched.status().to_string();
+  EXPECT_EQ(fetched.value().data, "x");
+}
+
+TEST(ClusterFailureTest, DeadOwnerFallsBackToExecution) {
+  LocalCluster cluster(3, open_options);
+  cache_on(cluster.manager(0), "/cgi-bin/doomed");
+  ASSERT_TRUE(eventually([&] {
+    return cluster.manager(1).directory().lookup("GET /cgi-bin/doomed").has_value();
+  }));
+
+  // Node 0 dies (stops listening entirely).
+  cluster.group(0).stop();
+
+  // Node 1's lookup sees the directory entry, fails the remote fetch, and
+  // reports a miss so the request thread executes locally.
+  auto result = cluster.manager(1).lookup(http::Method::kGet,
+                                          uri_of("/cgi-bin/doomed"));
+  EXPECT_EQ(result.outcome, core::LookupOutcome::kMissMustExecute);
+  // The manager only cleans the directory on kNotFound (false hit), not on
+  // connection errors — the owner may come back. Either way, no crash and
+  // the request is served by local execution.
+}
+
+TEST(ClusterFailureTest, FetchOfUnknownNodeFails) {
+  LocalCluster cluster(2, open_options);
+  auto result = cluster.group(0).fetch_remote(77, "GET /cgi-bin/x");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterFailureTest, StopIsIdempotentAndSafeConcurrently) {
+  LocalCluster cluster(2, open_options);
+  cache_on(cluster.manager(0), "/cgi-bin/x");
+  std::thread t1([&] { cluster.group(0).stop(); });
+  std::thread t2([&] { cluster.group(0).stop(); });
+  t1.join();
+  t2.join();
+  cluster.group(0).stop();
+}
+
+TEST(ClusterFailureTest, BroadcastWhilePeerDownIsLossyNotFatal) {
+  LocalCluster cluster(2, open_options);
+  cluster.group(1).stop();  // peer down before the broadcast
+
+  cache_on(cluster.manager(0), "/cgi-bin/lost");
+  // Give the sender thread a moment to try (it retries then drops).
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // Local node is fully functional.
+  auto result =
+      cluster.manager(0).lookup(http::Method::kGet, uri_of("/cgi-bin/lost"));
+  EXPECT_EQ(result.outcome, core::LookupOutcome::kHit);
+}
+
+}  // namespace
+}  // namespace swala::cluster

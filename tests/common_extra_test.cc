@@ -1,0 +1,208 @@
+// Second-wave edge-case tests for swala_common: glob verified against a
+// reference implementation, histogram extremes, config introspection,
+// queue/pool corners.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.h"
+#include "common/hash.h"
+#include "common/queue.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace swala {
+namespace {
+
+// ---- glob vs a simple recursive reference ----
+
+bool glob_reference(std::string_view p, std::string_view t) {
+  if (p.empty()) return t.empty();
+  if (p.front() == '*') {
+    for (std::size_t skip = 0; skip <= t.size(); ++skip) {
+      if (glob_reference(p.substr(1), t.substr(skip))) return true;
+    }
+    return false;
+  }
+  if (t.empty()) return false;
+  if (p.front() == '?' || p.front() == t.front()) {
+    return glob_reference(p.substr(1), t.substr(1));
+  }
+  return false;
+}
+
+TEST(GlobPropertyTest, AgreesWithReference) {
+  Rng rng(271828);
+  const char alphabet[] = "ab*?/";
+  for (int round = 0; round < 5000; ++round) {
+    std::string pattern, text;
+    const auto plen = static_cast<std::size_t>(rng.uniform_int(0, 8));
+    const auto tlen = static_cast<std::size_t>(rng.uniform_int(0, 10));
+    for (std::size_t i = 0; i < plen; ++i) {
+      pattern.push_back(alphabet[rng.uniform_int(0, 4)]);
+    }
+    for (std::size_t i = 0; i < tlen; ++i) {
+      text.push_back(alphabet[rng.uniform_int(0, 1)]);  // only 'a','b'
+    }
+    EXPECT_EQ(glob_match(pattern, text), glob_reference(pattern, text))
+        << "pattern='" << pattern << "' text='" << text << "'";
+  }
+}
+
+TEST(GlobTest, EmptyPatternMatchesOnlyEmpty) {
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(GlobTest, PathologicalStarsTerminate) {
+  // The iterative matcher must not blow up on many stars.
+  const std::string pattern(50, '*');
+  const std::string text(200, 'a');
+  EXPECT_TRUE(glob_match(pattern, text));
+  EXPECT_FALSE(glob_match(pattern + "b", text));
+}
+
+// ---- histogram extremes ----
+
+TEST(LatencyHistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, ExtremeValuesClampToBuckets) {
+  LatencyHistogram h;
+  h.add(1e-15);  // below the smallest bucket
+  h.add(1e9);    // above the largest
+  h.add(-5.0);   // negative clamps to zero
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GE(h.percentile(100), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileArgumentClamped) {
+  LatencyHistogram h;
+  h.add(0.5);
+  EXPECT_GT(h.percentile(-10), 0.0);
+  EXPECT_GT(h.percentile(250), 0.0);
+}
+
+TEST(OnlineStatsTest, EmptyAccessors) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+  // Three columns rendered even though the row had one cell.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '|') % 4, 0);
+}
+
+// ---- config introspection ----
+
+TEST(ConfigTest, SectionsInFirstAppearanceOrder) {
+  auto cfg = Config::parse("[z]\nx=1\n[a]\ny=2\n[z]\nw=3\n");
+  ASSERT_TRUE(cfg.is_ok());
+  const auto sections = cfg.value().sections();
+  ASSERT_EQ(sections.size(), 3u);  // "", "z", "a"
+  EXPECT_EQ(sections[0], "");
+  EXPECT_EQ(sections[1], "z");
+  EXPECT_EQ(sections[2], "a");
+}
+
+TEST(ConfigTest, EntriesPreserveFileOrder) {
+  auto cfg = Config::parse("[s]\nb = 2\na = 1\nb = 3\n");
+  ASSERT_TRUE(cfg.is_ok());
+  const auto entries = cfg.value().entries("s");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], (std::pair<std::string, std::string>{"b", "2"}));
+  EXPECT_EQ(entries[1], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(entries[2], (std::pair<std::string, std::string>{"b", "3"}));
+}
+
+TEST(ConfigTest, ProgrammaticSetAppends) {
+  Config cfg;
+  cfg.set("s", "k", "v1");
+  cfg.set("s", "k", "v2");
+  EXPECT_EQ(cfg.get_string("s", "k"), "v2");
+  EXPECT_EQ(cfg.get_all("s", "k").size(), 2u);
+}
+
+TEST(ConfigTest, ValueWithEqualsSign) {
+  auto cfg = Config::parse("rule = /x cache ttl=60\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg.value().get_string("", "rule"), "/x cache ttl=60");
+}
+
+// ---- queue corners ----
+
+TEST(BoundedQueueTest, TryPopEmpty) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  q.push(9);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.try_pop(), 9);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  q.push(std::make_unique<int>(5));
+  auto out = q.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 5);
+}
+
+// ---- rng ----
+
+TEST(RngTest, ShuffleIsPermutationAndDeterministic) {
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> a = v, b = v;
+  Rng r1(5), r2(5);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b) << "same seed, same shuffle";
+  EXPECT_NE(a, v) << "50 elements almost surely move";
+  std::set<int> seen(a.begin(), a.end());
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(HashTest, DistinctKeysSample) {
+  // Not a collision-resistance claim; a smoke check that realistic cache
+  // keys spread.
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 10000; ++i) {
+    hashes.insert(fnv1a64("GET /cgi-bin/q?id=" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace swala

@@ -1,0 +1,97 @@
+// Tests for the cacheability rule engine: parsing, matching, precedence.
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "core/rules.h"
+
+namespace swala::core {
+namespace {
+
+TEST(RulesTest, FirstMatchWins) {
+  auto rules = CacheabilityRules::from_lines({
+      "/cgi-bin/private/* nocache",
+      "/cgi-bin/* cache ttl=60 min_exec=0.5",
+  });
+  ASSERT_TRUE(rules.is_ok()) << rules.status().to_string();
+  const auto& r = rules.value();
+
+  EXPECT_FALSE(r.classify("/cgi-bin/private/secret").cacheable);
+  const auto pub = r.classify("/cgi-bin/query");
+  EXPECT_TRUE(pub.cacheable);
+  EXPECT_DOUBLE_EQ(pub.ttl_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(pub.min_exec_seconds, 0.5);
+}
+
+TEST(RulesTest, DefaultApplies) {
+  auto rules = CacheabilityRules::from_lines({"/cgi-bin/* cache"},
+                                             /*default_cacheable=*/false);
+  ASSERT_TRUE(rules.is_ok());
+  EXPECT_FALSE(rules.value().classify("/somewhere/else").cacheable);
+  EXPECT_TRUE(rules.value().classify("/cgi-bin/x").cacheable);
+}
+
+TEST(RulesTest, EmptyRuleSetUsesDefault) {
+  CacheabilityRules rules;
+  EXPECT_FALSE(rules.classify("/anything").cacheable);
+  RuleDecision open;
+  open.cacheable = true;
+  rules.set_default(open);
+  EXPECT_TRUE(rules.classify("/anything").cacheable);
+}
+
+TEST(RulesTest, OptionsOptional) {
+  auto rules = CacheabilityRules::from_lines({"/x cache"});
+  ASSERT_TRUE(rules.is_ok());
+  const auto d = rules.value().classify("/x");
+  EXPECT_TRUE(d.cacheable);
+  EXPECT_DOUBLE_EQ(d.ttl_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(d.min_exec_seconds, 0.0);
+}
+
+TEST(RulesTest, ParseErrors) {
+  EXPECT_FALSE(CacheabilityRules::from_lines({"/x"}).is_ok());
+  EXPECT_FALSE(CacheabilityRules::from_lines({"/x maybe"}).is_ok());
+  EXPECT_FALSE(CacheabilityRules::from_lines({"/x cache ttl"}).is_ok());
+  EXPECT_FALSE(CacheabilityRules::from_lines({"/x cache ttl=abc"}).is_ok());
+  EXPECT_FALSE(CacheabilityRules::from_lines({"/x cache ttl=-5"}).is_ok());
+  EXPECT_FALSE(CacheabilityRules::from_lines({"/x cache bogus=1"}).is_ok());
+}
+
+TEST(RulesTest, FromConfigSection) {
+  auto cfg = Config::parse(
+      "[cacheability]\n"
+      "rule = /cgi-bin/adl/* cache ttl=3600 min_exec=0.1\n"
+      "rule = /cgi-bin/* cache\n"
+      "default = nocache\n");
+  ASSERT_TRUE(cfg.is_ok());
+  auto rules = CacheabilityRules::from_config(cfg.value());
+  ASSERT_TRUE(rules.is_ok()) << rules.status().to_string();
+  EXPECT_EQ(rules.value().rule_count(), 2u);
+  EXPECT_DOUBLE_EQ(rules.value().classify("/cgi-bin/adl/q").ttl_seconds, 3600.0);
+  EXPECT_DOUBLE_EQ(rules.value().classify("/cgi-bin/other").ttl_seconds, 0.0);
+  EXPECT_FALSE(rules.value().classify("/static/x").cacheable);
+}
+
+TEST(RulesTest, FromConfigDefaultCache) {
+  auto cfg = Config::parse("[cacheability]\ndefault = cache\n");
+  ASSERT_TRUE(cfg.is_ok());
+  auto rules = CacheabilityRules::from_config(cfg.value());
+  ASSERT_TRUE(rules.is_ok());
+  EXPECT_TRUE(rules.value().classify("/whatever").cacheable);
+}
+
+TEST(RulesTest, FromConfigBadDefault) {
+  auto cfg = Config::parse("[cacheability]\ndefault = sometimes\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_FALSE(CacheabilityRules::from_config(cfg.value()).is_ok());
+}
+
+TEST(RulesTest, QuestionMarkGlob) {
+  auto rules = CacheabilityRules::from_lines({"/v? cache"});
+  ASSERT_TRUE(rules.is_ok());
+  EXPECT_TRUE(rules.value().classify("/v1").cacheable);
+  EXPECT_FALSE(rules.value().classify("/v10").cacheable);
+}
+
+}  // namespace
+}  // namespace swala::core

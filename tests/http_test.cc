@@ -1,0 +1,493 @@
+// Tests for the HTTP layer: URI handling, header map, request parser
+// (including incremental and pipelined input), response serialization,
+// dates, MIME, and the blocking client against a raw socket server.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "http/client.h"
+#include "http/date.h"
+#include "http/headers.h"
+#include "http/message.h"
+#include "http/mime.h"
+#include "http/parser.h"
+#include "http/uri.h"
+#include "net/socket.h"
+
+namespace swala::http {
+namespace {
+
+// ---- URI ----
+
+TEST(UriTest, ParsesPathAndQuery) {
+  Uri uri;
+  ASSERT_TRUE(parse_uri("/cgi-bin/q?x=1&y=2", &uri));
+  EXPECT_EQ(uri.path, "/cgi-bin/q");
+  EXPECT_EQ(uri.raw_query, "x=1&y=2");
+  EXPECT_EQ(uri.canonical(), "/cgi-bin/q?x=1&y=2");
+}
+
+TEST(UriTest, NoQuery) {
+  Uri uri;
+  ASSERT_TRUE(parse_uri("/a/b.html", &uri));
+  EXPECT_EQ(uri.path, "/a/b.html");
+  EXPECT_EQ(uri.raw_query, "");
+  EXPECT_EQ(uri.canonical(), "/a/b.html");
+}
+
+TEST(UriTest, PercentDecodingInPath) {
+  Uri uri;
+  ASSERT_TRUE(parse_uri("/files/a%20b.txt", &uri));
+  EXPECT_EQ(uri.path, "/files/a b.txt");
+}
+
+TEST(UriTest, RejectsNonRooted) {
+  Uri uri;
+  EXPECT_FALSE(parse_uri("relative/path", &uri));
+  EXPECT_FALSE(parse_uri("", &uri));
+  EXPECT_FALSE(parse_uri("http://host/x", &uri));
+}
+
+TEST(UriTest, RejectsBadEscapes) {
+  Uri uri;
+  EXPECT_FALSE(parse_uri("/a%zz", &uri));
+  EXPECT_FALSE(parse_uri("/a%2", &uri));
+}
+
+TEST(UriTest, RejectsEmbeddedNul) {
+  Uri uri;
+  EXPECT_FALSE(parse_uri("/a%00b", &uri));
+}
+
+TEST(UriTest, DotSegmentsRemoved) {
+  Uri uri;
+  ASSERT_TRUE(parse_uri("/a/b/../c/./d", &uri));
+  EXPECT_EQ(uri.path, "/a/c/d");
+}
+
+TEST(UriTest, DotDotCannotEscapeRoot) {
+  Uri uri;
+  ASSERT_TRUE(parse_uri("/../../etc/passwd", &uri));
+  EXPECT_EQ(uri.path, "/etc/passwd");
+  EXPECT_EQ(uri.path.find(".."), std::string::npos);
+}
+
+TEST(UriTest, QueryParamsDecoded) {
+  Uri uri;
+  ASSERT_TRUE(parse_uri("/q?a=1&b=hello+world&c=%26%3D&flag", &uri));
+  const auto params = uri.query_params();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(params[1].second, "hello world");
+  EXPECT_EQ(params[2].second, "&=");
+  EXPECT_EQ(params[3].first, "flag");
+  EXPECT_EQ(params[3].second, "");
+}
+
+TEST(UriTest, PercentEncodeRoundtrip) {
+  const std::string original = "/path with spaces/&special=chars?";
+  std::string decoded;
+  ASSERT_TRUE(percent_decode(percent_encode(original), &decoded));
+  EXPECT_EQ(decoded, original);
+}
+
+// ---- headers ----
+
+TEST(HeaderMapTest, CaseInsensitiveGet) {
+  HeaderMap h;
+  h.add("Content-Type", "text/html");
+  EXPECT_EQ(h.get("content-type"), "text/html");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(h.get("Content-Length").has_value());
+}
+
+TEST(HeaderMapTest, SetReplacesAll) {
+  HeaderMap h;
+  h.add("X", "1");
+  h.add("X", "2");
+  EXPECT_EQ(h.get_all("x").size(), 2u);
+  h.set("x", "3");
+  EXPECT_EQ(h.get_all("X").size(), 1u);
+  EXPECT_EQ(h.get("X"), "3");
+}
+
+TEST(HeaderMapTest, ContentLengthParsing) {
+  HeaderMap h;
+  h.set("Content-Length", "1234");
+  EXPECT_EQ(h.content_length(), 1234u);
+  h.set("Content-Length", "junk");
+  EXPECT_FALSE(h.content_length().has_value());
+}
+
+// ---- request parser ----
+
+Request parse_ok(std::string_view wire) {
+  RequestParser parser;
+  const ParseState state = parser.feed(wire);
+  EXPECT_EQ(state, ParseState::kDone);
+  return parser.request();
+}
+
+TEST(ParserTest, SimpleGet) {
+  const Request req = parse_ok("GET /index.html HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(req.method, Method::kGet);
+  EXPECT_EQ(req.uri.path, "/index.html");
+  EXPECT_EQ(req.version, Version::kHttp10);
+}
+
+TEST(ParserTest, HeadersParsed) {
+  const Request req = parse_ok(
+      "GET /x HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n");
+  EXPECT_EQ(req.headers.get("host"), "example.com");
+  EXPECT_EQ(req.headers.get("accept"), "*/*");
+  EXPECT_EQ(req.version, Version::kHttp11);
+}
+
+TEST(ParserTest, PostWithBody) {
+  const Request req = parse_ok(
+      "POST /submit HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello");
+  EXPECT_EQ(req.method, Method::kPost);
+  EXPECT_EQ(req.body, "hello");
+}
+
+TEST(ParserTest, ByteAtATime) {
+  const std::string wire =
+      "GET /slow?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabc";
+  RequestParser parser;
+  ParseState state = ParseState::kNeedMore;
+  for (char c : wire) {
+    ASSERT_NE(state, ParseState::kError);
+    state = parser.feed({&c, 1});
+  }
+  ASSERT_EQ(state, ParseState::kDone);
+  EXPECT_EQ(parser.request().uri.raw_query, "x=1");
+  EXPECT_EQ(parser.request().body, "abc");
+}
+
+TEST(ParserTest, PipelinedRequests) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            ParseState::kDone);
+  EXPECT_EQ(parser.request().uri.path, "/a");
+  parser.reset();
+  ASSERT_EQ(parser.pump(), ParseState::kDone);
+  EXPECT_EQ(parser.request().uri.path, "/b");
+}
+
+TEST(ParserTest, ToleratesBareLf) {
+  const Request req = parse_ok("GET /x HTTP/1.0\nHost: h\n\n");
+  EXPECT_EQ(req.uri.path, "/x");
+  EXPECT_EQ(req.headers.get("Host"), "h");
+}
+
+TEST(ParserTest, LeadingBlankLinesIgnored) {
+  const Request req = parse_ok("\r\n\r\nGET /x HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(req.uri.path, "/x");
+}
+
+TEST(ParserTest, UnknownMethodIs501) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("BREW /pot HTTP/1.1\r\n\r\n"), ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(ParserTest, BadVersionIs400) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET /x HTTP/2.0\r\n\r\n"), ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(ParserTest, MissingPartsIs400) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET\r\n\r\n"), ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(ParserTest, OversizedRequestLineIs414) {
+  RequestParser parser(ParserLimits{.max_request_line = 64});
+  const std::string wire = "GET /" + std::string(200, 'a') + " HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(parser.feed(wire), ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 414);
+}
+
+TEST(ParserTest, OversizedHeadersIs431) {
+  RequestParser parser(ParserLimits{.max_header_bytes = 128});
+  std::string wire = "GET /x HTTP/1.0\r\n";
+  for (int i = 0; i < 20; ++i) {
+    wire += "X-Filler-" + std::to_string(i) + ": aaaaaaaaaaaaaaaa\r\n";
+  }
+  wire += "\r\n";
+  ASSERT_EQ(parser.feed(wire), ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(ParserTest, OversizedBodyIs413) {
+  RequestParser parser(ParserLimits{.max_body_bytes = 10});
+  ASSERT_EQ(parser.feed("POST /x HTTP/1.0\r\nContent-Length: 100\r\n\r\n"),
+            ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(ParserTest, BadContentLengthIs400) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("POST /x HTTP/1.0\r\nContent-Length: abc\r\n\r\n"),
+            ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(ParserTest, HeaderNameWithSpaceRejected) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("GET /x HTTP/1.0\r\nBad Header: v\r\n\r\n"),
+            ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+// ---- chunked transfer-encoding and smuggling defences ----
+
+TEST(ParserTest, ChunkedBodyDecoded) {
+  const Request req = parse_ok(
+      "POST /upload HTTP/1.1\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "5\r\nhello\r\n"
+      "7\r\n world!\r\n"
+      "0\r\n"
+      "\r\n");
+  EXPECT_EQ(req.body, "hello world!");
+}
+
+TEST(ParserTest, ChunkedWithExtensionsAndTrailers) {
+  const Request req = parse_ok(
+      "POST /u HTTP/1.1\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "4;name=value\r\ndata\r\n"
+      "0\r\n"
+      "X-Trailer: ignored\r\n"
+      "\r\n");
+  EXPECT_EQ(req.body, "data");
+}
+
+TEST(ParserTest, ChunkedByteAtATime) {
+  const std::string wire =
+      "POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\nA\r\n0123456789\r\n0\r\n\r\n";
+  RequestParser parser;
+  ParseState state = ParseState::kNeedMore;
+  for (char c : wire) {
+    ASSERT_NE(state, ParseState::kError);
+    state = parser.feed({&c, 1});
+  }
+  ASSERT_EQ(state, ParseState::kDone);
+  EXPECT_EQ(parser.request().body, "abc0123456789");
+}
+
+TEST(ParserTest, ChunkedPlusContentLengthIsSmuggling400) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("POST /u HTTP/1.1\r\nContent-Length: 4\r\n"
+                        "Transfer-Encoding: chunked\r\n\r\n"),
+            ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(ParserTest, ConflictingContentLengthsRejected) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("POST /u HTTP/1.0\r\nContent-Length: 4\r\n"
+                        "Content-Length: 8\r\n\r\nbody"),
+            ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(ParserTest, AgreeingDuplicateContentLengthsAccepted) {
+  const Request req = parse_ok(
+      "POST /u HTTP/1.0\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody");
+  EXPECT_EQ(req.body, "body");
+}
+
+TEST(ParserTest, UnknownTransferEncodingIs501) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("POST /u HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"),
+            ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(ParserTest, BadChunkSizeIs400) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                        "\r\nZZ\r\n"),
+            ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(ParserTest, ChunkedBodyHitsSizeLimit) {
+  RequestParser parser(ParserLimits{.max_body_bytes = 8});
+  ASSERT_EQ(parser.feed("POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                        "\r\n20\r\n"),
+            ParseState::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(ParserTest, PipeliningAfterChunkedRequest) {
+  RequestParser parser;
+  ASSERT_EQ(parser.feed("POST /a HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                        "\r\n2\r\nhi\r\n0\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            ParseState::kDone);
+  EXPECT_EQ(parser.request().body, "hi");
+  parser.reset();
+  ASSERT_EQ(parser.pump(), ParseState::kDone);
+  EXPECT_EQ(parser.request().uri.path, "/b");
+}
+
+TEST(ParserTest, KeepAliveSemantics) {
+  EXPECT_TRUE(parse_ok("GET / HTTP/1.1\r\n\r\n").keep_alive());
+  EXPECT_FALSE(
+      parse_ok("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+  EXPECT_FALSE(parse_ok("GET / HTTP/1.0\r\n\r\n").keep_alive());
+  EXPECT_TRUE(parse_ok("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                  .keep_alive());
+}
+
+// Parameterized sweep: the parser must produce identical results no matter
+// how the input is chunked.
+class ChunkedFeedTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkedFeedTest, ChunkingInvariant) {
+  const std::string wire =
+      "POST /cgi-bin/q?a=%20b HTTP/1.1\r\n"
+      "Host: swala.test\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "hello world";
+  const std::size_t chunk = GetParam();
+  RequestParser parser;
+  ParseState state = ParseState::kNeedMore;
+  for (std::size_t i = 0; i < wire.size() && state == ParseState::kNeedMore;
+       i += chunk) {
+    state = parser.feed(std::string_view(wire).substr(i, chunk));
+  }
+  ASSERT_EQ(state, ParseState::kDone);
+  EXPECT_EQ(parser.request().uri.path, "/cgi-bin/q");
+  EXPECT_EQ(parser.request().body, "hello world");
+  EXPECT_EQ(parser.request().headers.get("Host"), "swala.test");
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ChunkedFeedTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 16, 64, 1024));
+
+// ---- response serialization / parsing ----
+
+TEST(ResponseTest, SerializeBasics) {
+  Response resp = Response::make(200, "body", "text/plain");
+  const std::string wire = resp.serialize();
+  EXPECT_NE(wire.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\nbody"));
+}
+
+TEST(ResponseTest, ErrorPageMentionsStatus) {
+  Response resp = Response::error(404, "missing");
+  EXPECT_EQ(resp.status, 404);
+  EXPECT_NE(resp.body.find("404"), std::string::npos);
+  EXPECT_NE(resp.body.find("missing"), std::string::npos);
+}
+
+TEST(ResponseTest, ParseRoundtrip) {
+  Response out = Response::make(201, "payload", "application/json");
+  out.version = Version::kHttp11;
+  Response in;
+  ASSERT_TRUE(parse_response(out.serialize(), &in));
+  EXPECT_EQ(in.status, 201);
+  EXPECT_EQ(in.version, Version::kHttp11);
+  EXPECT_EQ(in.body, "payload");
+  EXPECT_EQ(in.headers.get("Content-Type"), "application/json");
+}
+
+TEST(ResponseTest, ParseWithoutContentLengthTakesRest) {
+  Response in;
+  ASSERT_TRUE(parse_response("HTTP/1.0 200 OK\r\n\r\neverything else", &in));
+  EXPECT_EQ(in.body, "everything else");
+}
+
+TEST(ResponseTest, ParseRejectsGarbage) {
+  Response in;
+  EXPECT_FALSE(parse_response("not http at all", &in));
+  EXPECT_FALSE(parse_response("HTTP/1.0\r\n\r\n", &in));
+}
+
+TEST(ReasonPhraseTest, KnownCodes) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(500), "Internal Server Error");
+  EXPECT_EQ(reason_phrase(999), "Unknown");
+}
+
+// ---- dates ----
+
+TEST(DateTest, FormatKnownTimestamp) {
+  // 784111777 = Sun, 06 Nov 1994 08:49:37 GMT (the RFC example).
+  EXPECT_EQ(format_http_date(784111777), "Sun, 06 Nov 1994 08:49:37 GMT");
+}
+
+TEST(DateTest, ParseRoundtrip) {
+  const std::time_t t = 1700000000;
+  const auto parsed = parse_http_date(format_http_date(t));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_http_date("yesterday").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 06 Qqq 1994 08:49:37 GMT").has_value());
+}
+
+// ---- MIME ----
+
+TEST(MimeTest, CommonTypes) {
+  EXPECT_EQ(mime_type_for_path("/a/index.html"), "text/html");
+  EXPECT_EQ(mime_type_for_path("/tile.GIF"), "image/gif");
+  EXPECT_EQ(mime_type_for_path("/x.tar"), "application/x-tar");
+  EXPECT_EQ(mime_type_for_path("/noext"), "application/octet-stream");
+}
+
+// ---- client against a raw server ----
+
+TEST(ClientTest, TalksToRawServer) {
+  auto listener = net::TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const net::InetAddress addr{"127.0.0.1", listener.value().local_port()};
+
+  std::thread server([&] {
+    auto conn = listener.value().accept(2000);
+    ASSERT_TRUE(conn.is_ok());
+    char buf[4096];
+    auto n = conn.value().read_some(buf, sizeof(buf));
+    ASSERT_TRUE(n.is_ok());
+    const std::string request(buf, n.value());
+    EXPECT_NE(request.find("GET /hello HTTP/1.1"), std::string::npos);
+    Response resp = Response::make(200, "hi there");
+    resp.headers.set("Connection", "close");
+    ASSERT_TRUE(conn.value().write_all(resp.serialize()).is_ok());
+  });
+
+  HttpClient client(addr, 2000);
+  auto resp = client.get("/hello");
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_EQ(resp.value().status, 200);
+  EXPECT_EQ(resp.value().body, "hi there");
+  server.join();
+}
+
+TEST(ClientTest, ConnectFailureSurfaces) {
+  std::uint16_t dead_port;
+  {
+    auto listener = net::TcpListener::listen({"127.0.0.1", 0});
+    ASSERT_TRUE(listener.is_ok());
+    dead_port = listener.value().local_port();
+  }
+  HttpClient client({"127.0.0.1", dead_port}, 300);
+  auto resp = client.get("/x");
+  EXPECT_FALSE(resp.is_ok());
+}
+
+}  // namespace
+}  // namespace swala::http

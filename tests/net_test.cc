@@ -1,0 +1,155 @@
+// Tests for the socket layer: listener/stream roundtrips, timeouts, EOF
+// semantics, partial reads.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unistd.h>
+
+#include "net/socket.h"
+
+namespace swala::net {
+namespace {
+
+TEST(TcpTest, EphemeralPortAssigned) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+  EXPECT_GT(listener.value().local_port(), 0);
+}
+
+TEST(TcpTest, ConnectAcceptRoundtrip) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const InetAddress addr{"127.0.0.1", listener.value().local_port()};
+
+  std::thread client([&] {
+    auto stream = TcpStream::connect(addr, 2000);
+    ASSERT_TRUE(stream.is_ok()) << stream.status().to_string();
+    ASSERT_TRUE(stream.value().write_all("hello").is_ok());
+    char buf[16];
+    ASSERT_TRUE(stream.value().read_exact(buf, 5).is_ok());
+    EXPECT_EQ(std::string(buf, 5), "world");
+  });
+
+  auto conn = listener.value().accept(2000);
+  ASSERT_TRUE(conn.is_ok()) << conn.status().to_string();
+  char buf[16];
+  ASSERT_TRUE(conn.value().read_exact(buf, 5).is_ok());
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  ASSERT_TRUE(conn.value().write_all("world").is_ok());
+  client.join();
+}
+
+TEST(TcpTest, AcceptTimesOut) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  auto conn = listener.value().accept(/*timeout_ms=*/50);
+  ASSERT_FALSE(conn.is_ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kTimeout);
+}
+
+TEST(TcpTest, RecvTimeout) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const InetAddress addr{"127.0.0.1", listener.value().local_port()};
+
+  auto client = TcpStream::connect(addr, 2000);
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value().accept(2000);
+  ASSERT_TRUE(server.is_ok());
+
+  ASSERT_TRUE(server.value().set_recv_timeout(50).is_ok());
+  char buf[8];
+  auto n = server.value().read_some(buf, sizeof(buf));
+  ASSERT_FALSE(n.is_ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kTimeout);
+}
+
+TEST(TcpTest, ReadSomeSeesEofAsZero) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const InetAddress addr{"127.0.0.1", listener.value().local_port()};
+
+  auto client = TcpStream::connect(addr, 2000);
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value().accept(2000);
+  ASSERT_TRUE(server.is_ok());
+
+  client.value().close();
+  char buf[8];
+  auto n = server.value().read_some(buf, sizeof(buf));
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST(TcpTest, ReadExactFailsOnEarlyClose) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const InetAddress addr{"127.0.0.1", listener.value().local_port()};
+
+  auto client = TcpStream::connect(addr, 2000);
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value().accept(2000);
+  ASSERT_TRUE(server.is_ok());
+
+  ASSERT_TRUE(client.value().write_all("ab").is_ok());
+  client.value().close();
+  char buf[8];
+  auto st = server.value().read_exact(buf, 5);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kClosed);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Bind then immediately close to get a (very likely) dead port.
+  std::uint16_t port;
+  {
+    auto listener = TcpListener::listen({"127.0.0.1", 0});
+    ASSERT_TRUE(listener.is_ok());
+    port = listener.value().local_port();
+  }
+  auto stream = TcpStream::connect({"127.0.0.1", port}, 500);
+  EXPECT_FALSE(stream.is_ok());
+}
+
+TEST(TcpTest, BadAddressRejected) {
+  auto stream = TcpStream::connect({"not-an-ip", 80}, 100);
+  ASSERT_FALSE(stream.is_ok());
+  EXPECT_EQ(stream.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TcpTest, LargeTransfer) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const InetAddress addr{"127.0.0.1", listener.value().local_port()};
+  const std::string payload(2 * 1024 * 1024, 'z');
+
+  std::thread sender([&] {
+    auto stream = TcpStream::connect(addr, 2000);
+    ASSERT_TRUE(stream.is_ok());
+    ASSERT_TRUE(stream.value().write_all(payload).is_ok());
+  });
+
+  auto conn = listener.value().accept(2000);
+  ASSERT_TRUE(conn.is_ok());
+  std::string received(payload.size(), '\0');
+  ASSERT_TRUE(conn.value().read_exact(received.data(), received.size()).is_ok());
+  EXPECT_EQ(received, payload);
+  sender.join();
+}
+
+TEST(UniqueFdTest, MoveTransfersOwnership) {
+  UniqueFd a(::dup(0));
+  ASSERT_TRUE(a.valid());
+  const int raw = a.get();
+  UniqueFd b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.get(), raw);
+}
+
+TEST(InetAddressTest, ToString) {
+  InetAddress addr{"10.0.0.1", 8080};
+  EXPECT_EQ(addr.to_string(), "10.0.0.1:8080");
+}
+
+}  // namespace
+}  // namespace swala::net

@@ -1,0 +1,130 @@
+// Tests for the access log: formatting/parsing roundtrip, live logging from
+// a real server, and the log -> trace -> Table-1-analysis pipeline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cgi/registry.h"
+#include "cgi/scripted.h"
+#include "http/client.h"
+#include "server/access_log.h"
+#include "server/swala_server.h"
+#include "workload/analyzer.h"
+
+namespace swala::server {
+namespace {
+
+TEST(AccessLogFormatTest, Roundtrip) {
+  AccessRecord original;
+  original.timestamp = 1751234567.123456;
+  original.method = "POST";
+  original.target = "/cgi-bin/q?x=1&y=2";
+  original.version = "HTTP/1.1";
+  original.status = 404;
+  original.bytes = 9876;
+  original.service_seconds = 1.25;
+  original.dynamic = true;
+  original.cache_state = "hit-remote";
+
+  AccessRecord parsed;
+  ASSERT_TRUE(parse_access_line(AccessLog::format(original), &parsed));
+  EXPECT_NEAR(parsed.timestamp, original.timestamp, 1e-5);
+  EXPECT_EQ(parsed.method, original.method);
+  EXPECT_EQ(parsed.target, original.target);
+  EXPECT_EQ(parsed.version, original.version);
+  EXPECT_EQ(parsed.status, original.status);
+  EXPECT_EQ(parsed.bytes, original.bytes);
+  EXPECT_NEAR(parsed.service_seconds, original.service_seconds, 1e-5);
+  EXPECT_EQ(parsed.dynamic, original.dynamic);
+  EXPECT_EQ(parsed.cache_state, original.cache_state);
+}
+
+TEST(AccessLogFormatTest, RejectsMalformed) {
+  AccessRecord out;
+  EXPECT_FALSE(parse_access_line("", &out));
+  EXPECT_FALSE(parse_access_line("not a log line", &out));
+  EXPECT_FALSE(parse_access_line("ts=abc \"GET / HTTP/1.0\" 200 0 service=0 dyn=0 cache=-", &out));
+  EXPECT_FALSE(parse_access_line("ts=1.0 \"GET /\" 200 0 service=0 dyn=0 cache=-", &out));
+  EXPECT_FALSE(parse_access_line("ts=1.0 \"GET / HTTP/1.0\" 999 0 service=0 dyn=0 cache=-", &out));
+  EXPECT_FALSE(parse_access_line("ts=1.0 \"GET / HTTP/1.0\" 200 0 service=0 dyn=2 cache=-", &out));
+}
+
+TEST(AccessLogTest, ServerWritesAndTraceLoads) {
+  const std::string log_path = "/tmp/swala_access_log_test.log";
+  std::filesystem::remove(log_path);
+
+  auto registry = std::make_shared<cgi::HandlerRegistry>();
+  cgi::ScriptedOptions cgi_opts;
+  cgi_opts.mode = cgi::ComputeMode::kSleep;
+  cgi_opts.service_seconds = 0.02;
+  registry->mount("/cgi-bin/", std::make_shared<cgi::ScriptedCgi>(cgi_opts));
+
+  core::ManagerOptions mo;
+  mo.limits = {100, 0};
+  core::RuleDecision d;
+  d.cacheable = true;
+  mo.rules.add_rule("/cgi-bin/*", d);
+  core::CacheManager cache(0, 1, std::move(mo), RealClock::instance());
+
+  SwalaServerOptions options;
+  options.request_threads = 2;
+  options.access_log_path = log_path;
+  SwalaServer server(options, registry, &cache);
+  ASSERT_TRUE(server.start().is_ok());
+  {
+    http::HttpClient client(server.address());
+    ASSERT_TRUE(client.get("/cgi-bin/q?id=1").is_ok());  // miss (~20 ms)
+    ASSERT_TRUE(client.get("/cgi-bin/q?id=1").is_ok());  // hit (fast)
+    ASSERT_TRUE(client.get("/no-such-file").is_ok());    // static 404
+  }
+  server.stop();
+
+  auto trace = load_access_log_trace(log_path);
+  ASSERT_TRUE(trace.is_ok()) << trace.status().to_string();
+  ASSERT_EQ(trace.value().size(), 3u);
+
+  EXPECT_TRUE(trace.value()[0].is_cgi);
+  EXPECT_GE(trace.value()[0].service_seconds, 0.015);
+  EXPECT_TRUE(trace.value()[1].is_cgi);
+  EXPECT_LT(trace.value()[1].service_seconds, 0.015) << "hit must be fast";
+  EXPECT_FALSE(trace.value()[2].is_cgi);
+
+  // The §3 pipeline end-to-end: our own log through the Table-1 analyzer.
+  const auto row = workload::analyze_threshold(trace.value(), 0.015);
+  EXPECT_EQ(row.long_requests, 1u);
+
+  std::filesystem::remove(log_path);
+}
+
+TEST(AccessLogTest, MissingLogPathFailsStartup) {
+  auto registry = std::make_shared<cgi::HandlerRegistry>();
+  SwalaServerOptions options;
+  options.access_log_path = "/nonexistent-dir/x.log";
+  SwalaServer server(options, registry, nullptr);
+  EXPECT_FALSE(server.start().is_ok());
+}
+
+TEST(AccessLogTest, LoadSkipsCorruptLines) {
+  const std::string path = "/tmp/swala_access_corrupt.log";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    AccessRecord r;
+    r.timestamp = 100.0;
+    r.target = "/a";
+    std::fputs((AccessLog::format(r) + "\n").c_str(), f);
+    std::fputs("CORRUPT LINE\n", f);
+    r.timestamp = 101.0;
+    r.target = "/b";
+    std::fputs((AccessLog::format(r) + "\n").c_str(), f);
+    std::fclose(f);
+  }
+  auto trace = load_access_log_trace(path);
+  ASSERT_TRUE(trace.is_ok());
+  ASSERT_EQ(trace.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.value()[1].arrival_seconds, 1.0);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace swala::server

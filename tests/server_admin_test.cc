@@ -1,0 +1,145 @@
+// Tests for the built-in admin endpoints: /swala-status statistics and
+// /swala-admin/invalidate (application-driven invalidation over HTTP).
+#include <gtest/gtest.h>
+
+#include "cgi/registry.h"
+#include "cgi/scripted.h"
+#include "http/client.h"
+#include "server/swala_server.h"
+
+namespace swala::server {
+namespace {
+
+core::ManagerOptions cache_options() {
+  core::ManagerOptions mo;
+  mo.limits = {100, 0};
+  core::RuleDecision d;
+  d.cacheable = true;
+  mo.rules.add_rule("/cgi-bin/*", d);
+  return mo;
+}
+
+std::shared_ptr<cgi::HandlerRegistry> make_registry() {
+  auto registry = std::make_shared<cgi::HandlerRegistry>();
+  registry->mount("/cgi-bin/",
+                  std::make_shared<cgi::ScriptedCgi>(cgi::ScriptedOptions{}));
+  return registry;
+}
+
+class AdminTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    manager_ = std::make_unique<core::CacheManager>(
+        0, 1, cache_options(), RealClock::instance());
+    SwalaServerOptions options;
+    options.request_threads = 2;
+    options.enable_admin = true;
+    server_ = std::make_unique<SwalaServer>(options, make_registry(),
+                                            manager_.get());
+    ASSERT_TRUE(server_->start().is_ok());
+    client_ = std::make_unique<http::HttpClient>(server_->address());
+  }
+
+  void TearDown() override {
+    client_.reset();
+    server_->stop();
+  }
+
+  std::unique_ptr<core::CacheManager> manager_;
+  std::unique_ptr<SwalaServer> server_;
+  std::unique_ptr<http::HttpClient> client_;
+};
+
+TEST_F(AdminTest, StatusReportsCounters) {
+  ASSERT_TRUE(client_->get("/cgi-bin/x?a=1").is_ok());
+  ASSERT_TRUE(client_->get("/cgi-bin/x?a=1").is_ok());  // hit
+
+  auto status = client_->get("/swala-status");
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_EQ(status.value().status, 200);
+  EXPECT_EQ(status.value().headers.get("Content-Type"), "application/json");
+  const std::string& body = status.value().body;
+  EXPECT_NE(body.find("\"cache_local_hits\": 1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"cache_inserts\": 1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"cache_entries\": 1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"dynamic_requests\": 2"), std::string::npos) << body;
+}
+
+TEST_F(AdminTest, StatusReportsLatencyPercentiles) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(client_->get("/cgi-bin/x?i=" + std::to_string(i)).is_ok());
+  }
+  auto status = client_->get("/swala-status");
+  ASSERT_TRUE(status.is_ok());
+  const std::string& body = status.value().body;
+  EXPECT_NE(body.find("\"response_count\": 20"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"response_p50_us\":"), std::string::npos);
+  EXPECT_NE(body.find("\"response_p99_us\":"), std::string::npos);
+
+  // By now the status request itself has completed too: 20 CGI + 1 status.
+  const auto hist = server_->latency();
+  EXPECT_EQ(hist.count(), 21u);
+}
+
+TEST_F(AdminTest, InvalidateEndpointRemovesEntries) {
+  ASSERT_TRUE(client_->get("/cgi-bin/report?q=1").is_ok());
+  ASSERT_TRUE(client_->get("/cgi-bin/report?q=2").is_ok());
+  ASSERT_TRUE(client_->get("/cgi-bin/keep?q=1").is_ok());
+  ASSERT_EQ(manager_->store().entry_count(), 3u);
+
+  // The pattern matches full cache keys; '*' covers "GET " prefix too.
+  auto resp = client_->get("/swala-admin/invalidate?pattern=*%2Fcgi-bin%2Freport*");
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp.value().status, 200);
+  EXPECT_NE(resp.value().body.find("\"removed\": 2"), std::string::npos)
+      << resp.value().body;
+  EXPECT_EQ(manager_->store().entry_count(), 1u);
+
+  // The next request for an invalidated target re-executes.
+  auto again = client_->get("/cgi-bin/report?q=1");
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().headers.get("X-Swala-Cache"), "miss");
+}
+
+TEST_F(AdminTest, InvalidateWithoutPatternIs400) {
+  auto resp = client_->get("/swala-admin/invalidate");
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp.value().status, 400);
+}
+
+TEST(AdminDisabledTest, EndpointsInvisibleByDefault) {
+  SwalaServerOptions options;
+  options.request_threads = 2;
+  SwalaServer server(options, make_registry(), nullptr);
+  ASSERT_TRUE(server.start().is_ok());
+  {
+    http::HttpClient client(server.address());
+    auto resp = client.get("/swala-status");
+    ASSERT_TRUE(resp.is_ok());
+    EXPECT_EQ(resp.value().status, 404);
+  }
+  server.stop();
+}
+
+TEST(AdminNoCacheTest, InvalidateWithoutCacheIs404) {
+  SwalaServerOptions options;
+  options.request_threads = 2;
+  options.enable_admin = true;
+  SwalaServer server(options, make_registry(), nullptr);
+  ASSERT_TRUE(server.start().is_ok());
+  {
+    http::HttpClient client(server.address());
+    auto resp = client.get("/swala-admin/invalidate?pattern=*");
+    ASSERT_TRUE(resp.is_ok());
+    EXPECT_EQ(resp.value().status, 404);
+    // Status still works, reporting cache disabled.
+    auto status = client.get("/swala-status");
+    ASSERT_TRUE(status.is_ok());
+    EXPECT_NE(status.value().body.find("\"cache_enabled\": 0"),
+              std::string::npos);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace swala::server

@@ -1,0 +1,253 @@
+// Tests for the front-end dispatcher: round-robin spread, least-connections
+// choice, failover on dead backends, keep-alive on the client side, and a
+// full dispatched-cooperative-cluster integration.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cgi/registry.h"
+#include "cgi/scripted.h"
+#include "cluster/local_cluster.h"
+#include "http/client.h"
+#include "server/dispatcher.h"
+#include "server/swala_server.h"
+
+namespace swala::server {
+namespace {
+
+std::shared_ptr<cgi::HandlerRegistry> make_registry(double service = 0.0) {
+  auto registry = std::make_shared<cgi::HandlerRegistry>();
+  cgi::ScriptedOptions options;
+  if (service > 0) {
+    options.mode = cgi::ComputeMode::kSleep;
+    options.service_seconds = service;
+  }
+  registry->mount("/cgi-bin/", std::make_shared<cgi::ScriptedCgi>(options));
+  return registry;
+}
+
+core::ManagerOptions open_options(core::NodeId) {
+  core::ManagerOptions mo;
+  mo.limits = {100, 0};
+  core::RuleDecision d;
+  d.cacheable = true;
+  mo.rules.add_rule("/cgi-bin/*", d);
+  return mo;
+}
+
+TEST(DispatcherTest, RoundRobinSpreadsLoad) {
+  std::vector<std::unique_ptr<SwalaServer>> backends;
+  std::vector<net::InetAddress> addresses;
+  for (int i = 0; i < 3; ++i) {
+    SwalaServerOptions options;
+    options.request_threads = 2;
+    backends.push_back(
+        std::make_unique<SwalaServer>(options, make_registry(), nullptr));
+    ASSERT_TRUE(backends.back()->start().is_ok());
+    addresses.push_back(backends.back()->address());
+  }
+
+  Dispatcher dispatcher(DispatcherOptions{}, addresses);
+  ASSERT_TRUE(dispatcher.start().is_ok());
+  {
+    http::HttpClient client(dispatcher.address());
+    for (int i = 0; i < 30; ++i) {
+      auto resp = client.get("/cgi-bin/x?i=" + std::to_string(i));
+      ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+      EXPECT_EQ(resp.value().status, 200);
+    }
+  }
+  const auto stats = dispatcher.stats();
+  EXPECT_EQ(stats.requests, 30u);
+  EXPECT_EQ(stats.unavailable, 0u);
+  ASSERT_EQ(stats.per_backend.size(), 3u);
+  for (const auto count : stats.per_backend) {
+    EXPECT_EQ(count, 10u) << "round robin must spread evenly";
+  }
+  dispatcher.stop();
+  for (auto& backend : backends) backend->stop();
+}
+
+TEST(DispatcherTest, FailoverSkipsDeadBackend) {
+  SwalaServerOptions options;
+  options.request_threads = 2;
+  SwalaServer alive(options, make_registry(), nullptr);
+  ASSERT_TRUE(alive.start().is_ok());
+
+  // A dead address: bound then released.
+  std::uint16_t dead_port;
+  {
+    auto dead = net::TcpListener::listen({"127.0.0.1", 0});
+    ASSERT_TRUE(dead.is_ok());
+    dead_port = dead.value().local_port();
+  }
+
+  DispatcherOptions dopt;
+  dopt.max_attempts = 2;
+  Dispatcher dispatcher(dopt, {{"127.0.0.1", dead_port}, alive.address()});
+  ASSERT_TRUE(dispatcher.start().is_ok());
+  {
+    http::HttpClient client(dispatcher.address());
+    for (int i = 0; i < 10; ++i) {
+      auto resp = client.get("/cgi-bin/x");
+      ASSERT_TRUE(resp.is_ok());
+      EXPECT_EQ(resp.value().status, 200) << "failover must hide dead backend";
+    }
+  }
+  EXPECT_GT(dispatcher.stats().forward_failures, 0u);
+  EXPECT_EQ(dispatcher.stats().unavailable, 0u);
+  dispatcher.stop();
+  alive.stop();
+}
+
+TEST(DispatcherTest, AllBackendsDeadGives502) {
+  std::uint16_t dead_port;
+  {
+    auto dead = net::TcpListener::listen({"127.0.0.1", 0});
+    ASSERT_TRUE(dead.is_ok());
+    dead_port = dead.value().local_port();
+  }
+  Dispatcher dispatcher(DispatcherOptions{}, {{"127.0.0.1", dead_port}});
+  ASSERT_TRUE(dispatcher.start().is_ok());
+  {
+    http::HttpClient client(dispatcher.address());
+    auto resp = client.get("/x");
+    ASSERT_TRUE(resp.is_ok());
+    EXPECT_EQ(resp.value().status, 502);
+  }
+  EXPECT_EQ(dispatcher.stats().unavailable, 1u);
+  dispatcher.stop();
+}
+
+TEST(DispatcherTest, NoBackendsRejectedAtStart) {
+  Dispatcher dispatcher(DispatcherOptions{}, {});
+  EXPECT_FALSE(dispatcher.start().is_ok());
+}
+
+TEST(DispatcherTest, LeastConnectionsAvoidsBusyBackend) {
+  // Backend 0 is slow (80 ms per request), backend 1 fast. With the
+  // least-connections strategy and concurrent clients, the fast backend
+  // must absorb clearly more requests.
+  SwalaServerOptions options;
+  options.request_threads = 8;
+  SwalaServer slow(options, make_registry(0.08), nullptr);
+  SwalaServer fast(options, make_registry(0.0), nullptr);
+  ASSERT_TRUE(slow.start().is_ok());
+  ASSERT_TRUE(fast.start().is_ok());
+
+  DispatcherOptions dopt;
+  dopt.strategy = DispatchStrategy::kLeastConnections;
+  Dispatcher dispatcher(dopt, {slow.address(), fast.address()});
+  ASSERT_TRUE(dispatcher.start().is_ok());
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&dispatcher, c] {
+      http::HttpClient client(dispatcher.address());
+      for (int i = 0; i < 10; ++i) {
+        auto resp = client.get("/cgi-bin/x?c=" + std::to_string(c) +
+                               "&i=" + std::to_string(i));
+        EXPECT_TRUE(resp.is_ok());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const auto stats = dispatcher.stats();
+  ASSERT_EQ(stats.per_backend.size(), 2u);
+  EXPECT_GT(stats.per_backend[1], stats.per_backend[0])
+      << "fast backend should serve more under least-connections";
+  dispatcher.stop();
+  slow.stop();
+  fast.stop();
+}
+
+TEST(DispatcherTest, PostBodiesForwardIntact) {
+  auto registry = std::make_shared<cgi::HandlerRegistry>();
+  registry->mount("/cgi-bin/echo",
+                  std::make_shared<cgi::LambdaCgi>(
+                      [](const http::Request& req) -> Result<cgi::CgiOutput> {
+                        cgi::CgiOutput out;
+                        out.success = true;
+                        out.body = "got:" + req.body;
+                        return out;
+                      }));
+  SwalaServerOptions options;
+  options.request_threads = 2;
+  SwalaServer backend(options, registry, nullptr);
+  ASSERT_TRUE(backend.start().is_ok());
+
+  Dispatcher dispatcher(DispatcherOptions{}, {backend.address()});
+  ASSERT_TRUE(dispatcher.start().is_ok());
+  {
+    http::HttpClient client(dispatcher.address());
+    http::Request req;
+    req.method = http::Method::kPost;
+    req.target = "/cgi-bin/echo";
+    req.version = http::Version::kHttp11;
+    req.headers.set("Host", "test");
+    req.body = "payload with spaces & symbols";
+    req.headers.set("Content-Length", std::to_string(req.body.size()));
+    auto resp = client.send(req);
+    ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+    EXPECT_EQ(resp.value().status, 200);
+    EXPECT_EQ(resp.value().body, "got:payload with spaces & symbols");
+  }
+  dispatcher.stop();
+  backend.stop();
+}
+
+TEST(DispatcherTest, DispatchedCooperativeClusterSharesCache) {
+  // The full deployment: dispatcher in front of a cooperative cluster.
+  // The same CGI reached through different backends executes once.
+  cluster::LocalCluster cluster(2, open_options);
+  std::vector<std::unique_ptr<SwalaServer>> servers;
+  std::vector<std::shared_ptr<cgi::ScriptedCgi>> handlers;
+  std::vector<net::InetAddress> addresses;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto registry = std::make_shared<cgi::HandlerRegistry>();
+    cgi::ScriptedOptions copt;
+    copt.mode = cgi::ComputeMode::kSleep;
+    copt.service_seconds = 0.02;
+    auto handler = std::make_shared<cgi::ScriptedCgi>(copt);
+    handlers.push_back(handler);
+    registry->mount("/cgi-bin/", handler);
+    SwalaServerOptions options;
+    options.request_threads = 4;
+    servers.push_back(std::make_unique<SwalaServer>(options, registry,
+                                                    &cluster.manager(i)));
+    ASSERT_TRUE(servers.back()->start().is_ok());
+    addresses.push_back(servers.back()->address());
+  }
+
+  Dispatcher dispatcher(DispatcherOptions{}, addresses);
+  ASSERT_TRUE(dispatcher.start().is_ok());
+  {
+    http::HttpClient client(dispatcher.address());
+    auto first = client.get("/cgi-bin/shared?q=7");
+    ASSERT_TRUE(first.is_ok());
+    EXPECT_EQ(first.value().headers.get("X-Swala-Cache"), "miss");
+    // Let the insert broadcast land, then hit through the other backend.
+    for (int i = 0; i < 100; ++i) {
+      if (cluster.manager(0).directory().lookup("GET /cgi-bin/shared?q=7") &&
+          cluster.manager(1).directory().lookup("GET /cgi-bin/shared?q=7")) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    for (int i = 0; i < 6; ++i) {
+      auto resp = client.get("/cgi-bin/shared?q=7");
+      ASSERT_TRUE(resp.is_ok());
+      const auto state = resp.value().headers.get("X-Swala-Cache");
+      ASSERT_TRUE(state.has_value());
+      EXPECT_NE(*state, "miss") << "round " << i;
+    }
+  }
+  EXPECT_EQ(handlers[0]->execution_count() + handlers[1]->execution_count(), 1u)
+      << "one execution serves the whole dispatched cluster";
+  dispatcher.stop();
+  for (auto& server : servers) server->stop();
+}
+
+}  // namespace
+}  // namespace swala::server

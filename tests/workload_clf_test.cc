@@ -1,0 +1,105 @@
+// Tests for the Common Log Format importer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "workload/analyzer.h"
+#include "workload/clf.h"
+
+namespace swala::workload {
+namespace {
+
+TEST(ClfDateTest, ParsesWithTimezone) {
+  auto t = parse_clf_date("10/Oct/1997:13:55:36 -0700");
+  ASSERT_TRUE(t.is_ok()) << t.status().to_string();
+  // 13:55:36 -0700 == 20:55:36 UTC.
+  auto utc = parse_clf_date("10/Oct/1997:20:55:36 +0000");
+  ASSERT_TRUE(utc.is_ok());
+  EXPECT_EQ(t.value(), utc.value());
+}
+
+TEST(ClfDateTest, ParsesWithoutTimezone) {
+  EXPECT_TRUE(parse_clf_date("01/Jan/1998:00:00:00").is_ok());
+}
+
+TEST(ClfDateTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_clf_date("yesterday").is_ok());
+  EXPECT_FALSE(parse_clf_date("10/Zzz/1997:13:55:36 -0700").is_ok());
+}
+
+TEST(ClfLineTest, CanonicalExample) {
+  ClfRecord record;
+  ASSERT_TRUE(parse_clf_line(
+      "frank.example.com - frank [10/Oct/1997:13:55:36 -0700] "
+      "\"GET /apache_pb.gif HTTP/1.0\" 200 2326",
+      &record));
+  EXPECT_EQ(record.host, "frank.example.com");
+  EXPECT_EQ(record.method, "GET");
+  EXPECT_EQ(record.target, "/apache_pb.gif");
+  EXPECT_EQ(record.status, 200);
+  EXPECT_EQ(record.bytes, 2326u);
+}
+
+TEST(ClfLineTest, DashBytesMeansZero) {
+  ClfRecord record;
+  ASSERT_TRUE(parse_clf_line(
+      "h - - [10/Oct/1997:13:55:36 -0700] \"GET / HTTP/1.0\" 304 -", &record));
+  EXPECT_EQ(record.bytes, 0u);
+}
+
+TEST(ClfLineTest, RejectsMalformed) {
+  ClfRecord record;
+  EXPECT_FALSE(parse_clf_line("", &record));
+  EXPECT_FALSE(parse_clf_line("no brackets \"GET / HTTP/1.0\" 200 1", &record));
+  EXPECT_FALSE(parse_clf_line(
+      "h - - [10/Oct/1997:13:55:36 -0700] no-quotes 200 1", &record));
+  EXPECT_FALSE(parse_clf_line(
+      "h - - [10/Oct/1997:13:55:36 -0700] \"GET / HTTP/1.0\" 999 1", &record));
+}
+
+TEST(ClfLoadTest, ConvertsToTraceWithEstimates) {
+  const std::string path = "/tmp/swala_clf_test.log";
+  {
+    std::ofstream out(path);
+    out << "h1 - - [10/Oct/1997:13:55:36 -0700] \"GET /cgi-bin/q?x=1 HTTP/1.0\" 200 4000\n"
+        << "h2 - - [10/Oct/1997:13:55:46 -0700] \"GET /img/map.gif HTTP/1.0\" 200 8000\n"
+        << "CORRUPT\n"
+        << "h3 - - [10/Oct/1997:13:56:36 -0700] \"GET /cgi-bin/q?x=1 HTTP/1.0\" 200 4000\n"
+        << "h4 - - [10/Oct/1997:13:57:00 -0700] \"GET /missing HTTP/1.0\" 404 100\n";
+  }
+  ClfOptions options;
+  options.cgi_service_seconds = 2.0;
+  options.file_service_seconds = 0.05;
+
+  auto trace = load_clf_trace(path, options);
+  ASSERT_TRUE(trace.is_ok()) << trace.status().to_string();
+  ASSERT_EQ(trace.value().size(), 4u);
+  EXPECT_TRUE(trace.value()[0].is_cgi);
+  EXPECT_DOUBLE_EQ(trace.value()[0].service_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(trace.value()[0].arrival_seconds, 0.0);
+  EXPECT_FALSE(trace.value()[1].is_cgi);
+  EXPECT_DOUBLE_EQ(trace.value()[1].service_seconds, 0.05);
+  EXPECT_DOUBLE_EQ(trace.value()[1].arrival_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(trace.value()[3].arrival_seconds, 84.0);
+
+  // The repeated CGI shows up in the Table-1 analysis.
+  const auto row = analyze_threshold(trace.value(), 1.0);
+  EXPECT_EQ(row.total_repeats, 1u);
+  EXPECT_DOUBLE_EQ(row.time_saved_seconds, 2.0);
+
+  // only_successes filters the 404.
+  options.only_successes = true;
+  auto filtered = load_clf_trace(path, options);
+  ASSERT_TRUE(filtered.is_ok());
+  EXPECT_EQ(filtered.value().size(), 3u);
+
+  std::filesystem::remove(path);
+}
+
+TEST(ClfLoadTest, MissingFileIsError) {
+  EXPECT_FALSE(load_clf_trace("/no/such/file.log").is_ok());
+}
+
+}  // namespace
+}  // namespace swala::workload

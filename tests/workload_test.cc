@@ -1,0 +1,288 @@
+// Tests for the workload library: trace I/O, the ADL synthesizer's
+// calibration against the paper's published statistics, the Table-1
+// analyzer, and the WebStone mix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <thread>
+#include <unordered_set>
+
+#include "workload/adl_synth.h"
+#include "workload/analyzer.h"
+#include "workload/trace.h"
+#include "workload/webstone.h"
+
+namespace swala::workload {
+namespace {
+
+// ---- trace I/O ----
+
+Trace tiny_trace() {
+  Trace t;
+  t.push_back({0.0, "/cgi-bin/a?x=1", true, 2.0, 100});
+  t.push_back({0.5, "/files/img.gif", false, 0.02, 5000});
+  t.push_back({1.0, "/cgi-bin/a?x=1", true, 2.0, 100});
+  return t;
+}
+
+TEST(TraceIoTest, StringRoundtrip) {
+  const Trace original = tiny_trace();
+  auto parsed = trace_from_string(trace_to_string(original));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i].target, original[i].target);
+    EXPECT_EQ(parsed.value()[i].is_cgi, original[i].is_cgi);
+    EXPECT_DOUBLE_EQ(parsed.value()[i].service_seconds,
+                     original[i].service_seconds);
+    EXPECT_EQ(parsed.value()[i].response_bytes, original[i].response_bytes);
+  }
+}
+
+TEST(TraceIoTest, FileRoundtrip) {
+  const std::string path = "/tmp/swala_trace_test.txt";
+  ASSERT_TRUE(save_trace(path, tiny_trace()).is_ok());
+  auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().size(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, CommentsAndBlanksSkipped) {
+  auto parsed = trace_from_string(
+      "# a comment\n"
+      "\n"
+      "0.5 /x file 0.01 100\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().size(), 1u);
+}
+
+TEST(TraceIoTest, MalformedRejected) {
+  EXPECT_FALSE(trace_from_string("1.0 /x file 0.01\n").is_ok());
+  EXPECT_FALSE(trace_from_string("1.0 /x maybe 0.01 10\n").is_ok());
+  EXPECT_FALSE(trace_from_string("abc /x file 0.01 10\n").is_ok());
+  EXPECT_FALSE(load_trace("/nonexistent/trace").is_ok());
+}
+
+TEST(TraceSummaryTest, CountsCorrect) {
+  const auto s = summarize(tiny_trace());
+  EXPECT_EQ(s.total_requests, 3u);
+  EXPECT_EQ(s.cgi_requests, 2u);
+  EXPECT_EQ(s.unique_targets, 2u);
+  EXPECT_EQ(s.unique_cgi_targets, 1u);
+  EXPECT_DOUBLE_EQ(s.total_service_seconds, 4.02);
+  EXPECT_DOUBLE_EQ(s.mean_cgi_service, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_file_service, 0.02);
+  EXPECT_DOUBLE_EQ(s.max_service, 2.0);
+}
+
+// ---- ADL synthesizer calibration (the paper's §3 statistics) ----
+
+class AdlSynthTest : public ::testing::Test {
+ protected:
+  static const Trace& trace() {
+    static const Trace t = [] {
+      AdlOptions opts;  // defaults reproduce the paper's log
+      return synthesize_adl_trace(opts);
+    }();
+    return t;
+  }
+};
+
+TEST_F(AdlSynthTest, RequestCountAndMix) {
+  const auto s = summarize(trace());
+  EXPECT_EQ(s.total_requests, 69337u);
+  const double cgi_frac =
+      static_cast<double>(s.cgi_requests) / s.total_requests;
+  EXPECT_NEAR(cgi_frac, 0.413, 0.01);
+}
+
+TEST_F(AdlSynthTest, ServiceTimeShape) {
+  const auto s = summarize(trace());
+  // Paper: file fetch mean 0.03 s; CGI mean 1.6 s; max ~110 s; CGI = 97 %
+  // of total service time.
+  EXPECT_NEAR(s.mean_file_service, 0.03, 0.01);
+  EXPECT_NEAR(s.mean_cgi_service, 1.6, 0.4);
+  EXPECT_LE(s.max_service, 110.0 + 1e-9);
+  EXPECT_GT(s.max_service, 30.0);
+  EXPECT_GT(s.cgi_service_seconds / s.total_service_seconds, 0.93);
+}
+
+TEST_F(AdlSynthTest, RepetitionSavesAboutThirtyPercentAtOneSecond) {
+  const auto row = analyze_threshold(trace(), 1.0);
+  // Paper: 29 % of total service time saved at the 1 s threshold.
+  EXPECT_GT(row.saved_percent, 20.0);
+  EXPECT_LT(row.saved_percent, 45.0);
+  EXPECT_GT(row.total_repeats, 1000u);
+  EXPECT_GT(row.unique_repeated, 50u);
+}
+
+TEST_F(AdlSynthTest, Deterministic) {
+  AdlOptions opts;
+  opts.total_requests = 500;
+  const Trace a = synthesize_adl_trace(opts);
+  const Trace b = synthesize_adl_trace(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_DOUBLE_EQ(a[i].service_seconds, b[i].service_seconds);
+  }
+}
+
+TEST_F(AdlSynthTest, SeedChangesTrace) {
+  AdlOptions a_opts;
+  a_opts.total_requests = 500;
+  AdlOptions b_opts = a_opts;
+  b_opts.seed = 999;
+  const Trace a = synthesize_adl_trace(a_opts);
+  const Trace b = synthesize_adl_trace(b_opts);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].target != b[i].target;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(AdlSynthTest, ArrivalsMonotone) {
+  double prev = -1.0;
+  for (const auto& r : trace()) {
+    EXPECT_GE(r.arrival_seconds, prev);
+    prev = r.arrival_seconds;
+  }
+}
+
+// ---- §5.3 request mix ----
+
+TEST(RequestMixTest, ExactTotalsAndUniques) {
+  const Trace t = synthesize_request_mix(1600, 1122, 1.0, 42);
+  EXPECT_EQ(t.size(), 1600u);
+  std::unordered_set<std::string> uniq;
+  for (const auto& r : t) {
+    EXPECT_TRUE(r.is_cgi);
+    uniq.insert(r.target);
+  }
+  EXPECT_EQ(uniq.size(), 1122u);
+  EXPECT_EQ(hit_upper_bound(t), 1600u - 1122u);
+}
+
+TEST(RequestMixTest, UniqueCappedAtTotal) {
+  const Trace t = synthesize_request_mix(10, 50, 1.0, 1);
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_EQ(hit_upper_bound(t), 0u);
+}
+
+// ---- analyzer on a hand-built trace ----
+
+TEST(AnalyzerTest, HandComputedRow) {
+  Trace t;
+  // Three occurrences of A (2 s), two of B (0.4 s), one of C (3 s), a file.
+  t.push_back({0, "/cgi-bin/A", true, 2.0, 10});
+  t.push_back({1, "/cgi-bin/B", true, 0.4, 10});
+  t.push_back({2, "/cgi-bin/A", true, 2.0, 10});
+  t.push_back({3, "/cgi-bin/C", true, 3.0, 10});
+  t.push_back({4, "/cgi-bin/B", true, 0.4, 10});
+  t.push_back({5, "/cgi-bin/A", true, 2.0, 10});
+  t.push_back({6, "/f.gif", false, 0.1, 10});
+  // total service = 2*3 + 0.4*2 + 3 + 0.1 = 9.9
+
+  const auto row1 = analyze_threshold(t, 1.0);
+  EXPECT_EQ(row1.long_requests, 4u);      // A,A,C,A
+  EXPECT_EQ(row1.total_repeats, 2u);      // 2nd and 3rd A
+  EXPECT_EQ(row1.unique_repeated, 1u);    // just A
+  EXPECT_DOUBLE_EQ(row1.time_saved_seconds, 4.0);
+  EXPECT_NEAR(row1.saved_percent, 100.0 * 4.0 / 9.9, 1e-9);
+
+  const auto row0 = analyze_threshold(t, 0.0);
+  EXPECT_EQ(row0.long_requests, 6u);  // all CGI
+  EXPECT_EQ(row0.total_repeats, 3u);  // A x2 + B x1
+  EXPECT_EQ(row0.unique_repeated, 2u);
+  EXPECT_DOUBLE_EQ(row0.time_saved_seconds, 4.4);
+
+  const auto row5 = analyze_threshold(t, 5.0);
+  EXPECT_EQ(row5.long_requests, 0u);
+  EXPECT_EQ(row5.total_repeats, 0u);
+}
+
+TEST(AnalyzerTest, MultipleThresholdsMonotone) {
+  AdlOptions opts;
+  opts.total_requests = 5000;
+  const Trace t = synthesize_adl_trace(opts);
+  const auto rows = analyze_thresholds(t, {0.5, 1.0, 2.0, 4.0});
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i].long_requests, rows[i - 1].long_requests);
+    EXPECT_LE(rows[i].total_repeats, rows[i - 1].total_repeats);
+    EXPECT_LE(rows[i].time_saved_seconds, rows[i - 1].time_saved_seconds);
+  }
+}
+
+// ---- WebStone ----
+
+TEST(WebStoneTest, MixSumsToOne) {
+  double total = 0.0;
+  for (const auto& f : webstone_mix()) total += f.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(WebStoneTest, DocrootFilesHaveRightSizes) {
+  const std::string dir = "/tmp/swala_webstone_test";
+  std::filesystem::remove_all(dir);
+  auto paths = make_webstone_docroot(dir);
+  ASSERT_TRUE(paths.is_ok()) << paths.status().to_string();
+  EXPECT_EQ(paths.value().size(), 5u);
+  for (const auto& f : webstone_mix()) {
+    EXPECT_EQ(std::filesystem::file_size(dir + "/" + f.name), f.bytes);
+  }
+}
+
+TEST(LoadDriverTest, CountsServerErrors) {
+  // A raw server that alternates 200 and 500 responses.
+  auto listener = net::TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const net::InetAddress addr{"127.0.0.1", listener.value().local_port()};
+  std::atomic<bool> running{true};
+  std::thread server([&] {
+    int count = 0;
+    while (running.load()) {
+      auto conn = listener.value().accept(100);
+      if (!conn.is_ok()) continue;
+      char buf[2048];
+      (void)conn.value().set_recv_timeout(500);
+      auto n = conn.value().read_some(buf, sizeof(buf));
+      if (!n.is_ok() || n.value() == 0) continue;
+      const int status = (count++ % 2 == 0) ? 200 : 500;
+      std::string resp = "HTTP/1.0 " + std::to_string(status) +
+                         " X\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok";
+      (void)conn.value().write_all(resp);
+    }
+  });
+
+  LoadOptions options;
+  options.clients = 1;
+  options.requests_per_client = 10;
+  options.keep_alive = false;
+  const auto result = run_load(addr, options,
+                               [](Rng&, std::size_t) { return "/x"; });
+  running = false;
+  server.join();
+
+  EXPECT_EQ(result.latency.count() + result.errors, 10u);
+  EXPECT_EQ(result.errors, 5u) << "every second response was a 500";
+  EXPECT_GT(result.throughput_rps(), 0.0);
+}
+
+TEST(WebStoneTest, SamplingTracksProbabilities) {
+  Rng rng(7);
+  std::map<std::string, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sample_webstone_target(rng)];
+  EXPECT_NEAR(counts["/f500.html"], kDraws * 0.35, kDraws * 0.02);
+  EXPECT_NEAR(counts["/f5k.html"], kDraws * 0.50, kDraws * 0.02);
+  EXPECT_NEAR(counts["/f50k.html"], kDraws * 0.14, kDraws * 0.02);
+  EXPECT_GT(counts["/f500k.html"], 0);
+}
+
+}  // namespace
+}  // namespace swala::workload
