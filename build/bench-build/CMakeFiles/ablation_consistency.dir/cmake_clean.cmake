@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_consistency"
+  "../bench/ablation_consistency.pdb"
+  "CMakeFiles/ablation_consistency.dir/ablation_consistency.cpp.o"
+  "CMakeFiles/ablation_consistency.dir/ablation_consistency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_nullcgi"
+  "../bench/fig3_nullcgi.pdb"
+  "CMakeFiles/fig3_nullcgi.dir/fig3_nullcgi.cpp.o"
+  "CMakeFiles/fig3_nullcgi.dir/fig3_nullcgi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nullcgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

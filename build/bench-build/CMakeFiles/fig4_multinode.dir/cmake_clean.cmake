@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_multinode"
+  "../bench/fig4_multinode.pdb"
+  "CMakeFiles/fig4_multinode.dir/fig4_multinode.cpp.o"
+  "CMakeFiles/fig4_multinode.dir/fig4_multinode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_accept"
+  "../bench/micro_accept.pdb"
+  "CMakeFiles/micro_accept.dir/micro_accept.cpp.o"
+  "CMakeFiles/micro_accept.dir/micro_accept.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_accept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

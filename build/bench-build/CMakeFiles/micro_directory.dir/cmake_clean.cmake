@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_directory"
+  "../bench/micro_directory.pdb"
+  "CMakeFiles/micro_directory.dir/micro_directory.cpp.o"
+  "CMakeFiles/micro_directory.dir/micro_directory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

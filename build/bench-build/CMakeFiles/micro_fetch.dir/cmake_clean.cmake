@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_fetch"
+  "../bench/micro_fetch.pdb"
+  "CMakeFiles/micro_fetch.dir/micro_fetch.cpp.o"
+  "CMakeFiles/micro_fetch.dir/micro_fetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

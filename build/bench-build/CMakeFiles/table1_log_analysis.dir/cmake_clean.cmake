@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_log_analysis"
+  "../bench/table1_log_analysis.pdb"
+  "CMakeFiles/table1_log_analysis.dir/table1_log_analysis.cpp.o"
+  "CMakeFiles/table1_log_analysis.dir/table1_log_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_log_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

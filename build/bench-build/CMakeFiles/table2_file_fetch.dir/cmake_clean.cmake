@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_file_fetch"
+  "../bench/table2_file_fetch.pdb"
+  "CMakeFiles/table2_file_fetch.dir/table2_file_fetch.cpp.o"
+  "CMakeFiles/table2_file_fetch.dir/table2_file_fetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_file_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_insert_overhead"
+  "../bench/table3_insert_overhead.pdb"
+  "CMakeFiles/table3_insert_overhead.dir/table3_insert_overhead.cpp.o"
+  "CMakeFiles/table3_insert_overhead.dir/table3_insert_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_insert_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

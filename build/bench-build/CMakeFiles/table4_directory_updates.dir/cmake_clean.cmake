@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_directory_updates"
+  "../bench/table4_directory_updates.pdb"
+  "CMakeFiles/table4_directory_updates.dir/table4_directory_updates.cpp.o"
+  "CMakeFiles/table4_directory_updates.dir/table4_directory_updates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_directory_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_hitratio_large"
+  "../bench/table5_hitratio_large.pdb"
+  "CMakeFiles/table5_hitratio_large.dir/table5_hitratio_large.cpp.o"
+  "CMakeFiles/table5_hitratio_large.dir/table5_hitratio_large.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hitratio_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

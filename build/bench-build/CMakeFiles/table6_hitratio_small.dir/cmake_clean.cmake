@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_hitratio_small"
+  "../bench/table6_hitratio_small.pdb"
+  "CMakeFiles/table6_hitratio_small.dir/table6_hitratio_small.cpp.o"
+  "CMakeFiles/table6_hitratio_small.dir/table6_hitratio_small.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_hitratio_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

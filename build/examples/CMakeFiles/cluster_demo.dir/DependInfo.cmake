@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_demo.cpp" "examples/CMakeFiles/cluster_demo.dir/cluster_demo.cpp.o" "gcc" "examples/CMakeFiles/cluster_demo.dir/cluster_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/swala_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/swala_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swala_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/swala_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgi/CMakeFiles/swala_cgi.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/swala_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swala_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swala_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

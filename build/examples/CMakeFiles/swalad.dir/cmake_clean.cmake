@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swalad.dir/swalad.cpp.o"
+  "CMakeFiles/swalad.dir/swalad.cpp.o.d"
+  "swalad"
+  "swalad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swalad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

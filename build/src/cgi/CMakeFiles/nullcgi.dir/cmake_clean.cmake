@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nullcgi.dir/nullcgi_main.cc.o"
+  "CMakeFiles/nullcgi.dir/nullcgi_main.cc.o.d"
+  "nullcgi"
+  "nullcgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nullcgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nullcgi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swala_cgi.dir/handler.cc.o"
+  "CMakeFiles/swala_cgi.dir/handler.cc.o.d"
+  "CMakeFiles/swala_cgi.dir/process.cc.o"
+  "CMakeFiles/swala_cgi.dir/process.cc.o.d"
+  "CMakeFiles/swala_cgi.dir/registry.cc.o"
+  "CMakeFiles/swala_cgi.dir/registry.cc.o.d"
+  "CMakeFiles/swala_cgi.dir/scripted.cc.o"
+  "CMakeFiles/swala_cgi.dir/scripted.cc.o.d"
+  "libswala_cgi.a"
+  "libswala_cgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swala_cgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

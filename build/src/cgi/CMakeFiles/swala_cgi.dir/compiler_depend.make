@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for swala_cgi.
+# This may be replaced when dependencies are built.

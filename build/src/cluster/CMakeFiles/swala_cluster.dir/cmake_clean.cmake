@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swala_cluster.dir/framing.cc.o"
+  "CMakeFiles/swala_cluster.dir/framing.cc.o.d"
+  "CMakeFiles/swala_cluster.dir/group.cc.o"
+  "CMakeFiles/swala_cluster.dir/group.cc.o.d"
+  "CMakeFiles/swala_cluster.dir/local_cluster.cc.o"
+  "CMakeFiles/swala_cluster.dir/local_cluster.cc.o.d"
+  "CMakeFiles/swala_cluster.dir/message.cc.o"
+  "CMakeFiles/swala_cluster.dir/message.cc.o.d"
+  "libswala_cluster.a"
+  "libswala_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swala_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

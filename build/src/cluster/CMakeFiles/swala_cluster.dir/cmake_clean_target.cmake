@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswala_cluster.a"
+)

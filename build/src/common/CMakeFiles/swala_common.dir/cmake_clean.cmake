@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swala_common.dir/clock.cc.o"
+  "CMakeFiles/swala_common.dir/clock.cc.o.d"
+  "CMakeFiles/swala_common.dir/config.cc.o"
+  "CMakeFiles/swala_common.dir/config.cc.o.d"
+  "CMakeFiles/swala_common.dir/hash.cc.o"
+  "CMakeFiles/swala_common.dir/hash.cc.o.d"
+  "CMakeFiles/swala_common.dir/logging.cc.o"
+  "CMakeFiles/swala_common.dir/logging.cc.o.d"
+  "CMakeFiles/swala_common.dir/random.cc.o"
+  "CMakeFiles/swala_common.dir/random.cc.o.d"
+  "CMakeFiles/swala_common.dir/stats.cc.o"
+  "CMakeFiles/swala_common.dir/stats.cc.o.d"
+  "CMakeFiles/swala_common.dir/status.cc.o"
+  "CMakeFiles/swala_common.dir/status.cc.o.d"
+  "CMakeFiles/swala_common.dir/strings.cc.o"
+  "CMakeFiles/swala_common.dir/strings.cc.o.d"
+  "CMakeFiles/swala_common.dir/thread_pool.cc.o"
+  "CMakeFiles/swala_common.dir/thread_pool.cc.o.d"
+  "libswala_common.a"
+  "libswala_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swala_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/directory.cc" "src/core/CMakeFiles/swala_core.dir/directory.cc.o" "gcc" "src/core/CMakeFiles/swala_core.dir/directory.cc.o.d"
+  "/root/repo/src/core/manager.cc" "src/core/CMakeFiles/swala_core.dir/manager.cc.o" "gcc" "src/core/CMakeFiles/swala_core.dir/manager.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/swala_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/swala_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/replacement.cc" "src/core/CMakeFiles/swala_core.dir/replacement.cc.o" "gcc" "src/core/CMakeFiles/swala_core.dir/replacement.cc.o.d"
+  "/root/repo/src/core/rules.cc" "src/core/CMakeFiles/swala_core.dir/rules.cc.o" "gcc" "src/core/CMakeFiles/swala_core.dir/rules.cc.o.d"
+  "/root/repo/src/core/storage.cc" "src/core/CMakeFiles/swala_core.dir/storage.cc.o" "gcc" "src/core/CMakeFiles/swala_core.dir/storage.cc.o.d"
+  "/root/repo/src/core/store.cc" "src/core/CMakeFiles/swala_core.dir/store.cc.o" "gcc" "src/core/CMakeFiles/swala_core.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swala_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/swala_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgi/CMakeFiles/swala_cgi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swala_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swala_core.dir/directory.cc.o"
+  "CMakeFiles/swala_core.dir/directory.cc.o.d"
+  "CMakeFiles/swala_core.dir/manager.cc.o"
+  "CMakeFiles/swala_core.dir/manager.cc.o.d"
+  "CMakeFiles/swala_core.dir/monitor.cc.o"
+  "CMakeFiles/swala_core.dir/monitor.cc.o.d"
+  "CMakeFiles/swala_core.dir/replacement.cc.o"
+  "CMakeFiles/swala_core.dir/replacement.cc.o.d"
+  "CMakeFiles/swala_core.dir/rules.cc.o"
+  "CMakeFiles/swala_core.dir/rules.cc.o.d"
+  "CMakeFiles/swala_core.dir/storage.cc.o"
+  "CMakeFiles/swala_core.dir/storage.cc.o.d"
+  "CMakeFiles/swala_core.dir/store.cc.o"
+  "CMakeFiles/swala_core.dir/store.cc.o.d"
+  "libswala_core.a"
+  "libswala_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swala_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

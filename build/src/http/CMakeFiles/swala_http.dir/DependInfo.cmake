@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/client.cc" "src/http/CMakeFiles/swala_http.dir/client.cc.o" "gcc" "src/http/CMakeFiles/swala_http.dir/client.cc.o.d"
+  "/root/repo/src/http/date.cc" "src/http/CMakeFiles/swala_http.dir/date.cc.o" "gcc" "src/http/CMakeFiles/swala_http.dir/date.cc.o.d"
+  "/root/repo/src/http/headers.cc" "src/http/CMakeFiles/swala_http.dir/headers.cc.o" "gcc" "src/http/CMakeFiles/swala_http.dir/headers.cc.o.d"
+  "/root/repo/src/http/message.cc" "src/http/CMakeFiles/swala_http.dir/message.cc.o" "gcc" "src/http/CMakeFiles/swala_http.dir/message.cc.o.d"
+  "/root/repo/src/http/mime.cc" "src/http/CMakeFiles/swala_http.dir/mime.cc.o" "gcc" "src/http/CMakeFiles/swala_http.dir/mime.cc.o.d"
+  "/root/repo/src/http/parser.cc" "src/http/CMakeFiles/swala_http.dir/parser.cc.o" "gcc" "src/http/CMakeFiles/swala_http.dir/parser.cc.o.d"
+  "/root/repo/src/http/uri.cc" "src/http/CMakeFiles/swala_http.dir/uri.cc.o" "gcc" "src/http/CMakeFiles/swala_http.dir/uri.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swala_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swala_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swala_http.dir/client.cc.o"
+  "CMakeFiles/swala_http.dir/client.cc.o.d"
+  "CMakeFiles/swala_http.dir/date.cc.o"
+  "CMakeFiles/swala_http.dir/date.cc.o.d"
+  "CMakeFiles/swala_http.dir/headers.cc.o"
+  "CMakeFiles/swala_http.dir/headers.cc.o.d"
+  "CMakeFiles/swala_http.dir/message.cc.o"
+  "CMakeFiles/swala_http.dir/message.cc.o.d"
+  "CMakeFiles/swala_http.dir/mime.cc.o"
+  "CMakeFiles/swala_http.dir/mime.cc.o.d"
+  "CMakeFiles/swala_http.dir/parser.cc.o"
+  "CMakeFiles/swala_http.dir/parser.cc.o.d"
+  "CMakeFiles/swala_http.dir/uri.cc.o"
+  "CMakeFiles/swala_http.dir/uri.cc.o.d"
+  "libswala_http.a"
+  "libswala_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swala_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

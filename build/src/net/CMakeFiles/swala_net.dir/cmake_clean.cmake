@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swala_net.dir/fd.cc.o"
+  "CMakeFiles/swala_net.dir/fd.cc.o.d"
+  "CMakeFiles/swala_net.dir/socket.cc.o"
+  "CMakeFiles/swala_net.dir/socket.cc.o.d"
+  "libswala_net.a"
+  "libswala_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swala_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

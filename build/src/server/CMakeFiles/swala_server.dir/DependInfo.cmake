@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/access_log.cc" "src/server/CMakeFiles/swala_server.dir/access_log.cc.o" "gcc" "src/server/CMakeFiles/swala_server.dir/access_log.cc.o.d"
+  "/root/repo/src/server/baselines.cc" "src/server/CMakeFiles/swala_server.dir/baselines.cc.o" "gcc" "src/server/CMakeFiles/swala_server.dir/baselines.cc.o.d"
+  "/root/repo/src/server/context.cc" "src/server/CMakeFiles/swala_server.dir/context.cc.o" "gcc" "src/server/CMakeFiles/swala_server.dir/context.cc.o.d"
+  "/root/repo/src/server/dispatcher.cc" "src/server/CMakeFiles/swala_server.dir/dispatcher.cc.o" "gcc" "src/server/CMakeFiles/swala_server.dir/dispatcher.cc.o.d"
+  "/root/repo/src/server/node.cc" "src/server/CMakeFiles/swala_server.dir/node.cc.o" "gcc" "src/server/CMakeFiles/swala_server.dir/node.cc.o.d"
+  "/root/repo/src/server/swala_server.cc" "src/server/CMakeFiles/swala_server.dir/swala_server.cc.o" "gcc" "src/server/CMakeFiles/swala_server.dir/swala_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swala_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/swala_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgi/CMakeFiles/swala_cgi.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/swala_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swala_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/swala_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swala_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swala_server.dir/access_log.cc.o"
+  "CMakeFiles/swala_server.dir/access_log.cc.o.d"
+  "CMakeFiles/swala_server.dir/baselines.cc.o"
+  "CMakeFiles/swala_server.dir/baselines.cc.o.d"
+  "CMakeFiles/swala_server.dir/context.cc.o"
+  "CMakeFiles/swala_server.dir/context.cc.o.d"
+  "CMakeFiles/swala_server.dir/dispatcher.cc.o"
+  "CMakeFiles/swala_server.dir/dispatcher.cc.o.d"
+  "CMakeFiles/swala_server.dir/node.cc.o"
+  "CMakeFiles/swala_server.dir/node.cc.o.d"
+  "CMakeFiles/swala_server.dir/swala_server.cc.o"
+  "CMakeFiles/swala_server.dir/swala_server.cc.o.d"
+  "libswala_server.a"
+  "libswala_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swala_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

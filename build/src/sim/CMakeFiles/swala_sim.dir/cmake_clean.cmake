@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swala_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/swala_sim.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/swala_sim.dir/engine.cc.o"
+  "CMakeFiles/swala_sim.dir/engine.cc.o.d"
+  "libswala_sim.a"
+  "libswala_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swala_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

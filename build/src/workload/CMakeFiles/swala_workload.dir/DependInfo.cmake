@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/adl_synth.cc" "src/workload/CMakeFiles/swala_workload.dir/adl_synth.cc.o" "gcc" "src/workload/CMakeFiles/swala_workload.dir/adl_synth.cc.o.d"
+  "/root/repo/src/workload/analyzer.cc" "src/workload/CMakeFiles/swala_workload.dir/analyzer.cc.o" "gcc" "src/workload/CMakeFiles/swala_workload.dir/analyzer.cc.o.d"
+  "/root/repo/src/workload/clf.cc" "src/workload/CMakeFiles/swala_workload.dir/clf.cc.o" "gcc" "src/workload/CMakeFiles/swala_workload.dir/clf.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/swala_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/swala_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/webstone.cc" "src/workload/CMakeFiles/swala_workload.dir/webstone.cc.o" "gcc" "src/workload/CMakeFiles/swala_workload.dir/webstone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swala_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/swala_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swala_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgi/CMakeFiles/swala_cgi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swala_workload.dir/adl_synth.cc.o"
+  "CMakeFiles/swala_workload.dir/adl_synth.cc.o.d"
+  "CMakeFiles/swala_workload.dir/analyzer.cc.o"
+  "CMakeFiles/swala_workload.dir/analyzer.cc.o.d"
+  "CMakeFiles/swala_workload.dir/clf.cc.o"
+  "CMakeFiles/swala_workload.dir/clf.cc.o.d"
+  "CMakeFiles/swala_workload.dir/trace.cc.o"
+  "CMakeFiles/swala_workload.dir/trace.cc.o.d"
+  "CMakeFiles/swala_workload.dir/webstone.cc.o"
+  "CMakeFiles/swala_workload.dir/webstone.cc.o.d"
+  "libswala_workload.a"
+  "libswala_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swala_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

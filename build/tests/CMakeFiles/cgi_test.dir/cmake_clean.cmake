@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgi_test.dir/cgi_test.cc.o"
+  "CMakeFiles/cgi_test.dir/cgi_test.cc.o.d"
+  "cgi_test"
+  "cgi_test.pdb"
+  "cgi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_soak_test.dir/cluster_soak_test.cc.o"
+  "CMakeFiles/cluster_soak_test.dir/cluster_soak_test.cc.o.d"
+  "cluster_soak_test"
+  "cluster_soak_test.pdb"
+  "cluster_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_directory_test.dir/core_directory_test.cc.o"
+  "CMakeFiles/core_directory_test.dir/core_directory_test.cc.o.d"
+  "core_directory_test"
+  "core_directory_test.pdb"
+  "core_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_replacement_test.dir/core_replacement_test.cc.o"
+  "CMakeFiles/core_replacement_test.dir/core_replacement_test.cc.o.d"
+  "core_replacement_test"
+  "core_replacement_test.pdb"
+  "core_replacement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_replacement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

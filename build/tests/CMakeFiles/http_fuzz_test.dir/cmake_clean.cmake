@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_fuzz_test.dir/http_fuzz_test.cc.o"
+  "CMakeFiles/http_fuzz_test.dir/http_fuzz_test.cc.o.d"
+  "http_fuzz_test"
+  "http_fuzz_test.pdb"
+  "http_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_access_log_test.dir/server_access_log_test.cc.o"
+  "CMakeFiles/server_access_log_test.dir/server_access_log_test.cc.o.d"
+  "server_access_log_test"
+  "server_access_log_test.pdb"
+  "server_access_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_access_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_admin_test.dir/server_admin_test.cc.o"
+  "CMakeFiles/server_admin_test.dir/server_admin_test.cc.o.d"
+  "server_admin_test"
+  "server_admin_test.pdb"
+  "server_admin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_admin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

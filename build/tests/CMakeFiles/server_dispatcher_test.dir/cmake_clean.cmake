@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_dispatcher_test.dir/server_dispatcher_test.cc.o"
+  "CMakeFiles/server_dispatcher_test.dir/server_dispatcher_test.cc.o.d"
+  "server_dispatcher_test"
+  "server_dispatcher_test.pdb"
+  "server_dispatcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_dispatcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

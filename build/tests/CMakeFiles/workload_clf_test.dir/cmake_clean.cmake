@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_clf_test.dir/workload_clf_test.cc.o"
+  "CMakeFiles/workload_clf_test.dir/workload_clf_test.cc.o.d"
+  "workload_clf_test"
+  "workload_clf_test.pdb"
+  "workload_clf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_clf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

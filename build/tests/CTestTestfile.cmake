@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/common_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/http_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/cgi_test[1]_include.cmake")
+include("/root/repo/build/tests/core_replacement_test[1]_include.cmake")
+include("/root/repo/build/tests/core_store_test[1]_include.cmake")
+include("/root/repo/build/tests/core_directory_test[1]_include.cmake")
+include("/root/repo/build/tests/core_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/core_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/core_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/core_invalidation_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_soak_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/server_admin_test[1]_include.cmake")
+include("/root/repo/build/tests/server_access_log_test[1]_include.cmake")
+include("/root/repo/build/tests/server_dispatcher_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_clf_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/deployment_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[ClusterSoakTest.MixedChurnStaysConsistent]=]  /root/repo/build/tests/cluster_soak_test [==[--gtest_filter=ClusterSoakTest.MixedChurnStaysConsistent]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ClusterSoakTest.MixedChurnStaysConsistent]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  cluster_soak_test_TESTS ClusterSoakTest.MixedChurnStaysConsistent)
