@@ -132,19 +132,20 @@ void NodeGroup::info_read_loop(net::TcpStream stream) {
       return;  // closed or corrupt; drop the connection
     }
     updates_received_.fetch_add(1, std::memory_order_relaxed);
-    if (manager_ == nullptr) continue;
+    core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+    if (manager == nullptr) continue;
     switch (msg.value().type) {
       case MsgType::kHello:
         break;
       case MsgType::kInsert:
-        manager_->on_peer_insert(msg.value().meta);
+        manager->on_peer_insert(msg.value().meta);
         break;
       case MsgType::kErase:
-        manager_->on_peer_erase(msg.value().sender, msg.value().key,
-                                msg.value().version);
+        manager->on_peer_erase(msg.value().sender, msg.value().key,
+                               msg.value().version);
         break;
       case MsgType::kInvalidate:
-        manager_->on_peer_invalidate(msg.value().key);
+        manager->on_peer_invalidate(msg.value().key);
         break;
       default:
         SWALA_LOG(Warn) << "unexpected message type on info channel";
@@ -196,8 +197,9 @@ void NodeGroup::serve_data_request(net::TcpStream stream) {
     if (msg.value().type != MsgType::kFetchReq) return;
 
     Message resp = Message::fetch_resp_miss(self_);
-    if (manager_ != nullptr) {
-      auto result = manager_->serve_peer_fetch(msg.value().key);
+    core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+    if (manager != nullptr) {
+      auto result = manager->serve_peer_fetch(msg.value().key);
       if (result) {
         fetches_served_.fetch_add(1, std::memory_order_relaxed);
         resp = Message::fetch_resp_found(self_, result.value().meta,
@@ -220,7 +222,8 @@ void NodeGroup::purge_loop() {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     if (std::chrono::steady_clock::now() < next) continue;
     next = std::chrono::steady_clock::now() + interval;
-    if (manager_ != nullptr) manager_->purge_expired();
+    core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+    if (manager != nullptr) manager->purge_expired();
   }
 }
 
@@ -357,6 +360,12 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
     return result;
   }
   return last_error;
+}
+
+std::size_t NodeGroup::outbound_backlog() const {
+  std::size_t backlog = 0;
+  for (const auto& peer : peers_) backlog += peer->outbound->size();
+  return backlog;
 }
 
 GroupStats NodeGroup::stats() const {

@@ -65,7 +65,11 @@ class NodeGroup final : public core::CooperationBus {
 
   /// Wires the manager the daemons deliver updates to. The manager itself
   /// needs `this` as its bus, hence the two-phase setup: start() → attach().
-  void attach(core::CacheManager* manager) { manager_ = manager; }
+  /// Release store: the daemons (already running) acquire-load the pointer,
+  /// so everything constructed before attach() is visible to them.
+  void attach(core::CacheManager* manager) {
+    manager_.store(manager, std::memory_order_release);
+  }
 
   /// Replaces the member address list. Needed when the group was created
   /// with ephemeral (port 0) addresses: after start() has bound the real
@@ -97,6 +101,10 @@ class NodeGroup final : public core::CooperationBus {
   core::NodeId self() const { return self_; }
   std::size_t group_size() const { return members_.size(); }
 
+  /// Messages enqueued to peers but not yet handed to their sender sockets.
+  /// Tests poll this to quiesce deterministically before invariant checks.
+  std::size_t outbound_backlog() const;
+
  private:
   struct PeerLink {
     MemberAddress address;
@@ -115,7 +123,9 @@ class NodeGroup final : public core::CooperationBus {
   core::NodeId self_;
   std::vector<MemberAddress> members_;
   GroupOptions options_;
-  core::CacheManager* manager_ = nullptr;
+  /// Written once by attach() while the daemon threads are already running
+  /// and polling it; atomic so that publication is race-free.
+  std::atomic<core::CacheManager*> manager_{nullptr};
 
   net::TcpListener info_listener_;
   net::TcpListener data_listener_;

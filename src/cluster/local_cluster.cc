@@ -1,6 +1,8 @@
 #include "cluster/local_cluster.h"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 namespace swala::cluster {
 
@@ -39,6 +41,30 @@ LocalCluster::LocalCluster(
 }
 
 LocalCluster::~LocalCluster() { stop(); }
+
+bool LocalCluster::quiesce(double timeout_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  const auto backlog = [this] {
+    std::size_t total = 0;
+    for (const auto& group : groups_) total += group->outbound_backlog();
+    return total;
+  };
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (backlog() != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    // Queues drained; give popped-but-unapplied messages time to land, then
+    // require the backlog to still be empty (a purge tick or peer reaction
+    // may have enqueued more).
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (backlog() == 0) return true;
+  }
+  return backlog() == 0;
+}
 
 void LocalCluster::stop() {
   for (auto& group : groups_) group->stop();

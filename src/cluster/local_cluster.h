@@ -38,6 +38,13 @@ class LocalCluster {
   /// Resolved member addresses (real ports).
   const std::vector<MemberAddress>& members() const { return members_; }
 
+  /// Waits until every node's outbound broadcast queue has drained and
+  /// stayed drained across a settle delay (in-flight writes/applies land on
+  /// loopback well within it). Returns false if the backlog has not cleared
+  /// by `timeout_seconds`. Call before invariant checks instead of sleeping
+  /// a hard-coded amount.
+  bool quiesce(double timeout_seconds = 5.0);
+
   void stop();
 
  private:

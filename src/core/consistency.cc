@@ -1,0 +1,55 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace swala::core {
+
+std::string ConsistencyReport::to_string() const {
+  std::string out = "store=" + std::to_string(store_entries) +
+                    " directory=" + std::to_string(directory_entries);
+  if (consistent()) return out + " (consistent)";
+  const auto append = [&out](const char* label,
+                             const std::vector<std::string>& keys) {
+    if (keys.empty()) return;
+    out += std::string(" ") + label + "=[";
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i != 0) out += ", ";
+      if (i == 8) {  // keep failure messages readable
+        out += "… +" + std::to_string(keys.size() - i) + " more";
+        break;
+      }
+      out += keys[i];
+    }
+    out += "]";
+  };
+  append("missing_in_directory", missing_in_directory);
+  append("stale_in_directory", stale_in_directory);
+  return out;
+}
+
+ConsistencyReport check_store_directory_consistency(
+    const CacheStore& store, const CacheDirectory& directory) {
+  ConsistencyReport report;
+  auto store_keys = store.keys();
+  auto dir_keys = directory.keys_at(directory.self());
+  report.store_entries = store_keys.size();
+  report.directory_entries = dir_keys.size();
+
+  const std::unordered_set<std::string> in_store(store_keys.begin(),
+                                                 store_keys.end());
+  const std::unordered_set<std::string> in_dir(dir_keys.begin(),
+                                               dir_keys.end());
+  for (const auto& key : store_keys) {
+    if (in_dir.count(key) == 0) report.missing_in_directory.push_back(key);
+  }
+  for (const auto& key : dir_keys) {
+    if (in_store.count(key) == 0) report.stale_in_directory.push_back(key);
+  }
+  std::sort(report.missing_in_directory.begin(),
+            report.missing_in_directory.end());
+  std::sort(report.stale_in_directory.begin(), report.stale_in_directory.end());
+  return report;
+}
+
+}  // namespace swala::core

@@ -1,0 +1,47 @@
+// Store↔directory consistency checking.
+//
+// The commit protocol in CacheManager guarantees that a node's local result
+// store and the self-table of its replicated directory always hold exactly
+// the same set of keys (the paper's Section 3 invariant: the directory is a
+// faithful mirror of each node's cache). `check_store_directory_consistency`
+// cross-verifies that membership invariant; it is the machine-checked form
+// of the property the cluster soak test asserts after quiesce, and is also
+// exposed through CacheManager::debug_check_consistency() and the
+// /swala-admin/check-consistency endpoint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/directory.h"
+#include "core/store.h"
+
+namespace swala::core {
+
+/// Result of one consistency cross-check between a store and the owning
+/// node's directory self-table.
+struct ConsistencyReport {
+  std::size_t store_entries = 0;      ///< keys in the local store
+  std::size_t directory_entries = 0;  ///< keys in the directory self-table
+  /// Keys present in the store but absent from the directory self-table.
+  std::vector<std::string> missing_in_directory;
+  /// Keys present in the directory self-table but absent from the store.
+  std::vector<std::string> stale_in_directory;
+
+  bool consistent() const {
+    return missing_in_directory.empty() && stale_in_directory.empty();
+  }
+
+  /// Human-readable summary for logs and test failure messages.
+  std::string to_string() const;
+};
+
+/// Compares the store's key set against `directory`'s self-table key set.
+/// Membership-based: expired-but-unpurged entries count on both sides (the
+/// purge daemon removes them from both under one commit). Callers that need
+/// an exact answer must ensure no commit is in flight — CacheManager does so
+/// by holding its commit mutex around this call.
+ConsistencyReport check_store_directory_consistency(
+    const CacheStore& store, const CacheDirectory& directory);
+
+}  // namespace swala::core

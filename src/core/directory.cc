@@ -231,6 +231,17 @@ std::size_t CacheDirectory::size() const {
   return total;
 }
 
+std::vector<std::string> CacheDirectory::keys_at(NodeId node) const {
+  std::vector<std::string> out;
+  if (node >= tables_.size()) return out;
+  const Table& table = *tables_[node];
+  std::shared_lock lock(mode_ == LockingMode::kWholeDirectory ? whole_mutex_
+                                                              : table.mutex);
+  out.reserve(table.entries.size());
+  for (const auto& [key, slot] : table.entries) out.push_back(key);
+  return out;
+}
+
 std::size_t CacheDirectory::table_size(NodeId node) const {
   if (node >= tables_.size()) return 0;
   const Table& table = *tables_[node];

@@ -82,6 +82,10 @@ class CacheDirectory {
   /// Entries in one node's table.
   std::size_t table_size(NodeId node) const;
 
+  /// All keys in one node's table, including expired-but-unpurged entries
+  /// (membership view, for consistency cross-checks against the store).
+  std::vector<std::string> keys_at(NodeId node) const;
+
   NodeId self() const { return self_; }
   std::size_t num_nodes() const { return tables_.size(); }
   LockingMode locking_mode() const { return mode_; }

@@ -45,7 +45,10 @@ struct EntryMeta {
   std::uint64_t access_count = 0;
   std::string content_type = "text/html";
   int http_status = 200;
-  std::uint64_t version = 0;  ///< bumped when the entry is re-inserted
+  /// Drawn from the owning store's monotonic counter at insert time; a
+  /// re-insert of the same key always gets a strictly larger version, so
+  /// version-guarded directory erases can never kill a newer entry.
+  std::uint64_t version = 0;
 
   bool expired(TimeNs now) const { return expire_time != 0 && now >= expire_time; }
 };

@@ -53,8 +53,9 @@ LookupResult CacheManager::lookup(http::Method method, const http::Uri& uri) {
       return out;
     }
     // Directory said we own it but the store disagrees (expired between the
-    // two checks, or data file lost). Clean up and execute.
-    directory_->apply_erase(self_, key.text);
+    // two checks, or data file lost). Retire the entry from both sides in
+    // one commit section, then execute.
+    retire_dead_entry(key.text);
     misses_.fetch_add(1, std::memory_order_relaxed);
     out.outcome = LookupOutcome::kMissMustExecute;
     return out;
@@ -101,6 +102,13 @@ void CacheManager::complete(http::Method method, const http::Uri& uri,
   }
 
   const CacheKey key = key_for(method, uri);
+
+  // Commit section: the store insert, the eviction victims' directory
+  // erases, the new entry's directory insert, and all broadcast enqueues
+  // publish as one unit. The victims' versions are read and applied inside
+  // the same section, so a concurrent re-insert of a victim key cannot be
+  // erased with a stale version.
+  std::lock_guard<std::mutex> commit(commit_mutex_);
   std::vector<EntryMeta> evicted;
   auto inserted =
       store_->insert(key, output.body, exec_seconds, rule.ttl_seconds,
@@ -116,11 +124,27 @@ void CacheManager::complete(http::Method method, const http::Uri& uri,
 
   if (!inserted) {
     SWALA_LOG(Debug) << "insert rejected: " << inserted.status().to_string();
+    if (!evicted.empty()) ++commit_seq_;
     return;
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);
   directory_->apply_insert(inserted.value());
   if (bus_ != nullptr) bus_->broadcast_insert(inserted.value());
+  ++commit_seq_;
+}
+
+void CacheManager::retire_dead_entry(const std::string& key) {
+  std::lock_guard<std::mutex> commit(commit_mutex_);
+  // Re-validate: another thread may have replaced the entry between our
+  // failed fetch and this commit section. peek() hides expired entries, so
+  // a live meta means a fresh re-insert we must not disturb.
+  if (store_->peek(key).has_value()) return;
+  const auto dead = store_->erase(key);
+  directory_->apply_erase(self_, key, dead ? dead->version : 0);
+  if (dead && bus_ != nullptr) {
+    bus_->broadcast_erase(self_, key, dead->version);
+  }
+  ++commit_seq_;
 }
 
 void CacheManager::on_peer_insert(const EntryMeta& meta) {
@@ -149,24 +173,32 @@ Result<CachedResult> CacheManager::serve_peer_fetch(const std::string& key) {
 }
 
 std::size_t CacheManager::purge_expired() {
+  std::lock_guard<std::mutex> commit(commit_mutex_);
   const auto purged = store_->purge_expired();
   for (const auto& meta : purged) {
     directory_->apply_erase(self_, meta.key, meta.version);
     if (bus_ != nullptr) bus_->broadcast_erase(self_, meta.key, meta.version);
   }
+  if (!purged.empty()) ++commit_seq_;
   return purged.size();
 }
 
 std::size_t CacheManager::invalidate(const std::string& pattern) {
-  const std::size_t removed = on_peer_invalidate(pattern);
-  if (bus_ != nullptr) bus_->broadcast_invalidate(pattern);
-  return removed;
+  return apply_invalidation(pattern, /*rebroadcast=*/true);
 }
 
 std::size_t CacheManager::on_peer_invalidate(const std::string& pattern) {
+  return apply_invalidation(pattern, /*rebroadcast=*/false);
+}
+
+std::size_t CacheManager::apply_invalidation(const std::string& pattern,
+                                             bool rebroadcast) {
+  std::lock_guard<std::mutex> commit(commit_mutex_);
   const auto dropped = store_->erase_matching(pattern);
   directory_->erase_matching(pattern);
+  if (rebroadcast && bus_ != nullptr) bus_->broadcast_invalidate(pattern);
   invalidations_.fetch_add(dropped.size(), std::memory_order_relaxed);
+  ++commit_seq_;
   return dropped.size();
 }
 
@@ -176,15 +208,25 @@ Status CacheManager::save_state(const std::string& manifest_path) {
 
 Result<std::size_t> CacheManager::restore_state(
     const std::string& manifest_path) {
+  std::lock_guard<std::mutex> commit(commit_mutex_);
   auto restored = store_->load_manifest(manifest_path);
   if (!restored) return restored.status();
-  for (const auto& key : store_->keys()) {
-    const auto meta = store_->peek(key);
-    if (!meta) continue;
-    directory_->apply_insert(*meta);
-    if (bus_ != nullptr) bus_->broadcast_insert(*meta);
+  for (const auto& meta : store_->resident_metas()) {
+    directory_->apply_insert(meta);
+    if (bus_ != nullptr) bus_->broadcast_insert(meta);
   }
+  ++commit_seq_;
   return restored;
+}
+
+ConsistencyReport CacheManager::debug_check_consistency() const {
+  std::lock_guard<std::mutex> commit(commit_mutex_);
+  return check_store_directory_consistency(*store_, *directory_);
+}
+
+std::uint64_t CacheManager::commit_sequence() const {
+  std::lock_guard<std::mutex> commit(commit_mutex_);
+  return commit_seq_;
 }
 
 ManagerStats CacheManager::stats() const {

@@ -6,14 +6,29 @@
 // Cooperation with the rest of the group goes through the `CooperationBus`
 // interface; the real TCP implementation lives in src/cluster, an in-memory
 // one in src/sim and the tests. A null bus produces a stand-alone cache.
+//
+// Commit protocol: every path that changes the local store's membership
+// (complete, invalidate, on_peer_invalidate, purge_expired, the false-hit
+// self-cleanup in lookup, restore_state) runs inside one mutation section
+// guarded by `commit_mutex_`. Within a section the store change, the
+// matching directory self-table change, and the broadcast enqueue are
+// published together, so the directory self-table is a faithful mirror of
+// the store at every section boundary (the paper's Section 3 invariant).
+// Broadcast enqueues are non-blocking (per-peer bounded queues), so holding
+// the commit mutex across them cannot deadlock or stall on a slow peer.
+// Peer-table updates (on_peer_insert/on_peer_erase) stay outside the
+// section: they never touch the local store and are weakly consistent by
+// design. Each committed section bumps `commit_sequence()`.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "cgi/handler.h"
 #include "common/clock.h"
+#include "core/consistency.h"
 #include "core/directory.h"
 #include "core/rules.h"
 #include "core/store.h"
@@ -152,10 +167,30 @@ class CacheManager {
   const CacheabilityRules& rules() const { return options_.rules; }
   NodeId self() const { return self_; }
 
+  /// Cross-verifies the store's key set against the directory self-table
+  /// under the commit mutex, so the answer is exact (no commit can be half
+  /// applied while the check runs). Callable from tests, housekeeping
+  /// threads, and the /swala-admin/check-consistency endpoint.
+  ConsistencyReport debug_check_consistency() const;
+
+  /// Number of mutation sections committed so far (diagnostics).
+  std::uint64_t commit_sequence() const;
+
   /// Key for a request, exposed for tests and the simulator.
   static CacheKey key_for(http::Method method, const http::Uri& uri);
 
  private:
+  /// Removes `key` from store + directory and broadcasts the erase, all in
+  /// one commit section. Used by lookup's self-cleanup when the directory
+  /// advertises an entry the store can no longer serve. Re-validates under
+  /// the mutex and leaves a fresh re-insert untouched.
+  void retire_dead_entry(const std::string& key);
+
+  /// Shared body of invalidate / on_peer_invalidate: one commit section
+  /// dropping matching keys from the store and every directory table, plus
+  /// (optionally) the re-broadcast. Returns local store removals.
+  std::size_t apply_invalidation(const std::string& pattern, bool rebroadcast);
+
   NodeId self_;
   ManagerOptions options_;
   const Clock* clock_;
@@ -163,6 +198,12 @@ class CacheManager {
 
   std::unique_ptr<CacheStore> store_;
   std::unique_ptr<CacheDirectory> directory_;
+
+  /// Guards every local-store membership change together with its directory
+  /// update and broadcast enqueue (see file header). Mutable so read-side
+  /// diagnostics (debug_check_consistency) can take it on a const manager.
+  mutable std::mutex commit_mutex_;
+  std::uint64_t commit_seq_ = 0;  ///< guarded by commit_mutex_
 
   std::atomic<std::uint64_t> lookups_{0}, uncacheable_{0}, local_hits_{0},
       remote_hits_{0}, misses_{0}, inserts_{0}, below_threshold_{0},

@@ -45,6 +45,10 @@ std::size_t DependencyMonitor::poll() {
   return dropped;
 }
 
+ConsistencyReport DependencyMonitor::debug_check_consistency() const {
+  return manager_->debug_check_consistency();
+}
+
 std::size_t DependencyMonitor::watch_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return watches_.size();

@@ -35,6 +35,11 @@ class DependencyMonitor {
   /// number of cache entries dropped.
   std::size_t poll();
 
+  /// Store↔directory cross-check on the monitored manager, so housekeeping
+  /// threads can assert the mirror invariant on their cadence (same report
+  /// as CacheManager::debug_check_consistency).
+  ConsistencyReport debug_check_consistency() const;
+
   std::size_t watch_count() const;
 
  private:

@@ -1,5 +1,6 @@
 #include "core/store.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.h"
@@ -29,9 +30,7 @@ Result<EntryMeta> CacheStore::insert(const CacheKey& key, std::string_view data,
                   "entry larger than cache byte limit");
   }
   // Replace any existing copy first so its bytes do not count against us.
-  std::uint64_t prior_version = 0;
-  if (const auto it = entries_.find(key.text); it != entries_.end()) {
-    prior_version = it->second.meta.version;
+  if (entries_.find(key.text) != entries_.end()) {
     remove_locked(key.text, /*count_eviction=*/false, nullptr);
   }
 
@@ -54,7 +53,7 @@ Result<EntryMeta> CacheStore::insert(const CacheKey& key, std::string_view data,
   slot.meta.access_count = 0;
   slot.meta.content_type = std::move(content_type);
   slot.meta.http_status = http_status;
-  slot.meta.version = prior_version + 1;
+  slot.meta.version = ++version_counter_;
 
   policy_->on_insert(slot.meta);
   bytes_used_ += slot.meta.size_bytes;
@@ -103,8 +102,10 @@ std::optional<CachedResult> CacheStore::fetch(std::string_view key) {
   }
   auto data = backend_->get(it->second.storage);
   if (!data) {
-    // Backing file vanished (e.g. external cleanup); drop the entry.
-    remove_locked(it->first, /*count_eviction=*/false, nullptr);
+    // Backing file vanished (e.g. external cleanup). Report a miss but keep
+    // the entry resident: removal must go through the manager's commit
+    // protocol so the directory erase and its broadcast are published with
+    // the store change (the next complete() for the key replaces it).
     ++stats_.misses;
     return std::nullopt;
   }
@@ -157,6 +158,14 @@ std::vector<EntryMeta> CacheStore::erase_matching(std::string_view pattern) {
   for (const auto& key : doomed) {
     remove_locked(key, /*count_eviction=*/false, &out);
   }
+  return out;
+}
+
+std::vector<EntryMeta> CacheStore::resident_metas() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EntryMeta> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, slot] : entries_) out.push_back(slot.meta);
   return out;
 }
 
@@ -259,6 +268,9 @@ Result<std::size_t> CacheStore::load_manifest(const std::string& path) {
 
     policy_->on_insert(slot.meta);
     bytes_used_ += size;
+    // Future versions must stay above every restored one so post-restart
+    // re-inserts still win against stale erase broadcasts.
+    version_counter_ = std::max(version_counter_, slot.meta.version);
     entries_[key] = std::move(slot);
     ++restored;
   }

@@ -56,7 +56,10 @@ class CacheStore {
 
   /// Looks up and reads an entry; updates access stats and the policy.
   /// Expired entries are treated as absent (but not removed; the purge
-  /// daemon owns removal so deletions are always broadcast).
+  /// daemon owns removal so deletions are always broadcast). Likewise an
+  /// entry whose backing data vanished reads as a miss but stays resident:
+  /// every membership change must go through the manager's commit protocol
+  /// so the directory erase and broadcast happen with it.
   std::optional<CachedResult> fetch(std::string_view key);
 
   /// Metadata-only peek (no access-stat update).
@@ -76,6 +79,11 @@ class CacheStore {
 
   /// All keys currently stored (diagnostics, status pages).
   std::vector<std::string> keys() const;
+
+  /// Metadata of every resident entry, including expired-but-unpurged ones
+  /// (membership view; lets restore_state rebuild the directory in exact
+  /// lockstep with the store).
+  std::vector<EntryMeta> resident_metas() const;
 
   // ---- Warm restart (disk backend only) ----
   //
@@ -126,6 +134,11 @@ class CacheStore {
   std::unordered_map<std::string, Slot> entries_;
   std::uint64_t bytes_used_ = 0;
   StoreStats stats_;
+  /// Store-wide monotonic version source. Per-key versions drawn from it
+  /// never regress, even across erase→re-insert of the same key, so a stale
+  /// erase broadcast can always be recognized by peers (its version is
+  /// smaller than the re-insert's).
+  std::uint64_t version_counter_ = 0;
 };
 
 }  // namespace swala::core

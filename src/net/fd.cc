@@ -5,8 +5,8 @@
 namespace swala::net {
 
 void UniqueFd::reset(int fd) {
-  if (fd_ >= 0) ::close(fd_);
-  fd_ = fd;
+  const int old = fd_.exchange(fd, std::memory_order_acq_rel);
+  if (old >= 0 && old != fd) ::close(old);
 }
 
 }  // namespace swala::net

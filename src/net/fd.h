@@ -1,22 +1,28 @@
 // RAII wrapper for POSIX file descriptors.
 #pragma once
 
-#include <utility>
+#include <atomic>
 
 namespace swala::net {
 
 /// Owns a file descriptor; closes it on destruction. Move-only.
+///
+/// The descriptor is stored atomically because the repo's shutdown idiom
+/// closes a listener/connection fd from one thread (stop()) while another
+/// thread is blocked on it in accept()/read() — the syscall then fails with
+/// EBADF and the loop exits. The close itself is how those threads are
+/// woken, so the cross-thread access is by design; the atomic makes the
+/// fd read/write itself well-defined under that idiom.
 class UniqueFd {
  public:
   UniqueFd() = default;
   explicit UniqueFd(int fd) : fd_(fd) {}
   ~UniqueFd() { reset(); }
 
-  UniqueFd(UniqueFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
   UniqueFd& operator=(UniqueFd&& other) noexcept {
     if (this != &other) {
-      reset();
-      fd_ = std::exchange(other.fd_, -1);
+      reset(other.release());
     }
     return *this;
   }
@@ -24,17 +30,17 @@ class UniqueFd {
   UniqueFd(const UniqueFd&) = delete;
   UniqueFd& operator=(const UniqueFd&) = delete;
 
-  [[nodiscard]] int get() const { return fd_; }
-  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int get() const { return fd_.load(std::memory_order_acquire); }
+  [[nodiscard]] bool valid() const { return get() >= 0; }
 
   /// Releases ownership without closing.
-  int release() { return std::exchange(fd_, -1); }
+  int release() { return fd_.exchange(-1, std::memory_order_acq_rel); }
 
   /// Closes the current descriptor (if any) and adopts `fd`.
   void reset(int fd = -1);
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 }  // namespace swala::net

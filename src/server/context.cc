@@ -230,6 +230,27 @@ http::Response serve_invalidate(const http::Request& request,
       "application/json");
 }
 
+/// /swala-admin/check-consistency: store↔directory mirror cross-check.
+/// 200 when consistent, 500 with the divergent key counts otherwise, so a
+/// probe (or a human with curl) can alarm on invariant violations live.
+http::Response serve_check_consistency(const ServeContext& ctx) {
+  if (ctx.cache == nullptr) {
+    return http::Response::error(404, "caching disabled");
+  }
+  const core::ConsistencyReport report = ctx.cache->debug_check_consistency();
+  std::string body = "{\n";
+  body += std::string("  \"consistent\": ") +
+          (report.consistent() ? "true" : "false") + ",\n";
+  body += json_u64("store_entries", report.store_entries);
+  body += json_u64("directory_entries", report.directory_entries);
+  body += json_u64("missing_in_directory", report.missing_in_directory.size());
+  body += json_u64("stale_in_directory", report.stale_in_directory.size());
+  body += json_u64("commit_sequence", ctx.cache->commit_sequence(), true);
+  body += "}\n";
+  return http::Response::make(report.consistent() ? 200 : 500,
+                              std::move(body), "application/json");
+}
+
 }  // namespace
 
 http::Response handle_request(const http::Request& request,
@@ -246,6 +267,9 @@ http::Response handle_request(const http::Request& request,
     if (request.uri.path == "/swala-status") return serve_status(ctx);
     if (request.uri.path == "/swala-admin/invalidate") {
       return serve_invalidate(request, ctx);
+    }
+    if (request.uri.path == "/swala-admin/check-consistency") {
+      return serve_check_consistency(ctx);
     }
   }
 

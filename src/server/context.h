@@ -69,9 +69,11 @@ struct ServeContext {
   core::CacheManager* cache = nullptr;         ///< null = caching disabled
   const Clock* clock = nullptr;                ///< for CGI timing
   bool allow_keep_alive = true;
-  /// Enables the built-in endpoints: GET /swala-status (JSON statistics)
-  /// and POST/GET /swala-admin/invalidate?pattern=<glob> (cluster-wide
-  /// application-driven invalidation).
+  /// Enables the built-in endpoints: GET /swala-status (JSON statistics),
+  /// POST/GET /swala-admin/invalidate?pattern=<glob> (cluster-wide
+  /// application-driven invalidation), and GET
+  /// /swala-admin/check-consistency (store↔directory mirror cross-check;
+  /// 200 consistent / 500 divergent).
   bool enable_admin = false;
   int recv_timeout_ms = 15000;
   std::size_t max_keep_alive_requests = 1000;

@@ -77,15 +77,19 @@ TEST(ClusterSoakTest, MixedChurnStaysConsistent) {
   }
   for (auto& thread : threads) thread.join();
 
-  // Quiesce: let in-flight broadcasts drain, then stop the daemons so the
-  // invariant checks see a frozen state.
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // Quiesce: wait for in-flight broadcasts to drain (deterministic, not a
+  // blind sleep), then stop the daemons so the invariant checks see a
+  // frozen state.
+  EXPECT_TRUE(cluster.quiesce()) << "broadcast backlog never drained";
   cluster.stop();
 
   // Invariants per node: the local directory table mirrors the store, and
   // capacity limits hold.
   for (std::size_t node = 0; node < cluster.size(); ++node) {
-    const auto& manager = cluster.manager(node);
+    auto& manager = cluster.manager(node);
+    const auto report = manager.debug_check_consistency();
+    EXPECT_TRUE(report.consistent())
+        << "node " << node << ": " << report.to_string();
     EXPECT_LE(manager.store().entry_count(), 30u);
     EXPECT_EQ(manager.directory().table_size(
                   static_cast<core::NodeId>(node)),

@@ -1,0 +1,243 @@
+// Concurrency stress harness for the store↔directory commit protocol.
+//
+// The seed code published store and directory changes as two independent
+// steps, so concurrent complete/invalidate/purge churn could interleave
+// between them and leave the directory self-table out of step with the
+// store (the ClusterSoakTest failure: 12 directory entries vs 11 stored).
+// These tests drive exactly that churn with seeded RNG threads and assert
+// the mirror invariant after every phase, plus deterministic regressions
+// for the eviction-victim version race and the injected-desync detector.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/consistency.h"
+#include "core/manager.h"
+
+namespace swala::core {
+namespace {
+
+/// Records every broadcast so the adversarial-ordering tests can replay
+/// them to a second manager in the order of their choosing.
+class RecordingBus : public CooperationBus {
+ public:
+  void broadcast_insert(const EntryMeta& meta) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inserts.push_back(meta);
+  }
+  void broadcast_erase(NodeId owner, const std::string& key,
+                       std::uint64_t version) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    erases.push_back({owner, key, version});
+  }
+  Result<CachedResult> fetch_remote(NodeId, const std::string& key) override {
+    return Status(StatusCode::kNotFound, "not scripted: " + key);
+  }
+
+  struct Erase {
+    NodeId owner;
+    std::string key;
+    std::uint64_t version;
+  };
+  std::mutex mutex_;
+  std::vector<EntryMeta> inserts;
+  std::vector<Erase> erases;
+};
+
+http::Uri uri_of(const std::string& target) {
+  http::Uri uri;
+  EXPECT_TRUE(http::parse_uri(target, &uri));
+  return uri;
+}
+
+cgi::CgiOutput ok_output(std::size_t bytes) {
+  cgi::CgiOutput out;
+  out.success = true;
+  out.http_status = 200;
+  out.body = std::string(bytes, 'z');
+  return out;
+}
+
+ManagerOptions churn_options(std::uint64_t max_entries) {
+  ManagerOptions mo;
+  mo.limits = {max_entries, 0};  // small: constant eviction
+  RuleDecision ttl_rule;
+  ttl_rule.cacheable = true;
+  ttl_rule.ttl_seconds = 0.05;  // expires mid-run: purge + retire paths fire
+  mo.rules.add_rule("/cgi-bin/ttl/*", ttl_rule);
+  RuleDecision plain;
+  plain.cacheable = true;
+  mo.rules.add_rule("/cgi-bin/*", plain);
+  return mo;
+}
+
+/// One churn phase: `threads` seeded workers hammer a small key space with
+/// lookup/complete, exact and glob invalidations, and purge ticks.
+void run_churn_phase(CacheManager& manager, int threads, int ops,
+                     std::uint64_t phase_seed) {
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&manager, ops, phase_seed, t] {
+      Rng rng(phase_seed * 977 + static_cast<std::uint64_t>(t));
+      for (int op = 0; op < ops; ++op) {
+        const int dice = static_cast<int>(rng.uniform_int(0, 99));
+        const std::string k = std::to_string(rng.uniform_int(0, 40));
+        if (dice < 80) {
+          const bool ttl = dice < 10;
+          const auto uri = uri_of(std::string("/cgi-bin/") +
+                                  (ttl ? "ttl/" : "") + "q?k=" + k);
+          auto lookup = manager.lookup(http::Method::kGet, uri);
+          if (lookup.outcome == LookupOutcome::kMissMustExecute) {
+            manager.complete(http::Method::kGet, uri, lookup.rule,
+                             ok_output(32 + static_cast<std::size_t>(
+                                                rng.uniform_int(0, 128))),
+                             1.0);
+          }
+        } else if (dice < 90) {
+          manager.invalidate("GET /cgi-bin/q?k=" + k);
+        } else if (dice < 95) {
+          manager.invalidate("GET /cgi-bin/*k=" + k + "*");
+        } else {
+          manager.purge_expired();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+// The regression for the seed soak-test race: insert (complete) racing
+// invalidate/purge on overlapping keys. Under the two-step seed publication
+// an invalidation could erase store+directory between a complete's store
+// insert and its directory insert, leaving a stale directory entry. The
+// mirror must hold after every phase, on every seed.
+TEST(CommitProtocolStress, MixedChurnKeepsMirrorAfterEveryPhase) {
+  CacheManager manager(0, 1, churn_options(16), RealClock::instance());
+  for (std::uint64_t phase = 0; phase < 3; ++phase) {
+    run_churn_phase(manager, /*threads=*/4, /*ops=*/400, /*phase_seed=*/phase);
+    const auto report = manager.debug_check_consistency();
+    EXPECT_TRUE(report.consistent())
+        << "phase " << phase << ": " << report.to_string();
+    EXPECT_EQ(manager.directory().table_size(0), manager.store().entry_count())
+        << "phase " << phase;
+    EXPECT_LE(manager.store().entry_count(), 16u) << "phase " << phase;
+  }
+  EXPECT_GT(manager.stats().inserts, 0u);
+  EXPECT_GT(manager.stats().invalidations, 0u);
+  EXPECT_GT(manager.commit_sequence(), 0u);
+}
+
+// Same churn against a clustered manager (broadcasts enqueued under the
+// commit mutex through a recording bus): the mirror invariant must be
+// unaffected by the bus, and every broadcast erase must carry the version
+// of an entry that was actually committed.
+TEST(CommitProtocolStress, EvictionChurnKeepsMirrorWithBus) {
+  RecordingBus bus;
+  CacheManager manager(0, 2, churn_options(8), RealClock::instance(), &bus);
+  for (std::uint64_t phase = 0; phase < 2; ++phase) {
+    run_churn_phase(manager, /*threads=*/4, /*ops=*/300,
+                    /*phase_seed=*/100 + phase);
+    const auto report = manager.debug_check_consistency();
+    EXPECT_TRUE(report.consistent())
+        << "phase " << phase << ": " << report.to_string();
+  }
+  EXPECT_GT(manager.stats().evictions_broadcast, 0u);
+  EXPECT_EQ(bus.inserts.size(), manager.stats().inserts);
+}
+
+// Deterministic regression for the eviction-victim version race: a victim's
+// erase used to be broadcast with a version read outside the commit
+// section, and per-key versions restarted at 1 after an erase, so a stale
+// erase could kill a re-inserted entry in peer directories. Versions must
+// now be monotonic across erase→re-insert, and a peer applying the stale
+// erase after the newer insert must keep the entry.
+TEST(EvictionVersionRegression, ReinsertSurvivesStaleEraseBroadcast) {
+  RecordingBus bus;
+  ManagerOptions mo = churn_options(/*max_entries=*/1);  // every insert evicts
+  CacheManager owner(0, 2, mo, RealClock::instance(), &bus);
+
+  const auto key_a = uri_of("/cgi-bin/q?k=a");
+  const auto key_b = uri_of("/cgi-bin/q?k=b");
+  auto rule = owner.lookup(http::Method::kGet, key_a).rule;
+
+  owner.complete(http::Method::kGet, key_a, rule, ok_output(8), 1.0);
+  owner.complete(http::Method::kGet, key_b, rule, ok_output(8), 1.0);  // evicts a
+  owner.complete(http::Method::kGet, key_a, rule, ok_output(8), 1.0);  // evicts b, re-inserts a
+
+  ASSERT_EQ(bus.inserts.size(), 3u);
+  ASSERT_EQ(bus.erases.size(), 2u);
+  ASSERT_EQ(bus.erases[0].key, "GET /cgi-bin/q?k=a");
+  const std::uint64_t stale_version = bus.erases[0].version;
+  const EntryMeta& reinsert = bus.inserts[2];
+  ASSERT_EQ(reinsert.key, "GET /cgi-bin/q?k=a");
+
+  // The store-wide monotonic counter is the fix's core: the re-insert must
+  // outrank the eviction it follows (the seed gave both version 1).
+  EXPECT_GT(reinsert.version, stale_version);
+
+  // A peer that sees the newer insert and then the stale erase (delayed or
+  // replayed delivery) must keep the entry.
+  CacheManager peer(1, 2, churn_options(16), RealClock::instance());
+  peer.on_peer_insert(reinsert);
+  peer.on_peer_erase(0, reinsert.key, stale_version);
+  EXPECT_TRUE(peer.directory().lookup_at(0, reinsert.key).has_value())
+      << "stale erase (v" << stale_version << ") killed newer insert (v"
+      << reinsert.version << ")";
+}
+
+// The checker itself: a desync injected behind the manager's back must be
+// reported, in both directions, and a healthy composition must be clean.
+TEST(DebugConsistencyCheck, CatchesInjectedDesync) {
+  ManualClock clock(from_seconds(10.0));
+  CacheStore store({16, 0}, PolicyKind::kLru,
+                   std::make_unique<MemoryBackend>(), &clock, /*owner=*/0);
+  CacheDirectory directory(/*self=*/0, /*num_nodes=*/2);
+  directory.set_clock(&clock);
+
+  EXPECT_TRUE(check_store_directory_consistency(store, directory).consistent());
+
+  // Store-only entry: missing from the directory.
+  std::vector<EntryMeta> evicted;
+  auto meta = store.insert(CacheKey::make("GET", "/cgi-bin/only-store"),
+                           "data", 1.0, 0, "text/html", 200, &evicted);
+  ASSERT_TRUE(meta.is_ok());
+  auto report = check_store_directory_consistency(store, directory);
+  EXPECT_FALSE(report.consistent());
+  ASSERT_EQ(report.missing_in_directory.size(), 1u);
+  EXPECT_EQ(report.missing_in_directory[0], "GET /cgi-bin/only-store");
+  EXPECT_TRUE(report.stale_in_directory.empty());
+
+  // Mirror it, then add a directory-only entry: stale.
+  directory.apply_insert(meta.value());
+  EXPECT_TRUE(check_store_directory_consistency(store, directory).consistent());
+  EntryMeta ghost = meta.value();
+  ghost.key = "GET /cgi-bin/only-directory";
+  directory.apply_insert(ghost);
+  report = check_store_directory_consistency(store, directory);
+  EXPECT_FALSE(report.consistent());
+  ASSERT_EQ(report.stale_in_directory.size(), 1u);
+  EXPECT_EQ(report.stale_in_directory[0], "GET /cgi-bin/only-directory");
+  EXPECT_NE(report.to_string().find("stale_in_directory"), std::string::npos);
+}
+
+// Manager-level detector: clean after real traffic, loud after an injected
+// desync (the same probe the admin endpoint runs).
+TEST(DebugConsistencyCheck, ManagerDetectsInjectedDesync) {
+  CacheManager manager(0, 1, churn_options(16), RealClock::instance());
+  const auto uri = uri_of("/cgi-bin/q?k=1");
+  auto lookup = manager.lookup(http::Method::kGet, uri);
+  manager.complete(http::Method::kGet, uri, lookup.rule, ok_output(8), 1.0);
+  EXPECT_TRUE(manager.debug_check_consistency().consistent());
+
+  const_cast<CacheStore&>(manager.store()).erase("GET /cgi-bin/q?k=1");
+  const auto report = manager.debug_check_consistency();
+  EXPECT_FALSE(report.consistent());
+  EXPECT_EQ(report.stale_in_directory.size(), 1u);
+}
+
+}  // namespace
+}  // namespace swala::core

@@ -101,6 +101,33 @@ TEST_F(AdminTest, InvalidateEndpointRemovesEntries) {
   EXPECT_EQ(again.value().headers.get("X-Swala-Cache"), "miss");
 }
 
+TEST_F(AdminTest, CheckConsistencyEndpointReportsMirror) {
+  ASSERT_TRUE(client_->get("/cgi-bin/report?q=1").is_ok());
+  ASSERT_TRUE(client_->get("/cgi-bin/report?q=2").is_ok());
+
+  auto resp = client_->get("/swala-admin/check-consistency");
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp.value().status, 200);
+  const std::string& body = resp.value().body;
+  EXPECT_NE(body.find("\"consistent\": true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"store_entries\": 2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"directory_entries\": 2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"commit_sequence\": 2"), std::string::npos) << body;
+
+  // An injected desync (store mutated behind the manager's back) flips the
+  // endpoint to 500.
+  const_cast<core::CacheStore&>(manager_->store()).erase("GET /cgi-bin/report?q=1");
+  auto broken = client_->get("/swala-admin/check-consistency");
+  ASSERT_TRUE(broken.is_ok());
+  EXPECT_EQ(broken.value().status, 500);
+  EXPECT_NE(broken.value().body.find("\"consistent\": false"),
+            std::string::npos)
+      << broken.value().body;
+  EXPECT_NE(broken.value().body.find("\"stale_in_directory\": 1"),
+            std::string::npos)
+      << broken.value().body;
+}
+
 TEST_F(AdminTest, InvalidateWithoutPatternIs400) {
   auto resp = client_->get("/swala-admin/invalidate");
   ASSERT_TRUE(resp.is_ok());
