@@ -137,12 +137,12 @@ Result<ProcessResult> run_cgi_process(const std::string& executable,
     if (n == 0) break;  // EOF: child closed stdout
     result.stdout_data.append(buf, static_cast<std::size_t>(n));
     if (result.stdout_data.size() > options.max_output_bytes) {
-      result.timed_out = true;  // treat as failure
+      result.oversized = true;
       break;
     }
   }
 
-  if (result.timed_out) ::kill(pid, SIGKILL);
+  if (result.timed_out || result.oversized) ::kill(pid, SIGKILL);
   int wstatus = 0;
   while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
   }
@@ -166,6 +166,13 @@ Result<CgiOutput> ProcessCgi::run(const http::Request& request) {
     out.success = false;
     out.http_status = 504;
     out.body = "CGI timeout\n";
+    return out;
+  }
+  if (proc.oversized) {
+    CgiOutput out;
+    out.success = false;
+    out.http_status = 500;
+    out.body = "CGI output exceeded limit\n";
     return out;
   }
   return parse_cgi_document(proc.stdout_data, proc.exit_code);

@@ -36,7 +36,8 @@ class ProcessCgi final : public CgiHandler {
 struct ProcessResult {
   int exit_code = -1;
   std::string stdout_data;
-  bool timed_out = false;
+  bool timed_out = false;   ///< deadline hit; child was SIGKILLed
+  bool oversized = false;   ///< output exceeded max_output_bytes; killed
 };
 
 Result<ProcessResult> run_cgi_process(const std::string& executable,

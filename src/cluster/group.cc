@@ -1,10 +1,20 @@
 #include "cluster/group.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.h"
 
 namespace swala::cluster {
+
+const char* peer_state_name(PeerState state) {
+  switch (state) {
+    case PeerState::kHealthy: return "healthy";
+    case PeerState::kSuspect: return "suspect";
+    case PeerState::kDead: return "dead";
+  }
+  return "?";
+}
 
 std::vector<MemberAddress> loopback_members(std::size_t n) {
   std::vector<MemberAddress> members(n);
@@ -18,7 +28,11 @@ std::vector<MemberAddress> loopback_members(std::size_t n) {
 
 NodeGroup::NodeGroup(core::NodeId self, std::vector<MemberAddress> members,
                      GroupOptions options)
-    : self_(self), members_(std::move(members)), options_(options) {}
+    : self_(self),
+      members_(std::move(members)),
+      options_(options),
+      transport_(options.fault_injector),
+      backoff_rng_(options.backoff_seed) {}
 
 NodeGroup::~NodeGroup() { stop(); }
 
@@ -105,6 +119,95 @@ void NodeGroup::stop() {
   peers_.clear();
 }
 
+// ---- circuit breaker ----
+
+NodeGroup::PeerLink* NodeGroup::find_link(core::NodeId id) const {
+  for (const auto& peer : peers_) {
+    if (peer->address.id == id) return peer.get();
+  }
+  return nullptr;
+}
+
+PeerState NodeGroup::state_of(PeerLink* link) const {
+  std::lock_guard<std::mutex> lock(link->health_mutex);
+  return link->state;
+}
+
+void NodeGroup::record_failure(PeerLink* link) {
+  peer_failures_.fetch_add(1, std::memory_order_relaxed);
+  link->total_failures.fetch_add(1, std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  const auto probe_gap = std::chrono::milliseconds(options_.probe_interval_ms);
+  std::lock_guard<std::mutex> lock(link->health_mutex);
+  ++link->consecutive_failures;
+  if (link->state == PeerState::kDead) {
+    // Failed probe: stay dead, push the next probe out.
+    link->next_probe = now + probe_gap;
+    return;
+  }
+  if (link->consecutive_failures >= options_.failure_threshold) {
+    link->state = PeerState::kDead;
+    link->next_probe = now + probe_gap;
+    SWALA_LOG(Warn) << "node " << self_ << ": peer " << link->address.id
+                    << " marked dead after " << link->consecutive_failures
+                    << " consecutive failures";
+    // Quarantine inside the transition so a racing recovery cannot leave
+    // the directory visible for a peer we just wrote off.
+    core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+    if (manager != nullptr) manager->on_peer_dead(link->address.id);
+  } else {
+    link->state = PeerState::kSuspect;
+  }
+}
+
+void NodeGroup::record_success(PeerLink* link) {
+  std::lock_guard<std::mutex> lock(link->health_mutex);
+  const bool recovered = link->state == PeerState::kDead;
+  link->state = PeerState::kHealthy;
+  link->consecutive_failures = 0;
+  if (!recovered) return;
+  SWALA_LOG(Info) << "node " << self_ << ": peer " << link->address.id
+                  << " recovered; requesting resync";
+  core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+  if (manager != nullptr) manager->on_peer_recovered(link->address.id);
+  // Converge both directions: ask the peer to re-announce its entries to
+  // us, and re-announce ours to it (it may have restarted with a blank
+  // view of this node's table).
+  resyncs_requested_.fetch_add(1, std::memory_order_relaxed);
+  link->outbound->try_push(Message::sync_req(self_));
+  push_state_to(link);
+}
+
+void NodeGroup::push_state_to(PeerLink* link) {
+  core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+  if (manager == nullptr) return;
+  for (const auto& meta : manager->store().resident_metas()) {
+    link->outbound->try_push(Message::insert(self_, meta));
+  }
+}
+
+void NodeGroup::probe_dead_peers() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& peer : peers_) {
+    std::lock_guard<std::mutex> lock(peer->health_mutex);
+    if (peer->state != PeerState::kDead || now < peer->next_probe) continue;
+    peer->next_probe = now + std::chrono::milliseconds(options_.probe_interval_ms);
+    peer->probes.fetch_add(1, std::memory_order_relaxed);
+    probes_sent_.fetch_add(1, std::memory_order_relaxed);
+    peer->outbound->try_push(Message::hello(self_));
+  }
+}
+
+int NodeGroup::backoff_delay_ms(int attempt) {
+  std::int64_t base = options_.backoff_base_ms;
+  for (int i = 1; i < attempt && base < options_.backoff_max_ms; ++i) base *= 2;
+  if (base > options_.backoff_max_ms) base = options_.backoff_max_ms;
+  if (base < 1) base = 1;
+  // Jitter in [base/2, base] de-synchronizes the per-peer sender threads.
+  std::lock_guard<std::mutex> lock(backoff_mutex_);
+  return static_cast<int>(backoff_rng_.uniform_int(base / 2, base));
+}
+
 // ---- info channel ----
 
 void NodeGroup::info_accept_loop() {
@@ -133,19 +236,32 @@ void NodeGroup::info_read_loop(net::TcpStream stream) {
     }
     updates_received_.fetch_add(1, std::memory_order_relaxed);
     core::CacheManager* manager = manager_.load(std::memory_order_acquire);
-    if (manager == nullptr) continue;
     switch (msg.value().type) {
       case MsgType::kHello:
+        // A HELLO from a peer we had written off is the rejoin signal: the
+        // restarted node greets before its first broadcast.
+        if (PeerLink* link = find_link(msg.value().sender)) {
+          record_success(link);
+        }
+        break;
+      case MsgType::kSyncReq:
+        // The peer cleared its copy of our table; re-announce what we hold.
+        if (PeerLink* link = find_link(msg.value().sender)) {
+          resyncs_served_.fetch_add(1, std::memory_order_relaxed);
+          push_state_to(link);
+        }
         break;
       case MsgType::kInsert:
-        manager->on_peer_insert(msg.value().meta);
+        if (manager != nullptr) manager->on_peer_insert(msg.value().meta);
         break;
       case MsgType::kErase:
-        manager->on_peer_erase(msg.value().sender, msg.value().key,
-                               msg.value().version);
+        if (manager != nullptr) {
+          manager->on_peer_erase(msg.value().sender, msg.value().key,
+                                 msg.value().version);
+        }
         break;
       case MsgType::kInvalidate:
-        manager->on_peer_invalidate(msg.value().key);
+        if (manager != nullptr) manager->on_peer_invalidate(msg.value().key);
         break;
       default:
         SWALA_LOG(Warn) << "unexpected message type on info channel";
@@ -208,7 +324,7 @@ void NodeGroup::serve_data_request(net::TcpStream stream) {
         fetch_misses_served_.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    if (!write_message(stream, resp).is_ok()) return;
+    if (!transport_.send(stream, msg.value().sender, resp).is_ok()) return;
   }
 }
 
@@ -220,6 +336,9 @@ void NodeGroup::purge_loop() {
   auto next = std::chrono::steady_clock::now() + interval;
   while (running_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Half-open probing rides the purger's fine-grained tick, not its
+    // multi-second purge interval.
+    probe_dead_peers();
     if (std::chrono::steady_clock::now() < next) continue;
     next = std::chrono::steady_clock::now() + interval;
     core::CacheManager* manager = manager_.load(std::memory_order_acquire);
@@ -256,32 +375,60 @@ void NodeGroup::sender_loop(PeerLink* link) {
   net::TcpStream stream;
   bool greeted = false;
   while (auto msg = link->outbound->pop()) {
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool is_probe = msg->type == MsgType::kHello;
+    const PeerState state = state_of(link);
+    if (state == PeerState::kDead && !is_probe) {
+      // Breaker open: dropping beats retrying into a dead socket. The
+      // rejoin resync repairs whatever the peer missed.
+      link->dropped.fetch_add(1, std::memory_order_relaxed);
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Probes get a single attempt (the purger reschedules them); regular
+    // traffic retries with exponential backoff + jitter.
+    const int max_attempts =
+        state == PeerState::kDead ? 1 : std::max(1, options_.broadcast_retry_limit);
+    bool sent = false;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        if (!running_.load(std::memory_order_relaxed)) break;
+        send_retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_delay_ms(attempt)));
+      }
       if (!stream.valid()) {
         auto conn = net::TcpStream::connect(link->address.info_addr,
                                             options_.connect_timeout_ms);
-        if (!conn) {
-          if (!running_.load(std::memory_order_relaxed)) return;
-          std::this_thread::sleep_for(std::chrono::milliseconds(20));
-          continue;
-        }
+        if (!conn) continue;
         stream = std::move(conn.value());
         (void)stream.set_no_delay(true);
         (void)stream.set_send_timeout(options_.connect_timeout_ms);
         greeted = false;
       }
       if (!greeted) {
-        if (!write_message(stream, Message::hello(self_)).is_ok()) {
+        if (!transport_.send(stream, link->address.id, Message::hello(self_))
+                 .is_ok()) {
           stream.close();
           continue;
         }
         greeted = true;
+        if (is_probe) {
+          sent = true;  // the greeting itself proved the peer reachable
+          break;
+        }
       }
-      if (write_message(stream, *msg).is_ok()) break;
+      if (transport_.send(stream, link->address.id, *msg).is_ok()) {
+        sent = true;
+        break;
+      }
       stream.close();
-      if (attempt == 1) {
-        send_failures_.fetch_add(1, std::memory_order_relaxed);
-      }
+    }
+    if (sent) {
+      record_success(link);
+    } else {
+      stream.close();
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (running_.load(std::memory_order_relaxed)) record_failure(link);
     }
   }
 }
@@ -299,6 +446,18 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
     return Status(StatusCode::kInvalidArgument,
                   "unknown node " + std::to_string(owner));
   }
+  PeerLink* link = find_link(owner);
+  if (link != nullptr && state_of(link) == PeerState::kDead) {
+    // Breaker open: fail fast so the request thread goes straight to the
+    // local CGI fallback instead of burning a connect timeout.
+    return Status(StatusCode::kUnavailable,
+                  "peer " + std::to_string(owner) + " dead (circuit open)");
+  }
+
+  const auto fail = [&](const Status& st) -> Status {
+    if (link != nullptr) record_failure(link);
+    return st;
+  };
 
   // Up to two attempts: a pooled connection may have been closed by the
   // peer while idle; retry once on a fresh one.
@@ -318,30 +477,31 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
     if (!stream.valid()) {
       auto conn =
           net::TcpStream::connect(peer->data_addr, options_.connect_timeout_ms);
-      if (!conn) return conn.status();
+      if (!conn) return fail(conn.status());
       stream = std::move(conn.value());
       (void)stream.set_no_delay(true);
       (void)stream.set_recv_timeout(options_.fetch_timeout_ms);
       (void)stream.set_send_timeout(options_.fetch_timeout_ms);
     }
 
-    if (auto st = write_message(stream, Message::fetch_req(self_, key));
+    if (auto st = transport_.send(stream, owner, Message::fetch_req(self_, key));
         !st.is_ok()) {
       last_error = st;
       if (from_pool) continue;  // stale pooled connection; retry fresh
-      return st;
+      return fail(st);
     }
     auto resp = read_message(stream);
     if (!resp) {
       last_error = resp.status();
       if (from_pool) continue;
-      return resp.status();
+      return fail(resp.status());
     }
     if (resp.value().type != MsgType::kFetchResp) {
-      return Status(StatusCode::kInternal, "unexpected response type");
+      return fail(Status(StatusCode::kInternal, "unexpected response type"));
     }
 
     // Healthy exchange: return the connection to the pool.
+    if (link != nullptr) record_success(link);
     if (options_.fetch_pool_size > 0 &&
         running_.load(std::memory_order_relaxed)) {
       std::lock_guard<std::mutex> lock(pool_mutex_);
@@ -359,13 +519,40 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
     result.data = std::move(resp.value().data);
     return result;
   }
-  return last_error;
+  return fail(last_error);
 }
 
 std::size_t NodeGroup::outbound_backlog() const {
   std::size_t backlog = 0;
   for (const auto& peer : peers_) backlog += peer->outbound->size();
   return backlog;
+}
+
+std::vector<PeerHealth> NodeGroup::peer_health() const {
+  std::vector<PeerHealth> out;
+  out.reserve(peers_.size());
+  for (const auto& peer : peers_) {
+    PeerHealth h;
+    h.id = peer->address.id;
+    {
+      std::lock_guard<std::mutex> lock(peer->health_mutex);
+      h.state = peer->state;
+      h.consecutive_failures =
+          static_cast<std::uint64_t>(peer->consecutive_failures);
+    }
+    h.total_failures = peer->total_failures.load(std::memory_order_relaxed);
+    h.messages_dropped = peer->dropped.load(std::memory_order_relaxed);
+    h.probes_sent = peer->probes.load(std::memory_order_relaxed);
+    h.outbound_backlog = peer->outbound->size();
+    out.push_back(h);
+  }
+  return out;
+}
+
+PeerState NodeGroup::peer_state(core::NodeId id) const {
+  PeerLink* link = find_link(id);
+  if (link == nullptr) return PeerState::kHealthy;
+  return state_of(link);
 }
 
 GroupStats NodeGroup::stats() const {
@@ -376,6 +563,12 @@ GroupStats NodeGroup::stats() const {
   s.fetch_misses_served = fetch_misses_served_.load(std::memory_order_relaxed);
   s.remote_fetches = remote_fetches_.load(std::memory_order_relaxed);
   s.send_failures = send_failures_.load(std::memory_order_relaxed);
+  s.send_retries = send_retries_.load(std::memory_order_relaxed);
+  s.peer_failures = peer_failures_.load(std::memory_order_relaxed);
+  s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
+  s.probes_sent = probes_sent_.load(std::memory_order_relaxed);
+  s.resyncs_requested = resyncs_requested_.load(std::memory_order_relaxed);
+  s.resyncs_served = resyncs_served_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -9,18 +9,35 @@
 // plus per-peer sender threads that drain an outbound queue, making the
 // broadcast genuinely asynchronous (no global locks; §4.2).
 //
+// Failure handling (beyond the paper, which assumed a healthy cluster):
+// every peer link carries a circuit breaker. Send/fetch failures move a peer
+// Healthy → Suspect → Dead after `failure_threshold` consecutive failures;
+// a dead peer's directory table is quarantined via the manager, broadcasts
+// to it are dropped instead of retried, and remote fetches fast-fail so
+// request threads fall back to local CGI execution. While dead, the purger
+// enqueues a HELLO probe every `probe_interval_ms`; the first successful
+// exchange (or an inbound re-HELLO from the restarted peer) closes the
+// breaker, clears the stale table and triggers a SYNC_REQ resync.
+//
+// All outgoing messages flow through a Transport, whose optional
+// FaultInjector deterministically drops / delays / truncates / black-holes
+// traffic for the failure tests.
+//
 // NodeGroup implements core::CooperationBus, so a CacheManager wired to it
 // becomes a cooperative cache.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/framing.h"
+#include "cluster/transport.h"
 #include "common/queue.h"
+#include "common/random.h"
 #include "core/manager.h"
 #include "net/socket.h"
 
@@ -33,14 +50,37 @@ struct MemberAddress {
   net::InetAddress data_addr;  ///< serves cache fetches
 };
 
+/// Circuit-breaker state of one peer as seen from this node.
+enum class PeerState {
+  kHealthy,  ///< breaker closed; traffic flows normally
+  kSuspect,  ///< recent failure(s); still trying, not yet written off
+  kDead,     ///< breaker open; broadcasts dropped, fetches fast-fail
+};
+
+const char* peer_state_name(PeerState state);
+
 struct GroupOptions {
   double purge_interval_seconds = 2.0;  ///< "wakes up every few seconds"
-  int fetch_timeout_ms = 10000;
+  int fetch_timeout_ms = 10000;         ///< read deadline on FETCH_REQ
   int connect_timeout_ms = 5000;
   std::size_t outbound_queue_capacity = 65536;
   /// Idle data connections kept per peer for reuse (0 disables pooling and
   /// opens a connection per fetch, as the original Swala did).
   std::size_t fetch_pool_size = 4;
+
+  // ---- failure handling ----
+  /// Send attempts per queued broadcast before counting a failure.
+  int broadcast_retry_limit = 3;
+  int backoff_base_ms = 10;   ///< delay before the first retry (doubles)
+  int backoff_max_ms = 200;   ///< backoff ceiling
+  std::uint64_t backoff_seed = 0xB0FF5EEDu;  ///< jitter rng seed
+  /// Consecutive failures that flip a peer's breaker to kDead.
+  int failure_threshold = 3;
+  /// How often the purger probes a dead peer with a HELLO.
+  int probe_interval_ms = 250;
+  /// Optional deterministic fault hook applied to every outgoing message
+  /// (not owned; tests and the simulator share the same injector type).
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Counters for the overhead experiments (Tables 3 and 4).
@@ -51,6 +91,24 @@ struct GroupStats {
   std::uint64_t fetch_misses_served = 0;  ///< peers' false hits seen from here
   std::uint64_t remote_fetches = 0;
   std::uint64_t send_failures = 0;
+  // ---- failure handling ----
+  std::uint64_t send_retries = 0;      ///< backoff-gated resend attempts
+  std::uint64_t peer_failures = 0;     ///< breaker failure recordings
+  std::uint64_t messages_dropped = 0;  ///< discarded while a peer was dead
+  std::uint64_t probes_sent = 0;       ///< HELLO probes to dead peers
+  std::uint64_t resyncs_requested = 0; ///< SYNC_REQs sent on recovery
+  std::uint64_t resyncs_served = 0;    ///< peers' SYNC_REQs answered
+};
+
+/// Snapshot of one peer's health (exposed via /swala-status).
+struct PeerHealth {
+  core::NodeId id = core::kInvalidNode;
+  PeerState state = PeerState::kHealthy;
+  std::uint64_t consecutive_failures = 0;
+  std::uint64_t total_failures = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t probes_sent = 0;
+  std::size_t outbound_backlog = 0;
 };
 
 class NodeGroup final : public core::CooperationBus {
@@ -94,6 +152,12 @@ class NodeGroup final : public core::CooperationBus {
 
   GroupStats stats() const;
 
+  /// Health snapshot of every peer (excludes self).
+  std::vector<PeerHealth> peer_health() const;
+
+  /// Breaker state of one peer (kHealthy for self/unknown ids).
+  PeerState peer_state(core::NodeId id) const;
+
   /// Listener ports after start() (useful when binding port 0).
   std::uint16_t info_port() const { return info_listener_.local_port(); }
   std::uint16_t data_port() const { return data_listener_.local_port(); }
@@ -110,6 +174,15 @@ class NodeGroup final : public core::CooperationBus {
     MemberAddress address;
     std::unique_ptr<BoundedQueue<Message>> outbound;
     std::thread sender;
+
+    // ---- circuit breaker ----
+    mutable std::mutex health_mutex;
+    PeerState state = PeerState::kHealthy;          // guarded by health_mutex
+    int consecutive_failures = 0;                   // guarded by health_mutex
+    std::chrono::steady_clock::time_point next_probe{};  // guarded
+    std::atomic<std::uint64_t> total_failures{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> probes{0};
   };
 
   void info_accept_loop();
@@ -120,9 +193,28 @@ class NodeGroup final : public core::CooperationBus {
   void sender_loop(PeerLink* link);
   void enqueue_broadcast(const Message& msg);
 
+  PeerLink* find_link(core::NodeId id) const;
+  PeerState state_of(PeerLink* link) const;
+  int backoff_delay_ms(int attempt);
+
+  /// Breaker bookkeeping. `record_failure` opens the breaker (and
+  /// quarantines the peer's table) after `failure_threshold` consecutive
+  /// failures; `record_success` closes it and, when the peer was dead,
+  /// clears the stale table, requests a resync and re-announces our own
+  /// entries so both directions converge after a rejoin.
+  void record_failure(PeerLink* link);
+  void record_success(PeerLink* link);
+
+  /// Enqueues HELLO probes to dead peers whose probe deadline has passed.
+  void probe_dead_peers();
+
+  /// Re-announces every locally cached entry to one peer (resync).
+  void push_state_to(PeerLink* link);
+
   core::NodeId self_;
   std::vector<MemberAddress> members_;
   GroupOptions options_;
+  Transport transport_;
   /// Written once by attach() while the daemon threads are already running
   /// and polling it; atomic so that publication is race-free.
   std::atomic<core::CacheManager*> manager_{nullptr};
@@ -144,9 +236,14 @@ class NodeGroup final : public core::CooperationBus {
   std::mutex pool_mutex_;
   std::unordered_map<core::NodeId, std::vector<net::TcpStream>> fetch_pool_;
 
+  std::mutex backoff_mutex_;
+  Rng backoff_rng_;  // guarded by backoff_mutex_
+
   mutable std::atomic<std::uint64_t> broadcasts_sent_{0}, updates_received_{0},
       fetches_served_{0}, fetch_misses_served_{0}, remote_fetches_{0},
-      send_failures_{0};
+      send_failures_{0}, send_retries_{0}, peer_failures_{0},
+      messages_dropped_{0}, probes_sent_{0}, resyncs_requested_{0},
+      resyncs_served_{0};
 };
 
 /// Builds loopback member addresses with ephemeral ports for `n` in-process

@@ -9,13 +9,22 @@ namespace swala::cluster {
 LocalCluster::LocalCluster(
     std::size_t n,
     std::function<core::ManagerOptions(core::NodeId)> make_options,
-    const Clock* clock, GroupOptions group_options) {
+    const Clock* clock, GroupOptions group_options)
+    : LocalCluster(n, std::move(make_options), clock,
+                   [group_options](core::NodeId) { return group_options; }) {}
+
+LocalCluster::LocalCluster(
+    std::size_t n,
+    std::function<core::ManagerOptions(core::NodeId)> make_options,
+    const Clock* clock,
+    std::function<GroupOptions(core::NodeId)> make_group_options) {
   auto members = loopback_members(n);
 
   // Phase 1: create and start all groups (binds ephemeral ports).
   for (std::size_t i = 0; i < n; ++i) {
-    auto group = std::make_unique<NodeGroup>(static_cast<core::NodeId>(i),
-                                             members, group_options);
+    auto group = std::make_unique<NodeGroup>(
+        static_cast<core::NodeId>(i), members,
+        make_group_options(static_cast<core::NodeId>(i)));
     if (auto st = group->start(); !st.is_ok()) {
       throw std::runtime_error("LocalCluster: " + st.to_string());
     }

@@ -26,6 +26,14 @@ class LocalCluster {
                const Clock* clock = RealClock::instance(),
                GroupOptions group_options = {});
 
+  /// As above, but `make_group_options(i)` supplies each node's group
+  /// configuration — the failure tests use this to give individual nodes
+  /// their own FaultInjector and tightened timeouts.
+  LocalCluster(std::size_t n,
+               std::function<core::ManagerOptions(core::NodeId)> make_options,
+               const Clock* clock,
+               std::function<GroupOptions(core::NodeId)> make_group_options);
+
   ~LocalCluster();
 
   LocalCluster(const LocalCluster&) = delete;

@@ -186,12 +186,20 @@ Message Message::invalidate(core::NodeId sender, std::string pattern) {
   return m;
 }
 
+Message Message::sync_req(core::NodeId sender) {
+  Message m;
+  m.type = MsgType::kSyncReq;
+  m.sender = sender;
+  return m;
+}
+
 std::string encode_message(const Message& msg) {
   std::string payload;
   put_u8(&payload, static_cast<std::uint8_t>(msg.type));
   put_u32(&payload, msg.sender);
   switch (msg.type) {
     case MsgType::kHello:
+    case MsgType::kSyncReq:
       break;
     case MsgType::kInsert:
       put_meta(&payload, msg.meta);
@@ -230,6 +238,7 @@ Result<Message> decode_message(std::string_view payload) {
   bool ok = true;
   switch (msg.type) {
     case MsgType::kHello:
+    case MsgType::kSyncReq:
       break;
     case MsgType::kInsert:
       ok = read_meta(&r, &msg.meta);

@@ -23,6 +23,7 @@ enum class MsgType : std::uint8_t {
   kFetchReq = 4,    ///< data request: give me this entry
   kFetchResp = 5,   ///< data response
   kInvalidate = 6,  ///< application-driven invalidation of a key glob
+  kSyncReq = 7,     ///< "re-announce your cached entries to me" (rejoin)
 };
 
 /// A decoded protocol message (tagged union kept flat for simplicity).
@@ -46,6 +47,7 @@ struct Message {
                                   std::string data);
   static Message fetch_resp_miss(core::NodeId sender);
   static Message invalidate(core::NodeId sender, std::string pattern);
+  static Message sync_req(core::NodeId sender);
 };
 
 /// Maximum accepted frame (defends the daemons against garbage).

@@ -18,11 +18,45 @@ const char* locking_mode_name(LockingMode mode) {
 
 CacheDirectory::CacheDirectory(NodeId self, std::size_t num_nodes,
                                LockingMode mode)
-    : clock_(RealClock::instance()), self_(self), mode_(mode) {
+    : clock_(RealClock::instance()),
+      self_(self),
+      mode_(mode),
+      quarantined_(num_nodes) {
   tables_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
     tables_.push_back(std::make_unique<Table>());
   }
+}
+
+void CacheDirectory::set_quarantined(NodeId node, bool quarantined) {
+  if (node >= quarantined_.size() || node == self_) return;
+  quarantined_[node].store(quarantined, std::memory_order_release);
+}
+
+bool CacheDirectory::quarantined(NodeId node) const {
+  if (node >= quarantined_.size()) return false;
+  return quarantined_[node].load(std::memory_order_acquire);
+}
+
+std::size_t CacheDirectory::clear_table(NodeId node) {
+  if (node >= tables_.size()) return 0;
+  Table& table = *tables_[node];
+  std::size_t dropped = 0;
+  const auto do_clear = [&] {
+    dropped = table.entries.size();
+    table.entries.clear();
+  };
+  if (mode_ == LockingMode::kWholeDirectory) {
+    std::unique_lock lock(whole_mutex_);
+    lock_count_.fetch_add(1, std::memory_order_relaxed);
+    do_clear();
+  } else {
+    std::unique_lock lock(table.mutex);
+    lock_count_.fetch_add(1, std::memory_order_relaxed);
+    do_clear();
+  }
+  erases_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
 }
 
 void CacheDirectory::apply_insert(const EntryMeta& meta) {
@@ -129,7 +163,7 @@ std::optional<EntryMeta> CacheDirectory::lookup(const std::string& key) const {
       found = hit;
     } else {
       for (NodeId n = 0; n < tables_.size() && !found; ++n) {
-        if (n == self_) continue;
+        if (n == self_ || quarantined(n)) continue;
         found = scan_table(n);
       }
     }
@@ -138,7 +172,7 @@ std::optional<EntryMeta> CacheDirectory::lookup(const std::string& key) const {
       found = hit;
     } else {
       for (NodeId n = 0; n < tables_.size() && !found; ++n) {
-        if (n == self_) continue;
+        if (n == self_ || quarantined(n)) continue;
         found = scan_table(n);
       }
     }

@@ -76,6 +76,26 @@ class CacheDirectory {
   /// (cluster-wide invalidation applied locally). Returns removals.
   std::size_t erase_matching(std::string_view pattern);
 
+  // ---- peer quarantine (failure handling) ----
+  //
+  // When the cluster layer declares a peer dead (circuit breaker), its table
+  // is quarantined: `lookup` stops advertising that peer's entries, so
+  // request threads fall straight through to local execution instead of
+  // attempting doomed remote fetches. The table's contents are kept (they
+  // are the membership view consistency checks and rejoin diff against);
+  // `clear_table` + resync refreshes them when the peer re-HELLOs.
+
+  /// Marks `node`'s table (in)visible to `lookup`. Self cannot be
+  /// quarantined. Idempotent.
+  void set_quarantined(NodeId node, bool quarantined);
+
+  /// Whether `node`'s table is currently hidden from lookups.
+  bool quarantined(NodeId node) const;
+
+  /// Drops every entry in `node`'s table (stale state of a dead or
+  /// rejoining peer). Returns how many entries were removed.
+  std::size_t clear_table(NodeId node);
+
   /// Total entries across all tables.
   std::size_t size() const;
 
@@ -111,6 +131,8 @@ class CacheDirectory {
   NodeId self_;
   LockingMode mode_;
   std::vector<std::unique_ptr<Table>> tables_;
+  /// One flag per table; set while the owning peer is considered dead.
+  std::vector<std::atomic<bool>> quarantined_;
   mutable std::shared_mutex whole_mutex_;  // used only in kWholeDirectory
   mutable std::atomic<std::uint64_t> lock_count_{0};
   mutable std::atomic<std::uint64_t> lookups_{0};

@@ -78,8 +78,12 @@ LookupResult CacheManager::lookup(http::Method method, const http::Uri& uri) {
       false_hits_.fetch_add(1, std::memory_order_relaxed);
       directory_->apply_erase(dir_hit->owner, key.text);
     } else {
+      // Timeout, dead peer, torn connection: degrade gracefully by running
+      // the CGI locally instead of failing the client request.
+      fallback_executions_.fetch_add(1, std::memory_order_relaxed);
       SWALA_LOG(Warn) << "remote fetch from node " << dir_hit->owner
-                      << " failed: " << remote.status().to_string();
+                      << " failed (" << remote.status().to_string()
+                      << "); falling back to local execution";
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -191,6 +195,22 @@ std::size_t CacheManager::on_peer_invalidate(const std::string& pattern) {
   return apply_invalidation(pattern, /*rebroadcast=*/false);
 }
 
+void CacheManager::on_peer_dead(NodeId peer) {
+  if (peer == self_) return;
+  directory_->set_quarantined(peer, true);
+  SWALA_LOG(Warn) << "node " << self_ << ": peer " << peer
+                  << " declared dead; directory table quarantined";
+}
+
+void CacheManager::on_peer_recovered(NodeId peer) {
+  if (peer == self_) return;
+  const auto dropped = directory_->clear_table(peer);
+  directory_->set_quarantined(peer, false);
+  SWALA_LOG(Info) << "node " << self_ << ": peer " << peer
+                  << " recovered; dropped " << dropped
+                  << " stale directory entries pending resync";
+}
+
 std::size_t CacheManager::apply_invalidation(const std::string& pattern,
                                              bool rebroadcast) {
   std::lock_guard<std::mutex> commit(commit_mutex_);
@@ -243,6 +263,7 @@ ManagerStats CacheManager::stats() const {
   s.false_misses = false_misses_.load(std::memory_order_relaxed);
   s.evictions_broadcast = evictions_broadcast_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.fallback_executions = fallback_executions_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -90,6 +90,9 @@ struct ManagerStats {
   std::uint64_t false_misses = 0;     ///< duplicate caching detected
   std::uint64_t evictions_broadcast = 0;
   std::uint64_t invalidations = 0;    ///< entries dropped by invalidate()
+  /// Remote fetch failed for a reason other than a false hit (timeout, dead
+  /// peer, torn connection) and the request fell back to local execution.
+  std::uint64_t fallback_executions = 0;
 
   std::uint64_t hits() const { return local_hits + remote_hits; }
 };
@@ -147,6 +150,16 @@ class CacheManager {
 
   /// Applies a peer's invalidation broadcast (no re-broadcast).
   std::size_t on_peer_invalidate(const std::string& pattern);
+
+  // ---- Peer failure handling (cluster circuit breaker) ----
+
+  /// The cluster layer declared `peer` dead: quarantine its directory table
+  /// so lookups stop advertising entries we cannot fetch.
+  void on_peer_dead(NodeId peer);
+
+  /// `peer` re-HELLOed: drop its stale table (a resync re-announces the
+  /// live entries) and lift the quarantine.
+  void on_peer_recovered(NodeId peer);
 
   // ---- Warm restart (disk-backed caches) ----
 
@@ -208,7 +221,7 @@ class CacheManager {
   std::atomic<std::uint64_t> lookups_{0}, uncacheable_{0}, local_hits_{0},
       remote_hits_{0}, misses_{0}, inserts_{0}, below_threshold_{0},
       failed_exec_{0}, false_hits_{0}, false_misses_{0},
-      evictions_broadcast_{0}, invalidations_{0};
+      evictions_broadcast_{0}, invalidations_{0}, fallback_executions_{0};
 };
 
 }  // namespace swala::core

@@ -75,9 +75,17 @@ Result<Response> HttpClient::roundtrip(const Request& req) {
       return n.status();
     }
     if (n.value() == 0) {
-      // Orderly close: response is delimited by EOF.
       if (head_end == std::string::npos) {
         return Status(StatusCode::kClosed, "connection closed before response");
+      }
+      // A declared Content-Length makes the body length explicit: EOF before
+      // the full body is a truncated response, not a success. Only a
+      // response without Content-Length is legitimately EOF-delimited.
+      if (content_length && data.size() - body_start < *content_length) {
+        return Status(StatusCode::kClosed,
+                      "truncated response body: got " +
+                          std::to_string(data.size() - body_start) + " of " +
+                          std::to_string(*content_length) + " bytes");
       }
       break;
     }

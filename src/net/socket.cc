@@ -118,6 +118,9 @@ Result<std::size_t> TcpStream::read_some(char* buf, std::size_t len) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       return Status(StatusCode::kTimeout, "recv timeout");
     }
+    if (errno == ECONNRESET || errno == EPIPE) {
+      return Status(StatusCode::kClosed, "connection reset by peer");
+    }
     return errno_status(StatusCode::kIoError, "recv");
   }
 }
@@ -144,6 +147,9 @@ Status TcpStream::write_all(std::string_view data) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status(StatusCode::kTimeout, "send timeout");
+      }
+      if (errno == ECONNRESET || errno == EPIPE) {
+        return Status(StatusCode::kClosed, "connection reset by peer");
       }
       return errno_status(StatusCode::kIoError, "send");
     }

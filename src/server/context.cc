@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "cluster/group.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "http/date.h"
@@ -192,6 +193,34 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("response_p99_us",
                      static_cast<std::uint64_t>(hist.percentile(99) * 1e6));
   }
+  if (ctx.group != nullptr) {
+    const cluster::GroupStats g = ctx.group->stats();
+    body += json_u64("cluster_remote_fetches", g.remote_fetches);
+    body += json_u64("cluster_send_failures", g.send_failures);
+    body += json_u64("cluster_send_retries", g.send_retries);
+    body += json_u64("cluster_peer_failures", g.peer_failures);
+    body += json_u64("cluster_messages_dropped", g.messages_dropped);
+    body += json_u64("cluster_probes_sent", g.probes_sent);
+    body += json_u64("cluster_resyncs_requested", g.resyncs_requested);
+    body += json_u64("cluster_resyncs_served", g.resyncs_served);
+    body += "  \"cluster_peers\": [";
+    const auto peers = ctx.group->peer_health();
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      const auto& p = peers[i];
+      if (i != 0) body += ",";
+      body += "\n    {\"id\": " + std::to_string(p.id);
+      body += ", \"state\": \"";
+      body += cluster::peer_state_name(p.state);
+      body += "\", \"consecutive_failures\": " +
+              std::to_string(p.consecutive_failures);
+      body += ", \"total_failures\": " + std::to_string(p.total_failures);
+      body += ", \"messages_dropped\": " + std::to_string(p.messages_dropped);
+      body += ", \"probes_sent\": " + std::to_string(p.probes_sent);
+      body += ", \"outbound_backlog\": " + std::to_string(p.outbound_backlog);
+      body += "}";
+    }
+    body += peers.empty() ? "],\n" : "\n  ],\n";
+  }
   if (ctx.cache != nullptr) {
     const core::ManagerStats c = ctx.cache->stats();
     body += json_u64("cache_lookups", c.lookups);
@@ -202,6 +231,7 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("cache_false_hits", c.false_hits);
     body += json_u64("cache_false_misses", c.false_misses);
     body += json_u64("cache_invalidations", c.invalidations);
+    body += json_u64("cache_fallback_executions", c.fallback_executions);
     body += json_u64("cache_entries", ctx.cache->store().entry_count());
     body += json_u64("cache_bytes", ctx.cache->store().bytes_used(), true);
   } else {

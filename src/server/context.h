@@ -16,6 +16,10 @@
 #include "net/socket.h"
 #include "server/access_log.h"
 
+namespace swala::cluster {
+class NodeGroup;
+}
+
 namespace swala::server {
 
 /// Thread-safe response-time recorder (LatencyHistogram is not itself
@@ -67,6 +71,9 @@ struct ServeContext {
   std::string docroot;                         ///< empty = no static serving
   std::shared_ptr<cgi::HandlerRegistry> registry;  ///< may be null
   core::CacheManager* cache = nullptr;         ///< null = caching disabled
+  /// When clustered, the node's group; /swala-status then reports per-peer
+  /// health (circuit-breaker state, failures, probes) and cluster counters.
+  cluster::NodeGroup* group = nullptr;
   const Clock* clock = nullptr;                ///< for CGI timing
   bool allow_keep_alive = true;
   /// Enables the built-in endpoints: GET /swala-status (JSON statistics),

@@ -82,6 +82,7 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
   so.access_log_path = config.get_string("server", "access_log", "");
   node->server_ = std::make_unique<SwalaServer>(
       std::move(so), std::move(registry), node->manager_.get());
+  node->server_->set_group(node->group_.get());
 
   return node;
 }

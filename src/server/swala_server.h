@@ -62,6 +62,10 @@ class SwalaServer {
   ServerStats stats() const { return snapshot(counters_); }
   core::CacheManager* cache() const { return ctx_.cache; }
 
+  /// Wires the cluster group so /swala-status reports per-peer health.
+  /// Call before start() (the request threads read ctx_ unsynchronized).
+  void set_group(cluster::NodeGroup* group) { ctx_.group = group; }
+
   /// Response-time distribution (request handling, excluding socket I/O).
   LatencyHistogram latency() const { return latency_.snapshot(); }
 

@@ -13,8 +13,9 @@ namespace {
 /// (the latency is charged to the request's timeline by the node model).
 class SimBus final : public core::CooperationBus {
  public:
-  SimBus(SimEngine* engine, core::NodeId self, const SimCosts* costs)
-      : engine_(engine), self_(self), costs_(costs) {}
+  SimBus(SimEngine* engine, core::NodeId self, const SimCosts* costs,
+         cluster::FaultInjector* faults)
+      : engine_(engine), self_(self), costs_(costs), faults_(faults) {}
 
   void wire(std::vector<std::unique_ptr<core::CacheManager>>* managers) {
     managers_ = managers;
@@ -23,7 +24,9 @@ class SimBus final : public core::CooperationBus {
   void broadcast_insert(const core::EntryMeta& meta) override {
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
       if (peer == self_) continue;
-      engine_->schedule_in(costs_->directory_update_delay, [this, peer, meta] {
+      double delay = costs_->directory_update_delay;
+      if (!broadcast_survives(peer, cluster::MsgType::kInsert, &delay)) continue;
+      engine_->schedule_in(delay, [this, peer, meta] {
         (*managers_)[peer]->on_peer_insert(meta);
       });
     }
@@ -33,17 +36,22 @@ class SimBus final : public core::CooperationBus {
                        std::uint64_t version) override {
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
       if (peer == self_) continue;
-      engine_->schedule_in(costs_->directory_update_delay,
-                           [this, peer, owner, key, version] {
-                             (*managers_)[peer]->on_peer_erase(owner, key, version);
-                           });
+      double delay = costs_->directory_update_delay;
+      if (!broadcast_survives(peer, cluster::MsgType::kErase, &delay)) continue;
+      engine_->schedule_in(delay, [this, peer, owner, key, version] {
+        (*managers_)[peer]->on_peer_erase(owner, key, version);
+      });
     }
   }
 
   void broadcast_invalidate(const std::string& pattern) override {
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
       if (peer == self_) continue;
-      engine_->schedule_in(costs_->directory_update_delay, [this, peer, pattern] {
+      double delay = costs_->directory_update_delay;
+      if (!broadcast_survives(peer, cluster::MsgType::kInvalidate, &delay)) {
+        continue;
+      }
+      engine_->schedule_in(delay, [this, peer, pattern] {
         (*managers_)[peer]->on_peer_invalidate(pattern);
       });
     }
@@ -54,13 +62,51 @@ class SimBus final : public core::CooperationBus {
     if (owner >= managers_->size()) {
       return Status(StatusCode::kInvalidArgument, "bad owner");
     }
+    if (faults_ != nullptr) {
+      const auto fault = faults_->decide(owner, cluster::MsgType::kFetchReq);
+      switch (fault.kind) {
+        case cluster::FaultKind::kNone:
+        case cluster::FaultKind::kDelay:  // latency is the node model's job
+          break;
+        case cluster::FaultKind::kDrop:
+        case cluster::FaultKind::kTruncate:
+        case cluster::FaultKind::kBlackhole:
+          // The request (or its response) never arrives; the requester's
+          // deadline expires and the manager falls back to local execution.
+          return Status(StatusCode::kTimeout,
+                        "simulated fetch deadline (fault injection)");
+      }
+    }
     return (*managers_)[owner]->serve_peer_fetch(key);
   }
 
  private:
+  /// Consults the injector for one simulated broadcast leg. Returns false
+  /// when the update is lost (drop/truncate/blackhole); kDelay stretches
+  /// the propagation latency instead.
+  bool broadcast_survives(std::size_t peer, cluster::MsgType type,
+                          double* delay) {
+    if (faults_ == nullptr) return true;
+    const auto fault =
+        faults_->decide(static_cast<core::NodeId>(peer), type);
+    switch (fault.kind) {
+      case cluster::FaultKind::kNone:
+        return true;
+      case cluster::FaultKind::kDelay:
+        *delay += fault.delay_ms / 1000.0;
+        return true;
+      case cluster::FaultKind::kDrop:
+      case cluster::FaultKind::kTruncate:
+      case cluster::FaultKind::kBlackhole:
+        return false;
+    }
+    return true;
+  }
+
   SimEngine* engine_;
   core::NodeId self_;
   const SimCosts* costs_;
+  cluster::FaultInjector* faults_;
   std::vector<std::unique_ptr<core::CacheManager>>* managers_ = nullptr;
 };
 
@@ -211,7 +257,7 @@ SimReport run_cluster_sim(const workload::Trace& trace, const SimConfig& config)
     for (std::size_t i = 0; i < n; ++i) {
       st.buses.push_back(std::make_unique<SimBus>(
           &st.engine, static_cast<core::NodeId>(config.cooperative ? i : 0),
-          &config.costs));
+          &config.costs, config.faults));
     }
     for (std::size_t i = 0; i < n; ++i) {
       core::ManagerOptions mo;
@@ -280,6 +326,7 @@ SimReport run_cluster_sim(const workload::Trace& trace, const SimConfig& config)
     report.cache.false_hits += stats.false_hits;
     report.cache.false_misses += stats.false_misses;
     report.cache.evictions_broadcast += stats.evictions_broadcast;
+    report.cache.fallback_executions += stats.fallback_executions;
   }
   for (std::size_t i = 0; i < st.cpus.size(); ++i) {
     report.cpu_utilization.push_back(

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/transport.h"
 #include "common/stats.h"
 #include "core/manager.h"
 #include "sim/engine.h"
@@ -61,6 +62,14 @@ struct SimConfig {
   double min_exec_seconds = 0.0;  ///< insert threshold
   double ttl_seconds = 0.0;       ///< 0 = never expire
   SimCosts costs;
+  /// Optional fault hook shared with the real transport (not owned). The
+  /// simulated bus consults it per peer/message exactly like the TCP layer:
+  /// drop/truncate/blackhole on a broadcast loses the directory update;
+  /// any of those on a FETCH_REQ fails the fetch (→ local fallback, counted
+  /// in fallback_executions); kDelay adds delay_ms of virtual latency to a
+  /// broadcast's propagation. Same rules, same seed → same scenario as the
+  /// wire transport, but under virtual time.
+  cluster::FaultInjector* faults = nullptr;
 };
 
 /// Outcome of one simulation run.

@@ -11,6 +11,7 @@
 #include "cgi/process.h"
 #include "cgi/registry.h"
 #include "cgi/scripted.h"
+#include "core/manager.h"
 #include "http/message.h"
 
 #ifndef SWALA_NULLCGI_PATH
@@ -259,6 +260,111 @@ TEST(ProcessCgiTest, TimeoutKillsChild) {
   EXPECT_EQ(out.value().http_status, 504);
   EXPECT_LT(elapsed.count(), 5.0);
   unlink(script.c_str());
+}
+
+// ---- failure paths: exec errors, runaway children, failed executions ----
+
+TEST(ProcessCgiTest, ExecFailureReportsExit127) {
+  ProcessOptions opts;
+  auto result = run_cgi_process("/nonexistent/program",
+                                make_request("/cgi-bin/x"), opts);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().exit_code, 127);  // shell convention: exec failed
+  EXPECT_FALSE(result.value().timed_out);
+  EXPECT_FALSE(result.value().oversized);
+}
+
+TEST(ProcessCgiTest, TimeoutFlagSetAndNotConfusedWithOversize) {
+  const std::string script = "/tmp/swala_test_cgi_hang.sh";
+  {
+    FILE* f = fopen(script.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("#!/bin/sh\nsleep 30\n", f);
+    fclose(f);
+    chmod(script.c_str(), 0755);
+  }
+  ProcessOptions opts;
+  opts.timeout_seconds = 0.2;
+  auto result = run_cgi_process(script, make_request("/cgi-bin/hang"), opts);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().timed_out);
+  EXPECT_FALSE(result.value().oversized);
+  unlink(script.c_str());
+}
+
+TEST(ProcessCgiTest, OversizedOutputKilledAndFails) {
+  // A child that writes forever: without the output cap + SIGKILL it would
+  // run until the 30s default deadline. The cap must fire fast.
+  const std::string script = "/tmp/swala_test_cgi_flood.sh";
+  {
+    FILE* f = fopen(script.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("#!/bin/sh\nwhile :; do printf 'xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx'; done\n", f);
+    fclose(f);
+    chmod(script.c_str(), 0755);
+  }
+  ProcessOptions opts;
+  opts.max_output_bytes = 64 * 1024;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = run_cgi_process(script, make_request("/cgi-bin/flood"), opts);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().oversized);
+  EXPECT_FALSE(result.value().timed_out);  // distinct failure modes
+  EXPECT_LT(elapsed.count(), 5.0);
+
+  // And through the handler: a 500, not a 504, and never a success.
+  ProcessCgi cgi(script, opts);
+  auto out = cgi.run(make_request("/cgi-bin/flood"));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_FALSE(out.value().success);
+  EXPECT_EQ(out.value().http_status, 500);
+  unlink(script.c_str());
+}
+
+TEST(ProcessCgiTest, NonzeroExitMeansFailureOutput) {
+  const std::string script = "/tmp/swala_test_cgi_exit3.sh";
+  {
+    FILE* f = fopen(script.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("#!/bin/sh\nprintf 'Content-Type: text/plain\\n\\npartial'\nexit 3\n", f);
+    fclose(f);
+    chmod(script.c_str(), 0755);
+  }
+  ProcessCgi cgi(script);
+  auto out = cgi.run(make_request("/cgi-bin/exit3"));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_FALSE(out.value().success);
+  unlink(script.c_str());
+}
+
+// Failed executions must never be cached: the manager's complete() drops
+// unsuccessful outputs (Figure 2 only caches valid documents).
+TEST(ProcessCgiTest, FailedExecutionIsNotCached) {
+  core::ManagerOptions mo;
+  mo.limits = {100, 0};
+  core::RuleDecision d;
+  d.cacheable = true;
+  mo.rules.add_rule("/cgi-bin/*", d);
+  core::CacheManager manager(0, 1, std::move(mo), RealClock::instance());
+
+  const auto req = make_request("/cgi-bin/broken");
+  auto lookup = manager.lookup(req.method, req.uri);
+  ASSERT_EQ(lookup.outcome, core::LookupOutcome::kMissMustExecute);
+
+  ProcessCgi cgi("/nonexistent/program");
+  auto out = cgi.run(req);
+  ASSERT_TRUE(out.is_ok());
+  ASSERT_FALSE(out.value().success);
+  manager.complete(req.method, req.uri, lookup.rule, out.value(), 1.0);
+
+  EXPECT_EQ(manager.store().entry_count(), 0u);
+  EXPECT_EQ(manager.stats().inserts, 0u);
+  EXPECT_EQ(manager.stats().failed_exec, 1u);
+  // Next lookup is still a miss — nothing was poisoned into the cache.
+  EXPECT_EQ(manager.lookup(req.method, req.uri).outcome,
+            core::LookupOutcome::kMissMustExecute);
 }
 
 TEST(ProcessCgiTest, BodyPipedToStdin) {

@@ -1,14 +1,21 @@
-// Failure-injection tests for the cluster layer: garbage on the wire,
-// truncated frames, dead peers during remote fetch, node departure, and
-// oversized frames. Weak consistency means a Swala group must degrade to
-// local execution, never crash or deadlock.
+// Failure-injection tests for the cluster layer, driven by the deterministic
+// FaultInjector (cluster/transport.h): black-holed fetches, lost broadcasts,
+// slow peers, partitions with quarantine + rejoin resync — plus raw wire
+// abuse (garbage, truncated and oversized frames). Weak consistency means a
+// Swala group must degrade to local execution, never crash or deadlock.
+//
+// Synchronization discipline: no blind sleeps. Every wait is either
+// LocalCluster::quiesce() (backlog drain) or eventually() (condition
+// polling with a deadline), so the tests pass at the same rate under TSan.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <functional>
 #include <thread>
 
 #include "cluster/framing.h"
 #include "cluster/local_cluster.h"
+#include "cluster/transport.h"
 
 namespace swala::cluster {
 namespace {
@@ -20,6 +27,19 @@ core::ManagerOptions open_options(core::NodeId) {
   d.cacheable = true;
   mo.rules.add_rule("/cgi-bin/*", d);
   return mo;
+}
+
+/// Group options with short deadlines so failure paths resolve quickly.
+GroupOptions fast_options() {
+  GroupOptions go;
+  go.fetch_timeout_ms = 400;
+  go.connect_timeout_ms = 400;
+  go.broadcast_retry_limit = 2;
+  go.backoff_base_ms = 5;
+  go.backoff_max_ms = 20;
+  go.failure_threshold = 2;
+  go.probe_interval_ms = 100;
+  return go;
 }
 
 http::Uri uri_of(const std::string& target) {
@@ -41,13 +61,231 @@ void cache_on(core::CacheManager& manager, const std::string& target) {
   manager.complete(http::Method::kGet, uri, lookup.rule, ok_output("x"), 1.0);
 }
 
-bool eventually(const std::function<bool()>& pred) {
-  for (int i = 0; i < 200; ++i) {
+bool eventually(const std::function<bool()>& pred, int max_ms = 5000) {
+  for (int waited = 0; waited < max_ms; waited += 10) {
     if (pred()) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   return pred();
 }
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// ---- fault-injector scenarios ----
+
+// A black-holed FETCH_REQ must surface as a read timeout at the requester,
+// which falls back to local execution within < 2x the fetch deadline and
+// counts the fallback.
+TEST(ClusterFailureTest, BlackholedFetchFallsBackWithinDeadline) {
+  FaultInjector faults(/*seed=*/42);
+  FaultRule rule;
+  rule.peer = 0;
+  rule.type = MsgType::kFetchReq;
+  rule.kind = FaultKind::kBlackhole;
+  faults.add_rule(rule);
+
+  LocalCluster cluster(2, open_options, RealClock::instance(),
+                       [&faults](core::NodeId id) {
+                         GroupOptions go = fast_options();
+                         if (id == 1) go.fault_injector = &faults;
+                         return go;
+                       });
+
+  cache_on(cluster.manager(0), "/cgi-bin/blackholed");
+  ASSERT_TRUE(eventually([&] {
+    return cluster.manager(1)
+        .directory()
+        .lookup("GET /cgi-bin/blackholed")
+        .has_value();
+  }));
+
+  const auto start = std::chrono::steady_clock::now();
+  auto result = cluster.manager(1).lookup(http::Method::kGet,
+                                          uri_of("/cgi-bin/blackholed"));
+  const double elapsed = elapsed_ms_since(start);
+
+  EXPECT_EQ(result.outcome, core::LookupOutcome::kMissMustExecute);
+  EXPECT_LT(elapsed, 2 * 400.0) << "fallback took " << elapsed << "ms";
+  EXPECT_EQ(cluster.manager(1).stats().fallback_executions, 1u);
+  EXPECT_GE(faults.faults_injected(), 1u);
+}
+
+// A dropped INSERT broadcast loses the directory update: the peer executes
+// the same request again (a false miss) and the original caching node
+// detects the duplicate when the peer's own INSERT arrives.
+TEST(ClusterFailureTest, DroppedInsertBroadcastCausesFalseMiss) {
+  FaultInjector faults(/*seed=*/7);
+  FaultRule rule;
+  rule.peer = 1;
+  rule.type = MsgType::kInsert;
+  rule.kind = FaultKind::kDrop;
+  rule.count = 1;  // only the first INSERT to node 1 is lost
+  faults.add_rule(rule);
+
+  LocalCluster cluster(2, open_options, RealClock::instance(),
+                       [&faults](core::NodeId id) {
+                         GroupOptions go = fast_options();
+                         if (id == 0) go.fault_injector = &faults;
+                         return go;
+                       });
+
+  cache_on(cluster.manager(0), "/cgi-bin/dup");
+  ASSERT_TRUE(cluster.quiesce());
+  ASSERT_EQ(faults.faults_injected(), 1u);
+
+  // Node 1 never heard about the entry: its directory shows a miss.
+  EXPECT_FALSE(
+      cluster.manager(1).directory().lookup("GET /cgi-bin/dup").has_value());
+  auto result =
+      cluster.manager(1).lookup(http::Method::kGet, uri_of("/cgi-bin/dup"));
+  EXPECT_EQ(result.outcome, core::LookupOutcome::kMissMustExecute);
+
+  // It executes and caches its own copy; node 0 sees the duplicate insert
+  // for a key it also holds — the false-miss evidence of §4.2.
+  cluster.manager(1).complete(http::Method::kGet, uri_of("/cgi-bin/dup"),
+                              result.rule, ok_output("x"), 1.0);
+  EXPECT_TRUE(eventually(
+      [&] { return cluster.manager(0).stats().false_misses == 1u; }));
+}
+
+// A peer that answers fetches slower than the requester's deadline causes a
+// timeout fallback, not an indefinite hang.
+TEST(ClusterFailureTest, SlowPeerFetchTimesOutAndFallsBack) {
+  FaultInjector faults(/*seed=*/99);
+  FaultRule rule;
+  rule.peer = 1;  // responses addressed to node 1
+  rule.type = MsgType::kFetchResp;
+  rule.kind = FaultKind::kDelay;
+  rule.delay_ms = 1500;  // well past the 400ms fetch deadline
+  faults.add_rule(rule);
+
+  LocalCluster cluster(2, open_options, RealClock::instance(),
+                       [&faults](core::NodeId id) {
+                         GroupOptions go = fast_options();
+                         if (id == 0) go.fault_injector = &faults;  // owner side
+                         return go;
+                       });
+
+  cache_on(cluster.manager(0), "/cgi-bin/slow");
+  ASSERT_TRUE(eventually([&] {
+    return cluster.manager(1).directory().lookup("GET /cgi-bin/slow").has_value();
+  }));
+
+  const auto start = std::chrono::steady_clock::now();
+  auto result =
+      cluster.manager(1).lookup(http::Method::kGet, uri_of("/cgi-bin/slow"));
+  const double elapsed = elapsed_ms_since(start);
+
+  EXPECT_EQ(result.outcome, core::LookupOutcome::kMissMustExecute);
+  EXPECT_LT(elapsed, 2 * 400.0) << "fallback took " << elapsed << "ms";
+  EXPECT_EQ(cluster.manager(1).stats().fallback_executions, 1u);
+}
+
+// Partition: after `failure_threshold` consecutive failures the survivor
+// marks the peer dead, quarantines its directory table (lookups go straight
+// to local execution, fast), and probes until the peer rejoins — at which
+// point the stale table is cleared, a resync re-announces the peer's
+// entries, and remote fetches work again.
+TEST(ClusterFailureTest, PartitionQuarantineRejoinResync) {
+  LocalCluster cluster(2, open_options, RealClock::instance(),
+                       [](core::NodeId) { return fast_options(); });
+
+  cache_on(cluster.manager(0), "/cgi-bin/stable");
+  ASSERT_TRUE(eventually([&] {
+    return cluster.manager(1).directory().lookup("GET /cgi-bin/stable").has_value();
+  }));
+
+  // --- partition: node 0 goes down ---
+  cluster.group(0).stop();
+
+  // Drive lookups until the circuit opens (each failed fetch records one
+  // failure; threshold is 2).
+  ASSERT_TRUE(eventually([&] {
+    (void)cluster.manager(1).lookup(http::Method::kGet,
+                                    uri_of("/cgi-bin/stable"));
+    return cluster.group(1).peer_state(0) == PeerState::kDead;
+  }));
+
+  // Dead peer's table is quarantined: the entry is invisible, so the lookup
+  // is a plain (fast) miss with no remote fetch attempt.
+  EXPECT_TRUE(cluster.manager(1).directory().quarantined(0));
+  EXPECT_FALSE(
+      cluster.manager(1).directory().lookup("GET /cgi-bin/stable").has_value());
+  const auto start = std::chrono::steady_clock::now();
+  auto during = cluster.manager(1).lookup(http::Method::kGet,
+                                          uri_of("/cgi-bin/stable"));
+  EXPECT_EQ(during.outcome, core::LookupOutcome::kMissMustExecute);
+  EXPECT_LT(elapsed_ms_since(start), 200.0) << "quarantined lookup not fast";
+
+  const auto health = cluster.group(1).peer_health();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].id, 0u);
+  EXPECT_EQ(health[0].state, PeerState::kDead);
+  EXPECT_GE(health[0].total_failures, 2u);
+
+  // --- rejoin: node 0 comes back on the same ports ---
+  ASSERT_TRUE(cluster.group(0).start().is_ok());
+
+  // The survivor's probe finds it, closes the breaker, lifts the
+  // quarantine, and the SYNC_REQ resync restores the directory entry.
+  EXPECT_TRUE(eventually(
+      [&] { return cluster.group(1).peer_state(0) == PeerState::kHealthy; }));
+  EXPECT_TRUE(eventually([&] {
+    return !cluster.manager(1).directory().quarantined(0) &&
+           cluster.manager(1).directory().lookup("GET /cgi-bin/stable").has_value();
+  }));
+  EXPECT_GE(cluster.group(1).stats().probes_sent, 1u);
+  EXPECT_GE(cluster.group(1).stats().resyncs_requested, 1u);
+  EXPECT_TRUE(eventually(
+      [&] { return cluster.group(0).stats().resyncs_served >= 1u; }));
+
+  // End-to-end: the remote fetch works again.
+  auto after = cluster.manager(1).lookup(http::Method::kGet,
+                                         uri_of("/cgi-bin/stable"));
+  EXPECT_EQ(after.outcome, core::LookupOutcome::kHit);
+  EXPECT_TRUE(after.remote);
+}
+
+// A truncated-frame fault tears the connection mid-frame; the receiver
+// drops the connection, the sender retries, and the breaker counts the
+// failures without wedging the group.
+TEST(ClusterFailureTest, TruncatedBroadcastIsRetriedAndCounted) {
+  FaultInjector faults(/*seed=*/5);
+  FaultRule rule;
+  rule.peer = 1;
+  rule.type = MsgType::kInsert;
+  rule.kind = FaultKind::kTruncate;
+  rule.count = 2;  // both attempts of the first INSERT are torn
+  faults.add_rule(rule);
+
+  LocalCluster cluster(2, open_options, RealClock::instance(),
+                       [&faults](core::NodeId id) {
+                         GroupOptions go = fast_options();
+                         if (id == 0) go.fault_injector = &faults;
+                         return go;
+                       });
+
+  cache_on(cluster.manager(0), "/cgi-bin/torn");
+  EXPECT_TRUE(eventually([&] {
+    const auto stats = cluster.group(0).stats();
+    return stats.send_failures >= 1u && stats.send_retries >= 1u;
+  }));
+
+  // A later broadcast (fault rule exhausted) still goes through.
+  cache_on(cluster.manager(0), "/cgi-bin/after-torn");
+  EXPECT_TRUE(eventually([&] {
+    return cluster.manager(1)
+        .directory()
+        .lookup("GET /cgi-bin/after-torn")
+        .has_value();
+  }));
+}
+
+// ---- raw wire abuse (no injector: hostile bytes from outside the group) ----
 
 TEST(ClusterFailureTest, GarbageOnInfoPortIsDropped) {
   LocalCluster cluster(2, open_options);
@@ -126,8 +364,11 @@ TEST(ClusterFailureTest, GarbageOnDataPortGetsNoCrash) {
   EXPECT_EQ(fetched.value().data, "x");
 }
 
+// ---- crash / shutdown behaviour ----
+
 TEST(ClusterFailureTest, DeadOwnerFallsBackToExecution) {
-  LocalCluster cluster(3, open_options);
+  LocalCluster cluster(3, open_options, RealClock::instance(),
+                       [](core::NodeId) { return fast_options(); });
   cache_on(cluster.manager(0), "/cgi-bin/doomed");
   ASSERT_TRUE(eventually([&] {
     return cluster.manager(1).directory().lookup("GET /cgi-bin/doomed").has_value();
@@ -137,13 +378,13 @@ TEST(ClusterFailureTest, DeadOwnerFallsBackToExecution) {
   cluster.group(0).stop();
 
   // Node 1's lookup sees the directory entry, fails the remote fetch, and
-  // reports a miss so the request thread executes locally.
+  // reports a miss so the request thread executes locally — counted as a
+  // fallback, not a false hit.
   auto result = cluster.manager(1).lookup(http::Method::kGet,
                                           uri_of("/cgi-bin/doomed"));
   EXPECT_EQ(result.outcome, core::LookupOutcome::kMissMustExecute);
-  // The manager only cleans the directory on kNotFound (false hit), not on
-  // connection errors — the owner may come back. Either way, no crash and
-  // the request is served by local execution.
+  EXPECT_EQ(cluster.manager(1).stats().fallback_executions, 1u);
+  EXPECT_EQ(cluster.manager(1).stats().false_hits, 0u);
 }
 
 TEST(ClusterFailureTest, FetchOfUnknownNodeFails) {
@@ -164,12 +405,15 @@ TEST(ClusterFailureTest, StopIsIdempotentAndSafeConcurrently) {
 }
 
 TEST(ClusterFailureTest, BroadcastWhilePeerDownIsLossyNotFatal) {
-  LocalCluster cluster(2, open_options);
+  LocalCluster cluster(2, open_options, RealClock::instance(),
+                       [](core::NodeId) { return fast_options(); });
   cluster.group(1).stop();  // peer down before the broadcast
 
   cache_on(cluster.manager(0), "/cgi-bin/lost");
-  // Give the sender thread a moment to try (it retries then drops).
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // The bounded retry exhausts and records the failure — no unbounded
+  // reconnect loop, no blocked request thread.
+  EXPECT_TRUE(eventually(
+      [&] { return cluster.group(0).stats().send_failures >= 1u; }));
 
   // Local node is fully functional.
   auto result =

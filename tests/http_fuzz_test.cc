@@ -1,9 +1,14 @@
-// Robustness property tests for the HTTP request parser: random bytes,
-// mutated valid requests, and adversarial chunkings must never crash,
-// never loop, and always land in a defined state (kNeedMore / kDone /
-// kError with a sensible status code).
+// Robustness property tests for the wire-facing parsers: the HTTP request
+// parser and the cluster frame codec. Random bytes, mutated valid inputs,
+// truncations, and adversarial chunkings must never crash, never loop, and
+// always land in a defined state (kNeedMore / kDone / kError with a
+// sensible status code; Result error for frames).
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
+#include "cluster/framing.h"
 #include "common/random.h"
 #include "http/parser.h"
 
@@ -147,3 +152,152 @@ TEST(UriFuzzTest, RandomTargetsNeverCrash) {
 
 }  // namespace
 }  // namespace swala::http
+
+// ---- cluster wire-protocol frames (framing.cc / message.cc) ----
+
+namespace swala::cluster {
+namespace {
+
+/// One valid frame of every message type — the seed corpus.
+std::vector<std::string> frame_corpus() {
+  core::EntryMeta meta;
+  meta.key = "GET /cgi-bin/query?x=1";
+  meta.owner = 2;
+  meta.size_bytes = 512;
+  meta.cost_seconds = 1.25;
+  meta.insert_time = 1000;
+  meta.expire_time = 2000;
+  meta.version = 7;
+
+  std::vector<std::string> corpus;
+  corpus.push_back(encode_message(Message::hello(1)));
+  corpus.push_back(encode_message(Message::insert(2, meta)));
+  corpus.push_back(encode_message(Message::erase(3, meta.key, 7)));
+  corpus.push_back(encode_message(Message::fetch_req(1, meta.key)));
+  corpus.push_back(
+      encode_message(Message::fetch_resp_found(2, meta, "payload bytes")));
+  corpus.push_back(encode_message(Message::fetch_resp_miss(2)));
+  corpus.push_back(encode_message(Message::invalidate(0, "/cgi-bin/*")));
+  corpus.push_back(encode_message(Message::sync_req(4)));
+  return corpus;
+}
+
+/// Loopback pair for exercising read_message against hostile writers.
+struct StreamPair {
+  net::TcpStream writer;
+  net::TcpStream reader;
+};
+
+StreamPair make_pair_or_die() {
+  auto listener = net::TcpListener::listen({"127.0.0.1", 0});
+  EXPECT_TRUE(listener.is_ok());
+  auto writer = net::TcpStream::connect(
+      {"127.0.0.1", listener.value().local_port()}, 2000);
+  EXPECT_TRUE(writer.is_ok());
+  auto reader = listener.value().accept(2000);
+  EXPECT_TRUE(reader.is_ok());
+  EXPECT_TRUE(reader.value().set_recv_timeout(2000).is_ok());
+  return {std::move(writer.value()), std::move(reader.value())};
+}
+
+TEST(ClusterFrameFuzzTest, DecodeRandomPayloadsNeverCrash) {
+  Rng rng(0xC1A57E12);
+  for (int round = 0; round < 2000; ++round) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 256));
+    std::string junk(len, '\0');
+    for (auto& c : junk) c = static_cast<char>(rng.uniform_int(0, 255));
+    // Must return a Status, never crash, hang, or over-read.
+    (void)decode_message(junk);
+  }
+}
+
+TEST(ClusterFrameFuzzTest, DecodeMutatedValidPayloadsNeverCrash) {
+  const auto corpus = frame_corpus();
+  Rng rng(0xBADF00D);
+  for (int round = 0; round < 2000; ++round) {
+    // Payload = frame minus the 4-byte length prefix.
+    std::string payload =
+        corpus[static_cast<std::size_t>(rng.uniform_int(
+                   0, static_cast<std::int64_t>(corpus.size()) - 1))]
+            .substr(4);
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations && !payload.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(payload.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          payload[pos] = static_cast<char>(rng.uniform_int(0, 255));
+          break;
+        case 1:
+          payload.erase(pos, 1);
+          break;
+        case 2:
+          payload.insert(pos, 1, payload[pos]);
+          break;
+      }
+    }
+    auto decoded = decode_message(payload);
+    if (decoded.is_ok()) {
+      // Round-trip sanity: a frame that decodes must re-encode.
+      (void)encode_message(decoded.value());
+    }
+  }
+}
+
+TEST(ClusterFrameFuzzTest, TruncatedFramesOverWireAreErrors) {
+  const auto corpus = frame_corpus();
+  Rng rng(0x7126CA7E);
+  for (const auto& frame : corpus) {
+    // Every frame truncated at a few seeded points, including mid-prefix.
+    for (int cut = 0; cut < 4; ++cut) {
+      const auto keep = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(frame.size()) - 1));
+      auto pair = make_pair_or_die();
+      ASSERT_TRUE(pair.writer.write_all(frame.substr(0, keep)).is_ok());
+      pair.writer.close();  // mid-frame EOF
+      auto msg = read_message(pair.reader);
+      EXPECT_FALSE(msg.is_ok()) << "truncation at " << keep << " of "
+                                << frame.size() << " decoded as a message";
+    }
+  }
+}
+
+TEST(ClusterFrameFuzzTest, FragmentedFramesReassemble) {
+  const auto corpus = frame_corpus();
+  Rng rng(0xF4A63E17);
+  for (const auto& frame : corpus) {
+    for (int round = 0; round < 3; ++round) {
+      auto pair = make_pair_or_die();
+      // Write the frame in random fragments from a second thread while the
+      // reader blocks in read_message — exercises partial-read paths.
+      std::thread writer([&] {
+        std::size_t pos = 0;
+        while (pos < frame.size()) {
+          const auto chunk = static_cast<std::size_t>(rng.uniform_int(
+              1, static_cast<std::int64_t>(frame.size() - pos)));
+          ASSERT_TRUE(
+              pair.writer.write_all(frame.substr(pos, chunk)).is_ok());
+          pos += chunk;
+        }
+      });
+      auto msg = read_message(pair.reader);
+      writer.join();
+      ASSERT_TRUE(msg.is_ok()) << msg.status().to_string();
+      EXPECT_EQ(encode_message(msg.value()), frame);
+    }
+  }
+}
+
+TEST(ClusterFrameFuzzTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  auto pair = make_pair_or_die();
+  // 1 GiB length prefix (little-endian), then nothing.
+  const char huge[4] = {0, 0, 0, 0x40};
+  ASSERT_TRUE(pair.writer.write_all({huge, 4}).is_ok());
+  auto msg = read_message(pair.reader);
+  ASSERT_FALSE(msg.is_ok());
+  // Rejected by the kMaxFrameBytes guard, not by trying (and failing) to
+  // read a gigabyte.
+}
+
+}  // namespace
+}  // namespace swala::cluster

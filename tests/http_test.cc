@@ -489,5 +489,58 @@ TEST(ClientTest, ConnectFailureSurfaces) {
   EXPECT_FALSE(resp.is_ok());
 }
 
+// A server that hangs up mid-body (declared Content-Length, short payload)
+// must surface a truncation error, not a silent short success — otherwise a
+// crashed backend looks like a complete document and could be cached.
+TEST(ClientTest, TruncatedBodyIsErrorNotShortSuccess) {
+  auto listener = net::TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const net::InetAddress addr{"127.0.0.1", listener.value().local_port()};
+
+  std::thread server([&] {
+    auto conn = listener.value().accept(2000);
+    ASSERT_TRUE(conn.is_ok());
+    char buf[4096];
+    ASSERT_TRUE(conn.value().read_some(buf, sizeof(buf)).is_ok());
+    // Promise 100 bytes, deliver 10, then hang up.
+    ASSERT_TRUE(conn.value()
+                    .write_all("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n"
+                               "Connection: close\r\n\r\n0123456789")
+                    .is_ok());
+  });
+
+  HttpClient client(addr, 2000);
+  auto resp = client.get("/partial");
+  ASSERT_FALSE(resp.is_ok()) << "short body accepted as success";
+  EXPECT_EQ(resp.status().code(), StatusCode::kClosed)
+      << resp.status().to_string();
+  server.join();
+}
+
+// Without Content-Length the body is legitimately EOF-delimited (HTTP/1.0
+// style); connection close then means "complete", not truncation.
+TEST(ClientTest, EofDelimitedBodyWithoutContentLengthIsComplete) {
+  auto listener = net::TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const net::InetAddress addr{"127.0.0.1", listener.value().local_port()};
+
+  std::thread server([&] {
+    auto conn = listener.value().accept(2000);
+    ASSERT_TRUE(conn.is_ok());
+    char buf[4096];
+    ASSERT_TRUE(conn.value().read_some(buf, sizeof(buf)).is_ok());
+    ASSERT_TRUE(conn.value()
+                    .write_all("HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n"
+                               "streamed until close")
+                    .is_ok());
+  });
+
+  HttpClient client(addr, 2000);
+  auto resp = client.get("/streamed");
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_EQ(resp.value().body, "streamed until close");
+  server.join();
+}
+
 }  // namespace
 }  // namespace swala::http

@@ -99,6 +99,62 @@ TEST(TcpTest, ReadExactFailsOnEarlyClose) {
   EXPECT_EQ(st.code(), StatusCode::kClosed);
 }
 
+TEST(TcpTest, WriteToResetConnectionIsClosedNotIoError) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const InetAddress addr{"127.0.0.1", listener.value().local_port()};
+
+  auto client = TcpStream::connect(addr, 2000);
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value().accept(2000);
+  ASSERT_TRUE(server.is_ok());
+
+  // Force an RST: close with unread data pending (SO_LINGER 0 is not
+  // needed — closing a socket with data in the receive queue resets).
+  ASSERT_TRUE(client.value().write_all("unread").is_ok());
+  server.value().close();
+
+  // First write may succeed (fills the kernel buffer before the RST is
+  // seen); keep writing until the peer-gone error surfaces. It must be
+  // kClosed — EPIPE/ECONNRESET are "peer is gone", not generic I/O faults.
+  Status last = Status::ok();
+  for (int i = 0; i < 200 && last.is_ok(); ++i) {
+    last = client.value().write_all(std::string(4096, 'x'));
+  }
+  ASSERT_FALSE(last.is_ok()) << "peer close never surfaced";
+  EXPECT_EQ(last.code(), StatusCode::kClosed) << last.to_string();
+}
+
+TEST(TcpTest, ReadFromResetConnectionIsClosedNotIoError) {
+  auto listener = TcpListener::listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.is_ok());
+  const InetAddress addr{"127.0.0.1", listener.value().local_port()};
+
+  auto client = TcpStream::connect(addr, 2000);
+  ASSERT_TRUE(client.is_ok());
+  auto server = listener.value().accept(2000);
+  ASSERT_TRUE(server.is_ok());
+
+  // Close with unread inbound data → RST instead of orderly FIN.
+  ASSERT_TRUE(client.value().write_all("x").is_ok());
+  ASSERT_TRUE(server.value().write_all("unread-by-client").is_ok());
+  client.value().close();
+
+  char buf[64];
+  // Drain whatever was buffered; the reset must arrive as kClosed (or an
+  // orderly EOF if the kernel raced the close), never kIoError.
+  for (int i = 0; i < 10; ++i) {
+    auto n = server.value().read_some(buf, sizeof(buf));
+    if (n.is_ok()) {
+      if (n.value() == 0) return;  // orderly EOF — acceptable
+      continue;
+    }
+    EXPECT_EQ(n.status().code(), StatusCode::kClosed) << n.status().to_string();
+    return;
+  }
+  FAIL() << "neither EOF nor reset surfaced";
+}
+
 TEST(TcpTest, ConnectToClosedPortFails) {
   // Bind then immediately close to get a (very likely) dead port.
   std::uint16_t port;

@@ -4,6 +4,7 @@
 
 #include "cgi/registry.h"
 #include "cgi/scripted.h"
+#include "cluster/local_cluster.h"
 #include "http/client.h"
 #include "server/swala_server.h"
 
@@ -132,6 +133,33 @@ TEST_F(AdminTest, InvalidateWithoutPatternIs400) {
   auto resp = client_->get("/swala-admin/invalidate");
   ASSERT_TRUE(resp.is_ok());
   EXPECT_EQ(resp.value().status, 400);
+}
+
+// A clustered node's /swala-status must expose the failure-model state:
+// cluster counters, the fallback stat, and per-peer breaker health.
+TEST(AdminClusterTest, StatusReportsPeerHealth) {
+  cluster::LocalCluster cluster(
+      2, [](core::NodeId) { return cache_options(); });
+
+  SwalaServerOptions options;
+  options.request_threads = 2;
+  options.enable_admin = true;
+  SwalaServer server(options, make_registry(), &cluster.manager(0));
+  server.set_group(&cluster.group(0));
+  ASSERT_TRUE(server.start().is_ok());
+
+  http::HttpClient client(server.address());
+  auto status = client.get("/swala-status");
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_EQ(status.value().status, 200);
+  const std::string& body = status.value().body;
+  EXPECT_NE(body.find("\"cluster_remote_fetches\":"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"cluster_probes_sent\":"), std::string::npos);
+  EXPECT_NE(body.find("\"cluster_resyncs_requested\":"), std::string::npos);
+  EXPECT_NE(body.find("\"cache_fallback_executions\":"), std::string::npos);
+  EXPECT_NE(body.find("\"cluster_peers\": ["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"state\": \"healthy\""), std::string::npos) << body;
+  server.stop();
 }
 
 TEST(AdminDisabledTest, EndpointsInvisibleByDefault) {

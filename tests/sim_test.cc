@@ -182,6 +182,78 @@ TEST(ClusterSimTest, CooperativeUsesRemoteHits) {
   EXPECT_GT(report.cache.remote_hits, 0u);
 }
 
+// ---- fault injection under virtual time ----
+
+TEST(ClusterSimTest, DroppedBroadcastsCauseFalseMissesInSim) {
+  const auto trace = mix_trace();
+  SimConfig clean;
+  clean.nodes = 4;
+  clean.client_streams = 8;
+
+  SimConfig lossy = clean;
+  cluster::FaultInjector faults(/*seed=*/11);
+  cluster::FaultRule rule;
+  rule.type = cluster::MsgType::kInsert;
+  rule.kind = cluster::FaultKind::kDrop;
+  rule.probability = 0.5;
+  faults.add_rule(rule);
+  lossy.faults = &faults;
+
+  const auto clean_report = run_cluster_sim(trace, clean);
+  const auto lossy_report = run_cluster_sim(trace, lossy);
+  EXPECT_GT(faults.faults_injected(), 0u);
+  // Lost directory updates mean peers re-execute work they would have
+  // shared: strictly more false misses (duplicate caching) than a clean run.
+  EXPECT_GT(lossy_report.cache.false_misses, clean_report.cache.false_misses);
+  EXPECT_EQ(lossy_report.requests_completed, clean_report.requests_completed);
+}
+
+TEST(ClusterSimTest, BlackholedFetchesFallBackInSim) {
+  const auto trace = mix_trace();
+  SimConfig config;
+  config.nodes = 4;
+  config.client_streams = 8;
+  cluster::FaultInjector faults(/*seed=*/23);
+  cluster::FaultRule rule;
+  rule.type = cluster::MsgType::kFetchReq;
+  rule.kind = cluster::FaultKind::kBlackhole;
+  faults.add_rule(rule);
+  config.faults = &faults;
+
+  const auto report = run_cluster_sim(trace, config);
+  // Every remote fetch times out and falls back to local execution: no
+  // remote hits, fallbacks counted, and every request still completes.
+  EXPECT_EQ(report.cache.remote_hits, 0u);
+  EXPECT_GT(report.cache.fallback_executions, 0u);
+  EXPECT_EQ(report.requests_completed, trace.size());
+}
+
+TEST(ClusterSimTest, FaultRunsAreDeterministic) {
+  const auto trace = mix_trace(800, 500);
+  SimConfig config;
+  config.nodes = 4;
+  config.client_streams = 8;
+
+  auto run_with_faults = [&](unsigned seed) {
+    cluster::FaultInjector faults(seed);
+    cluster::FaultRule rule;
+    rule.type = cluster::MsgType::kInsert;
+    rule.kind = cluster::FaultKind::kDrop;
+    rule.probability = 0.3;
+    faults.add_rule(rule);
+    SimConfig c = config;
+    c.faults = &faults;
+    return run_cluster_sim(trace, c);
+  };
+
+  const auto a = run_with_faults(99);
+  const auto b = run_with_faults(99);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.cache.hits(), b.cache.hits());
+  EXPECT_EQ(a.cache.false_misses, b.cache.false_misses);
+  EXPECT_EQ(a.cache.fallback_executions, b.cache.fallback_executions);
+}
+
 TEST(ClusterSimTest, Deterministic) {
   const auto trace = mix_trace(800, 500);
   SimConfig config;
