@@ -21,4 +21,40 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+namespace {
+
+struct Crc32cTable {
+  std::uint32_t entries[256];
+
+  Crc32cTable() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& crc_table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_continue(std::uint32_t state, std::string_view data) {
+  const auto& table = crc_table().entries;
+  std::uint32_t crc = ~state;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(std::string_view data) {
+  return crc32c_continue(0, data);
+}
+
 }  // namespace swala

@@ -19,4 +19,14 @@ std::uint64_t fnv1a64_continue(std::uint64_t state, std::string_view data);
 /// Cheap 64-bit integer mix (splitmix64 finalizer); good avalanche.
 std::uint64_t mix64(std::uint64_t x);
 
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) over a
+/// byte string. Used by the durable cache-file format to detect torn writes
+/// and silent corruption; table-driven software implementation, no SSE4.2
+/// dependency.
+std::uint32_t crc32c(std::string_view data);
+
+/// Continue a CRC-32C (for checksumming several buffers as one stream).
+/// `state` is the value returned by a previous call (or 0 to start).
+std::uint32_t crc32c_continue(std::uint32_t state, std::string_view data);
+
 }  // namespace swala

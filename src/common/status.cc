@@ -15,6 +15,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kInternal: return "internal";
     case StatusCode::kPermissionDenied: return "permission_denied";
     case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kCorrupt: return "corrupt";
   }
   return "unknown";
 }

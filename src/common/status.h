@@ -24,6 +24,7 @@ enum class StatusCode {
   kInternal,
   kPermissionDenied,
   kResourceExhausted,
+  kCorrupt,  ///< stored data failed integrity verification (bad magic/CRC)
 };
 
 /// Human-readable name of a `StatusCode` ("ok", "not_found", ...).

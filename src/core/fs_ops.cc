@@ -1,0 +1,295 @@
+#include "core/fs_ops.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace swala::core {
+
+const char* fs_op_name(FsOp op) {
+  switch (op) {
+    case FsOp::kOpen: return "open";
+    case FsOp::kRead: return "read";
+    case FsOp::kWrite: return "write";
+    case FsOp::kFsync: return "fsync";
+    case FsOp::kRename: return "rename";
+    case FsOp::kUnlink: return "unlink";
+    case FsOp::kMkdir: return "mkdir";
+  }
+  return "unknown";
+}
+
+int FsOps::open(const char* path, int flags, int mode) {
+  // Close-on-exec: cache-file descriptors must not leak into fork+exec'd
+  // CGI children (fd exhaustion, files held open past erase).
+  return ::open(path, flags | O_CLOEXEC, mode);
+}
+
+ssize_t FsOps::read(int fd, void* buf, std::size_t count) {
+  return ::read(fd, buf, count);
+}
+
+ssize_t FsOps::write(int fd, const void* buf, std::size_t count) {
+  return ::write(fd, buf, count);
+}
+
+int FsOps::fsync(int fd) { return ::fsync(fd); }
+
+int FsOps::close(int fd) { return ::close(fd); }
+
+int FsOps::rename(const char* from, const char* to) {
+  return ::rename(from, to);
+}
+
+int FsOps::unlink(const char* path) { return ::unlink(path); }
+
+int FsOps::mkdir(const char* path, int mode) {
+  return ::mkdir(path, static_cast<mode_t>(mode));
+}
+
+FsOps* FsOps::real() {
+  static FsOps instance;
+  return &instance;
+}
+
+// ---- FaultingFsOps ----
+
+FaultingFsOps::FaultingFsOps(std::uint64_t seed) : rng_(seed) {}
+
+void FaultingFsOps::add_rule(FsFaultRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(ActiveRule{std::move(rule)});
+}
+
+void FaultingFsOps::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  crashed_ = false;
+}
+
+bool FaultingFsOps::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+void FaultingFsOps::reset_crash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = false;
+}
+
+std::uint64_t FaultingFsOps::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_injected_;
+}
+
+std::optional<FaultingFsOps::Decision> FaultingFsOps::decide(
+    FsOp op, const char* path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return Decision{FsFaultKind::kError, EIO};
+  for (auto& active : rules_) {
+    const FsFaultRule& rule = active.rule;
+    if (rule.op.has_value() && *rule.op != op) continue;
+    if (!rule.path_substr.empty() && path != nullptr &&
+        std::strstr(path, rule.path_substr.c_str()) == nullptr) {
+      continue;
+    }
+    ++active.matched;
+    if (active.matched <= rule.skip) return std::nullopt;
+    if (rule.count != 0 && active.fired >= rule.count) continue;
+    if (rule.probability < 1.0 && !rng_.bernoulli(rule.probability)) {
+      return std::nullopt;
+    }
+    ++active.fired;
+    ++faults_injected_;
+    if (rule.kind == FsFaultKind::kCrash) crashed_ = true;
+    return Decision{rule.kind, rule.error_no};
+  }
+  return std::nullopt;
+}
+
+int FaultingFsOps::open(const char* path, int flags, int mode) {
+  if (const auto fault = decide(FsOp::kOpen, path)) {
+    errno = fault->kind == FsFaultKind::kError ? fault->error_no : EIO;
+    return -1;
+  }
+  return FsOps::open(path, flags, mode);
+}
+
+ssize_t FaultingFsOps::read(int fd, void* buf, std::size_t count) {
+  if (const auto fault = decide(FsOp::kRead, nullptr)) {
+    errno = fault->kind == FsFaultKind::kError ? fault->error_no : EIO;
+    return -1;
+  }
+  return FsOps::read(fd, buf, count);
+}
+
+ssize_t FaultingFsOps::write(int fd, const void* buf, std::size_t count) {
+  const auto fault = decide(FsOp::kWrite, nullptr);
+  if (!fault) return FsOps::write(fd, buf, count);
+  switch (fault->kind) {
+    case FsFaultKind::kError:
+      errno = fault->error_no;
+      return -1;
+    case FsFaultKind::kShortWrite: {
+      const std::size_t half = count > 1 ? count / 2 : count;
+      return FsOps::write(fd, buf, half);
+    }
+    case FsFaultKind::kCrash: {
+      // The dying process got a prefix to the disk; the tail is lost.
+      if (count > 1) (void)FsOps::write(fd, buf, count / 2);
+      errno = EIO;
+      return -1;
+    }
+  }
+  errno = EIO;
+  return -1;
+}
+
+int FaultingFsOps::fsync(int fd) {
+  if (const auto fault = decide(FsOp::kFsync, nullptr)) {
+    errno = fault->kind == FsFaultKind::kError ? fault->error_no : EIO;
+    return -1;
+  }
+  return FsOps::fsync(fd);
+}
+
+int FaultingFsOps::close(int fd) {
+  // close() always releases the descriptor; injecting here would leak fds in
+  // the caller. Crash mode still fails it (the process is "gone").
+  if (crashed()) {
+    (void)FsOps::close(fd);
+    errno = EIO;
+    return -1;
+  }
+  return FsOps::close(fd);
+}
+
+int FaultingFsOps::rename(const char* from, const char* to) {
+  if (const auto fault = decide(FsOp::kRename, to)) {
+    errno = fault->kind == FsFaultKind::kError ? fault->error_no : EIO;
+    return -1;
+  }
+  return FsOps::rename(from, to);
+}
+
+int FaultingFsOps::unlink(const char* path) {
+  if (const auto fault = decide(FsOp::kUnlink, path)) {
+    errno = fault->kind == FsFaultKind::kError ? fault->error_no : EIO;
+    return -1;
+  }
+  return FsOps::unlink(path);
+}
+
+int FaultingFsOps::mkdir(const char* path, int mode) {
+  if (const auto fault = decide(FsOp::kMkdir, path)) {
+    errno = fault->kind == FsFaultKind::kError ? fault->error_no : EIO;
+    return -1;
+  }
+  return FsOps::mkdir(path, mode);
+}
+
+// ---- durable-write helpers ----
+
+namespace {
+
+std::string parent_dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status errno_status(const std::string& what) {
+  return Status(StatusCode::kIoError, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status fsync_parent_dir(FsOps* fs, const std::string& path) {
+  if (fs == nullptr) fs = FsOps::real();
+  const std::string dir = parent_dir_of(path);
+  const int fd = fs->open(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
+  if (fd < 0) return errno_status("open dir " + dir);
+  const int rc = fs->fsync(fd);
+  const int saved = errno;
+  (void)fs->close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return errno_status("fsync dir " + dir);
+  }
+  return Status::ok();
+}
+
+Status write_file_atomic(FsOps* fs, const std::string& path,
+                         std::string_view content) {
+  if (fs == nullptr) fs = FsOps::real();
+  const std::string tmp = path + ".tmp";
+  const int fd = fs->open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_status("open " + tmp);
+
+  const auto fail = [&](const std::string& what) {
+    const int saved = errno;
+    (void)fs->close(fd);
+    (void)fs->unlink(tmp.c_str());
+    errno = saved;
+    return errno_status(what);
+  };
+
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = fs->write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write " + tmp);
+    }
+    if (n == 0) {
+      errno = EIO;
+      return fail("write " + tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (fs->fsync(fd) != 0) return fail("fsync " + tmp);
+  if (fs->close(fd) != 0) {
+    const int saved = errno;
+    (void)fs->unlink(tmp.c_str());
+    errno = saved;
+    return errno_status("close " + tmp);
+  }
+  if (fs->rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    (void)fs->unlink(tmp.c_str());
+    errno = saved;
+    return errno_status("rename " + tmp);
+  }
+  return fsync_parent_dir(fs, path);
+}
+
+Status make_dirs(FsOps* fs, const std::string& path) {
+  if (fs == nullptr) fs = FsOps::real();
+  if (path.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty directory path");
+  }
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const auto slash = path.find('/', pos);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    prefix = path.substr(0, end);
+    pos = end + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (fs->mkdir(prefix.c_str(), 0755) == 0 || errno == EEXIST) {
+      if (slash == std::string::npos) break;
+      continue;
+    }
+    return errno_status("mkdir " + prefix);
+  }
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status(StatusCode::kIoError, "not a directory: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace swala::core

@@ -1,0 +1,152 @@
+// FsOps: the filesystem twin of cluster/transport.h's FaultInjector. Every
+// syscall the durable cache path performs (open/read/write/fsync/close/
+// rename/unlink/mkdir) flows through one FsOps object, so a single seeded
+// FaultingFsOps can inject EIO, ENOSPC, short writes and crash-at-op
+// truncation per operation / path / sequence position — which is what makes
+// disk-failure behaviour testable without pulling real disks.
+//
+// Production code uses `FsOps::real()`, a stateless passthrough to the libc
+// calls. Tests construct a FaultingFsOps, add rules, and hand it to
+// DiskBackend (via ManagerOptions::fs_ops or the DiskBackend constructor).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace swala::core {
+
+/// Which filesystem operation a fault rule matches.
+enum class FsOp {
+  kOpen,
+  kRead,
+  kWrite,
+  kFsync,
+  kRename,
+  kUnlink,
+  kMkdir,
+};
+
+const char* fs_op_name(FsOp op);
+
+/// Syscall-shaped filesystem interface. The base class delegates straight to
+/// libc; FaultingFsOps overrides `decide` hooks to corrupt the outcome.
+/// All methods follow the libc contract (-1 + errno on failure).
+class FsOps {
+ public:
+  virtual ~FsOps() = default;
+
+  virtual int open(const char* path, int flags, int mode);
+  virtual ssize_t read(int fd, void* buf, std::size_t count);
+  virtual ssize_t write(int fd, const void* buf, std::size_t count);
+  virtual int fsync(int fd);
+  virtual int close(int fd);
+  virtual int rename(const char* from, const char* to);
+  virtual int unlink(const char* path);
+  virtual int mkdir(const char* path, int mode);
+
+  /// The shared passthrough instance production code uses.
+  static FsOps* real();
+};
+
+/// What an injected fault does to the matched operation.
+enum class FsFaultKind {
+  /// Fail with `error_no` (EIO, ENOSPC, ...); the operation has no effect.
+  kError,
+  /// Write only half the requested bytes and report the short count. The
+  /// caller's retry loop normally recovers; combine with a follow-up kError
+  /// rule to model a disk that degrades mid-write.
+  kShortWrite,
+  /// Simulate the process dying at this operation: a write persists only a
+  /// prefix (the torn tail is lost), then this and every later operation
+  /// fails with EIO until `reset_crash()`. The test then rebuilds the
+  /// backend over the same directory, exactly like a restart after SIGKILL.
+  kCrash,
+};
+
+/// One injection rule, matched in insertion order (first match decides).
+/// `skip` lets that many matching operations pass before the rule starts
+/// firing and `count` bounds the firings (0 = forever), so a test can target
+/// "the 3rd write of the 2nd put" deterministically.
+struct FsFaultRule {
+  std::optional<FsOp> op;             ///< nullopt = any operation
+  std::string path_substr;            ///< only paths containing this; "" = any
+                                      ///< (fd-only ops match any rule path)
+  FsFaultKind kind = FsFaultKind::kError;
+  int error_no = 5;                   ///< EIO; kError only
+  std::uint64_t skip = 0;             ///< matches to let pass first
+  std::uint64_t count = 0;            ///< firings allowed; 0 = forever
+  double probability = 1.0;           ///< seeded coin after skip/count
+};
+
+/// Deterministic, thread-safe faulting filesystem. All randomness comes from
+/// one seeded Rng, so a failure scenario replays bit-for-bit given the same
+/// seed and operation order.
+class FaultingFsOps final : public FsOps {
+ public:
+  explicit FaultingFsOps(std::uint64_t seed = 0xD15CFA11u);
+
+  void add_rule(FsFaultRule rule);
+  void clear();
+
+  /// True once a kCrash rule fired; every operation fails until reset.
+  bool crashed() const;
+  void reset_crash();
+
+  /// Total faults fired so far (tests assert the scenario actually ran).
+  std::uint64_t faults_injected() const;
+
+  int open(const char* path, int flags, int mode) override;
+  ssize_t read(int fd, void* buf, std::size_t count) override;
+  ssize_t write(int fd, const void* buf, std::size_t count) override;
+  int fsync(int fd) override;
+  int close(int fd) override;
+  int rename(const char* from, const char* to) override;
+  int unlink(const char* path) override;
+  int mkdir(const char* path, int mode) override;
+
+ private:
+  struct ActiveRule {
+    FsFaultRule rule;
+    std::uint64_t matched = 0;
+    std::uint64_t fired = 0;
+  };
+
+  struct Decision {
+    FsFaultKind kind;
+    int error_no;
+  };
+
+  /// Consults the rules for one operation; nullopt = proceed normally.
+  std::optional<Decision> decide(FsOp op, const char* path);
+
+  mutable std::mutex mutex_;
+  Rng rng_;                        // guarded by mutex_
+  std::vector<ActiveRule> rules_;  // guarded by mutex_
+  bool crashed_ = false;           // guarded by mutex_
+  std::uint64_t faults_injected_ = 0;
+};
+
+/// Atomically and durably replaces `path` with `content`: temp file in the
+/// same directory → write → fsync → rename → fsync(directory). On any
+/// failure the temp file is unlinked and `path` is untouched, so a reader
+/// always sees either the old or the new content, never a torn mix.
+/// `fs` may be null (uses FsOps::real()).
+Status write_file_atomic(FsOps* fs, const std::string& path,
+                         std::string_view content);
+
+/// fsyncs the directory containing `path` so a preceding rename is durable.
+Status fsync_parent_dir(FsOps* fs, const std::string& path);
+
+/// Creates `path` and every missing parent (mkdir -p). Existing directories
+/// are fine; anything else (a file in the way, permission denied) is an
+/// error naming the failing component.
+Status make_dirs(FsOps* fs, const std::string& path);
+
+}  // namespace swala::core

@@ -12,12 +12,15 @@ CacheManager::CacheManager(NodeId self, std::size_t num_nodes,
   if (options_.disk_dir.empty()) {
     backend = std::make_unique<MemoryBackend>();
   } else {
-    backend = std::make_unique<DiskBackend>(options_.disk_dir);
+    backend = std::make_unique<DiskBackend>(options_.disk_dir,
+                                            options_.fs_ops);
   }
   store_ = std::make_unique<CacheStore>(options_.limits, options_.policy,
                                         std::move(backend), clock_, self_);
   directory_ = std::make_unique<CacheDirectory>(self_, num_nodes, locking);
   directory_->set_clock(clock_);
+  restore_pending_.store(!options_.state_file.empty(),
+                         std::memory_order_relaxed);
 }
 
 CacheKey CacheManager::key_for(http::Method method, const http::Uri& uri) {
@@ -107,6 +110,13 @@ void CacheManager::complete(http::Method method, const http::Uri& uri,
 
   const CacheKey key = key_for(method, uri);
 
+  // Disk gone bad: serve uncacheable instead of hammering a failing device
+  // on every request (the response itself was already produced).
+  if (degraded_should_skip()) {
+    degraded_skips_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   // Commit section: the store insert, the eviction victims' directory
   // erases, the new entry's directory insert, and all broadcast enqueues
   // publish as one unit. The victims' versions are read and applied inside
@@ -126,6 +136,8 @@ void CacheManager::complete(http::Method method, const http::Uri& uri,
     }
   }
 
+  record_insert_outcome(!inserted &&
+                        inserted.status().code() == StatusCode::kIoError);
   if (!inserted) {
     SWALA_LOG(Debug) << "insert rejected: " << inserted.status().to_string();
     if (!evicted.empty()) ++commit_seq_;
@@ -177,14 +189,73 @@ Result<CachedResult> CacheManager::serve_peer_fetch(const std::string& key) {
 }
 
 std::size_t CacheManager::purge_expired() {
-  std::lock_guard<std::mutex> commit(commit_mutex_);
-  const auto purged = store_->purge_expired();
-  for (const auto& meta : purged) {
-    directory_->apply_erase(self_, meta.key, meta.version);
-    if (bus_ != nullptr) bus_->broadcast_erase(self_, meta.key, meta.version);
+  std::size_t count = 0;
+  {
+    std::lock_guard<std::mutex> commit(commit_mutex_);
+    const auto purged = store_->purge_expired();
+    for (const auto& meta : purged) {
+      directory_->apply_erase(self_, meta.key, meta.version);
+      if (bus_ != nullptr) bus_->broadcast_erase(self_, meta.key, meta.version);
+    }
+    if (!purged.empty()) ++commit_seq_;
+    count = purged.size();
   }
-  if (!purged.empty()) ++commit_seq_;
-  return purged.size();
+  // Outside the commit mutex: a slow disk during the checkpoint must not
+  // stall request threads (the store serializes itself internally).
+  maybe_checkpoint();
+  return count;
+}
+
+bool CacheManager::degraded_should_skip() {
+  if (!degraded_.load(std::memory_order_relaxed)) return false;
+  const auto n = degraded_attempts_.fetch_add(1, std::memory_order_relaxed);
+  const int every = options_.degraded_probe_every > 0
+                        ? options_.degraded_probe_every
+                        : 1;
+  return n % static_cast<std::uint64_t>(every) != 0;  // probe occasionally
+}
+
+void CacheManager::record_insert_outcome(bool io_failure) {
+  if (!io_failure) {
+    consecutive_put_failures_.store(0, std::memory_order_relaxed);
+    if (degraded_.exchange(false, std::memory_order_relaxed)) {
+      SWALA_LOG(Info) << "node " << self_
+                      << ": cache store recovered; caching re-enabled";
+    }
+    return;
+  }
+  disk_errors_.fetch_add(1, std::memory_order_relaxed);
+  const int failures =
+      consecutive_put_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures >= options_.disk_failure_threshold &&
+      !degraded_.exchange(true, std::memory_order_relaxed)) {
+    SWALA_LOG(Error) << "node " << self_ << ": " << failures
+                     << " consecutive disk failures; cache store degraded to "
+                        "serve-uncacheable mode";
+  }
+}
+
+void CacheManager::maybe_checkpoint() {
+  if (options_.state_file.empty()) return;
+  // The purge daemon can tick before the warm restore; checkpointing then
+  // would overwrite the manifest the restore is about to read.
+  if (restore_pending_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(durability_mutex_);
+    const TimeNs now = clock_->now();
+    if (last_checkpoint_time_ != 0 &&
+        to_seconds(now - last_checkpoint_time_) <
+            options_.checkpoint_interval_seconds) {
+      return;
+    }
+    last_checkpoint_time_ = now;
+  }
+  if (auto st = store_->save_manifest(options_.state_file); st.is_ok()) {
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    SWALA_LOG(Warn) << "manifest checkpoint failed: " << st.to_string();
+  }
 }
 
 std::size_t CacheManager::invalidate(const std::string& pattern) {
@@ -230,13 +301,41 @@ Result<std::size_t> CacheManager::restore_state(
     const std::string& manifest_path) {
   std::lock_guard<std::mutex> commit(commit_mutex_);
   auto restored = store_->load_manifest(manifest_path);
-  if (!restored) return restored.status();
+  if (!restored &&
+      restored.status().code() != StatusCode::kNotFound) {
+    // Unreadable or newer-format manifest: leave the directory contents
+    // alone (no scrub — a rollback must not destroy a newer deployment's
+    // files) and surface the error. restore_pending_ stays set, so this
+    // process will never checkpoint over the manifest either.
+    return restored.status();
+  }
+  restore_pending_.store(false, std::memory_order_relaxed);
+  const std::size_t count = restored ? restored.value() : 0;
   for (const auto& meta : store_->resident_metas()) {
     directory_->apply_insert(meta);
     if (bus_ != nullptr) bus_->broadcast_insert(meta);
   }
+  // fsck: corrupt files were quarantined during adoption; now drop orphans
+  // (torn puts the crash cut off, entries skipped as expired) and temps.
+  // Runs even when the manifest is missing, so a first boot over a dirty
+  // directory comes up clean.
+  const ScrubReport report = store_->scrub_backend();
+  {
+    std::lock_guard<std::mutex> lock(durability_mutex_);
+    last_scrub_ = report;
+  }
+  SWALA_LOG(Info) << "restore_state: " << count << " entries restored, "
+                  << report.quarantined << " quarantined, "
+                  << report.orphans_removed << " orphans and "
+                  << report.temps_removed << " temp files removed";
   ++commit_seq_;
+  if (!restored) return restored.status();  // kNotFound: scrubbed, 0 restored
   return restored;
+}
+
+ScrubReport CacheManager::last_scrub() const {
+  std::lock_guard<std::mutex> lock(durability_mutex_);
+  return last_scrub_;
 }
 
 ConsistencyReport CacheManager::debug_check_consistency() const {
@@ -264,6 +363,11 @@ ManagerStats CacheManager::stats() const {
   s.evictions_broadcast = evictions_broadcast_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   s.fallback_executions = fallback_executions_.load(std::memory_order_relaxed);
+  s.disk_errors = disk_errors_.load(std::memory_order_relaxed);
+  s.degraded_skips = degraded_skips_.load(std::memory_order_relaxed);
+  s.store_degraded = degraded_.load(std::memory_order_relaxed) ? 1 : 0;
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.checkpoint_failures = checkpoint_failures_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -94,6 +94,20 @@ struct ManagerStats {
   /// peer, torn connection) and the request fell back to local execution.
   std::uint64_t fallback_executions = 0;
 
+  // ---- durability ----
+  /// Store inserts that failed with a disk I/O error.
+  std::uint64_t disk_errors = 0;
+  /// Inserts skipped because the store is degraded (request still served,
+  /// just uncached — the disk equivalent of fallback_executions).
+  std::uint64_t degraded_skips = 0;
+  /// 1 while the store is degraded after `disk_failure_threshold`
+  /// consecutive put failures; probe inserts eventually clear it.
+  std::uint64_t store_degraded = 0;
+  /// Successful periodic manifest checkpoints (purge-tick cadence).
+  std::uint64_t checkpoints = 0;
+  /// Checkpoint attempts that failed (manifest write error).
+  std::uint64_t checkpoint_failures = 0;
+
   std::uint64_t hits() const { return local_hits + remote_hits; }
 };
 
@@ -104,6 +118,23 @@ struct ManagerOptions {
   CacheabilityRules rules;
   /// Storage directory for the disk backend; empty selects MemoryBackend.
   std::string disk_dir;
+  /// Manifest path for periodic checkpointing; empty disables it. A crash
+  /// then loses at most `checkpoint_interval_seconds` of cache additions,
+  /// not the whole cache.
+  std::string state_file;
+  /// Minimum seconds between checkpoints. Checkpoints ride the purge tick
+  /// (purge_expired), so the effective cadence is
+  /// max(purge_interval, checkpoint_interval_seconds).
+  double checkpoint_interval_seconds = 10.0;
+  /// Consecutive insert I/O failures before the store degrades to
+  /// serve-uncacheable mode.
+  int disk_failure_threshold = 5;
+  /// While degraded, one insert in this many is attempted as a recovery
+  /// probe; a success re-enables caching.
+  int degraded_probe_every = 32;
+  /// Injectable filesystem seam threaded into the disk backend (tests).
+  /// Null = the real filesystem. Not owned.
+  FsOps* fs_ops = nullptr;
 };
 
 class CacheManager {
@@ -137,7 +168,9 @@ class CacheManager {
   Result<CachedResult> serve_peer_fetch(const std::string& key);
 
   /// Purge daemon tick: drop expired local entries, broadcast the erases.
-  /// Returns how many entries were purged.
+  /// Also the durability heartbeat: checkpoints the manifest when
+  /// `state_file` is set and the checkpoint interval has elapsed. Returns
+  /// how many entries were purged.
   std::size_t purge_expired();
 
   // ---- Invalidation (§4.2 future work, IBM-style [12]) ----
@@ -169,8 +202,24 @@ class CacheManager {
 
   /// Restores the local store from a manifest, repopulates the local
   /// directory table, and (if clustered) broadcasts the restored entries so
-  /// peers relearn them. Returns how many entries came back.
+  /// peers relearn them. Then scrubs the cache directory: corrupt files
+  /// were quarantined during adoption, orphans (files no manifest line
+  /// references — e.g. a put the crash cut off, or entries save_manifest
+  /// skipped as expired) and leftover temp files are deleted. Returns how
+  /// many entries came back; a missing manifest restores zero but still
+  /// scrubs (first boot over a dirty directory).
   Result<std::size_t> restore_state(const std::string& manifest_path);
+
+  /// What the startup scrub found (zeros before restore_state ran).
+  ScrubReport last_scrub() const;
+
+  /// Whether the storage backend is usable (cache dir creation can fail).
+  Status storage_status() const { return store_->backend_init_status(); }
+
+  /// True while inserts are suspended after repeated disk failures.
+  bool store_degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
 
   // ---- Introspection ----
 
@@ -204,6 +253,16 @@ class CacheManager {
   /// (optionally) the re-broadcast. Returns local store removals.
   std::size_t apply_invalidation(const std::string& pattern, bool rebroadcast);
 
+  /// Degradation bookkeeping around one store insert outcome. Returns true
+  /// when the insert should not even be attempted (degraded, not a probe).
+  bool degraded_should_skip();
+  void record_insert_outcome(bool io_failure);
+
+  /// Saves the manifest if `state_file` is set and the checkpoint interval
+  /// elapsed. Called from purge_expired (outside the commit mutex: the
+  /// store serializes itself, and a slow disk must not stall lookups).
+  void maybe_checkpoint();
+
   NodeId self_;
   ManagerOptions options_;
   const Clock* clock_;
@@ -222,6 +281,24 @@ class CacheManager {
       remote_hits_{0}, misses_{0}, inserts_{0}, below_threshold_{0},
       failed_exec_{0}, false_hits_{0}, false_misses_{0},
       evictions_broadcast_{0}, invalidations_{0}, fallback_executions_{0};
+
+  // ---- durability state ----
+  std::atomic<bool> degraded_{false};
+  /// Checkpointing is held off until restore_state has run (set when
+  /// `state_file` is configured): the purge daemon starts before the warm
+  /// restore, and a checkpoint of the still-empty store would overwrite the
+  /// very manifest the restore is about to read. Stays set when the restore
+  /// fails for any reason other than a missing manifest, so an unreadable or
+  /// newer-format manifest is never clobbered by this process.
+  std::atomic<bool> restore_pending_{false};
+  std::atomic<int> consecutive_put_failures_{0};
+  std::atomic<std::uint64_t> degraded_attempts_{0};  ///< probe cadence
+  std::atomic<std::uint64_t> disk_errors_{0}, degraded_skips_{0},
+      checkpoints_{0}, checkpoint_failures_{0};
+  /// Guards last_checkpoint_time_ and last_scrub_ (cold path only).
+  mutable std::mutex durability_mutex_;
+  TimeNs last_checkpoint_time_ = 0;
+  ScrubReport last_scrub_;
 };
 
 }  // namespace swala::core

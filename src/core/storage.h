@@ -4,6 +4,14 @@
 // keeps only the directory in main memory, relying on the UNIX buffer cache
 // to keep hot files in RAM (§4.1). `DiskBackend` reproduces that design;
 // `MemoryBackend` serves the simulator and unit tests.
+//
+// Durability (beyond the paper): every cache file is self-describing — a
+// fixed 32-byte header carrying magic, format version, the owning key's
+// hash, the payload length and a CRC-32C of the payload — and is written
+// atomically (temp file → write → fsync → rename → fsync(dir)). Torn writes
+// and silent corruption therefore surface as kCorrupt errors on get/adopt
+// instead of wrong bytes served to clients, and a crash can never leave a
+// half-written file under a live name.
 #pragma once
 
 #include <cstdint>
@@ -11,20 +19,56 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "core/fs_ops.h"
 
 namespace swala::core {
 
 /// Opaque handle naming a stored result.
 using StorageId = std::uint64_t;
 
+/// Cache-file header constants (little-endian, packed by hand so the layout
+/// is identical across compilers):
+///   u32 magic  u32 version  u64 key_hash  u64 payload_len
+///   u32 payload_crc32c  u32 header_crc32c(first 28 bytes)
+constexpr std::uint32_t kCacheFileMagic = 0x414C5753;  // "SWLA" little-endian
+constexpr std::uint32_t kCacheFormatVersion = 1;
+constexpr std::size_t kCacheHeaderSize = 32;
+
+/// Serializes a header for `payload` owned by the entry hashing to
+/// `key_hash`. Returns exactly kCacheHeaderSize bytes.
+std::string encode_cache_header(std::uint64_t key_hash,
+                                std::string_view payload);
+
+/// Validates `file` (header + payload) against the expected key hash.
+/// `expected_key_hash` of 0 skips the key check (unknown caller). Returns
+/// the payload view into `file` on success, kCorrupt on any mismatch.
+Result<std::string_view> verify_cache_file(std::string_view file,
+                                           std::uint64_t expected_key_hash);
+
+/// What the startup scrub (fsck) found and did in a cache directory.
+struct ScrubReport {
+  std::uint64_t adopted = 0;          ///< files referenced and verified
+  std::uint64_t quarantined = 0;      ///< corrupt files renamed *.corrupt
+  std::uint64_t orphans_removed = 0;  ///< unreferenced swala-*.cache unlinked
+  std::uint64_t temps_removed = 0;    ///< leftover *.tmp unlinked
+};
+
 class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
 
-  /// Persists `data` under a fresh id.
-  virtual Result<StorageId> put(std::string_view data) = 0;
+  /// Persists `data` under a fresh id. `key_hash` identifies the owning
+  /// cache key (CacheKey::hash()); durable backends bind it into the stored
+  /// format so a mis-adopted or swapped file is detectable.
+  virtual Result<StorageId> put(std::string_view data,
+                                std::uint64_t key_hash) = 0;
 
-  /// Retrieves the full content for `id`.
+  /// Convenience for callers without a key (tests, tools): hash 0 means
+  /// "unknown", which skips the key-binding check on later verification.
+  Result<StorageId> put(std::string_view data) { return put(data, 0); }
+
+  /// Retrieves the full content for `id`, verifying integrity where the
+  /// backend supports it (kCorrupt on checksum mismatch).
   virtual Result<std::string> get(StorageId id) = 0;
 
   /// Removes `id`; idempotent.
@@ -34,22 +78,39 @@ class StorageBackend {
   virtual std::uint64_t bytes_stored() const = 0;
 
   /// Re-registers content persisted by an earlier process under the same
-  /// id (warm restart). Default: unsupported.
-  virtual Status adopt(StorageId id, std::uint64_t size) {
+  /// id (warm restart), verifying size, key hash and checksum.
+  /// Default: unsupported.
+  virtual Status adopt(StorageId id, std::uint64_t size,
+                       std::uint64_t key_hash) {
     (void)id;
     (void)size;
+    (void)key_hash;
     return Status(StatusCode::kUnavailable, "backend cannot adopt");
   }
 
   /// When true, stored content survives destruction (so a later process
   /// can adopt it). Default: no-op (memory content cannot survive anyway).
   virtual void set_retain_on_destruction(bool retain) { (void)retain; }
+
+  /// Whether the backend constructed usably (e.g. its directory exists).
+  /// Default: always ok.
+  virtual Status init_status() const { return Status::ok(); }
+
+  /// Removes debris a crash may have left behind: files not adopted by the
+  /// manifest (orphans) and leftover temp files. Call after the manifest
+  /// load so the adopted set is known. Default: nothing to scrub.
+  virtual ScrubReport scrub() { return {}; }
+
+  /// Filesystem seam used for manifest writes sharing the backend's fault
+  /// injection. Default: the real filesystem.
+  virtual FsOps* fs() const { return FsOps::real(); }
 };
 
 /// Heap-backed storage for tests and the simulator.
 class MemoryBackend final : public StorageBackend {
  public:
-  Result<StorageId> put(std::string_view data) override;
+  using StorageBackend::put;
+  Result<StorageId> put(std::string_view data, std::uint64_t key_hash) override;
   Result<std::string> get(StorageId id) override;
   void erase(StorageId id) override;
   std::uint64_t bytes_stored() const override { return bytes_; }
@@ -60,31 +121,50 @@ class MemoryBackend final : public StorageBackend {
   std::uint64_t bytes_ = 0;
 };
 
-/// One file per cached result under `dir` (created if absent), named
-/// "swala-<id>.cache". Mirrors the paper's disk cache: every cache fetch is
-/// a file fetch served from the OS buffer cache when hot.
+/// One file per cached result under `dir` (created recursively if absent),
+/// named "swala-<id>.cache". Mirrors the paper's disk cache — every cache
+/// fetch is a file fetch served from the OS buffer cache when hot — with the
+/// checksummed header format and atomic-rename writes described above.
 class DiskBackend final : public StorageBackend {
  public:
-  explicit DiskBackend(std::string dir);
+  /// `fs` is the injectable filesystem seam; null = the real filesystem.
+  explicit DiskBackend(std::string dir, FsOps* fs = nullptr);
   ~DiskBackend() override;
 
-  Result<StorageId> put(std::string_view data) override;
+  using StorageBackend::put;
+  Result<StorageId> put(std::string_view data, std::uint64_t key_hash) override;
   Result<std::string> get(StorageId id) override;
   void erase(StorageId id) override;
   std::uint64_t bytes_stored() const override { return bytes_; }
-  Status adopt(StorageId id, std::uint64_t size) override;
+  Status adopt(StorageId id, std::uint64_t size,
+               std::uint64_t key_hash) override;
   void set_retain_on_destruction(bool retain) override { retain_ = retain; }
+  Status init_status() const override { return init_status_; }
+  ScrubReport scrub() override;
+  FsOps* fs() const override { return fs_; }
 
   const std::string& dir() const { return dir_; }
 
- private:
+  /// Path of the cache file backing `id` (tests corrupt files in place).
   std::string path_for(StorageId id) const;
 
+ private:
+  /// Reads the whole file at `path`; kNotFound / kIoError on failure.
+  Result<std::string> read_file(const std::string& path) const;
+
+  /// Renames a corrupt cache file to "<path>.corrupt" so it is off the
+  /// serving path but preserved for postmortem. Unlinks if rename fails.
+  void quarantine(const std::string& path);
+
   std::string dir_;
+  FsOps* fs_;
+  Status init_status_;
   StorageId next_id_ = 1;
   std::uint64_t bytes_ = 0;
   bool retain_ = false;
-  std::unordered_map<StorageId, std::uint64_t> sizes_;
+  std::uint64_t quarantined_ = 0;  ///< corrupt files renamed since start
+  std::unordered_map<StorageId, std::uint64_t> sizes_;  ///< payload bytes
+  std::unordered_map<StorageId, std::uint64_t> key_hashes_;
 };
 
 }  // namespace swala::core

@@ -36,7 +36,7 @@ Result<EntryMeta> CacheStore::insert(const CacheKey& key, std::string_view data,
 
   make_room(data.size(), evicted);
 
-  auto id = backend_->put(data);
+  auto id = backend_->put(data, key.hash());
   if (!id) return id.status();
 
   const TimeNs now = clock_->now();
@@ -187,11 +187,10 @@ void CacheStore::clear() {
 
 Status CacheStore::save_manifest(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    return Status(StatusCode::kIoError, "cannot write manifest: " + path);
-  }
+  std::string content = "swala-manifest " +
+                        std::to_string(kManifestFormatVersion) + "\n";
   const TimeNs now = clock_->now();
+  char line[4096];
   for (const auto& [key, slot] : entries_) {
     const EntryMeta& meta = slot.meta;
     if (meta.expired(now)) continue;
@@ -201,18 +200,26 @@ Status CacheStore::save_manifest(const std::string& path) const {
     const double idle = to_seconds(now - meta.last_access);
     // content_type is percent-encoded (it may contain spaces, e.g.
     // "text/html; charset=..."); the key goes last and keeps its spaces.
-    std::fprintf(file, "%llu %llu %.9f %.6f %.6f %.6f %llu %d %llu %s %s\n",
-                 static_cast<unsigned long long>(slot.storage),
-                 static_cast<unsigned long long>(meta.size_bytes),
-                 meta.cost_seconds, age, ttl_remaining, idle,
-                 static_cast<unsigned long long>(meta.access_count),
-                 meta.http_status,
-                 static_cast<unsigned long long>(meta.version),
-                 http::percent_encode(meta.content_type).c_str(), key.c_str());
+    const int n = std::snprintf(
+        line, sizeof(line), "%llu %llu %.9f %.6f %.6f %.6f %llu %d %llu %s %s\n",
+        static_cast<unsigned long long>(slot.storage),
+        static_cast<unsigned long long>(meta.size_bytes), meta.cost_seconds,
+        age, ttl_remaining, idle,
+        static_cast<unsigned long long>(meta.access_count), meta.http_status,
+        static_cast<unsigned long long>(meta.version),
+        http::percent_encode(meta.content_type).c_str(), key.c_str());
+    if (n < 0 || static_cast<std::size_t>(n) >= sizeof(line)) {
+      SWALA_LOG(Warn) << "manifest entry too long, skipped: " << key;
+      continue;
+    }
+    content.append(line, static_cast<std::size_t>(n));
   }
-  const bool ok = std::fflush(file) == 0;
-  std::fclose(file);
-  if (!ok) return Status(StatusCode::kIoError, "short manifest write");
+  // Atomic + durable replacement: a crash mid-checkpoint must leave the
+  // previous manifest readable, never a torn mix.
+  if (auto st = write_file_atomic(backend_->fs(), path, content);
+      !st.is_ok()) {
+    return st;
+  }
   backend_->set_retain_on_destruction(true);
   return Status::ok();
 }
@@ -226,6 +233,22 @@ Result<std::size_t> CacheStore::load_manifest(const std::string& path) {
   const TimeNs now = clock_->now();
   std::size_t restored = 0;
   char line[4096];
+  // Header line: refuse manifests written by a newer format. Everything on
+  // disk stays untouched (the newer version may still understand it), so a
+  // rollback never silently destroys a newer deployment's cache.
+  int version = 0;
+  if (std::fgets(line, sizeof(line), file) == nullptr ||
+      std::sscanf(line, "swala-manifest %d", &version) != 1) {
+    std::fclose(file);
+    return Status(StatusCode::kCorrupt, "manifest missing header: " + path);
+  }
+  if (version > kManifestFormatVersion) {
+    std::fclose(file);
+    return Status(StatusCode::kUnavailable,
+                  "manifest format v" + std::to_string(version) +
+                      " is newer than supported v" +
+                      std::to_string(kManifestFormatVersion));
+  }
   while (std::fgets(line, sizeof(line), file) != nullptr) {
     unsigned long long storage = 0, size = 0, accesses = 0, version = 0;
     double cost = 0, age = 0, ttl_remaining = 0, idle = 0;
@@ -242,7 +265,7 @@ Result<std::size_t> CacheStore::load_manifest(const std::string& path) {
     if (key.empty()) continue;
     if (entries_.count(key) != 0) continue;
 
-    if (auto st = backend_->adopt(storage, size); !st.is_ok()) {
+    if (auto st = backend_->adopt(storage, size, fnv1a64(key)); !st.is_ok()) {
       SWALA_LOG(Warn) << "manifest entry skipped: " << st.to_string();
       continue;
     }
@@ -276,6 +299,11 @@ Result<std::size_t> CacheStore::load_manifest(const std::string& path) {
   }
   std::fclose(file);
   return restored;
+}
+
+ScrubReport CacheStore::scrub_backend() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backend_->scrub();
 }
 
 std::size_t CacheStore::entry_count() const {

@@ -17,6 +17,10 @@
 
 namespace swala::core {
 
+/// Format version written in the manifest's header line. Bump when the line
+/// layout changes; loaders refuse versions newer than they understand.
+constexpr int kManifestFormatVersion = 1;
+
 /// Capacity limits; 0 means unlimited on that axis.
 struct StoreLimits {
   std::uint64_t max_entries = 2000;
@@ -93,13 +97,27 @@ class CacheStore {
   // A later process constructed over the same disk directory calls
   // `load_manifest`, which re-adopts the files and rebases the timestamps
   // against its own clock.
+  //
+  // The manifest starts with a "swala-manifest <version>" header line and is
+  // replaced atomically (temp → fsync → rename → fsync(dir)), so a crash
+  // mid-checkpoint leaves the previous manifest intact and a manifest from a
+  // newer format version is refused instead of misparsed.
 
   /// Persists the manifest; skips entries already expired.
   Status save_manifest(const std::string& path) const;
 
-  /// Restores entries from a manifest. Entries whose data file is missing
-  /// or whose size mismatches are skipped. Returns how many were restored.
+  /// Restores entries from a manifest. Entries whose data file is missing,
+  /// corrupt (size/key-hash/CRC mismatch — corrupt files are quarantined by
+  /// the backend) or already expired are skipped. Returns how many were
+  /// restored; kUnavailable if the manifest's format version is newer than
+  /// this build understands.
   Result<std::size_t> load_manifest(const std::string& path);
+
+  /// Backend fsck after load_manifest: quarantine/orphan/temp cleanup.
+  ScrubReport scrub_backend();
+
+  /// Whether the storage backend constructed usably (cache dir exists).
+  Status backend_init_status() const { return backend_->init_status(); }
 
   /// Removes everything.
   void clear();

@@ -17,6 +17,12 @@ Status errno_status(StatusCode code, const std::string& what) {
   return Status(code, what + ": " + std::strerror(errno));
 }
 
+// Every socket is close-on-exec: CGI children fork+exec with the parent's
+// fd table, and an inherited listening socket would keep the port bound
+// after the server dies (blocking a crash-restart) and hold client
+// connections open past their response.
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
 Result<sockaddr_in> make_sockaddr(const InetAddress& addr) {
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
@@ -46,6 +52,7 @@ Result<TcpStream> TcpStream::connect(const InetAddress& addr, int timeout_ms) {
 
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return errno_status(StatusCode::kIoError, "socket");
+  set_cloexec(fd.get());
 
   if (timeout_ms <= 0) {
     if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa.value()),
@@ -171,6 +178,7 @@ Result<TcpListener> TcpListener::listen(const InetAddress& addr, int backlog) {
 
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return errno_status(StatusCode::kIoError, "socket");
+  set_cloexec(fd.get());
 
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -202,7 +210,10 @@ Result<TcpStream> TcpListener::accept(int timeout_ms) {
   }
   for (;;) {
     const int client = ::accept(fd_.get(), nullptr, nullptr);
-    if (client >= 0) return TcpStream(UniqueFd(client));
+    if (client >= 0) {
+      set_cloexec(client);
+      return TcpStream(UniqueFd(client));
+    }
     if (errno == EINTR) continue;
     if (errno == EBADF || errno == EINVAL) {
       return Status(StatusCode::kClosed, "listener closed");

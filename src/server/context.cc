@@ -232,6 +232,21 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("cache_false_misses", c.false_misses);
     body += json_u64("cache_invalidations", c.invalidations);
     body += json_u64("cache_fallback_executions", c.fallback_executions);
+    // Durability: disk health, checkpoint progress and the startup scrub's
+    // findings, so an operator (or the crash-restart CI job) can see whether
+    // the node came back clean and whether the disk is still trusted.
+    const core::ScrubReport scrub = ctx.cache->last_scrub();
+    body += "  \"durability\": {\n";
+    body += "  " + json_u64("disk_errors", c.disk_errors);
+    body += "  " + json_u64("store_degraded", c.store_degraded);
+    body += "  " + json_u64("degraded_skips", c.degraded_skips);
+    body += "  " + json_u64("checkpoints", c.checkpoints);
+    body += "  " + json_u64("checkpoint_failures", c.checkpoint_failures);
+    body += "  " + json_u64("scrub_adopted", scrub.adopted);
+    body += "  " + json_u64("scrub_quarantined", scrub.quarantined);
+    body += "  " + json_u64("scrub_orphans_removed", scrub.orphans_removed);
+    body += "  " + json_u64("scrub_temps_removed", scrub.temps_removed, true);
+    body += "  },\n";
     body += json_u64("cache_entries", ctx.cache->store().entry_count());
     body += json_u64("cache_bytes", ctx.cache->store().bytes_used(), true);
   } else {

@@ -1,9 +1,41 @@
 #include "server/node.h"
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <unistd.h>
+
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace swala::server {
+
+namespace {
+
+// ---- signal-save plumbing ----
+//
+// A SIGTERM/SIGINT handler may only do async-signal-safe work, so the
+// handler writes one byte to a self-pipe; a watcher thread does the actual
+// manifest save and then re-raises the signal with the default disposition
+// so the process still terminates. Only the first node with a state file
+// registers (multi-node-per-process setups are test-only; their harnesses
+// stop() nodes explicitly). If the embedding program installed its own
+// handler (like swalad does after start()), that handler simply wins —
+// its orderly stop() saves the manifest anyway.
+
+int g_save_pipe[2] = {-1, -1};
+std::atomic<SwalaNode*> g_signal_node{nullptr};
+std::atomic<int> g_signal_received{0};
+
+void on_save_signal(int signo) {
+  g_signal_received.store(signo, std::memory_order_relaxed);
+  const char byte = 1;
+  ssize_t rc = ::write(g_save_pipe[1], &byte, 1);
+  (void)rc;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
     const Config& config, std::shared_ptr<cgi::HandlerRegistry> registry) {
@@ -58,16 +90,32 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
       node->group_ =
           std::make_unique<cluster::NodeGroup>(node_id, members, go);
     }
+    const std::string state_file = config.get_string("cache", "state_file", "");
+    if (!state_file.empty() && disk_dir.empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "cache.state_file requires cache.disk_dir");
+    }
+    mo.state_file = state_file;
+    mo.checkpoint_interval_seconds =
+        config.get_double("cache", "checkpoint_interval", 10.0);
+    mo.disk_failure_threshold =
+        static_cast<int>(config.get_int("cache", "disk_failure_threshold", 5));
+
     node->manager_ = std::make_unique<core::CacheManager>(
         node_id, group_size, std::move(mo), RealClock::instance(),
         node->group_.get());
     if (node->group_ != nullptr) node->group_->attach(node->manager_.get());
 
-    node->state_file_ = config.get_string("cache", "state_file", "");
-    if (!node->state_file_.empty() && disk_dir.empty()) {
-      return Status(StatusCode::kInvalidArgument,
-                    "cache.state_file requires cache.disk_dir");
+    // A cache directory that cannot be created is a deployment error worth
+    // failing fast on, not a per-request surprise later.
+    if (auto st = node->manager_->storage_status(); !st.is_ok()) {
+      return Status(st.code(), "cache.disk_dir unusable: " + st.message());
     }
+
+    node->state_file_ = state_file;
+    node->save_on_signal_ = config.get_bool("cache", "save_on_signal", true);
+    node->purge_interval_seconds_ =
+        config.get_double("cache", "purge_interval", 2.0);
   }
 
   // ---- HTTP server ----
@@ -98,15 +146,101 @@ Status SwalaNode::start() {
   if (manager_ != nullptr && !state_file_.empty()) {
     auto restored = manager_->restore_state(state_file_);
     if (restored) {
+      const auto scrub = manager_->last_scrub();
       SWALA_LOG(Info) << "warm restart: restored " << restored.value()
-                      << " cached entries";
+                      << " cached entries (" << scrub.quarantined
+                      << " quarantined, " << scrub.orphans_removed
+                      << " orphans removed)";
+    } else if (restored.status().code() != StatusCode::kNotFound) {
+      // An unreadable or newer-format manifest is an operator problem:
+      // refuse to run rather than serve cold and eventually overwrite the
+      // manifest (and with it the evidence, or a newer deployment's state).
+      return Status(restored.status().code(),
+                    "state restore failed: " + restored.status().message());
     }  // a missing manifest is normal on first boot
   }
+  // Stand-alone nodes have no cluster purger; run our own so expiry and
+  // manifest checkpointing still happen.
+  if (group_ == nullptr && manager_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(housekeeping_mutex_);
+      housekeeping_stop_ = false;
+    }
+    housekeeping_thread_ = std::thread([this] { housekeeping_loop(); });
+  }
+  if (manager_ != nullptr && !state_file_.empty() && save_on_signal_) {
+    register_signal_save();
+  }
+  started_ = true;
   return Status::ok();
 }
 
+void SwalaNode::housekeeping_loop() {
+  const auto interval = std::chrono::duration<double>(
+      purge_interval_seconds_ > 0 ? purge_interval_seconds_ : 2.0);
+  std::unique_lock<std::mutex> lock(housekeeping_mutex_);
+  while (!housekeeping_stop_) {
+    if (housekeeping_cv_.wait_for(lock, interval,
+                                  [this] { return housekeeping_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    manager_->purge_expired();  // also checkpoints (manager cadence)
+    lock.lock();
+  }
+}
+
+void SwalaNode::register_signal_save() {
+  SwalaNode* expected = nullptr;
+  if (!g_signal_node.compare_exchange_strong(expected, this)) return;
+  if (g_save_pipe[0] < 0 && ::pipe(g_save_pipe) != 0) {
+    g_signal_node.store(nullptr);
+    return;
+  }
+  // Leave foreign handlers (e.g. swalad's, installed later; or a custom one
+  // installed before us) in charge — they own shutdown and call stop().
+  for (const int signo : {SIGTERM, SIGINT}) {
+    const auto prev = std::signal(signo, on_save_signal);
+    if (prev != SIG_DFL && prev != SIG_IGN && prev != on_save_signal) {
+      (void)std::signal(signo, prev);
+    }
+  }
+  static bool watcher_started = false;
+  if (watcher_started) return;
+  watcher_started = true;
+  std::thread([] {
+    char byte;
+    while (::read(g_save_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    if (SwalaNode* node = g_signal_node.load()) {
+      if (node->manager_ != nullptr && !node->state_file_.empty()) {
+        if (auto st = node->manager_->save_state(node->state_file_);
+            !st.is_ok()) {
+          SWALA_LOG(Warn) << "signal-save failed: " << st.to_string();
+        } else {
+          SWALA_LOG(Info) << "manifest saved on signal";
+        }
+      }
+    }
+    const int signo = g_signal_received.load(std::memory_order_relaxed);
+    (void)std::signal(signo != 0 ? signo : SIGTERM, SIG_DFL);
+    (void)::raise(signo != 0 ? signo : SIGTERM);
+  }).detach();
+}
+
 void SwalaNode::stop() {
-  if (manager_ != nullptr && !state_file_.empty()) {
+  {
+    std::lock_guard<std::mutex> lock(housekeeping_mutex_);
+    housekeeping_stop_ = true;
+  }
+  housekeeping_cv_.notify_all();
+  if (housekeeping_thread_.joinable()) housekeeping_thread_.join();
+  SwalaNode* expected = this;
+  g_signal_node.compare_exchange_strong(expected, nullptr);
+  // Only a node that actually started owns the manifest. A node that
+  // refused to start (e.g. restore rejected a newer-format manifest) must
+  // not overwrite it with its empty store on the way out.
+  if (started_ && manager_ != nullptr && !state_file_.empty()) {
     if (auto st = manager_->save_state(state_file_); !st.is_ok()) {
       SWALA_LOG(Warn) << "state save failed: " << st.to_string();
     }

@@ -18,6 +18,8 @@
 //   disk_dir =             ; empty = in-memory store
 //   state_file =           ; warm-restart manifest (needs disk_dir)
 //   purge_interval = 2.0
+//   checkpoint_interval = 10.0  ; manifest checkpoint cadence (needs state_file)
+//   save_on_signal = true  ; persist the manifest on SIGTERM/SIGINT
 //
 //   [cacheability]
 //   rule = /cgi-bin/* cache ttl=3600 min_exec=0.05
@@ -29,7 +31,10 @@
 //   member = 1 127.0.0.1 9010 9011
 #pragma once
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "cluster/group.h"
 #include "common/config.h"
@@ -58,10 +63,28 @@ class SwalaNode {
  private:
   SwalaNode() = default;
 
+  /// Stand-alone nodes have no cluster purge daemon; this housekeeping
+  /// thread drives purge_expired (and thereby manifest checkpointing) so a
+  /// single-node deployment still expires entries and survives crashes.
+  void housekeeping_loop();
+
+  /// Registers this node so SIGTERM/SIGINT persist the manifest even when
+  /// the embedding program installed no handlers of its own (saving happens
+  /// on a watcher thread via a self-pipe; handlers stay async-signal-safe).
+  void register_signal_save();
+
   std::unique_ptr<cluster::NodeGroup> group_;   // may be null (stand-alone)
   std::unique_ptr<core::CacheManager> manager_; // may be null (no caching)
   std::unique_ptr<SwalaServer> server_;
   std::string state_file_;  // warm-restart manifest; empty = disabled
+  bool started_ = false;    // start() succeeded; gates the shutdown save
+  bool save_on_signal_ = true;
+  double purge_interval_seconds_ = 2.0;
+
+  std::mutex housekeeping_mutex_;
+  std::condition_variable housekeeping_cv_;
+  bool housekeeping_stop_ = false;  // guarded by housekeeping_mutex_
+  std::thread housekeeping_thread_;
 };
 
 }  // namespace swala::server

@@ -1,0 +1,495 @@
+// Durability tests: CRC-32C vectors, the checksummed cache-file format,
+// atomic manifest replacement, the FaultingFsOps injection seam (EIO,
+// ENOSPC, short writes, crash-at-op), startup scrub after a simulated
+// crash, and the manager-level degradation circuit breaker and checkpoint
+// cadence. Ends with the full crash → restart → scrub acceptance scenario.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "core/fs_ops.h"
+#include "core/manager.h"
+
+namespace swala::core {
+namespace {
+
+const std::string kDir = "/tmp/swala_durability_test";
+const std::string kManifest = kDir + "/manifest.txt";
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+std::size_t count_files_with_extension(const std::string& dir,
+                                       const std::string& ext) {
+  std::size_t n = 0;
+  if (!std::filesystem::exists(dir)) return 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ext) ++n;
+  }
+  return n;
+}
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { std::filesystem::remove_all(kDir); }
+};
+
+// ---- CRC-32C ----
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 §B.4 / the standard Castagnoli check value.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0u);
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ContinuationMatchesOneShot) {
+  const std::string data = "cooperative caching of dynamic content";
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    const auto head = std::string_view(data).substr(0, split);
+    const auto tail = std::string_view(data).substr(split);
+    EXPECT_EQ(crc32c_continue(crc32c(head), tail), crc32c(data));
+  }
+}
+
+// ---- cache-file format ----
+
+TEST(CacheFileFormatTest, RoundtripVerifies) {
+  const std::string payload = "dynamic cgi result bytes";
+  const std::uint64_t key_hash = fnv1a64("GET /cgi-bin/x");
+  const std::string file = encode_cache_header(key_hash, payload) + payload;
+  ASSERT_EQ(file.size(), kCacheHeaderSize + payload.size());
+
+  auto verified = verify_cache_file(file, key_hash);
+  ASSERT_TRUE(verified.is_ok()) << verified.status().to_string();
+  EXPECT_EQ(verified.value(), payload);
+  // Hash 0 = caller does not know the key; the key check is skipped.
+  EXPECT_TRUE(verify_cache_file(file, 0).is_ok());
+}
+
+TEST(CacheFileFormatTest, DetectsEveryCorruptionMode) {
+  const std::string payload = "payload-payload-payload";
+  const std::uint64_t key_hash = fnv1a64("GET /cgi-bin/y");
+  const std::string good = encode_cache_header(key_hash, payload) + payload;
+
+  // Wrong key: a mis-adopted or swapped file must not verify.
+  EXPECT_EQ(verify_cache_file(good, key_hash + 1).status().code(),
+            StatusCode::kCorrupt);
+
+  // Single flipped payload bit.
+  std::string flipped = good;
+  flipped[kCacheHeaderSize + 3] ^= 0x01;
+  EXPECT_EQ(verify_cache_file(flipped, key_hash).status().code(),
+            StatusCode::kCorrupt);
+
+  // Flipped header byte (caught by the header CRC).
+  std::string bad_header = good;
+  bad_header[9] ^= 0x40;
+  EXPECT_EQ(verify_cache_file(bad_header, key_hash).status().code(),
+            StatusCode::kCorrupt);
+
+  // Truncations, including an empty file and a torn header.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{7}, kCacheHeaderSize - 1,
+        good.size() - 1}) {
+    EXPECT_EQ(
+        verify_cache_file(std::string_view(good).substr(0, len), key_hash)
+            .status()
+            .code(),
+        StatusCode::kCorrupt)
+        << "length " << len;
+  }
+
+  // Wrong magic and unsupported version (header CRC recomputed so only the
+  // field under test differs).
+  std::string wrong_magic = good;
+  wrong_magic[0] ^= 0xFF;
+  EXPECT_FALSE(verify_cache_file(wrong_magic, key_hash).is_ok());
+}
+
+// ---- atomic file replacement under faults ----
+
+TEST_F(DurabilityTest, WriteFileAtomicKeepsOldContentOnFailure) {
+  FaultingFsOps fs;
+  ASSERT_TRUE(make_dirs(&fs, kDir).is_ok());
+  const std::string path = kDir + "/config.txt";
+  ASSERT_TRUE(write_file_atomic(&fs, path, "old-content").is_ok());
+
+  fs.add_rule({FsOp::kWrite, "", FsFaultKind::kError, EIO});
+  const auto st = write_file_atomic(&fs, path, "new-content");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_GE(fs.faults_injected(), 1u);
+
+  // A reader must still see the previous content, and no temp debris.
+  EXPECT_EQ(read_whole_file(path), "old-content");
+  EXPECT_EQ(count_files_with_extension(kDir, ".tmp"), 0u);
+}
+
+// ---- recursive directory creation ----
+
+TEST_F(DurabilityTest, DiskBackendCreatesNestedDirectories) {
+  const std::string nested = kDir + "/a/b/c";
+  DiskBackend backend(nested);
+  ASSERT_TRUE(backend.init_status().is_ok())
+      << backend.init_status().to_string();
+  auto id = backend.put("nested-data");
+  ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+  auto back = backend.get(id.value());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), "nested-data");
+}
+
+TEST_F(DurabilityTest, DirectoryCreationFailureSurfacesEverywhere) {
+  FaultingFsOps fs;
+  fs.add_rule({FsOp::kMkdir, "", FsFaultKind::kError, EACCES});
+  DiskBackend backend(kDir + "/denied", &fs);
+  EXPECT_FALSE(backend.init_status().is_ok());
+  // Puts fail fast with the construction error, not a per-file surprise.
+  EXPECT_FALSE(backend.put("x").is_ok());
+
+  // And the manager exposes it so from_config can refuse to boot.
+  FaultingFsOps manager_fs;
+  manager_fs.add_rule({FsOp::kMkdir, "", FsFaultKind::kError, EACCES});
+  ManualClock clock(from_seconds(1.0));
+  ManagerOptions mo;
+  mo.limits = {100, 0};
+  mo.disk_dir = kDir + "/denied2";
+  mo.fs_ops = &manager_fs;
+  CacheManager manager(0, 1, mo, &clock);
+  EXPECT_FALSE(manager.storage_status().is_ok());
+}
+
+// ---- put failure modes ----
+
+TEST_F(DurabilityTest, PutFailureLeavesNoFileBehind) {
+  for (const int error_no : {EIO, ENOSPC}) {
+    std::filesystem::remove_all(kDir);
+    FaultingFsOps fs;
+    DiskBackend backend(kDir, &fs);
+    ASSERT_TRUE(backend.init_status().is_ok());
+    fs.add_rule({FsOp::kWrite, "", FsFaultKind::kError, error_no});
+
+    auto id = backend.put("doomed-data", fnv1a64("GET /k"));
+    ASSERT_FALSE(id.is_ok());
+    EXPECT_EQ(id.status().code(), StatusCode::kIoError);
+    EXPECT_EQ(backend.bytes_stored(), 0u);
+    // The failed write's temp file is unlinked; nothing reaches a live name.
+    EXPECT_EQ(count_files_with_extension(kDir, ".tmp"), 0u);
+    EXPECT_EQ(count_files_with_extension(kDir, ".cache"), 0u);
+  }
+}
+
+TEST_F(DurabilityTest, ShortWritesAreRetriedToCompletion) {
+  FaultingFsOps fs;
+  DiskBackend backend(kDir, &fs);
+  ASSERT_TRUE(backend.init_status().is_ok());
+  // Every write delivers only half its bytes; the put loop must keep going.
+  FsFaultRule rule;
+  rule.op = FsOp::kWrite;
+  rule.kind = FsFaultKind::kShortWrite;
+  rule.count = 3;
+  fs.add_rule(rule);
+
+  const std::string data(1000, 'z');
+  auto id = backend.put(data, fnv1a64("GET /short"));
+  ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+  EXPECT_GE(fs.faults_injected(), 3u);
+  auto back = backend.get(id.value());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value(), data);
+}
+
+// ---- read-side integrity ----
+
+TEST_F(DurabilityTest, GetDetectsBitFlipOnDisk) {
+  DiskBackend backend(kDir);
+  auto id = backend.put("precious-bytes", fnv1a64("GET /flip"));
+  ASSERT_TRUE(id.is_ok());
+
+  const std::string path = backend.path_for(id.value());
+  std::string contents = read_whole_file(path);
+  contents[kCacheHeaderSize + 2] ^= 0x10;  // silent media corruption
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+  auto back = backend.get(id.value());
+  ASSERT_FALSE(back.is_ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorrupt);
+}
+
+TEST_F(DurabilityTest, AdoptRejectsCorruptPayloadOfCorrectSize) {
+  const std::uint64_t key_hash = fnv1a64("GET /adopt");
+  const std::string data = "adoptable-content";
+  StorageId id;
+  std::string path;
+  {
+    DiskBackend backend(kDir);
+    auto put = backend.put(data, key_hash);
+    ASSERT_TRUE(put.is_ok());
+    id = put.value();
+    path = backend.path_for(id);
+    backend.set_retain_on_destruction(true);
+  }
+  // Flip one payload byte in place: the size check cannot see this — only
+  // the CRC can.
+  std::string contents = read_whole_file(path);
+  ASSERT_EQ(contents.size(), kCacheHeaderSize + data.size());
+  contents[kCacheHeaderSize] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+  DiskBackend backend(kDir);
+  const auto st = backend.adopt(id, data.size(), key_hash);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorrupt);
+  // Quarantined, not serving and not deleted (postmortem evidence).
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_EQ(backend.scrub().quarantined, 1u);
+}
+
+// ---- crash simulation ----
+
+TEST_F(DurabilityTest, CrashDuringPutThenRestartScrubsDebris) {
+  FaultingFsOps fs;
+  const std::uint64_t key_hash = fnv1a64("GET /survivor");
+  StorageId survivor_id;
+  {
+    DiskBackend backend(kDir, &fs);
+    auto put = backend.put("survivor-bytes", key_hash);
+    ASSERT_TRUE(put.is_ok());
+    survivor_id = put.value();
+
+    // The process "dies" during the payload write of the next put: the
+    // header made it to the temp file, the payload only partially, and every
+    // later filesystem operation fails (including the cleanup unlink — a
+    // dead process cleans nothing).
+    FsFaultRule crash;
+    crash.op = FsOp::kWrite;
+    crash.kind = FsFaultKind::kCrash;
+    crash.skip = 1;
+    fs.add_rule(crash);
+    auto torn = backend.put("torn-bytes-never-committed", fnv1a64("GET /torn"));
+    ASSERT_FALSE(torn.is_ok());
+    EXPECT_TRUE(fs.crashed());
+    backend.set_retain_on_destruction(true);
+  }
+  // The torn temp file is still on disk, exactly as after SIGKILL.
+  ASSERT_EQ(count_files_with_extension(kDir, ".tmp"), 1u);
+
+  // Restart: new backend over the same directory.
+  fs.reset_crash();
+  fs.clear();
+  DiskBackend backend(kDir, &fs);
+  ASSERT_TRUE(backend.adopt(survivor_id, 14, key_hash).is_ok());
+  const ScrubReport report = backend.scrub();
+  EXPECT_EQ(report.adopted, 1u);
+  EXPECT_EQ(report.temps_removed, 1u);
+  EXPECT_EQ(report.orphans_removed, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+
+  EXPECT_EQ(count_files_with_extension(kDir, ".tmp"), 0u);
+  auto back = backend.get(survivor_id);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), "survivor-bytes");
+}
+
+// ---- manager-level degradation and checkpointing ----
+
+class ManagerDurabilityTest : public DurabilityTest {
+ protected:
+  ManagerOptions base_options() {
+    ManagerOptions mo;
+    mo.limits = {100, 0};
+    mo.disk_dir = kDir;
+    RuleDecision d;
+    d.cacheable = true;
+    d.ttl_seconds = 600.0;
+    mo.rules.add_rule("/cgi-bin/*", d);
+    return mo;
+  }
+
+  /// Runs one miss-then-complete cycle for `target`.
+  void run_request(CacheManager& manager, const std::string& target,
+                   const std::string& body) {
+    http::Uri uri;
+    ASSERT_TRUE(http::parse_uri(target, &uri));
+    auto lookup = manager.lookup(http::Method::kGet, uri);
+    ASSERT_NE(lookup.outcome, LookupOutcome::kUncacheable) << target;
+    if (lookup.outcome == LookupOutcome::kHit) return;
+    cgi::CgiOutput out;
+    out.success = true;
+    out.body = body;
+    out.content_type = "text/html";
+    manager.complete(http::Method::kGet, uri, lookup.rule, out, 1.0);
+  }
+
+  LookupResult do_lookup(CacheManager& manager, const std::string& target) {
+    http::Uri uri;
+    EXPECT_TRUE(http::parse_uri(target, &uri));
+    return manager.lookup(http::Method::kGet, uri);
+  }
+};
+
+TEST_F(ManagerDurabilityTest, DegradesAfterConsecutiveDiskFailuresAndProbesBack) {
+  FaultingFsOps fs;
+  ManagerOptions mo = base_options();
+  mo.fs_ops = &fs;
+  mo.disk_failure_threshold = 2;
+  mo.degraded_probe_every = 3;
+  ManualClock clock(from_seconds(10.0));
+  CacheManager manager(0, 1, mo, &clock);
+
+  fs.add_rule({FsOp::kWrite, "", FsFaultKind::kError, EIO});
+  run_request(manager, "/cgi-bin/f1", "b1");  // fails: disk_errors 1
+  EXPECT_FALSE(manager.store_degraded());
+  run_request(manager, "/cgi-bin/f2", "b2");  // fails: threshold reached
+  EXPECT_TRUE(manager.store_degraded());
+
+  // First degraded attempt is the probe (still failing), the next two are
+  // skipped without touching the disk at all.
+  run_request(manager, "/cgi-bin/f3", "b3");
+  run_request(manager, "/cgi-bin/f4", "b4");
+  run_request(manager, "/cgi-bin/f5", "b5");
+  auto stats = manager.stats();
+  EXPECT_EQ(stats.disk_errors, 3u);
+  EXPECT_EQ(stats.degraded_skips, 2u);
+  EXPECT_EQ(stats.store_degraded, 1u);
+  EXPECT_EQ(stats.inserts, 0u);
+
+  // The disk comes back; the next probe succeeds and caching resumes.
+  fs.clear();
+  run_request(manager, "/cgi-bin/f6", "b6");  // probe: succeeds
+  EXPECT_FALSE(manager.store_degraded());
+  run_request(manager, "/cgi-bin/f7", "b7");
+  EXPECT_EQ(do_lookup(manager, "/cgi-bin/f7").outcome, LookupOutcome::kHit);
+  stats = manager.stats();
+  EXPECT_EQ(stats.store_degraded, 0u);
+  EXPECT_GE(stats.inserts, 2u);
+}
+
+TEST_F(ManagerDurabilityTest, CheckpointsRideThePurgeTick) {
+  ManagerOptions mo = base_options();
+  mo.state_file = kManifest;
+  mo.checkpoint_interval_seconds = 10.0;
+  ManualClock clock(from_seconds(100.0));
+  CacheManager manager(0, 1, mo, &clock);
+
+  // Checkpointing is gated until the warm restore has run (the purge daemon
+  // must never overwrite the manifest the restore is about to read).
+  manager.purge_expired();
+  EXPECT_EQ(manager.stats().checkpoints, 0u);
+  auto first_boot = manager.restore_state(kManifest);
+  EXPECT_EQ(first_boot.status().code(), StatusCode::kNotFound);
+
+  run_request(manager, "/cgi-bin/ckpt", "checkpointed-body");
+  manager.purge_expired();  // first post-restore tick always checkpoints
+  EXPECT_EQ(manager.stats().checkpoints, 1u);
+  EXPECT_TRUE(std::filesystem::exists(kManifest));
+
+  manager.purge_expired();  // interval not elapsed: no new checkpoint
+  EXPECT_EQ(manager.stats().checkpoints, 1u);
+
+  clock.advance(from_seconds(11.0));
+  manager.purge_expired();
+  EXPECT_EQ(manager.stats().checkpoints, 2u);
+
+  // The checkpointed manifest restores in a fresh process without any
+  // explicit save_state on the first manager.
+  ManualClock clock2(from_seconds(7.0));
+  CacheManager restored(0, 1, mo, &clock2);
+  auto count = restored.restore_state(kManifest);
+  ASSERT_TRUE(count.is_ok()) << count.status().to_string();
+  EXPECT_EQ(count.value(), 1u);
+  EXPECT_EQ(do_lookup(restored, "/cgi-bin/ckpt").outcome, LookupOutcome::kHit);
+}
+
+// ---- the acceptance scenario from the issue ----
+//
+// Crash injected mid-put, node restarts over the same directory, one
+// manifest-referenced file torn in place. After restore + scrub: the torn
+// entry is a clean miss, every other entry serves CRC-verified bytes with a
+// rebased TTL, and no temp or orphan files remain.
+TEST_F(ManagerDurabilityTest, CrashRestartScrubAcceptance) {
+  FaultingFsOps fs;
+  ManagerOptions mo = base_options();
+  mo.fs_ops = &fs;
+  ManualClock clock(from_seconds(1000.0));
+  {
+    CacheManager manager(0, 1, mo, &clock);
+    run_request(manager, "/cgi-bin/a", "body-a");
+    run_request(manager, "/cgi-bin/b", "body-b");
+    run_request(manager, "/cgi-bin/c", "body-c");
+    ASSERT_TRUE(manager.save_state(kManifest).is_ok());
+
+    // SIGKILL arrives during /cgi-bin/d's payload write.
+    FsFaultRule crash;
+    crash.op = FsOp::kWrite;
+    crash.kind = FsFaultKind::kCrash;
+    crash.skip = 1;
+    fs.add_rule(crash);
+    run_request(manager, "/cgi-bin/d", "body-d-never-durable");
+    EXPECT_TRUE(fs.crashed());
+    EXPECT_EQ(manager.stats().disk_errors, 1u);
+  }
+  ASSERT_EQ(count_files_with_extension(kDir, ".tmp"), 1u);
+
+  // While the node was down, /cgi-bin/c's file (insert order: id 3) was
+  // truncated — a torn sector the atomic rename could not have produced.
+  const std::string torn_path = kDir + "/swala-3.cache";
+  ASSERT_TRUE(std::filesystem::exists(torn_path));
+  std::filesystem::resize_file(
+      torn_path, std::filesystem::file_size(torn_path) - 3);
+
+  // Restart: fresh manager, fresh clock epoch, same directory.
+  fs.reset_crash();
+  fs.clear();
+  ManualClock restart_clock(from_seconds(50.0));
+  CacheManager manager(0, 1, mo, &restart_clock);
+  auto restored = manager.restore_state(kManifest);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value(), 2u);
+
+  const ScrubReport scrub = manager.last_scrub();
+  EXPECT_EQ(scrub.adopted, 2u);
+  EXPECT_EQ(scrub.quarantined, 1u);
+  EXPECT_EQ(scrub.temps_removed, 1u);
+  EXPECT_EQ(scrub.orphans_removed, 0u);
+
+  // Survivors serve their exact bytes; the torn entry is a clean miss.
+  auto a = do_lookup(manager, "/cgi-bin/a");
+  ASSERT_EQ(a.outcome, LookupOutcome::kHit);
+  EXPECT_EQ(a.result.data, "body-a");
+  auto b = do_lookup(manager, "/cgi-bin/b");
+  ASSERT_EQ(b.outcome, LookupOutcome::kHit);
+  EXPECT_EQ(b.result.data, "body-b");
+  EXPECT_EQ(do_lookup(manager, "/cgi-bin/c").outcome,
+            LookupOutcome::kMissMustExecute);
+  EXPECT_EQ(do_lookup(manager, "/cgi-bin/d").outcome,
+            LookupOutcome::kMissMustExecute);
+
+  // TTLs were rebased against the restart clock.
+  auto meta = manager.directory().lookup("GET /cgi-bin/a");
+  ASSERT_TRUE(meta.has_value());
+  const double remaining =
+      to_seconds(meta->expire_time - restart_clock.now());
+  EXPECT_NEAR(remaining, 600.0, 1.0);
+
+  // No debris: two live cache files, the quarantined one renamed aside.
+  EXPECT_EQ(count_files_with_extension(kDir, ".tmp"), 0u);
+  EXPECT_EQ(count_files_with_extension(kDir, ".cache"), 2u);
+  EXPECT_EQ(count_files_with_extension(kDir, ".corrupt"), 1u);
+}
+
+}  // namespace
+}  // namespace swala::core

@@ -125,20 +125,198 @@ TEST_F(PersistenceTest, CorruptManifestLinesSkipped) {
                     .is_ok());
     ASSERT_TRUE(store->save_manifest(kManifest).is_ok());
   }
-  // Prepend garbage.
+  // Inject garbage between the header line and the entries.
   std::string contents;
   {
     std::ifstream in(kManifest);
     contents.assign(std::istreambuf_iterator<char>(in), {});
   }
+  const auto header_end = contents.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
   {
     std::ofstream out(kManifest);
-    out << "GARBAGE LINE\n" << contents;
+    out << contents.substr(0, header_end + 1) << "GARBAGE LINE\n"
+        << contents.substr(header_end + 1);
   }
   auto store = make_store(&clock);
   auto restored = store->load_manifest(kManifest);
   ASSERT_TRUE(restored.is_ok());
   EXPECT_EQ(restored.value(), 1u);
+}
+
+TEST_F(PersistenceTest, NewerManifestVersionRefused) {
+  ManualClock clock(from_seconds(100.0));
+  {
+    auto store = make_store(&clock);
+    std::vector<EntryMeta> evicted;
+    ASSERT_TRUE(store->insert(key("/a"), "data", 1.0, 0, "t", 200, &evicted)
+                    .is_ok());
+    ASSERT_TRUE(store->save_manifest(kManifest).is_ok());
+  }
+  // Rewrite the header to claim a future format version.
+  std::string contents;
+  {
+    std::ifstream in(kManifest);
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto header_end = contents.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  {
+    std::ofstream out(kManifest);
+    out << "swala-manifest " << (kManifestFormatVersion + 1) << "\n"
+        << contents.substr(header_end + 1);
+  }
+  auto store = make_store(&clock);
+  auto restored = store->load_manifest(kManifest);
+  ASSERT_FALSE(restored.is_ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store->entry_count(), 0u);
+  // The data files must be left untouched: the newer deployment that wrote
+  // this manifest may still want them after a roll-forward.
+  std::size_t cache_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(kDir)) {
+    if (entry.path().extension() == ".cache") ++cache_files;
+  }
+  EXPECT_EQ(cache_files, 1u);
+}
+
+TEST_F(PersistenceTest, ManifestMissingHeaderRejected) {
+  ManualClock clock(from_seconds(100.0));
+  {
+    auto store = make_store(&clock);
+    std::vector<EntryMeta> evicted;
+    ASSERT_TRUE(store->insert(key("/a"), "data", 1.0, 0, "t", 200, &evicted)
+                    .is_ok());
+    ASSERT_TRUE(store->save_manifest(kManifest).is_ok());
+  }
+  // Strip the header line entirely (e.g. a pre-versioning manifest).
+  std::string contents;
+  {
+    std::ifstream in(kManifest);
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto header_end = contents.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  {
+    std::ofstream out(kManifest);
+    out << contents.substr(header_end + 1);
+  }
+  auto store = make_store(&clock);
+  auto restored = store->load_manifest(kManifest);
+  ASSERT_FALSE(restored.is_ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorrupt);
+}
+
+TEST_F(PersistenceTest, ManifestTruncatedMidLineSkipsTornEntry) {
+  ManualClock clock(from_seconds(100.0));
+  {
+    auto store = make_store(&clock);
+    std::vector<EntryMeta> evicted;
+    ASSERT_TRUE(store->insert(key("/keep"), "kept-data", 1.0, 0, "t", 200,
+                              &evicted)
+                    .is_ok());
+    ASSERT_TRUE(store
+                    ->insert(key("/torn-entry-with-a-long-key"), "torn-data",
+                             1.0, 0, "t", 200, &evicted)
+                    .is_ok());
+    ASSERT_TRUE(store->save_manifest(kManifest).is_ok());
+  }
+  // Truncate the manifest in the middle of its final line's key. The line
+  // still parses, but the half key hashes differently from the one bound
+  // into the cache file's header, so the adopt is refused — a torn manifest
+  // can never resurrect an entry under the wrong key.
+  std::string contents;
+  {
+    std::ifstream in(kManifest);
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_EQ(contents.back(), '\n');
+  // Entry order in the manifest is unspecified; figure out which key's line
+  // comes last (and therefore gets torn).
+  const auto last_newline = contents.find_last_of('\n', contents.size() - 2);
+  ASSERT_NE(last_newline, std::string::npos);
+  const std::string last_line = contents.substr(last_newline + 1);
+  const std::string torn_key =
+      last_line.find("/torn-entry-with-a-long-key") != std::string::npos
+          ? key("/torn-entry-with-a-long-key").text
+          : key("/keep").text;
+  const std::string surviving_key =
+      torn_key == key("/keep").text ? key("/torn-entry-with-a-long-key").text
+                                    : key("/keep").text;
+  contents.resize(contents.size() - 5);
+  {
+    std::ofstream out(kManifest, std::ios::trunc);
+    out << contents;
+  }
+  auto store = make_store(&clock);
+  auto restored = store->load_manifest(kManifest);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value(), 1u);
+  EXPECT_TRUE(store->fetch(surviving_key).has_value());
+  EXPECT_FALSE(store->fetch(torn_key).has_value());
+}
+
+TEST_F(PersistenceTest, ExpiredEntryFilesScrubbedAfterRestart) {
+  // Regression: save_manifest skips expired entries, but with retention on,
+  // their data files used to leak on disk forever. The startup scrub must
+  // collect them as orphans.
+  ManualClock clock(from_seconds(100.0));
+  {
+    auto store = make_store(&clock);
+    std::vector<EntryMeta> evicted;
+    ASSERT_TRUE(store->insert(key("/keep"), "kkk", 1.0, 0, "t", 200, &evicted)
+                    .is_ok());
+    ASSERT_TRUE(store
+                    ->insert(key("/expired"), "eee", 1.0, /*ttl=*/5.0, "t", 200,
+                             &evicted)
+                    .is_ok());
+    clock.advance(from_seconds(10.0));  // /expired is now stale
+    ASSERT_TRUE(store->save_manifest(kManifest).is_ok());
+  }  // retention on: both cache files survive, but only /keep is referenced
+
+  std::size_t cache_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(kDir)) {
+    if (entry.path().extension() == ".cache") ++cache_files;
+  }
+  ASSERT_EQ(cache_files, 2u) << "expired entry's file should still be on disk";
+
+  auto store = make_store(&clock);
+  auto restored = store->load_manifest(kManifest);
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value(), 1u);
+  const ScrubReport report = store->scrub_backend();
+  EXPECT_EQ(report.adopted, 1u);
+  EXPECT_EQ(report.orphans_removed, 1u);
+
+  cache_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(kDir)) {
+    if (entry.path().extension() == ".cache") ++cache_files;
+  }
+  EXPECT_EQ(cache_files, 1u) << "orphaned file must be gone after scrub";
+}
+
+TEST_F(PersistenceTest, ZeroLengthCacheFileQuarantined) {
+  ManualClock clock(from_seconds(100.0));
+  std::string victim_path;
+  {
+    auto store = make_store(&clock);
+    std::vector<EntryMeta> evicted;
+    ASSERT_TRUE(store->insert(key("/zero"), "zzz", 1.0, 0, "t", 200, &evicted)
+                    .is_ok());
+    ASSERT_TRUE(store->save_manifest(kManifest).is_ok());
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(kDir)) {
+    if (entry.path().extension() == ".cache") victim_path = entry.path();
+  }
+  ASSERT_FALSE(victim_path.empty());
+  std::filesystem::resize_file(victim_path, 0);
+
+  auto store = make_store(&clock);
+  auto restored = store->load_manifest(kManifest);
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(victim_path));
+  EXPECT_TRUE(std::filesystem::exists(victim_path + ".corrupt"));
 }
 
 TEST_F(PersistenceTest, MissingManifestIsError) {
