@@ -1,7 +1,25 @@
 // Micro-benchmarks (google-benchmark) for the hot operations on a request
 // thread's critical path: cache store insert/fetch, replacement-policy
 // bookkeeping, HTTP parsing, URI parsing, and wire-protocol codec.
+//
+// Besides the google-benchmark suite, `--concurrent_hits` runs a
+// multi-threaded steady-state hit benchmark against a disk-backed store and
+// prints one machine-readable JSON object (the BENCH_PR4.json trajectory and
+// the CI bench-smoke job consume it):
+//   micro_cache --concurrent_hits [--threads=8] [--seconds=2]
+//               [--entries=512] [--blob_bytes=8192] [--hot_bytes=N]
+// --hot_bytes defaults to twice the working set; pass 0 to disable the
+// hot-blob cache and measure the pure pinned-disk path.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+#include <unistd.h>
+#include <vector>
 
 #include "cluster/message.h"
 #include "common/clock.h"
@@ -124,6 +142,121 @@ void BM_MessageDecodeInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_MessageDecodeInsert);
 
+// ---- multi-threaded concurrent-hit mode (machine-readable JSON) ----
+
+std::uint64_t flag_u64(int argc, char** argv, std::string_view name,
+                       std::uint64_t fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.size() > prefix.size() && arg.compare(0, prefix.size(), prefix) == 0) {
+      return std::strtoull(arg.data() + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+int run_concurrent_hits(int argc, char** argv) {
+  const std::size_t threads =
+      static_cast<std::size_t>(flag_u64(argc, argv, "--threads", 8));
+  const double seconds =
+      static_cast<double>(flag_u64(argc, argv, "--seconds", 2));
+  const std::size_t entries =
+      static_cast<std::size_t>(flag_u64(argc, argv, "--entries", 512));
+  const std::size_t blob_bytes =
+      static_cast<std::size_t>(flag_u64(argc, argv, "--blob_bytes", 8192));
+  const std::uint64_t hot_bytes = flag_u64(
+      argc, argv, "--hot_bytes",
+      static_cast<std::uint64_t>(entries) * blob_bytes * 2);
+
+  char dir_template[] = "/tmp/swala-bench-cache-XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = dir_template;
+
+  {
+    core::StoreLimits limits;
+    limits.max_entries = entries * 2;
+    limits.max_bytes = 0;
+    limits.hot_bytes = hot_bytes;
+    core::CacheStore store(limits, core::PolicyKind::kLru,
+                           std::make_unique<core::DiskBackend>(dir), &g_clock,
+                           0);
+    const std::string data(blob_bytes, 'x');
+    std::vector<core::EntryMeta> evicted;
+    for (std::size_t i = 0; i < entries; ++i) {
+      const auto key =
+          core::CacheKey::make("GET", "/cgi-bin/q?i=" + std::to_string(i));
+      (void)store.insert(key, data, 1.0, 0, "text/html", 200, &evicted);
+    }
+
+    std::vector<std::string> keys;
+    keys.reserve(entries);
+    for (std::size_t i = 0; i < entries; ++i) {
+      keys.push_back("GET /cgi-bin/q?i=" + std::to_string(i));
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<std::uint64_t> counts(threads, 0);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        std::uint64_t n = 0;
+        // Offset start positions so the threads do not convoy on one key.
+        std::size_t i = t * (entries / (threads ? threads : 1));
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto hit = store.fetch(keys[i % entries]);
+          if (!hit) std::abort();  // every fetch must hit in steady state
+          ++n;
+          ++i;
+        }
+        counts[t] = n;
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : pool) th.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    std::uint64_t total = 0;
+    for (const auto n : counts) total += n;
+    const auto stats = store.stats();
+
+    std::printf(
+        "{\"bench\": \"concurrent_hits\", \"threads\": %zu, \"entries\": %zu, "
+        "\"blob_bytes\": %zu, \"hot_bytes\": %llu, \"elapsed_seconds\": %.3f, "
+        "\"total_hits\": %llu, \"hits_per_second\": %.0f, "
+        "\"hot_hits\": %llu, \"hot_misses\": %llu}\n",
+        threads, entries, blob_bytes,
+        static_cast<unsigned long long>(hot_bytes), elapsed,
+        static_cast<unsigned long long>(total),
+        elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0,
+        static_cast<unsigned long long>(stats.hot_hits),
+        static_cast<unsigned long long>(stats.hot_misses));
+  }
+
+  // Best-effort cleanup; the store's backend unlinks its own files.
+  (void)::rmdir(dir.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--concurrent_hits") {
+      return run_concurrent_hits(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,8 +6,21 @@
 // number of locks and unlocks" per lookup. This benchmark reproduces that
 // argument: lookup throughput under concurrent readers + a writer, for all
 // three modes, plus the lock-acquisition counts per lookup.
+// Besides the locking ablation, `--batch_bench` measures broadcast
+// amortization over a real two-node loopback cluster: a 1000-insert burst is
+// broadcast from node 0 to node 1 and the number of transport frames the
+// sender actually wrote is reported as JSON (the BENCH_PR4.json trajectory
+// and the CI bench-smoke job consume it):
+//   micro_directory --batch_bench [--inserts=1000]
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+
+#include "cluster/group.h"
 #include "common/clock.h"
 #include "core/directory.h"
 
@@ -106,6 +119,119 @@ BENCHMARK(BM_LockAcquisitionsPerLookup)
     ->Arg(static_cast<int>(core::LockingMode::kPerEntry))
     ->Arg(static_cast<int>(core::LockingMode::kMultiGranularity));
 
+// ---- broadcast batching mode (machine-readable JSON) ----
+
+std::uint64_t flag_u64(int argc, char** argv, std::string_view name,
+                       std::uint64_t fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.size() > prefix.size() && arg.compare(0, prefix.size(), prefix) == 0) {
+      return std::strtoull(arg.data() + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+struct BurstResult {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t batched_broadcasts = 0;
+};
+
+/// Broadcasts `inserts` directory updates from node 0 to node 1 over real
+/// loopback sockets and reports how many frames the sender wrote.
+BurstResult run_burst(cluster::GroupOptions opts, std::uint64_t inserts) {
+  auto members = cluster::loopback_members(2);
+  cluster::NodeGroup a(0, members, opts);
+  cluster::NodeGroup b(1, members, opts);
+  if (!a.start().is_ok() || !b.start().is_ok()) {
+    std::fprintf(stderr, "group start failed\n");
+    std::exit(1);
+  }
+  members[0].info_addr.port = a.info_port();
+  members[0].data_addr.port = a.data_port();
+  members[1].info_addr.port = b.info_port();
+  members[1].data_addr.port = b.data_port();
+  a.set_members(members);
+  b.set_members(members);
+
+  for (std::uint64_t i = 0; i < inserts; ++i) {
+    core::EntryMeta meta;
+    meta.key = "GET /cgi-bin/burst?i=" + std::to_string(i);
+    meta.owner = 0;
+    meta.size_bytes = 2048;
+    meta.version = i + 1;
+    a.broadcast_insert(meta);
+  }
+
+  // Quiesce: the backlog must drain, the receiver must have applied the
+  // whole burst (updates_received counts the HELLO greeting too), and the
+  // sender-side frame counter must have gone stable.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::uint64_t last_frames = 0;
+  for (;;) {
+    const auto stats = a.stats();
+    if (a.outbound_backlog() == 0 &&
+        b.stats().updates_received >= inserts &&
+        stats.frames_sent == last_frames && stats.frames_sent != 0) {
+      break;
+    }
+    last_frames = stats.frames_sent;
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::fprintf(stderr, "burst did not quiesce\n");
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  BurstResult result;
+  const auto stats = a.stats();
+  result.frames_sent = stats.frames_sent;
+  result.batched_broadcasts = stats.batched_broadcasts;
+  result.updates_received = b.stats().updates_received;
+  a.stop();
+  b.stop();
+  return result;
+}
+
+int run_batch_bench(int argc, char** argv) {
+  const std::uint64_t inserts = flag_u64(argc, argv, "--inserts", 1000);
+
+  cluster::GroupOptions unbatched;
+  unbatched.batch_max_messages = 1;
+  const BurstResult off = run_burst(unbatched, inserts);
+
+  cluster::GroupOptions batched;
+  batched.batch_max_messages = 64;
+  const BurstResult on = run_burst(batched, inserts);
+
+  std::printf(
+      "{\"bench\": \"batch_bench\", \"inserts\": %llu, "
+      "\"frames_sent_unbatched\": %llu, \"updates_received_unbatched\": %llu, "
+      "\"frames_sent_batched\": %llu, \"updates_received_batched\": %llu, "
+      "\"batched_broadcasts\": %llu}\n",
+      static_cast<unsigned long long>(inserts),
+      static_cast<unsigned long long>(off.frames_sent),
+      static_cast<unsigned long long>(off.updates_received),
+      static_cast<unsigned long long>(on.frames_sent),
+      static_cast<unsigned long long>(on.updates_received),
+      static_cast<unsigned long long>(on.batched_broadcasts));
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--batch_bench") {
+      return run_batch_bench(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

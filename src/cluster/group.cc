@@ -234,39 +234,54 @@ void NodeGroup::info_read_loop(net::TcpStream stream) {
       if (msg.status().code() == StatusCode::kTimeout) continue;
       return;  // closed or corrupt; drop the connection
     }
-    updates_received_.fetch_add(1, std::memory_order_relaxed);
-    core::CacheManager* manager = manager_.load(std::memory_order_acquire);
-    switch (msg.value().type) {
-      case MsgType::kHello:
-        // A HELLO from a peer we had written off is the rejoin signal: the
-        // restarted node greets before its first broadcast.
-        if (PeerLink* link = find_link(msg.value().sender)) {
-          record_success(link);
-        }
-        break;
-      case MsgType::kSyncReq:
-        // The peer cleared its copy of our table; re-announce what we hold.
-        if (PeerLink* link = find_link(msg.value().sender)) {
-          resyncs_served_.fetch_add(1, std::memory_order_relaxed);
-          push_state_to(link);
-        }
-        break;
-      case MsgType::kInsert:
-        if (manager != nullptr) manager->on_peer_insert(msg.value().meta);
-        break;
-      case MsgType::kErase:
-        if (manager != nullptr) {
-          manager->on_peer_erase(msg.value().sender, msg.value().key,
-                                 msg.value().version);
-        }
-        break;
-      case MsgType::kInvalidate:
-        if (manager != nullptr) manager->on_peer_invalidate(msg.value().key);
-        break;
-      default:
-        SWALA_LOG(Warn) << "unexpected message type on info channel";
-        break;
+    if (msg.value().type == MsgType::kBatch) {
+      // Inner messages apply in encode order, so the sender's version order
+      // (inserts before their erases, etc.) is preserved exactly as if each
+      // update had arrived in its own frame.
+      for (const Message& inner : msg.value().batch) {
+        updates_received_.fetch_add(1, std::memory_order_relaxed);
+        apply_info_message(inner);
+      }
+    } else {
+      updates_received_.fetch_add(1, std::memory_order_relaxed);
+      apply_info_message(msg.value());
     }
+  }
+}
+
+void NodeGroup::apply_info_message(const Message& msg) {
+  core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+  switch (msg.type) {
+    case MsgType::kHello:
+      // A HELLO from a peer we had written off is the rejoin signal: the
+      // restarted node greets before its first broadcast.
+      if (PeerLink* link = find_link(msg.sender)) {
+        record_success(link);
+      }
+      break;
+    case MsgType::kSyncReq:
+      // The peer cleared its copy of our table; re-announce what we hold.
+      if (PeerLink* link = find_link(msg.sender)) {
+        resyncs_served_.fetch_add(1, std::memory_order_relaxed);
+        push_state_to(link);
+      }
+      break;
+    case MsgType::kInsert:
+      if (manager != nullptr) manager->on_peer_insert(msg.meta);
+      break;
+    case MsgType::kErase:
+      if (manager != nullptr) {
+        manager->on_peer_erase(msg.sender, msg.key, msg.version);
+      }
+      break;
+    case MsgType::kInvalidate:
+      if (manager != nullptr) manager->on_peer_invalidate(msg.key);
+      break;
+    default:
+      // kBatch lands here too: nesting is decode-rejected, so seeing one
+      // means a peer skipped its own flattening — ignore it.
+      SWALA_LOG(Warn) << "unexpected message type on info channel";
+      break;
   }
 }
 
@@ -371,10 +386,64 @@ void NodeGroup::broadcast_invalidate(const std::string& pattern) {
   enqueue_broadcast(Message::invalidate(self_, pattern));
 }
 
+namespace {
+
+/// Info-channel updates safe to coalesce. HELLO carries probe/greeting
+/// semantics and SYNC_REQ triggers a state push, so both keep their own
+/// frames.
+bool batchable(const Message& msg) {
+  return msg.type == MsgType::kInsert || msg.type == MsgType::kErase ||
+         msg.type == MsgType::kInvalidate;
+}
+
+/// Cheap upper-bound estimate of a message's encoded size; close enough to
+/// enforce batch_max_bytes without encoding twice.
+std::size_t approx_encoded_size(const Message& msg) {
+  return 64 + msg.key.size() + msg.data.size() + msg.meta.key.size() +
+         msg.meta.content_type.size();
+}
+
+}  // namespace
+
+void NodeGroup::collect_batch(PeerLink* link, std::vector<Message>* run,
+                              std::optional<Message>* carry) {
+  std::size_t bytes = approx_encoded_size(run->front());
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.batch_linger_ms);
+  while (run->size() < options_.batch_max_messages &&
+         bytes < options_.batch_max_bytes) {
+    std::optional<Message> next = link->outbound->try_pop();
+    if (!next) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline || !running_.load(std::memory_order_relaxed)) break;
+      next = link->outbound->pop_for(deadline - now);
+      if (!next) break;  // lingered in vain (or queue closed)
+    }
+    if (!batchable(*next)) {
+      *carry = std::move(next);  // sent on its own, right after this batch
+      break;
+    }
+    bytes += approx_encoded_size(*next);
+    run->push_back(std::move(*next));
+  }
+}
+
 void NodeGroup::sender_loop(PeerLink* link) {
   net::TcpStream stream;
   bool greeted = false;
-  while (auto msg = link->outbound->pop()) {
+  // A non-batchable message pulled while collecting a batch waits here and
+  // is consumed before the queue is polled again, so nothing is reordered
+  // past it and nothing is lost on shutdown.
+  std::optional<Message> carry;
+  for (;;) {
+    std::optional<Message> msg;
+    if (carry.has_value()) {
+      msg = std::move(carry);
+      carry.reset();
+    } else {
+      msg = link->outbound->pop();
+      if (!msg) break;  // queue closed and drained
+    }
     const bool is_probe = msg->type == MsgType::kHello;
     const PeerState state = state_of(link);
     if (state == PeerState::kDead && !is_probe) {
@@ -384,6 +453,19 @@ void NodeGroup::sender_loop(PeerLink* link) {
       messages_dropped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+
+    // Coalesce a run of queued directory updates into one kBatch frame.
+    // The batch is the retry unit below; a run of one goes out in its
+    // plain unbatched form, byte-identical to older builds.
+    std::vector<Message> run;
+    run.push_back(std::move(*msg));
+    if (options_.batch_max_messages > 1 && batchable(run.front())) {
+      collect_batch(link, &run, &carry);
+    }
+    const std::size_t run_size = run.size();
+    Message out = run_size == 1 ? std::move(run.front())
+                                : Message::make_batch(self_, std::move(run));
+
     // Probes get a single attempt (the purger reschedules them); regular
     // traffic retries with exponential backoff + jitter.
     const int max_attempts =
@@ -411,19 +493,24 @@ void NodeGroup::sender_loop(PeerLink* link) {
           stream.close();
           continue;
         }
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
         greeted = true;
         if (is_probe) {
           sent = true;  // the greeting itself proved the peer reachable
           break;
         }
       }
-      if (transport_.send(stream, link->address.id, *msg).is_ok()) {
+      if (transport_.send(stream, link->address.id, out).is_ok()) {
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
         sent = true;
         break;
       }
       stream.close();
     }
     if (sent) {
+      if (run_size > 1) {
+        batched_broadcasts_.fetch_add(run_size, std::memory_order_relaxed);
+      }
       record_success(link);
     } else {
       stream.close();
@@ -558,6 +645,8 @@ PeerState NodeGroup::peer_state(core::NodeId id) const {
 GroupStats NodeGroup::stats() const {
   GroupStats s;
   s.broadcasts_sent = broadcasts_sent_.load(std::memory_order_relaxed);
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.batched_broadcasts = batched_broadcasts_.load(std::memory_order_relaxed);
   s.updates_received = updates_received_.load(std::memory_order_relaxed);
   s.fetches_served = fetches_served_.load(std::memory_order_relaxed);
   s.fetch_misses_served = fetch_misses_served_.load(std::memory_order_relaxed);

@@ -68,6 +68,19 @@ struct GroupOptions {
   /// opens a connection per fetch, as the original Swala did).
   std::size_t fetch_pool_size = 4;
 
+  // ---- broadcast batching ----
+  /// Most queued directory updates (INSERT/ERASE/INVALIDATE) a sender loop
+  /// packs into one kBatch frame. 1 disables batching: every update goes in
+  /// its own frame, wire-identical to older builds. Kept off by default so
+  /// per-type fault-injection rules and frame-level tests see the unbatched
+  /// protocol unless a deployment opts in (node config defaults it on).
+  std::size_t batch_max_messages = 1;
+  /// Approximate payload ceiling for one batch frame.
+  std::size_t batch_max_bytes = 256 * 1024;
+  /// How long a sender lingers for more updates once it holds the first one
+  /// and the queue runs dry. Bounds the latency batching can add.
+  int batch_linger_ms = 2;
+
   // ---- failure handling ----
   /// Send attempts per queued broadcast before counting a failure.
   int broadcast_retry_limit = 3;
@@ -86,6 +99,12 @@ struct GroupOptions {
 /// Counters for the overhead experiments (Tables 3 and 4).
 struct GroupStats {
   std::uint64_t broadcasts_sent = 0;
+  /// Frames actually written to peer info sockets by the sender loops
+  /// (greetings included). With batching this is what amortization shrinks:
+  /// many queued updates ride in one frame.
+  std::uint64_t frames_sent = 0;
+  /// Updates that rode inside a kBatch frame (counts inner messages).
+  std::uint64_t batched_broadcasts = 0;
   std::uint64_t updates_received = 0;
   std::uint64_t fetches_served = 0;
   std::uint64_t fetch_misses_served = 0;  ///< peers' false hits seen from here
@@ -187,6 +206,12 @@ class NodeGroup final : public core::CooperationBus {
 
   void info_accept_loop();
   void info_read_loop(net::TcpStream stream);
+  /// Applies one (non-batch) info-channel message to the local state.
+  void apply_info_message(const Message& msg);
+  /// Pulls additional batchable messages from `link`'s queue into `run`
+  /// until size/byte/linger limits; a non-batchable pull lands in `carry`.
+  void collect_batch(PeerLink* link, std::vector<Message>* run,
+                     std::optional<Message>* carry);
   void data_accept_loop();
   void serve_data_request(net::TcpStream stream);
   void purge_loop();
@@ -239,7 +264,8 @@ class NodeGroup final : public core::CooperationBus {
   std::mutex backoff_mutex_;
   Rng backoff_rng_;  // guarded by backoff_mutex_
 
-  mutable std::atomic<std::uint64_t> broadcasts_sent_{0}, updates_received_{0},
+  mutable std::atomic<std::uint64_t> broadcasts_sent_{0}, frames_sent_{0},
+      batched_broadcasts_{0}, updates_received_{0},
       fetches_served_{0}, fetch_misses_served_{0}, remote_fetches_{0},
       send_failures_{0}, send_retries_{0}, peer_failures_{0},
       messages_dropped_{0}, probes_sent_{0}, resyncs_requested_{0},

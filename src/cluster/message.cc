@@ -193,6 +193,15 @@ Message Message::sync_req(core::NodeId sender) {
   return m;
 }
 
+Message Message::make_batch(core::NodeId sender,
+                            std::vector<Message> messages) {
+  Message m;
+  m.type = MsgType::kBatch;
+  m.sender = sender;
+  m.batch = std::move(messages);
+  return m;
+}
+
 std::string encode_message(const Message& msg) {
   std::string payload;
   put_u8(&payload, static_cast<std::uint8_t>(msg.type));
@@ -218,6 +227,12 @@ std::string encode_message(const Message& msg) {
         put_meta(&payload, msg.meta);
         put_string(&payload, msg.data);
       }
+      break;
+    case MsgType::kBatch:
+      // Each inner message keeps its full framed form (u32 length + payload)
+      // so the decoder can delimit them with the ordinary string reader.
+      put_u32(&payload, static_cast<std::uint32_t>(msg.batch.size()));
+      for (const Message& inner : msg.batch) payload += encode_message(inner);
       break;
   }
   std::string frame;
@@ -255,6 +270,28 @@ Result<Message> decode_message(std::string_view payload) {
       ok = r.u8(&found);
       msg.found = found != 0;
       if (ok && msg.found) ok = read_meta(&r, &msg.meta) && r.str(&msg.data);
+      break;
+    }
+    case MsgType::kBatch: {
+      std::uint32_t count = 0;
+      ok = r.u32(&count);
+      // A lying count cannot exceed what the payload could physically hold:
+      // every inner message costs at least its 4-byte length prefix plus a
+      // 5-byte header.
+      if (ok && count > payload.size() / 9) ok = false;
+      for (std::uint32_t i = 0; ok && i < count; ++i) {
+        std::string inner;
+        if (!r.str(&inner)) {
+          ok = false;
+          break;
+        }
+        auto decoded = decode_message(inner);
+        if (!decoded || decoded.value().type == MsgType::kBatch) {
+          ok = false;  // malformed inner, or an (unsupported) nested batch
+          break;
+        }
+        msg.batch.push_back(std::move(decoded.value()));
+      }
       break;
     }
     default:

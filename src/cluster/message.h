@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/entry.h"
@@ -24,6 +25,7 @@ enum class MsgType : std::uint8_t {
   kFetchResp = 5,   ///< data response
   kInvalidate = 6,  ///< application-driven invalidation of a key glob
   kSyncReq = 7,     ///< "re-announce your cached entries to me" (rejoin)
+  kBatch = 8,       ///< several info-channel updates packed into one frame
 };
 
 /// A decoded protocol message (tagged union kept flat for simplicity).
@@ -36,6 +38,7 @@ struct Message {
   std::uint64_t version = 0;  // kErase
   bool found = false;     // kFetchResp
   std::string data;       // kFetchResp body
+  std::vector<Message> batch;  // kBatch: inner messages, applied in order
 
   static Message hello(core::NodeId sender);
   static Message insert(core::NodeId sender, const core::EntryMeta& meta);
@@ -48,6 +51,9 @@ struct Message {
   static Message fetch_resp_miss(core::NodeId sender);
   static Message invalidate(core::NodeId sender, std::string pattern);
   static Message sync_req(core::NodeId sender);
+  /// Packs `messages` into one frame. Nesting is not allowed: decoding
+  /// rejects a batch inside a batch.
+  static Message make_batch(core::NodeId sender, std::vector<Message> messages);
 };
 
 /// Maximum accepted frame (defends the daemons against garbage).

@@ -95,6 +95,7 @@ Result<std::string_view> verify_cache_file(std::string_view file,
 Result<StorageId> MemoryBackend::put(std::string_view data,
                                      std::uint64_t key_hash) {
   (void)key_hash;  // nothing survives this process; no format to bind it to
+  std::lock_guard<std::mutex> lock(mutex_);
   const StorageId id = next_id_++;
   bytes_ += data.size();
   blobs_.emplace(id, std::string(data));
@@ -102,6 +103,7 @@ Result<StorageId> MemoryBackend::put(std::string_view data,
 }
 
 Result<std::string> MemoryBackend::get(StorageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = blobs_.find(id);
   if (it == blobs_.end()) {
     return Status(StatusCode::kNotFound, "no blob " + std::to_string(id));
@@ -110,6 +112,7 @@ Result<std::string> MemoryBackend::get(StorageId id) {
 }
 
 void MemoryBackend::erase(StorageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = blobs_.find(id);
   if (it == blobs_.end()) return;
   bytes_ -= it->second.size();
@@ -128,7 +131,11 @@ DiskBackend::DiskBackend(std::string dir, FsOps* fs)
 }
 
 DiskBackend::~DiskBackend() {
-  if (retain_) return;  // warm-restart handoff: a manifest references these
+  // No lock: destruction implies no concurrent users (outstanding pins hold
+  // the backend via shared_ptr, so the destructor runs after the last one).
+  if (retain_.load(std::memory_order_relaxed)) {
+    return;  // warm-restart handoff: a manifest references these
+  }
   // Remove files we created; leave foreign files alone.
   for (const auto& [id, size] : sizes_) {
     (void)size;
@@ -191,6 +198,7 @@ Status DiskBackend::adopt(StorageId id, std::uint64_t size,
     quarantine(path);
     return payload.status();
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   if (sizes_.emplace(id, size).second) bytes_ += size;
   key_hashes_[id] = key_hash;
   if (id >= next_id_) next_id_ = id + 1;
@@ -200,7 +208,11 @@ Status DiskBackend::adopt(StorageId id, std::uint64_t size,
 Result<StorageId> DiskBackend::put(std::string_view data,
                                    std::uint64_t key_hash) {
   if (!init_status_.is_ok()) return init_status_;
-  const StorageId id = next_id_++;
+  StorageId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+  }
   const std::string path = path_for(id);
   const std::string tmp = path + ".tmp";
 
@@ -253,6 +265,7 @@ Result<StorageId> DiskBackend::put(std::string_view data,
     (void)fs_->unlink(path.c_str());
     return st;
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   sizes_[id] = data.size();
   key_hashes_[id] = key_hash;
   bytes_ += data.size();
@@ -263,9 +276,13 @@ Result<std::string> DiskBackend::get(StorageId id) {
   const std::string path = path_for(id);
   auto file = read_file(path);
   if (!file) return file.status();
-  const auto kh = key_hashes_.find(id);
-  auto payload =
-      verify_cache_file(file.value(), kh != key_hashes_.end() ? kh->second : 0);
+  std::uint64_t expected_hash = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto kh = key_hashes_.find(id);
+    if (kh != key_hashes_.end()) expected_hash = kh->second;
+  }
+  auto payload = verify_cache_file(file.value(), expected_hash);
   if (!payload) {
     SWALA_LOG(Warn) << "integrity failure reading " << path << ": "
                     << payload.status().to_string();
@@ -278,18 +295,23 @@ Result<std::string> DiskBackend::get(StorageId id) {
 }
 
 void DiskBackend::erase(StorageId id) {
-  const auto it = sizes_.find(id);
-  if (it == sizes_.end()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sizes_.find(id);
+    if (it == sizes_.end()) return;
+    bytes_ -= it->second;
+    sizes_.erase(it);
+    key_hashes_.erase(id);
+  }
   (void)fs_->unlink(path_for(id).c_str());
-  bytes_ -= it->second;
-  sizes_.erase(it);
-  key_hashes_.erase(id);
 }
 
 ScrubReport DiskBackend::scrub() {
+  // Startup-only; holding the lock across the directory walk is fine.
+  std::lock_guard<std::mutex> lock(mutex_);
   ScrubReport report;
   report.adopted = sizes_.size();
-  report.quarantined = quarantined_;
+  report.quarantined = quarantined_.load(std::memory_order_relaxed);
 
   DIR* handle = ::opendir(dir_.c_str());
   if (handle == nullptr) return report;

@@ -14,7 +14,9 @@
 // half-written file under a live name.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -53,6 +55,10 @@ struct ScrubReport {
   std::uint64_t temps_removed = 0;    ///< leftover *.tmp unlinked
 };
 
+/// Backends are internally thread-safe: the cache store issues puts, gets
+/// and erases concurrently without holding its own mutex (pin/refcount
+/// protocol), so each backend guards its bookkeeping itself and keeps the
+/// actual data I/O outside its internal lock.
 class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
@@ -113,9 +119,13 @@ class MemoryBackend final : public StorageBackend {
   Result<StorageId> put(std::string_view data, std::uint64_t key_hash) override;
   Result<std::string> get(StorageId id) override;
   void erase(StorageId id) override;
-  std::uint64_t bytes_stored() const override { return bytes_; }
+  std::uint64_t bytes_stored() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<StorageId, std::string> blobs_;
   StorageId next_id_ = 1;
   std::uint64_t bytes_ = 0;
@@ -135,10 +145,15 @@ class DiskBackend final : public StorageBackend {
   Result<StorageId> put(std::string_view data, std::uint64_t key_hash) override;
   Result<std::string> get(StorageId id) override;
   void erase(StorageId id) override;
-  std::uint64_t bytes_stored() const override { return bytes_; }
+  std::uint64_t bytes_stored() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+  }
   Status adopt(StorageId id, std::uint64_t size,
                std::uint64_t key_hash) override;
-  void set_retain_on_destruction(bool retain) override { retain_ = retain; }
+  void set_retain_on_destruction(bool retain) override {
+    retain_.store(retain, std::memory_order_relaxed);
+  }
   Status init_status() const override { return init_status_; }
   ScrubReport scrub() override;
   FsOps* fs() const override { return fs_; }
@@ -159,10 +174,13 @@ class DiskBackend final : public StorageBackend {
   std::string dir_;
   FsOps* fs_;
   Status init_status_;
+  /// Guards the bookkeeping maps and counters below; file I/O (write,
+  /// read, unlink) always happens with it released.
+  mutable std::mutex mutex_;
   StorageId next_id_ = 1;
   std::uint64_t bytes_ = 0;
-  bool retain_ = false;
-  std::uint64_t quarantined_ = 0;  ///< corrupt files renamed since start
+  std::atomic<bool> retain_{false};
+  std::atomic<std::uint64_t> quarantined_{0};  ///< corrupt files renamed
   std::unordered_map<StorageId, std::uint64_t> sizes_;  ///< payload bytes
   std::unordered_map<StorageId, std::uint64_t> key_hashes_;
 };

@@ -22,49 +22,70 @@ Result<EntryMeta> CacheStore::insert(const CacheKey& key, std::string_view data,
                                      double cost_seconds, double ttl_seconds,
                                      std::string content_type, int http_status,
                                      std::vector<EntryMeta>* evicted) {
-  std::lock_guard<std::mutex> lock(mutex_);
-
   if (limits_.max_bytes != 0 && data.size() > limits_.max_bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected_too_large;
     return Status(StatusCode::kResourceExhausted,
                   "entry larger than cache byte limit");
   }
-  // Replace any existing copy first so its bytes do not count against us.
-  if (entries_.find(key.text) != entries_.end()) {
-    remove_locked(key.text, /*count_eviction=*/false, nullptr);
-  }
 
-  make_room(data.size(), evicted);
-
+  // Write the blob before taking the mutex: the put (fsync + rename on the
+  // disk backend) is the expensive part and must not stall readers. Losers
+  // of a concurrent same-key race are handled below — the second install
+  // dooms the first install's storage like any other replacement.
   auto id = backend_->put(data, key.hash());
   if (!id) return id.status();
 
-  const TimeNs now = clock_->now();
-  Slot slot;
-  slot.storage = id.value();
-  slot.meta.key = key.text;
-  slot.meta.owner = owner_;
-  slot.meta.size_bytes = data.size();
-  slot.meta.cost_seconds = cost_seconds;
-  slot.meta.insert_time = now;
-  slot.meta.expire_time =
-      ttl_seconds > 0 ? now + from_seconds(ttl_seconds) : TimeNs{0};
-  slot.meta.last_access = now;
-  slot.meta.access_count = 0;
-  slot.meta.content_type = std::move(content_type);
-  slot.meta.http_status = http_status;
-  slot.meta.version = ++version_counter_;
+  // Candidate hot blob, copied before taking the mutex (an 8 KB memcpy has
+  // no business inside the metadata lock).
+  std::shared_ptr<const std::string> hot_blob;
+  if (limits_.hot_bytes != 0 && data.size() <= limits_.hot_bytes) {
+    hot_blob = std::make_shared<const std::string>(data);
+  }
 
-  policy_->on_insert(slot.meta);
-  bytes_used_ += slot.meta.size_bytes;
-  ++stats_.inserts;
-  EntryMeta meta = slot.meta;
-  entries_[key.text] = std::move(slot);
+  std::vector<Pin> doomed;
+  EntryMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Replace any existing copy first so its bytes do not count against us.
+    if (entries_.find(key.text) != entries_.end()) {
+      remove_locked(key.text, /*count_eviction=*/false, nullptr, &doomed);
+    }
+    make_room(data.size(), evicted, &doomed);
+
+    const TimeNs now = clock_->now();
+    Slot slot;
+    slot.pin = std::make_shared<PinnedStorage>(backend_, id.value());
+    slot.meta.key = key.text;
+    slot.meta.owner = owner_;
+    slot.meta.size_bytes = data.size();
+    slot.meta.cost_seconds = cost_seconds;
+    slot.meta.insert_time = now;
+    slot.meta.expire_time =
+        ttl_seconds > 0 ? now + from_seconds(ttl_seconds) : TimeNs{0};
+    slot.meta.last_access = now;
+    slot.meta.access_count = 0;
+    slot.meta.content_type = std::move(content_type);
+    slot.meta.http_status = http_status;
+    slot.meta.version = ++version_counter_;
+
+    policy_->on_insert(slot.meta);
+    bytes_used_ += slot.meta.size_bytes;
+    ++stats_.inserts;
+    meta = slot.meta;
+    auto& installed = entries_[key.text];
+    installed = std::move(slot);
+    // The data just came through this thread verified; keep it hot.
+    if (hot_blob) hot_admit_locked(key.text, &installed, std::move(hot_blob));
+  }
+  // `doomed` destructs here, unlinking replaced/evicted blobs (or deferring
+  // to a pinned reader) with the mutex released.
   return meta;
 }
 
 void CacheStore::make_room(std::uint64_t incoming_bytes,
-                           std::vector<EntryMeta>* evicted) {
+                           std::vector<EntryMeta>* evicted,
+                           std::vector<Pin>* doomed) {
   const auto over = [&] {
     if (limits_.max_entries != 0 && entries_.size() + 1 > limits_.max_entries) {
       return true;
@@ -77,43 +98,100 @@ void CacheStore::make_room(std::uint64_t incoming_bytes,
   while (over() && !entries_.empty()) {
     const auto victim = policy_->victim();
     if (!victim) break;  // policy out of sync; bail rather than spin
-    remove_locked(*victim, /*count_eviction=*/true, evicted);
+    remove_locked(*victim, /*count_eviction=*/true, evicted, doomed);
   }
 }
 
 void CacheStore::remove_locked(const std::string& key, bool count_eviction,
-                               std::vector<EntryMeta>* out) {
+                               std::vector<EntryMeta>* out,
+                               std::vector<Pin>* doomed) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return;
   bytes_used_ -= it->second.meta.size_bytes;
-  backend_->erase(it->second.storage);
+  hot_drop_locked(&it->second);
+  if (it->second.pin) {
+    it->second.pin->doomed.store(true, std::memory_order_release);
+    doomed->push_back(std::move(it->second.pin));
+  }
   policy_->on_erase(key);
   if (count_eviction) ++stats_.evictions;
-  if (out) out->push_back(it->second.meta);
+  if (out) out->push_back(std::move(it->second.meta));
   entries_.erase(it);
 }
 
 std::optional<CachedResult> CacheStore::fetch(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(std::string(key));
-  if (it == entries_.end() || it->second.meta.expired(clock_->now())) {
-    ++stats_.misses;
-    return std::nullopt;
+  Pin pin;
+  EntryMeta meta;
+  std::shared_ptr<const std::string> hot_blob;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(std::string(key));
+    if (it == entries_.end() || it->second.meta.expired(clock_->now())) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    Slot& slot = it->second;
+    if (slot.hot) {
+      slot.meta.last_access = clock_->now();
+      ++slot.meta.access_count;
+      policy_->on_access(slot.meta);
+      ++stats_.hits;
+      ++stats_.hot_hits;
+      hot_touch_locked(&slot);
+      hot_blob = slot.hot;
+      meta = slot.meta;
+    } else {
+      pin = slot.pin;
+      meta = slot.meta;
+    }
   }
-  auto data = backend_->get(it->second.storage);
+  if (hot_blob) {
+    // Copy the blob outside the mutex; the shared_ptr keeps it alive even
+    // if the entry is evicted concurrently.
+    return CachedResult{std::move(meta), *hot_blob};
+  }
+
+  // Read the backend with the mutex released; the pin keeps the blob alive
+  // (and defers any concurrent unlink) until we are done.
+  active_pins_.fetch_add(1, std::memory_order_relaxed);
+  auto data = pin->backend->get(pin->id);
+  active_pins_.fetch_sub(1, std::memory_order_relaxed);
+
   if (!data) {
     // Backing file vanished (e.g. external cleanup). Report a miss but keep
     // the entry resident: removal must go through the manager's commit
     // protocol so the directory erase and its broadcast are published with
     // the store change (the next complete() for the key replaces it).
+    std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.misses;
     return std::nullopt;
   }
-  it->second.meta.last_access = clock_->now();
-  ++it->second.meta.access_count;
-  policy_->on_access(it->second.meta);
-  ++stats_.hits;
-  return CachedResult{it->second.meta, std::move(data.value())};
+
+  // First verified read: promote to the hot-blob cache so later hits skip
+  // the disk and the checksum. Copy the blob before relocking.
+  std::shared_ptr<const std::string> promoted;
+  if (limits_.hot_bytes != 0 && data.value().size() <= limits_.hot_bytes) {
+    promoted = std::make_shared<const std::string>(data.value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(std::string(key));
+    if (it != entries_.end() && it->second.pin == pin) {
+      Slot& slot = it->second;
+      slot.meta.last_access = clock_->now();
+      ++slot.meta.access_count;
+      policy_->on_access(slot.meta);
+      meta = slot.meta;
+      if (promoted && !slot.hot) {
+        hot_admit_locked(it->first, &slot, std::move(promoted));
+      }
+    }
+    // Entry replaced/removed while we read: the data was valid when read,
+    // so still serve it (with the meta snapshotted before the read).
+    ++stats_.hits;
+    ++stats_.hot_misses;
+  }
+  return CachedResult{std::move(meta), std::move(data.value())};
 }
 
 std::optional<EntryMeta> CacheStore::peek(std::string_view key) const {
@@ -126,37 +204,46 @@ std::optional<EntryMeta> CacheStore::peek(std::string_view key) const {
 }
 
 std::optional<EntryMeta> CacheStore::erase(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<EntryMeta> out;
-  remove_locked(std::string(key), /*count_eviction=*/false, &out);
+  std::vector<Pin> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    remove_locked(std::string(key), /*count_eviction=*/false, &out, &doomed);
+  }
   if (out.empty()) return std::nullopt;
-  return out.front();
+  return std::move(out.front());
 }
 
 std::vector<EntryMeta> CacheStore::purge_expired() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const TimeNs now = clock_->now();
-  std::vector<std::string> doomed;
-  for (const auto& [key, slot] : entries_) {
-    if (slot.meta.expired(now)) doomed.push_back(key);
-  }
   std::vector<EntryMeta> out;
-  for (const auto& key : doomed) {
-    remove_locked(key, /*count_eviction=*/false, &out);
-    ++stats_.expirations;
+  std::vector<Pin> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const TimeNs now = clock_->now();
+    std::vector<std::string> expired;
+    for (const auto& [key, slot] : entries_) {
+      if (slot.meta.expired(now)) expired.push_back(key);
+    }
+    for (const auto& key : expired) {
+      remove_locked(key, /*count_eviction=*/false, &out, &doomed);
+      ++stats_.expirations;
+    }
   }
   return out;
 }
 
 std::vector<EntryMeta> CacheStore::erase_matching(std::string_view pattern) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::string> doomed;
-  for (const auto& [key, slot] : entries_) {
-    if (glob_match(pattern, key)) doomed.push_back(key);
-  }
   std::vector<EntryMeta> out;
-  for (const auto& key : doomed) {
-    remove_locked(key, /*count_eviction=*/false, &out);
+  std::vector<Pin> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> matched;
+    for (const auto& [key, slot] : entries_) {
+      if (glob_match(pattern, key)) matched.push_back(key);
+    }
+    for (const auto& key : matched) {
+      remove_locked(key, /*count_eviction=*/false, &out, &doomed);
+    }
   }
   return out;
 }
@@ -178,41 +265,51 @@ std::vector<std::string> CacheStore::keys() const {
 }
 
 void CacheStore::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::string> keys;
-  keys.reserve(entries_.size());
-  for (const auto& [key, slot] : entries_) keys.push_back(key);
-  for (const auto& key : keys) remove_locked(key, false, nullptr);
+  std::vector<Pin> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [key, slot] : entries_) keys.push_back(key);
+    for (const auto& key : keys) {
+      remove_locked(key, /*count_eviction=*/false, nullptr, &doomed);
+    }
+  }
 }
 
 Status CacheStore::save_manifest(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::string content = "swala-manifest " +
-                        std::to_string(kManifestFormatVersion) + "\n";
-  const TimeNs now = clock_->now();
-  char line[4096];
-  for (const auto& [key, slot] : entries_) {
-    const EntryMeta& meta = slot.meta;
-    if (meta.expired(now)) continue;
-    const double age = to_seconds(now - meta.insert_time);
-    const double ttl_remaining =
-        meta.expire_time == 0 ? -1.0 : to_seconds(meta.expire_time - now);
-    const double idle = to_seconds(now - meta.last_access);
-    // content_type is percent-encoded (it may contain spaces, e.g.
-    // "text/html; charset=..."); the key goes last and keeps its spaces.
-    const int n = std::snprintf(
-        line, sizeof(line), "%llu %llu %.9f %.6f %.6f %.6f %llu %d %llu %s %s\n",
-        static_cast<unsigned long long>(slot.storage),
-        static_cast<unsigned long long>(meta.size_bytes), meta.cost_seconds,
-        age, ttl_remaining, idle,
-        static_cast<unsigned long long>(meta.access_count), meta.http_status,
-        static_cast<unsigned long long>(meta.version),
-        http::percent_encode(meta.content_type).c_str(), key.c_str());
-    if (n < 0 || static_cast<std::size_t>(n) >= sizeof(line)) {
-      SWALA_LOG(Warn) << "manifest entry too long, skipped: " << key;
-      continue;
+  // Snapshot the manifest content under the mutex, but keep the disk write
+  // (fsync + rename) outside it so a slow checkpoint cannot stall the hit
+  // path.
+  std::string content;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    content = "swala-manifest " + std::to_string(kManifestFormatVersion) + "\n";
+    const TimeNs now = clock_->now();
+    char line[4096];
+    for (const auto& [key, slot] : entries_) {
+      const EntryMeta& meta = slot.meta;
+      if (meta.expired(now)) continue;
+      const double age = to_seconds(now - meta.insert_time);
+      const double ttl_remaining =
+          meta.expire_time == 0 ? -1.0 : to_seconds(meta.expire_time - now);
+      const double idle = to_seconds(now - meta.last_access);
+      // content_type is percent-encoded (it may contain spaces, e.g.
+      // "text/html; charset=..."); the key goes last and keeps its spaces.
+      const int n = std::snprintf(
+          line, sizeof(line), "%llu %llu %.9f %.6f %.6f %.6f %llu %d %llu %s %s\n",
+          static_cast<unsigned long long>(slot.pin ? slot.pin->id : 0),
+          static_cast<unsigned long long>(meta.size_bytes), meta.cost_seconds,
+          age, ttl_remaining, idle,
+          static_cast<unsigned long long>(meta.access_count), meta.http_status,
+          static_cast<unsigned long long>(meta.version),
+          http::percent_encode(meta.content_type).c_str(), key.c_str());
+      if (n < 0 || static_cast<std::size_t>(n) >= sizeof(line)) {
+        SWALA_LOG(Warn) << "manifest entry too long, skipped: " << key;
+        continue;
+      }
+      content.append(line, static_cast<std::size_t>(n));
     }
-    content.append(line, static_cast<std::size_t>(n));
   }
   // Atomic + durable replacement: a crash mid-checkpoint must leave the
   // previous manifest readable, never a torn mix.
@@ -271,7 +368,7 @@ Result<std::size_t> CacheStore::load_manifest(const std::string& path) {
     }
 
     Slot slot;
-    slot.storage = storage;
+    slot.pin = std::make_shared<PinnedStorage>(backend_, storage);
     slot.meta.key = key;
     slot.meta.owner = owner_;
     slot.meta.size_bytes = size;
@@ -301,10 +398,7 @@ Result<std::size_t> CacheStore::load_manifest(const std::string& path) {
   return restored;
 }
 
-ScrubReport CacheStore::scrub_backend() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return backend_->scrub();
-}
+ScrubReport CacheStore::scrub_backend() { return backend_->scrub(); }
 
 std::size_t CacheStore::entry_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -317,10 +411,54 @@ std::uint64_t CacheStore::bytes_used() const {
 }
 
 StoreStats CacheStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  StoreStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s = stats_;
+    s.hot_bytes = hot_bytes_used_;
+  }
+  s.pinned_entries = active_pins_.load(std::memory_order_relaxed);
+  return s;
 }
 
 PolicyKind CacheStore::policy() const { return policy_->kind(); }
+
+// ---- hot-blob cache ----
+
+void CacheStore::hot_admit_locked(const std::string& key, Slot* slot,
+                                  std::shared_ptr<const std::string> blob) {
+  if (limits_.hot_bytes == 0 || !blob || blob->size() > limits_.hot_bytes) {
+    return;
+  }
+  if (slot->hot) {
+    hot_touch_locked(slot);
+    return;
+  }
+  while (hot_bytes_used_ + blob->size() > limits_.hot_bytes &&
+         !hot_lru_.empty()) {
+    const std::string victim = hot_lru_.back();
+    const auto it = entries_.find(victim);
+    if (it != entries_.end() && it->second.hot) {
+      hot_bytes_used_ -= it->second.hot->size();
+      it->second.hot.reset();
+    }
+    hot_lru_.pop_back();
+  }
+  hot_bytes_used_ += blob->size();
+  hot_lru_.push_front(key);
+  slot->hot_it = hot_lru_.begin();
+  slot->hot = std::move(blob);
+}
+
+void CacheStore::hot_touch_locked(Slot* slot) {
+  hot_lru_.splice(hot_lru_.begin(), hot_lru_, slot->hot_it);
+}
+
+void CacheStore::hot_drop_locked(Slot* slot) {
+  if (!slot->hot) return;
+  hot_bytes_used_ -= slot->hot->size();
+  hot_lru_.erase(slot->hot_it);
+  slot->hot.reset();
+}
 
 }  // namespace swala::core

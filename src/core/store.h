@@ -1,9 +1,16 @@
 // The local cache of one Swala node: entry metadata + stored result data +
-// replacement policy + capacity enforcement. Thread-safe (one mutex; all
-// operations are short — data I/O goes through the backend while holding it,
-// matching the paper's single manager thread per node).
+// replacement policy + capacity enforcement. Thread-safe. The mutex guards
+// metadata only — all blob I/O (backend put/get, manifest writes, unlinks)
+// happens outside it. Readers pin an entry's storage with a refcount before
+// reading, so eviction and purge can never unlink a file a concurrent fetch
+// is still reading from: the last pin holder performs the deferred unlink.
+// A byte-capped in-memory hot-blob cache sits above the backend; a blob is
+// admitted on insert or on its first verified read and is then served from
+// memory with no disk access and no checksum re-verification.
 #pragma once
 
+#include <atomic>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -21,10 +28,14 @@ namespace swala::core {
 /// layout changes; loaders refuse versions newer than they understand.
 constexpr int kManifestFormatVersion = 1;
 
-/// Capacity limits; 0 means unlimited on that axis.
+/// Capacity limits; 0 means unlimited on that axis (except hot_bytes,
+/// where 0 disables the hot-blob cache entirely).
 struct StoreLimits {
   std::uint64_t max_entries = 2000;
   std::uint64_t max_bytes = 0;
+  /// Capacity of the in-memory hot-blob cache (LRU over verified blobs).
+  /// 0 disables it: every hit reads the backend (outside the mutex).
+  std::uint64_t hot_bytes = 0;
 };
 
 /// Counters exposed for experiments.
@@ -35,6 +46,11 @@ struct StoreStats {
   std::uint64_t evictions = 0;
   std::uint64_t expirations = 0;
   std::uint64_t rejected_too_large = 0;
+  // ---- hot path ----
+  std::uint64_t hot_hits = 0;    ///< hits served from the hot-blob cache
+  std::uint64_t hot_misses = 0;  ///< hits that had to read the backend
+  std::uint64_t hot_bytes = 0;   ///< current hot-blob residency (gauge)
+  std::uint64_t pinned_entries = 0;  ///< readers inside a backend get (gauge)
 };
 
 /// A fetched cached result.
@@ -103,7 +119,9 @@ class CacheStore {
   // mid-checkpoint leaves the previous manifest intact and a manifest from a
   // newer format version is refused instead of misparsed.
 
-  /// Persists the manifest; skips entries already expired.
+  /// Persists the manifest; skips entries already expired. The manifest
+  /// content is snapshotted under the mutex, but the disk write happens
+  /// outside it so a slow checkpoint cannot stall the hit path.
   Status save_manifest(const std::string& path) const;
 
   /// Restores entries from a manifest. Entries whose data file is missing,
@@ -129,22 +147,58 @@ class CacheStore {
   PolicyKind policy() const;
 
  private:
+  /// Refcounted handle to one entry's backing storage. Fetch copies the
+  /// shared_ptr under the mutex and reads the backend outside it; removal
+  /// marks the pin doomed and drops the store's reference. The last holder
+  /// (a reader in flight, or the removal itself) erases the backend object
+  /// from its destructor — always outside the store mutex.
+  struct PinnedStorage {
+    PinnedStorage(std::shared_ptr<StorageBackend> b, StorageId sid)
+        : backend(std::move(b)), id(sid) {}
+    ~PinnedStorage() {
+      if (doomed.load(std::memory_order_acquire)) backend->erase(id);
+    }
+    PinnedStorage(const PinnedStorage&) = delete;
+    PinnedStorage& operator=(const PinnedStorage&) = delete;
+
+    std::shared_ptr<StorageBackend> backend;
+    StorageId id = 0;
+    std::atomic<bool> doomed{false};
+  };
+  using Pin = std::shared_ptr<PinnedStorage>;
+
   struct Slot {
     EntryMeta meta;
-    StorageId storage = 0;
+    Pin pin;
+    /// Verified blob held in memory; null when not hot-resident.
+    std::shared_ptr<const std::string> hot;
+    /// Position in hot_lru_; valid only while `hot` is set.
+    std::list<std::string>::iterator hot_it;
   };
 
   /// Evicts until within limits assuming `incoming_bytes` are arriving.
-  /// Caller holds mutex_.
-  void make_room(std::uint64_t incoming_bytes, std::vector<EntryMeta>* evicted);
+  /// Doomed pins are appended to `doomed` for destruction outside the
+  /// mutex. Caller holds mutex_.
+  void make_room(std::uint64_t incoming_bytes, std::vector<EntryMeta>* evicted,
+                 std::vector<Pin>* doomed);
 
-  /// Caller holds mutex_.
+  /// Caller holds mutex_. The removed entry's pin is marked doomed and
+  /// moved into `doomed`; the caller destroys it after unlocking so the
+  /// unlink (or its deferral to a pinned reader) happens outside the lock.
   void remove_locked(const std::string& key, bool count_eviction,
-                     std::vector<EntryMeta>* out);
+                     std::vector<EntryMeta>* out, std::vector<Pin>* doomed);
+
+  // ---- hot-blob cache (callers hold mutex_) ----
+  void hot_admit_locked(const std::string& key, Slot* slot,
+                        std::shared_ptr<const std::string> blob);
+  void hot_touch_locked(Slot* slot);
+  void hot_drop_locked(Slot* slot);
 
   StoreLimits limits_;
   std::unique_ptr<ReplacementPolicy> policy_;
-  std::unique_ptr<StorageBackend> backend_;
+  /// Shared so outstanding pins keep the backend alive even if a reader
+  /// races store destruction.
+  std::shared_ptr<StorageBackend> backend_;
   const Clock* clock_;
   NodeId owner_;
 
@@ -152,6 +206,12 @@ class CacheStore {
   std::unordered_map<std::string, Slot> entries_;
   std::uint64_t bytes_used_ = 0;
   StoreStats stats_;
+  /// Hot-blob LRU: front = most recently used. Only keys whose slot holds a
+  /// hot blob appear here.
+  std::list<std::string> hot_lru_;
+  std::uint64_t hot_bytes_used_ = 0;
+  /// Readers currently inside an unlocked backend get (gauge for stats).
+  std::atomic<std::uint64_t> active_pins_{0};
   /// Store-wide monotonic version source. Per-key versions drawn from it
   /// never regress, even across erase→re-insert of the same key, so a stale
   /// erase broadcast can always be recognized by peers (its version is

@@ -76,7 +76,9 @@ Response Response::make(int status, std::string body,
 }
 
 Response Response::error(int status, std::string_view detail) {
-  std::string body = "<html><head><title>";
+  std::string body;
+  body.reserve(128 + detail.size());
+  body += "<html><head><title>";
   body += std::to_string(status);
   body += " ";
   body += reason_phrase(status);
@@ -94,9 +96,13 @@ Response Response::error(int status, std::string_view detail) {
   return make(status, std::move(body));
 }
 
-std::string Response::serialize() const {
+std::string Response::serialize_head() const {
   std::string out;
-  out.reserve(128 + body.size());
+  std::size_t header_bytes = 0;
+  for (const auto& f : headers.fields()) {
+    header_bytes += f.name.size() + f.value.size() + 4;
+  }
+  out.reserve(48 + header_bytes);
   out += version_name(version);
   out += " ";
   out += std::to_string(status);
@@ -110,12 +116,22 @@ std::string Response::serialize() const {
     out += "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string Response::serialize() const {
+  std::string out = serialize_head();
   out += body;
   return out;
 }
 
 std::string serialize_request(const Request& req) {
   std::string out;
+  std::size_t header_bytes = 0;
+  for (const auto& f : req.headers.fields()) {
+    header_bytes += f.name.size() + f.value.size() + 4;
+  }
+  out.reserve(48 + req.target.size() + header_bytes + req.body.size());
   out += method_name(req.method);
   out += " ";
   out += req.target.empty() ? req.uri.canonical() : req.target;

@@ -48,6 +48,10 @@ struct Response {
 
   /// Full wire form: status line, headers, blank line, body.
   std::string serialize() const;
+
+  /// Wire form of the head only (status line, headers, blank line) — the
+  /// body is written separately (vectored write), never concatenated.
+  std::string serialize_head() const;
 };
 
 /// Standard reason phrase for a status code ("OK", "Not Found", ...).

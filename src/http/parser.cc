@@ -6,7 +6,12 @@
 
 namespace swala::http {
 
-RequestParser::RequestParser(ParserLimits limits) : limits_(limits) {}
+RequestParser::RequestParser(ParserLimits limits) : limits_(limits) {
+  // Typical request heads fit in one read slice; reserving up front avoids
+  // append-growth reallocations on the first request of every connection
+  // (reset() keeps the capacity for the rest of the keep-alive session).
+  buffer_.reserve(4 * 1024);
+}
 
 void RequestParser::reset() {
   // Keep unconsumed (pipelined) bytes.

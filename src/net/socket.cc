@@ -8,6 +8,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 namespace swala::net {
@@ -161,6 +162,45 @@ Status TcpStream::write_all(std::string_view data) {
       return errno_status(StatusCode::kIoError, "send");
     }
     sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status TcpStream::write_vec(std::string_view head, std::string_view body) {
+  // sendmsg rather than writev: writev has no MSG_NOSIGNAL, and a peer
+  // reset mid-response must surface as kClosed, not kill the process.
+  iovec iov[2];
+  iov[0] = {const_cast<char*>(head.data()), head.size()};
+  iov[1] = {const_cast<char*>(body.data()), body.size()};
+  std::size_t idx = head.empty() ? 1 : 0;
+  std::size_t count = 2;
+  if (body.empty()) count = 1;
+  while (idx < count) {
+    msghdr msg{};
+    msg.msg_iov = &iov[idx];
+    msg.msg_iovlen = count - idx;
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status(StatusCode::kTimeout, "send timeout");
+      }
+      if (errno == ECONNRESET || errno == EPIPE) {
+        return Status(StatusCode::kClosed, "connection reset by peer");
+      }
+      return errno_status(StatusCode::kIoError, "sendmsg");
+    }
+    // Advance the iovecs past the bytes the kernel took (partial writes
+    // happen under send timeouts and small socket buffers).
+    std::size_t taken = static_cast<std::size_t>(n);
+    while (idx < count && taken >= iov[idx].iov_len) {
+      taken -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < count && taken > 0) {
+      iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + taken;
+      iov[idx].iov_len -= taken;
+    }
   }
   return Status::ok();
 }

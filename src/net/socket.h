@@ -51,6 +51,11 @@ class TcpStream {
   /// Writes the entire buffer or fails.
   Status write_all(std::string_view data);
 
+  /// Writes `head` then `body` as one vectored write (sendmsg), so a
+  /// response goes out without concatenating header and body into a fresh
+  /// buffer. Either view may be empty. Same failure contract as write_all.
+  Status write_vec(std::string_view head, std::string_view body);
+
   /// Half-close of the write side (signals EOF to the peer).
   Status shutdown_write();
 

@@ -203,6 +203,8 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("cluster_probes_sent", g.probes_sent);
     body += json_u64("cluster_resyncs_requested", g.resyncs_requested);
     body += json_u64("cluster_resyncs_served", g.resyncs_served);
+    body += json_u64("cluster_frames_sent", g.frames_sent);
+    body += json_u64("cluster_batched_broadcasts", g.batched_broadcasts);
     body += "  \"cluster_peers\": [";
     const auto peers = ctx.group->peer_health();
     for (std::size_t i = 0; i < peers.size(); ++i) {
@@ -248,7 +250,12 @@ http::Response serve_status(const ServeContext& ctx) {
     body += "  " + json_u64("scrub_temps_removed", scrub.temps_removed, true);
     body += "  },\n";
     body += json_u64("cache_entries", ctx.cache->store().entry_count());
-    body += json_u64("cache_bytes", ctx.cache->store().bytes_used(), true);
+    body += json_u64("cache_bytes", ctx.cache->store().bytes_used());
+    const core::StoreStats st = ctx.cache->store().stats();
+    body += json_u64("cache_hot_hits", st.hot_hits);
+    body += json_u64("cache_hot_misses", st.hot_misses);
+    body += json_u64("cache_hot_bytes", st.hot_bytes);
+    body += json_u64("cache_pinned_entries", st.pinned_entries, true);
   } else {
     body += json_u64("cache_enabled", 0, true);
   }
@@ -360,7 +367,7 @@ void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
     }
     if (state == http::ParseState::kError) {
       const auto resp = http::Response::error(parser.error_status());
-      (void)stream.write_all(resp.serialize());
+      (void)stream.write_vec(resp.serialize_head(), resp.body);
       return;
     }
 
@@ -396,10 +403,14 @@ void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
     resp.headers.set("Connection", keep ? "keep-alive" : "close");
     if (request.method == http::Method::kHead) resp.body.clear();
 
-    const std::string wire = resp.serialize();
-    if (!stream.write_all(wire).is_ok()) return;
+    // Vectored write: the head is small and freshly built, the body can be
+    // large (a cached blob) — gluing them into one string would copy the
+    // body once per response.
+    const std::string head = resp.serialize_head();
+    if (!stream.write_vec(head, resp.body).is_ok()) return;
     if (ctx.counters != nullptr) {
-      ctx.counters->bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+      ctx.counters->bytes_sent.fetch_add(head.size() + resp.body.size(),
+                                         std::memory_order_relaxed);
     }
     ++served;
     if (!keep) return;

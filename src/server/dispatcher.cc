@@ -24,7 +24,8 @@ Status Dispatcher::start() {
     return Status(StatusCode::kInvalidArgument, "dispatcher needs backends");
   }
   if (running_.exchange(true)) return Status::ok();
-  auto listener = net::TcpListener::listen(options_.listen);
+  auto listener =
+      net::TcpListener::listen(options_.listen, options_.listen_backlog);
   if (!listener) {
     running_ = false;
     return listener.status();
@@ -116,8 +117,8 @@ void Dispatcher::handle_connection(net::TcpStream stream) {
       state = parser.feed({buf, n.value()});
     }
     if (state == http::ParseState::kError) {
-      (void)stream.write_all(
-          http::Response::error(parser.error_status()).serialize());
+      const auto resp = http::Response::error(parser.error_status());
+      (void)stream.write_vec(resp.serialize_head(), resp.body);
       return;
     }
 
@@ -156,7 +157,9 @@ void Dispatcher::handle_connection(net::TcpStream stream) {
     response.version = request.version;
     response.headers.set("Connection", client_keep ? "keep-alive" : "close");
     response.headers.set("Content-Length", std::to_string(response.body.size()));
-    if (!stream.write_all(response.serialize()).is_ok()) return;
+    if (!stream.write_vec(response.serialize_head(), response.body).is_ok()) {
+      return;
+    }
     if (!client_keep) return;
     parser.reset();
   }

@@ -36,6 +36,9 @@ struct DispatcherOptions {
   int backend_timeout_ms = 30000;
   /// How many distinct backends to try before giving up with 502.
   std::size_t max_attempts = 2;
+  /// listen(2) backlog for the front-end socket (it fronts every node, so
+  /// it sees the aggregate connection burst).
+  int listen_backlog = 128;
 };
 
 struct DispatcherStats {

@@ -73,6 +73,10 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
         static_cast<std::uint64_t>(config.get_int("cache", "max_entries", 2000));
     mo.limits.max_bytes =
         static_cast<std::uint64_t>(config.get_int("cache", "max_bytes", 0));
+    // Hot-blob cache on by default for deployments: a disk-backed store
+    // otherwise pays a file read + CRC on every hit (0 disables).
+    mo.limits.hot_bytes = static_cast<std::uint64_t>(
+        config.get_int("cache", "hot_bytes", 64 * 1024 * 1024));
     auto policy =
         core::policy_from_name(config.get_string("cache", "policy", "lru"));
     if (!policy) return policy.status();
@@ -87,6 +91,14 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
       cluster::GroupOptions go;
       go.purge_interval_seconds =
           config.get_double("cache", "purge_interval", 2.0);
+      // Batching defaults ON for deployments (GroupOptions itself defaults
+      // it off so tests keep one-message-per-frame semantics).
+      go.batch_max_messages = static_cast<std::size_t>(
+          config.get_int("cluster", "batch_max_messages", 64));
+      go.batch_max_bytes = static_cast<std::size_t>(
+          config.get_int("cluster", "batch_max_bytes", 256 * 1024));
+      go.batch_linger_ms =
+          static_cast<int>(config.get_int("cluster", "batch_linger_ms", 2));
       node->group_ =
           std::make_unique<cluster::NodeGroup>(node_id, members, go);
     }
@@ -128,6 +140,8 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
   so.docroot = config.get_string("server", "docroot", "");
   so.enable_admin = config.get_bool("server", "admin", false);
   so.access_log_path = config.get_string("server", "access_log", "");
+  so.listen_backlog =
+      static_cast<int>(config.get_int("server", "listen_backlog", 128));
   node->server_ = std::make_unique<SwalaServer>(
       std::move(so), std::move(registry), node->manager_.get());
   node->server_->set_group(node->group_.get());

@@ -9,11 +9,13 @@
 //   port = 8080            ; 0 = ephemeral
 //   threads = 16
 //   docroot = ./www
+//   listen_backlog = 128   ; listen(2) queue depth
 //
 //   [cache]
 //   enabled = true
 //   max_entries = 2000
 //   max_bytes = 0          ; 0 = unlimited
+//   hot_bytes = 67108864   ; in-memory hot-blob cache budget (0 = disabled)
 //   policy = lru           ; lru | lfu | fifo | size | gds
 //   disk_dir =             ; empty = in-memory store
 //   state_file =           ; warm-restart manifest (needs disk_dir)
@@ -29,6 +31,9 @@
 //   node_id = 0
 //   member = 0 127.0.0.1 9000 9001   ; id host info_port data_port
 //   member = 1 127.0.0.1 9010 9011
+//   batch_max_messages = 64          ; directory updates per frame (1 = off)
+//   batch_max_bytes = 262144         ; flush a batch at this encoded size
+//   batch_linger_ms = 2              ; max wait for more updates to coalesce
 #pragma once
 
 #include <condition_variable>

@@ -31,7 +31,8 @@ Status SwalaServer::start() {
     }
     ctx_.access_log = &access_log_;
   }
-  auto listener = net::TcpListener::listen(options_.listen);
+  auto listener =
+      net::TcpListener::listen(options_.listen, options_.listen_backlog);
   if (!listener) {
     running_ = false;
     return listener.status();

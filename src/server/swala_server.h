@@ -34,6 +34,10 @@ struct SwalaServerOptions {
   /// Path of the access log (empty = no logging); see access_log.h.
   std::string access_log_path;
   int recv_timeout_ms = 15000;
+  /// listen(2) backlog. Bursty benchmark loads overflow the historical
+  /// default of 128 and show up as client connect failures, not server
+  /// errors — raise this before raising request_threads.
+  int listen_backlog = 128;
 };
 
 class SwalaServer {

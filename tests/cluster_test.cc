@@ -370,5 +370,49 @@ TEST(LocalClusterTest, ConcurrentInsertsConverge) {
   })) << "directories did not converge to " << cluster.size() * kPerNode;
 }
 
+// Same convergence invariant with update batching on (the deployment
+// default): bursts coalesce into kBatch frames but every peer still ends up
+// with the full directory, and the batch counter proves frames actually
+// coalesced rather than the option being silently ignored.
+TEST(LocalClusterTest, ConcurrentInsertsConvergeWithBatching) {
+  GroupOptions batched;
+  batched.batch_max_messages = 64;
+  LocalCluster cluster(3, cluster_options, RealClock::instance(), batched);
+  constexpr int kPerNode = 30;
+  std::vector<std::thread> threads;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    threads.emplace_back([&cluster, n] {
+      for (int i = 0; i < kPerNode; ++i) {
+        const auto uri_str =
+            "/cgi-bin/b" + std::to_string(n) + "/i" + std::to_string(i);
+        http::Uri uri;
+        ASSERT_TRUE(http::parse_uri(uri_str, &uri));
+        auto lookup = cluster.manager(n).lookup(http::Method::kGet, uri);
+        cluster.manager(n).complete(http::Method::kGet, uri, lookup.rule,
+                                    ok_output("d"), 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_TRUE(eventually([&] {
+    for (std::size_t n = 0; n < cluster.size(); ++n) {
+      if (cluster.manager(n).directory().size() !=
+          cluster.size() * kPerNode) {
+        return false;
+      }
+    }
+    return true;
+  })) << "batched directories did not converge to "
+      << cluster.size() * kPerNode;
+
+  std::uint64_t batched_total = 0;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    batched_total += cluster.group(n).stats().batched_broadcasts;
+  }
+  EXPECT_GT(batched_total, 0u)
+      << "no broadcast was ever coalesced despite batching enabled";
+}
+
 }  // namespace
 }  // namespace swala::cluster

@@ -9,13 +9,21 @@
 // for the eviction-victim version race and the injected-desync detector.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string_view>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/random.h"
 #include "core/consistency.h"
 #include "core/manager.h"
+#include "core/storage.h"
 
 namespace swala::core {
 namespace {
@@ -237,6 +245,96 @@ TEST(DebugConsistencyCheck, ManagerDetectsInjectedDesync) {
   const auto report = manager.debug_check_consistency();
   EXPECT_FALSE(report.consistent());
   EXPECT_EQ(report.stale_in_directory.size(), 1u);
+}
+
+// ---- pin/refcount: get-while-evict ----
+
+/// A filesystem whose open() of cache files can be made to park the caller.
+/// The reader thread announces it is inside open(); the test then erases the
+/// entry while the reader holds its pin, and only afterwards lets the open
+/// proceed — a deterministic version of the fetch-vs-evict race.
+class BlockingFsOps final : public FsOps {
+ public:
+  int open(const char* path, int flags, int mode) override {
+    if (armed_.load(std::memory_order_acquire) &&
+        std::string_view(path).find(".cache") != std::string_view::npos) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      in_open_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return released_; });
+    }
+    return FsOps::real()->open(path, flags, mode);
+  }
+
+  void arm() { armed_.store(true, std::memory_order_release); }
+
+  void wait_until_blocked() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return in_open_; });
+  }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool in_open_ = false;    // guarded by mutex_
+  bool released_ = false;   // guarded by mutex_
+};
+
+// Eviction/erase must never unlink a file a concurrent fetch is reading:
+// the reader's pin keeps the storage alive, the erase only dooms it, and
+// the unlink happens when the last pin drops. The seed code did the read
+// under the store mutex, which serialized instead of racing — with the
+// mutex now metadata-only, this is the race that pins exist to close.
+TEST(PinnedReadRace, EraseWhileReaderPinnedKeepsFileUntilReaderDone) {
+  const std::string dir = "/tmp/swala_pin_race_test";
+  std::filesystem::remove_all(dir);
+  BlockingFsOps fs;
+  auto backend = std::make_unique<DiskBackend>(dir, &fs);
+  DiskBackend* disk = backend.get();
+  ManualClock clock(from_seconds(1.0));
+  StoreLimits limits;
+  limits.max_entries = 16;
+  limits.hot_bytes = 0;  // force every fetch down the pinned-disk path
+  CacheStore store(limits, PolicyKind::kLru, std::move(backend), &clock,
+                   /*owner=*/0);
+
+  std::vector<EntryMeta> evicted;
+  const std::string payload(4096, 'p');
+  auto meta = store.insert(CacheKey::make("GET", "/cgi-bin/pinned"), payload,
+                           1.0, 0, "text/html", 200, &evicted);
+  ASSERT_TRUE(meta.is_ok()) << meta.status().to_string();
+  const std::string path = disk->path_for(1);  // first put gets id 1
+  ASSERT_EQ(::access(path.c_str(), F_OK), 0) << path;
+
+  fs.arm();
+  std::optional<CachedResult> read;
+  std::thread reader([&] { read = store.fetch("GET /cgi-bin/pinned"); });
+  fs.wait_until_blocked();  // reader holds its pin, parked inside open()
+
+  // Erase while the reader is mid-read: the entry leaves the store...
+  ASSERT_TRUE(store.erase("GET /cgi-bin/pinned").has_value());
+  EXPECT_FALSE(store.contains("GET /cgi-bin/pinned"));
+  EXPECT_EQ(store.stats().pinned_entries, 1u);
+  // ...but the pinned file must survive until the reader lets go.
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0)
+      << "erase unlinked a file a reader was still fetching";
+
+  fs.release();
+  reader.join();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->data, payload);
+  // Last pin dropped inside the reader: the doomed storage is gone now.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0)
+      << "doomed storage leaked after the last pin dropped";
+  EXPECT_EQ(store.stats().pinned_entries, 0u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -288,6 +288,101 @@ TEST(ClusterFrameFuzzTest, FragmentedFramesReassemble) {
   }
 }
 
+// ---- kBatch frames ----
+
+std::string le32(std::uint32_t v) {
+  std::string s(4, '\0');
+  s[0] = static_cast<char>(v);
+  s[1] = static_cast<char>(v >> 8);
+  s[2] = static_cast<char>(v >> 16);
+  s[3] = static_cast<char>(v >> 24);
+  return s;
+}
+
+core::EntryMeta batch_meta() {
+  core::EntryMeta meta;
+  meta.key = "GET /cgi-bin/batched?x=1";
+  meta.owner = 0;
+  meta.size_bytes = 256;
+  meta.version = 3;
+  return meta;
+}
+
+TEST(ClusterFrameFuzzTest, EmptyAndSingleBatchesRoundTrip) {
+  const auto empty = encode_message(Message::make_batch(1, {}));
+  auto decoded = decode_message(std::string_view(empty).substr(4));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().type, MsgType::kBatch);
+  EXPECT_EQ(decoded.value().sender, 1u);
+  EXPECT_TRUE(decoded.value().batch.empty());
+
+  std::vector<Message> one;
+  one.push_back(Message::insert(1, batch_meta()));
+  const auto single = encode_message(Message::make_batch(1, std::move(one)));
+  decoded = decode_message(std::string_view(single).substr(4));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded.value().batch.size(), 1u);
+  EXPECT_EQ(decoded.value().batch[0].type, MsgType::kInsert);
+  EXPECT_EQ(decoded.value().batch[0].meta.key, batch_meta().key);
+}
+
+TEST(ClusterFrameFuzzTest, MixedBatchPreservesOrderAndContents) {
+  std::vector<Message> inner;
+  inner.push_back(Message::insert(2, batch_meta()));
+  inner.push_back(Message::erase(2, batch_meta().key, 4));
+  inner.push_back(Message::invalidate(2, "/cgi-bin/*"));
+  const auto frame = encode_message(Message::make_batch(2, std::move(inner)));
+  auto decoded = decode_message(std::string_view(frame).substr(4));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const auto& batch = decoded.value().batch;
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].type, MsgType::kInsert);
+  EXPECT_EQ(batch[0].meta.version, 3u);
+  EXPECT_EQ(batch[1].type, MsgType::kErase);
+  EXPECT_EQ(batch[1].version, 4u);
+  EXPECT_EQ(batch[2].type, MsgType::kInvalidate);
+  EXPECT_EQ(batch[2].key, "/cgi-bin/*");
+  // A batch that decodes must re-encode identically (same invariant the
+  // mutation fuzzer relies on).
+  EXPECT_EQ(encode_message(decoded.value()), frame);
+}
+
+TEST(ClusterFrameFuzzTest, BatchTruncatedMidInnerIsError) {
+  std::vector<Message> inner;
+  inner.push_back(Message::insert(2, batch_meta()));
+  inner.push_back(Message::erase(2, batch_meta().key, 4));
+  const auto frame = encode_message(Message::make_batch(2, std::move(inner)));
+  const std::string_view payload = std::string_view(frame).substr(4);
+  // Cut inside the second inner message (and at every earlier boundary-ish
+  // point): the decode must fail, never return a partial batch.
+  for (std::size_t keep = 10; keep < payload.size(); keep += 7) {
+    auto decoded = decode_message(payload.substr(0, keep));
+    EXPECT_FALSE(decoded.is_ok())
+        << "batch truncated to " << keep << " bytes decoded";
+  }
+}
+
+TEST(ClusterFrameFuzzTest, NestedBatchRejected) {
+  std::vector<Message> leaf;
+  leaf.push_back(Message::erase(3, "GET /cgi-bin/x", 1));
+  std::vector<Message> outer;
+  outer.push_back(Message::make_batch(3, std::move(leaf)));
+  const auto frame = encode_message(Message::make_batch(3, std::move(outer)));
+  auto decoded = decode_message(std::string_view(frame).substr(4));
+  EXPECT_FALSE(decoded.is_ok()) << "nested batch decoded";
+}
+
+TEST(ClusterFrameFuzzTest, LyingBatchCountRejectedBeforeLooping) {
+  // Header (type + sender) + a count far beyond what the payload could
+  // physically hold, with no inner messages behind it.
+  std::string payload;
+  payload += static_cast<char>(MsgType::kBatch);
+  payload += le32(9);            // sender
+  payload += le32(0x00FFFFFF);   // claimed count
+  auto decoded = decode_message(payload);
+  EXPECT_FALSE(decoded.is_ok()) << "lying batch count decoded";
+}
+
 TEST(ClusterFrameFuzzTest, OversizedLengthPrefixRejectedBeforeAllocation) {
   auto pair = make_pair_or_die();
   // 1 GiB length prefix (little-endian), then nothing.
