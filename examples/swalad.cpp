@@ -112,7 +112,13 @@ int main(int argc, char** argv) {
   char byte;
   while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
-  std::printf("\nshutting down...\n");
+  std::printf("\ndraining...\n");
+  // Graceful drain: stop accepting, finish in-flight requests (bounded by
+  // server.drain_timeout_ms), then stop() saves the manifest and joins.
+  if (!node.value()->drain()) {
+    std::printf("drain timed out; closing remaining connections\n");
+  }
+  std::printf("shutting down...\n");
   node.value()->stop();
   return 0;
 }

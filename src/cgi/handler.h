@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "http/message.h"
 
@@ -34,6 +35,16 @@ class CgiHandler {
   /// Executes the program for `request`. Implementations must be thread-safe:
   /// Swala runs many request threads concurrently.
   virtual Result<CgiOutput> run(const http::Request& request) = 0;
+
+  /// Deadline-aware entry point used by the server's request path. The
+  /// default ignores the deadline (in-process handlers finish on their own
+  /// schedule); ProcessCgi overrides it to cap the child's lifetime at the
+  /// remaining request budget.
+  virtual Result<CgiOutput> run(const http::Request& request,
+                                const Deadline& deadline) {
+    (void)deadline;
+    return run(request);
+  }
 };
 
 using CgiHandlerPtr = std::shared_ptr<CgiHandler>;

@@ -1,5 +1,6 @@
 #include "cgi/process.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -158,7 +159,18 @@ ProcessCgi::ProcessCgi(std::string executable, ProcessOptions options)
     : executable_(std::move(executable)), options_(std::move(options)) {}
 
 Result<CgiOutput> ProcessCgi::run(const http::Request& request) {
-  auto result = run_cgi_process(executable_, request, options_);
+  return run(request, Deadline());
+}
+
+Result<CgiOutput> ProcessCgi::run(const http::Request& request,
+                                  const Deadline& deadline) {
+  ProcessOptions effective = options_;
+  if (!deadline.unlimited()) {
+    effective.timeout_seconds =
+        std::min(effective.timeout_seconds,
+                 std::max(0.001, deadline.remaining_seconds()));
+  }
+  auto result = run_cgi_process(executable_, request, effective);
   if (!result) return result.status();
   const auto& proc = result.value();
   if (proc.timed_out) {

@@ -24,6 +24,12 @@ class ProcessCgi final : public CgiHandler {
 
   Result<CgiOutput> run(const http::Request& request) override;
 
+  /// Deadline-aware run: the child's timeout is the smaller of the
+  /// configured `timeout_seconds` and the remaining request budget, so a
+  /// slow CGI is SIGKILLed at the request deadline, not long after it.
+  Result<CgiOutput> run(const http::Request& request,
+                        const Deadline& deadline) override;
+
   const std::string& executable() const { return executable_; }
 
  private:

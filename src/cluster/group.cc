@@ -524,6 +524,12 @@ void NodeGroup::sender_loop(PeerLink* link) {
 
 Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
                                                    const std::string& key) {
+  return fetch_remote(owner, key, /*budget_ms=*/-1);
+}
+
+Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
+                                                   const std::string& key,
+                                                   int budget_ms) {
   remote_fetches_.fetch_add(1, std::memory_order_relaxed);
   const MemberAddress* peer = nullptr;
   for (const auto& m : members_) {
@@ -546,6 +552,16 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
     return st;
   };
 
+  // A request deadline caps every socket timeout: with `budget_ms` set, a
+  // fetch can never out-live the request that issued it, so a slow peer
+  // costs at most the remaining budget before the local-CGI fallback runs.
+  const int io_timeout_ms =
+      budget_ms > 0 ? std::min(options_.fetch_timeout_ms, budget_ms)
+                    : options_.fetch_timeout_ms;
+  const int connect_timeout_ms =
+      budget_ms > 0 ? std::min(options_.connect_timeout_ms, budget_ms)
+                    : options_.connect_timeout_ms;
+
   // Up to two attempts: a pooled connection may have been closed by the
   // peer while idle; retry once on a fresh one.
   Status last_error(StatusCode::kUnavailable, "no attempt made");
@@ -563,13 +579,15 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
     }
     if (!stream.valid()) {
       auto conn =
-          net::TcpStream::connect(peer->data_addr, options_.connect_timeout_ms);
+          net::TcpStream::connect(peer->data_addr, connect_timeout_ms);
       if (!conn) return fail(conn.status());
       stream = std::move(conn.value());
       (void)stream.set_no_delay(true);
-      (void)stream.set_recv_timeout(options_.fetch_timeout_ms);
-      (void)stream.set_send_timeout(options_.fetch_timeout_ms);
     }
+    // Pooled streams carry whatever timeout the previous request set, so
+    // (re)arm both directions for this request's budget unconditionally.
+    (void)stream.set_recv_timeout(io_timeout_ms);
+    (void)stream.set_send_timeout(io_timeout_ms);
 
     if (auto st = transport_.send(stream, owner, Message::fetch_req(self_, key));
         !st.is_ok()) {

@@ -167,6 +167,12 @@ class NodeGroup final : public core::CooperationBus {
                        std::uint64_t version) override;
   Result<core::CachedResult> fetch_remote(core::NodeId owner,
                                           const std::string& key) override;
+  /// Budget-capped fetch: every socket timeout (connect, send, recv) is
+  /// min(configured, budget_ms), so the fetch cannot outlive the request
+  /// deadline that issued it. budget_ms <= 0 = configured timeouts.
+  Result<core::CachedResult> fetch_remote(core::NodeId owner,
+                                          const std::string& key,
+                                          int budget_ms) override;
   void broadcast_invalidate(const std::string& pattern) override;
 
   GroupStats stats() const;

@@ -25,6 +25,16 @@ Result<Config> Config::parse(std::string_view text) {
     line = trim(line);
     if (line.empty() || line.front() == '#' || line.front() == ';') continue;
 
+    // Strip inline comments: a ';' or '#' preceded by whitespace starts a
+    // comment. A marker glued to the value (e.g. a glob "*#*") is kept.
+    for (std::size_t i = 1; i < line.size(); ++i) {
+      if ((line[i] == ';' || line[i] == '#') &&
+          (line[i - 1] == ' ' || line[i - 1] == '\t')) {
+        line = trim(line.substr(0, i));
+        break;
+      }
+    }
+
     if (line.front() == '[') {
       if (line.back() != ']' || line.size() < 3) {
         return Status(StatusCode::kInvalidArgument,

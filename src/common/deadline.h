@@ -1,0 +1,70 @@
+// Per-request deadline: a fixed point on a monotone Clock that every
+// blocking step of a request budgets against. Threaded from the moment the
+// first request byte arrives (server/context.cc) through cache lookup,
+// remote fetch, the CGI concurrency gate and fork/exec, so a request can
+// never outlive its configured budget no matter which stage is slow.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "common/clock.h"
+
+namespace swala {
+
+class Deadline {
+ public:
+  /// Default: unlimited (never expires). Keeps call sites that predate
+  /// deadline propagation — and tests that want no budget — working.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds after `clock`'s current time. A non-positive
+  /// budget yields an unlimited deadline (0 is the config idiom for
+  /// "disabled", not "already expired").
+  static Deadline after_ms(const Clock* clock, int ms) {
+    Deadline d;
+    if (clock != nullptr && ms > 0) {
+      d.clock_ = clock;
+      d.at_ = clock->now() + from_millis(ms);
+    }
+    return d;
+  }
+
+  bool unlimited() const { return clock_ == nullptr; }
+
+  bool expired() const {
+    return clock_ != nullptr && clock_->now() >= at_;
+  }
+
+  /// Remaining budget, clamped at zero. Unlimited deadlines report a huge
+  /// value so `remaining_ms() > x` comparisons behave naturally.
+  TimeNs remaining() const {
+    if (clock_ == nullptr) return std::numeric_limits<TimeNs>::max();
+    return std::max<TimeNs>(0, at_ - clock_->now());
+  }
+
+  int remaining_ms() const {
+    const TimeNs ns = remaining();
+    constexpr TimeNs kMaxMs = std::numeric_limits<int>::max();
+    const TimeNs ms = ns / 1'000'000;
+    return static_cast<int>(std::min(ms, kMaxMs));
+  }
+
+  double remaining_seconds() const { return to_seconds(remaining()); }
+
+  /// Socket-timeout helper: the smaller of `cap_ms` and the remaining
+  /// budget, never below 1 ms (0 means "no timeout" to setsockopt, which
+  /// would invert the meaning for an already-expired deadline).
+  int budget_ms(int cap_ms) const {
+    if (unlimited()) return cap_ms;
+    const int rem = remaining_ms();
+    const int capped = cap_ms > 0 ? std::min(cap_ms, rem) : rem;
+    return std::max(1, capped);
+  }
+
+ private:
+  const Clock* clock_ = nullptr;  ///< null = unlimited
+  TimeNs at_ = 0;
+};
+
+}  // namespace swala

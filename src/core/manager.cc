@@ -1,5 +1,9 @@
 #include "core/manager.h"
 
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+
 #include "common/logging.h"
 
 namespace swala::core {
@@ -28,6 +32,17 @@ CacheKey CacheManager::key_for(http::Method method, const http::Uri& uri) {
 }
 
 LookupResult CacheManager::lookup(http::Method method, const http::Uri& uri) {
+  return lookup_impl(method, uri, /*deadline=*/nullptr);
+}
+
+LookupResult CacheManager::lookup(http::Method method, const http::Uri& uri,
+                                  const Deadline& deadline) {
+  return lookup_impl(method, uri, &deadline);
+}
+
+LookupResult CacheManager::lookup_impl(http::Method method,
+                                       const http::Uri& uri,
+                                       const Deadline* deadline) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
   LookupResult out;
   out.rule = options_.rules.classify(uri.path);
@@ -42,7 +57,7 @@ LookupResult CacheManager::lookup(http::Method method, const http::Uri& uri) {
   if (!dir_hit) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     out.outcome = LookupOutcome::kMissMustExecute;
-    return out;
+    return finish_miss(std::move(out), key.text, deadline);
   }
 
   if (dir_hit->owner == self_) {
@@ -61,12 +76,17 @@ LookupResult CacheManager::lookup(http::Method method, const http::Uri& uri) {
     retire_dead_entry(key.text);
     misses_.fetch_add(1, std::memory_order_relaxed);
     out.outcome = LookupOutcome::kMissMustExecute;
-    return out;
+    return finish_miss(std::move(out), key.text, deadline);
   }
 
-  // Remote hit: fetch from the owner's cache.
+  // Remote hit: fetch from the owner's cache, with socket timeouts capped
+  // at the request's remaining budget when one is known.
   if (bus_ != nullptr) {
-    auto remote = bus_->fetch_remote(dir_hit->owner, key.text);
+    auto remote =
+        deadline != nullptr && !deadline->unlimited()
+            ? bus_->fetch_remote(dir_hit->owner, key.text,
+                                 deadline->budget_ms(0))
+            : bus_->fetch_remote(dir_hit->owner, key.text);
     if (remote) {
       remote_hits_.fetch_add(1, std::memory_order_relaxed);
       out.outcome = LookupOutcome::kHit;
@@ -91,7 +111,134 @@ LookupResult CacheManager::lookup(http::Method method, const http::Uri& uri) {
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   out.outcome = LookupOutcome::kMissMustExecute;
+  return finish_miss(std::move(out), key.text, deadline);
+}
+
+LookupResult CacheManager::finish_miss(LookupResult out, const std::string& key,
+                                       const Deadline* deadline) {
+  // Plain lookups keep the legacy contract: every miss executes, and
+  // callers are not required to call complete()/fail() (the simulator and
+  // several tests rely on that). Single-flight only engages when the
+  // caller opted into the deadline-aware path.
+  if (deadline == nullptr) return out;
+
+  std::shared_ptr<InFlight> flight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    // Negative cache: a recent execution failure for this key is remembered;
+    // fail fast instead of re-forking a CGI that just failed.
+    if (auto it = negative_.find(key); it != negative_.end()) {
+      if (clock_ != nullptr && clock_->now() < it->second.expires) {
+        failed_fast_.fetch_add(1, std::memory_order_relaxed);
+        out.outcome = LookupOutcome::kFailedFast;
+        out.fail_status = it->second.status;
+        out.fail_reason = it->second.reason;
+        return out;
+      }
+      negative_.erase(it);
+    }
+    auto [it, inserted] =
+        inflight_.try_emplace(key, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<InFlight>();
+      return out;  // leader: kMissMustExecute; MUST complete() or fail()
+    }
+    flight = it->second;
+  }
+
+  // Waiter: block on the leader's flight (its own mutex/cv — never the map
+  // mutex) until it publishes or our own deadline runs out. Short slices so
+  // a ManualClock advanced by a test is noticed without real time passing.
+  std::unique_lock<std::mutex> lock(flight->mutex);
+  while (!flight->done) {
+    if (deadline->expired()) {
+      coalesce_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      out.outcome = LookupOutcome::kFailedFast;
+      out.fail_status = 503;
+      out.fail_reason = "deadline expired waiting for in-flight execution";
+      return out;
+    }
+    const int slice_ms =
+        deadline->unlimited() ? 50 : std::min(50, deadline->budget_ms(50));
+    flight->cv.wait_for(lock, std::chrono::milliseconds(slice_ms));
+  }
+
+  coalesced_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (!flight->success) {
+    out.outcome = LookupOutcome::kFailedFast;
+    out.fail_status = flight->fail_status;
+    out.fail_reason = flight->fail_reason;
+    return out;
+  }
+  out.outcome = LookupOutcome::kHit;
+  out.coalesced = true;
+  out.owner = self_;
+  out.result.meta.key = key;
+  out.result.meta.owner = self_;
+  out.result.meta.content_type = flight->output.content_type;
+  out.result.meta.http_status = flight->output.http_status;
+  out.result.meta.size_bytes = flight->output.size_bytes();
+  out.result.data = flight->output.body;
   return out;
+}
+
+void CacheManager::publish_execution(const std::string& key, bool success,
+                                     const cgi::CgiOutput* output,
+                                     int fail_status,
+                                     const std::string& fail_reason) {
+  std::shared_ptr<InFlight> flight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;  // no single-flight leader for key
+    flight = std::move(it->second);
+    inflight_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->done = true;
+    flight->success = success;
+    if (success && output != nullptr) {
+      flight->output = *output;
+    } else {
+      flight->fail_status = fail_status;
+      flight->fail_reason = fail_reason;
+    }
+  }
+  flight->cv.notify_all();
+}
+
+void CacheManager::record_negative(const std::string& key, int status,
+                                   const std::string& reason) {
+  if (options_.negative_ttl_seconds <= 0.0 || clock_ == nullptr) return;
+  NegativeEntry entry;
+  entry.expires =
+      clock_->now() + from_seconds(options_.negative_ttl_seconds);
+  entry.status = status;
+  entry.reason = reason;
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  negative_[key] = std::move(entry);
+}
+
+void CacheManager::prune_negative() {
+  if (clock_ == nullptr) return;
+  const TimeNs now = clock_->now();
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  for (auto it = negative_.begin(); it != negative_.end();) {
+    it = now >= it->second.expires ? negative_.erase(it) : std::next(it);
+  }
+}
+
+void CacheManager::fail(http::Method method, const http::Uri& uri,
+                        const RuleDecision& rule, int http_status,
+                        const std::string& reason, bool remember) {
+  if (!rule.cacheable) return;
+  const CacheKey key = key_for(method, uri);
+  if (remember) {
+    failed_exec_.fetch_add(1, std::memory_order_relaxed);
+    record_negative(key.text, http_status, reason);
+  }
+  publish_execution(key.text, /*success=*/false, nullptr, http_status, reason);
 }
 
 void CacheManager::complete(http::Method method, const http::Uri& uri,
@@ -99,16 +246,27 @@ void CacheManager::complete(http::Method method, const http::Uri& uri,
                             const cgi::CgiOutput& output,
                             double exec_seconds) {
   if (!rule.cacheable) return;
+  const CacheKey key = key_for(method, uri);
   if (!output.success || output.http_status >= 400) {
     failed_exec_.fetch_add(1, std::memory_order_relaxed);
+    // Remember the failure so the next misses within negative_ttl fail
+    // fast, and hand waiters the error rather than the cached-path result.
+    record_negative(key.text,
+                    output.http_status >= 400 ? output.http_status : 502,
+                    "CGI execution failed");
+    publish_execution(key.text, /*success=*/false, nullptr,
+                      output.http_status >= 400 ? output.http_status : 502,
+                      "CGI execution failed");
     return;
   }
+  // Waiters get the output even when it is too fast to cache or the store
+  // is degraded — the execution succeeded, so coalesced requests must not
+  // see an error. Published before any early return below.
+  publish_execution(key.text, /*success=*/true, &output, 0, {});
   if (exec_seconds < rule.min_exec_seconds) {
     below_threshold_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-
-  const CacheKey key = key_for(method, uri);
 
   // Disk gone bad: serve uncacheable instead of hammering a failing device
   // on every request (the response itself was already produced).
@@ -203,6 +361,7 @@ std::size_t CacheManager::purge_expired() {
   // Outside the commit mutex: a slow disk during the checkpoint must not
   // stall request threads (the store serializes itself internally).
   maybe_checkpoint();
+  prune_negative();
   return count;
 }
 
@@ -363,6 +522,9 @@ ManagerStats CacheManager::stats() const {
   s.evictions_broadcast = evictions_broadcast_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   s.fallback_executions = fallback_executions_.load(std::memory_order_relaxed);
+  s.coalesced_misses = coalesced_misses_.load(std::memory_order_relaxed);
+  s.coalesce_timeouts = coalesce_timeouts_.load(std::memory_order_relaxed);
+  s.failed_fast = failed_fast_.load(std::memory_order_relaxed);
   s.disk_errors = disk_errors_.load(std::memory_order_relaxed);
   s.degraded_skips = degraded_skips_.load(std::memory_order_relaxed);
   s.store_degraded = degraded_.load(std::memory_order_relaxed) ? 1 : 0;

@@ -22,12 +22,15 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "cgi/handler.h"
 #include "common/clock.h"
+#include "common/deadline.h"
 #include "core/consistency.h"
 #include "core/directory.h"
 #include "core/rules.h"
@@ -52,6 +55,17 @@ class CooperationBus {
   virtual Result<CachedResult> fetch_remote(NodeId owner,
                                             const std::string& key) = 0;
 
+  /// Deadline-budgeted fetch: the transport should give up after
+  /// `budget_ms` (<=0 = use the configured timeout). Default ignores the
+  /// budget so single-purpose buses (tests, simulator) need not care; the
+  /// real TCP group caps its socket timeouts at the budget.
+  virtual Result<CachedResult> fetch_remote(NodeId owner,
+                                            const std::string& key,
+                                            int budget_ms) {
+    (void)budget_ms;
+    return fetch_remote(owner, key);
+  }
+
   /// Announces a cluster-wide invalidation of every key matching a
   /// shell-style glob (application-driven invalidation, §4.2 future work).
   /// Default: no-op, so single-purpose buses (tests, simulator) need not
@@ -64,8 +78,14 @@ class CooperationBus {
 /// Classification of one incoming request.
 enum class LookupOutcome {
   kUncacheable,      ///< execute, never cache
-  kMissMustExecute,  ///< cacheable; execute and call `complete`
+  kMissMustExecute,  ///< cacheable; execute and call `complete` (or `fail`)
   kHit,              ///< served from cache; `result` is valid
+  /// Fail without executing: the key is negative-cached after a recent
+  /// execution failure, the in-flight leader this request coalesced onto
+  /// failed, or the request's deadline expired while waiting for the
+  /// leader. `fail_status`/`fail_reason` describe the error. Only the
+  /// deadline-aware lookup produces this outcome.
+  kFailedFast,
 };
 
 struct LookupResult {
@@ -73,7 +93,12 @@ struct LookupResult {
   RuleDecision rule;
   CachedResult result;   ///< valid when outcome == kHit
   bool remote = false;   ///< hit was fetched from a peer
+  /// Hit was produced by riding another request's in-flight execution of
+  /// the same key (single-flight miss coalescing), not by the cache proper.
+  bool coalesced = false;
   NodeId owner = kInvalidNode;
+  int fail_status = 0;      ///< HTTP status when outcome == kFailedFast
+  std::string fail_reason;  ///< diagnostic when outcome == kFailedFast
 };
 
 /// Counters for the experiments (all monotonic).
@@ -93,6 +118,19 @@ struct ManagerStats {
   /// Remote fetch failed for a reason other than a false hit (timeout, dead
   /// peer, torn connection) and the request fell back to local execution.
   std::uint64_t fallback_executions = 0;
+
+  // ---- overload protection (single-flight miss coalescing) ----
+  /// Misses that rode another request's in-flight execution instead of
+  /// forking their own CGI (success or failure — the waiters got the
+  /// leader's result either way).
+  std::uint64_t coalesced_misses = 0;
+  /// Waiters whose deadline expired before the leader finished; the
+  /// request failed fast rather than outliving its budget.
+  std::uint64_t coalesce_timeouts = 0;
+  /// Lookups answered from the per-key negative cache (a recent execution
+  /// failure is remembered for `negative_ttl_seconds`, stopping retry
+  /// storms on a persistently failing CGI).
+  std::uint64_t failed_fast = 0;
 
   // ---- durability ----
   /// Store inserts that failed with a disk I/O error.
@@ -135,6 +173,10 @@ struct ManagerOptions {
   /// Injectable filesystem seam threaded into the disk backend (tests).
   /// Null = the real filesystem. Not owned.
   FsOps* fs_ops = nullptr;
+  /// Seconds a failed execution is remembered per key; deadline-aware
+  /// lookups within the window fail fast (kFailedFast) instead of
+  /// re-executing a CGI that just failed. 0 disables the negative cache.
+  double negative_ttl_seconds = 0.0;
 };
 
 class CacheManager {
@@ -149,11 +191,32 @@ class CacheManager {
   /// comes back as kMissMustExecute after cleaning the directory.
   LookupResult lookup(http::Method method, const http::Uri& uri);
 
+  /// Deadline-aware lookup with single-flight miss coalescing: concurrent
+  /// misses (and expired-TTL refreshes) of one key share a single
+  /// execution. The first miss becomes the *leader* (kMissMustExecute; it
+  /// MUST later call `complete` or `fail`, or waiters stall until their
+  /// deadlines); later misses block — up to `deadline` — for the leader's
+  /// result and come back as a coalesced kHit or a propagated kFailedFast.
+  /// Remote fetches cap their socket timeouts at the remaining budget.
+  LookupResult lookup(http::Method method, const http::Uri& uri,
+                      const Deadline& deadline);
+
   /// Reports a finished CGI execution so the result can be cached and
-  /// broadcast. `rule` must be the decision `lookup` returned.
+  /// broadcast. `rule` must be the decision `lookup` returned. Also
+  /// releases single-flight waiters with the output (even when the result
+  /// is not cached) and negative-caches the key on a failed execution.
   void complete(http::Method method, const http::Uri& uri,
                 const RuleDecision& rule, const cgi::CgiOutput& output,
                 double exec_seconds);
+
+  /// Reports that the execution could not run at all (fork failure, gate
+  /// timeout, deadline bail-out): releases single-flight waiters with the
+  /// error and — when `remember` is set — negative-caches the key for
+  /// `negative_ttl_seconds`. Pass remember=false for overload bail-outs
+  /// (the CGI itself is fine; a short 503 must not poison the key).
+  void fail(http::Method method, const http::Uri& uri,
+            const RuleDecision& rule, int http_status,
+            const std::string& reason, bool remember);
 
   // ---- Cluster-facing API (info/data daemon threads) ----
 
@@ -242,6 +305,47 @@ class CacheManager {
   static CacheKey key_for(http::Method method, const http::Uri& uri);
 
  private:
+  /// One in-flight execution; waiters block on `cv` until the leader
+  /// publishes. Held by shared_ptr so a waiter can outlive the map entry.
+  struct InFlight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;     // guarded by mutex
+    bool success = false;  // guarded by mutex
+    cgi::CgiOutput output;  ///< valid when success
+    int fail_status = 500;
+    std::string fail_reason;
+  };
+
+  /// A remembered execution failure (negative cache).
+  struct NegativeEntry {
+    TimeNs expires = 0;
+    int status = 503;
+    std::string reason;
+  };
+
+  /// Shared body of the two lookup overloads; `deadline` null = the legacy
+  /// path (no single-flight, no negative cache, uncapped remote fetch).
+  LookupResult lookup_impl(http::Method method, const http::Uri& uri,
+                           const Deadline* deadline);
+
+  /// Single-flight entry point for a miss: leader registration or waiting.
+  LookupResult finish_miss(LookupResult out, const std::string& key,
+                           const Deadline* deadline);
+
+  /// Releases waiters for `key` with a result or an error. No-op when no
+  /// in-flight entry exists (plain-lookup callers never register one).
+  void publish_execution(const std::string& key, bool success,
+                         const cgi::CgiOutput* output, int fail_status,
+                         const std::string& fail_reason);
+
+  /// Remembers a failed execution for negative_ttl_seconds (if enabled).
+  void record_negative(const std::string& key, int status,
+                       const std::string& reason);
+
+  /// Drops expired negative-cache entries (purge-tick housekeeping).
+  void prune_negative();
+
   /// Removes `key` from store + directory and broadcasts the erase, all in
   /// one commit section. Used by lookup's self-cleanup when the directory
   /// advertises an entry the store can no longer serve. Re-validates under
@@ -280,7 +384,15 @@ class CacheManager {
   std::atomic<std::uint64_t> lookups_{0}, uncacheable_{0}, local_hits_{0},
       remote_hits_{0}, misses_{0}, inserts_{0}, below_threshold_{0},
       failed_exec_{0}, false_hits_{0}, false_misses_{0},
-      evictions_broadcast_{0}, invalidations_{0}, fallback_executions_{0};
+      evictions_broadcast_{0}, invalidations_{0}, fallback_executions_{0},
+      coalesced_misses_{0}, coalesce_timeouts_{0}, failed_fast_{0};
+
+  // ---- single-flight state ----
+  /// Guards inflight_ and negative_. Never held while waiting: waiters
+  /// block on the flight's own mutex/cv so other keys stay unobstructed.
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  std::unordered_map<std::string, NegativeEntry> negative_;
 
   // ---- durability state ----
   std::atomic<bool> degraded_{false};

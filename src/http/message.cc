@@ -93,7 +93,13 @@ Response Response::error(int status, std::string_view detail) {
     body += "</p>";
   }
   body += "</body></html>\n";
-  return make(status, std::move(body));
+  Response resp = make(status, std::move(body));
+  // Error responses always close: the connection state after a failed
+  // request is suspect (partial body, parse error, overload), and the
+  // header tells well-behaved clients not to pipeline more requests into
+  // it. handle_connection honours this when deciding keep-alive.
+  resp.headers.set("Connection", "close");
+  return resp;
 }
 
 std::string Response::serialize_head() const {

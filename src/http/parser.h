@@ -46,6 +46,15 @@ class RequestParser {
   /// Prepares for the next message on the same connection.
   void reset();
 
+  /// True once any byte of the next message has arrived but the message is
+  /// not yet complete. The server arms the per-request deadline at this
+  /// point (slow-loris defence: total header/body dribble time is bounded)
+  /// while a connection idling *between* requests only pays the idle
+  /// timeout.
+  bool mid_request() const {
+    return phase_ != Phase::kRequestLine || consumed_ < buffer_.size();
+  }
+
  private:
   enum class Phase { kRequestLine, kHeaders, kBody, kChunkedBody, kDone, kError };
 

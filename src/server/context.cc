@@ -61,27 +61,67 @@ http::Response dynamic_response(std::string body, std::string content_type,
   return resp;
 }
 
-/// Executes a CGI handler through the Figure-2 cache flow.
+/// Executes a CGI handler through the Figure-2 cache flow, under the
+/// request's deadline and the CGI concurrency gate.
 http::Response run_dynamic(const http::Request& request,
                            const cgi::CgiHandlerPtr& handler,
-                           const ServeContext& ctx) {
+                           const ServeContext& ctx,
+                           const Deadline& deadline) {
   count(ctx.counters, &ServerCounters::dynamic_requests);
 
   core::RuleDecision rule;
+  bool leader = false;  // single-flight: this request owns the execution
   if (ctx.cache != nullptr) {
-    auto lookup = ctx.cache->lookup(request.method, request.uri);
+    auto lookup = ctx.cache->lookup(request.method, request.uri, deadline);
     if (lookup.outcome == core::LookupOutcome::kHit) {
       if (lookup.remote) {
         count(ctx.counters, &ServerCounters::cache_hits_remote);
       } else {
         count(ctx.counters, &ServerCounters::cache_hits_local);
       }
+      const char* state = lookup.coalesced ? "hit-coalesced"
+                          : lookup.remote  ? "hit-remote"
+                                           : "hit-local";
       return dynamic_response(std::move(lookup.result.data),
                               lookup.result.meta.content_type,
-                              lookup.result.meta.http_status,
-                              lookup.remote ? "hit-remote" : "hit-local");
+                              lookup.result.meta.http_status, state);
+    }
+    if (lookup.outcome == core::LookupOutcome::kFailedFast) {
+      // Negative-cached, coalesced onto a leader that failed, or deadline
+      // expired waiting: fail fast instead of piling on.
+      count(ctx.counters, &ServerCounters::errors);
+      http::Response resp = overload_response(
+          lookup.fail_status, lookup.fail_reason, ctx.retry_after_seconds);
+      resp.headers.set("X-Swala-Cache", "failed-fast");
+      return resp;
     }
     rule = lookup.rule;
+    leader = lookup.outcome == core::LookupOutcome::kMissMustExecute;
+  }
+  // The leader MUST release its waiters on every exit path below, either
+  // via complete() or via fail().
+  const auto bail = [&](int status, const std::string& reason,
+                        bool remember) {
+    if (leader) {
+      ctx.cache->fail(request.method, request.uri, rule, status, reason,
+                      remember);
+    }
+  };
+
+  if (deadline.expired()) {
+    count(ctx.counters, &ServerCounters::deadline_exceeded);
+    bail(503, "deadline expired before execution", /*remember=*/false);
+    return overload_response(503, "deadline expired",
+                             ctx.retry_after_seconds);
+  }
+
+  // CGI concurrency gate: a fork storm degrades everyone; queue here (the
+  // wait counts against the deadline) and shed if no slot frees in time.
+  cgi::ExecSlot slot(ctx.cgi_gate, deadline);
+  if (!slot.acquired()) {
+    count(ctx.counters, &ServerCounters::requests_shed);
+    bail(503, "CGI concurrency gate timeout", /*remember=*/false);
+    return overload_response(503, "server busy", ctx.retry_after_seconds);
   }
 
   // Miss or uncacheable: execute the CGI and time it.
@@ -89,15 +129,18 @@ http::Response run_dynamic(const http::Request& request,
                            ? ctx.clock
                            : static_cast<const Clock*>(RealClock::instance());
   const TimeNs start = clock->now();
-  auto output = handler->run(request);
+  auto output = handler->run(request, deadline);
   const double exec_seconds = to_seconds(clock->now() - start);
 
   if (!output) {
     count(ctx.counters, &ServerCounters::errors);
+    bail(500, output.status().to_string(), /*remember=*/true);
     return http::Response::error(500, output.status().to_string());
   }
 
   if (ctx.cache != nullptr) {
+    // complete() releases single-flight waiters (success or failure) and
+    // negative-caches failed executions; the leader obligation ends here.
     ctx.cache->complete(request.method, request.uri, rule, output.value(),
                         exec_seconds);
   }
@@ -180,6 +223,22 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("dynamic_requests", s.dynamic_requests);
     body += json_u64("errors", s.errors);
     body += json_u64("bytes_sent", s.bytes_sent);
+    body += json_u64("requests_shed", s.requests_shed);
+    body += json_u64("deadline_exceeded", s.deadline_exceeded);
+    body += json_u64("active_connections", s.active_connections);
+  }
+  body += json_u64("draining",
+                   ctx.draining != nullptr &&
+                           ctx.draining->load(std::memory_order_relaxed)
+                       ? 1
+                       : 0);
+  if (ctx.cgi_gate != nullptr) {
+    const cgi::ExecGateStats g = ctx.cgi_gate->stats();
+    body += json_u64("cgi_gate_capacity", ctx.cgi_gate->capacity());
+    body += json_u64("cgi_active", g.active);
+    body += json_u64("cgi_waiting", g.waiting);
+    body += json_u64("cgi_queue_waits", g.queue_waits);
+    body += json_u64("cgi_queue_timeouts", g.queue_timeouts);
   }
   if (ctx.latency != nullptr) {
     const LatencyHistogram hist = ctx.latency->snapshot();
@@ -234,6 +293,9 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("cache_false_misses", c.false_misses);
     body += json_u64("cache_invalidations", c.invalidations);
     body += json_u64("cache_fallback_executions", c.fallback_executions);
+    body += json_u64("cache_coalesced_misses", c.coalesced_misses);
+    body += json_u64("cache_coalesce_timeouts", c.coalesce_timeouts);
+    body += json_u64("cache_failed_fast", c.failed_fast);
     // Durability: disk health, checkpoint progress and the startup scrub's
     // findings, so an operator (or the crash-restart CI job) can see whether
     // the node came back clean and whether the disk is still trusted.
@@ -305,8 +367,23 @@ http::Response serve_check_consistency(const ServeContext& ctx) {
 
 }  // namespace
 
+http::Response overload_response(int status, std::string_view reason,
+                                 int retry_after_seconds) {
+  http::Response resp = http::Response::error(status, reason);
+  if (retry_after_seconds > 0) {
+    resp.headers.set("Retry-After", std::to_string(retry_after_seconds));
+  }
+  return resp;
+}
+
 http::Response handle_request(const http::Request& request,
                               const ServeContext& ctx) {
+  return handle_request(request, ctx, Deadline());
+}
+
+http::Response handle_request(const http::Request& request,
+                              const ServeContext& ctx,
+                              const Deadline& deadline) {
   count(ctx.counters, &ServerCounters::requests);
 
   if (request.method != http::Method::kGet &&
@@ -327,12 +404,25 @@ http::Response handle_request(const http::Request& request,
 
   cgi::CgiHandlerPtr handler;
   if (ctx.registry != nullptr) handler = ctx.registry->find(request.uri.path);
-  if (handler != nullptr) return run_dynamic(request, handler, ctx);
+  if (handler != nullptr) return run_dynamic(request, handler, ctx, deadline);
   return serve_static(request, ctx);
 }
 
 void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
   count(ctx.counters, &ServerCounters::connections);
+  if (ctx.counters != nullptr) {
+    ctx.counters->active_connections.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Gauge decrement on every exit path (there are many returns below).
+  struct ActiveGuard {
+    ServerCounters* c;
+    ~ActiveGuard() {
+      if (c != nullptr) {
+        c->active_connections.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  } active_guard{ctx.counters};
+
   (void)stream.set_no_delay(true);
   // Read in short slices so an idle connection notices server shutdown
   // without waiting out the full idle timeout.
@@ -345,6 +435,10 @@ void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
            !ctx.running->load(std::memory_order_relaxed);
   };
 
+  const Clock* clock = ctx.clock != nullptr
+                           ? ctx.clock
+                           : static_cast<const Clock*>(RealClock::instance());
+
   http::RequestParser parser;
   char buf[16 * 1024];
   std::size_t served = 0;
@@ -352,8 +446,26 @@ void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
   while (served < ctx.max_keep_alive_requests) {
     // Consume already-buffered pipelined bytes before reading the socket.
     http::ParseState state = parser.pump();
+    // The per-request deadline arms at the *first byte* of a request, not
+    // at connection idle: a client dribbling one header byte per slice
+    // (slow loris) keeps resetting the idle timeout but cannot stretch the
+    // request past its budget.
+    Deadline deadline;
+    const auto arm_deadline = [&] {
+      if (deadline.unlimited() && ctx.request_timeout_ms > 0 &&
+          parser.mid_request()) {
+        deadline = Deadline::after_ms(clock, ctx.request_timeout_ms);
+      }
+    };
+    arm_deadline();
     int idle_ms = 0;
     while (state == http::ParseState::kNeedMore) {
+      if (deadline.expired()) {
+        count(ctx.counters, &ServerCounters::deadline_exceeded);
+        const auto resp = http::Response::error(408, "request deadline");
+        (void)stream.write_vec(resp.serialize_head(), resp.body);
+        return;
+      }
       auto n = stream.read_some(buf, sizeof(buf));
       if (!n) {
         if (n.status().code() != StatusCode::kTimeout) return;
@@ -364,6 +476,7 @@ void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
       if (n.value() == 0) return;  // peer closed
       idle_ms = 0;
       state = parser.feed({buf, n.value()});
+      arm_deadline();
     }
     if (state == http::ParseState::kError) {
       const auto resp = http::Response::error(parser.error_status());
@@ -372,14 +485,11 @@ void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
     }
 
     http::Request& request = parser.request();
-    const bool keep = ctx.allow_keep_alive && request.keep_alive() &&
-                      served + 1 < ctx.max_keep_alive_requests;
+    bool keep = ctx.allow_keep_alive && request.keep_alive() &&
+                served + 1 < ctx.max_keep_alive_requests;
 
-    const Clock* clock = ctx.clock != nullptr
-                             ? ctx.clock
-                             : static_cast<const Clock*>(RealClock::instance());
     const TimeNs handle_start = clock->now();
-    http::Response resp = handle_request(request, ctx);
+    http::Response resp = handle_request(request, ctx, deadline);
     if (ctx.latency != nullptr) {
       ctx.latency->add(to_seconds(clock->now() - handle_start));
     }
@@ -400,14 +510,37 @@ void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
     }
     resp.version = request.version;
     resp.headers.set("Server", kServerName);
+    // A handler that set "Connection: close" (errors, overload sheds) wins
+    // over keep-alive, as does a drain in progress: in-flight keep-alive
+    // connections wind down one response at a time.
+    if (const auto conn = resp.headers.get("Connection");
+        conn.has_value() && *conn == "close") {
+      keep = false;
+    }
+    if (ctx.draining != nullptr &&
+        ctx.draining->load(std::memory_order_relaxed)) {
+      keep = false;
+    }
     resp.headers.set("Connection", keep ? "keep-alive" : "close");
     if (request.method == http::Method::kHead) resp.body.clear();
+
+    // The response write shares the request budget: a client that stops
+    // reading (zero receive window) blocks the thread for at most the
+    // remaining deadline, not the full idle timeout.
+    (void)stream.set_send_timeout(deadline.unlimited()
+                                      ? ctx.recv_timeout_ms
+                                      : deadline.budget_ms(ctx.recv_timeout_ms));
 
     // Vectored write: the head is small and freshly built, the body can be
     // large (a cached blob) — gluing them into one string would copy the
     // body once per response.
     const std::string head = resp.serialize_head();
-    if (!stream.write_vec(head, resp.body).is_ok()) return;
+    if (!stream.write_vec(head, resp.body).is_ok()) {
+      if (deadline.expired()) {
+        count(ctx.counters, &ServerCounters::deadline_exceeded);
+      }
+      return;
+    }
     if (ctx.counters != nullptr) {
       ctx.counters->bytes_sent.fetch_add(head.size() + resp.body.size(),
                                          std::memory_order_relaxed);
@@ -428,6 +561,11 @@ ServerStats snapshot(const ServerCounters& counters) {
   s.cache_hits_remote = counters.cache_hits_remote.load(std::memory_order_relaxed);
   s.errors = counters.errors.load(std::memory_order_relaxed);
   s.bytes_sent = counters.bytes_sent.load(std::memory_order_relaxed);
+  s.requests_shed = counters.requests_shed.load(std::memory_order_relaxed);
+  s.deadline_exceeded =
+      counters.deadline_exceeded.load(std::memory_order_relaxed);
+  s.active_connections =
+      counters.active_connections.load(std::memory_order_relaxed);
   return s;
 }
 

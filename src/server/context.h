@@ -10,7 +10,9 @@
 #include <memory>
 #include <string>
 
+#include "cgi/gate.h"
 #include "cgi/registry.h"
+#include "common/deadline.h"
 #include "common/stats.h"
 #include "core/manager.h"
 #include "net/socket.h"
@@ -51,6 +53,15 @@ struct ServerCounters {
   std::atomic<std::uint64_t> cache_hits_remote{0};
   std::atomic<std::uint64_t> errors{0};
   std::atomic<std::uint64_t> bytes_sent{0};
+  // ---- overload protection ----
+  /// Requests/connections refused with a fast 503 (admission control at
+  /// accept, full dispatch queue, or CGI gate timeout).
+  std::atomic<std::uint64_t> requests_shed{0};
+  /// Requests cut because their deadline expired (slow-loris 408, stalled
+  /// response write, budget exhausted before execution).
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  /// Connections currently inside handle_connection (gauge, not monotonic).
+  std::atomic<std::uint64_t> active_connections{0};
 };
 
 /// Plain-value snapshot of ServerCounters.
@@ -63,6 +74,9 @@ struct ServerStats {
   std::uint64_t cache_hits_remote = 0;
   std::uint64_t errors = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t requests_shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t active_connections = 0;
 };
 
 /// Everything a connection handler needs. Owned by the server object;
@@ -92,14 +106,39 @@ struct ServeContext {
   AccessLog* access_log = nullptr;
   /// Optional response-time recorder (reported by /swala-status).
   LatencyRecorder* latency = nullptr;
+
+  // ---- overload protection ----
+  /// Per-request budget in milliseconds, armed at the first byte of each
+  /// request and covering parse, cache lookup, remote fetch, CGI queue
+  /// wait, execution, and the response write. 0 = no deadline.
+  int request_timeout_ms = 0;
+  /// Caps concurrent CGI executions (fork storms); null = unlimited.
+  /// Queue-wait counts against the request deadline.
+  cgi::ExecGate* cgi_gate = nullptr;
+  /// When set and true, the server is draining: responses carry
+  /// "Connection: close" so in-flight keep-alive connections wind down.
+  const std::atomic<bool>* draining = nullptr;
+  /// Retry-After value (seconds) on 503 overload responses.
+  int retry_after_seconds = 1;
 };
 
 /// Serves requests on `stream` until close / keep-alive exhaustion / error.
 void handle_connection(net::TcpStream stream, const ServeContext& ctx);
 
-/// Handles one parsed request; exposed for unit tests.
+/// Handles one parsed request; exposed for unit tests. The first form runs
+/// with an unlimited deadline; the second threads the caller's per-request
+/// budget through the cache lookup, remote fetch, CGI gate and execution.
 http::Response handle_request(const http::Request& request,
                               const ServeContext& ctx);
+http::Response handle_request(const http::Request& request,
+                              const ServeContext& ctx,
+                              const Deadline& deadline);
+
+/// Builds a fast-fail overload response: `status` (usually 503) with
+/// Retry-After and Connection: close, so clients back off and stop
+/// pipelining into a suspect connection.
+http::Response overload_response(int status, std::string_view reason,
+                                 int retry_after_seconds);
 
 /// Snapshot helper.
 ServerStats snapshot(const ServerCounters& counters);

@@ -60,6 +60,22 @@ void Dispatcher::worker_loop() {
       }
       stream = std::move(conn.value());
     }
+    if (options_.max_connections > 0 &&
+        active_connections_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+      // Fast shed at the door: the client learns to back off immediately
+      // instead of queueing behind saturated dispatcher threads.
+      requests_shed_.fetch_add(1, std::memory_order_relaxed);
+      http::Response resp =
+          http::Response::error(503, "dispatcher at connection limit");
+      if (options_.retry_after_seconds > 0) {
+        resp.headers.set("Retry-After",
+                         std::to_string(options_.retry_after_seconds));
+      }
+      (void)stream.set_send_timeout(1000);
+      (void)stream.write_vec(resp.serialize_head(), resp.body);
+      continue;
+    }
     handle_connection(std::move(stream));
   }
 }
@@ -91,8 +107,17 @@ std::size_t Dispatcher::pick_backend(const std::vector<std::size_t>& exclude) {
 }
 
 void Dispatcher::handle_connection(net::TcpStream stream) {
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  struct ActiveGuard {
+    std::atomic<std::uint64_t>* g;
+    ~ActiveGuard() { g->fetch_sub(1, std::memory_order_relaxed); }
+  } guard{&active_connections_};
+
   (void)stream.set_no_delay(true);
-  (void)stream.set_recv_timeout(250);
+  // Short read slices so shutdown is noticed promptly; the client's idle
+  // allowance is its own knob, not the backend forward timeout.
+  const int slice_ms = std::max(1, std::min(250, options_.client_idle_timeout_ms));
+  (void)stream.set_recv_timeout(slice_ms);
   (void)stream.set_send_timeout(options_.backend_timeout_ms);
 
   http::RequestParser parser;
@@ -105,8 +130,8 @@ void Dispatcher::handle_connection(net::TcpStream stream) {
       auto n = stream.read_some(buf, sizeof(buf));
       if (!n) {
         if (n.status().code() != StatusCode::kTimeout) return;
-        idle_ms += 250;
-        if (idle_ms >= options_.backend_timeout_ms ||
+        idle_ms += slice_ms;
+        if (idle_ms >= options_.client_idle_timeout_ms ||
             !running_.load(std::memory_order_relaxed)) {
           return;
         }
@@ -124,10 +149,18 @@ void Dispatcher::handle_connection(net::TcpStream stream) {
 
     requests_.fetch_add(1, std::memory_order_relaxed);
     http::Request& request = parser.request();
-    const bool client_keep = request.keep_alive();
+    bool client_keep = request.keep_alive();
 
-    // Forward with failover across distinct backends.
-    http::Response response = http::Response::error(502, "no backend available");
+    // Forward with failover across distinct backends. When every attempt
+    // fails this is an overload/outage, so shed with 503 + Retry-After
+    // (the request was never served; the client should retry shortly),
+    // not a generic 502.
+    http::Response response =
+        http::Response::error(503, "no backend available");
+    if (options_.retry_after_seconds > 0) {
+      response.headers.set("Retry-After",
+                           std::to_string(options_.retry_after_seconds));
+    }
     bool forwarded_ok = false;
     std::vector<std::size_t> tried;
     const std::size_t attempts =
@@ -152,7 +185,10 @@ void Dispatcher::handle_connection(net::TcpStream stream) {
       }
       forward_failures_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (!forwarded_ok) unavailable_.fetch_add(1, std::memory_order_relaxed);
+    if (!forwarded_ok) {
+      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      client_keep = false;  // suspect connection state: close after the 503
+    }
 
     response.version = request.version;
     response.headers.set("Connection", client_keep ? "keep-alive" : "close");
@@ -170,6 +206,8 @@ DispatcherStats Dispatcher::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.forward_failures = forward_failures_.load(std::memory_order_relaxed);
   s.unavailable = unavailable_.load(std::memory_order_relaxed);
+  s.requests_shed = requests_shed_.load(std::memory_order_relaxed);
+  s.active_connections = active_connections_.load(std::memory_order_relaxed);
   for (const auto& counter : forwarded_) {
     s.per_backend.push_back(counter->load(std::memory_order_relaxed));
   }

@@ -34,17 +34,29 @@ struct DispatcherOptions {
   std::size_t threads = 8;
   DispatchStrategy strategy = DispatchStrategy::kRoundRobin;
   int backend_timeout_ms = 30000;
-  /// How many distinct backends to try before giving up with 502.
+  /// How long a *client* connection may sit idle between requests before
+  /// the dispatcher closes it. Distinct from backend_timeout_ms (how long a
+  /// forward may take): a patient backend must not entitle a silent client
+  /// to park a dispatcher thread for the same 30s.
+  int client_idle_timeout_ms = 15000;
+  /// How many distinct backends to try before shedding the request (503).
   std::size_t max_attempts = 2;
   /// listen(2) backlog for the front-end socket (it fronts every node, so
   /// it sees the aggregate connection burst).
   int listen_backlog = 128;
+  /// Admission control: above this many concurrent client connections, new
+  /// arrivals get a fast 503 + Retry-After. 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Retry-After (seconds) on 503 shed responses.
+  int retry_after_seconds = 1;
 };
 
 struct DispatcherStats {
   std::uint64_t requests = 0;
   std::uint64_t forward_failures = 0;  ///< attempts that failed over
-  std::uint64_t unavailable = 0;       ///< requests answered 502
+  std::uint64_t unavailable = 0;       ///< requests answered 503 (no backend)
+  std::uint64_t requests_shed = 0;     ///< connections refused at the door
+  std::uint64_t active_connections = 0;  ///< gauge
   std::vector<std::uint64_t> per_backend;
 };
 
@@ -85,6 +97,8 @@ class Dispatcher {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> forward_failures_{0};
   std::atomic<std::uint64_t> unavailable_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
+  std::atomic<std::uint64_t> active_connections_{0};
 };
 
 }  // namespace swala::server

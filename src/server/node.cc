@@ -112,6 +112,11 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
         config.get_double("cache", "checkpoint_interval", 10.0);
     mo.disk_failure_threshold =
         static_cast<int>(config.get_int("cache", "disk_failure_threshold", 5));
+    // Negative cache defaults ON for deployments: a persistently failing
+    // CGI answers from memory for a second instead of forking a retry
+    // storm. (ManagerOptions itself defaults it off so directly-built test
+    // managers keep legacy semantics.)
+    mo.negative_ttl_seconds = config.get_double("cache", "negative_ttl", 1.0);
 
     node->manager_ = std::make_unique<core::CacheManager>(
         node_id, group_size, std::move(mo), RealClock::instance(),
@@ -142,6 +147,23 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
   so.access_log_path = config.get_string("server", "access_log", "");
   so.listen_backlog =
       static_cast<int>(config.get_int("server", "listen_backlog", 128));
+  // ---- overload protection ----
+  so.max_connections = static_cast<std::size_t>(
+      config.get_int("server", "max_connections", 0));
+  so.shed_resume_percent =
+      static_cast<int>(config.get_int("server", "shed_resume_percent", 75));
+  so.retry_after_seconds =
+      static_cast<int>(config.get_int("server", "retry_after", 1));
+  // Per-request budget defaults to 30s for deployments (the classic CGI
+  // timeout); 0 disables. Covers parse → lookup → fetch → CGI → write.
+  so.request_timeout_ms =
+      static_cast<int>(config.get_int("server", "request_timeout_ms", 30000));
+  so.dispatch_queue_depth = static_cast<std::size_t>(
+      config.get_int("server", "dispatch_queue_depth", 1024));
+  so.max_concurrent_cgi = static_cast<std::size_t>(
+      config.get_int("server", "max_concurrent_cgi", 0));
+  so.drain_timeout_ms =
+      static_cast<int>(config.get_int("server", "drain_timeout_ms", 5000));
   node->server_ = std::make_unique<SwalaServer>(
       std::move(so), std::move(registry), node->manager_.get());
   node->server_->set_group(node->group_.get());
@@ -227,6 +249,9 @@ void SwalaNode::register_signal_save() {
     while (::read(g_save_pipe[0], &byte, 1) < 0 && errno == EINTR) {
     }
     if (SwalaNode* node = g_signal_node.load()) {
+      // Drain first: stop accepting, let in-flight requests complete, so
+      // the manifest saved below includes their cache insertions.
+      (void)node->drain();
       if (node->manager_ != nullptr && !node->state_file_.empty()) {
         if (auto st = node->manager_->save_state(node->state_file_);
             !st.is_ok()) {
@@ -240,6 +265,10 @@ void SwalaNode::register_signal_save() {
     (void)std::signal(signo != 0 ? signo : SIGTERM, SIG_DFL);
     (void)::raise(signo != 0 ? signo : SIGTERM);
   }).detach();
+}
+
+bool SwalaNode::drain() {
+  return server_ != nullptr ? server_->drain() : true;
 }
 
 void SwalaNode::stop() {

@@ -10,6 +10,14 @@
 //   threads = 16
 //   docroot = ./www
 //   listen_backlog = 128   ; listen(2) queue depth
+//   ; ---- overload protection ----
+//   max_connections = 0    ; shed (503) above this many active conns; 0 = off
+//   shed_resume_percent = 75  ; stop shedding below this % of the cap
+//   retry_after = 1        ; Retry-After seconds on 503 sheds
+//   request_timeout_ms = 30000  ; per-request budget; 0 = unlimited
+//   max_concurrent_cgi = 0 ; cap concurrent CGI forks; 0 = unlimited
+//   dispatch_queue_depth = 1024 ; acceptor->worker queue (full = shed)
+//   drain_timeout_ms = 5000     ; SIGTERM drain grace period
 //
 //   [cache]
 //   enabled = true
@@ -22,6 +30,7 @@
 //   purge_interval = 2.0
 //   checkpoint_interval = 10.0  ; manifest checkpoint cadence (needs state_file)
 //   save_on_signal = true  ; persist the manifest on SIGTERM/SIGINT
+//   negative_ttl = 1.0     ; seconds a failed CGI is remembered (0 = off)
 //
 //   [cacheability]
 //   rule = /cgi-bin/* cache ttl=3600 min_exec=0.05
@@ -60,6 +69,12 @@ class SwalaNode {
   /// Starts group daemons (if clustered) and the HTTP server.
   Status start();
   void stop();
+
+  /// Graceful drain: stop accepting, let in-flight requests finish (up to
+  /// server.drain_timeout_ms). The SIGTERM path runs this before the
+  /// manifest save, so the saved state reflects every completed request.
+  /// Returns true when all connections finished in time.
+  bool drain();
 
   SwalaServer& http() { return *server_; }
   core::CacheManager* cache() { return manager_.get(); }

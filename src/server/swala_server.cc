@@ -1,5 +1,8 @@
 #include "server/swala_server.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/logging.h"
 
 namespace swala::server {
@@ -18,6 +21,13 @@ SwalaServer::SwalaServer(SwalaServerOptions options,
   ctx_.counters = &counters_;
   ctx_.running = &running_;
   ctx_.latency = &latency_;
+  ctx_.request_timeout_ms = options_.request_timeout_ms;
+  ctx_.retry_after_seconds = options_.retry_after_seconds;
+  ctx_.draining = &draining_;
+  if (options_.max_concurrent_cgi > 0) {
+    cgi_gate_ = std::make_unique<cgi::ExecGate>(options_.max_concurrent_cgi);
+    ctx_.cgi_gate = cgi_gate_.get();
+  }
 }
 
 SwalaServer::~SwalaServer() { stop(); }
@@ -43,8 +53,12 @@ Status SwalaServer::start() {
     for (std::size_t i = 0; i < options_.request_threads; ++i) {
       threads_.emplace_back([this] { request_thread_loop(); });
     }
+    if (options_.max_connections > 0) {
+      shedder_ = std::thread([this] { shed_loop(); });
+    }
   } else {
-    conn_queue_ = std::make_unique<BoundedQueue<net::TcpStream>>(1024);
+    conn_queue_ = std::make_unique<BoundedQueue<net::TcpStream>>(
+        options_.dispatch_queue_depth);
     for (std::size_t i = 0; i < options_.request_threads; ++i) {
       threads_.emplace_back([this] { queue_worker_loop(); });
     }
@@ -60,11 +74,74 @@ void SwalaServer::stop() {
   listener_.close();
   if (conn_queue_ != nullptr) conn_queue_->close();
   if (acceptor_.joinable()) acceptor_.join();
+  if (shedder_.joinable()) shedder_.join();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
   conn_queue_.reset();
+}
+
+bool SwalaServer::drain() {
+  if (!running_.load(std::memory_order_relaxed)) return true;
+  draining_.store(true, std::memory_order_relaxed);
+  // Closing the listener stops new work at the front door; handlers see
+  // ctx.draining and send "Connection: close", so keep-alive connections
+  // wind down one in-flight response at a time.
+  listener_.close();
+  SWALA_LOG(Info) << "SwalaServer draining: waiting up to "
+                  << options_.drain_timeout_ms << "ms for "
+                  << counters_.active_connections.load(
+                         std::memory_order_relaxed)
+                  << " active connections";
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.drain_timeout_ms);
+  while (counters_.active_connections.load(std::memory_order_relaxed) > 0) {
+    if (std::chrono::steady_clock::now() >= give_up) {
+      SWALA_LOG(Warn) << "drain timeout: "
+                      << counters_.active_connections.load(
+                             std::memory_order_relaxed)
+                      << " connections still active; stopping anyway";
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+bool SwalaServer::should_shed() {
+  if (options_.max_connections == 0) return false;
+  const auto active =
+      counters_.active_connections.load(std::memory_order_relaxed);
+  if (shedding_.load(std::memory_order_relaxed)) {
+    const std::size_t resume =
+        options_.max_connections *
+        static_cast<std::size_t>(std::max(0, options_.shed_resume_percent)) /
+        100;
+    if (active <= resume) {
+      shedding_.store(false, std::memory_order_relaxed);
+      SWALA_LOG(Info) << "admission control: resumed at " << active
+                      << " active connections";
+      return false;
+    }
+    return true;
+  }
+  if (active >= options_.max_connections) {
+    shedding_.store(true, std::memory_order_relaxed);
+    SWALA_LOG(Warn) << "admission control: shedding at " << active << "/"
+                    << options_.max_connections << " active connections";
+    return true;
+  }
+  return false;
+}
+
+void SwalaServer::shed_connection(net::TcpStream stream) {
+  counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+  http::Response resp = overload_response(503, "server at connection limit",
+                                          options_.retry_after_seconds);
+  (void)stream.set_send_timeout(1000);
+  (void)stream.write_vec(resp.serialize_head(), resp.body);
+  // stream destructor closes the socket.
 }
 
 void SwalaServer::request_thread_loop() {
@@ -81,8 +158,39 @@ void SwalaServer::request_thread_loop() {
       }
       stream = std::move(conn.value());
     }
+    if (should_shed()) {
+      shed_connection(std::move(stream));
+      continue;
+    }
     // Handle outside the accept lock so other threads can accept.
     handle_connection(std::move(stream), ctx_);
+  }
+}
+
+void SwalaServer::shed_loop() {
+  // Only active while the admission gate is closed: in the take-turns
+  // model every request thread may be pinned inside a keep-alive
+  // connection, leaving nobody in accept() to refuse overflow arrivals.
+  // Evaluates should_shed() itself (off the active-connections gauge), so
+  // it engages even when no request thread reaches an accept point.
+  while (running_.load(std::memory_order_relaxed)) {
+    if (!should_shed()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    net::TcpStream stream;
+    {
+      std::lock_guard<std::mutex> lock(accept_mutex_);
+      if (!running_.load(std::memory_order_relaxed)) return;
+      if (!should_shed()) continue;  // gate reopened while waiting
+      auto conn = listener_.accept(/*timeout_ms=*/50);
+      if (!conn) {
+        if (conn.status().code() == StatusCode::kTimeout) continue;
+        return;  // listener closed
+      }
+      stream = std::move(conn.value());
+    }
+    shed_connection(std::move(stream));
   }
 }
 
@@ -93,7 +201,20 @@ void SwalaServer::acceptor_loop() {
       if (conn.status().code() == StatusCode::kTimeout) continue;
       break;
     }
-    if (!conn_queue_->push(std::move(conn.value()))) break;  // shutting down
+    net::TcpStream stream = std::move(conn.value());
+    if (should_shed()) {
+      shed_connection(std::move(stream));
+      continue;
+    }
+    // Never block the acceptor on a full queue: a stalled worker pool must
+    // show up as fast 503s at the edge, not as silent backlog growth.
+    // (The acceptor is the only producer, so size() < depth means the push
+    // below cannot block.)
+    if (conn_queue_->size() >= options_.dispatch_queue_depth) {
+      shed_connection(std::move(stream));
+      continue;
+    }
+    if (!conn_queue_->push(std::move(stream))) break;  // shutting down
   }
 }
 

@@ -38,6 +38,28 @@ struct SwalaServerOptions {
   /// default of 128 and show up as client connect failures, not server
   /// errors — raise this before raising request_threads.
   int listen_backlog = 128;
+
+  // ---- overload protection ----
+  /// Admission control: above this many concurrently active connections,
+  /// new arrivals are shed with a fast 503 + Retry-After instead of being
+  /// queued behind saturated request threads. 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Hysteresis: once shedding starts it continues until active
+  /// connections fall to this percentage of max_connections, so the server
+  /// does not flap at the boundary under a sustained burst.
+  int shed_resume_percent = 75;
+  /// Retry-After (seconds) on overload responses.
+  int retry_after_seconds = 1;
+  /// Per-request deadline covering parse through response write; 0 = none.
+  int request_timeout_ms = 0;
+  /// Capacity of the acceptor→worker queue (kAcceptorQueue model). A full
+  /// queue sheds, it never blocks the acceptor.
+  std::size_t dispatch_queue_depth = 1024;
+  /// Caps concurrent CGI executions; 0 = unlimited. Queue-wait counts
+  /// against the request deadline.
+  std::size_t max_concurrent_cgi = 0;
+  /// How long drain() waits for in-flight connections before giving up.
+  int drain_timeout_ms = 5000;
 };
 
 class SwalaServer {
@@ -59,6 +81,15 @@ class SwalaServer {
   /// Stops accepting, joins all request threads. Idempotent.
   void stop();
 
+  /// Graceful drain: stop accepting, mark responses "Connection: close",
+  /// and wait up to `options.drain_timeout_ms` for in-flight connections
+  /// to finish. Returns true when the server drained fully in time.
+  /// Call before stop(); stop() afterwards only reaps threads.
+  bool drain();
+
+  /// True once drain() has started (reported by /swala-status).
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
   /// Bound port (after start()).
   std::uint16_t port() const { return listener_.local_port(); }
   net::InetAddress address() const { return {"127.0.0.1", port()}; }
@@ -77,6 +108,13 @@ class SwalaServer {
   void request_thread_loop();
   void acceptor_loop();
   void queue_worker_loop();
+  void shed_loop();
+
+  /// Admission decision with hysteresis (see shed_resume_percent).
+  bool should_shed();
+
+  /// Writes a 503 + Retry-After + Connection: close and closes the stream.
+  void shed_connection(net::TcpStream stream);
 
   SwalaServerOptions options_;
   std::shared_ptr<cgi::HandlerRegistry> registry_;
@@ -84,12 +122,20 @@ class SwalaServer {
   ServerCounters counters_;
   AccessLog access_log_;
   LatencyRecorder latency_;
+  std::unique_ptr<cgi::ExecGate> cgi_gate_;
 
   net::TcpListener listener_;
   std::mutex accept_mutex_;  ///< request threads take turns accepting
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shedding_{false};  ///< hysteresis state
   std::vector<std::thread> threads_;
   std::thread acceptor_;  ///< kAcceptorQueue only
+  /// kTakeTurns only: when every request thread is tied up in a long
+  /// keep-alive connection, nobody sits in accept() and overflow arrivals
+  /// would wait out the backlog in silence. This thread accepts and sheds
+  /// them with a fast 503 while the admission gate is closed.
+  std::thread shedder_;
   std::unique_ptr<BoundedQueue<net::TcpStream>> conn_queue_;
 };
 

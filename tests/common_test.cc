@@ -163,6 +163,19 @@ TEST(ConfigTest, RepeatedKeys) {
   EXPECT_EQ(cfg.value().get_string("r", "rule"), "three");
 }
 
+TEST(ConfigTest, InlineComments) {
+  auto cfg = Config::parse(
+      "[server]\n"
+      "port = 8080  ; ephemeral would be 0\n"
+      "policy = gds # greedy-dual-size\n"
+      "rule = /cgi-bin/*#* cache\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg.value().get_int("server", "port"), 8080);
+  EXPECT_EQ(cfg.value().get_string("server", "policy"), "gds");
+  // A marker glued to the value is part of it, not a comment.
+  EXPECT_EQ(cfg.value().get_string("server", "rule"), "/cgi-bin/*#* cache");
+}
+
 TEST(ConfigTest, MalformedLines) {
   EXPECT_FALSE(Config::parse("[broken\n").is_ok());
   EXPECT_FALSE(Config::parse("no equals sign\n").is_ok());

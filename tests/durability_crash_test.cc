@@ -5,6 +5,7 @@
 // its peer relearns the surviving entries over the cluster protocol.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
@@ -13,6 +14,7 @@
 #include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
+#include <vector>
 
 #include "http/client.h"
 #include "net/socket.h"
@@ -57,6 +59,13 @@ class CrashRestartTest : public ::testing::Test {
                "#!/bin/sh\n"
                "sleep 0.01\n"
                "printf 'Content-Type: text/plain\\n\\nresult for %s\\n' \"$QUERY_STRING\"\n",
+               /*executable=*/true);
+    // Slow program for the drain-under-load test: still executing when the
+    // node is asked to shut down.
+    write_file(kRoot + "/cgi-bin/slow",
+               "#!/bin/sh\n"
+               "sleep 0.6\n"
+               "printf 'Content-Type: text/plain\\n\\nslow %s\\n' \"$QUERY_STRING\"\n",
                /*executable=*/true);
     for (auto& port : ports_) port = grab_free_port();
     for (int node = 0; node < 2; ++node) {
@@ -245,6 +254,39 @@ TEST_F(CrashRestartTest, SigkillMidBurstThenRecover) {
     }
   }
   EXPECT_TRUE(shared) << "peer never served the restored entry from cache";
+}
+
+TEST_F(CrashRestartTest, SigtermDrainsInFlightRequestsBeforeExit) {
+  // Three requests are mid-CGI (0.6 s each) when SIGTERM lands. The
+  // graceful-drain path must let every one of them finish with a real
+  // response, then save the manifest and exit cleanly — not cut them off.
+  constexpr int kInFlight = 3;
+  std::atomic<int> ok200{0};
+  std::vector<std::thread> inflight;
+  inflight.reserve(kInFlight);
+  for (int i = 0; i < kInFlight; ++i) {
+    inflight.emplace_back([this, i, &ok200] {
+      http::HttpClient client({"127.0.0.1", ports_[0]}, 10000);
+      const auto resp = client.get("/cgi-bin/slow?req=" + std::to_string(i));
+      if (resp.is_ok() && resp.value().status == 200 &&
+          resp.value().body.find("slow req=" + std::to_string(i)) !=
+              std::string::npos) {
+        ok200.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  ASSERT_EQ(::kill(pids_[0], SIGTERM), 0);
+  for (auto& t : inflight) t.join();
+  EXPECT_EQ(ok200.load(), kInFlight) << "drain cut an in-flight request";
+
+  // The process exited of its own accord with status 0 (drain -> manifest
+  // save -> stop), not via our TearDown SIGKILL.
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pids_[0], &wstatus, 0), pids_[0]);
+  EXPECT_TRUE(WIFEXITED(wstatus));
+  if (WIFEXITED(wstatus)) EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+  pids_[0] = -1;
 }
 
 TEST_F(CrashRestartTest, RepeatedKillRestartLoop) {

@@ -100,7 +100,7 @@ TEST(DispatcherTest, FailoverSkipsDeadBackend) {
   alive.stop();
 }
 
-TEST(DispatcherTest, AllBackendsDeadGives502) {
+TEST(DispatcherTest, AllBackendsDeadShedsWith503) {
   std::uint16_t dead_port;
   {
     auto dead = net::TcpListener::listen({"127.0.0.1", 0});
@@ -113,7 +113,11 @@ TEST(DispatcherTest, AllBackendsDeadGives502) {
     http::HttpClient client(dispatcher.address());
     auto resp = client.get("/x");
     ASSERT_TRUE(resp.is_ok());
-    EXPECT_EQ(resp.value().status, 502);
+    EXPECT_EQ(resp.value().status, 503);
+    // A shed tells the client when to come back and closes the connection.
+    ASSERT_TRUE(resp.value().headers.get("Retry-After").has_value());
+    ASSERT_TRUE(resp.value().headers.get("Connection").has_value());
+    EXPECT_EQ(*resp.value().headers.get("Connection"), "close");
   }
   EXPECT_EQ(dispatcher.stats().unavailable, 1u);
   dispatcher.stop();
