@@ -16,6 +16,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kPermissionDenied: return "permission_denied";
     case StatusCode::kResourceExhausted: return "resource_exhausted";
     case StatusCode::kCorrupt: return "corrupt";
+    case StatusCode::kWouldBlock: return "would_block";
   }
   return "unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kPermissionDenied,
   kResourceExhausted,
   kCorrupt,  ///< stored data failed integrity verification (bad magic/CRC)
+  kWouldBlock,  ///< non-blocking I/O has no data/space right now (EAGAIN)
 };
 
 /// Human-readable name of a `StatusCode` ("ok", "not_found", ...).

@@ -1,0 +1,103 @@
+#include "net/poller.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace swala::net {
+namespace {
+
+Status errno_status(StatusCode code, const char* what) {
+  return Status(code, std::string(what) + ": " + std::strerror(errno));
+}
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<Poller> Poller::create() {
+  const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) return errno_status(StatusCode::kIoError, "epoll_create1");
+  Poller p;
+  p.epfd_ = UniqueFd(fd);
+  return p;
+}
+
+Status Poller::add(int fd, std::uint32_t events, std::uint64_t data) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = data;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return errno_status(StatusCode::kIoError, "epoll_ctl ADD");
+  }
+  return Status::ok();
+}
+
+Status Poller::modify(int fd, std::uint32_t events, std::uint64_t data) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = data;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return errno_status(StatusCode::kIoError, "epoll_ctl MOD");
+  }
+  return Status::ok();
+}
+
+Status Poller::remove(int fd) {
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return errno_status(StatusCode::kIoError, "epoll_ctl DEL");
+  }
+  return Status::ok();
+}
+
+Result<int> Poller::wait(PollEvent* out, int max_events, int timeout_ms) {
+  epoll_event evs[128];
+  if (max_events > 128) max_events = 128;
+  const std::int64_t start = timeout_ms >= 0 ? steady_now_ms() : 0;
+  int remaining = timeout_ms;
+  for (;;) {
+    const int n = ::epoll_wait(epfd_.get(), evs, max_events, remaining);
+    if (n >= 0) {
+      for (int i = 0; i < n; ++i) {
+        out[i].data = evs[i].data.u64;
+        out[i].events = evs[i].events;
+      }
+      return n;
+    }
+    if (errno != EINTR) return errno_status(StatusCode::kIoError, "epoll_wait");
+    if (timeout_ms >= 0) {
+      const std::int64_t elapsed = steady_now_ms() - start;
+      if (elapsed >= timeout_ms) return 0;
+      remaining = static_cast<int>(timeout_ms - elapsed);
+    }
+  }
+}
+
+Result<WakeupFd> WakeupFd::create() {
+  const int fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (fd < 0) return errno_status(StatusCode::kIoError, "eventfd");
+  WakeupFd w;
+  w.fd_ = UniqueFd(fd);
+  return w;
+}
+
+void WakeupFd::signal() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  ssize_t rc = ::write(fd_.get(), &one, sizeof(one));
+  (void)rc;
+}
+
+void WakeupFd::drain() {
+  std::uint64_t value = 0;
+  while (::read(fd_.get(), &value, sizeof(value)) > 0) {
+  }
+}
+
+}  // namespace swala::net

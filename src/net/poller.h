@@ -1,0 +1,70 @@
+// Readiness notification for the epoll reactor: a thin RAII wrapper over
+// epoll(7) plus an eventfd-based cross-thread wakeup. Linux-only, like the
+// reactor itself (the thread-per-connection servers remain portable).
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "net/fd.h"
+
+namespace swala::net {
+
+/// One readiness event: the registered 64-bit cookie plus the EPOLL* bits.
+struct PollEvent {
+  std::uint64_t data = 0;
+  std::uint32_t events = 0;
+};
+
+/// Level-triggered epoll instance. Not thread-safe: the owning event loop
+/// is the only caller (cross-thread wakeups go through WakeupFd).
+class Poller {
+ public:
+  static Result<Poller> create();
+
+  Poller() = default;
+
+  [[nodiscard]] bool valid() const { return epfd_.valid(); }
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); readiness reports
+  /// carry `data` back. Closing a registered fd deregisters it implicitly.
+  Status add(int fd, std::uint32_t events, std::uint64_t data);
+  Status modify(int fd, std::uint32_t events, std::uint64_t data);
+  Status remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever) and fills `out` with up to
+  /// `max_events` readiness reports; returns how many. EINTR re-enters the
+  /// wait with the remaining time.
+  Result<int> wait(PollEvent* out, int max_events, int timeout_ms);
+
+ private:
+  UniqueFd epfd_;
+};
+
+/// Cross-thread wakeup for an event loop parked in Poller::wait. Writers
+/// (worker threads posting completions, stop()/drain() control calls) call
+/// signal(); the loop registers fd() for EPOLLIN and drains on readiness.
+/// Backed by eventfd(2): one fd, counter semantics, never blocks a writer.
+class WakeupFd {
+ public:
+  static Result<WakeupFd> create();
+
+  WakeupFd() = default;
+
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+  /// Async-signal-safe and callable from any thread.
+  void signal();
+
+  /// Consumes pending signals (call on EPOLLIN to stop level-triggered
+  /// re-reporting).
+  void drain();
+
+ private:
+  UniqueFd fd_;
+};
+
+}  // namespace swala::net

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -35,15 +36,41 @@ Result<sockaddr_in> make_sockaddr(const InetAddress& addr) {
   return sa;
 }
 
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status set_fd_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_status(StatusCode::kIoError, "F_GETFL");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) != 0) {
+    return errno_status(StatusCode::kIoError, "F_SETFL");
+  }
+  return Status::ok();
+}
+
 }  // namespace
 
 bool wait_readable(int fd, int timeout_ms) {
   pollfd pfd{fd, POLLIN, 0};
+  // EINTR must not restart the full timeout: repeated signals would extend
+  // the wait unboundedly (and blow through request deadlines). Recompute
+  // the remaining time from a monotonic start before every re-poll.
+  const std::int64_t start = timeout_ms >= 0 ? steady_now_ms() : 0;
+  int remaining = timeout_ms;
   for (;;) {
-    const int rc = ::poll(&pfd, 1, timeout_ms);
+    const int rc = ::poll(&pfd, 1, remaining);
     if (rc > 0) return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
     if (rc == 0) return false;
     if (errno != EINTR) return false;
+    if (timeout_ms >= 0) {
+      const std::int64_t elapsed = steady_now_ms() - start;
+      if (elapsed >= timeout_ms) return false;
+      remaining = static_cast<int>(timeout_ms - elapsed);
+    }
   }
 }
 
@@ -73,11 +100,25 @@ Result<TcpStream> TcpStream::connect(const InetAddress& addr, int timeout_ms) {
   }
   if (rc != 0) {
     pollfd pfd{fd.get(), POLLOUT, 0};
-    rc = ::poll(&pfd, 1, timeout_ms);
-    if (rc == 0) {
-      return Status(StatusCode::kTimeout, "connect timeout to " + addr.to_string());
+    // Same EINTR discipline as wait_readable: re-poll with the remaining
+    // time, never the full original timeout.
+    const std::int64_t start = steady_now_ms();
+    int remaining = timeout_ms;
+    for (;;) {
+      rc = ::poll(&pfd, 1, remaining);
+      if (rc > 0) break;
+      if (rc == 0) {
+        return Status(StatusCode::kTimeout,
+                      "connect timeout to " + addr.to_string());
+      }
+      if (errno != EINTR) return errno_status(StatusCode::kIoError, "poll");
+      const std::int64_t elapsed = steady_now_ms() - start;
+      if (elapsed >= timeout_ms) {
+        return Status(StatusCode::kTimeout,
+                      "connect timeout to " + addr.to_string());
+      }
+      remaining = static_cast<int>(timeout_ms - elapsed);
     }
-    if (rc < 0) return errno_status(StatusCode::kIoError, "poll");
     int err = 0;
     socklen_t len = sizeof(err);
     ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
@@ -100,9 +141,14 @@ Status TcpStream::set_no_delay(bool on) {
 
 namespace {
 Status set_timeout(int fd, int optname, int timeout_ms) {
+  // 0 = unlimited, matching Deadline's "0 disables" idiom. Negative values
+  // are clamped to unlimited as well: a negative timeval is EINVAL on Linux
+  // and a silent sign-wrapped tv_sec elsewhere, neither of which anyone
+  // asked for.
+  if (timeout_ms < 0) timeout_ms = 0;
   timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
   if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
     return errno_status(StatusCode::kIoError, "SO_*TIMEO");
   }
@@ -111,20 +157,51 @@ Status set_timeout(int fd, int optname, int timeout_ms) {
 }  // namespace
 
 Status TcpStream::set_recv_timeout(int timeout_ms) {
+  recv_timeout_ms_ = timeout_ms < 0 ? 0 : timeout_ms;
   return set_timeout(fd_.get(), SO_RCVTIMEO, timeout_ms);
 }
 
 Status TcpStream::set_send_timeout(int timeout_ms) {
+  send_timeout_ms_ = timeout_ms < 0 ? 0 : timeout_ms;
   return set_timeout(fd_.get(), SO_SNDTIMEO, timeout_ms);
 }
 
+Status TcpStream::set_nonblocking(bool on) {
+  return set_fd_nonblocking(fd_.get(), on);
+}
+
 Result<std::size_t> TcpStream::read_some(char* buf, std::size_t len) {
+  // SO_RCVTIMEO restarts in full on every recv() call, so an EINTR retry
+  // loop alone would let a signal storm stretch one logical read far past
+  // its budget. Bound the total against the configured timeout.
+  const std::int64_t start = recv_timeout_ms_ > 0 ? steady_now_ms() : 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buf, len, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) {
+      if (recv_timeout_ms_ > 0 &&
+          steady_now_ms() - start >= recv_timeout_ms_) {
+        return Status(StatusCode::kTimeout, "recv timeout");
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(StatusCode::kTimeout, "recv timeout");
+    }
+    if (errno == ECONNRESET || errno == EPIPE) {
+      return Status(StatusCode::kClosed, "connection reset by peer");
+    }
+    return errno_status(StatusCode::kIoError, "recv");
+  }
+}
+
+Result<std::size_t> TcpStream::read_nb(char* buf, std::size_t len) {
   for (;;) {
     const ssize_t n = ::recv(fd_.get(), buf, len, 0);
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return Status(StatusCode::kTimeout, "recv timeout");
+      return Status(StatusCode::kWouldBlock, "read would block");
     }
     if (errno == ECONNRESET || errno == EPIPE) {
       return Status(StatusCode::kClosed, "connection reset by peer");
@@ -147,12 +224,20 @@ Status TcpStream::read_exact(char* buf, std::size_t len) {
 }
 
 Status TcpStream::write_all(std::string_view data) {
+  const std::int64_t start = send_timeout_ms_ > 0 ? steady_now_ms() : 0;
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        // Same EINTR audit as read_some: SO_SNDTIMEO restarts per call.
+        if (send_timeout_ms_ > 0 &&
+            steady_now_ms() - start >= send_timeout_ms_) {
+          return Status(StatusCode::kTimeout, "send timeout");
+        }
+        continue;
+      }
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status(StatusCode::kTimeout, "send timeout");
       }
@@ -169,6 +254,7 @@ Status TcpStream::write_all(std::string_view data) {
 Status TcpStream::write_vec(std::string_view head, std::string_view body) {
   // sendmsg rather than writev: writev has no MSG_NOSIGNAL, and a peer
   // reset mid-response must surface as kClosed, not kill the process.
+  const std::int64_t start = send_timeout_ms_ > 0 ? steady_now_ms() : 0;
   iovec iov[2];
   iov[0] = {const_cast<char*>(head.data()), head.size()};
   iov[1] = {const_cast<char*>(body.data()), body.size()};
@@ -181,7 +267,13 @@ Status TcpStream::write_vec(std::string_view head, std::string_view body) {
     msg.msg_iovlen = count - idx;
     const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (send_timeout_ms_ > 0 &&
+            steady_now_ms() - start >= send_timeout_ms_) {
+          return Status(StatusCode::kTimeout, "send timeout");
+        }
+        continue;
+      }
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status(StatusCode::kTimeout, "send timeout");
       }
@@ -203,6 +295,34 @@ Status TcpStream::write_vec(std::string_view head, std::string_view body) {
     }
   }
   return Status::ok();
+}
+
+Result<std::size_t> TcpStream::write_some_vec(std::string_view head,
+                                              std::string_view body) {
+  iovec iov[2];
+  std::size_t count = 0;
+  if (!head.empty()) {
+    iov[count++] = {const_cast<char*>(head.data()), head.size()};
+  }
+  if (!body.empty()) {
+    iov[count++] = {const_cast<char*>(body.data()), body.size()};
+  }
+  if (count == 0) return std::size_t{0};
+  for (;;) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(StatusCode::kWouldBlock, "write would block");
+    }
+    if (errno == ECONNRESET || errno == EPIPE) {
+      return Status(StatusCode::kClosed, "connection reset by peer");
+    }
+    return errno_status(StatusCode::kIoError, "sendmsg");
+  }
 }
 
 Status TcpStream::shutdown_write() {
@@ -260,6 +380,27 @@ Result<TcpStream> TcpListener::accept(int timeout_ms) {
     }
     return errno_status(StatusCode::kIoError, "accept");
   }
+}
+
+Result<TcpStream> TcpListener::try_accept() {
+  if (!fd_.valid()) return Status(StatusCode::kClosed, "listener closed");
+  for (;;) {
+    const int client =
+        ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (client >= 0) return TcpStream(UniqueFd(client));
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(StatusCode::kWouldBlock, "no pending connection");
+    }
+    if (errno == EBADF || errno == EINVAL) {
+      return Status(StatusCode::kClosed, "listener closed");
+    }
+    return errno_status(StatusCode::kIoError, "accept");
+  }
+}
+
+Status TcpListener::set_nonblocking(bool on) {
+  return set_fd_nonblocking(fd_.get(), on);
 }
 
 }  // namespace swala::net

@@ -215,6 +215,9 @@ std::string json_u64(std::string_view name, std::uint64_t value,
 /// GET /swala-status: live statistics as JSON.
 http::Response serve_status(const ServeContext& ctx) {
   std::string body = "{\n";
+  body += "  \"io_model\": \"";
+  body += ctx.io_model != nullptr ? ctx.io_model : "threads";
+  body += "\",\n";
   if (ctx.counters != nullptr) {
     const ServerStats s = snapshot(*ctx.counters);
     body += json_u64("connections", s.connections);
@@ -381,6 +384,51 @@ http::Response handle_request(const http::Request& request,
   return handle_request(request, ctx, Deadline());
 }
 
+bool finalize_response(const http::Request& request, const ServeContext& ctx,
+                       std::size_t served, http::Response* resp) {
+  bool keep = ctx.allow_keep_alive && request.keep_alive() &&
+              served + 1 < ctx.max_keep_alive_requests;
+  resp->version = request.version;
+  resp->headers.set("Server", kServerName);
+  // A handler that set "Connection: close" (errors, overload sheds) wins
+  // over keep-alive, as does a drain in progress: in-flight keep-alive
+  // connections wind down one response at a time.
+  if (const auto conn = resp->headers.get("Connection");
+      conn.has_value() && *conn == "close") {
+    keep = false;
+  }
+  if (ctx.draining != nullptr &&
+      ctx.draining->load(std::memory_order_relaxed)) {
+    keep = false;
+  }
+  resp->headers.set("Connection", keep ? "keep-alive" : "close");
+  if (request.method == http::Method::kHead) resp->body.clear();
+  return keep;
+}
+
+void record_exchange(const ServeContext& ctx, const http::Request& request,
+                     const http::Response& resp, TimeNs handle_start,
+                     const Clock* clock) {
+  if (ctx.latency != nullptr) {
+    ctx.latency->add(to_seconds(clock->now() - handle_start));
+  }
+  if (ctx.access_log != nullptr && ctx.access_log->is_open()) {
+    AccessRecord record;
+    record.timestamp =
+        static_cast<double>(std::time(nullptr));  // wall-clock epoch
+    record.method = http::method_name(request.method);
+    record.target = request.target;
+    record.version = http::version_name(request.version);
+    record.status = resp.status;
+    record.bytes = resp.body.size();
+    record.service_seconds = to_seconds(clock->now() - handle_start);
+    const auto cache_state = resp.headers.get("X-Swala-Cache");
+    record.dynamic = cache_state.has_value();
+    record.cache_state = cache_state ? std::string(*cache_state) : "-";
+    ctx.access_log->log(record);
+  }
+}
+
 http::Response handle_request(const http::Request& request,
                               const ServeContext& ctx,
                               const Deadline& deadline) {
@@ -470,7 +518,19 @@ void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
       if (!n) {
         if (n.status().code() != StatusCode::kTimeout) return;
         idle_ms += kSliceMs;
-        if (idle_ms >= ctx.recv_timeout_ms || shutting_down()) return;
+        if (shutting_down()) {
+          // Server stopping. A connection that already sent part of a
+          // request deserves an answer, not a silent abandon: tell it the
+          // server is going away and that the connection is done. An idle
+          // keep-alive connection just closes.
+          if (parser.mid_request()) {
+            http::Response resp = overload_response(
+                503, "server shutting down", ctx.retry_after_seconds);
+            (void)stream.write_vec(resp.serialize_head(), resp.body);
+          }
+          return;
+        }
+        if (idle_ms >= ctx.recv_timeout_ms) return;
         continue;
       }
       if (n.value() == 0) return;  // peer closed
@@ -485,44 +545,11 @@ void handle_connection(net::TcpStream stream, const ServeContext& ctx) {
     }
 
     http::Request& request = parser.request();
-    bool keep = ctx.allow_keep_alive && request.keep_alive() &&
-                served + 1 < ctx.max_keep_alive_requests;
 
     const TimeNs handle_start = clock->now();
     http::Response resp = handle_request(request, ctx, deadline);
-    if (ctx.latency != nullptr) {
-      ctx.latency->add(to_seconds(clock->now() - handle_start));
-    }
-    if (ctx.access_log != nullptr && ctx.access_log->is_open()) {
-      AccessRecord record;
-      record.timestamp =
-          static_cast<double>(std::time(nullptr));  // wall-clock epoch
-      record.method = http::method_name(request.method);
-      record.target = request.target;
-      record.version = http::version_name(request.version);
-      record.status = resp.status;
-      record.bytes = resp.body.size();
-      record.service_seconds = to_seconds(clock->now() - handle_start);
-      const auto cache_state = resp.headers.get("X-Swala-Cache");
-      record.dynamic = cache_state.has_value();
-      record.cache_state = cache_state ? std::string(*cache_state) : "-";
-      ctx.access_log->log(record);
-    }
-    resp.version = request.version;
-    resp.headers.set("Server", kServerName);
-    // A handler that set "Connection: close" (errors, overload sheds) wins
-    // over keep-alive, as does a drain in progress: in-flight keep-alive
-    // connections wind down one response at a time.
-    if (const auto conn = resp.headers.get("Connection");
-        conn.has_value() && *conn == "close") {
-      keep = false;
-    }
-    if (ctx.draining != nullptr &&
-        ctx.draining->load(std::memory_order_relaxed)) {
-      keep = false;
-    }
-    resp.headers.set("Connection", keep ? "keep-alive" : "close");
-    if (request.method == http::Method::kHead) resp.body.clear();
+    record_exchange(ctx, request, resp, handle_start, clock);
+    const bool keep = finalize_response(request, ctx, served, &resp);
 
     // The response write shares the request budget: a client that stops
     // reading (zero receive window) blocks the thread for at most the

@@ -120,6 +120,10 @@ struct ServeContext {
   const std::atomic<bool>* draining = nullptr;
   /// Retry-After value (seconds) on 503 overload responses.
   int retry_after_seconds = 1;
+  /// Connection-path model serving this context ("threads" | "epoll"),
+  /// reported by /swala-status so operators can tell which io_model a node
+  /// actually runs.
+  const char* io_model = "threads";
 };
 
 /// Serves requests on `stream` until close / keep-alive exhaustion / error.
@@ -139,6 +143,22 @@ http::Response handle_request(const http::Request& request,
 /// pipelining into a suspect connection.
 http::Response overload_response(int status, std::string_view reason,
                                  int retry_after_seconds);
+
+/// Applies the per-exchange response hygiene shared by the threaded
+/// connection handler and the epoll reactor's workers: response version,
+/// Server header, the keep-alive decision (client intent, handler-forced
+/// close, drain in progress, keep-alive budget with `served` exchanges
+/// already done), and HEAD body suppression. Returns whether the connection
+/// should be kept open afterwards.
+bool finalize_response(const http::Request& request, const ServeContext& ctx,
+                       std::size_t served, http::Response* resp);
+
+/// Records one completed exchange in the latency histogram and access log
+/// (both optional in `ctx`). `handle_start` is the clock reading taken just
+/// before handle_request.
+void record_exchange(const ServeContext& ctx, const http::Request& request,
+                     const http::Response& resp, TimeNs handle_start,
+                     const Clock* clock);
 
 /// Snapshot helper.
 ServerStats snapshot(const ServerCounters& counters);

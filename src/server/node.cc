@@ -142,6 +142,21 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
       static_cast<std::uint16_t>(config.get_int("server", "port", 0));
   so.request_threads =
       static_cast<std::size_t>(config.get_int("server", "threads", 16));
+  // threads: thread-per-connection (§4.1); epoll: event-driven reactor,
+  // where `threads` sizes the handler worker pool instead.
+  const std::string io_model =
+      config.get_string("server", "io_model", "threads");
+  if (io_model == "threads") {
+    so.io_model = IoModel::kThreads;
+  } else if (io_model == "epoll") {
+    so.io_model = IoModel::kEpoll;
+  } else {
+    return Status(StatusCode::kInvalidArgument,
+                  "server.io_model must be 'threads' or 'epoll', got '" +
+                      io_model + "'");
+  }
+  so.timer_resolution_ms = static_cast<int>(
+      config.get_int("server", "timer_resolution_ms", 50));
   so.docroot = config.get_string("server", "docroot", "");
   so.enable_admin = config.get_bool("server", "admin", false);
   so.access_log_path = config.get_string("server", "access_log", "");

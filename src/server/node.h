@@ -8,6 +8,10 @@
 //   host = 127.0.0.1
 //   port = 8080            ; 0 = ephemeral
 //   threads = 16
+//   io_model = threads     ; threads = one thread per connection (§4.1);
+//                          ; epoll = event-driven reactor ('threads' then
+//                          ; sizes the handler worker pool)
+//   timer_resolution_ms = 50  ; reactor timer-wheel tick (epoll only)
 //   docroot = ./www
 //   listen_backlog = 128   ; listen(2) queue depth
 //   ; ---- overload protection ----

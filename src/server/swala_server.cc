@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "server/reactor.h"
 
 namespace swala::server {
 
@@ -48,6 +49,29 @@ Status SwalaServer::start() {
     return listener.status();
   }
   listener_ = std::move(listener.value());
+  if (options_.io_model == IoModel::kEpoll) {
+    // Event-driven connection path: the reactor owns the listener and every
+    // connection fd; request_threads sizes its worker pool. Admission
+    // control sheds inline at accept (the loop is never pinned inside a
+    // connection), so the dedicated shedder thread is not needed.
+    ctx_.io_model = "epoll";
+    ReactorOptions ro;
+    ro.worker_threads = options_.request_threads;
+    ro.max_connections = options_.max_connections;
+    ro.shed_resume_percent = options_.shed_resume_percent;
+    ro.timer_resolution_ms = options_.timer_resolution_ms;
+    reactor_ = std::make_unique<EpollReactor>(&ctx_, &listener_, ro);
+    if (auto st = reactor_->start(); !st.is_ok()) {
+      reactor_.reset();
+      listener_.close();
+      running_ = false;
+      return st;
+    }
+    SWALA_LOG(Info) << "SwalaServer listening on port " << port()
+                    << " (epoll reactor, " << options_.request_threads
+                    << " workers)";
+    return Status::ok();
+  }
   threads_.reserve(options_.request_threads);
   if (options_.accept_model == AcceptModel::kTakeTurns) {
     for (std::size_t i = 0; i < options_.request_threads; ++i) {
@@ -71,6 +95,13 @@ Status SwalaServer::start() {
 
 void SwalaServer::stop() {
   if (!running_.exchange(false)) return;
+  if (reactor_ != nullptr) {
+    // The reactor flushes in-flight responses (mid-request connections get
+    // a 503 "server shutting down") before its loop exits; the listener is
+    // closed by its stop sweep.
+    reactor_->stop();
+    reactor_.reset();
+  }
   listener_.close();
   if (conn_queue_ != nullptr) conn_queue_->close();
   if (acceptor_.joinable()) acceptor_.join();
@@ -88,7 +119,20 @@ bool SwalaServer::drain() {
   // Closing the listener stops new work at the front door; handlers see
   // ctx.draining and send "Connection: close", so keep-alive connections
   // wind down one in-flight response at a time.
-  listener_.close();
+  if (reactor_ != nullptr) {
+    // The loop thread closes the listener itself (it owns the epoll
+    // registration) and sweeps idle keep-alive connections; wait for that
+    // acknowledgment so callers observe refused connects on return.
+    reactor_->begin_drain();
+    const auto ack_by = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(1000);
+    while (listener_.valid() &&
+           std::chrono::steady_clock::now() < ack_by) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  } else {
+    listener_.close();
+  }
   SWALA_LOG(Info) << "SwalaServer draining: waiting up to "
                   << options_.drain_timeout_ms << "ms for "
                   << counters_.active_connections.load(

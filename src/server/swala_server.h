@@ -13,6 +13,8 @@
 
 namespace swala::server {
 
+class EpollReactor;
+
 /// How connections reach the request threads (§4.1 design choice).
 enum class AcceptModel {
   /// The paper's model: request threads take turns in accept() under a
@@ -23,10 +25,29 @@ enum class AcceptModel {
   kAcceptorQueue,
 };
 
+/// Connection-path I/O model (`server.io_model` in swala.conf).
+enum class IoModel {
+  /// The paper's model: one (pooled) thread owns each connection from
+  /// accept to close. Portable, simple, caps out at ~request_threads
+  /// concurrent keep-alive connections before admission control sheds.
+  kThreads,
+  /// Non-blocking epoll reactor (see server/reactor.h): one event loop owns
+  /// every connection fd, a worker pool runs the request handlers, and tens
+  /// of thousands of idle keep-alive connections cost one fd each.
+  kEpoll,
+};
+
 struct SwalaServerOptions {
   net::InetAddress listen{"127.0.0.1", 0};
   std::size_t request_threads = 16;
   AcceptModel accept_model = AcceptModel::kTakeTurns;
+  /// threads: one thread per connection (the paper's §4.1 model).
+  /// epoll: event-driven reactor; request_threads sizes the worker pool
+  /// that runs handlers (CGI, cache, disk), not the connection count.
+  IoModel io_model = IoModel::kThreads;
+  /// Reactor timer-wheel granularity (epoll only); deadlines and idle
+  /// timeouts fire up to one tick late.
+  int timer_resolution_ms = 50;
   std::string docroot;
   bool allow_keep_alive = true;
   /// Exposes /swala-status and /swala-admin/invalidate.
@@ -137,6 +158,9 @@ class SwalaServer {
   /// them with a fast 503 while the admission gate is closed.
   std::thread shedder_;
   std::unique_ptr<BoundedQueue<net::TcpStream>> conn_queue_;
+  /// io_model = epoll: the event-driven connection path. Owns the loop and
+  /// worker threads; threads_/shedder_/acceptor_ stay empty.
+  std::unique_ptr<EpollReactor> reactor_;
 };
 
 }  // namespace swala::server

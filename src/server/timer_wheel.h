@@ -1,0 +1,104 @@
+// Hashed timing wheel for the epoll reactor's per-connection timers (idle
+// keep-alive timeout, request deadline, stalled-writer cut). Tens of
+// thousands of connections each carry one pending timer; a wheel gives O(1)
+// schedule/cancel/reschedule where a heap would pay O(log n) per read-reset
+// of the idle timer.
+//
+// Design: an id -> expiry map is authoritative; slot buckets are lazy hints.
+// schedule() overwrites the map entry and drops the id into the bucket for
+// its expiry tick. advance() walks the ticks since the last call; a bucket
+// entry whose map expiry is in the past fires, one whose expiry moved (the
+// timer was rescheduled, e.g. an idle timeout pushed out by traffic) is
+// re-bucketed, and one with no map entry was cancelled and is skipped.
+// Timers farther out than one wheel revolution simply go around again.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace swala::server {
+
+class TimerWheel {
+ public:
+  /// `resolution` is the firing granularity (timers fire up to one tick
+  /// late); `slot_count` trades memory for re-bucketing of long timers.
+  explicit TimerWheel(TimeNs resolution = from_millis(50),
+                      std::size_t slot_count = 512)
+      : resolution_(resolution > 0 ? resolution : from_millis(50)),
+        slots_(slot_count > 0 ? slot_count : 512) {}
+
+  /// Schedules (or reschedules) timer `id` to fire at `when`. An expiry at
+  /// or before the wheel's current tick is bucketed into the *next* tick —
+  /// dropping it into its literal slot would delay it a full revolution,
+  /// since advance() only visits slots for ticks it has not passed yet.
+  void schedule(std::uint64_t id, TimeNs when) {
+    when_[id] = when;
+    TimeNs effective = when;
+    if (last_tick_ != kUnstarted) {
+      const TimeNs next = (last_tick_ + 1) * resolution_;
+      if (effective < next) effective = next;
+    }
+    slots_[slot_of(effective)].push_back(id);
+  }
+
+  void cancel(std::uint64_t id) { when_.erase(id); }
+
+  [[nodiscard]] bool empty() const { return when_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return when_.size(); }
+
+  /// Collects every timer whose expiry is <= `now` into `fired` (appended)
+  /// and removes it. Call with a monotonically non-decreasing `now`.
+  void advance(TimeNs now, std::vector<std::uint64_t>* fired) {
+    const std::int64_t tick = static_cast<std::int64_t>(now / resolution_);
+    if (last_tick_ == kUnstarted) last_tick_ = tick - 1;
+    if (tick <= last_tick_) return;
+    // A gap longer than one revolution visits every slot exactly once.
+    std::int64_t steps = tick - last_tick_;
+    if (steps > static_cast<std::int64_t>(slots_.size())) {
+      steps = static_cast<std::int64_t>(slots_.size());
+    }
+    for (std::int64_t t = tick - steps + 1; t <= tick; ++t) {
+      auto& bucket = slots_[static_cast<std::size_t>(t) % slots_.size()];
+      if (bucket.empty()) continue;
+      std::vector<std::uint64_t> entries;
+      entries.swap(bucket);
+      for (const std::uint64_t id : entries) {
+        const auto it = when_.find(id);
+        if (it == when_.end()) continue;  // cancelled
+        if (it->second <= now) {
+          fired->push_back(id);
+          when_.erase(it);
+        } else {
+          // Rescheduled later, or wrapped a revolution: re-bucket, clamped
+          // past the tick being processed (its literal slot was just
+          // swapped and will not be visited again for a revolution). The
+          // swap above makes a same-slot re-push land in the fresh bucket,
+          // so this cannot loop.
+          const TimeNs next = (t + 1) * resolution_;
+          slots_[slot_of(std::max(it->second, next))].push_back(id);
+        }
+      }
+    }
+    last_tick_ = tick;
+  }
+
+ private:
+  static constexpr std::int64_t kUnstarted =
+      std::numeric_limits<std::int64_t>::min();
+
+  std::size_t slot_of(TimeNs when) const {
+    return static_cast<std::size_t>(when / resolution_) % slots_.size();
+  }
+
+  TimeNs resolution_;
+  std::int64_t last_tick_ = kUnstarted;
+  std::unordered_map<std::uint64_t, TimeNs> when_;
+  std::vector<std::vector<std::uint64_t>> slots_;
+};
+
+}  // namespace swala::server

@@ -59,8 +59,28 @@ std::string read_to_eof(net::TcpStream& stream, int timeout_ms) {
   return out;
 }
 
-TEST(OverloadTest, SlowLorisRequestIsCutAt408) {
-  SwalaServerOptions opts;
+/// Every scenario runs under both connection-path models: the paper's
+/// thread-per-connection pool and the epoll reactor. Overload semantics
+/// (shed, 408, drain, deadline cut, coalescing) must be identical.
+class OverloadTest : public ::testing::TestWithParam<IoModel> {
+ protected:
+  SwalaServerOptions base_options() const {
+    SwalaServerOptions opts;
+    opts.io_model = GetParam();
+    return opts;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    IoModels, OverloadTest,
+    ::testing::Values(IoModel::kThreads, IoModel::kEpoll),
+    [](const ::testing::TestParamInfo<IoModel>& info) {
+      return info.param == IoModel::kEpoll ? std::string("epoll")
+                                           : std::string("threads");
+    });
+
+TEST_P(OverloadTest, SlowLorisRequestIsCutAt408) {
+  SwalaServerOptions opts = base_options();
   opts.request_threads = 2;
   opts.request_timeout_ms = 300;
   opts.recv_timeout_ms = 5000;  // idle timeout is generous; the budget cuts
@@ -85,11 +105,11 @@ TEST(OverloadTest, SlowLorisRequestIsCutAt408) {
   server.stop();
 }
 
-TEST(OverloadTest, StalledResponseWriteIsCutAtDeadline) {
+TEST_P(OverloadTest, StalledResponseWriteIsCutAtDeadline) {
   cgi::ScriptedOptions sopts;
   sopts.output_bytes = 16 * 1024 * 1024;  // larger than both socket buffers
   auto scripted = std::make_shared<cgi::ScriptedCgi>(sopts);
-  SwalaServerOptions opts;
+  SwalaServerOptions opts = base_options();
   opts.request_threads = 2;
   opts.request_timeout_ms = 400;
   opts.recv_timeout_ms = 10000;  // without the budget the stall holds 10 s
@@ -124,12 +144,12 @@ TEST(OverloadTest, StalledResponseWriteIsCutAtDeadline) {
   server.stop();
 }
 
-TEST(OverloadTest, CgiGateTimeoutShedsWith503) {
+TEST_P(OverloadTest, CgiGateTimeoutShedsWith503) {
   cgi::ScriptedOptions sopts;
   sopts.mode = cgi::ComputeMode::kSleep;
   sopts.service_seconds = 1.2;
   auto scripted = std::make_shared<cgi::ScriptedCgi>(sopts);
-  SwalaServerOptions opts;
+  SwalaServerOptions opts = base_options();
   opts.request_threads = 4;
   opts.request_timeout_ms = 400;
   opts.max_concurrent_cgi = 1;
@@ -165,8 +185,8 @@ TEST(OverloadTest, CgiGateTimeoutShedsWith503) {
   server.stop();
 }
 
-TEST(OverloadTest, AdmissionControlShedsAndRecovers) {
-  SwalaServerOptions opts;
+TEST_P(OverloadTest, AdmissionControlShedsAndRecovers) {
+  SwalaServerOptions opts = base_options();
   opts.request_threads = 2;
   opts.max_connections = 2;
   opts.shed_resume_percent = 50;
@@ -213,12 +233,12 @@ TEST(OverloadTest, AdmissionControlShedsAndRecovers) {
   server.stop();
 }
 
-TEST(OverloadTest, DrainCompletesInFlightAndRefusesNew) {
+TEST_P(OverloadTest, DrainCompletesInFlightAndRefusesNew) {
   cgi::ScriptedOptions sopts;
   sopts.mode = cgi::ComputeMode::kSleep;
   sopts.service_seconds = 0.4;
   auto scripted = std::make_shared<cgi::ScriptedCgi>(sopts);
-  SwalaServerOptions opts;
+  SwalaServerOptions opts = base_options();
   opts.request_threads = 2;
   SwalaServer server(opts, registry_with(scripted));
   ASSERT_TRUE(server.start().is_ok());
@@ -248,8 +268,8 @@ TEST(OverloadTest, DrainCompletesInFlightAndRefusesNew) {
   server.stop();
 }
 
-TEST(OverloadTest, MalformedRequestGets400AndConnectionClose) {
-  SwalaServerOptions opts;
+TEST_P(OverloadTest, MalformedRequestGets400AndConnectionClose) {
+  SwalaServerOptions opts = base_options();
   opts.request_threads = 1;
   SwalaServer server(opts, nullptr);
   ASSERT_TRUE(server.start().is_ok());
@@ -266,7 +286,7 @@ TEST(OverloadTest, MalformedRequestGets400AndConnectionClose) {
   server.stop();
 }
 
-TEST(OverloadTest, ProcessCgiIsKilledAtRequestDeadline) {
+TEST(ProcessCgiOverloadTest, ProcessCgiIsKilledAtRequestDeadline) {
   const std::string script = "/tmp/swala_overload_sleep.sh";
   {
     std::ofstream f(script);
@@ -292,13 +312,13 @@ TEST(OverloadTest, ProcessCgiIsKilledAtRequestDeadline) {
   EXPECT_LT(elapsed_ms, 3000);
 }
 
-TEST(OverloadTest, ConcurrentMissesCoalesceToOneExecution) {
+TEST_P(OverloadTest, ConcurrentMissesCoalesceToOneExecution) {
   cgi::ScriptedOptions sopts;
   sopts.mode = cgi::ComputeMode::kSleep;
   sopts.service_seconds = 0.3;
   auto scripted = std::make_shared<cgi::ScriptedCgi>(sopts);
   core::CacheManager cache(0, 1, cache_options(), RealClock::instance());
-  SwalaServerOptions opts;
+  SwalaServerOptions opts = base_options();
   opts.request_threads = 8;
   opts.request_timeout_ms = 10000;
   SwalaServer server(opts, registry_with(scripted), &cache);

@@ -1,0 +1,377 @@
+// Epoll reactor server core: connection scale (1k+ idle keep-alive
+// connections held while requests still serve), readiness storms with
+// partial-write re-arm, keep-alive pipelining, the timer wheel, and the
+// shutdown paths shared with the threaded model (mid-request 503, drain).
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cgi/scripted.h"
+#include "http/client.h"
+#include "server/swala_server.h"
+#include "server/timer_wheel.h"
+
+namespace swala::server {
+namespace {
+
+std::shared_ptr<cgi::HandlerRegistry> registry_with(
+    std::shared_ptr<cgi::CgiHandler> handler) {
+  auto registry = std::make_shared<cgi::HandlerRegistry>();
+  registry->mount("/cgi-bin/", std::move(handler));
+  return registry;
+}
+
+std::string make_docroot(const std::string& name) {
+  const std::string dir = "/tmp/swala_reactor_test_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/index.html") << "<html>reactor</html>";
+  return dir;
+}
+
+/// Raises RLIMIT_NOFILE toward `want` fds; returns the resulting soft limit.
+rlim_t raise_fd_limit(rlim_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur >= want) return lim.rlim_cur;
+  rlimit raised = lim;
+  raised.rlim_cur = std::min<rlim_t>(want, lim.rlim_max);
+  if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) return raised.rlim_cur;
+  return lim.rlim_cur;
+}
+
+std::string read_to_eof(net::TcpStream& stream, int timeout_ms) {
+  (void)stream.set_recv_timeout(timeout_ms);
+  std::string out;
+  char buf[8192];
+  for (;;) {
+    auto n = stream.read_some(buf, sizeof(buf));
+    if (!n || n.value() == 0) break;
+    out.append(buf, n.value());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+TEST(TimerWheelTest, FiresAtExpiryAndNotBefore) {
+  TimerWheel wheel(from_millis(10), 64);
+  std::vector<std::uint64_t> fired;
+  wheel.advance(from_millis(5), &fired);  // establish current tick
+  wheel.schedule(1, from_millis(100));
+  wheel.advance(from_millis(60), &fired);
+  EXPECT_TRUE(fired.empty());
+  wheel.advance(from_millis(100), &fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, CancelSuppressesFiring) {
+  TimerWheel wheel(from_millis(10), 64);
+  std::vector<std::uint64_t> fired;
+  wheel.advance(0, &fired);
+  wheel.schedule(7, from_millis(50));
+  wheel.cancel(7);
+  wheel.advance(from_millis(200), &fired);
+  EXPECT_TRUE(fired.empty());
+}
+
+TEST(TimerWheelTest, RescheduleMovesExpiry) {
+  TimerWheel wheel(from_millis(10), 64);
+  std::vector<std::uint64_t> fired;
+  wheel.advance(0, &fired);
+  wheel.schedule(3, from_millis(50));
+  wheel.schedule(3, from_millis(300));  // idle timer pushed out by traffic
+  wheel.advance(from_millis(100), &fired);
+  EXPECT_TRUE(fired.empty());
+  wheel.advance(from_millis(300), &fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 3u);
+}
+
+TEST(TimerWheelTest, PastDueScheduleFiresOnNextTick) {
+  TimerWheel wheel(from_millis(10), 64);
+  std::vector<std::uint64_t> fired;
+  wheel.advance(from_millis(500), &fired);
+  // A worker finishing after the deadline schedules a cut in the past; it
+  // must fire on the next tick, not after a full wheel revolution.
+  wheel.schedule(9, from_millis(100));
+  wheel.advance(from_millis(520), &fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 9u);
+}
+
+TEST(TimerWheelTest, TimersBeyondOneRevolutionWrap) {
+  TimerWheel wheel(from_millis(10), 16);  // revolution = 160 ms
+  std::vector<std::uint64_t> fired;
+  wheel.advance(0, &fired);
+  wheel.schedule(5, from_millis(500));  // three revolutions out
+  for (TimeNs t = from_millis(20); t < from_millis(500); t += from_millis(20)) {
+    wheel.advance(t, &fired);
+    ASSERT_TRUE(fired.empty()) << "fired early at " << t;
+  }
+  wheel.advance(from_millis(520), &fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 5u);
+}
+
+TEST(TimerWheelTest, LongGapVisitsEverySlotOnce) {
+  TimerWheel wheel(from_millis(10), 16);
+  std::vector<std::uint64_t> fired;
+  wheel.advance(0, &fired);
+  for (std::uint64_t id = 1; id <= 40; ++id) {
+    wheel.schedule(id, from_millis(10 * static_cast<double>(id)));
+  }
+  // One giant advance (longer than several revolutions) must fire them all.
+  wheel.advance(from_millis(10'000), &fired);
+  EXPECT_EQ(fired.size(), 40u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Reactor at connection scale (epoll-only behaviours)
+// ---------------------------------------------------------------------------
+
+TEST(ReactorScaleTest, HoldsThousandIdleKeepAliveConnectionsAndStillServes) {
+  constexpr std::size_t kConns = 1200;
+  // Each held connection costs two fds in this process (client + server).
+  if (raise_fd_limit(4 * kConns) < 3 * kConns) {
+    GTEST_SKIP() << "cannot raise RLIMIT_NOFILE";
+  }
+  SwalaServerOptions opts;
+  opts.io_model = IoModel::kEpoll;
+  opts.request_threads = 2;  // worker pool; connections don't consume these
+  opts.recv_timeout_ms = 60000;
+  opts.docroot = make_docroot("idle_scale");
+  SwalaServer server(opts, nullptr);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // A thread-per-connection server with 2 request threads could hold
+  // exactly 2 of these. The reactor holds all of them on one loop thread.
+  std::vector<net::TcpStream> held;
+  held.reserve(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    auto conn = net::TcpStream::connect(server.address(), 5000);
+    ASSERT_TRUE(conn.is_ok()) << "connect " << i << ": "
+                              << conn.status().to_string();
+    held.push_back(std::move(conn.value()));
+  }
+
+  // All of them make it past accept into the live gauge.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().active_connections < kConns &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().active_connections, kConns);
+
+  // Requests still serve promptly while the 1200 idle connections are held
+  // — both on a fresh connection and on one of the held keep-alive ones.
+  http::HttpClient probe(server.address(), 5000);
+  const auto fresh = probe.get("/index.html");
+  ASSERT_TRUE(fresh.is_ok());
+  EXPECT_EQ(fresh.value().status, 200);
+
+  net::TcpStream& revived = held[kConns / 2];
+  ASSERT_TRUE(revived
+                  .write_all("GET /index.html HTTP/1.1\r\nHost: t\r\n"
+                             "Connection: close\r\n\r\n")
+                  .is_ok());
+  const std::string response = read_to_eof(revived, 5000);
+  EXPECT_NE(response.find(" 200 "), std::string::npos) << response;
+  EXPECT_NE(response.find("reactor"), std::string::npos);
+  server.stop();
+}
+
+TEST(ReactorScaleTest, ReadinessStormPartialWritesAllComplete) {
+  // Every connection asks for a body far larger than its shrunken receive
+  // buffer, and nobody reads until every request is in flight: the reactor
+  // takes a storm of EPOLLOUT readiness, writes partially, re-arms, and
+  // must deliver every byte to every connection.
+  constexpr std::size_t kConns = 40;
+  constexpr std::size_t kBody = 1024 * 1024;
+  cgi::ScriptedOptions sopts;
+  sopts.output_bytes = kBody;
+  auto scripted = std::make_shared<cgi::ScriptedCgi>(sopts);
+  SwalaServerOptions opts;
+  opts.io_model = IoModel::kEpoll;
+  opts.request_threads = 4;
+  opts.recv_timeout_ms = 30000;
+  SwalaServer server(opts, registry_with(scripted));
+  ASSERT_TRUE(server.start().is_ok());
+
+  std::vector<net::TcpStream> conns;
+  conns.reserve(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    auto conn = net::TcpStream::connect(server.address(), 5000);
+    ASSERT_TRUE(conn.is_ok());
+    // Tiny receive buffer (set before any data flows, freezing autotune) so
+    // a 1 MB response cannot fit in kernel buffers: the write MUST stall.
+    const int tiny = 4096;
+    (void)::setsockopt(conn.value().raw_fd(), SOL_SOCKET, SO_RCVBUF, &tiny,
+                       sizeof(tiny));
+    conns.push_back(std::move(conn.value()));
+  }
+  for (std::size_t i = 0; i < kConns; ++i) {
+    ASSERT_TRUE(conns[i]
+                    .write_all("GET /cgi-bin/storm?c=" + std::to_string(i) +
+                               " HTTP/1.1\r\nHost: t\r\n"
+                               "Connection: close\r\n\r\n")
+                    .is_ok());
+  }
+  // Let every response start and stall against the tiny buffers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  std::atomic<std::size_t> complete{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    readers.emplace_back([&, i] {
+      const std::string response = read_to_eof(conns[i], 20000);
+      if (response.find(" 200 ") != std::string::npos &&
+          response.size() >= kBody) {
+        complete.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(complete.load(), kConns);
+  server.stop();
+}
+
+TEST(ReactorScaleTest, PipelinedKeepAliveRequestsAllAnswered) {
+  SwalaServerOptions opts;
+  opts.io_model = IoModel::kEpoll;
+  opts.request_threads = 2;
+  opts.docroot = make_docroot("pipeline");
+  SwalaServer server(opts, nullptr);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto conn = net::TcpStream::connect(server.address(), 5000);
+  ASSERT_TRUE(conn.is_ok());
+  // Ten requests in one burst; the last one closes. The reactor must pump
+  // buffered pipelined bytes after each response instead of waiting for
+  // fresh readiness.
+  std::string burst;
+  for (int i = 0; i < 9; ++i) {
+    burst += "GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n";
+  }
+  burst += "GET /index.html HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  ASSERT_TRUE(conn.value().write_all(burst).is_ok());
+  const std::string all = read_to_eof(conn.value(), 10000);
+  std::size_t responses = 0;
+  for (std::size_t pos = all.find("HTTP/1.1 200");
+       pos != std::string::npos; pos = all.find("HTTP/1.1 200", pos + 1)) {
+    ++responses;
+  }
+  EXPECT_EQ(responses, 10u);
+  EXPECT_EQ(server.stats().requests, 10u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown paths, both io models
+// ---------------------------------------------------------------------------
+
+class ReactorParityTest : public ::testing::TestWithParam<IoModel> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    IoModels, ReactorParityTest,
+    ::testing::Values(IoModel::kThreads, IoModel::kEpoll),
+    [](const ::testing::TestParamInfo<IoModel>& param) {
+      return param.param == IoModel::kEpoll ? std::string("epoll")
+                                            : std::string("threads");
+    });
+
+// Regression for the accept-path shutdown race: a connection whose request
+// is mid-flight exactly when stop() flips running_ used to be abandoned
+// silently (fd closed, no response). Both models must answer it with a 503
+// + Connection: close before the server exits.
+TEST_P(ReactorParityTest, MidRequestConnectionAtStopGets503NotAbandoned) {
+  SwalaServerOptions opts;
+  opts.io_model = GetParam();
+  opts.request_threads = 1;
+  SwalaServer server(opts, nullptr);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto conn = net::TcpStream::connect(server.address(), 2000);
+  ASSERT_TRUE(conn.is_ok());
+  // Half a request: the server is now mid-parse on this connection.
+  ASSERT_TRUE(conn.value().write_all("GET / HTTP/1.1\r\nHost: half").is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.stop();
+  const std::string response = read_to_eof(conn.value(), 3000);
+  EXPECT_NE(response.find(" 503 "), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos) << response;
+}
+
+// Epoll-only: the threaded model cannot do this — an idle keep-alive
+// connection pins its request thread inside read() until the recv timeout,
+// so drain can only wait it out. The reactor owns every fd and closes idle
+// connections the moment drain begins.
+TEST(ReactorScaleTest, DrainClosesIdleKeepAliveConnections) {
+  SwalaServerOptions opts;
+  opts.io_model = IoModel::kEpoll;
+  opts.request_threads = 2;
+  opts.docroot = make_docroot("drain_epoll");
+  SwalaServer server(opts, nullptr);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Establish a keep-alive connection with one completed exchange.
+  auto conn = net::TcpStream::connect(server.address(), 2000);
+  ASSERT_TRUE(conn.is_ok());
+  ASSERT_TRUE(
+      conn.value().write_all("GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+          .is_ok());
+  (void)conn.value().set_recv_timeout(2000);
+  char buf[8192];
+  ASSERT_TRUE(conn.value().read_some(buf, sizeof(buf)).is_ok());
+
+  // Drain must close the idle connection (EOF) and finish in time.
+  EXPECT_TRUE(server.drain());
+  (void)conn.value().set_recv_timeout(3000);
+  auto n = conn.value().read_some(buf, sizeof(buf));
+  // Either orderly EOF or reset — but not a timeout (which would mean the
+  // drain left the idle connection dangling).
+  if (n.is_ok()) {
+    EXPECT_EQ(n.value(), 0u);
+  } else {
+    EXPECT_NE(n.status().code(), StatusCode::kTimeout)
+        << n.status().to_string();
+  }
+  // New connections are refused after drain.
+  EXPECT_FALSE(net::TcpStream::connect(server.address(), 500).is_ok());
+  server.stop();
+}
+
+TEST_P(ReactorParityTest, StatusReportsIoModel) {
+  SwalaServerOptions opts;
+  opts.io_model = GetParam();
+  opts.request_threads = 1;
+  opts.enable_admin = true;
+  SwalaServer server(opts, nullptr);
+  ASSERT_TRUE(server.start().is_ok());
+  http::HttpClient client(server.address(), 3000);
+  const auto r = client.get("/swala-status");
+  ASSERT_TRUE(r.is_ok());
+  const char* want = GetParam() == IoModel::kEpoll ? "\"io_model\": \"epoll\""
+                                                   : "\"io_model\": \"threads\"";
+  EXPECT_NE(r.value().body.find(want), std::string::npos) << r.value().body;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace swala::server
