@@ -181,8 +181,17 @@ void NodeGroup::record_success(PeerLink* link) {
 void NodeGroup::push_state_to(PeerLink* link) {
   core::CacheManager* manager = manager_.load(std::memory_order_acquire);
   if (manager == nullptr) return;
+  const auto mode = manager->directory_mode();
+  if (mode == core::DirectoryMode::kQuery) return;  // no remote state to sync
   for (const auto& meta : manager->store().resident_metas()) {
-    link->outbound->try_push(Message::insert(self_, meta));
+    if (mode == core::DirectoryMode::kReplicated) {
+      link->outbound->try_push(Message::insert(self_, meta));
+    } else if (manager->ring_owner_of(meta.key) == link->address.id) {
+      // Partitioned: a rejoining owner lost its partition; re-announce only
+      // the entries it owns (every survivor does this, so the owner's view
+      // of the whole partition converges).
+      link->outbound->try_push(Message::owner_insert(self_, meta));
+    }
   }
 }
 
@@ -277,6 +286,19 @@ void NodeGroup::apply_info_message(const Message& msg) {
     case MsgType::kInvalidate:
       if (manager != nullptr) manager->on_peer_invalidate(msg.key);
       break;
+    case MsgType::kOwnerUpdate:
+      // Partitioned-mode unicast. A mis-routed frame (we are not this key's
+      // ring owner) still carries true information, so apply it anyway:
+      // apply_insert/apply_erase bounds-check the cache node id, and
+      // answer_query serves from every table.
+      if (manager != nullptr) {
+        if (msg.owner_op == OwnerOp::kInsert) {
+          manager->on_peer_insert(msg.meta);
+        } else {
+          manager->on_peer_erase(msg.meta.owner, msg.key, msg.version);
+        }
+      }
+      break;
     default:
       // kBatch lands here too: nesting is decode-rejected, so seeing one
       // means a peer skipped its own flattening — ignore it.
@@ -324,6 +346,20 @@ void NodeGroup::serve_data_request(net::TcpStream stream) {
     if (!msg) {
       if (msg.status().code() == StatusCode::kTimeout) continue;
       return;  // closed or corrupt
+    }
+    if (msg.value().type == MsgType::kQuery) {
+      // Directory probe (partitioned owner lookup or query-mode kQuery):
+      // answer from the directory alone, never touching the blob store.
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      Message resp = Message::query_miss(self_);
+      core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+      if (manager != nullptr) {
+        if (auto meta = manager->answer_query(msg.value().key)) {
+          resp = Message::query_hit(self_, *meta);
+        }
+      }
+      if (!transport_.send(stream, msg.value().sender, resp).is_ok()) return;
+      continue;
     }
     if (msg.value().type != MsgType::kFetchReq) return;
 
@@ -386,6 +422,28 @@ void NodeGroup::broadcast_invalidate(const std::string& pattern) {
   enqueue_broadcast(Message::invalidate(self_, pattern));
 }
 
+void NodeGroup::enqueue_to(core::NodeId id, const Message& msg) {
+  PeerLink* link = find_link(id);
+  if (link == nullptr) return;  // self or unknown id: nothing to send
+  if (!link->outbound->try_push(msg)) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NodeGroup::send_owner_insert(core::NodeId ring_owner,
+                                  const core::EntryMeta& meta) {
+  owner_updates_sent_.fetch_add(1, std::memory_order_relaxed);
+  enqueue_to(ring_owner, Message::owner_insert(self_, meta));
+}
+
+void NodeGroup::send_owner_erase(core::NodeId ring_owner,
+                                 core::NodeId cache_node,
+                                 const std::string& key,
+                                 std::uint64_t version) {
+  owner_updates_sent_.fetch_add(1, std::memory_order_relaxed);
+  enqueue_to(ring_owner, Message::owner_erase(self_, cache_node, key, version));
+}
+
 namespace {
 
 /// Info-channel updates safe to coalesce. HELLO carries probe/greeting
@@ -393,7 +451,7 @@ namespace {
 /// frames.
 bool batchable(const Message& msg) {
   return msg.type == MsgType::kInsert || msg.type == MsgType::kErase ||
-         msg.type == MsgType::kInvalidate;
+         msg.type == MsgType::kInvalidate || msg.type == MsgType::kOwnerUpdate;
 }
 
 /// Cheap upper-bound estimate of a message's encoded size; close enough to
@@ -531,27 +589,6 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
                                                    const std::string& key,
                                                    int budget_ms) {
   remote_fetches_.fetch_add(1, std::memory_order_relaxed);
-  const MemberAddress* peer = nullptr;
-  for (const auto& m : members_) {
-    if (m.id == owner) peer = &m;
-  }
-  if (peer == nullptr) {
-    return Status(StatusCode::kInvalidArgument,
-                  "unknown node " + std::to_string(owner));
-  }
-  PeerLink* link = find_link(owner);
-  if (link != nullptr && state_of(link) == PeerState::kDead) {
-    // Breaker open: fail fast so the request thread goes straight to the
-    // local CGI fallback instead of burning a connect timeout.
-    return Status(StatusCode::kUnavailable,
-                  "peer " + std::to_string(owner) + " dead (circuit open)");
-  }
-
-  const auto fail = [&](const Status& st) -> Status {
-    if (link != nullptr) record_failure(link);
-    return st;
-  };
-
   // A request deadline caps every socket timeout: with `budget_ms` set, a
   // fetch can never out-live the request that issued it, so a slow peer
   // costs at most the remaining budget before the local-CGI fallback runs.
@@ -561,6 +598,105 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
   const int connect_timeout_ms =
       budget_ms > 0 ? std::min(options_.connect_timeout_ms, budget_ms)
                     : options_.connect_timeout_ms;
+  auto resp = data_exchange(owner, Message::fetch_req(self_, key),
+                            MsgType::kFetchResp, io_timeout_ms,
+                            connect_timeout_ms);
+  if (!resp) return resp.status();
+  if (!resp.value().found) {
+    return Status(StatusCode::kNotFound, "remote miss (false hit)");
+  }
+  core::CachedResult result;
+  result.meta = resp.value().meta;
+  result.data = std::move(resp.value().data);
+  return result;
+}
+
+Result<core::EntryMeta> NodeGroup::lookup_at_owner(core::NodeId ring_owner,
+                                                   const std::string& key,
+                                                   int budget_ms) {
+  queries_sent_.fetch_add(1, std::memory_order_relaxed);
+  // Probes cap at query_timeout_ms regardless of the request budget: an
+  // owner that cannot answer quickly should not delay the local fallback.
+  int io_timeout_ms = options_.query_timeout_ms;
+  if (budget_ms > 0) io_timeout_ms = std::min(io_timeout_ms, budget_ms);
+  const int connect_timeout_ms =
+      std::min(options_.connect_timeout_ms, io_timeout_ms);
+  auto resp = data_exchange(ring_owner, Message::query(self_, key),
+                            MsgType::kQueryHit, io_timeout_ms,
+                            connect_timeout_ms);
+  if (!resp) return resp.status();
+  if (!resp.value().found) {
+    return Status(StatusCode::kNotFound, "owner knows of no cached copy");
+  }
+  query_hits_.fetch_add(1, std::memory_order_relaxed);
+  return resp.value().meta;
+}
+
+Result<core::EntryMeta> NodeGroup::query_peers(const std::string& key,
+                                               int budget_ms) {
+  // Bounded sequential probe: each healthy peer gets at most
+  // query_timeout_ms, and the whole sweep never exceeds the overall budget
+  // (the request deadline when one is known). The first "found" wins.
+  const auto start = std::chrono::steady_clock::now();
+  const int overall = budget_ms > 0 ? budget_ms : options_.fetch_timeout_ms;
+  bool every_peer_answered = true;
+  for (const auto& peer : peers_) {
+    const int elapsed = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    const int remaining = overall - elapsed;
+    if (remaining <= 0) {
+      every_peer_answered = false;
+      break;
+    }
+    if (state_of(peer.get()) == PeerState::kDead) continue;
+    queries_sent_.fetch_add(1, std::memory_order_relaxed);
+    const int io_timeout_ms = std::min(options_.query_timeout_ms, remaining);
+    const int connect_timeout_ms =
+        std::min(options_.connect_timeout_ms, io_timeout_ms);
+    auto resp = data_exchange(peer->address.id, Message::query(self_, key),
+                              MsgType::kQueryHit, io_timeout_ms,
+                              connect_timeout_ms);
+    if (!resp) {
+      every_peer_answered = false;  // timeout/dead: treat as silence, move on
+      continue;
+    }
+    if (resp.value().found) {
+      query_hits_.fetch_add(1, std::memory_order_relaxed);
+      return resp.value().meta;
+    }
+  }
+  if (every_peer_answered) {
+    return Status(StatusCode::kNotFound, "no peer caches this key");
+  }
+  return Status(StatusCode::kTimeout, "query budget exhausted without a hit");
+}
+
+Result<Message> NodeGroup::data_exchange(core::NodeId peer_id,
+                                         const Message& request,
+                                         MsgType expected, int io_timeout_ms,
+                                         int connect_timeout_ms) {
+  const MemberAddress* peer = nullptr;
+  for (const auto& m : members_) {
+    if (m.id == peer_id) peer = &m;
+  }
+  if (peer == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "unknown node " + std::to_string(peer_id));
+  }
+  PeerLink* link = find_link(peer_id);
+  if (link != nullptr && state_of(link) == PeerState::kDead) {
+    // Breaker open: fail fast so the request thread goes straight to the
+    // local CGI fallback instead of burning a connect timeout.
+    return Status(StatusCode::kUnavailable,
+                  "peer " + std::to_string(peer_id) + " dead (circuit open)");
+  }
+
+  const auto fail = [&](const Status& st) -> Status {
+    if (link != nullptr) record_failure(link);
+    return st;
+  };
 
   // Up to two attempts: a pooled connection may have been closed by the
   // peer while idle; retry once on a fresh one.
@@ -570,7 +706,7 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
     bool from_pool = false;
     if (attempt == 0 && options_.fetch_pool_size > 0) {
       std::lock_guard<std::mutex> lock(pool_mutex_);
-      auto& idle = fetch_pool_[owner];
+      auto& idle = fetch_pool_[peer_id];
       if (!idle.empty()) {
         stream = std::move(idle.back());
         idle.pop_back();
@@ -589,8 +725,7 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
     (void)stream.set_recv_timeout(io_timeout_ms);
     (void)stream.set_send_timeout(io_timeout_ms);
 
-    if (auto st = transport_.send(stream, owner, Message::fetch_req(self_, key));
-        !st.is_ok()) {
+    if (auto st = transport_.send(stream, peer_id, request); !st.is_ok()) {
       last_error = st;
       if (from_pool) continue;  // stale pooled connection; retry fresh
       return fail(st);
@@ -601,7 +736,7 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
       if (from_pool) continue;
       return fail(resp.status());
     }
-    if (resp.value().type != MsgType::kFetchResp) {
+    if (resp.value().type != expected) {
       return fail(Status(StatusCode::kInternal, "unexpected response type"));
     }
 
@@ -610,19 +745,12 @@ Result<core::CachedResult> NodeGroup::fetch_remote(core::NodeId owner,
     if (options_.fetch_pool_size > 0 &&
         running_.load(std::memory_order_relaxed)) {
       std::lock_guard<std::mutex> lock(pool_mutex_);
-      auto& idle = fetch_pool_[owner];
+      auto& idle = fetch_pool_[peer_id];
       if (idle.size() < options_.fetch_pool_size) {
         idle.push_back(std::move(stream));
       }
     }
-
-    if (!resp.value().found) {
-      return Status(StatusCode::kNotFound, "remote miss (false hit)");
-    }
-    core::CachedResult result;
-    result.meta = resp.value().meta;
-    result.data = std::move(resp.value().data);
-    return result;
+    return std::move(resp.value());
   }
   return fail(last_error);
 }
@@ -676,6 +804,10 @@ GroupStats NodeGroup::stats() const {
   s.probes_sent = probes_sent_.load(std::memory_order_relaxed);
   s.resyncs_requested = resyncs_requested_.load(std::memory_order_relaxed);
   s.resyncs_served = resyncs_served_.load(std::memory_order_relaxed);
+  s.owner_updates_sent = owner_updates_sent_.load(std::memory_order_relaxed);
+  s.queries_sent = queries_sent_.load(std::memory_order_relaxed);
+  s.query_hits = query_hits_.load(std::memory_order_relaxed);
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -67,6 +67,11 @@ struct GroupOptions {
   /// Idle data connections kept per peer for reuse (0 disables pooling and
   /// opens a connection per fetch, as the original Swala did).
   std::size_t fetch_pool_size = 4;
+  /// Per-exchange ceiling for directory probes (partitioned-mode owner
+  /// lookups and query-mode kQuery probes). Deliberately much tighter than
+  /// fetch_timeout_ms: a probe is an optimization, and a slow answer must
+  /// not delay the local-execution fallback.
+  int query_timeout_ms = 300;
 
   // ---- broadcast batching ----
   /// Most queued directory updates (INSERT/ERASE/INVALIDATE) a sender loop
@@ -117,6 +122,11 @@ struct GroupStats {
   std::uint64_t probes_sent = 0;       ///< HELLO probes to dead peers
   std::uint64_t resyncs_requested = 0; ///< SYNC_REQs sent on recovery
   std::uint64_t resyncs_served = 0;    ///< peers' SYNC_REQs answered
+  // ---- cooperation modes ----
+  std::uint64_t owner_updates_sent = 0; ///< unicast kOwnerUpdate frames
+  std::uint64_t queries_sent = 0;       ///< kQuery probes issued
+  std::uint64_t query_hits = 0;         ///< probes answered "found"
+  std::uint64_t queries_served = 0;     ///< peers' kQuery probes answered
 };
 
 /// Snapshot of one peer's health (exposed via /swala-status).
@@ -174,6 +184,22 @@ class NodeGroup final : public core::CooperationBus {
                                           const std::string& key,
                                           int budget_ms) override;
   void broadcast_invalidate(const std::string& pattern) override;
+  // Partitioned mode: unicast directory updates ride the info channel (and
+  // batch like broadcasts); owner lookups ride the data channel.
+  void send_owner_insert(core::NodeId ring_owner,
+                         const core::EntryMeta& meta) override;
+  void send_owner_erase(core::NodeId ring_owner, core::NodeId cache_node,
+                        const std::string& key,
+                        std::uint64_t version) override;
+  Result<core::EntryMeta> lookup_at_owner(core::NodeId ring_owner,
+                                          const std::string& key,
+                                          int budget_ms) override;
+  // Query mode: a bounded sequential probe of the healthy peers (ICP uses
+  // UDP multicast; over TCP the pooled data connections make a short
+  // request/response round cheap). Total time never exceeds `budget_ms`
+  // (<=0 = fetch_timeout_ms); each peer gets at most query_timeout_ms.
+  Result<core::EntryMeta> query_peers(const std::string& key,
+                                      int budget_ms) override;
 
   GroupStats stats() const;
 
@@ -223,6 +249,16 @@ class NodeGroup final : public core::CooperationBus {
   void purge_loop();
   void sender_loop(PeerLink* link);
   void enqueue_broadcast(const Message& msg);
+  /// Unicast onto one peer's outbound queue (no-op for self/unknown ids).
+  void enqueue_to(core::NodeId id, const Message& msg);
+
+  /// One request/response round on the data channel: pooled connection,
+  /// breaker fast-fail, one stale-pool retry, success/failure recording.
+  /// Shared by fetch_remote, lookup_at_owner and query_peers. Timeouts are
+  /// explicit because the three callers budget differently.
+  Result<Message> data_exchange(core::NodeId peer_id, const Message& request,
+                                MsgType expected, int io_timeout_ms,
+                                int connect_timeout_ms);
 
   PeerLink* find_link(core::NodeId id) const;
   PeerState state_of(PeerLink* link) const;
@@ -275,7 +311,8 @@ class NodeGroup final : public core::CooperationBus {
       fetches_served_{0}, fetch_misses_served_{0}, remote_fetches_{0},
       send_failures_{0}, send_retries_{0}, peer_failures_{0},
       messages_dropped_{0}, probes_sent_{0}, resyncs_requested_{0},
-      resyncs_served_{0};
+      resyncs_served_{0}, owner_updates_sent_{0}, queries_sent_{0},
+      query_hits_{0}, queries_served_{0};
 };
 
 /// Builds loopback member addresses with ephemeral ports for `n` in-process

@@ -193,6 +193,53 @@ Message Message::sync_req(core::NodeId sender) {
   return m;
 }
 
+Message Message::owner_insert(core::NodeId sender,
+                              const core::EntryMeta& meta) {
+  Message m;
+  m.type = MsgType::kOwnerUpdate;
+  m.sender = sender;
+  m.owner_op = OwnerOp::kInsert;
+  m.meta = meta;
+  return m;
+}
+
+Message Message::owner_erase(core::NodeId sender, core::NodeId cache_node,
+                             std::string key, std::uint64_t version) {
+  Message m;
+  m.type = MsgType::kOwnerUpdate;
+  m.sender = sender;
+  m.owner_op = OwnerOp::kErase;
+  m.meta.owner = cache_node;
+  m.key = std::move(key);
+  m.version = version;
+  return m;
+}
+
+Message Message::query(core::NodeId sender, std::string key) {
+  Message m;
+  m.type = MsgType::kQuery;
+  m.sender = sender;
+  m.key = std::move(key);
+  return m;
+}
+
+Message Message::query_hit(core::NodeId sender, const core::EntryMeta& meta) {
+  Message m;
+  m.type = MsgType::kQueryHit;
+  m.sender = sender;
+  m.found = true;
+  m.meta = meta;
+  return m;
+}
+
+Message Message::query_miss(core::NodeId sender) {
+  Message m;
+  m.type = MsgType::kQueryHit;
+  m.sender = sender;
+  m.found = false;
+  return m;
+}
+
 Message Message::make_batch(core::NodeId sender,
                             std::vector<Message> messages) {
   Message m;
@@ -227,6 +274,23 @@ std::string encode_message(const Message& msg) {
         put_meta(&payload, msg.meta);
         put_string(&payload, msg.data);
       }
+      break;
+    case MsgType::kOwnerUpdate:
+      put_u8(&payload, static_cast<std::uint8_t>(msg.owner_op));
+      if (msg.owner_op == OwnerOp::kInsert) {
+        put_meta(&payload, msg.meta);
+      } else {
+        put_u32(&payload, msg.meta.owner);  // the caching node
+        put_string(&payload, msg.key);
+        put_u64(&payload, msg.version);
+      }
+      break;
+    case MsgType::kQuery:
+      put_string(&payload, msg.key);
+      break;
+    case MsgType::kQueryHit:
+      put_u8(&payload, msg.found ? 1 : 0);
+      if (msg.found) put_meta(&payload, msg.meta);
       break;
     case MsgType::kBatch:
       // Each inner message keeps its full framed form (u32 length + payload)
@@ -270,6 +334,30 @@ Result<Message> decode_message(std::string_view payload) {
       ok = r.u8(&found);
       msg.found = found != 0;
       if (ok && msg.found) ok = read_meta(&r, &msg.meta) && r.str(&msg.data);
+      break;
+    }
+    case MsgType::kOwnerUpdate: {
+      std::uint8_t op = 0;
+      ok = r.u8(&op);
+      if (ok && op == static_cast<std::uint8_t>(OwnerOp::kInsert)) {
+        msg.owner_op = OwnerOp::kInsert;
+        ok = read_meta(&r, &msg.meta);
+      } else if (ok && op == static_cast<std::uint8_t>(OwnerOp::kErase)) {
+        msg.owner_op = OwnerOp::kErase;
+        ok = r.u32(&msg.meta.owner) && r.str(&msg.key) && r.u64(&msg.version);
+      } else {
+        ok = false;  // unknown owner-update op
+      }
+      break;
+    }
+    case MsgType::kQuery:
+      ok = r.str(&msg.key);
+      break;
+    case MsgType::kQueryHit: {
+      std::uint8_t found = 0;
+      ok = r.u8(&found);
+      msg.found = found != 0;
+      if (ok && msg.found) ok = read_meta(&r, &msg.meta);
       break;
     }
     case MsgType::kBatch: {

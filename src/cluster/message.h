@@ -26,18 +26,28 @@ enum class MsgType : std::uint8_t {
   kInvalidate = 6,  ///< application-driven invalidation of a key glob
   kSyncReq = 7,     ///< "re-announce your cached entries to me" (rejoin)
   kBatch = 8,       ///< several info-channel updates packed into one frame
+  kOwnerUpdate = 9, ///< partitioned mode: unicast insert/erase to ring owner
+  kQuery = 10,      ///< query mode: "do you know who caches this key?"
+  kQueryHit = 11,   ///< answer to kQuery (meta when found)
 };
+
+/// kOwnerUpdate sub-operation (wire byte; anything else is rejected).
+enum class OwnerOp : std::uint8_t { kInsert = 1, kErase = 2 };
 
 /// A decoded protocol message (tagged union kept flat for simplicity).
 struct Message {
   MsgType type = MsgType::kHello;
   core::NodeId sender = core::kInvalidNode;
 
-  core::EntryMeta meta;   // kInsert (full), kFetchResp (subset)
-  std::string key;        // kErase, kFetchReq; the glob for kInvalidate
-  std::uint64_t version = 0;  // kErase
-  bool found = false;     // kFetchResp
+  core::EntryMeta meta;   // kInsert/kOwnerUpdate-insert (full), kFetchResp /
+                          // kQueryHit (subset); owner = caching node for
+                          // kOwnerUpdate-erase
+  std::string key;        // kErase, kFetchReq, kQuery, kOwnerUpdate-erase;
+                          // the glob for kInvalidate
+  std::uint64_t version = 0;  // kErase, kOwnerUpdate-erase
+  bool found = false;     // kFetchResp, kQueryHit
   std::string data;       // kFetchResp body
+  OwnerOp owner_op = OwnerOp::kInsert;  // kOwnerUpdate
   std::vector<Message> batch;  // kBatch: inner messages, applied in order
 
   static Message hello(core::NodeId sender);
@@ -51,6 +61,14 @@ struct Message {
   static Message fetch_resp_miss(core::NodeId sender);
   static Message invalidate(core::NodeId sender, std::string pattern);
   static Message sync_req(core::NodeId sender);
+  /// Partitioned mode: tell the ring owner that `meta.owner` now caches it.
+  static Message owner_insert(core::NodeId sender, const core::EntryMeta& meta);
+  /// Partitioned mode: tell the ring owner that `cache_node` dropped `key`.
+  static Message owner_erase(core::NodeId sender, core::NodeId cache_node,
+                             std::string key, std::uint64_t version);
+  static Message query(core::NodeId sender, std::string key);
+  static Message query_hit(core::NodeId sender, const core::EntryMeta& meta);
+  static Message query_miss(core::NodeId sender);
   /// Packs `messages` into one frame. Nesting is not allowed: decoding
   /// rejects a batch inside a batch.
   static Message make_batch(core::NodeId sender, std::vector<Message> messages);

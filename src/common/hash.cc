@@ -1,5 +1,7 @@
 #include "common/hash.h"
 
+#include <algorithm>
+
 namespace swala {
 
 std::uint64_t fnv1a64(std::string_view data) {
@@ -55,6 +57,55 @@ std::uint32_t crc32c_continue(std::uint32_t state, std::string_view data) {
 
 std::uint32_t crc32c(std::string_view data) {
   return crc32c_continue(0, data);
+}
+
+HashRing::HashRing(std::uint64_t seed, std::size_t vnodes)
+    : seed_(seed), vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+std::uint64_t HashRing::point_for(std::uint32_t node,
+                                  std::uint32_t replica) const {
+  // Depends only on (seed, node, replica): every ring built from the same
+  // seed places a member's points identically, whatever the join order.
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(node) << 32) | replica;
+  return mix64(seed_ ^ mix64(packed));
+}
+
+void HashRing::add_node(std::uint32_t node) {
+  const auto pos = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (pos != nodes_.end() && *pos == node) return;
+  nodes_.insert(pos, node);
+  points_.reserve(points_.size() + vnodes_);
+  for (std::uint32_t r = 0; r < vnodes_; ++r) {
+    points_.emplace_back(point_for(node, r), node);
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+void HashRing::remove_node(std::uint32_t node) {
+  const auto pos = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (pos == nodes_.end() || *pos != node) return;
+  nodes_.erase(pos);
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [node](const auto& p) {
+                                 return p.second == node;
+                               }),
+                points_.end());
+}
+
+bool HashRing::contains(std::uint32_t node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+std::uint32_t HashRing::owner_of(std::string_view key) const {
+  if (points_.empty()) return kNoOwner;
+  const std::uint64_t h = mix64(fnv1a64(key));
+  // First point strictly after the key's hash, wrapping to the start.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](std::uint64_t value, const auto& p) { return value < p.first; });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
 }
 
 }  // namespace swala

@@ -1,9 +1,12 @@
 // Small non-cryptographic hashing helpers (FNV-1a) used for cache keys and
-// deterministic request fingerprints.
+// deterministic request fingerprints, plus the seeded consistent-hash ring
+// that backs partitioned directory ownership (cluster.directory_mode).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace swala {
 
@@ -28,5 +31,56 @@ std::uint32_t crc32c(std::string_view data);
 /// Continue a CRC-32C (for checksumming several buffers as one stream).
 /// `state` is the value returned by a previous call (or 0 to start).
 std::uint32_t crc32c_continue(std::uint32_t state, std::string_view data);
+
+/// Consistent-hash ring with virtual nodes and seeded placement.
+///
+/// Each member contributes `vnodes` points on a 64-bit ring; a key is owned
+/// by the member whose point first follows the key's hash (wrapping). Point
+/// positions depend only on (seed, member id, replica index), so every node
+/// that builds a ring from the same seed and membership computes identical
+/// ownership without coordination, regardless of insertion order. Removing
+/// a member deletes only its points: keys it owned redistribute among the
+/// survivors, and no key moves between two surviving members.
+///
+/// Members are plain uint32 ids (the cluster layer's NodeId); the ring is
+/// not thread-safe — callers that mutate membership concurrently with
+/// owner_of must synchronize externally.
+class HashRing {
+ public:
+  /// Returned by owner_of on an empty ring.
+  static constexpr std::uint32_t kNoOwner = ~static_cast<std::uint32_t>(0);
+
+  explicit HashRing(std::uint64_t seed = kDefaultSeed,
+                    std::size_t vnodes = kDefaultVnodes);
+
+  /// Adds `node`'s virtual points (idempotent).
+  void add_node(std::uint32_t node);
+
+  /// Removes `node`'s virtual points (idempotent).
+  void remove_node(std::uint32_t node);
+
+  bool contains(std::uint32_t node) const;
+
+  /// The member owning `key`, or kNoOwner when the ring is empty.
+  std::uint32_t owner_of(std::string_view key) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_points() const { return points_.size(); }
+  std::uint64_t seed() const { return seed_; }
+  std::size_t vnodes() const { return vnodes_; }
+
+  static constexpr std::uint64_t kDefaultSeed = 0x52494E47ULL;  // "RING"
+  static constexpr std::size_t kDefaultVnodes = 64;
+
+ private:
+  std::uint64_t point_for(std::uint32_t node, std::uint32_t replica) const;
+
+  std::uint64_t seed_;
+  std::size_t vnodes_;
+  /// Sorted by (point, node); the pair ordering breaks the (vanishingly
+  /// rare) point collision deterministically.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+  std::vector<std::uint32_t> nodes_;  // sorted member ids
+};
 
 }  // namespace swala

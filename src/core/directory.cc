@@ -16,6 +16,22 @@ const char* locking_mode_name(LockingMode mode) {
   return "?";
 }
 
+const char* directory_mode_name(DirectoryMode mode) {
+  switch (mode) {
+    case DirectoryMode::kReplicated: return "replicated";
+    case DirectoryMode::kPartitioned: return "partitioned";
+    case DirectoryMode::kQuery: return "query";
+  }
+  return "?";
+}
+
+std::optional<DirectoryMode> directory_mode_from_name(std::string_view name) {
+  if (name == "replicated") return DirectoryMode::kReplicated;
+  if (name == "partitioned") return DirectoryMode::kPartitioned;
+  if (name == "query") return DirectoryMode::kQuery;
+  return std::nullopt;
+}
+
 CacheDirectory::CacheDirectory(NodeId self, std::size_t num_nodes,
                                LockingMode mode)
     : clock_(RealClock::instance()),

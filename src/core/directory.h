@@ -23,6 +23,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,23 @@ namespace swala::core {
 enum class LockingMode { kWholeDirectory, kPerTable, kPerEntry, kMultiGranularity };
 
 const char* locking_mode_name(LockingMode mode);
+
+/// How nodes share directory state (cluster.directory_mode).
+///
+///   kReplicated  — the paper's scheme: every insert/erase broadcasts so all
+///                  nodes mirror all tables. O(n) frames per insert.
+///   kPartitioned — a consistent-hash ring maps each key to one owner node
+///                  that alone holds its directory entry; updates are unicast
+///                  kOwnerUpdate frames, misses ask the owner. O(1) frames.
+///   kQuery       — no remote directory state: a miss multicasts a bounded
+///                  kQuery/kQueryHit exchange (ICP-style) before falling back
+///                  to local execution. Zero insert traffic, per-miss probes.
+enum class DirectoryMode { kReplicated, kPartitioned, kQuery };
+
+const char* directory_mode_name(DirectoryMode mode);
+
+/// Parses "replicated" | "partitioned" | "query"; nullopt on anything else.
+std::optional<DirectoryMode> directory_mode_from_name(std::string_view name);
 
 /// Aggregate directory statistics for experiments.
 struct DirectoryStats {

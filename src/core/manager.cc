@@ -11,7 +11,19 @@ namespace swala::core {
 CacheManager::CacheManager(NodeId self, std::size_t num_nodes,
                            ManagerOptions options, const Clock* clock,
                            CooperationBus* bus, LockingMode locking)
-    : self_(self), options_(std::move(options)), clock_(clock), bus_(bus) {
+    : self_(self),
+      options_(std::move(options)),
+      clock_(clock),
+      bus_(bus),
+      ring_(options_.ring_seed, options_.ring_vnodes) {
+  if (options_.directory_mode == DirectoryMode::kPartitioned) {
+    // Static membership: the ring covers every configured node. A dead
+    // owner quarantines its key range (local-execution fallback) rather
+    // than resizing the ring — see ManagerOptions.
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      ring_.add_node(static_cast<NodeId>(i));
+    }
+  }
   std::unique_ptr<StorageBackend> backend;
   if (options_.disk_dir.empty()) {
     backend = std::make_unique<MemoryBackend>();
@@ -54,13 +66,8 @@ LookupResult CacheManager::lookup_impl(http::Method method,
 
   const CacheKey key = key_for(method, uri);
   const auto dir_hit = directory_->lookup(key.text);
-  if (!dir_hit) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    out.outcome = LookupOutcome::kMissMustExecute;
-    return finish_miss(std::move(out), key.text, deadline);
-  }
 
-  if (dir_hit->owner == self_) {
+  if (dir_hit && dir_hit->owner == self_) {
     auto local = store_->fetch(key.text);
     if (local) {
       directory_->apply_touch(self_, key.text, local->meta.last_access);
@@ -74,44 +81,164 @@ LookupResult CacheManager::lookup_impl(http::Method method,
     // two checks, or data file lost). Retire the entry from both sides in
     // one commit section, then execute.
     retire_dead_entry(key.text);
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    out.outcome = LookupOutcome::kMissMustExecute;
-    return finish_miss(std::move(out), key.text, deadline);
-  }
-
-  // Remote hit: fetch from the owner's cache, with socket timeouts capped
-  // at the request's remaining budget when one is known.
-  if (bus_ != nullptr) {
-    auto remote =
-        deadline != nullptr && !deadline->unlimited()
-            ? bus_->fetch_remote(dir_hit->owner, key.text,
-                                 deadline->budget_ms(0))
-            : bus_->fetch_remote(dir_hit->owner, key.text);
-    if (remote) {
-      remote_hits_.fetch_add(1, std::memory_order_relaxed);
-      out.outcome = LookupOutcome::kHit;
-      out.result = std::move(remote.value());
-      out.remote = true;
-      out.owner = dir_hit->owner;
+  } else if (dir_hit) {
+    // Remote hit advertised by a local peer table (replicated mode, or a
+    // partitioned owner serving keys it also caches knowledge of).
+    if (fetch_hit_from(&out, *dir_hit, deadline,
+                       FalseHitSource::kLocalTable)) {
       return out;
     }
-    if (remote.status().code() == StatusCode::kNotFound) {
-      // False hit (§4.2): the entry was deleted at the owner before the
-      // erase broadcast reached us. Execute locally, per Figure 2.
-      false_hits_.fetch_add(1, std::memory_order_relaxed);
-      directory_->apply_erase(dir_hit->owner, key.text);
-    } else {
-      // Timeout, dead peer, torn connection: degrade gracefully by running
-      // the CGI locally instead of failing the client request.
-      fallback_executions_.fetch_add(1, std::memory_order_relaxed);
-      SWALA_LOG(Warn) << "remote fetch from node " << dir_hit->owner
-                      << " failed (" << remote.status().to_string()
-                      << "); falling back to local execution";
+  } else if (options_.directory_mode == DirectoryMode::kPartitioned) {
+    // No local knowledge: ask the key's ring owner for the directory entry.
+    // A quarantined (dead) owner takes its key range with it — fall through
+    // to local execution, exactly like the dead-peer fetch path.
+    const NodeId owner_node = ring_owner_of(key.text);
+    if (bus_ != nullptr && owner_node != self_ &&
+        !directory_->quarantined(owner_node)) {
+      remote_dir_lookups_.fetch_add(1, std::memory_order_relaxed);
+      const int budget = deadline != nullptr && !deadline->unlimited()
+                             ? deadline->budget_ms(0)
+                             : 0;
+      auto entry = bus_->lookup_at_owner(owner_node, key.text, budget);
+      if (entry && entry.value().owner != self_) {
+        remote_dir_hits_.fetch_add(1, std::memory_order_relaxed);
+        EntryMeta meta = std::move(entry.value());
+        meta.key = key.text;  // defend against a lying/mis-keyed answer
+        if (fetch_hit_from(&out, meta, deadline, FalseHitSource::kRingOwner)) {
+          return out;
+        }
+      } else if (entry) {
+        // The owner advertises *us* as the caching node, but our store just
+        // said no: a stale record (our erase is still in flight, or was
+        // lost). Nudge the owner; the unversioned erase is the same weak-
+        // consistency tradeoff as the replicated false-hit cleanup.
+        bus_->send_owner_erase(owner_node, self_, key.text, 0);
+      } else if (entry.status().code() != StatusCode::kNotFound) {
+        fallback_executions_.fetch_add(1, std::memory_order_relaxed);
+        SWALA_LOG(Warn) << "directory lookup at owner " << owner_node
+                        << " failed (" << entry.status().to_string()
+                        << "); falling back to local execution";
+      }
     }
+  } else if (options_.directory_mode == DirectoryMode::kQuery &&
+             bus_ != nullptr) {
+    // No directory state anywhere: probe the peers (ICP-style), bounded by
+    // the transport's query timeout and the request deadline.
+    peer_queries_.fetch_add(1, std::memory_order_relaxed);
+    const int budget = deadline != nullptr && !deadline->unlimited()
+                           ? deadline->budget_ms(0)
+                           : 0;
+    auto entry = bus_->query_peers(key.text, budget);
+    if (entry && entry.value().owner != self_) {
+      peer_query_hits_.fetch_add(1, std::memory_order_relaxed);
+      EntryMeta meta = std::move(entry.value());
+      meta.key = key.text;
+      if (fetch_hit_from(&out, meta, deadline, FalseHitSource::kProbe)) {
+        return out;
+      }
+    }
+    // Timeouts and all-miss answers both fall back to local execution; the
+    // probe was an optimization, not a dependency.
   }
+
   misses_.fetch_add(1, std::memory_order_relaxed);
   out.outcome = LookupOutcome::kMissMustExecute;
   return finish_miss(std::move(out), key.text, deadline);
+}
+
+bool CacheManager::fetch_hit_from(LookupResult* out, const EntryMeta& meta,
+                                  const Deadline* deadline,
+                                  FalseHitSource source) {
+  if (bus_ == nullptr) return false;
+  auto remote = deadline != nullptr && !deadline->unlimited()
+                    ? bus_->fetch_remote(meta.owner, meta.key,
+                                         deadline->budget_ms(0))
+                    : bus_->fetch_remote(meta.owner, meta.key);
+  if (remote) {
+    remote_hits_.fetch_add(1, std::memory_order_relaxed);
+    out->outcome = LookupOutcome::kHit;
+    out->result = std::move(remote.value());
+    out->remote = true;
+    out->owner = meta.owner;
+    return true;
+  }
+  if (remote.status().code() == StatusCode::kNotFound) {
+    // False hit (§4.2): the entry was deleted at the caching node before
+    // the directory caught up. Execute locally, per Figure 2.
+    false_hits_.fetch_add(1, std::memory_order_relaxed);
+    switch (source) {
+      case FalseHitSource::kLocalTable:
+        directory_->apply_erase(meta.owner, meta.key);
+        break;
+      case FalseHitSource::kRingOwner: {
+        directory_->apply_erase(meta.owner, meta.key);
+        const NodeId owner_node = ring_owner_of(meta.key);
+        if (owner_node != self_) {
+          bus_->send_owner_erase(owner_node, meta.owner, meta.key, 0);
+        }
+        break;
+      }
+      case FalseHitSource::kProbe:
+        break;  // no durable record to clean up
+    }
+  } else {
+    // Timeout, dead peer, torn connection: degrade gracefully by running
+    // the CGI locally instead of failing the client request.
+    fallback_executions_.fetch_add(1, std::memory_order_relaxed);
+    SWALA_LOG(Warn) << "remote fetch from node " << meta.owner << " failed ("
+                    << remote.status().to_string()
+                    << "); falling back to local execution";
+  }
+  return false;
+}
+
+NodeId CacheManager::ring_owner_of(const std::string& key) const {
+  if (options_.directory_mode != DirectoryMode::kPartitioned) return self_;
+  const auto owner = ring_.owner_of(key);
+  return owner == HashRing::kNoOwner ? self_ : static_cast<NodeId>(owner);
+}
+
+std::optional<EntryMeta> CacheManager::answer_query(
+    const std::string& key) const {
+  if (options_.directory_mode == DirectoryMode::kQuery) {
+    return directory_->lookup_at(self_, key);
+  }
+  return directory_->lookup(key);
+}
+
+void CacheManager::announce_insert(const EntryMeta& meta) {
+  if (bus_ == nullptr) return;
+  switch (options_.directory_mode) {
+    case DirectoryMode::kReplicated:
+      bus_->broadcast_insert(meta);
+      break;
+    case DirectoryMode::kPartitioned: {
+      const NodeId owner = ring_owner_of(meta.key);
+      if (owner != self_) bus_->send_owner_insert(owner, meta);
+      break;
+    }
+    case DirectoryMode::kQuery:
+      break;  // no remote directory state to keep current
+  }
+}
+
+bool CacheManager::announce_erase(const std::string& key,
+                                  std::uint64_t version) {
+  if (bus_ == nullptr) return false;
+  switch (options_.directory_mode) {
+    case DirectoryMode::kReplicated:
+      bus_->broadcast_erase(self_, key, version);
+      return true;
+    case DirectoryMode::kPartitioned: {
+      const NodeId owner = ring_owner_of(key);
+      if (owner == self_) return false;
+      bus_->send_owner_erase(owner, self_, key, version);
+      return true;
+    }
+    case DirectoryMode::kQuery:
+      return false;
+  }
+  return false;
 }
 
 LookupResult CacheManager::finish_miss(LookupResult out, const std::string& key,
@@ -288,8 +415,7 @@ void CacheManager::complete(http::Method method, const http::Uri& uri,
 
   for (const auto& victim : evicted) {
     directory_->apply_erase(self_, victim.key, victim.version);
-    if (bus_ != nullptr) {
-      bus_->broadcast_erase(self_, victim.key, victim.version);
+    if (announce_erase(victim.key, victim.version)) {
       evictions_broadcast_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -303,7 +429,7 @@ void CacheManager::complete(http::Method method, const http::Uri& uri,
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);
   directory_->apply_insert(inserted.value());
-  if (bus_ != nullptr) bus_->broadcast_insert(inserted.value());
+  announce_insert(inserted.value());
   ++commit_seq_;
 }
 
@@ -315,9 +441,7 @@ void CacheManager::retire_dead_entry(const std::string& key) {
   if (store_->peek(key).has_value()) return;
   const auto dead = store_->erase(key);
   directory_->apply_erase(self_, key, dead ? dead->version : 0);
-  if (dead && bus_ != nullptr) {
-    bus_->broadcast_erase(self_, key, dead->version);
-  }
+  if (dead) announce_erase(key, dead->version);
   ++commit_seq_;
 }
 
@@ -353,7 +477,7 @@ std::size_t CacheManager::purge_expired() {
     const auto purged = store_->purge_expired();
     for (const auto& meta : purged) {
       directory_->apply_erase(self_, meta.key, meta.version);
-      if (bus_ != nullptr) bus_->broadcast_erase(self_, meta.key, meta.version);
+      announce_erase(meta.key, meta.version);
     }
     if (!purged.empty()) ++commit_seq_;
     count = purged.size();
@@ -472,7 +596,7 @@ Result<std::size_t> CacheManager::restore_state(
   const std::size_t count = restored ? restored.value() : 0;
   for (const auto& meta : store_->resident_metas()) {
     directory_->apply_insert(meta);
-    if (bus_ != nullptr) bus_->broadcast_insert(meta);
+    announce_insert(meta);
   }
   // fsck: corrupt files were quarantined during adoption; now drop orphans
   // (torn puts the crash cut off, entries skipped as expired) and temps.
@@ -522,6 +646,10 @@ ManagerStats CacheManager::stats() const {
   s.evictions_broadcast = evictions_broadcast_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   s.fallback_executions = fallback_executions_.load(std::memory_order_relaxed);
+  s.remote_dir_lookups = remote_dir_lookups_.load(std::memory_order_relaxed);
+  s.remote_dir_hits = remote_dir_hits_.load(std::memory_order_relaxed);
+  s.peer_queries = peer_queries_.load(std::memory_order_relaxed);
+  s.peer_query_hits = peer_query_hits_.load(std::memory_order_relaxed);
   s.coalesced_misses = coalesced_misses_.load(std::memory_order_relaxed);
   s.coalesce_timeouts = coalesce_timeouts_.load(std::memory_order_relaxed);
   s.failed_fast = failed_fast_.load(std::memory_order_relaxed);

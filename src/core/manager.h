@@ -31,6 +31,7 @@
 #include "cgi/handler.h"
 #include "common/clock.h"
 #include "common/deadline.h"
+#include "common/hash.h"
 #include "core/consistency.h"
 #include "core/directory.h"
 #include "core/rules.h"
@@ -72,6 +73,49 @@ class CooperationBus {
   /// care unless they exercise invalidation.
   virtual void broadcast_invalidate(const std::string& pattern) {
     (void)pattern;
+  }
+
+  // ---- partitioned mode (DirectoryMode::kPartitioned) ----
+  // Defaults are no-ops / unavailable so replicated-only buses need not
+  // care; the TCP group and the simulator override them.
+
+  /// Unicasts "my cache now holds `meta`" to the key's ring owner.
+  virtual void send_owner_insert(NodeId ring_owner, const EntryMeta& meta) {
+    (void)ring_owner;
+    (void)meta;
+  }
+
+  /// Unicasts "`cache_node` dropped `key`" to the key's ring owner.
+  virtual void send_owner_erase(NodeId ring_owner, NodeId cache_node,
+                                const std::string& key,
+                                std::uint64_t version) {
+    (void)ring_owner;
+    (void)cache_node;
+    (void)key;
+    (void)version;
+  }
+
+  /// Asks the ring owner who caches `key` (synchronous, budgeted).
+  /// kNotFound = the owner definitively knows of no copy.
+  virtual Result<EntryMeta> lookup_at_owner(NodeId ring_owner,
+                                            const std::string& key,
+                                            int budget_ms) {
+    (void)ring_owner;
+    (void)key;
+    (void)budget_ms;
+    return Status(StatusCode::kUnavailable, "no partitioned-mode transport");
+  }
+
+  // ---- query mode (DirectoryMode::kQuery) ----
+
+  /// Probes the peers for a cached copy of `key` (ICP-style, bounded by
+  /// `budget_ms`; <=0 = transport default). kNotFound = every peer that
+  /// answered in time reported a miss.
+  virtual Result<EntryMeta> query_peers(const std::string& key,
+                                        int budget_ms) {
+    (void)key;
+    (void)budget_ms;
+    return Status(StatusCode::kUnavailable, "no query-mode transport");
   }
 };
 
@@ -118,6 +162,17 @@ struct ManagerStats {
   /// Remote fetch failed for a reason other than a false hit (timeout, dead
   /// peer, torn connection) and the request fell back to local execution.
   std::uint64_t fallback_executions = 0;
+
+  // ---- cooperation modes (cluster.directory_mode) ----
+  /// Partitioned mode: misses that asked the key's ring owner for the
+  /// directory entry (the local table had nothing).
+  std::uint64_t remote_dir_lookups = 0;
+  /// ... of which the owner knew a cached copy.
+  std::uint64_t remote_dir_hits = 0;
+  /// Query mode: misses that probed the peers (kQuery multicast).
+  std::uint64_t peer_queries = 0;
+  /// ... of which some peer advertised a cached copy.
+  std::uint64_t peer_query_hits = 0;
 
   // ---- overload protection (single-flight miss coalescing) ----
   /// Misses that rode another request's in-flight execution instead of
@@ -177,6 +232,15 @@ struct ManagerOptions {
   /// lookups within the window fail fast (kFailedFast) instead of
   /// re-executing a CGI that just failed. 0 disables the negative cache.
   double negative_ttl_seconds = 0.0;
+  /// How directory state is shared across the group (see DirectoryMode).
+  /// Every node must agree on the mode, seed and vnode count.
+  DirectoryMode directory_mode = DirectoryMode::kReplicated;
+  /// Consistent-hash placement parameters (partitioned mode only). The ring
+  /// covers the full static membership [0, num_nodes); a dead owner's key
+  /// range is handled by quarantine + local-execution fallback, not by
+  /// resizing the ring (resizing would silently orphan directory entries).
+  std::uint64_t ring_seed = HashRing::kDefaultSeed;
+  std::size_t ring_vnodes = HashRing::kDefaultVnodes;
 };
 
 class CacheManager {
@@ -229,6 +293,12 @@ class CacheManager {
 
   /// Serves a peer's data request from the local store.
   Result<CachedResult> serve_peer_fetch(const std::string& key);
+
+  /// Answers a peer's kQuery / owner-lookup probe: who caches `key`?
+  /// Query mode answers from the self table alone (that is all the state
+  /// the mode keeps, and it keeps the probe O(1)); partitioned owners scan
+  /// every table (their partition is spread across per-cache-node tables).
+  std::optional<EntryMeta> answer_query(const std::string& key) const;
 
   /// Purge daemon tick: drop expired local entries, broadcast the erases.
   /// Also the durability heartbeat: checkpoints the manifest when
@@ -291,6 +361,12 @@ class CacheManager {
   const CacheDirectory& directory() const { return *directory_; }
   const CacheabilityRules& rules() const { return options_.rules; }
   NodeId self() const { return self_; }
+  DirectoryMode directory_mode() const { return options_.directory_mode; }
+
+  /// The node owning `key`'s directory entry on the consistent-hash ring.
+  /// Outside partitioned mode (or on an empty ring) this is `self`, so
+  /// callers can treat "owner == self" uniformly as "no remote owner".
+  NodeId ring_owner_of(const std::string& key) const;
 
   /// Cross-verifies the store's key set against the directory self-table
   /// under the commit mutex, so the answer is exact (no commit can be half
@@ -328,6 +404,25 @@ class CacheManager {
   /// path (no single-flight, no negative cache, uncapped remote fetch).
   LookupResult lookup_impl(http::Method method, const http::Uri& uri,
                            const Deadline* deadline);
+
+  /// Who to tell about a stale directory record discovered via a false hit.
+  enum class FalseHitSource {
+    kLocalTable,  ///< replicated: erase from our own peer table
+    kRingOwner,   ///< partitioned: also unicast the erase to the ring owner
+    kProbe,       ///< query: no durable record exists anywhere — do nothing
+  };
+
+  /// Fetches `meta` from its caching node and fills `out` on success.
+  /// Handles the false-hit (kNotFound) bookkeeping per `source` and counts
+  /// fallback_executions on transport failure. Returns true on a hit.
+  bool fetch_hit_from(LookupResult* out, const EntryMeta& meta,
+                      const Deadline* deadline, FalseHitSource source);
+
+  /// Mode-aware announcement of a local insert/erase: broadcast in
+  /// replicated mode, unicast to the ring owner in partitioned mode, silent
+  /// in query mode. announce_erase returns whether anything was sent.
+  void announce_insert(const EntryMeta& meta);
+  bool announce_erase(const std::string& key, std::uint64_t version);
 
   /// Single-flight entry point for a miss: leader registration or waiting.
   LookupResult finish_miss(LookupResult out, const std::string& key,
@@ -374,6 +469,8 @@ class CacheManager {
 
   std::unique_ptr<CacheStore> store_;
   std::unique_ptr<CacheDirectory> directory_;
+  /// Key → directory-owner placement (partitioned mode; empty otherwise).
+  HashRing ring_;
 
   /// Guards every local-store membership change together with its directory
   /// update and broadcast enqueue (see file header). Mutable so read-side
@@ -385,7 +482,9 @@ class CacheManager {
       remote_hits_{0}, misses_{0}, inserts_{0}, below_threshold_{0},
       failed_exec_{0}, false_hits_{0}, false_misses_{0},
       evictions_broadcast_{0}, invalidations_{0}, fallback_executions_{0},
-      coalesced_misses_{0}, coalesce_timeouts_{0}, failed_fast_{0};
+      coalesced_misses_{0}, coalesce_timeouts_{0}, failed_fast_{0},
+      remote_dir_lookups_{0}, remote_dir_hits_{0}, peer_queries_{0},
+      peer_query_hits_{0};
 
   // ---- single-flight state ----
   /// Guards inflight_ and negative_. Never held while waiting: waiters

@@ -267,6 +267,10 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("cluster_resyncs_served", g.resyncs_served);
     body += json_u64("cluster_frames_sent", g.frames_sent);
     body += json_u64("cluster_batched_broadcasts", g.batched_broadcasts);
+    body += json_u64("cluster_owner_updates_sent", g.owner_updates_sent);
+    body += json_u64("cluster_queries_sent", g.queries_sent);
+    body += json_u64("cluster_query_hits", g.query_hits);
+    body += json_u64("cluster_queries_served", g.queries_served);
     body += "  \"cluster_peers\": [";
     const auto peers = ctx.group->peer_health();
     for (std::size_t i = 0; i < peers.size(); ++i) {
@@ -299,6 +303,13 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("cache_coalesced_misses", c.coalesced_misses);
     body += json_u64("cache_coalesce_timeouts", c.coalesce_timeouts);
     body += json_u64("cache_failed_fast", c.failed_fast);
+    body += "  \"directory_mode\": \"";
+    body += core::directory_mode_name(ctx.cache->directory_mode());
+    body += "\",\n";
+    body += json_u64("cache_remote_dir_lookups", c.remote_dir_lookups);
+    body += json_u64("cache_remote_dir_hits", c.remote_dir_hits);
+    body += json_u64("cache_peer_queries", c.peer_queries);
+    body += json_u64("cache_peer_query_hits", c.peer_query_hits);
     // Durability: disk health, checkpoint progress and the startup scrub's
     // findings, so an operator (or the crash-restart CI job) can see whether
     // the node came back clean and whether the disk is still trusted.

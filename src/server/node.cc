@@ -87,6 +87,24 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
     if (!rules) return rules.status();
     mo.rules = std::move(rules.value());
 
+    // ---- cooperation scheme ----
+    const std::string mode_name =
+        config.get_string("cluster", "directory_mode", "replicated");
+    const auto mode = core::directory_mode_from_name(mode_name);
+    if (!mode) {
+      return Status(StatusCode::kInvalidArgument,
+                    "cluster.directory_mode must be replicated, partitioned "
+                    "or query: " +
+                        mode_name);
+    }
+    mo.directory_mode = *mode;
+    mo.ring_vnodes = static_cast<std::size_t>(config.get_int(
+        "cluster", "ring_vnodes",
+        static_cast<std::int64_t>(HashRing::kDefaultVnodes)));
+    mo.ring_seed = static_cast<std::uint64_t>(config.get_int(
+        "cluster", "ring_seed",
+        static_cast<std::int64_t>(HashRing::kDefaultSeed)));
+
     if (!members.empty()) {
       cluster::GroupOptions go;
       go.purge_interval_seconds =
@@ -99,6 +117,8 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
           config.get_int("cluster", "batch_max_bytes", 256 * 1024));
       go.batch_linger_ms =
           static_cast<int>(config.get_int("cluster", "batch_linger_ms", 2));
+      go.query_timeout_ms = static_cast<int>(
+          config.get_int("cluster", "query_timeout_ms", 300));
       node->group_ =
           std::make_unique<cluster::NodeGroup>(node_id, members, go);
     }

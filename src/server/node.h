@@ -47,6 +47,10 @@
 //   batch_max_messages = 64          ; directory updates per frame (1 = off)
 //   batch_max_bytes = 262144         ; flush a batch at this encoded size
 //   batch_linger_ms = 2              ; max wait for more updates to coalesce
+//   directory_mode = replicated      ; replicated | partitioned | query
+//   ring_vnodes = 64                 ; partitioned: virtual nodes per member
+//   ring_seed = 1380535879           ; partitioned: placement seed ("RING")
+//   query_timeout_ms = 300           ; per-probe cap (partitioned + query)
 #pragma once
 
 #include <condition_variable>

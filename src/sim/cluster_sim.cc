@@ -1,12 +1,27 @@
 #include "sim/cluster_sim.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
+#include "cluster/message.h"
 #include "http/uri.h"
 
 namespace swala::sim {
 namespace {
+
+/// Directory traffic shared by every node's bus (one per cluster). Frames
+/// and bytes are counted at send time, fault-injected legs included —
+/// traffic offered to the network, as a packet capture would see it.
+struct SimTraffic {
+  std::uint64_t update_frames = 0;
+  std::uint64_t update_bytes = 0;
+  std::uint64_t query_frames = 0;
+  std::uint64_t query_bytes = 0;
+};
 
 /// CooperationBus over the event engine: broadcasts arrive after a
 /// propagation delay; remote fetches read the owner's store immediately
@@ -14,14 +29,29 @@ namespace {
 class SimBus final : public core::CooperationBus {
  public:
   SimBus(SimEngine* engine, core::NodeId self, const SimCosts* costs,
-         cluster::FaultInjector* faults)
-      : engine_(engine), self_(self), costs_(costs), faults_(faults) {}
+         cluster::FaultInjector* faults, SimTraffic* traffic)
+      : engine_(engine),
+        self_(self),
+        costs_(costs),
+        faults_(faults),
+        traffic_(traffic) {}
 
   void wire(std::vector<std::unique_ptr<core::CacheManager>>* managers) {
     managers_ = managers;
   }
 
+  /// Virtual latency accrued by synchronous directory probes during the
+  /// current lookup; issue_next consumes it and charges it to the request's
+  /// timeline (the probes themselves read peer state instantaneously).
+  double take_pending_latency() {
+    const double lat = pending_latency_;
+    pending_latency_ = 0.0;
+    return lat;
+  }
+
   void broadcast_insert(const core::EntryMeta& meta) override {
+    count_update_legs(cluster::Message::insert(self_, meta),
+                      managers_->size() - 1);
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
       if (peer == self_) continue;
       double delay = costs_->directory_update_delay;
@@ -34,6 +64,8 @@ class SimBus final : public core::CooperationBus {
 
   void broadcast_erase(core::NodeId owner, const std::string& key,
                        std::uint64_t version) override {
+    count_update_legs(cluster::Message::erase(self_, key, version),
+                      managers_->size() - 1);
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
       if (peer == self_) continue;
       double delay = costs_->directory_update_delay;
@@ -45,6 +77,8 @@ class SimBus final : public core::CooperationBus {
   }
 
   void broadcast_invalidate(const std::string& pattern) override {
+    count_update_legs(cluster::Message::invalidate(self_, pattern),
+                      managers_->size() - 1);
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
       if (peer == self_) continue;
       double delay = costs_->directory_update_delay;
@@ -55,6 +89,79 @@ class SimBus final : public core::CooperationBus {
         (*managers_)[peer]->on_peer_invalidate(pattern);
       });
     }
+  }
+
+  void send_owner_insert(core::NodeId ring_owner,
+                         const core::EntryMeta& meta) override {
+    if (ring_owner >= managers_->size() || ring_owner == self_) return;
+    count_update_legs(cluster::Message::owner_insert(self_, meta), 1);
+    double delay = costs_->directory_update_delay;
+    if (!broadcast_survives(ring_owner, cluster::MsgType::kOwnerUpdate,
+                            &delay)) {
+      return;
+    }
+    engine_->schedule_in(delay, [this, ring_owner, meta] {
+      (*managers_)[ring_owner]->on_peer_insert(meta);
+    });
+  }
+
+  void send_owner_erase(core::NodeId ring_owner, core::NodeId cache_node,
+                        const std::string& key,
+                        std::uint64_t version) override {
+    if (ring_owner >= managers_->size() || ring_owner == self_) return;
+    count_update_legs(
+        cluster::Message::owner_erase(self_, cache_node, key, version), 1);
+    double delay = costs_->directory_update_delay;
+    if (!broadcast_survives(ring_owner, cluster::MsgType::kOwnerUpdate,
+                            &delay)) {
+      return;
+    }
+    engine_->schedule_in(delay, [this, ring_owner, cache_node, key, version] {
+      (*managers_)[ring_owner]->on_peer_erase(cache_node, key, version);
+    });
+  }
+
+  Result<core::EntryMeta> lookup_at_owner(core::NodeId ring_owner,
+                                          const std::string& key,
+                                          int budget_ms) override {
+    (void)budget_ms;  // virtual time: the probe either answers or faults
+    if (ring_owner >= managers_->size()) {
+      return Status(StatusCode::kInvalidArgument, "bad ring owner");
+    }
+    pending_latency_ += costs_->query_latency;
+    auto answer = probe(ring_owner, key);
+    if (!answer.first) {
+      return Status(StatusCode::kTimeout,
+                    "simulated owner-lookup timeout (fault injection)");
+    }
+    if (!answer.second) {
+      return Status(StatusCode::kNotFound, "owner knows of no cached copy");
+    }
+    return *answer.second;
+  }
+
+  Result<core::EntryMeta> query_peers(const std::string& key,
+                                      int budget_ms) override {
+    (void)budget_ms;
+    // One multicast round: every peer is probed "in parallel", so the
+    // request pays query_latency once; frames are counted per probed peer
+    // (the sweep stops early on the first hit, as the TCP group does).
+    pending_latency_ += costs_->query_latency;
+    bool every_peer_answered = true;
+    for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
+      if (peer == self_) continue;
+      auto answer = probe(static_cast<core::NodeId>(peer), key);
+      if (!answer.first) {
+        every_peer_answered = false;
+        continue;
+      }
+      if (answer.second) return *answer.second;
+    }
+    if (every_peer_answered) {
+      return Status(StatusCode::kNotFound, "no peer caches this key");
+    }
+    return Status(StatusCode::kTimeout,
+                  "query budget exhausted without a hit");
   }
 
   Result<core::CachedResult> fetch_remote(core::NodeId owner,
@@ -81,6 +188,51 @@ class SimBus final : public core::CooperationBus {
   }
 
  private:
+  /// Counts `legs` copies of an update frame as offered directory traffic.
+  void count_update_legs(const cluster::Message& msg, std::size_t legs) {
+    if (traffic_ == nullptr || legs == 0) return;
+    const std::size_t bytes = cluster::encode_message(msg).size();
+    traffic_->update_frames += legs;
+    traffic_->update_bytes += legs * bytes;
+  }
+
+  /// One kQuery/kQueryHit exchange against `peer`'s directory. Returns
+  /// {answered, hit}: `answered` is false when fault injection eats the
+  /// request or the response (the requester times out); `hit` carries the
+  /// peer's directory answer. Traffic counts the request frame always and
+  /// the response frame only when one comes back.
+  std::pair<bool, std::optional<core::EntryMeta>> probe(
+      core::NodeId peer, const std::string& key) {
+    if (traffic_ != nullptr) {
+      traffic_->query_frames += 1;
+      traffic_->query_bytes +=
+          cluster::encode_message(cluster::Message::query(self_, key)).size();
+    }
+    if (faults_ != nullptr) {
+      const auto fault = faults_->decide(peer, cluster::MsgType::kQuery);
+      switch (fault.kind) {
+        case cluster::FaultKind::kNone:
+          break;
+        case cluster::FaultKind::kDelay:
+          pending_latency_ += fault.delay_ms / 1000.0;
+          break;
+        case cluster::FaultKind::kDrop:
+        case cluster::FaultKind::kTruncate:
+        case cluster::FaultKind::kBlackhole:
+          return {false, std::nullopt};
+      }
+    }
+    auto answer = (*managers_)[peer]->answer_query(key);
+    if (traffic_ != nullptr) {
+      const cluster::Message resp =
+          answer ? cluster::Message::query_hit(peer, *answer)
+                 : cluster::Message::query_miss(peer);
+      traffic_->query_frames += 1;
+      traffic_->query_bytes += cluster::encode_message(resp).size();
+    }
+    return {true, std::move(answer)};
+  }
+
   /// Consults the injector for one simulated broadcast leg. Returns false
   /// when the update is lost (drop/truncate/blackhole); kDelay stretches
   /// the propagation latency instead.
@@ -107,7 +259,9 @@ class SimBus final : public core::CooperationBus {
   core::NodeId self_;
   const SimCosts* costs_;
   cluster::FaultInjector* faults_;
+  SimTraffic* traffic_;
   std::vector<std::unique_ptr<core::CacheManager>>* managers_ = nullptr;
+  double pending_latency_ = 0.0;
 };
 
 /// Per-node working-set tracker for the optional memory model.
@@ -130,6 +284,7 @@ struct NodeMemory {
 
 struct SimState {
   SimEngine engine;
+  SimTraffic traffic;
   std::vector<std::unique_ptr<SimBus>> buses;
   std::vector<std::unique_ptr<core::CacheManager>> managers;
   std::vector<std::unique_ptr<FcfsResource>> cpus;
@@ -199,19 +354,39 @@ void issue_next(SimState* st, std::size_t s) {
   // Figure-2 flow. The lookup (and any remote data transfer) happens now;
   // time costs are charged via the CPU queue / latency events.
   auto lookup = manager->lookup(http::Method::kGet, uri);
+
+  // Directory probes (partitioned owner lookups, query-mode sweeps) run
+  // synchronously inside lookup() but their round trips are virtual-time
+  // latency: delay this request's CPU work by the accrued amount. The CPU
+  // stays free for other streams while the probe is in flight.
+  const double probe_lat =
+      st->buses.empty() ? 0.0 : st->buses[node]->take_pending_latency();
+  auto submit = [st, node, probe_lat](double service,
+                                      std::function<void()> done) {
+    FcfsResource* queue = st->cpus[node].get();
+    if (probe_lat > 0.0) {
+      st->engine.schedule_in(probe_lat,
+                             [queue, service, done = std::move(done)]() mutable {
+                               queue->submit(service, std::move(done));
+                             });
+    } else {
+      queue->submit(service, std::move(done));
+    }
+  };
+
   switch (lookup.outcome) {
     case core::LookupOutcome::kHit:
       if (lookup.remote) {
         // Requester-side CPU, then the network round trip to the owner.
-        cpu.submit(pressure * (costs.per_request_overhead + costs.remote_fetch_cpu),
-                   [st, s, issued_at, &costs] {
-                     st->engine.schedule_in(
-                         costs.remote_fetch_latency,
-                         [st, s, issued_at] { finish_request(st, s, issued_at); });
-                   });
+        submit(pressure * (costs.per_request_overhead + costs.remote_fetch_cpu),
+               [st, s, issued_at, &costs] {
+                 st->engine.schedule_in(
+                     costs.remote_fetch_latency,
+                     [st, s, issued_at] { finish_request(st, s, issued_at); });
+               });
       } else {
-        cpu.submit(pressure * (costs.per_request_overhead + costs.local_fetch_cpu),
-                   [st, s, issued_at] { finish_request(st, s, issued_at); });
+        submit(pressure * (costs.per_request_overhead + costs.local_fetch_cpu),
+               [st, s, issued_at] { finish_request(st, s, issued_at); });
       }
       return;
 
@@ -224,8 +399,8 @@ void issue_next(SimState* st, std::size_t s) {
       const core::RuleDecision rule = lookup.rule;
       const double exec_seconds = r.service_seconds;
       const workload::TraceRecord* record = &r;
-      cpu.submit(service, [st, s, issued_at, manager, rule, exec_seconds,
-                           record, uri] {
+      submit(service, [st, s, issued_at, manager, rule, exec_seconds,
+                       record, uri] {
         if (rule.cacheable) {
           // Execution finished *now*: insert and broadcast at this moment,
           // which is what opens the false-miss window for concurrent
@@ -257,12 +432,16 @@ SimReport run_cluster_sim(const workload::Trace& trace, const SimConfig& config)
     for (std::size_t i = 0; i < n; ++i) {
       st.buses.push_back(std::make_unique<SimBus>(
           &st.engine, static_cast<core::NodeId>(config.cooperative ? i : 0),
-          &config.costs, config.faults));
+          &config.costs, config.faults, &st.traffic));
     }
     for (std::size_t i = 0; i < n; ++i) {
       core::ManagerOptions mo;
       mo.limits = config.limits;
       mo.policy = config.policy;
+      mo.directory_mode = config.cooperative ? config.directory_mode
+                                             : core::DirectoryMode::kReplicated;
+      mo.ring_seed = config.ring_seed;
+      mo.ring_vnodes = config.ring_vnodes;
       core::RuleDecision decision;
       decision.cacheable = true;
       decision.ttl_seconds = config.ttl_seconds;
@@ -327,6 +506,22 @@ SimReport run_cluster_sim(const workload::Trace& trace, const SimConfig& config)
     report.cache.false_misses += stats.false_misses;
     report.cache.evictions_broadcast += stats.evictions_broadcast;
     report.cache.fallback_executions += stats.fallback_executions;
+    report.cache.remote_dir_lookups += stats.remote_dir_lookups;
+    report.cache.remote_dir_hits += stats.remote_dir_hits;
+    report.cache.peer_queries += stats.peer_queries;
+    report.cache.peer_query_hits += stats.peer_query_hits;
+  }
+  report.dir_update_frames = st.traffic.update_frames;
+  report.dir_update_bytes = st.traffic.update_bytes;
+  report.dir_query_frames = st.traffic.query_frames;
+  report.dir_query_bytes = st.traffic.query_bytes;
+  for (const auto& manager : st.managers) {
+    std::vector<std::string> keys;
+    for (const auto& meta : manager->store().resident_metas()) {
+      keys.push_back(meta.key);
+    }
+    std::sort(keys.begin(), keys.end());
+    report.node_keys.push_back(std::move(keys));
   }
   for (std::size_t i = 0; i < st.cpus.size(); ++i) {
     report.cpu_utilization.push_back(

@@ -35,6 +35,10 @@ struct SimCosts {
   double insert_cpu = 0.001;           ///< cache insert + broadcast enqueue
   double directory_update_delay = 0.003;  ///< broadcast propagation latency
   double per_request_overhead = 0.002; ///< parse/connection handling
+  /// Round trip for one directory probe (partitioned owner lookup, or the
+  /// query-mode kQuery sweep — the sweep is one multicast round, so it is
+  /// charged once, not per peer).
+  double query_latency = 0.012;
 
   /// Optional memory model (off when node_memory_bytes == 0). The paper's
   /// testbed had 64-128 MB nodes, and its measured 8-node speedup was ~9x —
@@ -61,6 +65,11 @@ struct SimConfig {
   core::PolicyKind policy = core::PolicyKind::kLru;
   double min_exec_seconds = 0.0;  ///< insert threshold
   double ttl_seconds = 0.0;       ///< 0 = never expire
+  /// Directory cooperation scheme (cooperative mode only); the head-to-head
+  /// knob for bench/ablation_directory_modes.
+  core::DirectoryMode directory_mode = core::DirectoryMode::kReplicated;
+  std::uint64_t ring_seed = HashRing::kDefaultSeed;  ///< partitioned placement
+  std::size_t ring_vnodes = HashRing::kDefaultVnodes;
   SimCosts costs;
   /// Optional fault hook shared with the real transport (not owned). The
   /// simulated bus consults it per peer/message exactly like the TCP layer:
@@ -80,6 +89,19 @@ struct SimReport {
   std::vector<core::ManagerStats> per_node;
   std::vector<double> cpu_utilization;
   std::uint64_t requests_completed = 0;
+
+  // ---- directory traffic (real encoded wire sizes, summed over legs) ----
+  /// Insert/erase/invalidate propagation: broadcast legs in replicated
+  /// mode, unicast kOwnerUpdate frames in partitioned mode, zero in query
+  /// mode.
+  std::uint64_t dir_update_frames = 0;
+  std::uint64_t dir_update_bytes = 0;
+  /// Miss-time probes: kQuery/kQueryHit exchanges (both directions).
+  std::uint64_t dir_query_frames = 0;
+  std::uint64_t dir_query_bytes = 0;
+
+  /// Final resident cache keys per node, sorted (mode-parity checks).
+  std::vector<std::vector<std::string>> node_keys;
 
   double mean_response() const { return response_times.mean(); }
   double throughput() const {

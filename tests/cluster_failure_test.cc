@@ -16,6 +16,7 @@
 #include "cluster/framing.h"
 #include "cluster/local_cluster.h"
 #include "cluster/transport.h"
+#include "common/hash.h"
 
 namespace swala::cluster {
 namespace {
@@ -385,6 +386,169 @@ TEST(ClusterFailureTest, DeadOwnerFallsBackToExecution) {
   EXPECT_EQ(result.outcome, core::LookupOutcome::kMissMustExecute);
   EXPECT_EQ(cluster.manager(1).stats().fallback_executions, 1u);
   EXPECT_EQ(cluster.manager(1).stats().false_hits, 0u);
+}
+
+// ---- partitioned / query directory-mode failures ----
+
+core::ManagerOptions partitioned_options(core::NodeId id) {
+  auto mo = open_options(id);
+  mo.directory_mode = core::DirectoryMode::kPartitioned;
+  return mo;
+}
+
+core::ManagerOptions query_options(core::NodeId id) {
+  auto mo = open_options(id);
+  mo.directory_mode = core::DirectoryMode::kQuery;
+  return mo;
+}
+
+/// First /cgi-bin/ target whose cache key the default ring assigns to
+/// `owner` (ring placement is seed-deterministic, so this search is too).
+std::string target_owned_by(std::size_t nodes, core::NodeId owner) {
+  HashRing ring;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ring.add_node(static_cast<std::uint32_t>(i));
+  }
+  for (int i = 0;; ++i) {
+    const std::string target = "/cgi-bin/part" + std::to_string(i);
+    if (ring.owner_of("GET " + target) == owner) return target;
+  }
+}
+
+// Partitioned mode, black-holed owner probe: the requester's kQuery times
+// out at query_timeout_ms and the lookup degrades to local execution well
+// within the request deadline — an unreachable owner costs one short probe,
+// never a hang.
+TEST(ClusterFailureTest, PartitionedOwnerBlackholeFallsBackWithinDeadline) {
+  FaultInjector faults(/*seed=*/21);
+  FaultRule rule;
+  rule.peer = 2;  // probes addressed to the ring owner
+  rule.type = MsgType::kQuery;
+  rule.kind = FaultKind::kBlackhole;
+  faults.add_rule(rule);
+
+  LocalCluster cluster(3, partitioned_options, RealClock::instance(),
+                       [&faults](core::NodeId id) {
+                         GroupOptions go = fast_options();
+                         go.query_timeout_ms = 200;
+                         if (id == 1) go.fault_injector = &faults;
+                         return go;
+                       });
+
+  const std::string target = target_owned_by(3, 2);
+  ASSERT_EQ(cluster.manager(1).ring_owner_of("GET " + target), 2u);
+  cache_on(cluster.manager(0), target);
+
+  // Node 1 holds no directory state for the key (only the owner does), so
+  // its lookup must probe node 2 — and the probe is black-holed.
+  const auto start = std::chrono::steady_clock::now();
+  auto result = cluster.manager(1).lookup(http::Method::kGet, uri_of(target));
+  const double elapsed = elapsed_ms_since(start);
+
+  EXPECT_EQ(result.outcome, core::LookupOutcome::kMissMustExecute);
+  EXPECT_LT(elapsed, 2 * 200.0 + 200.0) << "fallback took " << elapsed << "ms";
+  EXPECT_EQ(cluster.manager(1).stats().remote_dir_lookups, 1u);
+  EXPECT_EQ(cluster.manager(1).stats().fallback_executions, 1u);
+  EXPECT_GE(cluster.group(1).stats().queries_sent, 1u);
+  EXPECT_GE(faults.faults_injected(), 1u);
+}
+
+// Partitioned mode, owner death and rejoin: while the owner is dead its key
+// range degrades to fast local execution (quarantine, no probe), and on
+// rejoin the survivor's push-state resync repopulates the owner's directory
+// partition with unicast kOwnerUpdate frames.
+TEST(ClusterFailureTest, PartitionedOwnerRejoinRepopulatesPartition) {
+  LocalCluster cluster(2, partitioned_options, RealClock::instance(),
+                       [](core::NodeId) {
+                         GroupOptions go = fast_options();
+                         go.query_timeout_ms = 200;
+                         return go;
+                       });
+
+  // `cached` executes on node 0; its directory entry lives only on node 1,
+  // the ring owner.
+  const std::string cached = target_owned_by(2, 1);
+  cache_on(cluster.manager(0), cached);
+  ASSERT_TRUE(eventually([&] {
+    return cluster.manager(1).directory().lookup("GET " + cached).has_value();
+  }));
+
+  // --- owner dies ---
+  cluster.group(1).stop();
+  const std::string probed = target_owned_by(2, 1) + "-cold";
+  ASSERT_TRUE(eventually([&] {
+    (void)cluster.manager(0).lookup(http::Method::kGet, uri_of(probed));
+    return cluster.group(0).peer_state(1) == PeerState::kDead;
+  }));
+
+  // Quarantined range: lookups in it skip the probe and execute locally,
+  // fast — the survivor pays nothing for the dead owner.
+  const auto start = std::chrono::steady_clock::now();
+  auto during = cluster.manager(0).lookup(http::Method::kGet, uri_of(probed));
+  EXPECT_EQ(during.outcome, core::LookupOutcome::kMissMustExecute);
+  EXPECT_LT(elapsed_ms_since(start), 200.0) << "quarantined lookup not fast";
+
+  // Simulate the owner's restart wiping its in-memory partition (a real
+  // process restart comes back with an empty directory).
+  cluster.manager(1).on_peer_erase(0, "GET " + cached, 0);
+  ASSERT_FALSE(
+      cluster.manager(1).directory().lookup("GET " + cached).has_value());
+
+  // --- owner rejoins ---
+  ASSERT_TRUE(cluster.group(1).start().is_ok());
+  EXPECT_TRUE(eventually(
+      [&] { return cluster.group(0).peer_state(1) == PeerState::kHealthy; }));
+
+  // The survivor's recovery resync pushes every meta the rejoined node owns
+  // back to it; the owner's partition knows about node 0's copy again.
+  EXPECT_TRUE(eventually([&] {
+    return cluster.manager(1).directory().lookup("GET " + cached).has_value();
+  }));
+  EXPECT_GE(cluster.group(0).stats().resyncs_requested, 1u);
+  EXPECT_GE(cluster.group(0).stats().owner_updates_sent, 1u);
+
+  // End-to-end: a lookup at the owner finds node 0's copy via its own
+  // repopulated partition and serves it remotely.
+  auto after = cluster.manager(1).lookup(http::Method::kGet, uri_of(cached));
+  EXPECT_EQ(after.outcome, core::LookupOutcome::kHit);
+  EXPECT_TRUE(after.remote);
+}
+
+// Query mode, delayed kQueryHit: the probe is capped at query_timeout_ms
+// and the whole sweep at the request deadline, so a slow peer can delay a
+// miss by one probe timeout but never past the deadline.
+TEST(ClusterFailureTest, QueryModeDelayedAnswerRespectsDeadline) {
+  FaultInjector faults(/*seed=*/31);
+  FaultRule rule;
+  rule.peer = 0;  // answers addressed back to the requester
+  rule.type = MsgType::kQueryHit;
+  rule.kind = FaultKind::kDelay;
+  rule.delay_ms = 1500;  // well past probe cap and request deadline
+  faults.add_rule(rule);
+
+  LocalCluster cluster(2, query_options, RealClock::instance(),
+                       [&faults](core::NodeId id) {
+                         GroupOptions go = fast_options();
+                         go.query_timeout_ms = 200;
+                         if (id == 1) go.fault_injector = &faults;
+                         return go;
+                       });
+
+  cache_on(cluster.manager(1), "/cgi-bin/slow-answer");
+
+  const auto deadline = Deadline::after_ms(RealClock::instance(), 500);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = cluster.manager(0).lookup(
+      http::Method::kGet, uri_of("/cgi-bin/slow-answer"), deadline);
+  const double elapsed = elapsed_ms_since(start);
+
+  // The answer (a hit!) never arrived in time: the lookup gives up within
+  // the deadline and executes locally rather than waiting out the delay.
+  EXPECT_EQ(result.outcome, core::LookupOutcome::kMissMustExecute);
+  EXPECT_LT(elapsed, 500.0 + 400.0) << "lookup overran: " << elapsed << "ms";
+  EXPECT_EQ(cluster.manager(0).stats().peer_queries, 1u);
+  EXPECT_EQ(cluster.manager(0).stats().peer_query_hits, 0u);
+  EXPECT_GE(faults.faults_injected(), 1u);
 }
 
 TEST(ClusterFailureTest, FetchOfUnknownNodeFails) {

@@ -5,10 +5,14 @@
 // sensible status code; Result error for frames).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
 #include <thread>
 #include <vector>
 
 #include "cluster/framing.h"
+#include "cluster/local_cluster.h"
+#include "common/hash.h"
 #include "common/random.h"
 #include "http/parser.h"
 
@@ -179,6 +183,11 @@ std::vector<std::string> frame_corpus() {
   corpus.push_back(encode_message(Message::fetch_resp_miss(2)));
   corpus.push_back(encode_message(Message::invalidate(0, "/cgi-bin/*")));
   corpus.push_back(encode_message(Message::sync_req(4)));
+  corpus.push_back(encode_message(Message::owner_insert(5, meta)));
+  corpus.push_back(encode_message(Message::owner_erase(5, 2, meta.key, 7)));
+  corpus.push_back(encode_message(Message::query(6, meta.key)));
+  corpus.push_back(encode_message(Message::query_hit(7, meta)));
+  corpus.push_back(encode_message(Message::query_miss(7)));
   return corpus;
 }
 
@@ -381,6 +390,178 @@ TEST(ClusterFrameFuzzTest, LyingBatchCountRejectedBeforeLooping) {
   payload += le32(0x00FFFFFF);   // claimed count
   auto decoded = decode_message(payload);
   EXPECT_FALSE(decoded.is_ok()) << "lying batch count decoded";
+}
+
+// ---- kOwnerUpdate / kQuery / kQueryHit frames ----
+
+TEST(ClusterFrameFuzzTest, OwnerUpdateUnknownOpByteRejected) {
+  // A valid owner-erase frame with its op byte rewritten to garbage: the
+  // decoder must reject the frame, not guess an op.
+  auto frame = encode_message(Message::owner_erase(1, 2, "GET /cgi-bin/x", 3));
+  frame[4 + 1 + 4] = 9;  // prefix + type + sender → op byte
+  auto decoded = decode_message(std::string_view(frame).substr(4));
+  EXPECT_FALSE(decoded.is_ok()) << "unknown owner-update op decoded";
+}
+
+TEST(ClusterFrameFuzzTest, QueryHitTruncatedMetaRejected) {
+  core::EntryMeta meta;
+  meta.key = "GET /cgi-bin/q";
+  meta.owner = 1;
+  const auto frame = encode_message(Message::query_hit(2, meta));
+  const std::string_view payload = std::string_view(frame).substr(4);
+  // found=1 promises a meta; every cut inside it must fail to decode.
+  for (std::size_t keep = 7; keep < payload.size(); ++keep) {
+    auto decoded = decode_message(payload.substr(0, keep));
+    EXPECT_FALSE(decoded.is_ok())
+        << "kQueryHit truncated to " << keep << " bytes decoded";
+  }
+}
+
+TEST(ClusterFrameFuzzTest, QueryLyingKeyLengthRejected) {
+  // kQuery whose key claims 16 MiB but carries 4 bytes.
+  std::string payload;
+  payload += static_cast<char>(MsgType::kQuery);
+  payload += le32(3);           // sender
+  payload += le32(0x01000000);  // lying key length
+  payload += "key!";
+  auto decoded = decode_message(payload);
+  EXPECT_FALSE(decoded.is_ok()) << "lying kQuery key length decoded";
+}
+
+core::ManagerOptions fuzz_partitioned_options(core::NodeId) {
+  core::ManagerOptions mo;
+  mo.limits = {100, 0};
+  mo.directory_mode = core::DirectoryMode::kPartitioned;
+  core::RuleDecision d;
+  d.cacheable = true;
+  mo.rules.add_rule("/cgi-bin/*", d);
+  return mo;
+}
+
+bool fuzz_eventually(const std::function<bool()>& pred, int max_ms = 5000) {
+  for (int waited = 0; waited < max_ms; waited += 10) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+// Semantically hostile kOwnerUpdate frames over a real socket: mis-routed
+// inserts (a partition this node does not own), out-of-range cache-node
+// ids, and stale-version erases. The node must apply the true information,
+// bounds-reject the impossible, ignore the stale — and never crash.
+TEST(ClusterFrameFuzzTest, HostileOwnerUpdateFramesOverSocketAreHarmless) {
+  LocalCluster cluster(2, fuzz_partitioned_options);
+
+  // A key node 0 does NOT own: an owner_insert for it is mis-routed.
+  std::string misrouted;
+  for (int i = 0;; ++i) {
+    misrouted = "GET /cgi-bin/mis" + std::to_string(i);
+    if (cluster.manager(0).ring_owner_of(misrouted) != 0) break;
+  }
+  core::EntryMeta meta;
+  meta.key = misrouted;
+  meta.owner = 1;
+  meta.size_bytes = 16;
+  meta.version = 5;
+
+  core::EntryMeta out_of_range = meta;
+  out_of_range.key = "GET /cgi-bin/oor";
+  out_of_range.owner = 77;  // no such node
+
+  auto conn = net::TcpStream::connect(
+      {"127.0.0.1", cluster.group(0).info_port()}, 1000);
+  ASSERT_TRUE(conn.is_ok());
+  std::string frames;
+  frames += encode_message(Message::owner_insert(1, meta));  // mis-routed
+  frames += encode_message(Message::owner_insert(1, out_of_range));
+  frames += encode_message(Message::owner_erase(1, 99, misrouted, 0));
+  // Stale: version 2 against the resident version 5 — must be ignored.
+  frames += encode_message(Message::owner_erase(1, 1, misrouted, 2));
+  ASSERT_TRUE(conn.value().write_all(frames).is_ok());
+  conn.value().close();
+
+  // Frames on one connection apply in order: once the mis-routed insert is
+  // visible, the stale erase behind it has been processed too.
+  ASSERT_TRUE(fuzz_eventually(
+      [&] { return cluster.manager(0).directory().lookup(misrouted).has_value(); }));
+  auto resident = cluster.manager(0).directory().lookup(misrouted);
+  ASSERT_TRUE(resident.has_value()) << "stale-version erase removed entry";
+  EXPECT_EQ(resident->version, 5u);
+  EXPECT_FALSE(
+      cluster.manager(0).directory().lookup("GET /cgi-bin/oor").has_value());
+
+  // A force-erase (version 0) with the right cache node still works…
+  auto conn2 = net::TcpStream::connect(
+      {"127.0.0.1", cluster.group(0).info_port()}, 1000);
+  ASSERT_TRUE(conn2.is_ok());
+  ASSERT_TRUE(conn2.value()
+                  .write_all(encode_message(
+                      Message::owner_erase(1, 1, misrouted, 0)))
+                  .is_ok());
+  conn2.value().close();
+  ASSERT_TRUE(fuzz_eventually([&] {
+    return !cluster.manager(0).directory().lookup(misrouted).has_value();
+  }));
+
+  // …and the group is still alive end to end.
+  http::Uri uri;
+  ASSERT_TRUE(http::parse_uri("/cgi-bin/alive", &uri));
+  auto lookup = cluster.manager(0).lookup(http::Method::kGet, uri);
+  cgi::CgiOutput out;
+  out.success = true;
+  out.body = "x";
+  cluster.manager(0).complete(http::Method::kGet, uri, lookup.rule, out, 1.0);
+  EXPECT_EQ(cluster.manager(0)
+                .lookup(http::Method::kGet, uri)
+                .outcome,
+            core::LookupOutcome::kHit);
+}
+
+// Raw kQuery exchanges over the data port, including an unexpected
+// kQueryHit sent as a request: correct answers for hot and cold keys, and
+// junk requests only cost the sender its connection.
+TEST(ClusterFrameFuzzTest, RawQueryExchangeOverDataPort) {
+  LocalCluster cluster(2, fuzz_partitioned_options);
+
+  http::Uri uri;
+  ASSERT_TRUE(http::parse_uri("/cgi-bin/hot", &uri));
+  auto lookup = cluster.manager(0).lookup(http::Method::kGet, uri);
+  cgi::CgiOutput out;
+  out.success = true;
+  out.body = "x";
+  cluster.manager(0).complete(http::Method::kGet, uri, lookup.rule, out, 1.0);
+
+  const auto ask = [&](const Message& request) -> Result<Message> {
+    auto conn = net::TcpStream::connect(
+        {"127.0.0.1", cluster.group(0).data_port()}, 1000);
+    EXPECT_TRUE(conn.is_ok());
+    EXPECT_TRUE(conn.value().set_recv_timeout(2000).is_ok());
+    EXPECT_TRUE(conn.value().write_all(encode_message(request)).is_ok());
+    return read_message(conn.value());
+  };
+
+  auto hot = ask(Message::query(1, "GET /cgi-bin/hot"));
+  ASSERT_TRUE(hot.is_ok()) << hot.status().to_string();
+  EXPECT_EQ(hot.value().type, MsgType::kQueryHit);
+  EXPECT_TRUE(hot.value().found);
+  EXPECT_EQ(hot.value().meta.key, "GET /cgi-bin/hot");
+
+  auto cold = ask(Message::query(1, "GET /cgi-bin/cold"));
+  ASSERT_TRUE(cold.is_ok()) << cold.status().to_string();
+  EXPECT_EQ(cold.value().type, MsgType::kQueryHit);
+  EXPECT_FALSE(cold.value().found);
+
+  // A response type sent as a request: the server drops the connection
+  // (error or EOF for us), then keeps serving real queries.
+  core::EntryMeta meta;
+  meta.key = "GET /cgi-bin/hot";
+  auto junk = ask(Message::query_hit(1, meta));
+  EXPECT_FALSE(junk.is_ok()) << "kQueryHit-as-request got an answer";
+
+  auto again = ask(Message::query(1, "GET /cgi-bin/hot"));
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string();
+  EXPECT_TRUE(again.value().found);
 }
 
 TEST(ClusterFrameFuzzTest, OversizedLengthPrefixRejectedBeforeAllocation) {
