@@ -1,0 +1,219 @@
+#include "chaos/chaos.h"
+
+#include <cstdio>
+
+#include "chaos/internal.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace swala::chaos {
+
+const char* action_kind_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kAddFault:
+      return "add_fault";
+    case ActionKind::kClearFaults:
+      return "clear_faults";
+    case ActionKind::kCrash:
+      return "crash";
+    case ActionKind::kRestart:
+      return "restart";
+    case ActionKind::kInvalidate:
+      return "invalidate";
+    case ActionKind::kInsert:
+      return "insert";
+    case ActionKind::kCheck:
+      return "check";
+  }
+  return "?";
+}
+
+std::string ChaosVerdict::log_text() const {
+  std::string out;
+  for (const auto& line : log) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+ChaosSchedule make_random_schedule(std::uint64_t seed, std::size_t nodes,
+                                   double duration_seconds) {
+  if (nodes < 2) nodes = 2;
+  if (duration_seconds < 2.0) duration_seconds = 2.0;
+  ChaosSchedule s;
+  s.nodes = nodes;
+  s.seed = seed;
+  s.duration_seconds = duration_seconds;
+  Rng rng(seed ^ 0xC4A05C4A05ULL);
+
+  const auto node_of = [&rng, nodes] {
+    return static_cast<core::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+  };
+  const auto push = [&s](double t, ChaosAction a) {
+    a.at_seconds = t;
+    s.actions.push_back(std::move(a));
+  };
+
+  // Warmup: every node caches a few keys in its own namespace, all before
+  // any invalidation fires (the staleness probe is membership-based, so a
+  // pattern must never be re-populated after its invalidation).
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const int keys = static_cast<int>(rng.uniform_int(2, 4));
+    for (int k = 0; k < keys; ++k) {
+      ChaosAction a;
+      a.kind = ActionKind::kInsert;
+      a.node = static_cast<core::NodeId>(n);
+      a.key_or_pattern =
+          "/cgi-bin/chaos/n" + std::to_string(n) + "/k" + std::to_string(k);
+      push(rng.uniform(0.02, 0.2) * duration_seconds, a);
+    }
+  }
+
+  // Fault storm: a handful of send-side rules on random nodes. Everything
+  // is cleared well before the end so the tail repair rounds can converge.
+  const int storms = static_cast<int>(rng.uniform_int(2, 4));
+  for (int i = 0; i < storms; ++i) {
+    ChaosAction a;
+    a.kind = ActionKind::kAddFault;
+    a.node = node_of();
+    cluster::FaultRule rule;
+    rule.peer = rng.bernoulli(0.5) ? node_of() : core::kInvalidNode;
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        rule.type = cluster::MsgType::kInvalidate;
+        break;
+      case 1:
+        rule.type = cluster::MsgType::kInsert;
+        break;
+      case 2:
+        rule.type = cluster::MsgType::kErase;
+        break;
+      default:
+        rule.type.reset();  // any message type
+        break;
+    }
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        rule.kind = cluster::FaultKind::kDrop;
+        break;
+      case 1:
+        rule.kind = cluster::FaultKind::kDelay;
+        rule.delay_ms = static_cast<int>(rng.uniform_int(20, 150));
+        break;
+      case 2:
+        rule.kind = cluster::FaultKind::kDuplicate;
+        break;
+      default:
+        rule.kind = cluster::FaultKind::kBlackhole;
+        break;
+    }
+    rule.probability = rng.bernoulli(0.5) ? 1.0 : 0.6;
+    a.rule = rule;
+    push(rng.uniform(0.2, 0.5) * duration_seconds, a);
+  }
+
+  // One partition-like crash + rejoin (store survives, network does not).
+  const core::NodeId victim = node_of();
+  {
+    ChaosAction a;
+    a.kind = ActionKind::kCrash;
+    a.node = victim;
+    push(rng.uniform(0.25, 0.35) * duration_seconds, a);
+    a.kind = ActionKind::kRestart;
+    push(rng.uniform(0.55, 0.65) * duration_seconds, a);
+  }
+
+  // Invalidations of the warmup namespaces, after every matching insert.
+  const int invals = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < invals; ++i) {
+    const core::NodeId target = node_of();
+    ChaosAction a;
+    a.kind = ActionKind::kInvalidate;
+    a.node = node_of();  // any node may originate it
+    a.key_or_pattern =
+        "GET /cgi-bin/chaos/n" + std::to_string(target) + "/*";
+    push(rng.uniform(0.3, 0.55) * duration_seconds, a);
+  }
+
+  // Clear every injector, then snapshot mid-run state.
+  for (std::size_t n = 0; n < nodes; ++n) {
+    ChaosAction a;
+    a.kind = ActionKind::kClearFaults;
+    a.node = static_cast<core::NodeId>(n);
+    push(0.7 * duration_seconds, a);
+  }
+  {
+    ChaosAction a;
+    a.kind = ActionKind::kCheck;
+    push(0.75 * duration_seconds, a);
+  }
+  return s;
+}
+
+namespace detail {
+
+std::string fmt3(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", t);
+  return std::string(buf);
+}
+
+std::string stamp(double t, const std::string& text) {
+  return "t=" + fmt3(t) + " " + text;
+}
+
+double StalenessProbe::deadline_for(std::size_t node, double t_inv) const {
+  double base = t_inv;
+  if (node < restart_at.size() && restart_at[node] > base) {
+    base = restart_at[node];  // a rejoiner gets one repair exchange
+  }
+  if (instant) return base + 0.001;
+  return base + interval + slack;
+}
+
+void StalenessProbe::poll(double now,
+                          const std::vector<const core::CacheManager*>& nodes,
+                          const std::vector<char>& alive,
+                          ChaosVerdict* verdict) {
+  for (const auto& inv : invalidations) {
+    if (now <= inv.at) continue;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      if (nodes[n] == nullptr || !alive[n]) continue;
+      for (const auto& key : nodes[n]->store().keys()) {
+        if (!glob_match(inv.pattern, key)) continue;
+        const double deadline = deadline_for(n, inv.at);
+        const std::string id = std::to_string(n) + "|" + key + "|" +
+                               std::to_string(inv.at);
+        const bool is_violation = now > deadline;
+        if (is_violation && violated_.insert(id).second) {
+          StalenessWindow w;
+          w.node = static_cast<core::NodeId>(n);
+          w.key = key;
+          w.invalidated_at = inv.at;
+          w.observed_at = now;
+          w.deadline = deadline;
+          w.violation = true;
+          verdict->staleness_windows.push_back(w);
+          verdict->violations.push_back(detail::stamp(
+              now, "STALE: node " + std::to_string(n) + " still holds \"" +
+                       key + "\" invalidated at t=" + fmt3(inv.at) +
+                       " (deadline t=" + fmt3(deadline) + ")"));
+        } else if (!is_violation && seen_.insert(id).second) {
+          StalenessWindow w;
+          w.node = static_cast<core::NodeId>(n);
+          w.key = key;
+          w.invalidated_at = inv.at;
+          w.observed_at = now;
+          w.deadline = deadline;
+          verdict->staleness_windows.push_back(w);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace swala::chaos

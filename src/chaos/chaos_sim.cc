@@ -1,0 +1,563 @@
+// Virtual-time chaos driver: the whole scenario runs on the discrete-event
+// engine, so every run of a given schedule is bit-for-bit identical —
+// event log included. The in-memory bus mirrors the TCP group's repair
+// protocol (epoch piggyback on rejoin, periodic digest rounds with the
+// two-strike mismatch rule, kInvSync pulls, recovery resync pushes) while
+// charging repair traffic at real encoded-frame sizes.
+#include <memory>
+#include <unordered_set>
+
+#include "chaos/chaos.h"
+#include "chaos/internal.h"
+#include "cluster/message.h"
+#include "common/strings.h"
+#include "http/uri.h"
+#include "sim/engine.h"
+
+namespace swala::chaos {
+namespace {
+
+using core::CacheManager;
+using core::NodeId;
+using detail::fmt3;
+using detail::stamp;
+
+constexpr double kDeliveryDelay = 0.01;  ///< virtual propagation latency
+constexpr double kPollInterval = 0.05;   ///< staleness probe cadence
+
+struct SimState;
+
+/// In-memory CooperationBus for one node; consults the node's seeded
+/// FaultInjector for every outgoing leg, exactly like Transport::send.
+class ChaosBus final : public core::CooperationBus {
+ public:
+  ChaosBus(SimState* state, NodeId self) : state_(state), self_(self) {}
+
+  void broadcast_insert(const core::EntryMeta& meta) override;
+  void broadcast_erase(NodeId owner, const std::string& key,
+                       std::uint64_t version) override;
+  void broadcast_invalidate(const std::string& pattern) override {
+    broadcast_invalidate(pattern, 0);
+  }
+  void broadcast_invalidate(const std::string& pattern,
+                            std::uint64_t epoch) override;
+  void send_owner_insert(NodeId ring_owner,
+                         const core::EntryMeta& meta) override;
+  void send_owner_erase(NodeId ring_owner, NodeId cache_node,
+                        const std::string& key,
+                        std::uint64_t version) override;
+  Result<core::EntryMeta> lookup_at_owner(NodeId ring_owner,
+                                          const std::string& key,
+                                          int budget_ms) override;
+  Result<core::CachedResult> fetch_remote(NodeId owner,
+                                          const std::string& key) override;
+
+ private:
+  SimState* state_;
+  NodeId self_;
+};
+
+/// Everything one sim run owns. Single-threaded: only engine callbacks
+/// touch it.
+struct SimState {
+  const ChaosSchedule* schedule = nullptr;
+  const OracleOptions* oracle = nullptr;
+  sim::SimEngine engine;
+  std::vector<std::unique_ptr<cluster::FaultInjector>> injectors;
+  std::vector<std::unique_ptr<ChaosBus>> buses;
+  std::vector<std::unique_ptr<CacheManager>> managers;
+  std::vector<char> alive;
+  ChaosVerdict verdict;
+  detail::StalenessProbe probe;
+  std::uint64_t digest_round = 0;
+
+  /// Two-strike digest tracking per (receiver, sender), mirroring
+  /// PeerLink::{last_peer_digest, last_local_digest, mismatch_pending}.
+  struct PairTrack {
+    std::uint64_t peer_digest = 0;
+    std::uint64_t local_digest = 0;
+    bool pending = false;
+  };
+  std::vector<std::vector<PairTrack>> track;
+
+  void log(const std::string& text) {
+    verdict.log.push_back(stamp(engine.now(), text));
+  }
+  void count_repair(const cluster::Message& msg) {
+    verdict.repair_frames += 1;
+    verdict.repair_bytes += cluster::encode_message(msg).size();
+  }
+  /// Send-side fault consultation for one leg: how many copies arrive
+  /// (0 = lost, 2 = duplicated), stretching *delay on kDelay.
+  int deliveries(NodeId from, NodeId to, cluster::MsgType type,
+                 double* delay) {
+    const auto fault = injectors[from]->decide(to, type);
+    switch (fault.kind) {
+      case cluster::FaultKind::kNone:
+        return 1;
+      case cluster::FaultKind::kDelay:
+        *delay += fault.delay_ms / 1000.0;
+        return 1;
+      case cluster::FaultKind::kDuplicate:
+        return 2;
+      case cluster::FaultKind::kDrop:
+      case cluster::FaultKind::kTruncate:
+      case cluster::FaultKind::kBlackhole:
+        return 0;
+    }
+    return 1;
+  }
+};
+
+void ChaosBus::broadcast_insert(const core::EntryMeta& meta) {
+  for (std::size_t peer = 0; peer < state_->managers.size(); ++peer) {
+    if (peer == self_) continue;
+    double delay = kDeliveryDelay;
+    const int copies = state_->deliveries(
+        self_, static_cast<NodeId>(peer), cluster::MsgType::kInsert, &delay);
+    for (int c = 0; c < copies; ++c) {
+      state_->engine.schedule_in(delay, [this, peer, meta] {
+        if (!state_->alive[peer]) return;  // lost on the floor of a crash
+        state_->managers[peer]->on_peer_insert(meta);
+      });
+    }
+  }
+}
+
+void ChaosBus::broadcast_erase(NodeId owner, const std::string& key,
+                               std::uint64_t version) {
+  for (std::size_t peer = 0; peer < state_->managers.size(); ++peer) {
+    if (peer == self_) continue;
+    double delay = kDeliveryDelay;
+    const int copies = state_->deliveries(
+        self_, static_cast<NodeId>(peer), cluster::MsgType::kErase, &delay);
+    for (int c = 0; c < copies; ++c) {
+      state_->engine.schedule_in(delay, [this, peer, owner, key, version] {
+        if (!state_->alive[peer]) return;
+        state_->managers[peer]->on_peer_erase(owner, key, version);
+      });
+    }
+  }
+}
+
+void ChaosBus::broadcast_invalidate(const std::string& pattern,
+                                    std::uint64_t epoch) {
+  const NodeId origin = self_;
+  for (std::size_t peer = 0; peer < state_->managers.size(); ++peer) {
+    if (peer == self_) continue;
+    double delay = kDeliveryDelay;
+    const int copies =
+        state_->deliveries(self_, static_cast<NodeId>(peer),
+                           cluster::MsgType::kInvalidate, &delay);
+    for (int c = 0; c < copies; ++c) {
+      state_->engine.schedule_in(delay, [this, peer, pattern, origin, epoch] {
+        if (!state_->alive[peer]) return;
+        state_->managers[peer]->on_peer_invalidate(pattern, origin, epoch);
+      });
+    }
+  }
+}
+
+void ChaosBus::send_owner_insert(NodeId ring_owner,
+                                 const core::EntryMeta& meta) {
+  if (ring_owner >= state_->managers.size() || ring_owner == self_) return;
+  double delay = kDeliveryDelay;
+  const int copies = state_->deliveries(
+      self_, ring_owner, cluster::MsgType::kOwnerUpdate, &delay);
+  for (int c = 0; c < copies; ++c) {
+    state_->engine.schedule_in(delay, [this, ring_owner, meta] {
+      if (!state_->alive[ring_owner]) return;
+      state_->managers[ring_owner]->on_peer_insert(meta);
+    });
+  }
+}
+
+void ChaosBus::send_owner_erase(NodeId ring_owner, NodeId cache_node,
+                                const std::string& key,
+                                std::uint64_t version) {
+  if (ring_owner >= state_->managers.size() || ring_owner == self_) return;
+  double delay = kDeliveryDelay;
+  const int copies = state_->deliveries(
+      self_, ring_owner, cluster::MsgType::kOwnerUpdate, &delay);
+  for (int c = 0; c < copies; ++c) {
+    state_->engine.schedule_in(
+        delay, [this, ring_owner, cache_node, key, version] {
+          if (!state_->alive[ring_owner]) return;
+          state_->managers[ring_owner]->on_peer_erase(cache_node, key,
+                                                      version);
+        });
+  }
+}
+
+Result<core::EntryMeta> ChaosBus::lookup_at_owner(NodeId ring_owner,
+                                                  const std::string& key,
+                                                  int budget_ms) {
+  (void)budget_ms;
+  if (ring_owner >= state_->managers.size()) {
+    return Status(StatusCode::kInvalidArgument, "bad ring owner");
+  }
+  double delay = 0.0;
+  if (!state_->alive[ring_owner] ||
+      state_->deliveries(self_, ring_owner, cluster::MsgType::kQuery,
+                         &delay) == 0) {
+    return Status(StatusCode::kTimeout, "chaos: owner lookup lost");
+  }
+  auto answer = state_->managers[ring_owner]->answer_query(key);
+  if (!answer) return Status(StatusCode::kNotFound, "owner knows no copy");
+  return *answer;
+}
+
+Result<core::CachedResult> ChaosBus::fetch_remote(NodeId owner,
+                                                  const std::string& key) {
+  if (owner >= state_->managers.size()) {
+    return Status(StatusCode::kInvalidArgument, "bad owner");
+  }
+  double delay = 0.0;
+  if (!state_->alive[owner] ||
+      state_->deliveries(self_, owner, cluster::MsgType::kFetchReq, &delay) ==
+          0) {
+    return Status(StatusCode::kTimeout, "chaos: fetch lost");
+  }
+  return state_->managers[owner]->serve_peer_fetch(key);
+}
+
+// ---- repair protocol (mirrors NodeGroup's anti-entropy paths) ----
+
+/// `puller` pulls missed invalidations from `source` over the simulated
+/// kInvSync exchange, with both legs subject to fault injection.
+void pull_inv_sync(SimState* state, std::size_t puller, std::size_t source) {
+  CacheManager* p = state->managers[puller].get();
+  CacheManager* s = state->managers[source].get();
+  double delay = 0.0;
+  const auto req = cluster::Message::inv_sync(static_cast<NodeId>(puller),
+                                              p->inv_floor_vector());
+  state->count_repair(req);
+  if (state->deliveries(static_cast<NodeId>(puller),
+                        static_cast<NodeId>(source),
+                        cluster::MsgType::kInvSync, &delay) == 0) {
+    state->log("node " + std::to_string(puller) +
+               ": kInvSync pull to node " + std::to_string(source) +
+               " lost (fault injection)");
+    return;
+  }
+  bool truncated = false;
+  const auto entries = s->inv_entries_after(p->inv_floor_vector(), &truncated);
+  const auto resp = cluster::Message::inv_sync_resp(
+      static_cast<NodeId>(source), entries, truncated);
+  state->count_repair(resp);
+  if (state->deliveries(static_cast<NodeId>(source),
+                        static_cast<NodeId>(puller),
+                        cluster::MsgType::kInvSyncResp, &delay) == 0) {
+    state->log("node " + std::to_string(puller) +
+               ": kInvSyncResp from node " + std::to_string(source) +
+               " lost (fault injection)");
+    return;
+  }
+  const std::size_t applied = p->apply_inv_sync(entries, truncated);
+  state->log("node " + std::to_string(puller) + ": pulled " +
+             std::to_string(entries.size()) + " invalidation records from " +
+             std::to_string(source) + ", applied " + std::to_string(applied) +
+             (truncated ? " (log truncated: full purge)" : ""));
+}
+
+/// Epoch-gap check: if `source`'s advertised high vector proves `receiver`
+/// missed an invalidation, pull.
+void maybe_pull(SimState* state, std::size_t receiver, std::size_t source,
+                const core::EpochVector& advertised_high) {
+  if (advertised_high.empty()) return;
+  if (!state->managers[receiver]->inv_behind(advertised_high)) return;
+  state->log("node " + std::to_string(receiver) +
+             ": epoch gap behind node " + std::to_string(source));
+  pull_inv_sync(state, receiver, source);
+}
+
+/// `from` re-announces its resident entries to `to` (the kSyncReq answer /
+/// recovery push), mode-aware like NodeGroup::push_state_to.
+void push_state(SimState* state, std::size_t from, std::size_t to) {
+  CacheManager* m = state->managers[from].get();
+  const auto mode = m->directory_mode();
+  if (mode == core::DirectoryMode::kQuery) return;
+  for (const auto& meta : m->store().resident_metas()) {
+    if (mode == core::DirectoryMode::kPartitioned &&
+        m->ring_owner_of(meta.key) != static_cast<NodeId>(to)) {
+      continue;
+    }
+    state->count_repair(
+        cluster::Message::insert(static_cast<NodeId>(from), meta));
+    state->engine.schedule_in(kDeliveryDelay, [state, to, meta] {
+      if (!state->alive[to]) return;
+      state->managers[to]->on_peer_insert(meta);
+    });
+  }
+}
+
+/// One periodic digest round: every live node sends every live peer a
+/// tailored kDigest; receivers pull on an epoch gap and resync on a
+/// two-strike digest mismatch.
+void digest_round(SimState* state) {
+  state->digest_round += 1;
+  state->verdict.anti_entropy_rounds += 1;
+  const bool has_digest =
+      state->schedule->directory_mode != core::DirectoryMode::kQuery;
+  for (std::size_t s = 0; s < state->managers.size(); ++s) {
+    if (!state->alive[s]) continue;
+    CacheManager* sender = state->managers[s].get();
+    const auto high = sender->inv_high_vector();
+    for (std::size_t p = 0; p < state->managers.size(); ++p) {
+      if (p == s || !state->alive[p]) continue;
+      std::size_t entries = 0;
+      const std::uint64_t digest =
+          sender->digest_for_peer(static_cast<NodeId>(p), &entries);
+      const auto msg = cluster::Message::make_digest(
+          static_cast<NodeId>(s), high, has_digest, digest);
+      state->count_repair(msg);
+      double delay = kDeliveryDelay;
+      if (state->deliveries(static_cast<NodeId>(s), static_cast<NodeId>(p),
+                            cluster::MsgType::kDigest, &delay) == 0) {
+        continue;  // this round's frame lost; the next round retries
+      }
+      state->engine.schedule_in(delay, [state, s, p, high, has_digest,
+                                        digest] {
+        if (!state->alive[p] || !state->alive[s]) return;
+        maybe_pull(state, p, s, high);
+        if (!has_digest) return;
+        std::size_t n = 0;
+        const std::uint64_t local =
+            state->managers[p]->digest_of_peer_table(static_cast<NodeId>(s),
+                                                     &n);
+        auto& track = state->track[p][s];
+        if (local == digest) {
+          track.pending = false;
+          return;
+        }
+        if (track.pending && track.peer_digest == digest &&
+            track.local_digest == local) {
+          // Same mismatch two rounds running: nothing is in flight, the
+          // divergence is real. Drop the table and ask for a resync.
+          track.pending = false;
+          state->log("node " + std::to_string(p) +
+                     ": digest mismatch vs node " + std::to_string(s) +
+                     " confirmed; resyncing table");
+          state->managers[p]->on_peer_recovered(static_cast<NodeId>(s));
+          push_state(state, s, p);
+        } else {
+          track.peer_digest = digest;
+          track.local_digest = local;
+          track.pending = true;
+        }
+      });
+    }
+  }
+}
+
+/// Rejoin after a crash: mirrors what record_success + the greeting HELLO
+/// exchange do on the TCP substrate — survivors drop their quarantined
+/// table of the rejoiner and re-push, the rejoiner re-pushes its surviving
+/// store, and the HELLO epoch vectors expose invalidation gaps both ways.
+void rejoin(SimState* state, std::size_t node) {
+  state->alive[node] = 1;
+  state->probe.restart_at[node] = state->engine.now();
+  for (std::size_t o = 0; o < state->managers.size(); ++o) {
+    if (o == node || !state->alive[o]) continue;
+    state->managers[o]->on_peer_recovered(static_cast<NodeId>(node));
+    state->managers[node]->on_peer_recovered(static_cast<NodeId>(o));
+    push_state(state, o, node);
+    push_state(state, node, o);
+    // HELLO epoch piggyback, both directions.
+    maybe_pull(state, node, o, state->managers[o]->inv_high_vector());
+    maybe_pull(state, o, node, state->managers[node]->inv_high_vector());
+  }
+}
+
+void apply_action(SimState* state, const ChaosAction& action) {
+  const std::size_t n = action.node;
+  switch (action.kind) {
+    case ActionKind::kAddFault:
+      state->log("node " + std::to_string(n) + ": add fault " +
+                 cluster::fault_kind_name(action.rule.kind) + " peer=" +
+                 (action.rule.peer == core::kInvalidNode
+                      ? std::string("*")
+                      : std::to_string(action.rule.peer)));
+      state->injectors[n]->add_rule(action.rule);
+      break;
+    case ActionKind::kClearFaults:
+      state->log("node " + std::to_string(n) + ": clear faults");
+      state->injectors[n]->clear();
+      break;
+    case ActionKind::kCrash:
+      if (!state->alive[n]) break;
+      state->log("node " + std::to_string(n) + ": CRASH (off the network)");
+      state->alive[n] = 0;
+      break;
+    case ActionKind::kRestart:
+      if (state->alive[n]) break;
+      state->log("node " + std::to_string(n) + ": RESTART (rejoin resync)");
+      rejoin(state, n);
+      break;
+    case ActionKind::kInvalidate: {
+      if (!state->alive[n]) {
+        state->log("node " + std::to_string(n) +
+                   ": invalidate skipped (node down)");
+        break;
+      }
+      state->probe.invalidations.push_back(
+          {action.key_or_pattern, state->engine.now()});
+      const std::size_t removed =
+          state->managers[n]->invalidate(action.key_or_pattern);
+      state->log("node " + std::to_string(n) + ": invalidate \"" +
+                 action.key_or_pattern + "\" removed " +
+                 std::to_string(removed) + " local");
+      if (state->oracle->expect_instant_consistency) {
+        // Broken-oracle self-test: probe before the broadcast can land.
+        state->engine.schedule_in(kDeliveryDelay / 2, [state] {
+          std::vector<const CacheManager*> nodes;
+          for (const auto& m : state->managers) nodes.push_back(m.get());
+          state->probe.poll(state->engine.now(), nodes, state->alive,
+                            &state->verdict);
+        });
+      }
+      break;
+    }
+    case ActionKind::kInsert: {
+      if (!state->alive[n]) {
+        state->log("node " + std::to_string(n) +
+                   ": insert skipped (node down)");
+        break;
+      }
+      http::Uri uri;
+      if (!http::parse_uri(action.key_or_pattern, &uri)) {
+        state->log("node " + std::to_string(n) + ": bad insert target \"" +
+                   action.key_or_pattern + "\"");
+        break;
+      }
+      auto lookup = state->managers[n]->lookup(http::Method::kGet, uri);
+      if (lookup.outcome != core::LookupOutcome::kMissMustExecute) {
+        state->log("node " + std::to_string(n) + ": insert \"" +
+                   action.key_or_pattern + "\" skipped (already cached)");
+        break;
+      }
+      auto rule = lookup.rule;
+      if (action.ttl_seconds > 0) rule.ttl_seconds = action.ttl_seconds;
+      cgi::CgiOutput out;
+      out.success = true;
+      out.body = "chaos-" + action.key_or_pattern;
+      state->managers[n]->complete(http::Method::kGet, uri, rule, out, 1.0);
+      state->log("node " + std::to_string(n) + ": insert \"" +
+                 action.key_or_pattern + "\"");
+      break;
+    }
+    case ActionKind::kCheck: {
+      std::vector<const CacheManager*> nodes;
+      for (std::size_t i = 0; i < state->managers.size(); ++i) {
+        nodes.push_back(state->alive[i] ? state->managers[i].get() : nullptr);
+      }
+      const auto report = core::check_cluster_consistency(nodes);
+      state->log(std::string("mid-run check: ") +
+                 (report.consistent() ? "consistent" : "drift present") +
+                 " (advisory)");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ChaosVerdict run_sim_chaos(const ChaosSchedule& schedule,
+                           const OracleOptions& oracle) {
+  SimState state;
+  state.schedule = &schedule;
+  state.oracle = &oracle;
+  const std::size_t n = schedule.nodes;
+  state.alive.assign(n, 1);
+  state.track.assign(n, std::vector<SimState::PairTrack>(n));
+  state.probe.interval = schedule.anti_entropy_interval_seconds;
+  state.probe.slack = schedule.slack_seconds;
+  state.probe.instant = oracle.expect_instant_consistency;
+  state.probe.restart_at.assign(n, -1.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    state.injectors.push_back(std::make_unique<cluster::FaultInjector>(
+        schedule.seed + i));
+    state.buses.push_back(
+        std::make_unique<ChaosBus>(&state, static_cast<NodeId>(i)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    core::ManagerOptions mo;
+    mo.limits = {100000, 0};
+    core::RuleDecision d;
+    d.cacheable = true;
+    mo.rules.add_rule("/cgi-bin/*", d);
+    mo.directory_mode = schedule.directory_mode;
+    state.managers.push_back(std::make_unique<CacheManager>(
+        static_cast<NodeId>(i), n, std::move(mo), state.engine.clock(),
+        state.buses[i].get()));
+  }
+
+  state.log("chaos: " + std::to_string(n) + " nodes, seed " +
+            std::to_string(schedule.seed) + ", anti-entropy interval " +
+            fmt3(schedule.anti_entropy_interval_seconds) + "s, slack " +
+            fmt3(schedule.slack_seconds) + "s");
+
+  // Tail: enough for two repair rounds after the last scripted action.
+  const double tail =
+      2.0 * schedule.anti_entropy_interval_seconds + schedule.slack_seconds +
+      0.5;
+  const double t_end = schedule.duration_seconds + tail;
+
+  for (const auto& action : schedule.actions) {
+    state.engine.schedule_at(action.at_seconds, [&state, action] {
+      apply_action(&state, action);
+    });
+  }
+  if (schedule.anti_entropy_interval_seconds > 0) {
+    for (double t = schedule.anti_entropy_interval_seconds; t < t_end;
+         t += schedule.anti_entropy_interval_seconds) {
+      state.engine.schedule_at(t, [&state] { digest_round(&state); });
+    }
+  }
+  if (oracle.check_bounded_staleness) {
+    for (double t = kPollInterval; t < t_end; t += kPollInterval) {
+      state.engine.schedule_at(t, [&state] {
+        std::vector<const CacheManager*> nodes;
+        for (const auto& m : state.managers) nodes.push_back(m.get());
+        state.probe.poll(state.engine.now(), nodes, state.alive,
+                         &state.verdict);
+      });
+    }
+  }
+  state.engine.run();
+
+  // Final global oracle: crashed nodes have no view to check.
+  if (oracle.check_final_consistency) {
+    std::vector<const CacheManager*> nodes;
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(state.alive[i] ? state.managers[i].get() : nullptr);
+    }
+    const auto report = core::check_cluster_consistency(nodes);
+    if (!report.consistent()) {
+      state.verdict.violations.push_back(
+          stamp(state.engine.now(),
+                "FINAL: cluster inconsistent after repair rounds:\n" +
+                    report.to_string()));
+    }
+    state.log(std::string("final check: ") +
+              (report.consistent() ? "consistent" : "INCONSISTENT"));
+  }
+  for (const auto& m : state.managers) {
+    const auto s = m->stats();
+    state.verdict.gaps_repaired += s.inv_epoch_gaps_repaired;
+    state.verdict.stale_serves_prevented += s.stale_serves_prevented;
+    state.verdict.overflow_purges += s.inv_overflow_purges;
+  }
+  state.verdict.passed = state.verdict.violations.empty();
+  state.log(std::string("verdict: ") +
+            (state.verdict.passed ? "PASS" : "FAIL") + " (" +
+            std::to_string(state.verdict.violations.size()) +
+            " violations, " +
+            std::to_string(state.verdict.gaps_repaired) + " gaps repaired, " +
+            std::to_string(state.verdict.stale_serves_prevented) +
+            " stale serves prevented)");
+  return state.verdict;
+}
+
+}  // namespace swala::chaos

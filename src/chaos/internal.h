@@ -1,0 +1,56 @@
+// Shared internals of the two chaos drivers (sim + live): event-log
+// stamping and the bounded-staleness probe. Kept out of chaos.h — these
+// are implementation details, not harness API.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+
+namespace swala::chaos::detail {
+
+/// "t=1.250 <text>" — fixed %.3f formatting so the sim substrate's log is
+/// byte-deterministic across runs.
+std::string stamp(double t, const std::string& text);
+
+/// "%.3f" of a time value (for embedding mid-sentence).
+std::string fmt3(double t);
+
+/// One invalidation the oracle is watching.
+struct InvalidationTrack {
+  std::string pattern;  ///< glob over full cache keys
+  double at = 0.0;      ///< origination time (harness clock)
+};
+
+/// The bounded-staleness probe: called periodically by both drivers, it
+/// scans every live node's store for entries matching a tracked pattern.
+/// An observation is a StalenessWindow; one past the node's deadline is a
+/// violation. A node's deadline restarts when the node does (a rejoiner is
+/// entitled to one repair exchange before its copy must be gone).
+struct StalenessProbe {
+  double interval = 0.0;  ///< anti-entropy cadence (0 = disabled)
+  double slack = 0.5;
+  /// Broken-oracle mode: the deadline collapses to ~origination time, so
+  /// any propagation delay at all trips it (oracle self-test).
+  bool instant = false;
+
+  std::vector<InvalidationTrack> invalidations;
+  std::vector<double> restart_at;  ///< per node; < 0 = never restarted
+
+  /// Deadline for `node` to have dropped entries invalidated at `t_inv`.
+  double deadline_for(std::size_t node, double t_inv) const;
+
+  /// Scans `nodes` (index = node id; skip when !alive[i]) at harness time
+  /// `now`, appending windows/violations to `verdict`. Each (node, key,
+  /// invalidation) is reported at most once per phase (seen / violated).
+  void poll(double now, const std::vector<const core::CacheManager*>& nodes,
+            const std::vector<char>& alive, ChaosVerdict* verdict);
+
+ private:
+  std::set<std::string> seen_;
+  std::set<std::string> violated_;
+};
+
+}  // namespace swala::chaos::detail

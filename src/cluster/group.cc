@@ -203,8 +203,99 @@ void NodeGroup::probe_dead_peers() {
     peer->next_probe = now + std::chrono::milliseconds(options_.probe_interval_ms);
     peer->probes.fetch_add(1, std::memory_order_relaxed);
     probes_sent_.fetch_add(1, std::memory_order_relaxed);
-    peer->outbound->try_push(Message::hello(self_));
+    peer->outbound->try_push(make_hello());
   }
+}
+
+Message NodeGroup::make_hello() const {
+  // The epoch vector rides every greeting/probe, so the first exchange
+  // after a rejoin already exposes any invalidation gap. Before attach()
+  // there is no log yet: plain HELLO.
+  core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+  if (manager == nullptr) return Message::hello(self_);
+  return Message::hello_with_epochs(self_, manager->inv_high_vector());
+}
+
+void NodeGroup::anti_entropy_round() {
+  core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+  if (manager == nullptr) return;
+  anti_entropy_rounds_.fetch_add(1, std::memory_order_relaxed);
+  const auto high = manager->inv_high_vector();
+  // Query mode keeps no remote directory state to compare, so its digest
+  // is omitted; the epoch vector still repairs lost invalidations.
+  const bool has_digest =
+      manager->directory_mode() != core::DirectoryMode::kQuery;
+  for (auto& peer : peers_) {
+    if (state_of(peer.get()) == PeerState::kDead) continue;  // probes handle it
+    std::size_t entries = 0;
+    const std::uint64_t digest =
+        has_digest ? manager->digest_for_peer(peer->address.id, &entries) : 0;
+    if (peer->outbound->try_push(
+            Message::make_digest(self_, high, has_digest, digest))) {
+      digests_sent_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void NodeGroup::maybe_pull_inv_sync(core::NodeId peer,
+                                    const core::EpochVector& high) {
+  if (high.empty()) return;
+  core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+  if (manager == nullptr || !manager->inv_behind(high)) return;
+  inv_syncs_pulled_.fetch_add(1, std::memory_order_relaxed);
+  // Budget like a directory probe: the pull is an optimization pass and
+  // must not stall the info reader behind a slow peer.
+  const int io_timeout_ms = options_.query_timeout_ms;
+  const int connect_timeout_ms =
+      std::min(options_.connect_timeout_ms, io_timeout_ms);
+  auto resp = data_exchange(peer,
+                            Message::inv_sync(self_, manager->inv_floor_vector()),
+                            MsgType::kInvSyncResp, io_timeout_ms,
+                            connect_timeout_ms);
+  if (!resp) return;  // next round retries; the gap persists until repaired
+  manager->apply_inv_sync(resp.value().inv_entries, resp.value().truncated);
+}
+
+void NodeGroup::check_digest(core::NodeId peer, bool has_digest,
+                             std::uint64_t digest) {
+  if (!has_digest) return;
+  core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+  PeerLink* link = find_link(peer);
+  if (manager == nullptr || link == nullptr) return;
+  std::size_t entries = 0;
+  const std::uint64_t local = manager->digest_of_peer_table(peer, &entries);
+  bool repair = false;
+  {
+    std::lock_guard<std::mutex> lock(link->health_mutex);
+    if (link->state == PeerState::kDead) return;  // rejoin machinery owns it
+    if (local == digest) {
+      link->mismatch_pending = false;
+      return;
+    }
+    if (link->mismatch_pending && link->last_peer_digest == digest &&
+        link->last_local_digest == local) {
+      // Same mismatch two rounds in a row with nothing moving on either
+      // side: this is real drift (a lost kInsert/kOwnerUpdate), not an
+      // in-flight update racing the snapshot.
+      repair = true;
+      link->mismatch_pending = false;
+    } else {
+      link->mismatch_pending = true;
+      link->last_peer_digest = digest;
+      link->last_local_digest = local;
+    }
+  }
+  if (!repair) return;
+  digest_repairs_.fetch_add(1, std::memory_order_relaxed);
+  SWALA_LOG(Warn) << "node " << self_ << ": directory digest drift vs peer "
+                  << peer << " persisted two rounds; resyncing";
+  // Same flow as a rejoin: drop our stale view of the peer's table and ask
+  // it to re-announce.
+  manager->on_peer_recovered(peer);
+  resyncs_requested_.fetch_add(1, std::memory_order_relaxed);
+  link->outbound->try_push(Message::sync_req(self_));
 }
 
 int NodeGroup::backoff_delay_ms(int attempt) {
@@ -267,6 +358,17 @@ void NodeGroup::apply_info_message(const Message& msg) {
       if (PeerLink* link = find_link(msg.sender)) {
         record_success(link);
       }
+      // The greeting's piggybacked epoch vector exposes any invalidation
+      // gap immediately (first exchange after a rejoin, not a full
+      // anti-entropy round later). Runs after record_success returns so no
+      // health_mutex is held across the synchronous pull.
+      maybe_pull_inv_sync(msg.sender, msg.epochs);
+      break;
+    case MsgType::kDigest:
+      // Anti-entropy round: epoch gap first (repairs lost invalidations),
+      // then the directory digest (repairs lost inserts/owner updates).
+      maybe_pull_inv_sync(msg.sender, msg.epochs);
+      check_digest(msg.sender, msg.has_digest, msg.digest);
       break;
     case MsgType::kSyncReq:
       // The peer cleared its copy of our table; re-announce what we hold.
@@ -284,7 +386,11 @@ void NodeGroup::apply_info_message(const Message& msg) {
       }
       break;
     case MsgType::kInvalidate:
-      if (manager != nullptr) manager->on_peer_invalidate(msg.key);
+      // The frame's sender is the originating node: invalidations are
+      // broadcast by their origin only, never relayed.
+      if (manager != nullptr) {
+        manager->on_peer_invalidate(msg.key, msg.sender, msg.epoch);
+      }
       break;
     case MsgType::kOwnerUpdate:
       // Partitioned-mode unicast. A mis-routed frame (we are not this key's
@@ -361,6 +467,21 @@ void NodeGroup::serve_data_request(net::TcpStream stream) {
       if (!transport_.send(stream, msg.value().sender, resp).is_ok()) return;
       continue;
     }
+    if (msg.value().type == MsgType::kInvSync) {
+      // Anti-entropy pull: ship every logged invalidation above the
+      // requester's floors so it can repair the gap it detected.
+      inv_syncs_served_.fetch_add(1, std::memory_order_relaxed);
+      Message resp = Message::inv_sync_resp(self_, {}, false);
+      core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+      if (manager != nullptr) {
+        bool truncated = false;
+        auto entries =
+            manager->inv_entries_after(msg.value().epochs, &truncated);
+        resp = Message::inv_sync_resp(self_, std::move(entries), truncated);
+      }
+      if (!transport_.send(stream, msg.value().sender, resp).is_ok()) return;
+      continue;
+    }
     if (msg.value().type != MsgType::kFetchReq) return;
 
     Message resp = Message::fetch_resp_miss(self_);
@@ -385,11 +506,25 @@ void NodeGroup::purge_loop() {
   const auto interval =
       std::chrono::duration<double>(options_.purge_interval_seconds);
   auto next = std::chrono::steady_clock::now() + interval;
+  if (options_.anti_entropy_interval_ms > 0) {
+    next_anti_entropy_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.anti_entropy_interval_ms);
+  }
   while (running_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     // Half-open probing rides the purger's fine-grained tick, not its
     // multi-second purge interval.
     probe_dead_peers();
+    // So does the anti-entropy digest round (its own, usually shorter,
+    // cadence: it bounds the staleness window).
+    if (options_.anti_entropy_interval_ms > 0 &&
+        std::chrono::steady_clock::now() >= next_anti_entropy_) {
+      next_anti_entropy_ =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options_.anti_entropy_interval_ms);
+      anti_entropy_round();
+    }
     if (std::chrono::steady_clock::now() < next) continue;
     next = std::chrono::steady_clock::now() + interval;
     core::CacheManager* manager = manager_.load(std::memory_order_acquire);
@@ -420,6 +555,11 @@ void NodeGroup::broadcast_erase(core::NodeId owner, const std::string& key,
 
 void NodeGroup::broadcast_invalidate(const std::string& pattern) {
   enqueue_broadcast(Message::invalidate(self_, pattern));
+}
+
+void NodeGroup::broadcast_invalidate(const std::string& pattern,
+                                     std::uint64_t epoch) {
+  enqueue_broadcast(Message::invalidate(self_, pattern, epoch));
 }
 
 void NodeGroup::enqueue_to(core::NodeId id, const Message& msg) {
@@ -546,7 +686,7 @@ void NodeGroup::sender_loop(PeerLink* link) {
         greeted = false;
       }
       if (!greeted) {
-        if (!transport_.send(stream, link->address.id, Message::hello(self_))
+        if (!transport_.send(stream, link->address.id, make_hello())
                  .is_ok()) {
           stream.close();
           continue;
@@ -808,6 +948,11 @@ GroupStats NodeGroup::stats() const {
   s.queries_sent = queries_sent_.load(std::memory_order_relaxed);
   s.query_hits = query_hits_.load(std::memory_order_relaxed);
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.anti_entropy_rounds = anti_entropy_rounds_.load(std::memory_order_relaxed);
+  s.digests_sent = digests_sent_.load(std::memory_order_relaxed);
+  s.digest_repairs = digest_repairs_.load(std::memory_order_relaxed);
+  s.inv_syncs_pulled = inv_syncs_pulled_.load(std::memory_order_relaxed);
+  s.inv_syncs_served = inv_syncs_served_.load(std::memory_order_relaxed);
   return s;
 }
 

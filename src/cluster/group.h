@@ -96,6 +96,13 @@ struct GroupOptions {
   int failure_threshold = 3;
   /// How often the purger probes a dead peer with a HELLO.
   int probe_interval_ms = 250;
+  /// Anti-entropy cadence: every this many milliseconds the purger sends
+  /// each live peer a kDigest (high-water invalidation epochs + directory
+  /// digest). A receiver that detects an epoch gap pulls the missed
+  /// invalidations (kInvSync); a digest mismatch on two consecutive rounds
+  /// triggers a directory resync. 0 disables anti-entropy (legacy
+  /// fire-and-forget behaviour; node config defaults it on at 1000 ms).
+  int anti_entropy_interval_ms = 0;
   /// Optional deterministic fault hook applied to every outgoing message
   /// (not owned; tests and the simulator share the same injector type).
   FaultInjector* fault_injector = nullptr;
@@ -127,6 +134,12 @@ struct GroupStats {
   std::uint64_t queries_sent = 0;       ///< kQuery probes issued
   std::uint64_t query_hits = 0;         ///< probes answered "found"
   std::uint64_t queries_served = 0;     ///< peers' kQuery probes answered
+  // ---- anti-entropy consistency repair ----
+  std::uint64_t anti_entropy_rounds = 0;  ///< digest rounds initiated
+  std::uint64_t digests_sent = 0;         ///< kDigest frames enqueued
+  std::uint64_t digest_repairs = 0;       ///< directory resyncs a mismatch forced
+  std::uint64_t inv_syncs_pulled = 0;     ///< kInvSync pulls issued on a gap
+  std::uint64_t inv_syncs_served = 0;     ///< peers' kInvSync pulls answered
 };
 
 /// Snapshot of one peer's health (exposed via /swala-status).
@@ -184,6 +197,8 @@ class NodeGroup final : public core::CooperationBus {
                                           const std::string& key,
                                           int budget_ms) override;
   void broadcast_invalidate(const std::string& pattern) override;
+  void broadcast_invalidate(const std::string& pattern,
+                            std::uint64_t epoch) override;
   // Partitioned mode: unicast directory updates ride the info channel (and
   // batch like broadcasts); owner lookups ride the data channel.
   void send_owner_insert(core::NodeId ring_owner,
@@ -234,6 +249,16 @@ class NodeGroup final : public core::CooperationBus {
     std::atomic<std::uint64_t> total_failures{0};
     std::atomic<std::uint64_t> dropped{0};
     std::atomic<std::uint64_t> probes{0};
+
+    // ---- anti-entropy digest tracking (guarded by health_mutex) ----
+    /// Last mismatching digest pair (peer-advertised, locally computed).
+    /// A repair fires only after two consecutive rounds mismatch with the
+    /// SAME pair on both sides: if either side's digest moved between
+    /// rounds, updates were still in flight and the apparent drift may be
+    /// converging on its own — no resync yet.
+    std::uint64_t last_peer_digest = 0;
+    std::uint64_t last_local_digest = 0;
+    bool mismatch_pending = false;
   };
 
   void info_accept_loop();
@@ -278,6 +303,22 @@ class NodeGroup final : public core::CooperationBus {
   /// Re-announces every locally cached entry to one peer (resync).
   void push_state_to(PeerLink* link);
 
+  /// A HELLO carrying this node's invalidation high-water epochs (plain
+  /// HELLO before a manager is attached).
+  Message make_hello() const;
+
+  /// One anti-entropy round: enqueue a tailored kDigest to every live peer.
+  void anti_entropy_round();
+
+  /// Reacts to a peer-advertised epoch vector: when we are behind, pulls
+  /// the missed invalidations over the data channel (kInvSync) and applies
+  /// them. Called outside any health_mutex.
+  void maybe_pull_inv_sync(core::NodeId peer, const core::EpochVector& high);
+
+  /// Digest comparison for one kDigest frame; two consecutive mismatches
+  /// with the same expected value trigger a directory resync with `peer`.
+  void check_digest(core::NodeId peer, bool has_digest, std::uint64_t digest);
+
   core::NodeId self_;
   std::vector<MemberAddress> members_;
   GroupOptions options_;
@@ -312,7 +353,11 @@ class NodeGroup final : public core::CooperationBus {
       send_failures_{0}, send_retries_{0}, peer_failures_{0},
       messages_dropped_{0}, probes_sent_{0}, resyncs_requested_{0},
       resyncs_served_{0}, owner_updates_sent_{0}, queries_sent_{0},
-      query_hits_{0}, queries_served_{0};
+      query_hits_{0}, queries_served_{0}, anti_entropy_rounds_{0},
+      digests_sent_{0}, digest_repairs_{0}, inv_syncs_pulled_{0},
+      inv_syncs_served_{0};
+  /// Next anti-entropy round deadline (purge-loop thread only).
+  std::chrono::steady_clock::time_point next_anti_entropy_{};
 };
 
 /// Builds loopback member addresses with ephemeral ports for `n` in-process

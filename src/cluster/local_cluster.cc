@@ -75,6 +75,14 @@ bool LocalCluster::quiesce(double timeout_seconds) {
   return backlog() == 0;
 }
 
+core::ClusterConsistencyReport LocalCluster::check_cluster_consistency()
+    const {
+  std::vector<const core::CacheManager*> managers;
+  managers.reserve(managers_.size());
+  for (const auto& manager : managers_) managers.push_back(manager.get());
+  return core::check_cluster_consistency(managers);
+}
+
 void LocalCluster::stop() {
   for (auto& group : groups_) group->stop();
 }

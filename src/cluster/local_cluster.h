@@ -53,6 +53,11 @@ class LocalCluster {
   /// a hard-coded amount.
   bool quiesce(double timeout_seconds = 5.0);
 
+  /// Runs the global consistency oracle over every node (per-node store↔
+  /// directory checks plus cross-node drift). Quiesce first for an exact
+  /// answer. Valid after stop() too — the managers outlive the groups.
+  core::ClusterConsistencyReport check_cluster_consistency() const;
+
   void stop();
 
  private:

@@ -123,6 +123,31 @@ bool read_meta(Reader* r, core::EntryMeta* meta) {
   return true;
 }
 
+void put_epochs(std::string* out, const core::EpochVector& epochs) {
+  put_u32(out, static_cast<std::uint32_t>(epochs.size()));
+  for (const auto& [origin, epoch] : epochs) {
+    put_u32(out, origin);
+    put_u64(out, epoch);
+  }
+}
+
+bool read_epochs(Reader* r, std::string_view payload,
+                 core::EpochVector* epochs) {
+  std::uint32_t count = 0;
+  if (!r->u32(&count)) return false;
+  // Each pair costs 12 bytes on the wire; a lying count cannot exceed what
+  // the payload could physically hold.
+  if (count > payload.size() / 12) return false;
+  epochs->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t origin = 0;
+    std::uint64_t epoch = 0;
+    if (!r->u32(&origin) || !r->u64(&epoch)) return false;
+    epochs->emplace_back(origin, epoch);
+  }
+  return true;
+}
+
 }  // namespace
 
 Message Message::hello(core::NodeId sender) {
@@ -178,11 +203,13 @@ Message Message::fetch_resp_miss(core::NodeId sender) {
   return m;
 }
 
-Message Message::invalidate(core::NodeId sender, std::string pattern) {
+Message Message::invalidate(core::NodeId sender, std::string pattern,
+                            std::uint64_t epoch) {
   Message m;
   m.type = MsgType::kInvalidate;
   m.sender = sender;
   m.key = std::move(pattern);
+  m.epoch = epoch;
   return m;
 }
 
@@ -190,6 +217,45 @@ Message Message::sync_req(core::NodeId sender) {
   Message m;
   m.type = MsgType::kSyncReq;
   m.sender = sender;
+  return m;
+}
+
+Message Message::hello_with_epochs(core::NodeId sender,
+                                   core::EpochVector epochs) {
+  Message m;
+  m.type = MsgType::kHello;
+  m.sender = sender;
+  m.epochs = std::move(epochs);
+  return m;
+}
+
+Message Message::make_digest(core::NodeId sender, core::EpochVector epochs,
+                             bool has_digest, std::uint64_t digest) {
+  Message m;
+  m.type = MsgType::kDigest;
+  m.sender = sender;
+  m.epochs = std::move(epochs);
+  m.has_digest = has_digest;
+  m.digest = digest;
+  return m;
+}
+
+Message Message::inv_sync(core::NodeId sender, core::EpochVector floors) {
+  Message m;
+  m.type = MsgType::kInvSync;
+  m.sender = sender;
+  m.epochs = std::move(floors);
+  return m;
+}
+
+Message Message::inv_sync_resp(core::NodeId sender,
+                               std::vector<core::InvalidationRecord> entries,
+                               bool truncated) {
+  Message m;
+  m.type = MsgType::kInvSyncResp;
+  m.sender = sender;
+  m.inv_entries = std::move(entries);
+  m.truncated = truncated;
   return m;
 }
 
@@ -255,6 +321,10 @@ std::string encode_message(const Message& msg) {
   put_u32(&payload, msg.sender);
   switch (msg.type) {
     case MsgType::kHello:
+      // Optional epoch-vector tail: an empty vector keeps the legacy
+      // zero-payload HELLO byte-identical for old peers.
+      if (!msg.epochs.empty()) put_epochs(&payload, msg.epochs);
+      break;
     case MsgType::kSyncReq:
       break;
     case MsgType::kInsert:
@@ -265,8 +335,12 @@ std::string encode_message(const Message& msg) {
       put_u64(&payload, msg.version);
       break;
     case MsgType::kFetchReq:
+      put_string(&payload, msg.key);
+      break;
     case MsgType::kInvalidate:
       put_string(&payload, msg.key);
+      // Optional epoch tail; epoch 0 keeps the legacy frame byte-identical.
+      if (msg.epoch != 0) put_u64(&payload, msg.epoch);
       break;
     case MsgType::kFetchResp:
       put_u8(&payload, msg.found ? 1 : 0);
@@ -298,6 +372,23 @@ std::string encode_message(const Message& msg) {
       put_u32(&payload, static_cast<std::uint32_t>(msg.batch.size()));
       for (const Message& inner : msg.batch) payload += encode_message(inner);
       break;
+    case MsgType::kDigest:
+      put_epochs(&payload, msg.epochs);
+      put_u8(&payload, msg.has_digest ? 1 : 0);
+      if (msg.has_digest) put_u64(&payload, msg.digest);
+      break;
+    case MsgType::kInvSync:
+      put_epochs(&payload, msg.epochs);
+      break;
+    case MsgType::kInvSyncResp:
+      put_u8(&payload, msg.truncated ? 1 : 0);
+      put_u32(&payload, static_cast<std::uint32_t>(msg.inv_entries.size()));
+      for (const auto& rec : msg.inv_entries) {
+        put_u32(&payload, rec.origin);
+        put_u64(&payload, rec.epoch);
+        put_string(&payload, rec.pattern);
+      }
+      break;
   }
   std::string frame;
   frame.reserve(4 + payload.size());
@@ -317,6 +408,9 @@ Result<Message> decode_message(std::string_view payload) {
   bool ok = true;
   switch (msg.type) {
     case MsgType::kHello:
+      // Optional epoch-vector tail (absent on legacy frames).
+      if (!r.done()) ok = read_epochs(&r, payload, &msg.epochs);
+      break;
     case MsgType::kSyncReq:
       break;
     case MsgType::kInsert:
@@ -326,8 +420,12 @@ Result<Message> decode_message(std::string_view payload) {
       ok = r.str(&msg.key) && r.u64(&msg.version);
       break;
     case MsgType::kFetchReq:
+      ok = r.str(&msg.key);
+      break;
     case MsgType::kInvalidate:
       ok = r.str(&msg.key);
+      // Optional epoch tail (absent on legacy frames; absent means 0).
+      if (ok && !r.done()) ok = r.u64(&msg.epoch);
       break;
     case MsgType::kFetchResp: {
       std::uint8_t found = 0;
@@ -379,6 +477,31 @@ Result<Message> decode_message(std::string_view payload) {
           break;
         }
         msg.batch.push_back(std::move(decoded.value()));
+      }
+      break;
+    }
+    case MsgType::kDigest: {
+      std::uint8_t has = 0;
+      ok = read_epochs(&r, payload, &msg.epochs) && r.u8(&has);
+      msg.has_digest = has != 0;
+      if (ok && msg.has_digest) ok = r.u64(&msg.digest);
+      break;
+    }
+    case MsgType::kInvSync:
+      ok = read_epochs(&r, payload, &msg.epochs);
+      break;
+    case MsgType::kInvSyncResp: {
+      std::uint8_t trunc = 0;
+      std::uint32_t count = 0;
+      ok = r.u8(&trunc) && r.u32(&count);
+      msg.truncated = trunc != 0;
+      // Each record costs at least 16 bytes (u32 origin + u64 epoch + u32
+      // pattern length); a lying count cannot exceed that bound.
+      if (ok && count > payload.size() / 16) ok = false;
+      for (std::uint32_t i = 0; ok && i < count; ++i) {
+        core::InvalidationRecord rec;
+        ok = r.u32(&rec.origin) && r.u64(&rec.epoch) && r.str(&rec.pattern);
+        if (ok) msg.inv_entries.push_back(std::move(rec));
       }
       break;
     }

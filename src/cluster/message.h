@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "core/entry.h"
+#include "core/inv_log.h"
 
 namespace swala::cluster {
 
@@ -29,6 +30,9 @@ enum class MsgType : std::uint8_t {
   kOwnerUpdate = 9, ///< partitioned mode: unicast insert/erase to ring owner
   kQuery = 10,      ///< query mode: "do you know who caches this key?"
   kQueryHit = 11,   ///< answer to kQuery (meta when found)
+  kDigest = 12,     ///< anti-entropy round: epoch vector + directory digest
+  kInvSync = 13,    ///< "send me the invalidations after these floors"
+  kInvSyncResp = 14,///< answer to kInvSync: missed invalidation records
 };
 
 /// kOwnerUpdate sub-operation (wire byte; anything else is rejected).
@@ -50,6 +54,15 @@ struct Message {
   OwnerOp owner_op = OwnerOp::kInsert;  // kOwnerUpdate
   std::vector<Message> batch;  // kBatch: inner messages, applied in order
 
+  // Anti-entropy fields (PR8).
+  std::uint64_t epoch = 0;     // kInvalidate: origin epoch (0 = unepoched)
+  core::EpochVector epochs;    // kHello (optional tail), kDigest: high-water
+                               // vector; kInvSync: requester floors
+  bool has_digest = false;     // kDigest: directory digest present
+  std::uint64_t digest = 0;    // kDigest: xor digest of directory versions
+  std::vector<core::InvalidationRecord> inv_entries;  // kInvSyncResp
+  bool truncated = false;      // kInvSyncResp: log evicted needed records
+
   static Message hello(core::NodeId sender);
   static Message insert(core::NodeId sender, const core::EntryMeta& meta);
   static Message erase(core::NodeId sender, std::string key,
@@ -59,8 +72,22 @@ struct Message {
                                   const core::EntryMeta& meta,
                                   std::string data);
   static Message fetch_resp_miss(core::NodeId sender);
-  static Message invalidate(core::NodeId sender, std::string pattern);
+  /// `epoch` 0 keeps the legacy frame byte-identical (unepoched).
+  static Message invalidate(core::NodeId sender, std::string pattern,
+                            std::uint64_t epoch = 0);
   static Message sync_req(core::NodeId sender);
+  /// HELLO carrying the sender's high-water epoch vector (empty vector
+  /// encodes as a legacy plain HELLO).
+  static Message hello_with_epochs(core::NodeId sender,
+                                   core::EpochVector epochs);
+  /// Anti-entropy round: high-water epochs + optional directory digest.
+  static Message make_digest(core::NodeId sender, core::EpochVector epochs,
+                             bool has_digest, std::uint64_t digest);
+  /// Pull request: "send every logged invalidation above these floors".
+  static Message inv_sync(core::NodeId sender, core::EpochVector floors);
+  static Message inv_sync_resp(core::NodeId sender,
+                               std::vector<core::InvalidationRecord> entries,
+                               bool truncated);
   /// Partitioned mode: tell the ring owner that `meta.owner` now caches it.
   static Message owner_insert(core::NodeId sender, const core::EntryMeta& meta);
   /// Partitioned mode: tell the ring owner that `cache_node` dropped `key`.

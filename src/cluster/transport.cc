@@ -17,6 +17,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "truncate";
     case FaultKind::kBlackhole:
       return "blackhole";
+    case FaultKind::kDuplicate:
+      return "duplicate";
   }
   return "?";
 }
@@ -75,6 +77,18 @@ Status Transport::send(net::TcpStream& stream, core::NodeId peer,
       const std::size_t torn = frame.size() > 1 ? frame.size() / 2 : 1;
       (void)stream.write_all(std::string_view(frame).substr(0, torn));
       return Status(StatusCode::kIoError, "fault injection: truncated frame");
+    }
+    case FaultKind::kDuplicate: {
+      // Replay/retransmit: write the frame once here, then fall through to
+      // the normal write for the second copy. Duplicating a request or
+      // response frame would desync the request/response framing on pooled
+      // data connections, so only one-way info-channel traffic doubles.
+      if (msg.type != MsgType::kFetchReq && msg.type != MsgType::kFetchResp &&
+          msg.type != MsgType::kQuery && msg.type != MsgType::kQueryHit &&
+          msg.type != MsgType::kInvSync && msg.type != MsgType::kInvSyncResp) {
+        if (auto st = write_message(stream, msg); !st.is_ok()) return st;
+      }
+      break;
     }
   }
   return write_message(stream, msg);

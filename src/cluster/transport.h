@@ -26,6 +26,8 @@ enum class FaultKind {
   kTruncate,   ///< write a partial frame, then fail the send (torn write)
   kBlackhole,  ///< discard like kDrop; the simulator models it as a hang
                ///< until the caller's deadline instead of a silent loss
+  kDuplicate,  ///< deliver the frame twice (retransmit/replay); receivers
+               ///< must treat the copy as a no-op (version/epoch guards)
 };
 
 const char* fault_kind_name(FaultKind kind);

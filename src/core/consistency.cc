@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/manager.h"
+
 namespace swala::core {
 
 std::string ConsistencyReport::to_string() const {
@@ -49,6 +51,95 @@ ConsistencyReport check_store_directory_consistency(
   std::sort(report.missing_in_directory.begin(),
             report.missing_in_directory.end());
   std::sort(report.stale_in_directory.begin(), report.stale_in_directory.end());
+  return report;
+}
+
+std::string ClusterConsistencyReport::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < per_node.size(); ++i) {
+    out += "node " + std::to_string(i) + ": " + per_node[i].to_string() + "\n";
+  }
+  const auto append_keys = [&out](const std::vector<std::string>& keys) {
+    out += "[";
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i != 0) out += ", ";
+      if (i == 8) {
+        out += "… +" + std::to_string(keys.size() - i) + " more";
+        break;
+      }
+      out += keys[i];
+    }
+    out += "]";
+  };
+  for (const auto& d : drift) {
+    out += "drift: node " + std::to_string(d.viewer) + " view of node " +
+           std::to_string(d.subject);
+    if (!d.missing.empty()) {
+      out += " missing=";
+      append_keys(d.missing);
+    }
+    if (!d.stale.empty()) {
+      out += " stale=";
+      append_keys(d.stale);
+    }
+    out += "\n";
+  }
+  if (drift.empty()) out += "no cross-node drift\n";
+  return out;
+}
+
+ClusterConsistencyReport check_cluster_consistency(
+    const std::vector<const CacheManager*>& managers) {
+  ClusterConsistencyReport report;
+  report.per_node.resize(managers.size());
+  for (std::size_t i = 0; i < managers.size(); ++i) {
+    if (managers[i] == nullptr) continue;
+    report.per_node[i] = managers[i]->debug_check_consistency();
+  }
+  for (std::size_t i = 0; i < managers.size(); ++i) {
+    const CacheManager* viewer = managers[i];
+    if (viewer == nullptr) continue;
+    if (viewer->directory_mode() == DirectoryMode::kQuery) continue;
+    for (std::size_t j = 0; j < managers.size(); ++j) {
+      const CacheManager* subject = managers[j];
+      if (i == j || subject == nullptr) continue;
+      const NodeId subject_id = static_cast<NodeId>(j);
+      // A quarantined table is deliberately stale: the viewer wrote the
+      // peer off and the rejoin resync will rebuild it.
+      if (viewer->directory().quarantined(subject_id)) continue;
+      // Ground truth: what the subject actually caches right now,
+      // restricted to the keys this viewer is responsible for tracking.
+      std::unordered_set<std::string> truth;
+      for (const auto& key : subject->store().keys()) {
+        if (viewer->directory_mode() == DirectoryMode::kPartitioned &&
+            subject->ring_owner_of(key) != static_cast<NodeId>(i)) {
+          continue;
+        }
+        truth.insert(key);
+      }
+      std::unordered_set<std::string> view;
+      for (const auto& key : viewer->directory().keys_at(subject_id)) {
+        if (viewer->directory_mode() == DirectoryMode::kPartitioned &&
+            viewer->ring_owner_of(key) != static_cast<NodeId>(i)) {
+          continue;  // mis-routed record; not this viewer's responsibility
+        }
+        view.insert(key);
+      }
+      NodeDrift d;
+      d.viewer = static_cast<NodeId>(i);
+      d.subject = subject_id;
+      for (const auto& key : truth) {
+        if (view.count(key) == 0) d.missing.push_back(key);
+      }
+      for (const auto& key : view) {
+        if (truth.count(key) == 0) d.stale.push_back(key);
+      }
+      if (d.missing.empty() && d.stale.empty()) continue;
+      std::sort(d.missing.begin(), d.missing.end());
+      std::sort(d.stale.begin(), d.stale.end());
+      report.drift.push_back(std::move(d));
+    }
+  }
   return report;
 }
 

@@ -44,4 +44,52 @@ struct ConsistencyReport {
 ConsistencyReport check_store_directory_consistency(
     const CacheStore& store, const CacheDirectory& directory);
 
+// ---- cluster-wide oracle (anti-entropy / chaos harness) ----
+
+class CacheManager;  // manager.h includes this header; implemented in .cc
+
+/// Cross-node drift: what `viewer`'s directory table for `subject` gets
+/// wrong relative to the ground truth (what `subject` actually caches,
+/// restricted to the keys `viewer` is responsible for tracking).
+struct NodeDrift {
+  NodeId viewer = kInvalidNode;
+  NodeId subject = kInvalidNode;
+  /// Keys `subject` caches (and `viewer` should track) that `viewer`'s
+  /// table lacks — lost kInsert/kOwnerUpdate frames (false misses).
+  std::vector<std::string> missing;
+  /// Keys `viewer`'s table advertises for `subject` that `subject` no
+  /// longer caches — lost kErase/kInvalidate frames (false hits, and the
+  /// stale-serve hazard the anti-entropy layer exists to repair).
+  std::vector<std::string> stale;
+};
+
+/// Global oracle verdict over a whole cluster snapshot.
+struct ClusterConsistencyReport {
+  /// Per-node store↔self-table checks (the local commit invariant).
+  std::vector<ConsistencyReport> per_node;
+  /// Cross-node directory drift (weak consistency means transient drift is
+  /// legal mid-traffic; after quiesce + one anti-entropy round it is not).
+  std::vector<NodeDrift> drift;
+
+  bool consistent() const {
+    for (const auto& r : per_node) {
+      if (!r.consistent()) return false;
+    }
+    return drift.empty();
+  }
+
+  std::string to_string() const;
+};
+
+/// Runs the global oracle over every manager in the cluster (index i must
+/// be node i; null entries are skipped — a crashed node has no view to
+/// check). Mode-aware: replicated compares every viewer's table[j] against
+/// node j's store; partitioned compares viewer i's table[j] against the
+/// subset of node j's store that i owns on the ring; query mode keeps no
+/// remote tables, so only the per-node checks run. Quarantined tables are
+/// skipped (a dead peer's table is deliberately stale pending resync).
+/// Exactness requires the caller to quiesce traffic first.
+ClusterConsistencyReport check_cluster_consistency(
+    const std::vector<const CacheManager*>& managers);
+
 }  // namespace swala::core

@@ -292,6 +292,20 @@ std::vector<std::string> CacheDirectory::keys_at(NodeId node) const {
   return out;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+CacheDirectory::key_versions_at(NodeId node) const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  if (node >= tables_.size()) return out;
+  const Table& table = *tables_[node];
+  std::shared_lock lock(mode_ == LockingMode::kWholeDirectory ? whole_mutex_
+                                                              : table.mutex);
+  out.reserve(table.entries.size());
+  for (const auto& [key, slot] : table.entries) {
+    out.emplace_back(key, slot->meta.version);
+  }
+  return out;
+}
+
 std::size_t CacheDirectory::table_size(NodeId node) const {
   if (node >= tables_.size()) return 0;
   const Table& table = *tables_[node];

@@ -25,6 +25,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -123,6 +124,11 @@ class CacheDirectory {
   /// All keys in one node's table, including expired-but-unpurged entries
   /// (membership view, for consistency cross-checks against the store).
   std::vector<std::string> keys_at(NodeId node) const;
+
+  /// (key, version) pairs in one node's table, including expired-but-
+  /// unpurged entries (anti-entropy digest input; version drift matters).
+  std::vector<std::pair<std::string, std::uint64_t>> key_versions_at(
+      NodeId node) const;
 
   NodeId self() const { return self_; }
   std::size_t num_nodes() const { return tables_.size(); }

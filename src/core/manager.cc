@@ -15,7 +15,8 @@ CacheManager::CacheManager(NodeId self, std::size_t num_nodes,
       options_(std::move(options)),
       clock_(clock),
       bus_(bus),
-      ring_(options_.ring_seed, options_.ring_vnodes) {
+      ring_(options_.ring_seed, options_.ring_vnodes),
+      inv_log_(options_.inv_log_entries) {
   if (options_.directory_mode == DirectoryMode::kPartitioned) {
     // Static membership: the ring covers every configured node. A dead
     // owner quarantines its key range (local-execution fallback) rather
@@ -542,11 +543,17 @@ void CacheManager::maybe_checkpoint() {
 }
 
 std::size_t CacheManager::invalidate(const std::string& pattern) {
-  return apply_invalidation(pattern, /*rebroadcast=*/true);
+  return apply_invalidation(pattern, /*rebroadcast=*/true, self_, 0);
 }
 
 std::size_t CacheManager::on_peer_invalidate(const std::string& pattern) {
-  return apply_invalidation(pattern, /*rebroadcast=*/false);
+  return apply_invalidation(pattern, /*rebroadcast=*/false, kInvalidNode, 0);
+}
+
+std::size_t CacheManager::on_peer_invalidate(const std::string& pattern,
+                                             NodeId origin,
+                                             std::uint64_t epoch) {
+  return apply_invalidation(pattern, /*rebroadcast=*/false, origin, epoch);
 }
 
 void CacheManager::on_peer_dead(NodeId peer) {
@@ -566,14 +573,150 @@ void CacheManager::on_peer_recovered(NodeId peer) {
 }
 
 std::size_t CacheManager::apply_invalidation(const std::string& pattern,
-                                             bool rebroadcast) {
+                                             bool rebroadcast, NodeId origin,
+                                             std::uint64_t epoch) {
   std::lock_guard<std::mutex> commit(commit_mutex_);
+  std::uint64_t stamped_epoch = epoch;
+  if (rebroadcast) {
+    // Locally originated: stamp the next epoch inside the commit section so
+    // the epoch order matches the store-mutation order.
+    stamped_epoch = inv_log_.originate(self_, pattern).epoch;
+  } else if (epoch != 0) {
+    InvalidationRecord rec;
+    rec.origin = origin;
+    rec.epoch = epoch;
+    rec.pattern = pattern;
+    if (!inv_log_.admit(rec)) return 0;  // replayed frame: exact no-op
+  }
   const auto dropped = store_->erase_matching(pattern);
   directory_->erase_matching(pattern);
-  if (rebroadcast && bus_ != nullptr) bus_->broadcast_invalidate(pattern);
+  if (rebroadcast && bus_ != nullptr) {
+    bus_->broadcast_invalidate(pattern, stamped_epoch);
+  }
   invalidations_.fetch_add(dropped.size(), std::memory_order_relaxed);
   ++commit_seq_;
   return dropped.size();
+}
+
+EpochVector CacheManager::inv_high_vector() const {
+  return inv_log_.high_vector();
+}
+
+EpochVector CacheManager::inv_floor_vector() const {
+  return inv_log_.floor_vector();
+}
+
+bool CacheManager::inv_behind(const EpochVector& peer_high) const {
+  return inv_log_.behind(peer_high);
+}
+
+std::vector<InvalidationRecord> CacheManager::inv_entries_after(
+    const EpochVector& floors, bool* truncated) const {
+  return inv_log_.entries_after(floors, truncated);
+}
+
+std::size_t CacheManager::apply_inv_sync(
+    const std::vector<InvalidationRecord>& entries, bool truncated) {
+  std::size_t applied = 0;
+  {
+    std::lock_guard<std::mutex> commit(commit_mutex_);
+    for (const auto& rec : entries) {
+      if (rec.epoch == 0 || !inv_log_.admit(rec)) continue;  // replay: no-op
+      const auto dropped = store_->erase_matching(rec.pattern);
+      directory_->erase_matching(rec.pattern);
+      // Announce the erases: survivors' peer tables were re-polluted by the
+      // additions-only resync and must drop the stale records too.
+      for (const auto& meta : dropped) {
+        announce_erase(meta.key, meta.version);
+      }
+      ++applied;
+      inv_epoch_gaps_repaired_.fetch_add(1, std::memory_order_relaxed);
+      invalidations_.fetch_add(dropped.size(), std::memory_order_relaxed);
+      stale_serves_prevented_.fetch_add(dropped.size(),
+                                        std::memory_order_relaxed);
+    }
+    if (truncated) {
+      // The peer's log evicted records we needed. Conservatively drop
+      // everything cached before the gap rather than stay stale forever.
+      const auto dropped = store_->erase_matching("*");
+      directory_->erase_matching("*");
+      for (const auto& meta : dropped) {
+        announce_erase(meta.key, meta.version);
+      }
+      inv_overflow_purges_.fetch_add(1, std::memory_order_relaxed);
+      invalidations_.fetch_add(dropped.size(), std::memory_order_relaxed);
+      stale_serves_prevented_.fetch_add(dropped.size(),
+                                        std::memory_order_relaxed);
+    }
+    if (applied > 0 || truncated) ++commit_seq_;
+  }
+  if (applied > 0) {
+    SWALA_LOG(Info) << "node " << self_ << ": repaired " << applied
+                    << " missed invalidation(s) via anti-entropy pull";
+  }
+  return applied;
+}
+
+namespace {
+
+// Order-independent xor of mixed (key, version) terms: mix64 decorrelates
+// the terms so a single-bit version bump flips ~half the digest bits.
+std::uint64_t digest_of(
+    const std::vector<std::pair<std::string, std::uint64_t>>& pairs) {
+  std::uint64_t d = 0;
+  for (const auto& [key, version] : pairs) {
+    d ^= mix64(fnv1a64(key) ^ version * 0x9E3779B97F4A7C15ULL);
+  }
+  return d;
+}
+
+}  // namespace
+
+std::uint64_t CacheManager::digest_for_peer(NodeId peer,
+                                            std::size_t* entries) const {
+  std::vector<std::pair<std::string, std::uint64_t>> pairs;
+  switch (options_.directory_mode) {
+    case DirectoryMode::kReplicated:
+      // The peer mirrors our whole self table.
+      pairs = directory_->key_versions_at(self_);
+      break;
+    case DirectoryMode::kPartitioned: {
+      // The peer holds directory records for the subset of our store it
+      // owns on the ring.
+      for (auto& [key, version] : directory_->key_versions_at(self_)) {
+        if (ring_owner_of(key) == peer) pairs.emplace_back(std::move(key),
+                                                           version);
+      }
+      break;
+    }
+    case DirectoryMode::kQuery:
+      break;  // query mode keeps no peer state to compare
+  }
+  if (entries != nullptr) *entries = pairs.size();
+  return digest_of(pairs);
+}
+
+std::uint64_t CacheManager::digest_of_peer_table(NodeId peer,
+                                                 std::size_t* entries) const {
+  std::vector<std::pair<std::string, std::uint64_t>> pairs;
+  switch (options_.directory_mode) {
+    case DirectoryMode::kReplicated:
+      pairs = directory_->key_versions_at(peer);
+      break;
+    case DirectoryMode::kPartitioned: {
+      // Only the keys we own on the ring: a mis-routed kOwnerUpdate parked
+      // in our table must not cause a persistent mismatch storm.
+      for (auto& [key, version] : directory_->key_versions_at(peer)) {
+        if (ring_owner_of(key) == self_) pairs.emplace_back(std::move(key),
+                                                            version);
+      }
+      break;
+    }
+    case DirectoryMode::kQuery:
+      break;
+  }
+  if (entries != nullptr) *entries = pairs.size();
+  return digest_of(pairs);
 }
 
 Status CacheManager::save_state(const std::string& manifest_path) {
@@ -658,6 +801,11 @@ ManagerStats CacheManager::stats() const {
   s.store_degraded = degraded_.load(std::memory_order_relaxed) ? 1 : 0;
   s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   s.checkpoint_failures = checkpoint_failures_.load(std::memory_order_relaxed);
+  s.inv_epoch_gaps_repaired =
+      inv_epoch_gaps_repaired_.load(std::memory_order_relaxed);
+  s.stale_serves_prevented =
+      stale_serves_prevented_.load(std::memory_order_relaxed);
+  s.inv_overflow_purges = inv_overflow_purges_.load(std::memory_order_relaxed);
   return s;
 }
 

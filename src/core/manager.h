@@ -34,6 +34,7 @@
 #include "common/hash.h"
 #include "core/consistency.h"
 #include "core/directory.h"
+#include "core/inv_log.h"
 #include "core/rules.h"
 #include "core/store.h"
 
@@ -73,6 +74,16 @@ class CooperationBus {
   /// care unless they exercise invalidation.
   virtual void broadcast_invalidate(const std::string& pattern) {
     (void)pattern;
+  }
+
+  /// Epoch-stamped variant (anti-entropy repair layer): the frame carries
+  /// the origin's monotonic epoch so peers can detect and repair a lost
+  /// invalidation. Default forwards to the unepoched overload so legacy
+  /// buses keep working.
+  virtual void broadcast_invalidate(const std::string& pattern,
+                                    std::uint64_t epoch) {
+    (void)epoch;
+    broadcast_invalidate(pattern);
   }
 
   // ---- partitioned mode (DirectoryMode::kPartitioned) ----
@@ -201,6 +212,18 @@ struct ManagerStats {
   /// Checkpoint attempts that failed (manifest write error).
   std::uint64_t checkpoint_failures = 0;
 
+  // ---- anti-entropy consistency repair ----
+  /// Missed invalidations pulled from a peer via kInvSync and applied
+  /// (each one is an invalidation this node would otherwise never see).
+  std::uint64_t inv_epoch_gaps_repaired = 0;
+  /// Stale store entries dropped by repaired invalidations — each was a
+  /// pre-invalidation version this node would have kept serving until TTL.
+  std::uint64_t stale_serves_prevented = 0;
+  /// Conservative full purges taken because the peer's replay log had
+  /// already evicted records this node needed (inv_log_entries too small
+  /// for the gap).
+  std::uint64_t inv_overflow_purges = 0;
+
   std::uint64_t hits() const { return local_hits + remote_hits; }
 };
 
@@ -241,6 +264,10 @@ struct ManagerOptions {
   /// resizing the ring (resizing would silently orphan directory entries).
   std::uint64_t ring_seed = HashRing::kDefaultSeed;
   std::size_t ring_vnodes = HashRing::kDefaultVnodes;
+  /// Bound on the epoch-stamped invalidation replay log (anti-entropy
+  /// repair). A peer whose gap outruns the log falls back to a conservative
+  /// full purge instead of staying stale.
+  std::size_t inv_log_entries = 4096;
 };
 
 class CacheManager {
@@ -316,6 +343,52 @@ class CacheManager {
 
   /// Applies a peer's invalidation broadcast (no re-broadcast).
   std::size_t on_peer_invalidate(const std::string& pattern);
+
+  /// Epoch-stamped variant: the (origin, epoch) pair feeds the replay log's
+  /// exact duplicate filter, so a replayed frame is a no-op. Epoch 0 =
+  /// legacy/unepoched (always applied, never logged).
+  std::size_t on_peer_invalidate(const std::string& pattern, NodeId origin,
+                                 std::uint64_t epoch);
+
+  // ---- Anti-entropy repair (epoch log + digest exchange) ----
+
+  /// Highest invalidation epoch applied per origin (piggybacked on HELLO
+  /// and the periodic kDigest round).
+  EpochVector inv_high_vector() const;
+
+  /// Contiguous floor per origin (what our kInvSync pull asks "after").
+  EpochVector inv_floor_vector() const;
+
+  /// True when a peer's advertised high-water vector proves we may have
+  /// missed an invalidation (gap detected → pull via kInvSync).
+  bool inv_behind(const EpochVector& peer_high) const;
+
+  /// Serves a peer's kInvSync pull: every logged record above the
+  /// requester's floors. Sets `*truncated` when the log already evicted
+  /// records the requester needs.
+  std::vector<InvalidationRecord> inv_entries_after(const EpochVector& floors,
+                                                    bool* truncated) const;
+
+  /// Applies a kInvSyncResp: admits each record through the duplicate
+  /// filter and applies the new ones (counting inv_epoch_gaps_repaired and
+  /// stale_serves_prevented). A truncated response falls back to a
+  /// conservative full purge ("*"), counted as an inv_overflow_purge.
+  /// Returns how many records were newly applied.
+  std::size_t apply_inv_sync(const std::vector<InvalidationRecord>& entries,
+                             bool truncated);
+
+  /// Order-independent xor digest of (key, version) pairs this node expects
+  /// `peer` to hold in its directory for us: replicated mode digests our
+  /// whole self table; partitioned mode digests the subset of our store
+  /// owned by `peer` on the ring; query mode keeps no peer state (0/empty).
+  /// `*entries` gets the number of pairs digested.
+  std::uint64_t digest_for_peer(NodeId peer, std::size_t* entries) const;
+
+  /// The receiving side of the comparison: digest of what we actually hold
+  /// in our table for `peer` (replicated: table[peer]; partitioned:
+  /// table[peer] filtered to keys whose ring owner is us, so mis-routed
+  /// frames cannot cause a persistent mismatch).
+  std::uint64_t digest_of_peer_table(NodeId peer, std::size_t* entries) const;
 
   // ---- Peer failure handling (cluster circuit breaker) ----
 
@@ -450,7 +523,11 @@ class CacheManager {
   /// Shared body of invalidate / on_peer_invalidate: one commit section
   /// dropping matching keys from the store and every directory table, plus
   /// (optionally) the re-broadcast. Returns local store removals.
-  std::size_t apply_invalidation(const std::string& pattern, bool rebroadcast);
+  /// Rebroadcast (a locally originated invalidate) stamps the next epoch
+  /// for this node; the peer path admits (origin, epoch) through the replay
+  /// log's duplicate filter first and no-ops on a replay.
+  std::size_t apply_invalidation(const std::string& pattern, bool rebroadcast,
+                                 NodeId origin, std::uint64_t epoch);
 
   /// Degradation bookkeeping around one store insert outcome. Returns true
   /// when the insert should not even be attempted (degraded, not a probe).
@@ -471,6 +548,10 @@ class CacheManager {
   std::unique_ptr<CacheDirectory> directory_;
   /// Key → directory-owner placement (partitioned mode; empty otherwise).
   HashRing ring_;
+  /// Epoch-stamped invalidation replay log (anti-entropy repair). Its own
+  /// mutex; epoch assignment/admission happens inside the commit section so
+  /// the epoch order matches the store-mutation order.
+  InvalidationLog inv_log_;
 
   /// Guards every local-store membership change together with its directory
   /// update and broadcast enqueue (see file header). Mutable so read-side
@@ -484,7 +565,8 @@ class CacheManager {
       evictions_broadcast_{0}, invalidations_{0}, fallback_executions_{0},
       coalesced_misses_{0}, coalesce_timeouts_{0}, failed_fast_{0},
       remote_dir_lookups_{0}, remote_dir_hits_{0}, peer_queries_{0},
-      peer_query_hits_{0};
+      peer_query_hits_{0}, inv_epoch_gaps_repaired_{0},
+      stale_serves_prevented_{0}, inv_overflow_purges_{0};
 
   // ---- single-flight state ----
   /// Guards inflight_ and negative_. Never held while waiting: waiters

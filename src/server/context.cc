@@ -271,6 +271,11 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("cluster_queries_sent", g.queries_sent);
     body += json_u64("cluster_query_hits", g.query_hits);
     body += json_u64("cluster_queries_served", g.queries_served);
+    body += json_u64("cluster_anti_entropy_rounds", g.anti_entropy_rounds);
+    body += json_u64("cluster_digests_sent", g.digests_sent);
+    body += json_u64("cluster_digest_repairs", g.digest_repairs);
+    body += json_u64("cluster_inv_syncs_pulled", g.inv_syncs_pulled);
+    body += json_u64("cluster_inv_syncs_served", g.inv_syncs_served);
     body += "  \"cluster_peers\": [";
     const auto peers = ctx.group->peer_health();
     for (std::size_t i = 0; i < peers.size(); ++i) {
@@ -303,6 +308,9 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("cache_coalesced_misses", c.coalesced_misses);
     body += json_u64("cache_coalesce_timeouts", c.coalesce_timeouts);
     body += json_u64("cache_failed_fast", c.failed_fast);
+    body += json_u64("inv_epoch_gaps_repaired", c.inv_epoch_gaps_repaired);
+    body += json_u64("stale_serves_prevented", c.stale_serves_prevented);
+    body += json_u64("inv_overflow_purges", c.inv_overflow_purges);
     body += "  \"directory_mode\": \"";
     body += core::directory_mode_name(ctx.cache->directory_mode());
     body += "\",\n";
@@ -361,7 +369,59 @@ http::Response serve_invalidate(const http::Request& request,
 /// /swala-admin/check-consistency: store↔directory mirror cross-check.
 /// 200 when consistent, 500 with the divergent key counts otherwise, so a
 /// probe (or a human with curl) can alarm on invariant violations live.
-http::Response serve_check_consistency(const ServeContext& ctx) {
+/// With ?cluster=1 (and a wired cluster_check) it runs the global oracle
+/// instead: every node's local invariant plus cross-node directory drift,
+/// with per-pair missing/stale counts in the body.
+http::Response serve_cluster_consistency(const ServeContext& ctx) {
+  if (!ctx.cluster_check) {
+    return http::Response::error(404, "no cluster oracle wired");
+  }
+  const core::ClusterConsistencyReport report = ctx.cluster_check();
+  std::string body = "{\n";
+  body += std::string("  \"consistent\": ") +
+          (report.consistent() ? "true" : "false") + ",\n";
+  body += "  \"nodes\": [";
+  for (std::size_t i = 0; i < report.per_node.size(); ++i) {
+    const auto& n = report.per_node[i];
+    if (i != 0) body += ",";
+    body += "\n    {\"node\": " + std::to_string(i);
+    body += std::string(", \"consistent\": ") +
+            (n.consistent() ? "true" : "false");
+    body += ", \"store_entries\": " + std::to_string(n.store_entries);
+    body += ", \"directory_entries\": " + std::to_string(n.directory_entries);
+    body += ", \"missing_in_directory\": " +
+            std::to_string(n.missing_in_directory.size());
+    body += ", \"stale_in_directory\": " +
+            std::to_string(n.stale_in_directory.size());
+    body += "}";
+  }
+  body += report.per_node.empty() ? "],\n" : "\n  ],\n";
+  // Cross-node drift: every (viewer, subject) pair whose directory view of
+  // the subject diverges from the subject's actual store. `stale` is the
+  // stale-serve hazard the anti-entropy layer repairs.
+  body += "  \"drift\": [";
+  for (std::size_t i = 0; i < report.drift.size(); ++i) {
+    const auto& d = report.drift[i];
+    if (i != 0) body += ",";
+    body += "\n    {\"viewer\": " + std::to_string(d.viewer);
+    body += ", \"subject\": " + std::to_string(d.subject);
+    body += ", \"missing\": " + std::to_string(d.missing.size());
+    body += ", \"stale\": " + std::to_string(d.stale.size());
+    body += "}";
+  }
+  body += report.drift.empty() ? "]\n" : "\n  ]\n";
+  body += "}\n";
+  return http::Response::make(report.consistent() ? 200 : 500,
+                              std::move(body), "application/json");
+}
+
+http::Response serve_check_consistency(const http::Request& request,
+                                       const ServeContext& ctx) {
+  for (const auto& [key, value] : request.uri.query_params()) {
+    if (key == "cluster" && value == "1") {
+      return serve_cluster_consistency(ctx);
+    }
+  }
   if (ctx.cache == nullptr) {
     return http::Response::error(404, "caching disabled");
   }
@@ -457,7 +517,7 @@ http::Response handle_request(const http::Request& request,
       return serve_invalidate(request, ctx);
     }
     if (request.uri.path == "/swala-admin/check-consistency") {
-      return serve_check_consistency(ctx);
+      return serve_check_consistency(request, ctx);
     }
   }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -88,13 +89,19 @@ struct ServeContext {
   /// When clustered, the node's group; /swala-status then reports per-peer
   /// health (circuit-breaker state, failures, probes) and cluster counters.
   cluster::NodeGroup* group = nullptr;
+  /// Cluster-wide consistency oracle (see core/consistency.h). When set,
+  /// GET /swala-admin/check-consistency?cluster=1 runs it and reports
+  /// per-node drift; unset, ?cluster=1 is a 404 and only the local
+  /// store↔directory check is available.
+  std::function<core::ClusterConsistencyReport()> cluster_check;
   const Clock* clock = nullptr;                ///< for CGI timing
   bool allow_keep_alive = true;
   /// Enables the built-in endpoints: GET /swala-status (JSON statistics),
   /// POST/GET /swala-admin/invalidate?pattern=<glob> (cluster-wide
   /// application-driven invalidation), and GET
   /// /swala-admin/check-consistency (store↔directory mirror cross-check;
-  /// 200 consistent / 500 divergent).
+  /// 200 consistent / 500 divergent; ?cluster=1 runs the cluster-wide
+  /// oracle when cluster_check is wired).
   bool enable_admin = false;
   int recv_timeout_ms = 15000;
   std::size_t max_keep_alive_requests = 1000;

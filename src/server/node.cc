@@ -119,6 +119,10 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
           static_cast<int>(config.get_int("cluster", "batch_linger_ms", 2));
       go.query_timeout_ms = static_cast<int>(
           config.get_int("cluster", "query_timeout_ms", 300));
+      // Anti-entropy digest cadence; 0 disables the repair layer (gaps then
+      // heal only via greeting-HELLO epoch exchange on reconnects).
+      go.anti_entropy_interval_ms = static_cast<int>(
+          config.get_int("cluster", "anti_entropy_interval_ms", 1000));
       node->group_ =
           std::make_unique<cluster::NodeGroup>(node_id, members, go);
     }
@@ -137,6 +141,10 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
     // storm. (ManagerOptions itself defaults it off so directly-built test
     // managers keep legacy semantics.)
     mo.negative_ttl_seconds = config.get_double("cache", "negative_ttl", 1.0);
+    // Bounded invalidation replay log (per-origin); peers that fall further
+    // behind than this resync with a conservative full purge.
+    mo.inv_log_entries = static_cast<std::size_t>(
+        config.get_int("cluster", "inv_log_entries", 4096));
 
     node->manager_ = std::make_unique<core::CacheManager>(
         node_id, group_size, std::move(mo), RealClock::instance(),

@@ -122,6 +122,14 @@ class SwalaServer {
   /// Call before start() (the request threads read ctx_ unsynchronized).
   void set_group(cluster::NodeGroup* group) { ctx_.group = group; }
 
+  /// Wires the cluster-wide consistency oracle behind
+  /// /swala-admin/check-consistency?cluster=1. The callable must be safe to
+  /// run from a request thread. Call before start().
+  void set_cluster_check(
+      std::function<core::ClusterConsistencyReport()> check) {
+    ctx_.cluster_check = std::move(check);
+  }
+
   /// Response-time distribution (request handling, excluding socket I/O).
   LatencyHistogram latency() const { return latency_.snapshot(); }
 

@@ -77,17 +77,24 @@ class SimBus final : public core::CooperationBus {
   }
 
   void broadcast_invalidate(const std::string& pattern) override {
-    count_update_legs(cluster::Message::invalidate(self_, pattern),
+    broadcast_invalidate(pattern, 0);
+  }
+
+  void broadcast_invalidate(const std::string& pattern,
+                            std::uint64_t epoch) override {
+    count_update_legs(cluster::Message::invalidate(self_, pattern, epoch),
                       managers_->size() - 1);
+    const core::NodeId origin = self_;
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
       if (peer == self_) continue;
       double delay = costs_->directory_update_delay;
-      if (!broadcast_survives(peer, cluster::MsgType::kInvalidate, &delay)) {
-        continue;
+      const int deliveries =
+          broadcast_deliveries(peer, cluster::MsgType::kInvalidate, &delay);
+      for (int copy = 0; copy < deliveries; ++copy) {
+        engine_->schedule_in(delay, [this, peer, pattern, origin, epoch] {
+          (*managers_)[peer]->on_peer_invalidate(pattern, origin, epoch);
+        });
       }
-      engine_->schedule_in(delay, [this, peer, pattern] {
-        (*managers_)[peer]->on_peer_invalidate(pattern);
-      });
     }
   }
 
@@ -174,6 +181,7 @@ class SimBus final : public core::CooperationBus {
       switch (fault.kind) {
         case cluster::FaultKind::kNone:
         case cluster::FaultKind::kDelay:  // latency is the node model's job
+        case cluster::FaultKind::kDuplicate:  // request/response: no-op
           break;
         case cluster::FaultKind::kDrop:
         case cluster::FaultKind::kTruncate:
@@ -212,6 +220,7 @@ class SimBus final : public core::CooperationBus {
       const auto fault = faults_->decide(peer, cluster::MsgType::kQuery);
       switch (fault.kind) {
         case cluster::FaultKind::kNone:
+        case cluster::FaultKind::kDuplicate:  // request/response: no-op
           break;
         case cluster::FaultKind::kDelay:
           pending_latency_ += fault.delay_ms / 1000.0;
@@ -233,26 +242,34 @@ class SimBus final : public core::CooperationBus {
     return {true, std::move(answer)};
   }
 
-  /// Consults the injector for one simulated broadcast leg. Returns false
-  /// when the update is lost (drop/truncate/blackhole); kDelay stretches
+  /// Consults the injector for one simulated broadcast leg. Returns how
+  /// many copies arrive: 0 when the update is lost (drop/truncate/
+  /// blackhole), 2 for a kDuplicate replay, 1 otherwise; kDelay stretches
   /// the propagation latency instead.
-  bool broadcast_survives(std::size_t peer, cluster::MsgType type,
-                          double* delay) {
-    if (faults_ == nullptr) return true;
+  int broadcast_deliveries(std::size_t peer, cluster::MsgType type,
+                           double* delay) {
+    if (faults_ == nullptr) return 1;
     const auto fault =
         faults_->decide(static_cast<core::NodeId>(peer), type);
     switch (fault.kind) {
       case cluster::FaultKind::kNone:
-        return true;
+        return 1;
       case cluster::FaultKind::kDelay:
         *delay += fault.delay_ms / 1000.0;
-        return true;
+        return 1;
       case cluster::FaultKind::kDrop:
       case cluster::FaultKind::kTruncate:
       case cluster::FaultKind::kBlackhole:
-        return false;
+        return 0;
+      case cluster::FaultKind::kDuplicate:
+        return 2;
     }
-    return true;
+    return 1;
+  }
+
+  bool broadcast_survives(std::size_t peer, cluster::MsgType type,
+                          double* delay) {
+    return broadcast_deliveries(peer, type, delay) > 0;
   }
 
   SimEngine* engine_;

@@ -585,5 +585,161 @@ TEST(ClusterFailureTest, BroadcastWhilePeerDownIsLossyNotFatal) {
   EXPECT_EQ(result.outcome, core::LookupOutcome::kHit);
 }
 
+// ---- anti-entropy consistency repair ----
+
+// Regression for the rejoin-staleness bug: the resync push is additions-
+// only, so before the epoch exchange a node that was partitioned across an
+// invalidation kept serving its pre-invalidation copy until TTL — and the
+// rejoin push re-polluted the survivors' tables with the dead record. The
+// HELLO-piggybacked epoch vector (no periodic digest needed: anti-entropy
+// interval stays at its disabled default here) must expose the gap and the
+// kInvSync pull must remove the entry on both sides.
+TEST(ClusterFailureTest, RejoinPullsInvalidationMissedWhilePartitioned) {
+  LocalCluster cluster(2, open_options, RealClock::instance(),
+                       [](core::NodeId) { return fast_options(); });
+
+  cache_on(cluster.manager(1), "/cgi-bin/doomed");
+  ASSERT_TRUE(eventually([&] {
+    return cluster.manager(0)
+        .directory()
+        .lookup("GET /cgi-bin/doomed")
+        .has_value();
+  }));
+
+  // Partition: node 1 off the network, store intact.
+  cluster.group(1).stop();
+  ASSERT_TRUE(eventually([&] {
+    cache_on(cluster.manager(0), "/cgi-bin/churn");  // drive the breaker
+    cluster.manager(0).invalidate("GET /cgi-bin/churn*");
+    return cluster.group(0).peer_state(1) == PeerState::kDead;
+  }));
+
+  // The invalidation node 1 will never hear.
+  cluster.manager(0).invalidate("GET /cgi-bin/doomed*");
+  EXPECT_TRUE(cluster.manager(1).store().contains("GET /cgi-bin/doomed"))
+      << "node 1 is partitioned: it must still hold the stale entry";
+
+  // Rejoin: the probe HELLO carries node 0's epoch vector; node 1 detects
+  // the gap, pulls the missed invalidation and drops the stale entry.
+  ASSERT_TRUE(cluster.group(1).start().is_ok());
+  EXPECT_TRUE(eventually([&] {
+    return !cluster.manager(1).store().contains("GET /cgi-bin/doomed");
+  })) << "rejoiner kept serving an entry invalidated while it was away";
+
+  // The resync push must not leave the dead record in node 0's table.
+  EXPECT_TRUE(eventually([&] {
+    return !cluster.manager(0)
+                .directory()
+                .lookup("GET /cgi-bin/doomed")
+                .has_value();
+  })) << "survivor's table re-polluted by the additions-only resync";
+
+  const auto stats = cluster.manager(1).stats();
+  EXPECT_GE(stats.inv_epoch_gaps_repaired, 1u);
+  EXPECT_GE(stats.stale_serves_prevented, 1u);
+  EXPECT_GE(cluster.group(1).stats().inv_syncs_pulled, 1u);
+  EXPECT_TRUE(eventually(
+      [&] { return cluster.group(0).stats().inv_syncs_served >= 1u; }));
+
+  ASSERT_TRUE(cluster.quiesce());
+  const auto report = cluster.check_cluster_consistency();
+  EXPECT_TRUE(report.consistent()) << report.to_string();
+}
+
+// Satellite: a kDuplicate fault replays every one-way frame; version and
+// epoch guards must make the second copy a no-op end to end.
+TEST(ClusterFailureTest, DuplicatedFramesAreIdempotent) {
+  FaultInjector faults(/*seed=*/9);
+  FaultRule rule;
+  rule.kind = FaultKind::kDuplicate;
+  rule.probability = 1.0;
+  faults.add_rule(rule);
+
+  LocalCluster cluster(2, open_options, RealClock::instance(),
+                       [&](core::NodeId id) {
+                         GroupOptions go = fast_options();
+                         if (id == 0) go.fault_injector = &faults;
+                         return go;
+                       });
+
+  cache_on(cluster.manager(0), "/cgi-bin/dup?x=1");
+  cache_on(cluster.manager(0), "/cgi-bin/dup?x=2");
+  ASSERT_TRUE(eventually([&] {
+    return cluster.manager(1).directory().lookup("GET /cgi-bin/dup?x=2").has_value();
+  }));
+  cluster.manager(0).invalidate("GET /cgi-bin/dup?x=1*");
+  ASSERT_TRUE(eventually([&] {
+    return !cluster.manager(1).directory().lookup("GET /cgi-bin/dup?x=1").has_value();
+  }));
+  EXPECT_GE(faults.faults_injected(), 1u) << "scenario never fired";
+
+  // The replayed kInvalidate was filtered as an exact duplicate, and the
+  // replayed kInserts bumped nothing: the cluster state is exactly what a
+  // fault-free run produces.
+  ASSERT_TRUE(cluster.quiesce());
+  const auto report = cluster.check_cluster_consistency();
+  EXPECT_TRUE(report.consistent()) << report.to_string();
+  EXPECT_TRUE(
+      cluster.manager(1).directory().lookup("GET /cgi-bin/dup?x=2").has_value());
+  auto hit =
+      cluster.manager(1).lookup(http::Method::kGet, uri_of("/cgi-bin/dup?x=2"));
+  EXPECT_EQ(hit.outcome, core::LookupOutcome::kHit);
+}
+
+// Tentpole over the real transport: 100% of kInvalidate frames to node 2
+// are dropped; the periodic kDigest round exposes the epoch gap and node 2
+// pulls the invalidation within one anti-entropy interval.
+TEST(ClusterFailureTest, AntiEntropyRepairsDroppedInvalidate) {
+  FaultInjector faults(/*seed=*/13);
+  FaultRule rule;
+  rule.peer = 2;
+  rule.type = MsgType::kInvalidate;
+  rule.kind = FaultKind::kDrop;
+  rule.probability = 1.0;
+  faults.add_rule(rule);
+
+  LocalCluster cluster(3, open_options, RealClock::instance(),
+                       [&](core::NodeId id) {
+                         GroupOptions go = fast_options();
+                         go.anti_entropy_interval_ms = 300;
+                         if (id == 0) go.fault_injector = &faults;
+                         return go;
+                       });
+
+  // Warm every info connection first: the greeting HELLO (which would
+  // piggyback the epoch vector) must predate the invalidation, so only the
+  // periodic kDigest round can expose the gap.
+  cache_on(cluster.manager(0), "/cgi-bin/warm");
+  cache_on(cluster.manager(2), "/cgi-bin/storm");  // node 2's own stale copy
+  ASSERT_TRUE(eventually([&] {
+    return cluster.manager(0).directory().lookup("GET /cgi-bin/storm").has_value() &&
+           cluster.manager(1).directory().lookup("GET /cgi-bin/storm").has_value() &&
+           cluster.manager(2).directory().lookup("GET /cgi-bin/warm").has_value();
+  }));
+
+  cluster.manager(0).invalidate("GET /cgi-bin/storm*");
+  EXPECT_TRUE(eventually([&] { return faults.faults_injected() >= 1u; }))
+      << "the drop rule never fired";
+
+  // Node 1 heard the broadcast; node 2 must recover via the digest round.
+  ASSERT_TRUE(eventually([&] {
+    return !cluster.manager(2).store().contains("GET /cgi-bin/storm");
+  })) << "anti-entropy never repaired the dropped invalidation";
+
+  EXPECT_GE(cluster.manager(2).stats().inv_epoch_gaps_repaired, 1u);
+  EXPECT_GE(cluster.manager(2).stats().stale_serves_prevented, 1u);
+  EXPECT_GE(cluster.group(2).stats().inv_syncs_pulled, 1u);
+  EXPECT_TRUE(eventually([&] {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (cluster.group(i).stats().anti_entropy_rounds > 0) return true;
+    }
+    return false;
+  }));
+
+  ASSERT_TRUE(cluster.quiesce());
+  const auto report = cluster.check_cluster_consistency();
+  EXPECT_TRUE(report.consistent()) << report.to_string();
+}
+
 }  // namespace
 }  // namespace swala::cluster

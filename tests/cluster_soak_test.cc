@@ -35,6 +35,12 @@ cgi::CgiOutput ok_output(std::size_t bytes) {
 TEST(ClusterSoakTest, MixedChurnStaysConsistent) {
   GroupOptions go;
   go.purge_interval_seconds = 0.1;
+  // Concurrent churn legitimately strands remote-table entries (an insert
+  // broadcast in flight when a matching invalidation lands is applied after
+  // it — permanent drift under plain weak consistency). The anti-entropy
+  // rounds are what reconverge it, so the global oracle below can demand
+  // exact agreement.
+  go.anti_entropy_interval_ms = 200;
   LocalCluster cluster(4, soak_options, RealClock::instance(), go);
 
   constexpr int kThreadsPerNode = 2;
@@ -78,9 +84,25 @@ TEST(ClusterSoakTest, MixedChurnStaysConsistent) {
   for (auto& thread : threads) thread.join();
 
   // Quiesce: wait for in-flight broadcasts to drain (deterministic, not a
-  // blind sleep), then stop the daemons so the invariant checks see a
-  // frozen state.
+  // blind sleep).
   EXPECT_TRUE(cluster.quiesce()) << "broadcast backlog never drained";
+
+  // Global oracle: per-node store↔directory mirrors plus cross-node drift.
+  // Transient drift from the churn is legal; the anti-entropy digest rounds
+  // (two-strike rule, so >= 2 intervals) must reconverge it — poll while
+  // the daemons still run, then freeze.
+  core::ClusterConsistencyReport cluster_report;
+  const auto repair_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (true) {
+    cluster_report = cluster.check_cluster_consistency();
+    if (cluster_report.consistent() ||
+        std::chrono::steady_clock::now() > repair_deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(cluster_report.consistent()) << cluster_report.to_string();
   cluster.stop();
 
   // Invariants per node: the local directory table mirrors the store, and

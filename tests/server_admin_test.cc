@@ -162,6 +162,72 @@ TEST(AdminClusterTest, StatusReportsPeerHealth) {
   server.stop();
 }
 
+// /swala-admin/check-consistency?cluster=1 runs the global oracle over the
+// whole LocalCluster: per-node store↔directory mirrors plus cross-node
+// directory drift, 200/500 by the combined verdict.
+TEST(AdminClusterTest, ClusterConsistencyEndpointRunsGlobalOracle) {
+  cluster::LocalCluster cluster(
+      2, [](core::NodeId) { return cache_options(); });
+
+  SwalaServerOptions options;
+  options.request_threads = 2;
+  options.enable_admin = true;
+  SwalaServer server(options, make_registry(), &cluster.manager(0));
+  server.set_group(&cluster.group(0));
+  server.set_cluster_check(
+      [&cluster] { return cluster.check_cluster_consistency(); });
+  ASSERT_TRUE(server.start().is_ok());
+
+  http::HttpClient client(server.address());
+  // Populate node 0 through the server; the insert broadcast reaches node 1.
+  ASSERT_TRUE(client.get("/cgi-bin/report?q=1").is_ok());
+  ASSERT_TRUE(cluster.quiesce());
+
+  auto resp = client.get("/swala-admin/check-consistency?cluster=1");
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp.value().status, 200);
+  const std::string& body = resp.value().body;
+  EXPECT_NE(body.find("\"consistent\": true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"nodes\": ["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"drift\": ["), std::string::npos) << body;
+
+  // Erase node 0's entry behind the managers' backs: node 0's self-mirror
+  // breaks, and node 1's table still advertises the key — the oracle must
+  // flip the endpoint to 500 and surface the cross-node stale count.
+  const_cast<core::CacheStore&>(cluster.manager(0).store())
+      .erase("GET /cgi-bin/report?q=1");
+  auto broken = client.get("/swala-admin/check-consistency?cluster=1");
+  ASSERT_TRUE(broken.is_ok());
+  EXPECT_EQ(broken.value().status, 500);
+  EXPECT_NE(broken.value().body.find("\"consistent\": false"),
+            std::string::npos)
+      << broken.value().body;
+  EXPECT_NE(broken.value().body.find("\"stale\": 1"), std::string::npos)
+      << broken.value().body;
+  server.stop();
+}
+
+TEST(AdminClusterTest, ClusterConsistencyWithoutOracleIs404) {
+  auto manager = std::make_unique<core::CacheManager>(
+      0, 1, cache_options(), RealClock::instance());
+  SwalaServerOptions options;
+  options.request_threads = 2;
+  options.enable_admin = true;
+  SwalaServer server(options, make_registry(), manager.get());
+  ASSERT_TRUE(server.start().is_ok());
+  {
+    http::HttpClient client(server.address());
+    auto resp = client.get("/swala-admin/check-consistency?cluster=1");
+    ASSERT_TRUE(resp.is_ok());
+    EXPECT_EQ(resp.value().status, 404);
+    // The single-node check still answers without the oracle.
+    auto local = client.get("/swala-admin/check-consistency");
+    ASSERT_TRUE(local.is_ok());
+    EXPECT_EQ(local.value().status, 200);
+  }
+  server.stop();
+}
+
 TEST(AdminDisabledTest, EndpointsInvisibleByDefault) {
   SwalaServerOptions options;
   options.request_threads = 2;
