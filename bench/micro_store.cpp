@@ -1,0 +1,230 @@
+// Storage-backend micro-benchmarks: the files-vs-volume comparison behind
+// BENCH_PR9.json. Two machine-readable modes, one JSON object per line:
+//
+//   micro_store --insert_throughput --store=files|volume
+//               [--entries=N] [--value_bytes=B] [--volume_bytes=V]
+//     Inserts N values of B bytes into a fresh backend and reports
+//     inserts/sec. The files backend pays open+write+fsync+rename per
+//     entry; the volume aggregates a flush group and fsyncs once.
+//
+//   micro_store --restart_scrub --store=files|volume
+//               [--entries=N] [--value_bytes=B] [--volume_bytes=V]
+//     Populates N entries, tears the backend down with the data retained,
+//     then times a cold restart: backend construction (the volume's
+//     sequential recovery walk), adoption of every entry, and the scrub.
+//
+// The CI bench-smoke job gates on the volume being faster than the files
+// backend at inserts and on the restart scrub finishing in bounded time.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/storage.h"
+#include "core/volume.h"
+
+using namespace swala;
+
+namespace {
+
+std::uint64_t flag_u64(int argc, char** argv, std::string_view name,
+                       std::uint64_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.size() > name.size() + 1 && arg.substr(0, name.size()) == name &&
+        arg[name.size()] == '=') {
+      return std::strtoull(arg.substr(name.size() + 1).data(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+std::string flag_str(int argc, char** argv, std::string_view name,
+                     std::string fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.size() > name.size() + 1 && arg.substr(0, name.size()) == name &&
+        arg[name.size()] == '=') {
+      return std::string(arg.substr(name.size() + 1));
+    }
+  }
+  return fallback;
+}
+
+struct BenchConfig {
+  std::string store;          // "files" | "volume"
+  std::string dir;
+  std::uint64_t entries;
+  std::uint64_t value_bytes;
+  std::uint64_t volume_bytes;  // volume only; sized automatically if 0
+};
+
+std::unique_ptr<core::StorageBackend> make_backend(const BenchConfig& cfg) {
+  if (cfg.store == "volume") {
+    core::VolumeOptions vo;
+    vo.volume_bytes = cfg.volume_bytes;
+    return std::make_unique<core::VolumeBackend>(cfg.dir, vo);
+  }
+  return std::make_unique<core::DiskBackend>(cfg.dir);
+}
+
+BenchConfig parse_config(int argc, char** argv) {
+  BenchConfig cfg;
+  cfg.store = flag_str(argc, argv, "--store", "files");
+  cfg.entries = flag_u64(argc, argv, "--entries", 100000);
+  cfg.value_bytes = flag_u64(argc, argv, "--value_bytes", 512);
+  cfg.volume_bytes = flag_u64(argc, argv, "--volume_bytes", 0);
+  if (cfg.volume_bytes == 0) {
+    // Room for the payloads, record headers, and compaction headroom.
+    cfg.volume_bytes =
+        cfg.entries * (cfg.value_bytes + 64) * 2 + (64u << 20);
+  }
+  if (cfg.store != "files" && cfg.store != "volume") {
+    std::fprintf(stderr, "unknown --store=%s\n", cfg.store.c_str());
+    std::exit(1);
+  }
+  char dir_template[] = "/tmp/swala-bench-store-XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  cfg.dir = dir_template;
+  return cfg;
+}
+
+std::uint64_t key_hash_for(std::uint64_t i) {
+  return fnv1a64("GET /cgi-bin/q?i=" + std::to_string(i));
+}
+
+/// Fills the backend; aborts on any put failure. Returns the ids in order.
+std::vector<core::StorageId> populate(core::StorageBackend& backend,
+                                      const BenchConfig& cfg) {
+  const std::string value(cfg.value_bytes, 'x');
+  std::vector<core::StorageId> ids;
+  ids.reserve(cfg.entries);
+  for (std::uint64_t i = 0; i < cfg.entries; ++i) {
+    auto put = backend.put(value, key_hash_for(i));
+    if (!put.is_ok()) {
+      std::fprintf(stderr, "put %llu failed: %s\n",
+                   static_cast<unsigned long long>(i),
+                   put.status().to_string().c_str());
+      std::exit(1);
+    }
+    ids.push_back(put.value());
+  }
+  return ids;
+}
+
+int run_insert_throughput(int argc, char** argv) {
+  const BenchConfig cfg = parse_config(argc, argv);
+  {
+    auto backend = make_backend(cfg);
+    if (!backend->init_status().is_ok()) {
+      std::fprintf(stderr, "init failed: %s\n",
+                   backend->init_status().to_string().c_str());
+      return 1;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    populate(*backend, cfg);
+    if (auto st = backend->sync(); !st.is_ok()) {
+      std::fprintf(stderr, "sync failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const auto counters = backend->counters();
+    std::printf(
+        "{\"bench\": \"insert_throughput\", \"store\": \"%s\", "
+        "\"entries\": %llu, \"value_bytes\": %llu, "
+        "\"elapsed_seconds\": %.3f, \"inserts_per_second\": %.0f, "
+        "\"flushes\": %llu}\n",
+        cfg.store.c_str(), static_cast<unsigned long long>(cfg.entries),
+        static_cast<unsigned long long>(cfg.value_bytes), elapsed,
+        elapsed > 0 ? static_cast<double>(cfg.entries) / elapsed : 0.0,
+        static_cast<unsigned long long>(counters.flushes));
+  }
+  std::filesystem::remove_all(cfg.dir);
+  return 0;
+}
+
+int run_restart_scrub(int argc, char** argv) {
+  const BenchConfig cfg = parse_config(argc, argv);
+  std::vector<core::StorageId> ids;
+  {
+    auto backend = make_backend(cfg);
+    if (!backend->init_status().is_ok()) {
+      std::fprintf(stderr, "init failed: %s\n",
+                   backend->init_status().to_string().c_str());
+      return 1;
+    }
+    ids = populate(*backend, cfg);
+    if (auto st = backend->sync(); !st.is_ok()) {
+      std::fprintf(stderr, "sync failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    backend->set_retain_on_destruction(true);
+  }
+
+  // Cold restart: construction runs the volume's recovery walk (the files
+  // backend defers its per-entry opens to adopt), then the manifest-driven
+  // adoption and the final scrub.
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t adopted = 0;
+  core::ScrubReport report;
+  {
+    auto backend = make_backend(cfg);
+    if (!backend->init_status().is_ok()) {
+      std::fprintf(stderr, "restart init failed: %s\n",
+                   backend->init_status().to_string().c_str());
+      return 1;
+    }
+    for (std::uint64_t i = 0; i < ids.size(); ++i) {
+      if (backend->adopt(ids[i], cfg.value_bytes, key_hash_for(i)).is_ok()) {
+        ++adopted;
+      }
+    }
+    report = backend->scrub();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf(
+      "{\"bench\": \"restart_scrub\", \"store\": \"%s\", "
+      "\"entries\": %llu, \"value_bytes\": %llu, "
+      "\"restart_seconds\": %.3f, \"adopted\": %llu, "
+      "\"quarantined\": %llu, \"orphans_removed\": %llu}\n",
+      cfg.store.c_str(), static_cast<unsigned long long>(cfg.entries),
+      static_cast<unsigned long long>(cfg.value_bytes), elapsed,
+      static_cast<unsigned long long>(adopted),
+      static_cast<unsigned long long>(report.quarantined),
+      static_cast<unsigned long long>(report.orphans_removed));
+  if (adopted != cfg.entries) {
+    std::fprintf(stderr, "lost entries: adopted %llu of %llu\n",
+                 static_cast<unsigned long long>(adopted),
+                 static_cast<unsigned long long>(cfg.entries));
+    return 1;
+  }
+  std::filesystem::remove_all(cfg.dir);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--insert_throughput") return run_insert_throughput(argc, argv);
+    if (arg == "--restart_scrub") return run_restart_scrub(argc, argv);
+  }
+  std::fprintf(stderr,
+               "usage: micro_store --insert_throughput|--restart_scrub "
+               "[--store=files|volume] [--entries=N] [--value_bytes=B] "
+               "[--volume_bytes=V]\n");
+  return 1;
+}

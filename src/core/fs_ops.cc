@@ -17,6 +17,7 @@ const char* fs_op_name(FsOp op) {
     case FsOp::kRename: return "rename";
     case FsOp::kUnlink: return "unlink";
     case FsOp::kMkdir: return "mkdir";
+    case FsOp::kTruncate: return "truncate";
   }
   return "unknown";
 }
@@ -35,6 +36,15 @@ ssize_t FsOps::write(int fd, const void* buf, std::size_t count) {
   return ::write(fd, buf, count);
 }
 
+ssize_t FsOps::pread(int fd, void* buf, std::size_t count, off_t offset) {
+  return ::pread(fd, buf, count, offset);
+}
+
+ssize_t FsOps::pwrite(int fd, const void* buf, std::size_t count,
+                      off_t offset) {
+  return ::pwrite(fd, buf, count, offset);
+}
+
 int FsOps::fsync(int fd) { return ::fsync(fd); }
 
 int FsOps::close(int fd) { return ::close(fd); }
@@ -48,6 +58,8 @@ int FsOps::unlink(const char* path) { return ::unlink(path); }
 int FsOps::mkdir(const char* path, int mode) {
   return ::mkdir(path, static_cast<mode_t>(mode));
 }
+
+int FsOps::ftruncate(int fd, off_t length) { return ::ftruncate(fd, length); }
 
 FsOps* FsOps::real() {
   static FsOps instance;
@@ -147,6 +159,38 @@ ssize_t FaultingFsOps::write(int fd, const void* buf, std::size_t count) {
   return -1;
 }
 
+ssize_t FaultingFsOps::pread(int fd, void* buf, std::size_t count,
+                             off_t offset) {
+  if (const auto fault = decide(FsOp::kRead, nullptr)) {
+    errno = fault->kind == FsFaultKind::kError ? fault->error_no : EIO;
+    return -1;
+  }
+  return FsOps::pread(fd, buf, count, offset);
+}
+
+ssize_t FaultingFsOps::pwrite(int fd, const void* buf, std::size_t count,
+                              off_t offset) {
+  const auto fault = decide(FsOp::kWrite, nullptr);
+  if (!fault) return FsOps::pwrite(fd, buf, count, offset);
+  switch (fault->kind) {
+    case FsFaultKind::kError:
+      errno = fault->error_no;
+      return -1;
+    case FsFaultKind::kShortWrite: {
+      const std::size_t half = count > 1 ? count / 2 : count;
+      return FsOps::pwrite(fd, buf, half, offset);
+    }
+    case FsFaultKind::kCrash: {
+      // The dying process got a prefix to the disk; the tail is lost.
+      if (count > 1) (void)FsOps::pwrite(fd, buf, count / 2, offset);
+      errno = EIO;
+      return -1;
+    }
+  }
+  errno = EIO;
+  return -1;
+}
+
 int FaultingFsOps::fsync(int fd) {
   if (const auto fault = decide(FsOp::kFsync, nullptr)) {
     errno = fault->kind == FsFaultKind::kError ? fault->error_no : EIO;
@@ -188,6 +232,14 @@ int FaultingFsOps::mkdir(const char* path, int mode) {
     return -1;
   }
   return FsOps::mkdir(path, mode);
+}
+
+int FaultingFsOps::ftruncate(int fd, off_t length) {
+  if (const auto fault = decide(FsOp::kTruncate, nullptr)) {
+    errno = fault->kind == FsFaultKind::kError ? fault->error_no : EIO;
+    return -1;
+  }
+  return FsOps::ftruncate(fd, length);
 }
 
 // ---- durable-write helpers ----

@@ -31,6 +31,7 @@ enum class FsOp {
   kRename,
   kUnlink,
   kMkdir,
+  kTruncate,
 };
 
 const char* fs_op_name(FsOp op);
@@ -45,11 +46,19 @@ class FsOps {
   virtual int open(const char* path, int flags, int mode);
   virtual ssize_t read(int fd, void* buf, std::size_t count);
   virtual ssize_t write(int fd, const void* buf, std::size_t count);
+  /// Positional variants (the volume store's random-access path). Matched by
+  /// the same FsOp::kRead / FsOp::kWrite fault rules as read/write, so one
+  /// rule covers both access styles.
+  virtual ssize_t pread(int fd, void* buf, std::size_t count, off_t offset);
+  virtual ssize_t pwrite(int fd, const void* buf, std::size_t count,
+                         off_t offset);
   virtual int fsync(int fd);
   virtual int close(int fd);
   virtual int rename(const char* from, const char* to);
   virtual int unlink(const char* path);
   virtual int mkdir(const char* path, int mode);
+  /// Preallocation / torn-tail trimming (FsOp::kTruncate rules).
+  virtual int ftruncate(int fd, off_t length);
 
   /// The shared passthrough instance production code uses.
   static FsOps* real();
@@ -105,11 +114,15 @@ class FaultingFsOps final : public FsOps {
   int open(const char* path, int flags, int mode) override;
   ssize_t read(int fd, void* buf, std::size_t count) override;
   ssize_t write(int fd, const void* buf, std::size_t count) override;
+  ssize_t pread(int fd, void* buf, std::size_t count, off_t offset) override;
+  ssize_t pwrite(int fd, const void* buf, std::size_t count,
+                 off_t offset) override;
   int fsync(int fd) override;
   int close(int fd) override;
   int rename(const char* from, const char* to) override;
   int unlink(const char* path) override;
   int mkdir(const char* path, int mode) override;
+  int ftruncate(int fd, off_t length) override;
 
  private:
   struct ActiveRule {

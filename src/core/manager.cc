@@ -28,6 +28,10 @@ CacheManager::CacheManager(NodeId self, std::size_t num_nodes,
   std::unique_ptr<StorageBackend> backend;
   if (options_.disk_dir.empty()) {
     backend = std::make_unique<MemoryBackend>();
+  } else if (options_.store == StoreBackendKind::kVolume) {
+    backend = std::make_unique<VolumeBackend>(options_.disk_dir,
+                                              options_.volume,
+                                              options_.fs_ops, clock_);
   } else {
     backend = std::make_unique<DiskBackend>(options_.disk_dir,
                                             options_.fs_ops);
@@ -487,6 +491,20 @@ std::size_t CacheManager::purge_expired() {
   // stall request threads (the store serializes itself internally).
   maybe_checkpoint();
   prune_negative();
+  // A run of erase (unlink) failures is the same dying-disk signal as a run
+  // of put failures — feed it into the degradation path so leaked space
+  // from failed unlinks can't accumulate unnoticed. The existing probe
+  // inserts recover the store once the disk heals.
+  if (!degraded_.load(std::memory_order_relaxed) &&
+      options_.disk_failure_threshold > 0 &&
+      store_->storage_counters().consecutive_erase_failures >=
+          static_cast<std::uint64_t>(options_.disk_failure_threshold)) {
+    if (!degraded_.exchange(true, std::memory_order_relaxed)) {
+      SWALA_LOG(Error) << "node " << self_
+                       << ": repeated erase failures; cache store degraded "
+                          "to serve-uncacheable mode";
+    }
+  }
   return count;
 }
 

@@ -37,6 +37,7 @@
 #include "core/inv_log.h"
 #include "core/rules.h"
 #include "core/store.h"
+#include "core/volume.h"
 
 namespace swala::core {
 
@@ -227,6 +228,13 @@ struct ManagerStats {
   std::uint64_t hits() const { return local_hits + remote_hits; }
 };
 
+/// Which durable store implementation backs the cache when `disk_dir` is
+/// set ([cache] store = files | volume).
+enum class StoreBackendKind {
+  kFiles,   ///< DiskBackend: one file per entry (the paper's design)
+  kVolume,  ///< VolumeBackend: log-structured single preallocated file
+};
+
 /// Configuration for one node's cache manager.
 struct ManagerOptions {
   StoreLimits limits;
@@ -234,6 +242,12 @@ struct ManagerOptions {
   CacheabilityRules rules;
   /// Storage directory for the disk backend; empty selects MemoryBackend.
   std::string disk_dir;
+  /// Durable store implementation under `disk_dir` (default: the paper's
+  /// file-per-entry DiskBackend, which stays the fault-injection reference).
+  StoreBackendKind store = StoreBackendKind::kFiles;
+  /// Volume-store tuning; `volume.volume_bytes` must be set when
+  /// store == kVolume.
+  VolumeOptions volume;
   /// Manifest path for periodic checkpointing; empty disables it. A crash
   /// then loses at most `checkpoint_interval_seconds` of cache additions,
   /// not the whole cache.
@@ -418,6 +432,12 @@ class CacheManager {
 
   /// What the startup scrub found (zeros before restore_state ran).
   ScrubReport last_scrub() const;
+
+  /// Backend operational counters (erase errors, volume flush/compaction/
+  /// recovery stats) for the /swala-status durability object.
+  StorageCounters storage_counters() const {
+    return store_->storage_counters();
+  }
 
   /// Whether the storage backend is usable (cache dir creation can fail).
   Status storage_status() const { return store_->backend_init_status(); }

@@ -265,6 +265,9 @@ Result<StorageId> DiskBackend::put(std::string_view data,
     (void)fs_->unlink(path.c_str());
     return st;
   }
+  // A put that reached the disk proves it is writable again, so the erase
+  // failure run ends here too (mirrors the degradation probe's recovery).
+  consecutive_erase_failures_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   sizes_[id] = data.size();
   key_hashes_[id] = key_hash;
@@ -303,7 +306,31 @@ void DiskBackend::erase(StorageId id) {
     sizes_.erase(it);
     key_hashes_.erase(id);
   }
-  (void)fs_->unlink(path_for(id).c_str());
+  const std::string path = path_for(id);
+  if (fs_->unlink(path.c_str()) != 0 && errno != ENOENT) {
+    // The entry is gone from the index but its bytes still occupy the disk —
+    // a dying disk that fails unlinks would leak space invisibly. Count it
+    // and keep a consecutive-failure run for the manager's degradation probe.
+    erase_errors_.fetch_add(1, std::memory_order_relaxed);
+    consecutive_erase_failures_.fetch_add(1, std::memory_order_relaxed);
+    SWALA_LOG(Warn) << "erase failed to unlink " << path << ": "
+                    << std::strerror(errno);
+  } else {
+    consecutive_erase_failures_.store(0, std::memory_order_relaxed);
+  }
+}
+
+StorageCounters DiskBackend::counters() const {
+  StorageCounters c;
+  c.backend = "files";
+  c.erase_errors = erase_errors_.load(std::memory_order_relaxed);
+  c.consecutive_erase_failures =
+      consecutive_erase_failures_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    c.live_bytes = bytes_;
+  }
+  return c;
 }
 
 ScrubReport DiskBackend::scrub() {

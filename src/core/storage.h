@@ -55,6 +55,27 @@ struct ScrubReport {
   std::uint64_t temps_removed = 0;    ///< leftover *.tmp unlinked
 };
 
+/// Operational counters every backend can report; surfaced through
+/// `/swala-status`'s durability object. Fields irrelevant to a backend stay
+/// zero (e.g. MemoryBackend reports all zeros, DiskBackend has no segments).
+struct StorageCounters {
+  const char* backend = "memory";     ///< "memory" | "files" | "volume"
+  std::uint64_t erase_errors = 0;     ///< unlink/erase failures (leaked space)
+  std::uint64_t consecutive_erase_failures = 0;  ///< degradation feed
+  // Volume-store specific:
+  std::uint64_t flushes = 0;             ///< write-buffer flush groups
+  std::uint64_t flushed_records = 0;     ///< records made durable by flushes
+  std::uint64_t compactions = 0;         ///< segments reclaimed
+  std::uint64_t compacted_records = 0;   ///< live records relocated
+  std::uint64_t corrupt_records_skipped = 0;  ///< recovery-walk CRC failures
+  std::uint64_t torn_tail_truncated = 0;      ///< torn tails trimmed at open
+  std::uint64_t index_mismatches = 0;    ///< sidecar-index disagreements
+  std::uint64_t segments_total = 0;
+  std::uint64_t segments_free = 0;
+  std::uint64_t live_bytes = 0;
+  std::uint64_t dead_bytes = 0;          ///< erased-but-unreclaimed bytes
+};
+
 /// Backends are internally thread-safe: the cache store issues puts, gets
 /// and erases concurrently without holding its own mutex (pin/refcount
 /// protocol), so each backend guards its bookkeeping itself and keeps the
@@ -107,6 +128,15 @@ class StorageBackend {
   /// load so the adopted set is known. Default: nothing to scrub.
   virtual ScrubReport scrub() { return {}; }
 
+  /// Makes every previously acknowledged put durable before returning (the
+  /// volume store drains its write buffer and fsyncs). The manifest writer
+  /// calls this first so a manifest never references data still in RAM.
+  /// Default: puts are already durable (or volatile by design) — no-op.
+  virtual Status sync() { return Status::ok(); }
+
+  /// Operational counters snapshot; see StorageCounters.
+  virtual StorageCounters counters() const { return {}; }
+
   /// Filesystem seam used for manifest writes sharing the backend's fault
   /// injection. Default: the real filesystem.
   virtual FsOps* fs() const { return FsOps::real(); }
@@ -156,6 +186,7 @@ class DiskBackend final : public StorageBackend {
   }
   Status init_status() const override { return init_status_; }
   ScrubReport scrub() override;
+  StorageCounters counters() const override;
   FsOps* fs() const override { return fs_; }
 
   const std::string& dir() const { return dir_; }
@@ -181,6 +212,11 @@ class DiskBackend final : public StorageBackend {
   std::uint64_t bytes_ = 0;
   std::atomic<bool> retain_{false};
   std::atomic<std::uint64_t> quarantined_{0};  ///< corrupt files renamed
+  /// Unlink failures from erase(): total, plus a consecutive run the
+  /// manager's degradation probe watches (reset by any erase or put that
+  /// reaches the disk successfully).
+  std::atomic<std::uint64_t> erase_errors_{0};
+  std::atomic<std::uint64_t> consecutive_erase_failures_{0};
   std::unordered_map<StorageId, std::uint64_t> sizes_;  ///< payload bytes
   std::unordered_map<StorageId, std::uint64_t> key_hashes_;
 };

@@ -311,6 +311,10 @@ Status CacheStore::save_manifest(const std::string& path) const {
       content.append(line, static_cast<std::size_t>(n));
     }
   }
+  // Drain the backend's write buffer first (volume store): the manifest must
+  // never reference data that is still only in RAM, or a crash would leave
+  // manifest entries pointing at nothing.
+  if (auto st = backend_->sync(); !st.is_ok()) return st;
   // Atomic + durable replacement: a crash mid-checkpoint must leave the
   // previous manifest readable, never a torn mix.
   if (auto st = write_file_atomic(backend_->fs(), path, content);

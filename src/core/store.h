@@ -137,6 +137,10 @@ class CacheStore {
   /// Whether the storage backend constructed usably (cache dir exists).
   Status backend_init_status() const { return backend_->init_status(); }
 
+  /// Backend operational counters (erase errors, flush/compaction/recovery
+  /// stats) for the /swala-status durability object.
+  StorageCounters storage_counters() const { return backend_->counters(); }
+
   /// Removes everything.
   void clear();
 

@@ -331,7 +331,26 @@ http::Response serve_status(const ServeContext& ctx) {
     body += "  " + json_u64("scrub_adopted", scrub.adopted);
     body += "  " + json_u64("scrub_quarantined", scrub.quarantined);
     body += "  " + json_u64("scrub_orphans_removed", scrub.orphans_removed);
-    body += "  " + json_u64("scrub_temps_removed", scrub.temps_removed, true);
+    body += "  " + json_u64("scrub_temps_removed", scrub.temps_removed);
+    // Backend-level counters: erase failures (both backends) and the
+    // volume store's flush/compaction/recovery progress.
+    const core::StorageCounters sc = ctx.cache->storage_counters();
+    body += "  \"store_backend\": \"";
+    body += sc.backend;
+    body += "\",\n";
+    body += "  " + json_u64("erase_errors", sc.erase_errors);
+    body += "  " + json_u64("volume_flushes", sc.flushes);
+    body += "  " + json_u64("volume_flushed_records", sc.flushed_records);
+    body += "  " + json_u64("volume_compactions", sc.compactions);
+    body += "  " + json_u64("volume_compacted_records", sc.compacted_records);
+    body += "  " + json_u64("volume_corrupt_records_skipped",
+                            sc.corrupt_records_skipped);
+    body += "  " + json_u64("volume_torn_tail_truncated",
+                            sc.torn_tail_truncated);
+    body += "  " + json_u64("volume_index_mismatches", sc.index_mismatches);
+    body += "  " + json_u64("volume_segments_total", sc.segments_total);
+    body += "  " + json_u64("volume_segments_free", sc.segments_free);
+    body += "  " + json_u64("volume_dead_bytes", sc.dead_bytes, true);
     body += "  },\n";
     body += json_u64("cache_entries", ctx.cache->store().entry_count());
     body += json_u64("cache_bytes", ctx.cache->store().bytes_used());

@@ -83,6 +83,64 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
     mo.policy = policy.value();
     const std::string disk_dir = config.get_string("cache", "disk_dir", "");
     mo.disk_dir = disk_dir;
+
+    // ---- store backend (files | volume) ----
+    const std::string store_name = config.get_string("cache", "store", "files");
+    if (store_name == "files") {
+      mo.store = core::StoreBackendKind::kFiles;
+    } else if (store_name == "volume") {
+      mo.store = core::StoreBackendKind::kVolume;
+    } else {
+      return Status(StatusCode::kInvalidArgument,
+                    "cache.store must be files or volume: " + store_name);
+    }
+    const std::int64_t volume_bytes =
+        config.get_int("cache", "volume_bytes", 0);
+    const std::int64_t segment_bytes =
+        config.get_int("cache", "segment_bytes", 4 * 1024 * 1024);
+    const std::int64_t write_buffer_bytes =
+        config.get_int("cache", "write_buffer_bytes", 256 * 1024);
+    const std::int64_t flush_interval_ms =
+        config.get_int("cache", "flush_interval_ms", 100);
+    if (mo.store == core::StoreBackendKind::kVolume) {
+      if (disk_dir.empty()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "cache.store = volume requires cache.disk_dir");
+      }
+      if (volume_bytes <= 0) {
+        return Status(StatusCode::kInvalidArgument,
+                      "cache.store = volume requires cache.volume_bytes > 0");
+      }
+      if (segment_bytes <= 0 ||
+          static_cast<std::uint64_t>(segment_bytes) <=
+              core::kVolumeSegmentHeaderSize + core::kVolumeRecordHeaderSize) {
+        return Status(StatusCode::kInvalidArgument,
+                      "cache.segment_bytes too small: " +
+                          std::to_string(segment_bytes));
+      }
+      if (volume_bytes < 2 * segment_bytes) {
+        return Status(StatusCode::kInvalidArgument,
+                      "cache.volume_bytes must hold at least two segments "
+                      "of cache.segment_bytes");
+      }
+      if (write_buffer_bytes <= 0) {
+        return Status(StatusCode::kInvalidArgument,
+                      "cache.write_buffer_bytes must be > 0: " +
+                          std::to_string(write_buffer_bytes));
+      }
+      if (flush_interval_ms < 0) {
+        return Status(StatusCode::kInvalidArgument,
+                      "cache.flush_interval_ms must be >= 0: " +
+                          std::to_string(flush_interval_ms));
+      }
+      mo.volume.volume_bytes = static_cast<std::uint64_t>(volume_bytes);
+      mo.volume.segment_bytes = static_cast<std::uint64_t>(segment_bytes);
+      mo.volume.write_buffer_bytes =
+          static_cast<std::uint64_t>(write_buffer_bytes);
+      mo.volume.flush_interval_ms =
+          static_cast<std::uint64_t>(flush_interval_ms);
+    }
+
     auto rules = core::CacheabilityRules::from_config(config);
     if (!rules) return rules.status();
     mo.rules = std::move(rules.value());

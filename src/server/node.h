@@ -30,6 +30,12 @@
 //   hot_bytes = 67108864   ; in-memory hot-blob cache budget (0 = disabled)
 //   policy = lru           ; lru | lfu | fifo | size | gds
 //   disk_dir =             ; empty = in-memory store
+//   store = files          ; files = one file per entry (the paper's design)
+//                          ; volume = log-structured single preallocated file
+//   volume_bytes = 0       ; volume: total preallocated size (required, >0)
+//   segment_bytes = 4194304    ; volume: compaction granularity
+//   write_buffer_bytes = 262144  ; volume: flush-group target size
+//   flush_interval_ms = 100      ; volume: max buffering delay (0 = per put)
 //   state_file =           ; warm-restart manifest (needs disk_dir)
 //   purge_interval = 2.0
 //   checkpoint_interval = 10.0  ; manifest checkpoint cadence (needs state_file)

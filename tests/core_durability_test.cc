@@ -13,6 +13,7 @@
 #include "common/hash.h"
 #include "core/fs_ops.h"
 #include "core/manager.h"
+#include "core/volume.h"
 
 namespace swala::core {
 namespace {
@@ -489,6 +490,356 @@ TEST_F(ManagerDurabilityTest, CrashRestartScrubAcceptance) {
   EXPECT_EQ(count_files_with_extension(kDir, ".tmp"), 0u);
   EXPECT_EQ(count_files_with_extension(kDir, ".cache"), 2u);
   EXPECT_EQ(count_files_with_extension(kDir, ".corrupt"), 1u);
+}
+
+// ---- DiskBackend erase-failure accounting ----
+
+TEST_F(DurabilityTest, DiskBackendCountsEraseFailures) {
+  FaultingFsOps fs;
+  DiskBackend backend(kDir, &fs);
+  auto id1 = backend.put("one", fnv1a64("k1"));
+  auto id2 = backend.put("two", fnv1a64("k2"));
+  ASSERT_TRUE(id1.is_ok());
+  ASSERT_TRUE(id2.is_ok());
+
+  fs.add_rule({FsOp::kUnlink, ".cache", FsFaultKind::kError, EIO});
+  backend.erase(id1.value());
+  StorageCounters c = backend.counters();
+  EXPECT_EQ(std::string(c.backend), "files");
+  EXPECT_EQ(c.erase_errors, 1u);
+  EXPECT_EQ(c.consecutive_erase_failures, 1u);
+
+  // A successful unlink ends the consecutive run; the total stays.
+  fs.clear();
+  backend.erase(id2.value());
+  c = backend.counters();
+  EXPECT_EQ(c.erase_errors, 1u);
+  EXPECT_EQ(c.consecutive_erase_failures, 0u);
+}
+
+TEST_F(ManagerDurabilityTest, EraseFailuresDegradeTheStore) {
+  FaultingFsOps fs;
+  ManagerOptions mo = base_options();
+  mo.fs_ops = &fs;
+  mo.disk_failure_threshold = 3;
+  ManualClock clock(from_seconds(10.0));
+  CacheManager manager(0, 1, mo, &clock);
+  run_request(manager, "/cgi-bin/e1", "b1");
+  run_request(manager, "/cgi-bin/e2", "b2");
+  run_request(manager, "/cgi-bin/e3", "b3");
+
+  // The disk starts failing unlinks: the purge tick's erases leak space,
+  // which must trip the same degradation breaker as put failures.
+  fs.add_rule({FsOp::kUnlink, ".cache", FsFaultKind::kError, EIO});
+  clock.advance(from_seconds(601.0));  // rule TTL is 600s
+  manager.purge_expired();
+  EXPECT_TRUE(manager.store_degraded());
+  EXPECT_EQ(manager.storage_counters().erase_errors, 3u);
+}
+
+// ---- volume backend: format, flush, recovery walk ----
+
+VolumeOptions small_volume(std::uint64_t slots = 16) {
+  VolumeOptions vo;
+  vo.segment_bytes = 64 * 1024;
+  vo.volume_bytes = slots * vo.segment_bytes;
+  vo.write_buffer_bytes = 8 * 1024;
+  vo.flush_interval_ms = 3600 * 1000;  // flush only on buffer-full or sync()
+  return vo;
+}
+
+TEST_F(DurabilityTest, VolumePutGetRoundtripAndRestartAdopts) {
+  FaultingFsOps fs;
+  ManualClock clock(0);
+  const std::uint64_t h = fnv1a64("GET /cgi-bin/v");
+  StorageId id = 0;
+  {
+    VolumeBackend backend(kDir, small_volume(), &fs, &clock);
+    ASSERT_TRUE(backend.init_status().is_ok())
+        << backend.init_status().to_string();
+    auto put = backend.put("volume-bytes", h);
+    ASSERT_TRUE(put.is_ok()) << put.status().to_string();
+    id = put.value();
+    // Readable straight from the write buffer, before any flush.
+    auto pre = backend.get(id);
+    ASSERT_TRUE(pre.is_ok());
+    EXPECT_EQ(pre.value(), "volume-bytes");
+    ASSERT_TRUE(backend.sync().is_ok());
+    // And still readable once it lives on disk.
+    auto post = backend.get(id);
+    ASSERT_TRUE(post.is_ok());
+    EXPECT_EQ(post.value(), "volume-bytes");
+    backend.set_retain_on_destruction(true);
+  }
+  VolumeBackend backend(kDir, small_volume(), &fs, &clock);
+  ASSERT_TRUE(backend.init_status().is_ok());
+  ASSERT_TRUE(backend.adopt(id, 12, h).is_ok());
+  const ScrubReport report = backend.scrub();
+  EXPECT_EQ(report.adopted, 1u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.orphans_removed, 0u);
+  auto back = backend.get(id);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), "volume-bytes");
+  EXPECT_EQ(backend.counters().index_mismatches, 0u);
+}
+
+TEST_F(DurabilityTest, VolumeCrashMidFlushTruncatesTornTailOnly) {
+  FaultingFsOps fs;
+  ManualClock clock(0);
+  std::vector<StorageId> ids;
+  {
+    VolumeBackend backend(kDir, small_volume(), &fs, &clock);
+    for (int i = 0; i < 4; ++i) {
+      auto put = backend.put("payload-" + std::to_string(i),
+                             fnv1a64("k" + std::to_string(i)));
+      ASSERT_TRUE(put.is_ok());
+      ids.push_back(put.value());
+    }
+    ASSERT_TRUE(backend.sync().is_ok());  // the four records are durable
+
+    // The process dies halfway through the next flush group's pwrite: the
+    // oversized record forces an immediate flush, and only a prefix lands.
+    FsFaultRule crash;
+    crash.op = FsOp::kWrite;
+    crash.kind = FsFaultKind::kCrash;
+    fs.add_rule(crash);
+    auto torn = backend.put(std::string(9000, 'x'), fnv1a64("torn"));
+    ASSERT_FALSE(torn.is_ok());
+    EXPECT_TRUE(fs.crashed());
+    backend.set_retain_on_destruction(true);
+  }
+  fs.reset_crash();
+  fs.clear();
+  VolumeBackend backend(kDir, small_volume(), &fs, &clock);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_TRUE(
+        backend.adopt(ids[i], 9, fnv1a64("k" + std::to_string(i))).is_ok())
+        << "record " << i;
+  }
+  const ScrubReport report = backend.scrub();
+  EXPECT_EQ(report.adopted, 4u);
+  EXPECT_EQ(report.quarantined, 0u);  // nothing valid was quarantined
+  EXPECT_EQ(backend.counters().torn_tail_truncated, 1u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto back = backend.get(ids[i]);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value(), "payload-" + std::to_string(i));
+  }
+}
+
+TEST_F(DurabilityTest, VolumeEnospcDuringPreallocationFailsFast) {
+  FaultingFsOps fs;
+  fs.add_rule({FsOp::kTruncate, "", FsFaultKind::kError, ENOSPC});
+  ManualClock clock(0);
+  VolumeBackend backend(kDir, small_volume(), &fs, &clock);
+  EXPECT_FALSE(backend.init_status().is_ok());
+  EXPECT_FALSE(backend.put("x", 1).is_ok());
+}
+
+TEST_F(DurabilityTest, VolumeCorruptRecordSkippedWithResync) {
+  FaultingFsOps fs;
+  ManualClock clock(0);
+  // Fill slot 0 past capacity so it seals (10 × 6048-byte records fit in a
+  // 64 KiB segment; the 11th opens slot 1), then corrupt record #2 of the
+  // sealed segment in place.
+  constexpr std::size_t kPayload = 6000;
+  constexpr std::size_t kRecord = kPayload + kVolumeRecordHeaderSize;
+  std::vector<StorageId> ids;
+  {
+    VolumeBackend backend(kDir, small_volume(), &fs, &clock);
+    for (int i = 0; i < 11; ++i) {
+      auto put = backend.put(std::string(kPayload, 'a' + (i % 26)),
+                             fnv1a64("c" + std::to_string(i)));
+      ASSERT_TRUE(put.is_ok());
+      ids.push_back(put.value());
+    }
+    ASSERT_TRUE(backend.sync().is_ok());
+    backend.set_retain_on_destruction(true);
+  }
+  {
+    // Bit rot in the middle of record index 2's payload (slot 0).
+    std::fstream f(kDir + "/volume.swala",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    const std::size_t off =
+        kVolumeSegmentHeaderSize + 2 * kRecord + kVolumeRecordHeaderSize + 10;
+    f.seekp(static_cast<std::streamoff>(off));
+    f.put('\xFF');
+  }
+  VolumeBackend backend(kDir, small_volume(), &fs, &clock);
+  std::size_t adopted = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto st =
+        backend.adopt(ids[i], kPayload, fnv1a64("c" + std::to_string(i)));
+    if (st.is_ok()) ++adopted;
+  }
+  // Every record except the rotten one adopts; the walk resynced past it.
+  EXPECT_EQ(adopted, 10u);
+  const ScrubReport report = backend.scrub();
+  EXPECT_EQ(report.adopted, 10u);
+  EXPECT_EQ(report.quarantined, 1u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i == 2) continue;
+    auto back = backend.get(ids[i]);
+    ASSERT_TRUE(back.is_ok()) << "record " << i;
+    EXPECT_EQ(back.value(), std::string(kPayload, 'a' + (i % 26)));
+  }
+}
+
+TEST_F(DurabilityTest, VolumeCompactionReclaimsErasedSpace) {
+  FaultingFsOps fs;
+  ManualClock clock(0);
+  // 3 slots × 64 KiB but a rolling live set of one record: without
+  // compaction the 50 × 6048-byte inserts (~295 KiB) could not fit.
+  VolumeBackend backend(kDir, small_volume(3), &fs, &clock);
+  ASSERT_TRUE(backend.init_status().is_ok());
+  StorageId prev = 0;
+  StorageId last = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto put = backend.put(std::string(6000, 'z'),
+                           fnv1a64("roll" + std::to_string(i)));
+    ASSERT_TRUE(put.is_ok()) << "insert " << i << ": "
+                             << put.status().to_string();
+    if (prev != 0) backend.erase(prev);
+    prev = last = put.value();
+  }
+  EXPECT_GE(backend.counters().compactions, 1u);
+  auto back = backend.get(last);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), std::string(6000, 'z'));
+}
+
+TEST_F(DurabilityTest, VolumeCrashMidCompactionLosesNoSyncedRecord) {
+  FaultingFsOps fs;
+  ManualClock clock(0);
+  const std::uint64_t h1 = fnv1a64("keeper");
+  StorageId keeper = 0;
+  {
+    // Slot 0: one keeper plus nine erased records; then keep inserting
+    // until compaction relocates the keeper, and crash on the next write.
+    VolumeBackend backend(kDir, small_volume(3), &fs, &clock);
+    auto put = backend.put(std::string(6000, 'K'), h1);
+    ASSERT_TRUE(put.is_ok());
+    keeper = put.value();
+    std::vector<StorageId> doomed;
+    for (int i = 0; i < 9; ++i) {
+      auto p = backend.put(std::string(6000, 'd'),
+                           fnv1a64("doomed" + std::to_string(i)));
+      ASSERT_TRUE(p.is_ok());
+      doomed.push_back(p.value());
+    }
+    ASSERT_TRUE(backend.sync().is_ok());
+    for (const StorageId id : doomed) backend.erase(id);
+    for (int i = 0; i < 40 && backend.counters().compactions == 0; ++i) {
+      auto p = backend.put(std::string(6000, 'f'),
+                           fnv1a64("fill" + std::to_string(i)));
+      ASSERT_TRUE(p.is_ok());
+    }
+    ASSERT_GE(backend.counters().compactions, 1u);
+    FsFaultRule crash;
+    crash.op = FsOp::kWrite;
+    crash.kind = FsFaultKind::kCrash;
+    fs.add_rule(crash);
+    (void)backend.sync();  // tears whatever the compactor left buffered
+    backend.set_retain_on_destruction(true);
+  }
+  fs.reset_crash();
+  fs.clear();
+  // The keeper was durable before the compaction started; whichever copy
+  // the crash left behind (the original at the old seq or the relocated one
+  // at the new seq) must adopt and verify.
+  VolumeBackend backend(kDir, small_volume(3), &fs, &clock);
+  ASSERT_TRUE(backend.adopt(keeper, 6000, h1).is_ok());
+  const ScrubReport report = backend.scrub();
+  EXPECT_EQ(report.quarantined, 0u);
+  auto back = backend.get(keeper);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), std::string(6000, 'K'));
+}
+
+TEST_F(DurabilityTest, VolumeSidecarIndexMismatchIsCounted) {
+  FaultingFsOps fs;
+  ManualClock clock(0);
+  std::vector<StorageId> ids;
+  {
+    VolumeBackend backend(kDir, small_volume(), &fs, &clock);
+    for (int i = 0; i < 2; ++i) {
+      auto put = backend.put("sidecar-" + std::to_string(i),
+                             fnv1a64("s" + std::to_string(i)));
+      ASSERT_TRUE(put.is_ok());
+      ids.push_back(put.value());
+    }
+    ASSERT_TRUE(backend.sync().is_ok());
+    backend.set_retain_on_destruction(true);
+  }
+  {
+    // The sidecar diverges from the volume (e.g. lost its last update).
+    std::ofstream out(kDir + "/volume.idx", std::ios::trunc);
+    out << "swala-volindex 1\n" << ids[0] << " 999999 5\n";
+  }
+  VolumeBackend backend(kDir, small_volume(), &fs, &clock);
+  EXPECT_GE(backend.counters().index_mismatches, 1u);
+  // The recovery walk is authoritative: both records still adopt and read.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(
+        backend.adopt(ids[i], 9, fnv1a64("s" + std::to_string(i))).is_ok());
+    auto back = backend.get(ids[i]);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value(), "sidecar-" + std::to_string(i));
+  }
+}
+
+// ---- manager-level acceptance in volume mode ----
+
+TEST_F(ManagerDurabilityTest, VolumeCrashRestartScrubAcceptance) {
+  FaultingFsOps fs;
+  ManagerOptions mo = base_options();
+  mo.fs_ops = &fs;
+  mo.store = StoreBackendKind::kVolume;
+  mo.volume = small_volume();
+  ManualClock clock(from_seconds(1000.0));
+  {
+    CacheManager manager(0, 1, mo, &clock);
+    ASSERT_TRUE(manager.storage_status().is_ok());
+    run_request(manager, "/cgi-bin/a", "body-a");
+    run_request(manager, "/cgi-bin/b", "body-b");
+    run_request(manager, "/cgi-bin/c", "body-c");
+    // save_state syncs the volume before writing the manifest, so every
+    // manifest entry references durable bytes.
+    ASSERT_TRUE(manager.save_state(kManifest).is_ok());
+
+    // /cgi-bin/d is accepted into the write buffer, then the process dies
+    // before the buffered tail reaches the disk.
+    run_request(manager, "/cgi-bin/d", "body-d-never-durable");
+    FsFaultRule crash;
+    crash.op = FsOp::kWrite;
+    crash.kind = FsFaultKind::kCrash;
+    fs.add_rule(crash);
+  }
+  fs.reset_crash();
+  fs.clear();
+  ManualClock restart_clock(from_seconds(50.0));
+  CacheManager manager(0, 1, mo, &restart_clock);
+  auto restored = manager.restore_state(kManifest);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value(), 3u);
+
+  const ScrubReport scrub = manager.last_scrub();
+  EXPECT_EQ(scrub.adopted, 3u);
+  EXPECT_EQ(scrub.quarantined, 0u);
+  EXPECT_EQ(std::string(manager.storage_counters().backend), "volume");
+
+  for (const auto& [target, body] :
+       {std::pair<std::string, std::string>{"/cgi-bin/a", "body-a"},
+        {"/cgi-bin/b", "body-b"},
+        {"/cgi-bin/c", "body-c"}}) {
+    auto hit = do_lookup(manager, target);
+    ASSERT_EQ(hit.outcome, LookupOutcome::kHit) << target;
+    EXPECT_EQ(hit.result.data, body);
+  }
+  EXPECT_EQ(do_lookup(manager, "/cgi-bin/d").outcome,
+            LookupOutcome::kMissMustExecute);
 }
 
 }  // namespace

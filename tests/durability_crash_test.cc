@@ -50,8 +50,13 @@ long long json_value(const std::string& body, const std::string& name) {
   return std::atoll(body.c_str() + pos + needle.size());
 }
 
-class CrashRestartTest : public ::testing::Test {
+/// Parameterized over the cache store backend: the whole SIGKILL battery
+/// runs once against the one-file-per-entry store and once against the
+/// log-structured volume, so both recovery paths face real hard crashes.
+class CrashRestartTest : public ::testing::TestWithParam<std::string> {
  protected:
+  bool volume_mode() const { return GetParam() == "volume"; }
+
   void SetUp() override {
     std::filesystem::remove_all(kRoot);
     std::filesystem::create_directories(kRoot + "/cgi-bin");
@@ -78,6 +83,13 @@ class CrashRestartTest : public ::testing::Test {
       conf += "cgi_dir = " + kRoot + "/cgi-bin\n";
       conf += "[cache]\nenabled = true\nmax_entries = 200\n";
       conf += "disk_dir = " + cache_dir + "\n";
+      conf += "store = " + GetParam() + "\n";
+      if (volume_mode()) {
+        conf += "volume_bytes = 16777216\n";      // 64 slots of 256 KiB
+        conf += "segment_bytes = 262144\n";
+        conf += "write_buffer_bytes = 16384\n";
+        conf += "flush_interval_ms = 20\n";
+      }
       conf += "state_file = " + cache_dir + "/manifest.txt\n";
       conf += "purge_interval = 0.1\n";
       conf += "checkpoint_interval = 0.2\n";
@@ -166,7 +178,7 @@ class CrashRestartTest : public ::testing::Test {
   std::array<pid_t, 2> pids_{-1, -1};
 };
 
-TEST_F(CrashRestartTest, SigkillMidBurstThenRecover) {
+TEST_P(CrashRestartTest, SigkillMidBurstThenRecover) {
   constexpr int kEntries = 20;
   http::HttpClient node0({"127.0.0.1", ports_[0]});
 
@@ -221,9 +233,17 @@ TEST_F(CrashRestartTest, SigkillMidBurstThenRecover) {
   EXPECT_GE(json_value(body, "scrub_temps_removed"), 0);
   EXPECT_EQ(json_value(body, "store_degraded"), 0);
   EXPECT_EQ(count_cache_files(0, ".tmp"), 0u);
-  // Every restored entry is exactly one verified file.
-  EXPECT_EQ(static_cast<long long>(count_cache_files(0, ".cache")),
-            json_value(body, "cache_entries"));
+  if (volume_mode()) {
+    // One preallocated file holds everything; no per-entry files exist.
+    EXPECT_NE(body.find("\"store_backend\": \"volume\""), std::string::npos);
+    EXPECT_EQ(count_cache_files(0, ".cache"), 0u);
+    EXPECT_TRUE(std::filesystem::exists(kRoot + "/cache0/volume.swala"));
+  } else {
+    // Every restored entry is exactly one verified file.
+    EXPECT_NE(body.find("\"store_backend\": \"files\""), std::string::npos);
+    EXPECT_EQ(static_cast<long long>(count_cache_files(0, ".cache")),
+              json_value(body, "cache_entries"));
+  }
 
   // Every checkpointed entry serves its exact bytes as a local hit on the
   // very first touch — restored from disk, CRC-verified, not re-executed.
@@ -256,7 +276,7 @@ TEST_F(CrashRestartTest, SigkillMidBurstThenRecover) {
   EXPECT_TRUE(shared) << "peer never served the restored entry from cache";
 }
 
-TEST_F(CrashRestartTest, SigtermDrainsInFlightRequestsBeforeExit) {
+TEST_P(CrashRestartTest, SigtermDrainsInFlightRequestsBeforeExit) {
   // Three requests are mid-CGI (0.6 s each) when SIGTERM lands. The
   // graceful-drain path must let every one of them finish with a real
   // response, then save the manifest and exit cleanly — not cut them off.
@@ -289,7 +309,7 @@ TEST_F(CrashRestartTest, SigtermDrainsInFlightRequestsBeforeExit) {
   pids_[0] = -1;
 }
 
-TEST_F(CrashRestartTest, RepeatedKillRestartLoop) {
+TEST_P(CrashRestartTest, RepeatedKillRestartLoop) {
   constexpr int kEntries = 10;
   {
     http::HttpClient node0({"127.0.0.1", ports_[0]});
@@ -329,6 +349,10 @@ TEST_F(CrashRestartTest, RepeatedKillRestartLoop) {
     EXPECT_EQ(count_cache_files(0, ".tmp"), 0u);
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Stores, CrashRestartTest,
+                         ::testing::Values("files", "volume"),
+                         [](const auto& info) { return info.param; });
 
 }  // namespace
 }  // namespace swala

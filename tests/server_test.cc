@@ -409,5 +409,78 @@ TEST(SwalaNodeTest, BadConfigRejected) {
   EXPECT_FALSE(SwalaNode::from_config(cfg2.value(), make_registry()).is_ok());
 }
 
+TEST(SwalaNodeTest, BadStoreConfigRejected) {
+  const auto rejected = [](const std::string& cache_section) {
+    auto cfg = Config::parse("[cache]\nenabled = true\n" + cache_section);
+    EXPECT_TRUE(cfg.is_ok());
+    return !SwalaNode::from_config(cfg.value(), make_registry()).is_ok();
+  };
+  // Unknown backend name.
+  EXPECT_TRUE(rejected("disk_dir = /tmp/swala_store_cfg\nstore = cyclone\n"));
+  // volume without a disk directory to put the volume file in.
+  EXPECT_TRUE(rejected("store = volume\nvolume_bytes = 1048576\n"));
+  // volume without a preallocation size (the sizing decision is explicit).
+  EXPECT_TRUE(rejected("disk_dir = /tmp/swala_store_cfg\nstore = volume\n"));
+  EXPECT_TRUE(rejected("disk_dir = /tmp/swala_store_cfg\nstore = volume\n"
+                       "volume_bytes = 0\n"));
+  // Segment too small to hold even one record header.
+  EXPECT_TRUE(rejected("disk_dir = /tmp/swala_store_cfg\nstore = volume\n"
+                       "volume_bytes = 1048576\nsegment_bytes = 64\n"));
+  // Volume smaller than two segments: compaction would have nowhere to go.
+  EXPECT_TRUE(rejected("disk_dir = /tmp/swala_store_cfg\nstore = volume\n"
+                       "volume_bytes = 262144\nsegment_bytes = 262144\n"));
+  EXPECT_TRUE(rejected("disk_dir = /tmp/swala_store_cfg\nstore = volume\n"
+                       "volume_bytes = 1048576\nwrite_buffer_bytes = 0\n"));
+
+  // And the smallest valid volume config builds.
+  auto cfg = Config::parse(
+      "[server]\nport = 0\n"
+      "[cache]\nenabled = true\ndisk_dir = /tmp/swala_store_cfg\n"
+      "store = volume\nvolume_bytes = 1048576\nsegment_bytes = 524288\n");
+  ASSERT_TRUE(cfg.is_ok());
+  auto node = SwalaNode::from_config(cfg.value(), make_registry());
+  EXPECT_TRUE(node.is_ok()) << node.status().to_string();
+  std::filesystem::remove_all("/tmp/swala_store_cfg");
+}
+
+TEST(SwalaNodeTest, VolumeWarmRestartKeepsCacheAcrossRestarts) {
+  const std::string dir = "/tmp/swala_node_warm_volume";
+  std::filesystem::remove_all(dir);
+  const std::string conf =
+      "[server]\nport = 0\nthreads = 2\n"
+      "[cache]\nenabled = true\nmax_entries = 50\ndisk_dir = " + dir +
+      "\nstore = volume\nvolume_bytes = 2097152\nsegment_bytes = 262144\n"
+      "state_file = " + dir + "/state.manifest\n"
+      "[cacheability]\nrule = /cgi-bin/* cache\ndefault = nocache\n";
+  auto cfg = Config::parse(conf);
+  ASSERT_TRUE(cfg.is_ok());
+
+  std::string warm_body;
+  {
+    auto node = SwalaNode::from_config(cfg.value(), make_registry());
+    ASSERT_TRUE(node.is_ok()) << node.status().to_string();
+    ASSERT_TRUE(node.value()->start().is_ok());
+    http::HttpClient client(node.value()->http().address());
+    auto miss = client.get("/cgi-bin/warm?q=volume");
+    ASSERT_TRUE(miss.is_ok());
+    EXPECT_EQ(miss.value().headers.get("X-Swala-Cache"), "miss");
+    warm_body = miss.value().body;
+    node.value()->stop();  // syncs the volume and saves the manifest
+  }
+
+  {
+    auto node = SwalaNode::from_config(cfg.value(), make_registry());
+    ASSERT_TRUE(node.is_ok());
+    ASSERT_TRUE(node.value()->start().is_ok());  // recovery walk + restore
+    http::HttpClient client(node.value()->http().address());
+    auto hit = client.get("/cgi-bin/warm?q=volume");
+    ASSERT_TRUE(hit.is_ok());
+    EXPECT_EQ(hit.value().headers.get("X-Swala-Cache"), "hit-local")
+        << "entry must survive the restart";
+    EXPECT_EQ(hit.value().body, warm_body);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace swala::server
