@@ -29,8 +29,11 @@ namespace {
 
 int g_signal_pipe[2] = {-1, -1};
 
-void on_signal(int) {
-  const char byte = 1;
+// One byte per signal, distinct per intent: 'D' asks for a graceful
+// decommission (hand cached state to the cluster before leaving), anything
+// else is a plain drain-and-exit.
+void on_signal(int signo) {
+  const char byte = signo == SIGUSR2 ? 'D' : 'T';
   ssize_t rc = ::write(g_signal_pipe[1], &byte, 1);
   (void)rc;
 }
@@ -109,10 +112,20 @@ int main(int argc, char** argv) {
   if (::pipe(g_signal_pipe) != 0) return 1;
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
-  char byte;
+  std::signal(SIGUSR2, on_signal);  // graceful decommission, then exit
+  char byte = 'T';
   while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
-  std::printf("\ndraining...\n");
+  if (byte == 'D') {
+    // Decommission before draining: in-flight requests may still serve
+    // cache hits, but every cached entry is already on its way to a
+    // successor and peers stop routing to this node.
+    std::printf("\ndecommissioning...\n");
+    const auto handed = node.value()->decommission();
+    std::printf("handed off %zu directory records, %zu entries\n",
+                handed.records, handed.entries);
+  }
+  std::printf("draining...\n");
   // Graceful drain: stop accepting, finish in-flight requests (bounded by
   // server.drain_timeout_ms), then stop() saves the manifest and joins.
   if (!node.value()->drain()) {

@@ -24,6 +24,10 @@ const char* action_kind_name(ActionKind kind) {
       return "insert";
     case ActionKind::kCheck:
       return "check";
+    case ActionKind::kJoinNode:
+      return "join_node";
+    case ActionKind::kDecommissionNode:
+      return "decommission_node";
   }
   return "?";
 }

@@ -47,6 +47,11 @@ enum class ActionKind {
   kInsert,       ///< `node` executes + caches GET key_or_pattern
   kCheck,        ///< log a mid-run cluster consistency snapshot (advisory:
                  ///< drift is legal mid-traffic under weak consistency)
+  kJoinNode,     ///< `node` runs the two-phase join protocol into the live
+                 ///< cluster (no-op when already an active member)
+  kDecommissionNode,  ///< graceful leave: `node` stops admitting entries,
+                      ///< hands cached state to its ring successors, and
+                      ///< peers deactivate it without quarantining it
 };
 
 const char* action_kind_name(ActionKind kind);
@@ -75,6 +80,13 @@ struct ChaosSchedule {
   /// (covers propagation delay and, on the live substrate, scheduling).
   double slack_seconds = 0.5;
   core::DirectoryMode directory_mode = core::DirectoryMode::kReplicated;
+  /// Active members at t=0 (empty = every node). A node absent from this
+  /// list starts outside the cluster — alive and addressable, but ignored
+  /// by peers — and must kJoinNode before it cooperates.
+  std::vector<core::NodeId> initial_active;
+  /// Decommission handoff: entry bodies larger than this are not shipped
+  /// (0 = no cap). Mirrors cluster.handoff_batch_bytes.
+  std::uint64_t handoff_batch_bytes = 256 * 1024;
   std::vector<ChaosAction> actions;
 };
 
@@ -116,6 +128,14 @@ struct ChaosVerdict {
   std::uint64_t gaps_repaired = 0;          ///< sum of per-node stats
   std::uint64_t stale_serves_prevented = 0; ///< sum of per-node stats
   std::uint64_t overflow_purges = 0;        ///< sum of per-node stats
+
+  // ---- membership churn accounting (kJoinNode / kDecommissionNode) ----
+  std::uint64_t membership_transitions = 0;  ///< joins + decommissions applied
+  std::uint64_t handoff_frames = 0;   ///< entries shipped on the handoff
+                                      ///< channel (kInsert handoff frames)
+  std::uint64_t handoff_bytes = 0;    ///< encoded size of those frames
+                                      ///< (sim substrate only)
+  std::uint64_t handoffs_adopted = 0; ///< shipped entries successors adopted
 
   /// The whole log as one newline-joined string (determinism guard tests
   /// compare this across runs).

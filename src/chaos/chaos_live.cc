@@ -57,6 +57,8 @@ ChaosVerdict run_live_chaos(const ChaosSchedule& schedule,
     go.anti_entropy_interval_ms = static_cast<int>(
         schedule.anti_entropy_interval_seconds * 1000.0);
     go.fault_injector = injectors[id].get();
+    go.initial_active = schedule.initial_active;
+    go.handoff_batch_bytes = schedule.handoff_batch_bytes;
     return go;
   };
   const auto manager_options = [&](NodeId) {
@@ -66,6 +68,7 @@ ChaosVerdict run_live_chaos(const ChaosSchedule& schedule,
     d.cacheable = true;
     mo.rules.add_rule("/cgi-bin/*", d);
     mo.directory_mode = schedule.directory_mode;
+    mo.initial_members = schedule.initial_active;
     return mo;
   };
   cluster::LocalCluster cluster(n, manager_options, RealClock::instance(),
@@ -78,6 +81,13 @@ ChaosVerdict run_live_chaos(const ChaosSchedule& schedule,
   probe.restart_at.assign(n, -1.0);
 
   std::vector<char> alive(n, 1);
+  std::vector<char> member(n, 1);
+  if (!schedule.initial_active.empty()) {
+    member.assign(n, 0);
+    for (const NodeId id : schedule.initial_active) {
+      if (id < n) member[id] = 1;
+    }
+  }
   auto actions = schedule.actions;
   std::stable_sort(actions.begin(), actions.end(),
                    [](const ChaosAction& a, const ChaosAction& b) {
@@ -96,7 +106,7 @@ ChaosVerdict run_live_chaos(const ChaosSchedule& schedule,
   const auto nodes_for_check = [&] {
     std::vector<const CacheManager*> nodes;
     for (std::size_t i = 0; i < n; ++i) {
-      nodes.push_back(alive[i] ? &cluster.manager(i) : nullptr);
+      nodes.push_back(alive[i] && member[i] ? &cluster.manager(i) : nullptr);
     }
     return nodes;
   };
@@ -187,6 +197,48 @@ ChaosVerdict run_live_chaos(const ChaosSchedule& schedule,
             " (advisory)");
         break;
       }
+      case ActionKind::kJoinNode: {
+        if (!alive[node]) {
+          log("node " + std::to_string(node) + ": join skipped (node down)");
+          break;
+        }
+        if (member[node]) {
+          log("node " + std::to_string(node) +
+              ": join skipped (already a member)");
+          break;
+        }
+        const auto st = cluster.group(node).join_cluster();
+        if (!st.is_ok()) {
+          verdict.violations.push_back(
+              stamp(seconds_since(start),
+                    "HARNESS: join of node " + std::to_string(node) +
+                        " failed: " + st.to_string()));
+          break;
+        }
+        member[node] = 1;
+        verdict.membership_transitions += 1;
+        log("node " + std::to_string(node) + ": JOIN complete (epoch " +
+            std::to_string(cluster.manager(node).membership_epoch()) + ")");
+        break;
+      }
+      case ActionKind::kDecommissionNode: {
+        if (!alive[node] || !member[node]) {
+          log("node " + std::to_string(node) +
+              ": decommission skipped (not an active member)");
+          break;
+        }
+        auto& manager = cluster.manager(node);
+        manager.begin_decommission();
+        const auto handed =
+            manager.handoff_state(schedule.handoff_batch_bytes);
+        cluster.group(node).announce_decommission();
+        member[node] = 0;
+        verdict.membership_transitions += 1;
+        log("node " + std::to_string(node) + ": DECOMMISSION (handed off " +
+            std::to_string(handed.records) + " records, " +
+            std::to_string(handed.entries) + " entries)");
+        break;
+      }
     }
   };
 
@@ -233,6 +285,8 @@ ChaosVerdict run_live_chaos(const ChaosSchedule& schedule,
     verdict.anti_entropy_rounds += gs.anti_entropy_rounds;
     verdict.repair_frames +=
         gs.digests_sent + 2 * gs.inv_syncs_pulled + gs.inv_syncs_served;
+    verdict.handoff_frames += gs.handoff_frames_sent;
+    verdict.handoffs_adopted += gs.handoffs_adopted;
   }
   verdict.passed = verdict.violations.empty();
   log(std::string("verdict: ") + (verdict.passed ? "PASS" : "FAIL") + " (" +

@@ -51,8 +51,14 @@ class ChaosBus final : public core::CooperationBus {
                                           int budget_ms) override;
   Result<core::CachedResult> fetch_remote(NodeId owner,
                                           const std::string& key) override;
+  void send_handoff(NodeId successor, const core::EntryMeta& meta,
+                    const std::string& body) override;
 
  private:
+  /// Peers outside the sender's membership view get no traffic (the TCP
+  /// group drops frames to inactive slots at the sender).
+  bool peer_is_member(std::size_t peer) const;
+
   SimState* state_;
   NodeId self_;
 };
@@ -67,6 +73,10 @@ struct SimState {
   std::vector<std::unique_ptr<ChaosBus>> buses;
   std::vector<std::unique_ptr<CacheManager>> managers;
   std::vector<char> alive;
+  /// Active-membership bookkeeping (harness view): nodes outside it take no
+  /// part in digest rounds and are excluded from the oracle — a joiner has
+  /// not been admitted yet, a decommissioned leaver handed its state off.
+  std::vector<char> member;
   ChaosVerdict verdict;
   detail::StalenessProbe probe;
   std::uint64_t digest_round = 0;
@@ -109,9 +119,13 @@ struct SimState {
   }
 };
 
+bool ChaosBus::peer_is_member(std::size_t peer) const {
+  return state_->managers[self_]->is_member(static_cast<NodeId>(peer));
+}
+
 void ChaosBus::broadcast_insert(const core::EntryMeta& meta) {
   for (std::size_t peer = 0; peer < state_->managers.size(); ++peer) {
-    if (peer == self_) continue;
+    if (peer == self_ || !peer_is_member(peer)) continue;
     double delay = kDeliveryDelay;
     const int copies = state_->deliveries(
         self_, static_cast<NodeId>(peer), cluster::MsgType::kInsert, &delay);
@@ -127,7 +141,7 @@ void ChaosBus::broadcast_insert(const core::EntryMeta& meta) {
 void ChaosBus::broadcast_erase(NodeId owner, const std::string& key,
                                std::uint64_t version) {
   for (std::size_t peer = 0; peer < state_->managers.size(); ++peer) {
-    if (peer == self_) continue;
+    if (peer == self_ || !peer_is_member(peer)) continue;
     double delay = kDeliveryDelay;
     const int copies = state_->deliveries(
         self_, static_cast<NodeId>(peer), cluster::MsgType::kErase, &delay);
@@ -144,7 +158,7 @@ void ChaosBus::broadcast_invalidate(const std::string& pattern,
                                     std::uint64_t epoch) {
   const NodeId origin = self_;
   for (std::size_t peer = 0; peer < state_->managers.size(); ++peer) {
-    if (peer == self_) continue;
+    if (peer == self_ || !peer_is_member(peer)) continue;
     double delay = kDeliveryDelay;
     const int copies =
         state_->deliveries(self_, static_cast<NodeId>(peer),
@@ -186,6 +200,27 @@ void ChaosBus::send_owner_erase(NodeId ring_owner, NodeId cache_node,
           state_->managers[ring_owner]->on_peer_erase(cache_node, key,
                                                       version);
         });
+  }
+}
+
+void ChaosBus::send_handoff(NodeId successor, const core::EntryMeta& meta,
+                            const std::string& body) {
+  if (successor >= state_->managers.size() || successor == self_) return;
+  state_->verdict.handoff_frames += 1;
+  state_->verdict.handoff_bytes +=
+      cluster::encode_message(cluster::Message::insert_handoff(self_, meta,
+                                                               body))
+          .size();
+  double delay = kDeliveryDelay;
+  const int copies = state_->deliveries(self_, successor,
+                                        cluster::MsgType::kInsert, &delay);
+  for (int c = 0; c < copies; ++c) {
+    state_->engine.schedule_in(delay, [this, successor, meta, body] {
+      if (!state_->alive[successor]) return;
+      if (state_->managers[successor]->adopt_entry(meta, body)) {
+        state_->verdict.handoffs_adopted += 1;
+      }
+    });
   }
 }
 
@@ -300,11 +335,11 @@ void digest_round(SimState* state) {
   const bool has_digest =
       state->schedule->directory_mode != core::DirectoryMode::kQuery;
   for (std::size_t s = 0; s < state->managers.size(); ++s) {
-    if (!state->alive[s]) continue;
+    if (!state->alive[s] || !state->member[s]) continue;
     CacheManager* sender = state->managers[s].get();
     const auto high = sender->inv_high_vector();
     for (std::size_t p = 0; p < state->managers.size(); ++p) {
-      if (p == s || !state->alive[p]) continue;
+      if (p == s || !state->alive[p] || !state->member[p]) continue;
       std::size_t entries = 0;
       const std::uint64_t digest =
           sender->digest_for_peer(static_cast<NodeId>(p), &entries);
@@ -357,8 +392,9 @@ void digest_round(SimState* state) {
 void rejoin(SimState* state, std::size_t node) {
   state->alive[node] = 1;
   state->probe.restart_at[node] = state->engine.now();
+  if (!state->member[node]) return;  // outside the cluster: nothing to resync
   for (std::size_t o = 0; o < state->managers.size(); ++o) {
-    if (o == node || !state->alive[o]) continue;
+    if (o == node || !state->alive[o] || !state->member[o]) continue;
     state->managers[o]->on_peer_recovered(static_cast<NodeId>(node));
     state->managers[node]->on_peer_recovered(static_cast<NodeId>(o));
     push_state(state, o, node);
@@ -411,7 +447,10 @@ void apply_action(SimState* state, const ChaosAction& action) {
         // Broken-oracle self-test: probe before the broadcast can land.
         state->engine.schedule_in(kDeliveryDelay / 2, [state] {
           std::vector<const CacheManager*> nodes;
-          for (const auto& m : state->managers) nodes.push_back(m.get());
+          for (std::size_t i = 0; i < state->managers.size(); ++i) {
+            nodes.push_back(state->member[i] ? state->managers[i].get()
+                                             : nullptr);
+          }
           state->probe.poll(state->engine.now(), nodes, state->alive,
                             &state->verdict);
         });
@@ -449,12 +488,87 @@ void apply_action(SimState* state, const ChaosAction& action) {
     case ActionKind::kCheck: {
       std::vector<const CacheManager*> nodes;
       for (std::size_t i = 0; i < state->managers.size(); ++i) {
-        nodes.push_back(state->alive[i] ? state->managers[i].get() : nullptr);
+        nodes.push_back(state->alive[i] && state->member[i]
+                            ? state->managers[i].get()
+                            : nullptr);
       }
       const auto report = core::check_cluster_consistency(nodes);
       state->log(std::string("mid-run check: ") +
                  (report.consistent() ? "consistent" : "drift present") +
                  " (advisory)");
+      break;
+    }
+    case ActionKind::kJoinNode: {
+      if (!state->alive[n]) {
+        state->log("node " + std::to_string(n) + ": join skipped (node down)");
+        break;
+      }
+      if (state->member[n]) {
+        state->log("node " + std::to_string(n) +
+                   ": join skipped (already a member)");
+        break;
+      }
+      // The kJoinAck responder: the first live member the kJoin fan-out
+      // reaches.
+      std::size_t responder = state->managers.size();
+      for (std::size_t o = 0; o < state->managers.size(); ++o) {
+        if (o != n && state->alive[o] && state->member[o]) {
+          responder = o;
+          break;
+        }
+      }
+      if (responder == state->managers.size()) {
+        state->log("node " + std::to_string(n) +
+                   ": join skipped (no live member to ack)");
+        break;
+      }
+      // Every live member admits the joiner (the per-peer kJoin serve path):
+      // partitioned mode forwards the remapped directory slice, replicated
+      // mode re-pushes the admitting peer's resident entries.
+      const auto mode = state->managers[n]->directory_mode();
+      for (std::size_t o = 0; o < state->managers.size(); ++o) {
+        if (o == n || !state->alive[o] || !state->member[o]) continue;
+        const auto hs =
+            state->managers[o]->member_joined(static_cast<NodeId>(n));
+        if (hs.records + hs.entries > 0) {
+          state->log("node " + std::to_string(o) + ": remapped " +
+                     std::to_string(hs.records) + " records, re-announced " +
+                     std::to_string(hs.entries) + " entries for joiner " +
+                     std::to_string(n));
+        }
+        if (mode == core::DirectoryMode::kReplicated) {
+          push_state(state, o, n);
+        }
+      }
+      // The joiner adopts the responder's post-admission view (kJoinAck).
+      state->member[n] = 1;
+      state->managers[n]->adopt_membership(
+          state->managers[responder]->membership_epoch(),
+          state->managers[responder]->active_members());
+      state->verdict.membership_transitions += 1;
+      state->log("node " + std::to_string(n) + ": JOIN complete (epoch " +
+                 std::to_string(state->managers[n]->membership_epoch()) +
+                 ")");
+      break;
+    }
+    case ActionKind::kDecommissionNode: {
+      if (!state->alive[n] || !state->member[n]) {
+        state->log("node " + std::to_string(n) +
+                   ": decommission skipped (not an active member)");
+        break;
+      }
+      state->managers[n]->begin_decommission();
+      const auto hs = state->managers[n]->handoff_state(
+          state->schedule->handoff_batch_bytes);
+      for (std::size_t o = 0; o < state->managers.size(); ++o) {
+        if (o == n || !state->alive[o] || !state->member[o]) continue;
+        state->managers[o]->member_left(static_cast<NodeId>(n));
+      }
+      state->member[n] = 0;
+      state->verdict.membership_transitions += 1;
+      state->log("node " + std::to_string(n) + ": DECOMMISSION (handed off " +
+                 std::to_string(hs.records) + " records, " +
+                 std::to_string(hs.entries) + " entries)");
       break;
     }
   }
@@ -469,6 +583,14 @@ ChaosVerdict run_sim_chaos(const ChaosSchedule& schedule,
   state.oracle = &oracle;
   const std::size_t n = schedule.nodes;
   state.alive.assign(n, 1);
+  if (schedule.initial_active.empty()) {
+    state.member.assign(n, 1);
+  } else {
+    state.member.assign(n, 0);
+    for (const NodeId id : schedule.initial_active) {
+      if (id < n) state.member[id] = 1;
+    }
+  }
   state.track.assign(n, std::vector<SimState::PairTrack>(n));
   state.probe.interval = schedule.anti_entropy_interval_seconds;
   state.probe.slack = schedule.slack_seconds;
@@ -488,6 +610,7 @@ ChaosVerdict run_sim_chaos(const ChaosSchedule& schedule,
     d.cacheable = true;
     mo.rules.add_rule("/cgi-bin/*", d);
     mo.directory_mode = schedule.directory_mode;
+    mo.initial_members = schedule.initial_active;
     state.managers.push_back(std::make_unique<CacheManager>(
         static_cast<NodeId>(i), n, std::move(mo), state.engine.clock(),
         state.buses[i].get()));
@@ -519,7 +642,10 @@ ChaosVerdict run_sim_chaos(const ChaosSchedule& schedule,
     for (double t = kPollInterval; t < t_end; t += kPollInterval) {
       state.engine.schedule_at(t, [&state] {
         std::vector<const CacheManager*> nodes;
-        for (const auto& m : state.managers) nodes.push_back(m.get());
+        for (std::size_t i = 0; i < state.managers.size(); ++i) {
+          nodes.push_back(state.member[i] ? state.managers[i].get()
+                                          : nullptr);
+        }
         state.probe.poll(state.engine.now(), nodes, state.alive,
                          &state.verdict);
       });
@@ -531,7 +657,9 @@ ChaosVerdict run_sim_chaos(const ChaosSchedule& schedule,
   if (oracle.check_final_consistency) {
     std::vector<const CacheManager*> nodes;
     for (std::size_t i = 0; i < n; ++i) {
-      nodes.push_back(state.alive[i] ? state.managers[i].get() : nullptr);
+      nodes.push_back(state.alive[i] && state.member[i]
+                          ? state.managers[i].get()
+                          : nullptr);
     }
     const auto report = core::check_cluster_consistency(nodes);
     if (!report.consistent()) {

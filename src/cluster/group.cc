@@ -32,7 +32,9 @@ NodeGroup::NodeGroup(core::NodeId self, std::vector<MemberAddress> members,
       members_(std::move(members)),
       options_(options),
       transport_(options.fault_injector),
-      backoff_rng_(options.backoff_seed) {}
+      backoff_rng_(options.backoff_seed) {
+  query_rotation_.store(options.backoff_seed, std::memory_order_relaxed);
+}
 
 NodeGroup::~NodeGroup() { stop(); }
 
@@ -68,6 +70,12 @@ Status NodeGroup::start() {
     if (m.id == self_) continue;
     auto link = std::make_unique<PeerLink>();
     link->address = m;
+    if (!options_.initial_active.empty()) {
+      link->active.store(std::find(options_.initial_active.begin(),
+                                   options_.initial_active.end(),
+                                   m.id) != options_.initial_active.end(),
+                         std::memory_order_release);
+    }
     link->outbound =
         std::make_unique<BoundedQueue<Message>>(options_.outbound_queue_capacity);
     PeerLink* raw = link.get();
@@ -198,6 +206,7 @@ void NodeGroup::push_state_to(PeerLink* link) {
 void NodeGroup::probe_dead_peers() {
   const auto now = std::chrono::steady_clock::now();
   for (auto& peer : peers_) {
+    if (!peer->active.load(std::memory_order_acquire)) continue;
     std::lock_guard<std::mutex> lock(peer->health_mutex);
     if (peer->state != PeerState::kDead || now < peer->next_probe) continue;
     peer->next_probe = now + std::chrono::milliseconds(options_.probe_interval_ms);
@@ -213,12 +222,20 @@ Message NodeGroup::make_hello() const {
   // there is no log yet: plain HELLO.
   core::CacheManager* manager = manager_.load(std::memory_order_acquire);
   if (manager == nullptr) return Message::hello(self_);
-  return Message::hello_with_epochs(self_, manager->inv_high_vector());
+  // The membership epoch rides along too, so divergent views surface on the
+  // first exchange (status pages and tests compare them; the kJoin protocol
+  // itself converges via kJoinAck).
+  return Message::hello_membership(self_, manager->inv_high_vector(),
+                                   manager->membership_epoch());
 }
 
 void NodeGroup::anti_entropy_round() {
   core::CacheManager* manager = manager_.load(std::memory_order_acquire);
   if (manager == nullptr) return;
+  // A node outside the membership (pre-join stand-alone) or on its way out
+  // (decommissioning, drain-only) does not gossip: its digests would read
+  // as permanent drift to peers that already cleared its table.
+  if (!manager->is_member(self_) || manager->decommissioning()) return;
   anti_entropy_rounds_.fetch_add(1, std::memory_order_relaxed);
   const auto high = manager->inv_high_vector();
   // Query mode keeps no remote directory state to compare, so its digest
@@ -226,6 +243,7 @@ void NodeGroup::anti_entropy_round() {
   const bool has_digest =
       manager->directory_mode() != core::DirectoryMode::kQuery;
   for (auto& peer : peers_) {
+    if (!peer->active.load(std::memory_order_acquire)) continue;
     if (state_of(peer.get()) == PeerState::kDead) continue;  // probes handle it
     std::size_t entries = 0;
     const std::uint64_t digest =
@@ -367,18 +385,35 @@ void NodeGroup::apply_info_message(const Message& msg) {
     case MsgType::kDigest:
       // Anti-entropy round: epoch gap first (repairs lost invalidations),
       // then the directory digest (repairs lost inserts/owner updates).
+      // Straggler digests from a node we no longer (or don't yet) consider
+      // a member are dropped: we keep no table for it to compare.
+      if (manager != nullptr && !manager->is_member(msg.sender)) break;
       maybe_pull_inv_sync(msg.sender, msg.epochs);
       check_digest(msg.sender, msg.has_digest, msg.digest);
       break;
     case MsgType::kSyncReq:
       // The peer cleared its copy of our table; re-announce what we hold.
+      // A non-member requester gets nothing (its records would point at a
+      // node the cluster no longer routes to).
+      if (manager != nullptr && !manager->is_member(msg.sender)) break;
       if (PeerLink* link = find_link(msg.sender)) {
         resyncs_served_.fetch_add(1, std::memory_order_relaxed);
         push_state_to(link);
       }
       break;
     case MsgType::kInsert:
-      if (manager != nullptr) manager->on_peer_insert(msg.meta);
+      if (manager != nullptr) {
+        if (msg.handoff) {
+          // Decommission handoff: the departing owner shipped us the whole
+          // entry (meta + body); adopt it into our own store instead of
+          // recording a directory entry for a node that is leaving.
+          if (manager->adopt_entry(msg.meta, msg.data)) {
+            handoffs_adopted_.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          manager->on_peer_insert(msg.meta);
+        }
+      }
       break;
     case MsgType::kErase:
       if (manager != nullptr) {
@@ -391,6 +426,23 @@ void NodeGroup::apply_info_message(const Message& msg) {
       if (manager != nullptr) {
         manager->on_peer_invalidate(msg.key, msg.sender, msg.epoch);
       }
+      break;
+    case MsgType::kDecommission:
+      // Graceful leave. Deactivate the slot without the dead-peer
+      // quarantine: the leaver already handed its state off, so there is
+      // nothing to resync when (if) the slot rejoins.
+      decommissions_observed_.fetch_add(1, std::memory_order_relaxed);
+      SWALA_LOG(Info) << "node " << self_ << ": peer " << msg.sender
+                      << " decommissioned (epoch " << msg.membership_epoch
+                      << ")";
+      if (PeerLink* link = find_link(msg.sender)) {
+        link->active.store(false, std::memory_order_release);
+        // Not a death: reset the breaker so a later rejoin starts clean.
+        std::lock_guard<std::mutex> lock(link->health_mutex);
+        link->state = PeerState::kHealthy;
+        link->consecutive_failures = 0;
+      }
+      if (manager != nullptr) manager->member_left(msg.sender);
       break;
     case MsgType::kOwnerUpdate:
       // Partitioned-mode unicast. A mis-routed frame (we are not this key's
@@ -482,6 +534,37 @@ void NodeGroup::serve_data_request(net::TcpStream stream) {
       if (!transport_.send(stream, msg.value().sender, resp).is_ok()) return;
       continue;
     }
+    if (msg.value().type == MsgType::kJoin) {
+      // Join admission (two-phase join, phase executed per peer): activate
+      // the sender's slot, fold it into the ring, and answer with our
+      // post-join membership view so the joiner can adopt it.
+      joins_served_.fetch_add(1, std::memory_order_relaxed);
+      Message resp = Message::join_ack(self_, 0, {});
+      core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+      PeerLink* link = find_link(msg.value().sender);
+      if (link != nullptr) {
+        link->active.store(true, std::memory_order_release);
+        // A joining node is reachable by definition; clear whatever breaker
+        // state the slot accumulated while it was empty.
+        std::lock_guard<std::mutex> lock(link->health_mutex);
+        link->state = PeerState::kHealthy;
+        link->consecutive_failures = 0;
+      }
+      if (manager != nullptr) {
+        manager->member_joined(msg.value().sender);
+        // Replicated mode: the newcomer starts with an empty directory, so
+        // ship it our entries (in partitioned mode member_joined already
+        // re-announced exactly the remapped ranges).
+        if (link != nullptr &&
+            manager->directory_mode() == core::DirectoryMode::kReplicated) {
+          push_state_to(link);
+        }
+        resp = Message::join_ack(self_, manager->membership_epoch(),
+                                 manager->active_members());
+      }
+      if (!transport_.send(stream, msg.value().sender, resp).is_ok()) return;
+      continue;
+    }
     if (msg.value().type != MsgType::kFetchReq) return;
 
     Message resp = Message::fetch_resp_miss(self_);
@@ -536,6 +619,7 @@ void NodeGroup::purge_loop() {
 
 void NodeGroup::enqueue_broadcast(const Message& msg) {
   for (auto& peer : peers_) {
+    if (!peer->active.load(std::memory_order_acquire)) continue;
     if (!peer->outbound->try_push(msg)) {
       send_failures_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -565,6 +649,13 @@ void NodeGroup::broadcast_invalidate(const std::string& pattern,
 void NodeGroup::enqueue_to(core::NodeId id, const Message& msg) {
   PeerLink* link = find_link(id);
   if (link == nullptr) return;  // self or unknown id: nothing to send
+  if (!link->active.load(std::memory_order_acquire)) {
+    // Slot outside the active set: drop (anti-entropy repairs any update
+    // that raced a membership transition).
+    link->dropped.fetch_add(1, std::memory_order_relaxed);
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (!link->outbound->try_push(msg)) {
     send_failures_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -582,6 +673,13 @@ void NodeGroup::send_owner_erase(core::NodeId ring_owner,
                                  std::uint64_t version) {
   owner_updates_sent_.fetch_add(1, std::memory_order_relaxed);
   enqueue_to(ring_owner, Message::owner_erase(self_, cache_node, key, version));
+}
+
+void NodeGroup::send_handoff(core::NodeId successor,
+                             const core::EntryMeta& meta,
+                             const std::string& body) {
+  handoff_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  enqueue_to(successor, Message::insert_handoff(self_, meta, body));
 }
 
 namespace {
@@ -641,6 +739,12 @@ void NodeGroup::sender_loop(PeerLink* link) {
     } else {
       msg = link->outbound->pop();
       if (!msg) break;  // queue closed and drained
+    }
+    if (!link->active.load(std::memory_order_acquire)) {
+      // Slot left the active set after this message was queued; drop it.
+      link->dropped.fetch_add(1, std::memory_order_relaxed);
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
     const bool is_probe = msg->type == MsgType::kHello;
     const PeerState state = state_of(link);
@@ -777,10 +881,31 @@ Result<core::EntryMeta> NodeGroup::query_peers(const std::string& key,
   // Bounded sequential probe: each healthy peer gets at most
   // query_timeout_ms, and the whole sweep never exceeds the overall budget
   // (the request deadline when one is known). The first "found" wins.
+  //
+  // Probe order rotates (seeded per node) and visits healthy peers before
+  // suspects: a fixed slot order would aim every sweep's first probe — and
+  // therefore most of the budget — at the same peer, and a suspect probed
+  // early can eat the whole budget in timeouts before a healthy peer that
+  // has the entry is ever asked.
   const auto start = std::chrono::steady_clock::now();
   const int overall = budget_ms > 0 ? budget_ms : options_.fetch_timeout_ms;
+  const std::size_t n = peers_.size();
+  if (n == 0) return Status(StatusCode::kNotFound, "no peer caches this key");
+  const std::size_t offset = static_cast<std::size_t>(
+      query_rotation_.fetch_add(1, std::memory_order_relaxed) % n);
+  std::vector<PeerLink*> order;
+  order.reserve(n);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      PeerLink* peer = peers_[(offset + i) % n].get();
+      if (!peer->active.load(std::memory_order_acquire)) continue;
+      const PeerState state = state_of(peer);
+      if (state == PeerState::kDead) continue;
+      if ((state == PeerState::kHealthy) == (pass == 0)) order.push_back(peer);
+    }
+  }
   bool every_peer_answered = true;
-  for (const auto& peer : peers_) {
+  for (PeerLink* peer : order) {
     const int elapsed = static_cast<int>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - start)
@@ -790,7 +915,6 @@ Result<core::EntryMeta> NodeGroup::query_peers(const std::string& key,
       every_peer_answered = false;
       break;
     }
-    if (state_of(peer.get()) == PeerState::kDead) continue;
     queries_sent_.fetch_add(1, std::memory_order_relaxed);
     const int io_timeout_ms = std::min(options_.query_timeout_ms, remaining);
     const int connect_timeout_ms =
@@ -826,6 +950,12 @@ Result<Message> NodeGroup::data_exchange(core::NodeId peer_id,
                   "unknown node " + std::to_string(peer_id));
   }
   PeerLink* link = find_link(peer_id);
+  if (link != nullptr && !link->active.load(std::memory_order_acquire)) {
+    // Not an active member (decommissioned or never joined): fail fast,
+    // exactly like an open breaker, so callers fall back immediately.
+    return Status(StatusCode::kUnavailable,
+                  "peer " + std::to_string(peer_id) + " not an active member");
+  }
   if (link != nullptr && state_of(link) == PeerState::kDead) {
     // Breaker open: fail fast so the request thread goes straight to the
     // local CGI fallback instead of burning a connect timeout.
@@ -895,6 +1025,83 @@ Result<Message> NodeGroup::data_exchange(core::NodeId peer_id,
   return fail(last_error);
 }
 
+// ---- dynamic membership ----
+
+Status NodeGroup::join_cluster() {
+  core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+  if (manager == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "attach() a manager before joining");
+  }
+  const int io_timeout_ms = options_.join_timeout_ms;
+  const int connect_timeout_ms =
+      std::min(options_.connect_timeout_ms, io_timeout_ms);
+  // Phase 1 (staged): every active peer gets its own kJoin, so each member
+  // admits us explicitly (a HELLO alone must not activate a slot: a
+  // decommissioned node still greets while draining). The first ack's view
+  // is remembered but NOT adopted yet — adoption re-announces our resident
+  // entries, and a peer that has not yet processed our kJoin would wipe
+  // those records again when member_joined clears our table.
+  // Phase 2 (active): with every member's admission in hand, adopt the
+  // acked view, realign slot flags, and greet.
+  bool acked = false;
+  std::uint64_t acked_epoch = 0;
+  std::vector<core::NodeId> acked_members;
+  Status last_error(StatusCode::kUnavailable, "no active peer to join via");
+  for (auto& peer : peers_) {
+    if (!peer->active.load(std::memory_order_acquire)) continue;
+    joins_sent_.fetch_add(1, std::memory_order_relaxed);
+    auto resp = data_exchange(peer->address.id, Message::join(self_),
+                              MsgType::kJoinAck, io_timeout_ms,
+                              connect_timeout_ms);
+    if (!resp) {
+      last_error = resp.status();
+      continue;
+    }
+    if (acked) continue;
+    acked = true;
+    acked_epoch = resp.value().membership_epoch;
+    acked_members = resp.value().members;
+  }
+  if (!acked) return last_error;
+  manager->adopt_membership(acked_epoch, acked_members);
+  for (auto& p : peers_) {
+    p->active.store(manager->is_member(p->address.id),
+                    std::memory_order_release);
+  }
+  // Greet the cluster so the sender links come up and epoch vectors flow.
+  for (auto& peer : peers_) {
+    if (!peer->active.load(std::memory_order_acquire)) continue;
+    peer->outbound->try_push(make_hello());
+  }
+  SWALA_LOG(Info) << "node " << self_ << ": joined cluster (epoch "
+                  << manager->membership_epoch() << ", "
+                  << manager->active_members().size() << " members)";
+  return Status::ok();
+}
+
+void NodeGroup::announce_decommission() {
+  core::CacheManager* manager = manager_.load(std::memory_order_acquire);
+  const std::uint64_t epoch =
+      manager != nullptr ? manager->membership_epoch() : 0;
+  SWALA_LOG(Info) << "node " << self_
+                  << ": announcing decommission (epoch " << epoch << ")";
+  enqueue_broadcast(Message::decommission(self_, epoch));
+}
+
+void NodeGroup::set_member_active(core::NodeId id, bool active) {
+  PeerLink* link = find_link(id);
+  if (link == nullptr) return;
+  link->active.store(active, std::memory_order_release);
+}
+
+bool NodeGroup::member_active(core::NodeId id) const {
+  if (id == self_) return true;
+  PeerLink* link = find_link(id);
+  if (link == nullptr) return false;
+  return link->active.load(std::memory_order_acquire);
+}
+
 std::size_t NodeGroup::outbound_backlog() const {
   std::size_t backlog = 0;
   for (const auto& peer : peers_) backlog += peer->outbound->size();
@@ -907,6 +1114,7 @@ std::vector<PeerHealth> NodeGroup::peer_health() const {
   for (const auto& peer : peers_) {
     PeerHealth h;
     h.id = peer->address.id;
+    h.active = peer->active.load(std::memory_order_acquire);
     {
       std::lock_guard<std::mutex> lock(peer->health_mutex);
       h.state = peer->state;
@@ -953,6 +1161,12 @@ GroupStats NodeGroup::stats() const {
   s.digest_repairs = digest_repairs_.load(std::memory_order_relaxed);
   s.inv_syncs_pulled = inv_syncs_pulled_.load(std::memory_order_relaxed);
   s.inv_syncs_served = inv_syncs_served_.load(std::memory_order_relaxed);
+  s.joins_sent = joins_sent_.load(std::memory_order_relaxed);
+  s.joins_served = joins_served_.load(std::memory_order_relaxed);
+  s.decommissions_observed =
+      decommissions_observed_.load(std::memory_order_relaxed);
+  s.handoff_frames_sent = handoff_frames_sent_.load(std::memory_order_relaxed);
+  s.handoffs_adopted = handoffs_adopted_.load(std::memory_order_relaxed);
   return s;
 }
 

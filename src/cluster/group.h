@@ -43,7 +43,10 @@
 
 namespace swala::cluster {
 
-/// Static group membership (the paper uses a fixed cluster).
+/// One provisioned member slot. The paper uses a fixed cluster; since PR10
+/// the *capacity* (the slot list) is fixed at config time while the active
+/// set within it is dynamic — kJoin activates a slot, kDecommission
+/// deactivates one (see join_cluster / announce_decommission).
 struct MemberAddress {
   core::NodeId id = core::kInvalidNode;
   net::InetAddress info_addr;  ///< receives directory broadcasts
@@ -106,6 +109,17 @@ struct GroupOptions {
   /// Optional deterministic fault hook applied to every outgoing message
   /// (not owned; tests and the simulator share the same injector type).
   FaultInjector* fault_injector = nullptr;
+
+  // ---- dynamic membership (PR10) ----
+  /// Per-peer ceiling on one kJoin/kJoinAck exchange.
+  int join_timeout_ms = 3000;
+  /// Largest entry body shipped in one decommission handoff frame; larger
+  /// entries are dropped (a lost cache entry costs one re-execution).
+  std::size_t handoff_batch_bytes = 256 * 1024;
+  /// Member ids active at start (this node's initial view). Empty = every
+  /// configured slot. A node started outside the active set joins via
+  /// join_cluster(); peers list it here-absent until its kJoin/HELLO.
+  std::vector<core::NodeId> initial_active;
 };
 
 /// Counters for the overhead experiments (Tables 3 and 4).
@@ -140,12 +154,19 @@ struct GroupStats {
   std::uint64_t digest_repairs = 0;       ///< directory resyncs a mismatch forced
   std::uint64_t inv_syncs_pulled = 0;     ///< kInvSync pulls issued on a gap
   std::uint64_t inv_syncs_served = 0;     ///< peers' kInvSync pulls answered
+  // ---- dynamic membership ----
+  std::uint64_t joins_sent = 0;           ///< kJoin requests issued
+  std::uint64_t joins_served = 0;         ///< peers' kJoin requests admitted
+  std::uint64_t decommissions_observed = 0;  ///< kDecommission frames applied
+  std::uint64_t handoff_frames_sent = 0;  ///< kInsert handoff frames enqueued
+  std::uint64_t handoffs_adopted = 0;     ///< handed-off entries adopted here
 };
 
 /// Snapshot of one peer's health (exposed via /swala-status).
 struct PeerHealth {
   core::NodeId id = core::kInvalidNode;
   PeerState state = PeerState::kHealthy;
+  bool active = true;  ///< member slot currently in the active set
   std::uint64_t consecutive_failures = 0;
   std::uint64_t total_failures = 0;
   std::uint64_t messages_dropped = 0;
@@ -215,6 +236,31 @@ class NodeGroup final : public core::CooperationBus {
   // (<=0 = fetch_timeout_ms); each peer gets at most query_timeout_ms.
   Result<core::EntryMeta> query_peers(const std::string& key,
                                       int budget_ms) override;
+  /// Decommission handoff: ships one cached entry (meta + body) to its
+  /// successor as a kInsert frame flagged handoff, so the receiver adopts
+  /// the entry into its own store instead of recording a directory entry.
+  void send_handoff(core::NodeId successor, const core::EntryMeta& meta,
+                    const std::string& body) override;
+
+  // ---- dynamic membership (PR10) ----
+
+  /// Two-phase join into a running cluster. Sends kJoin over the data
+  /// channel to active peers in slot order until one admits us, adopts the
+  /// returned membership (epoch + active set), then HELLOs every active
+  /// peer so each of them activates our slot too. Requires attach() first.
+  Status join_cluster();
+
+  /// Broadcasts kDecommission to every active peer. The caller sequences
+  /// the full graceful leave: manager->begin_decommission() →
+  /// manager->handoff_state() → announce_decommission() → drain.
+  void announce_decommission();
+
+  /// Flips one member slot's active flag in this node's view (the protocol
+  /// paths call this internally; tests and chaos use it directly). Inactive
+  /// slots are skipped by broadcasts, probes, anti-entropy and queries —
+  /// without the dead-peer quarantine a breaker trip would cause.
+  void set_member_active(core::NodeId id, bool active);
+  bool member_active(core::NodeId id) const;
 
   GroupStats stats() const;
 
@@ -240,6 +286,10 @@ class NodeGroup final : public core::CooperationBus {
     MemberAddress address;
     std::unique_ptr<BoundedQueue<Message>> outbound;
     std::thread sender;
+    /// Member slot currently in the active set (this node's view). An
+    /// inactive slot is not dead — its breaker state is untouched — it is
+    /// simply not a member: no broadcasts, probes, digests or queries.
+    std::atomic<bool> active{true};
 
     // ---- circuit breaker ----
     mutable std::mutex health_mutex;
@@ -355,7 +405,12 @@ class NodeGroup final : public core::CooperationBus {
       resyncs_served_{0}, owner_updates_sent_{0}, queries_sent_{0},
       query_hits_{0}, queries_served_{0}, anti_entropy_rounds_{0},
       digests_sent_{0}, digest_repairs_{0}, inv_syncs_pulled_{0},
-      inv_syncs_served_{0};
+      inv_syncs_served_{0}, joins_sent_{0}, joins_served_{0},
+      decommissions_observed_{0}, handoff_frames_sent_{0},
+      handoffs_adopted_{0};
+  /// Rotating start offset for query_peers sweeps (seeded from backoff_seed
+  /// so probe order is deterministic per node yet differs across nodes).
+  std::atomic<std::uint64_t> query_rotation_{0};
   /// Next anti-entropy round deadline (purge-loop thread only).
   std::chrono::steady_clock::time_point next_anti_entropy_{};
 };

@@ -315,20 +315,81 @@ Message Message::make_batch(core::NodeId sender,
   return m;
 }
 
+Message Message::hello_membership(core::NodeId sender,
+                                  core::EpochVector epochs,
+                                  std::uint64_t membership_epoch) {
+  Message m;
+  m.type = MsgType::kHello;
+  m.sender = sender;
+  m.epochs = std::move(epochs);
+  m.membership_epoch = membership_epoch;
+  return m;
+}
+
+Message Message::join(core::NodeId sender) {
+  Message m;
+  m.type = MsgType::kJoin;
+  m.sender = sender;
+  return m;
+}
+
+Message Message::join_ack(core::NodeId sender, std::uint64_t membership_epoch,
+                          std::vector<core::NodeId> members) {
+  Message m;
+  m.type = MsgType::kJoinAck;
+  m.sender = sender;
+  m.membership_epoch = membership_epoch;
+  m.members = std::move(members);
+  return m;
+}
+
+Message Message::decommission(core::NodeId sender,
+                              std::uint64_t membership_epoch) {
+  Message m;
+  m.type = MsgType::kDecommission;
+  m.sender = sender;
+  m.membership_epoch = membership_epoch;
+  return m;
+}
+
+Message Message::insert_handoff(core::NodeId sender,
+                                const core::EntryMeta& meta,
+                                std::string body) {
+  Message m;
+  m.type = MsgType::kInsert;
+  m.sender = sender;
+  m.meta = meta;
+  m.handoff = true;
+  m.data = std::move(body);
+  return m;
+}
+
 std::string encode_message(const Message& msg) {
   std::string payload;
   put_u8(&payload, static_cast<std::uint8_t>(msg.type));
   put_u32(&payload, msg.sender);
   switch (msg.type) {
     case MsgType::kHello:
-      // Optional epoch-vector tail: an empty vector keeps the legacy
-      // zero-payload HELLO byte-identical for old peers.
-      if (!msg.epochs.empty()) put_epochs(&payload, msg.epochs);
+      // Optional tails, in order: epoch vector (PR8), then membership epoch
+      // (PR10). An empty vector with membership epoch 0 keeps the legacy
+      // zero-payload HELLO byte-identical; a nonzero membership epoch
+      // forces the vector tail (possibly a zero count) so the decoder can
+      // delimit the two.
+      if (!msg.epochs.empty() || msg.membership_epoch != 0) {
+        put_epochs(&payload, msg.epochs);
+      }
+      if (msg.membership_epoch != 0) put_u64(&payload, msg.membership_epoch);
       break;
     case MsgType::kSyncReq:
       break;
     case MsgType::kInsert:
       put_meta(&payload, msg.meta);
+      // Optional handoff tail: flags byte + entry body. Plain directory
+      // updates stay byte-identical to every prior build.
+      if (msg.handoff) {
+        put_u8(&payload, 1);
+        put_string(&payload, msg.data);
+      }
       break;
     case MsgType::kErase:
       put_string(&payload, msg.key);
@@ -389,6 +450,16 @@ std::string encode_message(const Message& msg) {
         put_string(&payload, rec.pattern);
       }
       break;
+    case MsgType::kJoin:
+      break;
+    case MsgType::kJoinAck:
+      put_u64(&payload, msg.membership_epoch);
+      put_u32(&payload, static_cast<std::uint32_t>(msg.members.size()));
+      for (const core::NodeId id : msg.members) put_u32(&payload, id);
+      break;
+    case MsgType::kDecommission:
+      put_u64(&payload, msg.membership_epoch);
+      break;
   }
   std::string frame;
   frame.reserve(4 + payload.size());
@@ -408,13 +479,21 @@ Result<Message> decode_message(std::string_view payload) {
   bool ok = true;
   switch (msg.type) {
     case MsgType::kHello:
-      // Optional epoch-vector tail (absent on legacy frames).
+      // Optional tails: epoch vector, then membership epoch (both absent on
+      // legacy frames).
       if (!r.done()) ok = read_epochs(&r, payload, &msg.epochs);
+      if (ok && !r.done()) ok = r.u64(&msg.membership_epoch);
       break;
     case MsgType::kSyncReq:
       break;
     case MsgType::kInsert:
       ok = read_meta(&r, &msg.meta);
+      // Optional handoff tail: flags byte + body (absent on plain updates).
+      if (ok && !r.done()) {
+        std::uint8_t flags = 0;
+        ok = r.u8(&flags) && flags == 1 && r.str(&msg.data);
+        msg.handoff = ok;
+      }
       break;
     case MsgType::kErase:
       ok = r.str(&msg.key) && r.u64(&msg.version);
@@ -505,6 +584,24 @@ Result<Message> decode_message(std::string_view payload) {
       }
       break;
     }
+    case MsgType::kJoin:
+      break;
+    case MsgType::kJoinAck: {
+      std::uint32_t count = 0;
+      ok = r.u64(&msg.membership_epoch) && r.u32(&count);
+      // Each member id costs 4 bytes on the wire; a lying count cannot
+      // exceed what the payload could physically hold.
+      if (ok && count > payload.size() / 4) ok = false;
+      for (std::uint32_t i = 0; ok && i < count; ++i) {
+        core::NodeId id = 0;
+        ok = r.u32(&id);
+        if (ok) msg.members.push_back(id);
+      }
+      break;
+    }
+    case MsgType::kDecommission:
+      ok = r.u64(&msg.membership_epoch);
+      break;
     default:
       return Status(StatusCode::kInvalidArgument,
                     "unknown message type " + std::to_string(type));

@@ -33,6 +33,9 @@ enum class MsgType : std::uint8_t {
   kDigest = 12,     ///< anti-entropy round: epoch vector + directory digest
   kInvSync = 13,    ///< "send me the invalidations after these floors"
   kInvSyncResp = 14,///< answer to kInvSync: missed invalidation records
+  kJoin = 15,       ///< data request: "admit me to the cluster"
+  kJoinAck = 16,    ///< answer to kJoin: membership epoch + active members
+  kDecommission = 17,///< info broadcast: sender is leaving gracefully
 };
 
 /// kOwnerUpdate sub-operation (wire byte; anything else is rejected).
@@ -62,6 +65,13 @@ struct Message {
   std::uint64_t digest = 0;    // kDigest: xor digest of directory versions
   std::vector<core::InvalidationRecord> inv_entries;  // kInvSyncResp
   bool truncated = false;      // kInvSyncResp: log evicted needed records
+
+  // Dynamic membership fields (PR10).
+  std::uint64_t membership_epoch = 0;  // kHello (optional tail, 0 = absent),
+                                       // kJoinAck, kDecommission
+  std::vector<core::NodeId> members;   // kJoinAck: active member ids
+  bool handoff = false;  // kInsert: optional body tail present (state
+                         // handoff; the receiver adopts the entry)
 
   static Message hello(core::NodeId sender);
   static Message insert(core::NodeId sender, const core::EntryMeta& meta);
@@ -99,6 +109,27 @@ struct Message {
   /// Packs `messages` into one frame. Nesting is not allowed: decoding
   /// rejects a batch inside a batch.
   static Message make_batch(core::NodeId sender, std::vector<Message> messages);
+
+  // ---- dynamic membership (PR10) ----
+  /// HELLO carrying both the invalidation epoch vector and the sender's
+  /// membership epoch. `membership_epoch` 0 falls back to the PR8 frame
+  /// (and an empty vector on top of that to the legacy plain HELLO).
+  static Message hello_membership(core::NodeId sender,
+                                  core::EpochVector epochs,
+                                  std::uint64_t membership_epoch);
+  /// Data-channel request: "admit me to the cluster" (answered by kJoinAck).
+  static Message join(core::NodeId sender);
+  /// Admission answer: the responder's membership epoch + active member ids.
+  static Message join_ack(core::NodeId sender, std::uint64_t membership_epoch,
+                          std::vector<core::NodeId> members);
+  /// Info broadcast: the sender has drained and is leaving; peers must
+  /// deactivate it without quarantining (its state is already handed off).
+  static Message decommission(core::NodeId sender,
+                              std::uint64_t membership_epoch);
+  /// kInsert with the entry body attached (state handoff): the receiver
+  /// adopts the entry into its own store instead of recording a pointer.
+  static Message insert_handoff(core::NodeId sender,
+                                const core::EntryMeta& meta, std::string body);
 };
 
 /// Maximum accepted frame (defends the daemons against garbage).

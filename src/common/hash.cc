@@ -80,6 +80,7 @@ void HashRing::add_node(std::uint32_t node) {
     points_.emplace_back(point_for(node, r), node);
   }
   std::sort(points_.begin(), points_.end());
+  ++version_;
 }
 
 void HashRing::remove_node(std::uint32_t node) {
@@ -91,6 +92,7 @@ void HashRing::remove_node(std::uint32_t node) {
                                  return p.second == node;
                                }),
                 points_.end());
+  ++version_;
 }
 
 bool HashRing::contains(std::uint32_t node) const {

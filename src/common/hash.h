@@ -53,10 +53,12 @@ class HashRing {
   explicit HashRing(std::uint64_t seed = kDefaultSeed,
                     std::size_t vnodes = kDefaultVnodes);
 
-  /// Adds `node`'s virtual points (idempotent).
+  /// Adds `node`'s virtual points (idempotent; bumps version() when the
+  /// membership actually changes).
   void add_node(std::uint32_t node);
 
-  /// Removes `node`'s virtual points (idempotent).
+  /// Removes `node`'s virtual points (idempotent; bumps version() when the
+  /// membership actually changes).
   void remove_node(std::uint32_t node);
 
   bool contains(std::uint32_t node) const;
@@ -68,6 +70,15 @@ class HashRing {
   std::size_t num_points() const { return points_.size(); }
   std::uint64_t seed() const { return seed_; }
   std::size_t vnodes() const { return vnodes_; }
+
+  /// Monotonic transition counter: incremented once per effective
+  /// add_node/remove_node. Two rings built from the same seed and the same
+  /// membership *sequence* report the same version, so the cluster layer
+  /// can compare ring states across nodes without hashing the point set.
+  std::uint64_t version() const { return version_; }
+
+  /// Current members, sorted ascending.
+  const std::vector<std::uint32_t>& members() const { return nodes_; }
 
   static constexpr std::uint64_t kDefaultSeed = 0x52494E47ULL;  // "RING"
   static constexpr std::size_t kDefaultVnodes = 64;
@@ -81,6 +92,7 @@ class HashRing {
   /// rare) point collision deterministically.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
   std::vector<std::uint32_t> nodes_;  // sorted member ids
+  std::uint64_t version_ = 0;         // effective membership transitions
 };
 
 }  // namespace swala

@@ -85,8 +85,27 @@ std::string ClusterConsistencyReport::to_string() const {
     out += "\n";
   }
   if (drift.empty()) out += "no cross-node drift\n";
+  for (const auto& line : membership_divergence) {
+    out += "membership divergence: " + line + "\n";
+  }
+  for (const auto& line : ownership_violations) {
+    out += "ownership violation: " + line + "\n";
+  }
   return out;
 }
+
+namespace {
+
+std::string members_to_string(const std::vector<NodeId>& members) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(members[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
 
 ClusterConsistencyReport check_cluster_consistency(
     const std::vector<const CacheManager*>& managers) {
@@ -96,6 +115,45 @@ ClusterConsistencyReport check_cluster_consistency(
     if (managers[i] == nullptr) continue;
     report.per_node[i] = managers[i]->debug_check_consistency();
   }
+  // Membership agreement: after convergence every live node must hold the
+  // same active set (transient disagreement mid-join/decommission is legal;
+  // the oracle runs post-quiesce).
+  {
+    const CacheManager* reference = nullptr;
+    std::vector<NodeId> reference_members;
+    for (std::size_t i = 0; i < managers.size(); ++i) {
+      if (managers[i] == nullptr) continue;
+      if (reference == nullptr) {
+        reference = managers[i];
+        reference_members = reference->active_members();
+        continue;
+      }
+      const auto members = managers[i]->active_members();
+      if (members != reference_members) {
+        report.membership_divergence.push_back(
+            "node " + std::to_string(i) + ": " + members_to_string(members) +
+            " != node " + std::to_string(reference->self()) + ": " +
+            members_to_string(reference_members));
+      }
+    }
+  }
+  // Post-transition ownership invariant (partitioned mode): every cached
+  // key must map to an owner the caching node itself considers active — a
+  // record announced to a departed owner would be unreachable forever.
+  for (std::size_t i = 0; i < managers.size(); ++i) {
+    const CacheManager* m = managers[i];
+    if (m == nullptr || m->directory_mode() != DirectoryMode::kPartitioned) {
+      continue;
+    }
+    for (const auto& key : m->store().keys()) {
+      const NodeId owner = m->ring_owner_of(key);
+      if (!m->is_member(owner)) {
+        report.ownership_violations.push_back(
+            "node " + std::to_string(i) + ": key \"" + key +
+            "\" maps to inactive owner " + std::to_string(owner));
+      }
+    }
+  }
   for (std::size_t i = 0; i < managers.size(); ++i) {
     const CacheManager* viewer = managers[i];
     if (viewer == nullptr) continue;
@@ -104,6 +162,9 @@ ClusterConsistencyReport check_cluster_consistency(
       const CacheManager* subject = managers[j];
       if (i == j || subject == nullptr) continue;
       const NodeId subject_id = static_cast<NodeId>(j);
+      // A viewer is only responsible for subjects it considers active; a
+      // decommissioned slot's table was deliberately cleared.
+      if (!viewer->is_member(subject_id)) continue;
       // A quarantined table is deliberately stale: the viewer wrote the
       // peer off and the rejoin resync will rebuild it.
       if (viewer->directory().quarantined(subject_id)) continue;

@@ -70,12 +70,21 @@ struct ClusterConsistencyReport {
   /// Cross-node directory drift (weak consistency means transient drift is
   /// legal mid-traffic; after quiesce + one anti-entropy round it is not).
   std::vector<NodeDrift> drift;
+  /// Membership divergence: nodes whose active member set disagrees with
+  /// the rest of the cluster (post-convergence every node must agree on who
+  /// is in). Human-readable "node i: {…} != {…}" lines.
+  std::vector<std::string> membership_divergence;
+  /// Post-transition ownership violations (partitioned mode): a cached key
+  /// whose current ring owner is not an active member of the caching
+  /// node's own view — its directory record points into the void.
+  std::vector<std::string> ownership_violations;
 
   bool consistent() const {
     for (const auto& r : per_node) {
       if (!r.consistent()) return false;
     }
-    return drift.empty();
+    return drift.empty() && membership_divergence.empty() &&
+           ownership_violations.empty();
   }
 
   std::string to_string() const;
@@ -89,6 +98,12 @@ struct ClusterConsistencyReport {
 /// remote tables, so only the per-node checks run. Quarantined tables are
 /// skipped (a dead peer's table is deliberately stale pending resync).
 /// Exactness requires the caller to quiesce traffic first.
+///
+/// Membership-aware (PR10): a viewer is only held responsible for subjects
+/// it considers active, all nodes' active member sets must agree, and in
+/// partitioned mode every cached key's ring owner must be an active member
+/// (the post-transition ownership invariant — after a join/decommission
+/// converges, no directory record may point at a departed owner).
 ClusterConsistencyReport check_cluster_consistency(
     const std::vector<const CacheManager*>& managers);
 

@@ -292,6 +292,17 @@ std::vector<std::string> CacheDirectory::keys_at(NodeId node) const {
   return out;
 }
 
+std::vector<EntryMeta> CacheDirectory::metas_at(NodeId node) const {
+  std::vector<EntryMeta> out;
+  if (node >= tables_.size()) return out;
+  const Table& table = *tables_[node];
+  std::shared_lock lock(mode_ == LockingMode::kWholeDirectory ? whole_mutex_
+                                                              : table.mutex);
+  out.reserve(table.entries.size());
+  for (const auto& [key, slot] : table.entries) out.push_back(slot->meta);
+  return out;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>>
 CacheDirectory::key_versions_at(NodeId node) const {
   std::vector<std::pair<std::string, std::uint64_t>> out;

@@ -130,6 +130,11 @@ class CacheDirectory {
   std::vector<std::pair<std::string, std::uint64_t>> key_versions_at(
       NodeId node) const;
 
+  /// Full metas in one node's table, including expired-but-unpurged entries
+  /// (membership handoff: a decommissioning owner ships its directory
+  /// partition to the successor as whole records).
+  std::vector<EntryMeta> metas_at(NodeId node) const;
+
   NodeId self() const { return self_; }
   std::size_t num_nodes() const { return tables_.size(); }
   LockingMode locking_mode() const { return mode_; }

@@ -17,13 +17,23 @@ CacheManager::CacheManager(NodeId self, std::size_t num_nodes,
       bus_(bus),
       ring_(options_.ring_seed, options_.ring_vnodes),
       inv_log_(options_.inv_log_entries) {
-  if (options_.directory_mode == DirectoryMode::kPartitioned) {
-    // Static membership: the ring covers every configured node. A dead
-    // owner quarantines its key range (local-execution fallback) rather
-    // than resizing the ring — see ManagerOptions.
+  if (options_.initial_members.empty()) {
+    members_.reserve(num_nodes);
     for (std::size_t i = 0; i < num_nodes; ++i) {
-      ring_.add_node(static_cast<NodeId>(i));
+      members_.push_back(static_cast<NodeId>(i));
     }
+  } else {
+    members_ = options_.initial_members;
+    std::sort(members_.begin(), members_.end());
+    members_.erase(std::unique(members_.begin(), members_.end()),
+                   members_.end());
+  }
+  if (options_.directory_mode == DirectoryMode::kPartitioned) {
+    // The ring covers the initially active membership; member_joined /
+    // member_left resize it at runtime (only remapped ranges migrate,
+    // under a dual-read window). An *unplanned* dead owner still
+    // quarantines its key range instead — it handed nothing off.
+    for (const NodeId n : members_) ring_.add_node(n);
   }
   std::unique_ptr<StorageBackend> backend;
   if (options_.disk_dir.empty()) {
@@ -96,35 +106,17 @@ LookupResult CacheManager::lookup_impl(http::Method method,
   } else if (options_.directory_mode == DirectoryMode::kPartitioned) {
     // No local knowledge: ask the key's ring owner for the directory entry.
     // A quarantined (dead) owner takes its key range with it — fall through
-    // to local execution, exactly like the dead-peer fetch path.
+    // to local execution, exactly like the dead-peer fetch path. During a
+    // ring transition (dual-read window) the remapped range may not have
+    // migrated yet, so probe the pre-transition owner first; a miss there
+    // falls through to the current owner, so lookups never miss mid-move.
     const NodeId owner_node = ring_owner_of(key.text);
-    if (bus_ != nullptr && owner_node != self_ &&
-        !directory_->quarantined(owner_node)) {
-      remote_dir_lookups_.fetch_add(1, std::memory_order_relaxed);
-      const int budget = deadline != nullptr && !deadline->unlimited()
-                             ? deadline->budget_ms(0)
-                             : 0;
-      auto entry = bus_->lookup_at_owner(owner_node, key.text, budget);
-      if (entry && entry.value().owner != self_) {
-        remote_dir_hits_.fetch_add(1, std::memory_order_relaxed);
-        EntryMeta meta = std::move(entry.value());
-        meta.key = key.text;  // defend against a lying/mis-keyed answer
-        if (fetch_hit_from(&out, meta, deadline, FalseHitSource::kRingOwner)) {
-          return out;
-        }
-      } else if (entry) {
-        // The owner advertises *us* as the caching node, but our store just
-        // said no: a stale record (our erase is still in flight, or was
-        // lost). Nudge the owner; the unversioned erase is the same weak-
-        // consistency tradeoff as the replicated false-hit cleanup.
-        bus_->send_owner_erase(owner_node, self_, key.text, 0);
-      } else if (entry.status().code() != StatusCode::kNotFound) {
-        fallback_executions_.fetch_add(1, std::memory_order_relaxed);
-        SWALA_LOG(Warn) << "directory lookup at owner " << owner_node
-                        << " failed (" << entry.status().to_string()
-                        << "); falling back to local execution";
-      }
+    const NodeId prev_owner = prev_ring_owner_of(key.text);
+    if (prev_owner != owner_node) {
+      dual_read_probes_.fetch_add(1, std::memory_order_relaxed);
+      if (probe_dir_owner(&out, prev_owner, key.text, deadline)) return out;
     }
+    if (probe_dir_owner(&out, owner_node, key.text, deadline)) return out;
   } else if (options_.directory_mode == DirectoryMode::kQuery &&
              bus_ != nullptr) {
     // No directory state anywhere: probe the peers (ICP-style), bounded by
@@ -197,9 +189,56 @@ bool CacheManager::fetch_hit_from(LookupResult* out, const EntryMeta& meta,
   return false;
 }
 
+bool CacheManager::probe_dir_owner(LookupResult* out, NodeId owner_node,
+                                   const std::string& key,
+                                   const Deadline* deadline) {
+  if (bus_ == nullptr || owner_node == self_ ||
+      directory_->quarantined(owner_node)) {
+    return false;
+  }
+  remote_dir_lookups_.fetch_add(1, std::memory_order_relaxed);
+  const int budget = deadline != nullptr && !deadline->unlimited()
+                         ? deadline->budget_ms(0)
+                         : 0;
+  auto entry = bus_->lookup_at_owner(owner_node, key, budget);
+  if (entry && entry.value().owner != self_) {
+    remote_dir_hits_.fetch_add(1, std::memory_order_relaxed);
+    EntryMeta meta = std::move(entry.value());
+    meta.key = key;  // defend against a lying/mis-keyed answer
+    return fetch_hit_from(out, meta, deadline, FalseHitSource::kRingOwner);
+  }
+  if (entry) {
+    // The owner advertises *us* as the caching node, but our store just
+    // said no: a stale record (our erase is still in flight, or was
+    // lost). Nudge the owner; the unversioned erase is the same weak-
+    // consistency tradeoff as the replicated false-hit cleanup.
+    bus_->send_owner_erase(owner_node, self_, key, 0);
+  } else if (entry.status().code() != StatusCode::kNotFound) {
+    fallback_executions_.fetch_add(1, std::memory_order_relaxed);
+    SWALA_LOG(Warn) << "directory lookup at owner " << owner_node
+                    << " failed (" << entry.status().to_string()
+                    << "); falling back to local execution";
+  }
+  return false;
+}
+
 NodeId CacheManager::ring_owner_of(const std::string& key) const {
   if (options_.directory_mode != DirectoryMode::kPartitioned) return self_;
+  std::shared_lock lock(membership_mutex_);
   const auto owner = ring_.owner_of(key);
+  return owner == HashRing::kNoOwner ? self_ : static_cast<NodeId>(owner);
+}
+
+NodeId CacheManager::prev_ring_owner_of(const std::string& key) const {
+  if (options_.directory_mode != DirectoryMode::kPartitioned) return self_;
+  std::shared_lock lock(membership_mutex_);
+  if (!prev_ring_) {
+    // No window open: report the *current* owner so the caller's
+    // prev != current comparison reads "no dual read needed".
+    const auto owner = ring_.owner_of(key);
+    return owner == HashRing::kNoOwner ? self_ : static_cast<NodeId>(owner);
+  }
+  const auto owner = prev_ring_->owner_of(key);
   return owner == HashRing::kNoOwner ? self_ : static_cast<NodeId>(owner);
 }
 
@@ -213,6 +252,11 @@ std::optional<EntryMeta> CacheManager::answer_query(
 
 void CacheManager::announce_insert(const EntryMeta& meta) {
   if (bus_ == nullptr) return;
+  // A node that is not (yet) a member of its own view serves stand-alone:
+  // no directory chatter until the join protocol admits it. Peers would
+  // wipe its table on admission anyway (member_joined clears it);
+  // adopt_membership re-announces the resident store at that point.
+  if (!is_member(self_)) return;
   switch (options_.directory_mode) {
     case DirectoryMode::kReplicated:
       bus_->broadcast_insert(meta);
@@ -230,6 +274,7 @@ void CacheManager::announce_insert(const EntryMeta& meta) {
 bool CacheManager::announce_erase(const std::string& key,
                                   std::uint64_t version) {
   if (bus_ == nullptr) return false;
+  if (!is_member(self_)) return false;  // stand-alone until admitted
   switch (options_.directory_mode) {
     case DirectoryMode::kReplicated:
       bus_->broadcast_erase(self_, key, version);
@@ -399,6 +444,10 @@ void CacheManager::complete(http::Method method, const http::Uri& uri,
     below_threshold_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+
+  // Leaving the cluster: the decommission handoff snapshot must not race
+  // fresh inserts into the departing store (the response still went out).
+  if (decommissioning_.load(std::memory_order_relaxed)) return;
 
   // Disk gone bad: serve uncacheable instead of hammering a failing device
   // on every request (the response itself was already produced).
@@ -588,6 +637,328 @@ void CacheManager::on_peer_recovered(NodeId peer) {
   SWALA_LOG(Info) << "node " << self_ << ": peer " << peer
                   << " recovered; dropped " << dropped
                   << " stale directory entries pending resync";
+}
+
+// ---- Dynamic membership (PR10) ----
+
+std::uint64_t CacheManager::membership_epoch() const {
+  return membership_epoch_.load(std::memory_order_relaxed);
+}
+
+std::vector<NodeId> CacheManager::active_members() const {
+  std::shared_lock lock(membership_mutex_);
+  return members_;
+}
+
+bool CacheManager::is_member(NodeId node) const {
+  std::shared_lock lock(membership_mutex_);
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+CacheManager::HandoffStats CacheManager::member_joined(NodeId node) {
+  HandoffStats stats;
+  bool changed = false;
+  bool ring_changed = false;
+  HashRing old_ring(options_.ring_seed, options_.ring_vnodes);
+  HashRing new_ring(options_.ring_seed, options_.ring_vnodes);
+  {
+    std::unique_lock lock(membership_mutex_);
+    const auto pos = std::lower_bound(members_.begin(), members_.end(), node);
+    if (pos == members_.end() || *pos != node) {
+      members_.insert(pos, node);
+      changed = true;
+    }
+    if (options_.directory_mode == DirectoryMode::kPartitioned &&
+        !ring_.contains(node)) {
+      old_ring = ring_;
+      prev_ring_ = ring_;  // open the dual-read window
+      ring_.add_node(node);
+      new_ring = ring_;
+      changed = ring_changed = true;
+    }
+  }
+  if (!changed) return stats;
+  membership_epoch_.fetch_add(1, std::memory_order_relaxed);
+  membership_transitions_.fetch_add(1, std::memory_order_relaxed);
+  if (node != self_) {
+    // Drop any stale state from a previous life of this slot; a joining
+    // member must not start its new life quarantined.
+    directory_->clear_table(node);
+    directory_->set_quarantined(node, false);
+  }
+  if (ring_changed) stats = reannounce_remapped(old_ring, new_ring);
+  SWALA_LOG(Info) << "node " << self_ << ": member " << node
+                  << " joined (epoch " << membership_epoch() << "); forwarded "
+                  << stats.records + stats.entries << " remapped records";
+  return stats;
+}
+
+CacheManager::HandoffStats CacheManager::member_left(NodeId node) {
+  HandoffStats stats;
+  if (node == self_) return stats;  // self-removal goes via decommission
+  bool changed = false;
+  bool ring_changed = false;
+  HashRing old_ring(options_.ring_seed, options_.ring_vnodes);
+  HashRing new_ring(options_.ring_seed, options_.ring_vnodes);
+  {
+    std::unique_lock lock(membership_mutex_);
+    const auto pos = std::lower_bound(members_.begin(), members_.end(), node);
+    if (pos != members_.end() && *pos == node) {
+      members_.erase(pos);
+      changed = true;
+    }
+    if (options_.directory_mode == DirectoryMode::kPartitioned &&
+        ring_.contains(node)) {
+      old_ring = ring_;
+      prev_ring_ = ring_;  // open the dual-read window
+      ring_.remove_node(node);
+      new_ring = ring_;
+      changed = ring_changed = true;
+    }
+  }
+  if (!changed) return stats;
+  membership_epoch_.fetch_add(1, std::memory_order_relaxed);
+  membership_transitions_.fetch_add(1, std::memory_order_relaxed);
+  // Graceful leave, not death: clear the table without quarantining (the
+  // leaver handed its state off; quarantine is the unplanned-death path).
+  directory_->clear_table(node);
+  directory_->set_quarantined(node, false);
+  if (ring_changed) stats = reannounce_remapped(old_ring, new_ring);
+  SWALA_LOG(Info) << "node " << self_ << ": member " << node
+                  << " left (epoch " << membership_epoch() << "); forwarded "
+                  << stats.records + stats.entries << " remapped records";
+  return stats;
+}
+
+void CacheManager::adopt_membership(std::uint64_t epoch,
+                                    const std::vector<NodeId>& members) {
+  std::vector<NodeId> sorted(members);
+  sorted.push_back(self_);  // whatever the responder says, we exist
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  bool changed = false;
+  {
+    std::unique_lock lock(membership_mutex_);
+    if (sorted != members_) {
+      if (options_.directory_mode == DirectoryMode::kPartitioned) {
+        prev_ring_ = ring_;  // dual read across the adopted change
+        HashRing fresh(options_.ring_seed, options_.ring_vnodes);
+        for (const NodeId n : sorted) fresh.add_node(n);
+        ring_ = std::move(fresh);
+      }
+      members_ = std::move(sorted);
+      changed = true;
+    }
+  }
+  // Advance to at least the responder's epoch: we were not around for the
+  // transitions it already applied.
+  auto current = membership_epoch_.load(std::memory_order_relaxed);
+  while (epoch > current &&
+         !membership_epoch_.compare_exchange_weak(current, epoch,
+                                                  std::memory_order_relaxed)) {
+  }
+  if (changed) {
+    membership_transitions_.fetch_add(1, std::memory_order_relaxed);
+    // Introduce the local cache to the adopted cluster. Entries cached
+    // while stand-alone (or under the old view) have no records at the
+    // new directory owners — and peers wiped this node's table on
+    // admission — so without this they would be invisible forever.
+    std::size_t announced = 0;
+    if (bus_ != nullptr) {
+      for (const auto& meta : store_->resident_metas()) {
+        announce_insert(meta);
+        ++announced;
+      }
+    }
+    handoff_records_sent_.fetch_add(announced, std::memory_order_relaxed);
+    SWALA_LOG(Info) << "node " << self_ << ": adopted membership view ("
+                    << members.size() << " members, epoch " << epoch
+                    << "); announced " << announced << " resident entries";
+  }
+}
+
+void CacheManager::begin_decommission() {
+  if (!decommissioning_.exchange(true, std::memory_order_relaxed)) {
+    SWALA_LOG(Info) << "node " << self_
+                    << ": decommissioning; new inserts suspended";
+  }
+}
+
+bool CacheManager::decommissioning() const {
+  return decommissioning_.load(std::memory_order_relaxed);
+}
+
+NodeId CacheManager::successor_for(const std::string& key) const {
+  std::shared_lock lock(membership_mutex_);
+  if (options_.directory_mode == DirectoryMode::kPartitioned) {
+    HashRing reduced = ring_;
+    reduced.remove_node(self_);
+    const auto owner = reduced.owner_of(key);
+    return owner == HashRing::kNoOwner ? self_ : static_cast<NodeId>(owner);
+  }
+  // Replicated/query: deterministic key-hash spread over the survivors.
+  std::size_t others = 0;
+  for (const NodeId n : members_) {
+    if (n != self_) ++others;
+  }
+  if (others == 0) return self_;
+  std::size_t index = mix64(fnv1a64(key)) % others;
+  for (const NodeId n : members_) {
+    if (n == self_) continue;
+    if (index-- == 0) return n;
+  }
+  return self_;  // unreachable
+}
+
+CacheManager::HandoffStats CacheManager::handoff_state(
+    std::uint64_t batch_bytes) {
+  HandoffStats stats;
+  if (bus_ == nullptr) return stats;
+  // Successor placement under the ring with self removed, computed once
+  // (partitioned); replicated/query fall back to successor_for's key-hash
+  // spread. begin_decommission already stopped inserts, so the snapshot
+  // only races expiry (fetch() re-checks and skips).
+  std::optional<HashRing> reduced;
+  if (options_.directory_mode == DirectoryMode::kPartitioned) {
+    std::shared_lock lock(membership_mutex_);
+    reduced = ring_;
+  }
+  if (reduced) reduced->remove_node(self_);
+  const auto successor = [&](const std::string& key) {
+    if (!reduced) return successor_for(key);
+    const auto owner = reduced->owner_of(key);
+    return owner == HashRing::kNoOwner ? self_ : static_cast<NodeId>(owner);
+  };
+  for (const auto& meta : store_->resident_metas()) {
+    const NodeId succ = successor(meta.key);
+    if (succ == self_) continue;  // no survivor to take it
+    auto cached = store_->fetch(meta.key);
+    if (!cached) continue;  // expired between snapshot and read
+    if (batch_bytes != 0 && cached->data.size() > batch_bytes) {
+      SWALA_LOG(Warn) << "decommission: dropping " << meta.key
+                      << " (body exceeds cluster.handoff_batch_bytes)";
+      continue;
+    }
+    bus_->send_handoff(succ, cached->meta, cached->data);
+    ++stats.entries;
+  }
+  if (reduced) {
+    // Forward the directory partition this node owns to its post-removal
+    // owners. Records pointing at our own (departing) cache are skipped:
+    // those entries shipped above, and the successors' adoptions
+    // re-announce them with a live owner.
+    for (NodeId t = 0; t < directory_->num_nodes(); ++t) {
+      if (t == self_) continue;
+      for (const auto& meta : directory_->metas_at(t)) {
+        if (ring_owner_of(meta.key) != self_) continue;  // not our partition
+        const auto owner = reduced->owner_of(meta.key);
+        if (owner == HashRing::kNoOwner) continue;
+        const NodeId to = static_cast<NodeId>(owner);
+        if (to == self_) continue;
+        bus_->send_owner_insert(to, meta);
+        ++stats.records;
+      }
+    }
+  }
+  handoff_entries_sent_.fetch_add(stats.entries, std::memory_order_relaxed);
+  handoff_records_sent_.fetch_add(stats.records, std::memory_order_relaxed);
+  SWALA_LOG(Info) << "node " << self_ << ": handed off " << stats.entries
+                  << " entries and " << stats.records
+                  << " directory records to successors";
+  return stats;
+}
+
+bool CacheManager::adopt_entry(const EntryMeta& meta, const std::string& body) {
+  if (decommissioning_.load(std::memory_order_relaxed)) return false;
+  double ttl = 0.0;
+  if (meta.expire_time != 0) {
+    if (clock_ == nullptr) return false;
+    ttl = to_seconds(meta.expire_time - clock_->now());
+    if (ttl <= 0.0) return false;  // arrived already expired
+  }
+  if (degraded_should_skip()) {
+    degraded_skips_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::lock_guard<std::mutex> commit(commit_mutex_);
+  // A live local entry wins: it is at least as fresh as the handed-off copy
+  // (versions are per-store counters and do not compare across nodes).
+  if (store_->peek(meta.key).has_value()) return false;
+  CacheKey key;
+  key.text = meta.key;
+  std::vector<EntryMeta> evicted;
+  auto inserted = store_->insert(key, body, meta.cost_seconds, ttl,
+                                 meta.content_type, meta.http_status,
+                                 &evicted);
+  for (const auto& victim : evicted) {
+    directory_->apply_erase(self_, victim.key, victim.version);
+    if (announce_erase(victim.key, victim.version)) {
+      evictions_broadcast_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  record_insert_outcome(!inserted &&
+                        inserted.status().code() == StatusCode::kIoError);
+  if (!inserted) {
+    if (!evicted.empty()) ++commit_seq_;
+    return false;
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  handoff_entries_adopted_.fetch_add(1, std::memory_order_relaxed);
+  directory_->apply_insert(inserted.value());
+  announce_insert(inserted.value());
+  ++commit_seq_;
+  return true;
+}
+
+void CacheManager::finish_ring_transition() {
+  std::unique_lock lock(membership_mutex_);
+  prev_ring_.reset();
+}
+
+bool CacheManager::ring_transition_active() const {
+  std::shared_lock lock(membership_mutex_);
+  return prev_ring_.has_value();
+}
+
+std::uint64_t CacheManager::ring_version() const {
+  std::shared_lock lock(membership_mutex_);
+  return ring_.version();
+}
+
+CacheManager::HandoffStats CacheManager::reannounce_remapped(
+    const HashRing& old_ring, const HashRing& new_ring) {
+  HandoffStats stats;
+  if (bus_ == nullptr) return stats;
+  const auto owner_in = [this](const HashRing& ring, const std::string& key) {
+    const auto owner = ring.owner_of(key);
+    return owner == HashRing::kNoOwner ? self_ : static_cast<NodeId>(owner);
+  };
+  // Cache-node side: re-announce own entries whose directory owner moved.
+  // The stale record at the old owner is left in place — during the
+  // dual-read window it is what keeps pre-transition readers hitting, and
+  // afterwards it ages out via expiry / version-guarded erase.
+  for (const auto& meta : store_->resident_metas()) {
+    const NodeId from = owner_in(old_ring, meta.key);
+    const NodeId to = owner_in(new_ring, meta.key);
+    if (from == to || to == self_) continue;
+    bus_->send_owner_insert(to, meta);
+    ++stats.entries;
+  }
+  // Owner side: directory partition records held for *other* nodes' caches
+  // that now belong to another owner (own entries are covered above).
+  for (NodeId t = 0; t < directory_->num_nodes(); ++t) {
+    if (t == self_) continue;
+    for (const auto& meta : directory_->metas_at(t)) {
+      if (owner_in(old_ring, meta.key) != self_) continue;
+      const NodeId to = owner_in(new_ring, meta.key);
+      if (to == self_) continue;
+      bus_->send_owner_insert(to, meta);
+      ++stats.records;
+    }
+  }
+  handoff_records_sent_.fetch_add(stats.records + stats.entries,
+                                  std::memory_order_relaxed);
+  return stats;
 }
 
 std::size_t CacheManager::apply_invalidation(const std::string& pattern,
@@ -824,6 +1195,15 @@ ManagerStats CacheManager::stats() const {
   s.stale_serves_prevented =
       stale_serves_prevented_.load(std::memory_order_relaxed);
   s.inv_overflow_purges = inv_overflow_purges_.load(std::memory_order_relaxed);
+  s.membership_transitions =
+      membership_transitions_.load(std::memory_order_relaxed);
+  s.handoff_records_sent =
+      handoff_records_sent_.load(std::memory_order_relaxed);
+  s.handoff_entries_sent =
+      handoff_entries_sent_.load(std::memory_order_relaxed);
+  s.handoff_entries_adopted =
+      handoff_entries_adopted_.load(std::memory_order_relaxed);
+  s.dual_read_probes = dual_read_probes_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -26,7 +26,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "cgi/handler.h"
 #include "common/clock.h"
@@ -129,6 +131,19 @@ class CooperationBus {
     (void)budget_ms;
     return Status(StatusCode::kUnavailable, "no query-mode transport");
   }
+
+  // ---- dynamic membership (PR10) ----
+
+  /// Graceful decommission: ship one cached entry (meta + body) to
+  /// `successor`, which adopts it into its own store (a kInsert frame with
+  /// the handoff tail). Default: no-op, so single-purpose buses need not
+  /// care unless they exercise membership change.
+  virtual void send_handoff(NodeId successor, const EntryMeta& meta,
+                            const std::string& body) {
+    (void)successor;
+    (void)meta;
+    (void)body;
+  }
 };
 
 /// Classification of one incoming request.
@@ -225,6 +240,20 @@ struct ManagerStats {
   /// for the gap).
   std::uint64_t inv_overflow_purges = 0;
 
+  // ---- dynamic membership (PR10) ----
+  /// Membership transitions applied locally (joins + leaves).
+  std::uint64_t membership_transitions = 0;
+  /// Directory records forwarded to a new ring owner (ring change or
+  /// decommission partition handoff) — kOwnerUpdate frames.
+  std::uint64_t handoff_records_sent = 0;
+  /// Cached entries shipped to successors at decommission (kInsert handoff).
+  std::uint64_t handoff_entries_sent = 0;
+  /// Handed-off entries this node adopted into its own store.
+  std::uint64_t handoff_entries_adopted = 0;
+  /// Partitioned lookups that probed the pre-transition ring owner during a
+  /// dual-read window.
+  std::uint64_t dual_read_probes = 0;
+
   std::uint64_t hits() const { return local_hits + remote_hits; }
 };
 
@@ -273,11 +302,18 @@ struct ManagerOptions {
   /// Every node must agree on the mode, seed and vnode count.
   DirectoryMode directory_mode = DirectoryMode::kReplicated;
   /// Consistent-hash placement parameters (partitioned mode only). The ring
-  /// covers the full static membership [0, num_nodes); a dead owner's key
-  /// range is handled by quarantine + local-execution fallback, not by
-  /// resizing the ring (resizing would silently orphan directory entries).
+  /// covers the *active* membership: initially `initial_members` (or all of
+  /// [0, num_nodes) when empty), then member_joined/member_left resize it —
+  /// only the remapped key ranges migrate, and a dual-read window (probe
+  /// the pre-transition owner first) covers the migration. A dead owner's
+  /// key range is still handled by quarantine + local-execution fallback,
+  /// not by resizing (an unplanned death hands nothing off).
   std::uint64_t ring_seed = HashRing::kDefaultSeed;
   std::size_t ring_vnodes = HashRing::kDefaultVnodes;
+  /// Active members at construction. Empty = every slot [0, num_nodes).
+  /// The directory always provisions `num_nodes` tables — capacity is fixed
+  /// at config time; which slots are *active* is dynamic (join/decommission).
+  std::vector<NodeId> initial_members;
   /// Bound on the epoch-stamped invalidation replay log (anti-entropy
   /// repair). A peer whose gap outruns the log falls back to a conservative
   /// full purge instead of staying stale.
@@ -404,6 +440,88 @@ class CacheManager {
   /// frames cannot cause a persistent mismatch).
   std::uint64_t digest_of_peer_table(NodeId peer, std::size_t* entries) const;
 
+  // ---- Dynamic membership (PR10) ----
+  //
+  // Capacity (directory tables, id space) is fixed at config time; the
+  // *active set* within [0, num_nodes) is mutable. A join activates a slot,
+  // a decommission deactivates one. In partitioned mode each transition
+  // resizes the consistent-hash ring: only the remapped key ranges migrate
+  // (targeted kOwnerUpdate forwarding), and until finish_ring_transition()
+  // lookups run a dual-read window — probe the pre-transition owner first,
+  // then the new one — so no lookup misses during migration.
+
+  /// What a membership transition or decommission handoff actually sent.
+  struct HandoffStats {
+    std::size_t records = 0;  ///< directory records forwarded (kOwnerUpdate)
+    std::size_t entries = 0;  ///< cached entries re-announced / shipped
+  };
+
+  /// Monotonic count of membership transitions applied by this node. Two
+  /// nodes that applied the same joins/leaves report the same epoch
+  /// (carried on HELLO / kJoinAck / kDecommission for divergence checks).
+  std::uint64_t membership_epoch() const;
+
+  /// Currently active member ids, sorted ascending.
+  std::vector<NodeId> active_members() const;
+
+  /// Whether `node` is in the active set.
+  bool is_member(NodeId node) const;
+
+  /// Activates `node` (two-phase join, activation side): adds it to the
+  /// active set and the ring, bumps the membership epoch, clears any stale
+  /// table state, and — in partitioned mode — opens the dual-read window
+  /// and forwards the remapped slice (directory records this node owns that
+  /// now map to `node`, plus re-announcing own entries whose owner moved).
+  /// Idempotent: a no-op (zero stats, no epoch bump) if already active.
+  HandoffStats member_joined(NodeId node);
+
+  /// Deactivates `node` (graceful decommission observed, or operator
+  /// removal): removes it from the active set and the ring, bumps the
+  /// epoch, clears its table *without* quarantining (the leaver handed its
+  /// state off; quarantine is for the unplanned-death path), opens the
+  /// dual-read window, and re-announces own entries whose owner moved.
+  /// Idempotent. Self-removal is rejected (use begin_decommission).
+  HandoffStats member_left(NodeId node);
+
+  /// Joiner side of kJoinAck: adopt the responder's membership view.
+  /// Rebuilds the active set (self is always retained) and — in partitioned
+  /// mode — the ring, with a dual-read window over the change; the epoch
+  /// advances to at least `epoch`.
+  void adopt_membership(std::uint64_t epoch,
+                        const std::vector<NodeId>& members);
+
+  /// Decommission step 1: stop accepting new inserts and adoptions, so the
+  /// handoff below cannot race fresh state into the departing store.
+  /// Lookups keep serving until the server-level drain.
+  void begin_decommission();
+  bool decommissioning() const;
+
+  /// Decommission step 2: ship every cached entry (meta + body) to its
+  /// post-removal successor via the bus's handoff channel — bodies larger
+  /// than `batch_bytes` are skipped (a lost cache entry costs one future
+  /// re-execution, never correctness; 0 = no cap) — and, in partitioned
+  /// mode, forward this node's directory partition to its new owners.
+  HandoffStats handoff_state(std::uint64_t batch_bytes);
+
+  /// The node that takes over `key` once this node leaves: the ring owner
+  /// with self removed (partitioned), or a key-hash pick among the other
+  /// active members (replicated/query). Self when no other member exists.
+  NodeId successor_for(const std::string& key) const;
+
+  /// Receiving side of the handoff channel: adopt a shipped entry into the
+  /// local store (one commit section: insert + directory + announce).
+  /// Skipped — returns false — when already cached locally, expired, being
+  /// decommissioned ourselves, or the store rejects it.
+  bool adopt_entry(const EntryMeta& meta, const std::string& body);
+
+  /// Closes the dual-read window (lookups stop probing the old owner).
+  /// The next transition reopens it over the latest change.
+  void finish_ring_transition();
+  bool ring_transition_active() const;
+
+  /// Current ring transition counter (HashRing::version).
+  std::uint64_t ring_version() const;
+
   // ---- Peer failure handling (cluster circuit breaker) ----
 
   /// The cluster layer declared `peer` dead: quarantine its directory table
@@ -498,6 +616,21 @@ class CacheManager {
   LookupResult lookup_impl(http::Method method, const http::Uri& uri,
                            const Deadline* deadline);
 
+  /// Partitioned-mode probe of one candidate directory owner (current or
+  /// pre-transition). True when the lookup was satisfied (`out` is a hit).
+  bool probe_dir_owner(LookupResult* out, NodeId owner_node,
+                       const std::string& key, const Deadline* deadline);
+
+  /// `key`'s owner under the pre-transition ring, or the current owner when
+  /// no dual-read window is open (so prev != current ⇔ dual read needed).
+  NodeId prev_ring_owner_of(const std::string& key) const;
+
+  /// After a ring change old→new: forward the remapped slice — own store
+  /// entries whose directory owner moved (re-announce to the new owner) and
+  /// directory partition records this node owned that now belong elsewhere.
+  HandoffStats reannounce_remapped(const HashRing& old_ring,
+                                   const HashRing& new_ring);
+
   /// Who to tell about a stale directory record discovered via a false hit.
   enum class FalseHitSource {
     kLocalTable,  ///< replicated: erase from our own peer table
@@ -567,7 +700,19 @@ class CacheManager {
   std::unique_ptr<CacheStore> store_;
   std::unique_ptr<CacheDirectory> directory_;
   /// Key → directory-owner placement (partitioned mode; empty otherwise).
+  /// Guarded by membership_mutex_ since PR10 (the ring resizes at runtime).
   HashRing ring_;
+  // ---- dynamic membership state (guarded by membership_mutex_) ----
+  /// Shared (not the commit mutex): ring_owner_of sits on the lookup hot
+  /// path; transitions are rare and take the writer side. Lock order:
+  /// commit_mutex_ → membership_mutex_ (announce_* under a commit section
+  /// read the ring); transitions themselves never hold commit_mutex_.
+  mutable std::shared_mutex membership_mutex_;
+  /// Pre-transition ring while a dual-read window is open.
+  std::optional<HashRing> prev_ring_;
+  std::vector<NodeId> members_;  ///< sorted active set (all modes)
+  std::atomic<std::uint64_t> membership_epoch_{0};
+  std::atomic<bool> decommissioning_{false};
   /// Epoch-stamped invalidation replay log (anti-entropy repair). Its own
   /// mutex; epoch assignment/admission happens inside the commit section so
   /// the epoch order matches the store-mutation order.
@@ -586,7 +731,10 @@ class CacheManager {
       coalesced_misses_{0}, coalesce_timeouts_{0}, failed_fast_{0},
       remote_dir_lookups_{0}, remote_dir_hits_{0}, peer_queries_{0},
       peer_query_hits_{0}, inv_epoch_gaps_repaired_{0},
-      stale_serves_prevented_{0}, inv_overflow_purges_{0};
+      stale_serves_prevented_{0}, inv_overflow_purges_{0},
+      membership_transitions_{0}, handoff_records_sent_{0},
+      handoff_entries_sent_{0}, handoff_entries_adopted_{0},
+      dual_read_probes_{0};
 
   // ---- single-flight state ----
   /// Guards inflight_ and negative_. Never held while waiting: waiters

@@ -276,6 +276,12 @@ http::Response serve_status(const ServeContext& ctx) {
     body += json_u64("cluster_digest_repairs", g.digest_repairs);
     body += json_u64("cluster_inv_syncs_pulled", g.inv_syncs_pulled);
     body += json_u64("cluster_inv_syncs_served", g.inv_syncs_served);
+    body += json_u64("cluster_joins_sent", g.joins_sent);
+    body += json_u64("cluster_joins_served", g.joins_served);
+    body += json_u64("cluster_decommissions_observed",
+                     g.decommissions_observed);
+    body += json_u64("cluster_handoff_frames_sent", g.handoff_frames_sent);
+    body += json_u64("cluster_handoffs_adopted", g.handoffs_adopted);
     body += "  \"cluster_peers\": [";
     const auto peers = ctx.group->peer_health();
     for (std::size_t i = 0; i < peers.size(); ++i) {
@@ -314,6 +320,9 @@ http::Response serve_status(const ServeContext& ctx) {
     body += "  \"directory_mode\": \"";
     body += core::directory_mode_name(ctx.cache->directory_mode());
     body += "\",\n";
+    body += json_u64("membership_epoch", ctx.cache->membership_epoch());
+    body += json_u64("membership_transitions", c.membership_transitions);
+    body += json_u64("cluster_handoff_records_sent", c.handoff_records_sent);
     body += json_u64("cache_remote_dir_lookups", c.remote_dir_lookups);
     body += json_u64("cache_remote_dir_hits", c.remote_dir_hits);
     body += json_u64("cache_peer_queries", c.peer_queries);
@@ -434,6 +443,17 @@ http::Response serve_cluster_consistency(const ServeContext& ctx) {
                               std::move(body), "application/json");
 }
 
+/// /swala-admin/decommission: graceful leave. Runs the SwalaNode hook
+/// (stop admissions → hand off state → broadcast kDecommission) and reports
+/// what was shipped. Drain/exit is the operator's next step, never this
+/// request's: draining from inside a request would wait on itself.
+http::Response serve_decommission(const ServeContext& ctx) {
+  if (!ctx.decommission) {
+    return http::Response::error(404, "no decommission hook wired");
+  }
+  return http::Response::make(200, ctx.decommission(), "application/json");
+}
+
 http::Response serve_check_consistency(const http::Request& request,
                                        const ServeContext& ctx) {
   for (const auto& [key, value] : request.uri.query_params()) {
@@ -537,6 +557,9 @@ http::Response handle_request(const http::Request& request,
     }
     if (request.uri.path == "/swala-admin/check-consistency") {
       return serve_check_consistency(request, ctx);
+    }
+    if (request.uri.path == "/swala-admin/decommission") {
+      return serve_decommission(ctx);
     }
   }
 

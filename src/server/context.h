@@ -94,6 +94,12 @@ struct ServeContext {
   /// per-node drift; unset, ?cluster=1 is a 404 and only the local
   /// store↔directory check is available.
   std::function<core::ClusterConsistencyReport()> cluster_check;
+  /// Graceful-decommission hook (wired by SwalaNode when clustered): stops
+  /// new cache admissions, hands cached state + directory partition to ring
+  /// successors and broadcasts kDecommission; returns a JSON summary.
+  /// POST/GET /swala-admin/decommission runs it. Draining and process exit
+  /// stay with the operator (SIGTERM, or SIGUSR2 in swalad).
+  std::function<std::string()> decommission;
   const Clock* clock = nullptr;                ///< for CGI timing
   bool allow_keep_alive = true;
   /// Enables the built-in endpoints: GET /swala-status (JSON statistics),

@@ -65,6 +65,33 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
       static_cast<core::NodeId>(config.get_int("cluster", "node_id", 0));
   const std::size_t group_size = members.empty() ? 1 : members.size();
 
+  // Fail fast on membership misconfiguration: a duplicate id silently
+  // shadows a peer, a sparse id indexes past the directory tables, and a
+  // node_id outside the list binds no listeners yet broadcasts to everyone.
+  if (!members.empty()) {
+    std::vector<bool> seen(members.size(), false);
+    bool self_listed = false;
+    for (const auto& m : members) {
+      if (m.id >= members.size()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "cluster.member id " + std::to_string(m.id) +
+                          " outside [0, " + std::to_string(members.size()) +
+                          "): ids must be dense");
+      }
+      if (seen[m.id]) {
+        return Status(StatusCode::kInvalidArgument,
+                      "duplicate cluster.member id " + std::to_string(m.id));
+      }
+      seen[m.id] = true;
+      if (m.id == node_id) self_listed = true;
+    }
+    if (!self_listed) {
+      return Status(StatusCode::kInvalidArgument,
+                    "cluster.node_id " + std::to_string(node_id) +
+                        " is not in the member list");
+    }
+  }
+
   // ---- cache manager ----
   const bool cache_enabled = config.get_bool("cache", "enabled", true);
   if (cache_enabled) {
@@ -181,6 +208,25 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
       // heal only via greeting-HELLO epoch exchange on reconnects).
       go.anti_entropy_interval_ms = static_cast<int>(
           config.get_int("cluster", "anti_entropy_interval_ms", 1000));
+      // ---- dynamic membership ----
+      go.join_timeout_ms = static_cast<int>(
+          config.get_int("cluster", "join_timeout_ms", 3000));
+      go.handoff_batch_bytes = static_cast<std::size_t>(
+          config.get_int("cluster", "handoff_batch_bytes", 256 * 1024));
+      for (const auto& tok : split_trimmed(
+               config.get_string("cluster", "initial_active", ""), ' ')) {
+        if (tok.empty()) continue;
+        std::uint64_t id = 0;
+        if (!parse_u64(tok, &id) || id >= members.size()) {
+          return Status(StatusCode::kInvalidArgument,
+                        "bad cluster.initial_active id: " + tok);
+        }
+        go.initial_active.push_back(static_cast<core::NodeId>(id));
+      }
+      mo.initial_members = go.initial_active;
+      node->handoff_batch_bytes_ = go.handoff_batch_bytes;
+      node->join_on_start_ =
+          config.get_bool("cluster", "join_on_start", false);
       node->group_ =
           std::make_unique<cluster::NodeGroup>(node_id, members, go);
     }
@@ -268,6 +314,14 @@ Result<std::unique_ptr<SwalaNode>> SwalaNode::from_config(
   node->server_ = std::make_unique<SwalaServer>(
       std::move(so), std::move(registry), node->manager_.get());
   node->server_->set_group(node->group_.get());
+  if (node->group_ != nullptr && node->manager_ != nullptr) {
+    node->server_->set_decommission_hook([raw = node.get()] {
+      const auto handed = raw->decommission();
+      return "{\n  \"handoff_records\": " + std::to_string(handed.records) +
+             ",\n  \"handoff_entries\": " + std::to_string(handed.entries) +
+             "\n}\n";
+    });
+  }
 
   return node;
 }
@@ -277,6 +331,14 @@ SwalaNode::~SwalaNode() { stop(); }
 Status SwalaNode::start() {
   if (group_ != nullptr) {
     if (auto st = group_->start(); !st.is_ok()) return st;
+    if (join_on_start_) {
+      // Join before serving traffic so the first cached entries already
+      // land under the post-join ring. A failed join is not fatal: the
+      // node serves standalone and the operator can retry.
+      if (auto st = group_->join_cluster(); !st.is_ok()) {
+        SWALA_LOG(Warn) << "join_cluster failed: " << st.to_string();
+      }
+    }
   }
   if (auto st = server_->start(); !st.is_ok()) return st;
   // Warm restart after the group is up, so the restored entries broadcast.
@@ -370,6 +432,17 @@ void SwalaNode::register_signal_save() {
 
 bool SwalaNode::drain() {
   return server_ != nullptr ? server_->drain() : true;
+}
+
+core::CacheManager::HandoffStats SwalaNode::decommission() {
+  core::CacheManager::HandoffStats handed;
+  if (manager_ == nullptr) return handed;
+  manager_->begin_decommission();
+  if (group_ != nullptr) {
+    handed = manager_->handoff_state(handoff_batch_bytes_);
+    group_->announce_decommission();
+  }
+  return handed;
 }
 
 void SwalaNode::stop() {

@@ -57,6 +57,13 @@
 //   ring_vnodes = 64                 ; partitioned: virtual nodes per member
 //   ring_seed = 1380535879           ; partitioned: placement seed ("RING")
 //   query_timeout_ms = 300           ; per-probe cap (partitioned + query)
+//   ; ---- dynamic membership ----
+//   initial_active =                 ; ids active at start (empty = all);
+//                                    ; a node absent from its own list must
+//                                    ; join before cooperating
+//   join_on_start = false            ; run the kJoin protocol after start()
+//   join_timeout_ms = 3000           ; per-peer kJoin/kJoinAck ceiling
+//   handoff_batch_bytes = 262144     ; decommission: max entry body shipped
 #pragma once
 
 #include <condition_variable>
@@ -90,6 +97,14 @@ class SwalaNode {
   /// Returns true when all connections finished in time.
   bool drain();
 
+  /// Graceful decommission (idempotent): stop admitting new cache entries,
+  /// hand every cached entry — and, in partitioned mode, this node's
+  /// directory partition — to its ring successors, then broadcast
+  /// kDecommission so peers deactivate this node without quarantining it.
+  /// Does NOT drain or stop; callers sequence that (swalad's SIGUSR2 path
+  /// runs decommission() → drain() → stop()).
+  core::CacheManager::HandoffStats decommission();
+
   SwalaServer& http() { return *server_; }
   core::CacheManager* cache() { return manager_.get(); }
   cluster::NodeGroup* group() { return group_.get(); }
@@ -114,6 +129,8 @@ class SwalaNode {
   bool started_ = false;    // start() succeeded; gates the shutdown save
   bool save_on_signal_ = true;
   double purge_interval_seconds_ = 2.0;
+  bool join_on_start_ = false;  // run join_cluster() right after start()
+  std::size_t handoff_batch_bytes_ = 256 * 1024;
 
   std::mutex housekeeping_mutex_;
   std::condition_variable housekeeping_cv_;

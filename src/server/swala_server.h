@@ -130,6 +130,13 @@ class SwalaServer {
     ctx_.cluster_check = std::move(check);
   }
 
+  /// Wires the graceful-decommission hook behind
+  /// POST/GET /swala-admin/decommission (see ServeContext::decommission).
+  /// Call before start().
+  void set_decommission_hook(std::function<std::string()> hook) {
+    ctx_.decommission = std::move(hook);
+  }
+
   /// Response-time distribution (request handling, excluding socket I/O).
   LatencyHistogram latency() const { return latency_.snapshot(); }
 

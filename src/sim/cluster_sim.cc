@@ -21,6 +21,16 @@ struct SimTraffic {
   std::uint64_t update_bytes = 0;
   std::uint64_t query_frames = 0;
   std::uint64_t query_bytes = 0;
+  // Membership-churn accounting (see SimReport).
+  std::uint64_t transition_frames = 0;
+  std::uint64_t transition_bytes = 0;
+  std::uint64_t handoff_frames = 0;
+  std::uint64_t handoff_bytes = 0;
+  std::uint64_t handoffs_adopted = 0;
+  /// While set, update legs count as transition traffic instead of regular
+  /// directory updates (the driver raises it around member_joined /
+  /// member_left / handoff_state, whose forwarding rides the same bus).
+  bool in_transition = false;
 };
 
 /// CooperationBus over the event engine: broadcasts arrive after a
@@ -50,10 +60,9 @@ class SimBus final : public core::CooperationBus {
   }
 
   void broadcast_insert(const core::EntryMeta& meta) override {
-    count_update_legs(cluster::Message::insert(self_, meta),
-                      managers_->size() - 1);
+    count_update_legs(cluster::Message::insert(self_, meta), member_legs());
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
-      if (peer == self_) continue;
+      if (peer == self_ || !peer_is_member(peer)) continue;
       double delay = costs_->directory_update_delay;
       if (!broadcast_survives(peer, cluster::MsgType::kInsert, &delay)) continue;
       engine_->schedule_in(delay, [this, peer, meta] {
@@ -65,9 +74,9 @@ class SimBus final : public core::CooperationBus {
   void broadcast_erase(core::NodeId owner, const std::string& key,
                        std::uint64_t version) override {
     count_update_legs(cluster::Message::erase(self_, key, version),
-                      managers_->size() - 1);
+                      member_legs());
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
-      if (peer == self_) continue;
+      if (peer == self_ || !peer_is_member(peer)) continue;
       double delay = costs_->directory_update_delay;
       if (!broadcast_survives(peer, cluster::MsgType::kErase, &delay)) continue;
       engine_->schedule_in(delay, [this, peer, owner, key, version] {
@@ -83,10 +92,10 @@ class SimBus final : public core::CooperationBus {
   void broadcast_invalidate(const std::string& pattern,
                             std::uint64_t epoch) override {
     count_update_legs(cluster::Message::invalidate(self_, pattern, epoch),
-                      managers_->size() - 1);
+                      member_legs());
     const core::NodeId origin = self_;
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
-      if (peer == self_) continue;
+      if (peer == self_ || !peer_is_member(peer)) continue;
       double delay = costs_->directory_update_delay;
       const int deliveries =
           broadcast_deliveries(peer, cluster::MsgType::kInvalidate, &delay);
@@ -156,7 +165,7 @@ class SimBus final : public core::CooperationBus {
     pending_latency_ += costs_->query_latency;
     bool every_peer_answered = true;
     for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
-      if (peer == self_) continue;
+      if (peer == self_ || !peer_is_member(peer)) continue;
       auto answer = probe(static_cast<core::NodeId>(peer), key);
       if (!answer.first) {
         every_peer_answered = false;
@@ -195,13 +204,56 @@ class SimBus final : public core::CooperationBus {
     return (*managers_)[owner]->serve_peer_fetch(key);
   }
 
+  void send_handoff(core::NodeId successor, const core::EntryMeta& meta,
+                    const std::string& body) override {
+    if (successor >= managers_->size() || successor == self_) return;
+    if (traffic_ != nullptr) {
+      traffic_->handoff_frames += 1;
+      traffic_->handoff_bytes +=
+          cluster::encode_message(
+              cluster::Message::insert_handoff(self_, meta, body))
+              .size();
+    }
+    double delay = costs_->directory_update_delay;
+    if (!broadcast_survives(successor, cluster::MsgType::kInsert, &delay)) {
+      return;  // a lost handoff costs one future re-execution, not data
+    }
+    engine_->schedule_in(delay, [this, successor, meta, body] {
+      if ((*managers_)[successor]->adopt_entry(meta, body) &&
+          traffic_ != nullptr) {
+        traffic_->handoffs_adopted += 1;
+      }
+    });
+  }
+
  private:
-  /// Counts `legs` copies of an update frame as offered directory traffic.
+  /// Peers outside the sender's membership view get no traffic (the TCP
+  /// group drops frames to inactive slots at the sender).
+  bool peer_is_member(std::size_t peer) const {
+    return (*managers_)[self_]->is_member(static_cast<core::NodeId>(peer));
+  }
+
+  /// Broadcast fan-out under the current membership view.
+  std::size_t member_legs() const {
+    std::size_t legs = 0;
+    for (std::size_t peer = 0; peer < managers_->size(); ++peer) {
+      if (peer != self_ && peer_is_member(peer)) ++legs;
+    }
+    return legs;
+  }
+
+  /// Counts `legs` copies of an update frame as offered directory traffic
+  /// (or as membership-transition traffic while the driver migrates state).
   void count_update_legs(const cluster::Message& msg, std::size_t legs) {
     if (traffic_ == nullptr || legs == 0) return;
     const std::size_t bytes = cluster::encode_message(msg).size();
-    traffic_->update_frames += legs;
-    traffic_->update_bytes += legs * bytes;
+    if (traffic_->in_transition) {
+      traffic_->transition_frames += legs;
+      traffic_->transition_bytes += legs * bytes;
+    } else {
+      traffic_->update_frames += legs;
+      traffic_->update_bytes += legs * bytes;
+    }
   }
 
   /// One kQuery/kQueryHit exchange against `peer`'s directory. Returns
@@ -318,15 +370,121 @@ struct SimState {
   LatencyHistogram response_times;
   std::uint64_t completed = 0;
   const SimConfig* config = nullptr;
+
+  // ---- membership churn (see SimConfig::join_node et al.) ----
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+  std::vector<char> member;  ///< harness view of the active set
+  std::size_t join_threshold = kNever;          ///< completed-count trigger
+  std::size_t decommission_threshold = kNever;  ///< completed-count trigger
+  std::uint64_t membership_transitions = 0;
+  std::vector<std::string> decommissioned_keys;
 };
 
 /// Issues stream `s`'s next request; reschedules itself on completion.
 void issue_next(SimState* st, std::size_t s);
 
+/// Closes every member's dual-read window once a transition's migration
+/// traffic has settled.
+void close_transition_windows(SimState* st) {
+  for (std::size_t i = 0; i < st->managers.size(); ++i) {
+    if (st->member[i]) st->managers[i]->finish_ring_transition();
+  }
+}
+
+/// Join under load: every member admits the joiner — partitioned mode
+/// forwards only the remapped directory slice via the bus, replicated mode
+/// seeds the joiner with a full directory push — then the joiner adopts the
+/// cluster view (the kJoinAck step).
+void do_join(SimState* st) {
+  const core::NodeId j = st->config->join_node;
+  core::NodeId responder = core::kInvalidNode;
+  st->traffic.in_transition = true;
+  for (std::size_t o = 0; o < st->managers.size(); ++o) {
+    if (o == j || !st->member[o]) continue;
+    if (responder == core::kInvalidNode) {
+      responder = static_cast<core::NodeId>(o);
+    }
+    st->managers[o]->member_joined(j);
+    if (st->config->directory_mode == core::DirectoryMode::kReplicated) {
+      for (const auto& meta : st->managers[o]->store().resident_metas()) {
+        st->traffic.transition_frames += 1;
+        st->traffic.transition_bytes +=
+            cluster::encode_message(
+                cluster::Message::insert(static_cast<core::NodeId>(o), meta))
+                .size();
+        st->engine.schedule_in(st->config->costs.directory_update_delay,
+                               [st, j, meta] {
+                                 st->managers[j]->on_peer_insert(meta);
+                               });
+      }
+    }
+  }
+  st->member[j] = 1;
+  if (responder != core::kInvalidNode) {
+    // kJoinAck: the joiner adopts the cluster view and re-announces its
+    // stand-alone residents (counted as transition traffic).
+    st->managers[j]->adopt_membership(
+        st->managers[responder]->membership_epoch(),
+        st->managers[responder]->active_members());
+  }
+  st->traffic.in_transition = false;
+  st->membership_transitions += 1;
+  st->engine.schedule_in(0.5, [st] { close_transition_windows(st); });
+}
+
+/// Graceful decommission under load: the leaver stops admitting entries,
+/// ships its cached state to ring successors over the handoff channel,
+/// peers drop it without quarantine, and its client streams repin to the
+/// next active member (the load balancer stops routing to it).
+void do_decommission(SimState* st) {
+  const core::NodeId d = st->config->decommission_node;
+  core::CacheManager* leaver = st->managers[d].get();
+  for (const auto& meta : leaver->store().resident_metas()) {
+    st->decommissioned_keys.push_back(meta.key);
+  }
+  std::sort(st->decommissioned_keys.begin(), st->decommissioned_keys.end());
+  leaver->begin_decommission();
+  st->traffic.in_transition = true;
+  leaver->handoff_state(st->config->handoff_batch_bytes);
+  for (std::size_t o = 0; o < st->managers.size(); ++o) {
+    if (o == d || !st->member[o]) continue;
+    st->managers[o]->member_left(d);
+  }
+  st->traffic.in_transition = false;
+  st->member[d] = 0;
+  st->membership_transitions += 1;
+  std::size_t next = d;
+  for (std::size_t step = 1; step <= st->managers.size(); ++step) {
+    const std::size_t cand = (d + step) % st->managers.size();
+    if (st->member[cand]) {
+      next = cand;
+      break;
+    }
+  }
+  if (next != d) {
+    for (auto& stream : st->streams) {
+      if (stream.node == d) stream.node = next;
+    }
+  }
+  st->engine.schedule_in(0.5, [st] { close_transition_windows(st); });
+}
+
+void maybe_churn(SimState* st) {
+  if (st->completed >= st->join_threshold) {
+    st->join_threshold = SimState::kNever;
+    do_join(st);
+  }
+  if (st->completed >= st->decommission_threshold) {
+    st->decommission_threshold = SimState::kNever;
+    do_decommission(st);
+  }
+}
+
 void finish_request(SimState* st, std::size_t s, double issued_at) {
   st->response_times.add(st->engine.now() - issued_at);
   ++st->completed;
   st->streams[s].next++;
+  maybe_churn(st);
   issue_next(st, s);
 }
 
@@ -443,6 +601,32 @@ SimReport run_cluster_sim(const workload::Trace& trace, const SimConfig& config)
 
   const std::size_t n = std::max<std::size_t>(1, config.nodes);
 
+  // Membership churn setup: stage the joiner outside the active set and
+  // convert the trigger fractions into completed-request thresholds.
+  st.member.assign(n, 1);
+  const bool churn_capable = config.caching && config.cooperative && n > 1;
+  const auto trigger_at = [&trace](double fraction) {
+    const auto at =
+        static_cast<std::size_t>(fraction * static_cast<double>(trace.size()));
+    return std::max<std::size_t>(1, at);
+  };
+  if (churn_capable && config.join_node != core::kInvalidNode &&
+      config.join_node < n) {
+    st.member[config.join_node] = 0;
+    st.join_threshold = trigger_at(config.join_after_fraction);
+  }
+  if (churn_capable && config.decommission_node != core::kInvalidNode &&
+      config.decommission_node < n &&
+      config.decommission_node != config.join_node) {
+    st.decommission_threshold = trigger_at(config.decommission_after_fraction);
+  }
+  std::vector<core::NodeId> initial_members;
+  if (st.join_threshold != SimState::kNever) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (st.member[i]) initial_members.push_back(static_cast<core::NodeId>(i));
+    }
+  }
+
   // Build the cost-model-aware cooperation fabric over real managers.
   if (config.caching) {
     const std::size_t dir_nodes = config.cooperative ? n : 1;
@@ -459,6 +643,7 @@ SimReport run_cluster_sim(const workload::Trace& trace, const SimConfig& config)
                                              : core::DirectoryMode::kReplicated;
       mo.ring_seed = config.ring_seed;
       mo.ring_vnodes = config.ring_vnodes;
+      mo.initial_members = initial_members;
       core::RuleDecision decision;
       decision.cacheable = true;
       decision.ttl_seconds = config.ttl_seconds;
@@ -532,6 +717,22 @@ SimReport run_cluster_sim(const workload::Trace& trace, const SimConfig& config)
   report.dir_update_bytes = st.traffic.update_bytes;
   report.dir_query_frames = st.traffic.query_frames;
   report.dir_query_bytes = st.traffic.query_bytes;
+  report.membership_transitions = st.membership_transitions;
+  report.handoff_frames = st.traffic.handoff_frames;
+  report.handoff_bytes = st.traffic.handoff_bytes;
+  report.handoffs_adopted = st.traffic.handoffs_adopted;
+  report.transition_frames = st.traffic.transition_frames;
+  report.transition_bytes = st.traffic.transition_bytes;
+  report.decommissioned_keys = std::move(st.decommissioned_keys);
+  if (st.membership_transitions > 0) {
+    std::vector<const core::CacheManager*> nodes;
+    for (std::size_t i = 0; i < st.managers.size(); ++i) {
+      nodes.push_back(st.member[i] ? st.managers[i].get() : nullptr);
+    }
+    const auto oracle = core::check_cluster_consistency(nodes);
+    report.churn_consistent = oracle.consistent();
+    if (!report.churn_consistent) report.churn_report = oracle.to_string();
+  }
   for (const auto& manager : st.managers) {
     std::vector<std::string> keys;
     for (const auto& meta : manager->store().resident_metas()) {

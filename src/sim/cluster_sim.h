@@ -79,6 +79,26 @@ struct SimConfig {
   /// broadcast's propagation. Same rules, same seed → same scenario as the
   /// wire transport, but under virtual time.
   cluster::FaultInjector* faults = nullptr;
+
+  // ---- membership churn under load (cooperative mode only) ----
+  /// When set (≠ kInvalidNode), this node starts *outside* the active set —
+  /// its pinned client streams serve stand-alone — and runs the join
+  /// protocol once `join_after_fraction` of the trace has completed: every
+  /// member admits it (partitioned mode forwards only the remapped
+  /// directory slice, replicated mode seeds it with a full push), then the
+  /// joiner adopts the cluster view.
+  core::NodeId join_node = core::kInvalidNode;
+  double join_after_fraction = 0.25;
+  /// When set, this node leaves gracefully once
+  /// `decommission_after_fraction` of the trace has completed: it stops
+  /// admitting entries, ships its cached state to ring successors over the
+  /// handoff channel, peers drop it without quarantine, and its client
+  /// streams repin to the next active member.
+  core::NodeId decommission_node = core::kInvalidNode;
+  double decommission_after_fraction = 0.5;
+  /// Decommission handoff: entry bodies larger than this are not shipped
+  /// (0 = no cap). Mirrors cluster.handoff_batch_bytes.
+  std::uint64_t handoff_batch_bytes = 256 * 1024;
 };
 
 /// Outcome of one simulation run.
@@ -102,6 +122,28 @@ struct SimReport {
 
   /// Final resident cache keys per node, sorted (mode-parity checks).
   std::vector<std::vector<std::string>> node_keys;
+
+  // ---- membership churn (join/decommission under load) ----
+  std::uint64_t membership_transitions = 0;  ///< joins + leaves applied
+  /// Decommission handoff channel: entries shipped to ring successors.
+  std::uint64_t handoff_frames = 0;
+  std::uint64_t handoff_bytes = 0;
+  std::uint64_t handoffs_adopted = 0;  ///< shipped entries successors kept
+  /// Directory traffic caused by membership transitions (remapped-slice
+  /// forwarding, joiner seeding, post-leave re-announcements) — the cost a
+  /// static cluster never pays. The ablation compares it against a full
+  /// resync (every resident entry re-announced).
+  std::uint64_t transition_frames = 0;
+  std::uint64_t transition_bytes = 0;
+  /// The leaver's resident keys at decommission time, sorted. The
+  /// zero-loss check verifies each survives in some remaining node's
+  /// node_keys (with TTL 0 nothing may silently vanish).
+  std::vector<std::string> decommissioned_keys;
+  /// Post-churn cluster oracle over the final active membership (true when
+  /// no churn was configured). `churn_report` holds the oracle's rendered
+  /// findings when inconsistent (empty otherwise) — for diagnostics.
+  bool churn_consistent = true;
+  std::string churn_report;
 
   double mean_response() const { return response_times.mean(); }
   double throughput() const {

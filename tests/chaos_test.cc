@@ -48,6 +48,32 @@ ChaosSchedule drop_storm_schedule(double anti_entropy_interval) {
   return s;
 }
 
+/// Membership churn scenario: node 3 starts outside the active set and
+/// caches one entry stand-alone, joins mid-run (its pre-join entry must
+/// become visible to the cluster), then node 0 decommissions gracefully —
+/// handing its entries to ring successors — and an invalidation sweeps the
+/// namespace under the post-churn membership.
+ChaosSchedule churn_schedule() {
+  ChaosSchedule s;
+  s.nodes = 4;
+  s.seed = 97;
+  s.duration_seconds = 5.0;
+  s.anti_entropy_interval_seconds = 1.0;
+  s.slack_seconds = 0.5;
+  s.initial_active = {0, 1, 2};
+  s.actions.push_back(at(0.1, ActionKind::kInsert, 0, "/cgi-bin/churn/a"));
+  s.actions.push_back(at(0.15, ActionKind::kInsert, 1, "/cgi-bin/churn/b"));
+  s.actions.push_back(at(0.2, ActionKind::kInsert, 2, "/cgi-bin/churn/c"));
+  s.actions.push_back(at(0.5, ActionKind::kInsert, 3, "/cgi-bin/churn/d"));
+  s.actions.push_back(at(1.0, ActionKind::kJoinNode, 3));
+  s.actions.push_back(at(1.5, ActionKind::kInsert, 3, "/cgi-bin/churn/e"));
+  s.actions.push_back(at(2.0, ActionKind::kDecommissionNode, 0));
+  s.actions.push_back(at(2.5, ActionKind::kInsert, 1, "/cgi-bin/churn/f"));
+  s.actions.push_back(
+      at(3.0, ActionKind::kInvalidate, 1, "GET /cgi-bin/churn/a*"));
+  return s;
+}
+
 TEST(ChaosSimTest, SameSeedSameScheduleIsByteDeterministic) {
   const ChaosSchedule schedule = make_random_schedule(42, 3, 6.0);
   const ChaosVerdict first = run_sim_chaos(schedule);
@@ -165,6 +191,39 @@ TEST(ChaosSimTest, CrashedNodeRejoinDropsEntriesInvalidatedWhilePartitioned) {
   EXPECT_GE(verdict.stale_serves_prevented, 1u);
 }
 
+TEST(ChaosSimTest, MembershipChurnJoinThenDecommissionStaysConsistent) {
+  const ChaosVerdict verdict = run_sim_chaos(churn_schedule());
+  EXPECT_TRUE(verdict.passed) << verdict.log_text();
+  EXPECT_EQ(verdict.membership_transitions, 2u);
+  EXPECT_GE(verdict.handoff_frames, 1u)
+      << "the decommission must hand entries to successors";
+  EXPECT_GE(verdict.handoffs_adopted, 1u);
+  EXPECT_GT(verdict.handoff_bytes, 0u);
+
+  // Churn does not break determinism: same schedule, same byte-for-byte log.
+  const ChaosVerdict second = run_sim_chaos(churn_schedule());
+  EXPECT_EQ(verdict.log_text(), second.log_text());
+  EXPECT_EQ(verdict.handoff_frames, second.handoff_frames);
+}
+
+TEST(ChaosSimTest, ChurnUnderDuplicateStormAdoptsEachEntryOnce) {
+  // Every frame node 0 sends is delivered twice — including its handoff
+  // frames at decommission. The already-cached guard in adopt_entry must
+  // make the copies no-ops, so the run stays consistent and the adopted
+  // count never exceeds the distinct entries shipped.
+  ChaosSchedule s = churn_schedule();
+  {
+    ChaosAction dup = at(0.05, ActionKind::kAddFault, 0);
+    dup.rule.kind = cluster::FaultKind::kDuplicate;
+    dup.rule.probability = 1.0;
+    s.actions.insert(s.actions.begin(), dup);
+  }
+  const ChaosVerdict verdict = run_sim_chaos(s);
+  EXPECT_TRUE(verdict.passed) << verdict.log_text();
+  EXPECT_EQ(verdict.membership_transitions, 2u);
+  EXPECT_LE(verdict.handoffs_adopted, verdict.handoff_frames);
+}
+
 TEST(ChaosLiveTest, ScriptedRunOverRealTcpPasses) {
   // Short wall-clock smoke over loopback TCP: inserts, a kInvalidate drop
   // storm against one peer, an invalidation, repair via the real kDigest/
@@ -176,6 +235,22 @@ TEST(ChaosLiveTest, ScriptedRunOverRealTcpPasses) {
   EXPECT_TRUE(verdict.passed) << verdict.log_text();
   EXPECT_GE(verdict.gaps_repaired, 1u) << verdict.log_text();
   EXPECT_GE(verdict.anti_entropy_rounds, 1u);
+}
+
+TEST(ChaosLiveTest, MembershipChurnOverRealTcpPasses) {
+  // The same churn story over loopback TCP: the staged joiner runs the real
+  // two-phase kJoin exchange, the decommission ships real kInsert handoff
+  // frames and broadcasts kDecommission, and the final oracle runs over the
+  // post-churn membership.
+  ChaosSchedule s = churn_schedule();
+  s.duration_seconds = 4.0;
+  s.anti_entropy_interval_seconds = 0.5;
+  s.slack_seconds = 2.0;
+  const ChaosVerdict verdict = run_live_chaos(s);
+  EXPECT_TRUE(verdict.passed) << verdict.log_text();
+  EXPECT_EQ(verdict.membership_transitions, 2u);
+  EXPECT_GE(verdict.handoff_frames, 1u) << verdict.log_text();
+  EXPECT_GE(verdict.handoffs_adopted, 1u);
 }
 
 }  // namespace

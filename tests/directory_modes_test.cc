@@ -141,5 +141,53 @@ TEST(DirectoryModeParityTest, UpdateTrafficAsymptote) {
   EXPECT_GT(partitioned.dir_query_frames, 0u);
 }
 
+// Membership churn under load, all three modes: the highest node joins at
+// 30% of the trace, node 0 decommissions gracefully at 60%. Every mode must
+// end oracle-consistent with zero committed-entry loss, and the whole
+// episode must stay deterministic.
+TEST(DirectoryModeParityTest, ChurnUnderLoadStaysConsistentWithZeroLoss) {
+  const auto trace = workload::synthesize_request_mix(600, 200, 1.0, 77);
+  for (auto mode :
+       {core::DirectoryMode::kReplicated, core::DirectoryMode::kPartitioned,
+        core::DirectoryMode::kQuery}) {
+    SCOPED_TRACE(core::directory_mode_name(mode));
+    SimConfig config = parity_config(mode);
+    config.join_node = 3;
+    config.join_after_fraction = 0.3;
+    config.decommission_node = 0;
+    config.decommission_after_fraction = 0.6;
+    config.handoff_batch_bytes = 0;  // uncapped: the loss check is exact
+    const auto report = run_cluster_sim(trace, config);
+
+    EXPECT_EQ(report.membership_transitions, 2u);
+    EXPECT_TRUE(report.churn_consistent) << report.churn_report;
+    EXPECT_GT(report.handoff_frames, 0u)
+        << "the decommission must ship entries to successors";
+    EXPECT_GT(report.handoffs_adopted, 0u);
+    ASSERT_FALSE(report.decommissioned_keys.empty());
+
+    // Zero loss: every key resident on the leaver at decommission time
+    // survives on some remaining node.
+    std::vector<std::string> survivors;
+    for (std::size_t i = 1; i < report.node_keys.size(); ++i) {
+      survivors.insert(survivors.end(), report.node_keys[i].begin(),
+                       report.node_keys[i].end());
+    }
+    std::sort(survivors.begin(), survivors.end());
+    for (const auto& key : report.decommissioned_keys) {
+      EXPECT_TRUE(
+          std::binary_search(survivors.begin(), survivors.end(), key))
+          << key << " lost in the handoff";
+    }
+
+    // Determinism holds under churn.
+    const auto again = run_cluster_sim(trace, config);
+    EXPECT_EQ(report.node_keys, again.node_keys);
+    EXPECT_EQ(report.handoff_frames, again.handoff_frames);
+    EXPECT_EQ(report.transition_frames, again.transition_frames);
+    EXPECT_DOUBLE_EQ(report.sim_seconds, again.sim_seconds);
+  }
+}
+
 }  // namespace
 }  // namespace swala::sim

@@ -158,6 +158,54 @@ TEST(HashRingTest, RemovingNodeNeverRemapsBetweenSurvivors) {
   }
 }
 
+// Transitive remap minimality across a whole churn episode: starting from a
+// 64-node ring, add node 64, remove node 17, then add node 17 back. Each
+// step must only move keys to/from the node that changed, so composing the
+// three steps bounds the total churn: a key's owner at the end may differ
+// from its start owner only if some intermediate owner was one of the
+// churned nodes. The membership {0..64} at the end must also place keys
+// identically to a ring built with that membership from scratch (history
+// independence — a restarted node rebuilds the same ring).
+TEST(HashRingTest, TransitiveChurnRemapsOnlyThroughChurnedNodes) {
+  const auto keys = make_keys(20000);
+  auto ring = make_ring(64);
+  const std::uint64_t v0 = ring.version();
+
+  std::unordered_map<std::string, std::uint32_t> owner_start;
+  for (const auto& key : keys) owner_start[key] = ring.owner_of(key);
+
+  auto step = [&](auto&& mutate) {
+    std::unordered_map<std::string, std::uint32_t> before;
+    for (const auto& key : keys) before[key] = ring.owner_of(key);
+    const std::uint32_t changed = mutate(ring);
+    for (const auto& key : keys) {
+      const auto old_owner = before[key];
+      const auto new_owner = ring.owner_of(key);
+      if (old_owner != new_owner) {
+        EXPECT_TRUE(old_owner == changed || new_owner == changed)
+            << key << " moved between bystanders (" << old_owner << " -> "
+            << new_owner << " while node " << changed << " churned)";
+      }
+    }
+  };
+  step([](HashRing& r) { r.add_node(64); return 64u; });
+  step([](HashRing& r) { r.remove_node(17); return 17u; });
+  step([](HashRing& r) { r.add_node(17); return 17u; });
+  EXPECT_EQ(ring.version(), v0 + 3) << "each change bumps the ring version";
+
+  // History independence: the final membership placed from scratch agrees.
+  auto fresh = make_ring(65);
+  std::size_t net_moved = 0;
+  for (const auto& key : keys) {
+    EXPECT_EQ(ring.owner_of(key), fresh.owner_of(key)) << key;
+    if (ring.owner_of(key) != owner_start[key]) ++net_moved;
+  }
+  // Net effect of the episode is exactly "node 64 joined" (17 left and
+  // came back), so the net remap volume must stay ~K/65, not O(K).
+  EXPECT_LT(static_cast<double>(net_moved), 3.0 * keys.size() / 65.0)
+      << "churn episode reshuffled bystander keys";
+}
+
 // vnodes = 0 is clamped to 1 point per member rather than an empty ring.
 TEST(HashRingTest, ZeroVnodesClampsToOne) {
   HashRing ring(HashRing::kDefaultSeed, 0);

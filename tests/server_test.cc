@@ -409,6 +409,38 @@ TEST(SwalaNodeTest, BadConfigRejected) {
   EXPECT_FALSE(SwalaNode::from_config(cfg2.value(), make_registry()).is_ok());
 }
 
+TEST(SwalaNodeTest, BadMembershipConfigRejected) {
+  const auto rejected = [](const std::string& cluster_section) {
+    auto cfg = Config::parse("[cluster]\n" + cluster_section);
+    EXPECT_TRUE(cfg.is_ok());
+    return !SwalaNode::from_config(cfg.value(), make_registry()).is_ok();
+  };
+  // Duplicate member id: the second line would silently shadow the first.
+  EXPECT_TRUE(rejected(
+      "node_id = 0\n"
+      "member = 0 127.0.0.1 9000 9001\n"
+      "member = 0 127.0.0.1 9010 9011\n"));
+  // Sparse id: indexes past the directory tables.
+  EXPECT_TRUE(rejected(
+      "node_id = 0\n"
+      "member = 0 127.0.0.1 9000 9001\n"
+      "member = 5 127.0.0.1 9010 9011\n"));
+  // node_id absent from the list: binds no listeners, broadcasts anyway.
+  EXPECT_TRUE(rejected(
+      "node_id = 2\n"
+      "member = 0 127.0.0.1 9000 9001\n"
+      "member = 1 127.0.0.1 9010 9011\n"));
+  // A dense, self-including list builds fine.
+  auto cfg = Config::parse(
+      "[server]\nport = 0\n[cluster]\n"
+      "node_id = 1\n"
+      "member = 0 127.0.0.1 0 0\n"
+      "member = 1 127.0.0.1 0 0\n");
+  ASSERT_TRUE(cfg.is_ok());
+  auto node = SwalaNode::from_config(cfg.value(), make_registry());
+  EXPECT_TRUE(node.is_ok()) << node.status().to_string();
+}
+
 TEST(SwalaNodeTest, BadStoreConfigRejected) {
   const auto rejected = [](const std::string& cache_section) {
     auto cfg = Config::parse("[cache]\nenabled = true\n" + cache_section);
